@@ -1,0 +1,67 @@
+"""Ablation A1 -- force-current versus force-voltage analogy.
+
+The paper chooses the force-current analogy "as the mechanical and electrical
+nets have the same topology".  This ablation builds the Table-4 resonator
+both ways (mechanical elements in the FI analogy versus the dual electrical
+network that the FV analogy produces) and confirms the predicted dynamics are
+identical, i.e. the choice is a modeling convenience, not a physics change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import report
+from repro.circuit import Circuit, Sine, TransientAnalysis
+from repro.natures import FORCE_CURRENT, FORCE_VOLTAGE
+from repro.system import PAPER_PARAMETERS
+
+DRIVE = Sine(amplitude=1e-6, frequency=200.0)
+T_STOP = 30e-3
+
+
+def _force_current_circuit():
+    circuit = Circuit("FI analogy")
+    circuit.force_source("F1", "m", "0", DRIVE)
+    circuit.mass("M1", "m", PAPER_PARAMETERS.mass)
+    circuit.spring("K1", "m", "0", PAPER_PARAMETERS.stiffness)
+    circuit.damper("D1", "m", "0", PAPER_PARAMETERS.damping)
+    return circuit
+
+
+def _force_voltage_circuit():
+    # In the FV analogy the force maps to a voltage and the mechanical
+    # elements form a series RLC loop; the loop current is the velocity.
+    circuit = Circuit("FV analogy")
+    circuit.voltage_source("VF", "drive", "0", DRIVE)
+    circuit.inductor("LM", "drive", "n1", PAPER_PARAMETERS.mass)
+    circuit.capacitor("CK", "n1", "n2", 1.0 / PAPER_PARAMETERS.stiffness)
+    circuit.resistor("RD", "n2", "0", PAPER_PARAMETERS.damping)
+    return circuit
+
+
+def test_ablation_fi_vs_fv_analogy(benchmark):
+    def run_both():
+        fi = TransientAnalysis(_force_current_circuit(), t_stop=T_STOP, t_step=5e-5).run()
+        fv = TransientAnalysis(_force_voltage_circuit(), t_stop=T_STOP, t_step=5e-5).run()
+        return fi, fv
+
+    fi, fv = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    probes = np.linspace(1e-3, T_STOP - 1e-3, 40)
+    velocity_fi = fi.sample("v(m)", probes)
+    velocity_fv = fv.sample("i(LM)", probes)
+    worst = float(np.max(np.abs(velocity_fi - velocity_fv)))
+    peak = float(np.max(np.abs(velocity_fi)))
+    lines = [
+        f"element mapping (FI): mass -> C = {FORCE_CURRENT.mass_to_element(PAPER_PARAMETERS.mass):.1e}, "
+        f"spring -> L = {FORCE_CURRENT.spring_to_element(PAPER_PARAMETERS.stiffness):.1e}, "
+        f"damper -> R = {FORCE_CURRENT.damper_to_element(PAPER_PARAMETERS.damping):.1e}",
+        f"element mapping (FV): mass -> L = {FORCE_VOLTAGE.mass_to_element(PAPER_PARAMETERS.mass):.1e}, "
+        f"spring -> C = {FORCE_VOLTAGE.spring_to_element(PAPER_PARAMETERS.stiffness):.1e}, "
+        f"damper -> R = {FORCE_VOLTAGE.damper_to_element(PAPER_PARAMETERS.damping):.1e}",
+        f"peak velocity                 : {peak:.4e} m/s",
+        f"worst FI-vs-FV velocity error : {worst:.3e} m/s",
+    ]
+    report("Ablation A1: force-current vs force-voltage analogy", lines)
+    assert worst < 5e-3 * peak

@@ -1,0 +1,45 @@
+"""Ablation A3 -- FE mesh refinement convergence of the PXT extraction.
+
+The figure-6 force/capacitance extraction is repeated over a range of mesh
+densities.  For the fringe-free parallel-plate problem the bilinear elements
+represent the exact (linear) potential, so the extracted quantities are
+mesh-independent to solver precision -- which is exactly what this ablation
+demonstrates, and why the paper can afford a coarse mesh in its screenshot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import report
+from repro.pxt import ParameterExtractor
+from repro.system import PAPER_PARAMETERS
+
+MESHES = [(4, 3), (8, 6), (16, 12), (32, 24), (64, 48)]
+VOLTAGE = 10.0
+
+
+def _sweep_meshes():
+    rows = []
+    for nx, ny in MESHES:
+        extractor = ParameterExtractor(area=PAPER_PARAMETERS.area, gap=PAPER_PARAMETERS.gap,
+                                       nx=nx, ny=ny)
+        point = extractor.solve_point(0.0, VOLTAGE)
+        rows.append((nx, ny, point.capacitance, point.force,
+                     extractor.analytic_capacitance(0.0),
+                     extractor.analytic_force(VOLTAGE, 0.0)))
+    return rows
+
+
+def test_ablation_mesh_refinement(benchmark):
+    rows = benchmark.pedantic(_sweep_meshes, rounds=1, iterations=1)
+    lines = [f"{'mesh':>10} {'unknowns':>10} {'C [F]':>14} {'F [N]':>14} "
+             f"{'C error':>10} {'F error':>10}"]
+    for nx, ny, capacitance, force, c_ref, f_ref in rows:
+        c_err = abs(capacitance - c_ref) / c_ref
+        f_err = abs(force - f_ref) / f_ref
+        lines.append(f"{f'{nx}x{ny}':>10} {(nx + 1) * (ny + 1):>10d} {capacitance:>14.6e} "
+                     f"{force:>14.6e} {c_err:>10.2e} {f_err:>10.2e}")
+        assert c_err < 1e-6
+        assert f_err < 1e-6
+    report("Ablation A3: FE mesh refinement of the figure-6 extraction", lines)

@@ -1,0 +1,73 @@
+"""Table 3 -- voltages and forces (efforts) derived from the transducer energies.
+
+Regenerates every row of Table 3 twice: once from the hand-derived closed
+forms and once through the mechanised energy-method derivation (AD gradient
+of the Table 2 energy), and checks that the two agree -- which is precisely
+the paper's claim that the port efforts follow from differentiating the
+internal energy.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from conftest import report
+from repro.constants import EPSILON_0, MU_0
+from repro.transducers import (
+    ElectrodynamicTransducer,
+    ElectromagneticTransducer,
+    LateralElectrostaticTransducer,
+    TransverseElectrostaticTransducer,
+)
+
+AREA, GAP = 1e-4, 0.15e-3
+VOLTAGE, CURRENT, DISPLACEMENT = 10.0, 0.5, 1e-6
+
+
+def _table3_rows():
+    transverse = TransverseElectrostaticTransducer(area=AREA, gap=GAP)
+    lateral = LateralElectrostaticTransducer(depth=10e-6, length=100e-6, gap=2e-6)
+    magnetic = ElectromagneticTransducer(area=AREA, turns=100.0, gap=GAP)
+    voice = ElectrodynamicTransducer(turns=50.0, radius=5e-3, b_field=0.8)
+
+    gap_a = GAP + DISPLACEMENT
+    rows = [
+        ("a) transverse electrostatic",
+         transverse.force(VOLTAGE, DISPLACEMENT),
+         -0.5 * EPSILON_0 * AREA * VOLTAGE ** 2 / gap_a ** 2,
+         transverse.energy_method_force(VOLTAGE, DISPLACEMENT)),
+        ("b) parallel electrostatic",
+         lateral.force(VOLTAGE, DISPLACEMENT),
+         -0.5 * EPSILON_0 * 10e-6 * VOLTAGE ** 2 / 2e-6,
+         lateral.energy_method_force(VOLTAGE, DISPLACEMENT)),
+        ("c) electromagnetic",
+         magnetic.force(CURRENT, DISPLACEMENT),
+         -MU_0 * AREA * 100.0 ** 2 * CURRENT ** 2 / (4.0 * gap_a ** 2),
+         magnetic.energy_method_force(CURRENT, DISPLACEMENT)),
+        ("d) electrodynamic",
+         voice.force(CURRENT, DISPLACEMENT),
+         -2.0 * math.pi * 50.0 * 5e-3 * 0.8 * CURRENT,
+         voice.force(CURRENT, DISPLACEMENT)),  # gyrator: not energy-derivable
+    ]
+    # Voltage rows: quasi-static electrical efforts.
+    charge = transverse.charge_or_flux(VOLTAGE, DISPLACEMENT)
+    voltage_back = transverse.voltage_from_charge(charge, DISPLACEMENT)
+    return rows, (charge, voltage_back)
+
+
+def test_table3_efforts(benchmark):
+    rows, (charge, voltage_back) = benchmark(_table3_rows)
+    lines = [f"{'transducer':<30} {'force (model)':>16} {'force (Table 3)':>16} "
+             f"{'force (dW*/dx)':>16}"]
+    for label, force_model, force_table, force_energy in rows:
+        lines.append(f"{label:<30} {force_model:>16.6e} {force_table:>16.6e} "
+                     f"{force_energy:>16.6e}")
+        assert force_model == pytest.approx(force_table, rel=1e-9)
+        assert force_energy == pytest.approx(force_table, rel=1e-6)
+    lines.append("")
+    lines.append(f"voltage row check (transducer a): q = C(x) v = {charge:.6e} C, "
+                 f"v(q, x) = {voltage_back:.4f} V (drive was {VOLTAGE} V)")
+    report("Table 3: efforts derived from the transducer energies", lines)
+    assert voltage_back == pytest.approx(VOLTAGE, rel=1e-9)

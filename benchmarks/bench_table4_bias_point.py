@@ -1,0 +1,51 @@
+"""Table 4 -- system parameters and the derived bias point (C0, x0, Gamma).
+
+Regenerates the derived quantities of Table 4 from the primary parameters and
+compares them with the values printed in the paper:
+
+* the dc displacement x0 at 10 V bias,
+* the dc capacitance C0,
+* the transduction factor Gamma (where the paper's printed value is
+  inconsistent with its own formula -- both are reported).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import report
+from repro.constants import EPSILON_0
+from repro.system import PAPER_PARAMETERS
+
+
+def _bias_point():
+    return PAPER_PARAMETERS.derived_bias_point()
+
+
+def test_table4_bias_point(benchmark):
+    linearized = benchmark(_bias_point)
+    p = PAPER_PARAMETERS
+    gamma_formula = EPSILON_0 * p.epsilon_r * p.area * p.dc_voltage / (
+        p.gap + linearized.bias_displacement) ** 2
+    lines = [
+        f"{'quantity':<28} {'reproduced':>14} {'paper':>14}",
+        f"{'area A [m^2]':<28} {p.area:>14.4e} {1.0e-4:>14.4e}",
+        f"{'gap d [m]':<28} {p.gap:>14.4e} {0.15e-3:>14.4e}",
+        f"{'mass m [kg]':<28} {p.mass:>14.4e} {1.0e-4:>14.4e}",
+        f"{'spring k [N/m]':<28} {p.stiffness:>14.4g} {200.0:>14.4g}",
+        f"{'damping alpha [N s/m]':<28} {p.damping:>14.4e} {40e-3:>14.4e}",
+        f"{'dc voltage v0 [V]':<28} {p.dc_voltage:>14.4g} {10.0:>14.4g}",
+        f"{'dc displacement x0 [m]':<28} {linearized.bias_displacement:>14.4e} "
+        f"{p.dc_displacement:>14.4e}",
+        f"{'dc capacitance C0 [F]':<28} {linearized.c0:>14.4e} {p.dc_capacitance:>14.4e}",
+        f"{'Gamma = eps*A*v0/(d+x0)^2':<28} {linearized.gamma_small_signal:>14.4e} "
+        f"{p.printed_gamma:>14.4e}  <-- paper's printed value is inconsistent "
+        "with its own formula",
+        f"{'Gamma_eff = F0/V0 [N/V]':<28} {linearized.gamma_effective:>14.4e} {'-':>14}",
+    ]
+    report("Table 4: parameters and derived bias point", lines)
+    assert linearized.bias_displacement == pytest.approx(p.dc_displacement, rel=2e-2)
+    assert linearized.c0 == pytest.approx(p.dc_capacitance, rel=1e-2)
+    assert linearized.gamma_small_signal == pytest.approx(gamma_formula, rel=1e-6)
+    # The printed Gamma differs by ~two orders of magnitude from the formula.
+    assert linearized.gamma_small_signal > 10.0 * p.printed_gamma

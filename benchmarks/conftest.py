@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one table or figure of the paper.  The
+reproduced rows are printed through :func:`report` so that running
+
+``pytest benchmarks/ --benchmark-only -s``
+
+shows the regenerated tables next to the timing numbers, and
+``EXPERIMENTS.md`` records the same values.
+"""
+
+from __future__ import annotations
+
+
+def report(title: str, lines) -> None:
+    """Print a reproduced table/figure block (visible with ``-s``)."""
+    print()
+    print(f"==== {title} ====")
+    for line in lines:
+        print(f"  {line}")

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The pyproject.toml carries all metadata; this file exists so that
+``pip install -e .`` works on environments whose setuptools/wheel combination
+predates PEP 660 editable installs (legacy ``setup.py develop`` fallback).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,129 @@
+"""Elementary functions overloaded for dual numbers.
+
+Each function accepts either a plain real number (delegating to :mod:`math`)
+or a :class:`~repro.ad.dual.Dual` and propagates the derivative by the chain
+rule.  Behavioral models and HDL expressions use these instead of the bare
+``math`` module so that the same model source works for value evaluation,
+Newton Jacobians and AC linearization.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from .dual import Dual
+
+__all__ = [
+    "sqrt", "exp", "log", "sin", "cos", "tan", "sinh", "cosh", "tanh",
+    "atan", "asin", "acos", "absolute", "sign", "minimum", "maximum",
+    "where", "hypot",
+]
+
+
+def _unary(x: Any, fn, dfn) -> Any:
+    if isinstance(x, Dual):
+        value = fn(x.value)
+        return Dual(value, dfn(x.value, value) * x.deriv)
+    return fn(float(x))
+
+
+def sqrt(x: Any) -> Any:
+    """Square root; derivative ``1/(2*sqrt(x))``."""
+    return _unary(x, math.sqrt, lambda v, r: 0.5 / r)
+
+
+def exp(x: Any) -> Any:
+    """Exponential; derivative ``exp(x)``."""
+    return _unary(x, math.exp, lambda v, r: r)
+
+
+def log(x: Any) -> Any:
+    """Natural logarithm; derivative ``1/x``."""
+    return _unary(x, math.log, lambda v, r: 1.0 / v)
+
+
+def sin(x: Any) -> Any:
+    """Sine; derivative ``cos(x)``."""
+    return _unary(x, math.sin, lambda v, r: math.cos(v))
+
+
+def cos(x: Any) -> Any:
+    """Cosine; derivative ``-sin(x)``."""
+    return _unary(x, math.cos, lambda v, r: -math.sin(v))
+
+
+def tan(x: Any) -> Any:
+    """Tangent; derivative ``1/cos(x)**2``."""
+    return _unary(x, math.tan, lambda v, r: 1.0 + r * r)
+
+
+def sinh(x: Any) -> Any:
+    """Hyperbolic sine; derivative ``cosh(x)``."""
+    return _unary(x, math.sinh, lambda v, r: math.cosh(v))
+
+
+def cosh(x: Any) -> Any:
+    """Hyperbolic cosine; derivative ``sinh(x)``."""
+    return _unary(x, math.cosh, lambda v, r: math.sinh(v))
+
+
+def tanh(x: Any) -> Any:
+    """Hyperbolic tangent; derivative ``1 - tanh(x)**2``."""
+    return _unary(x, math.tanh, lambda v, r: 1.0 - r * r)
+
+
+def atan(x: Any) -> Any:
+    """Arc tangent; derivative ``1/(1+x**2)``."""
+    return _unary(x, math.atan, lambda v, r: 1.0 / (1.0 + v * v))
+
+
+def asin(x: Any) -> Any:
+    """Arc sine; derivative ``1/sqrt(1-x**2)``."""
+    return _unary(x, math.asin, lambda v, r: 1.0 / math.sqrt(1.0 - v * v))
+
+
+def acos(x: Any) -> Any:
+    """Arc cosine; derivative ``-1/sqrt(1-x**2)``."""
+    return _unary(x, math.acos, lambda v, r: -1.0 / math.sqrt(1.0 - v * v))
+
+
+def absolute(x: Any) -> Any:
+    """Absolute value (sub-gradient ``sign(x)`` at the origin is taken as 0)."""
+    if isinstance(x, Dual):
+        return abs(x)
+    return abs(float(x))
+
+
+def sign(x: Any) -> float:
+    """Sign of the value part (+1, 0 or -1); the derivative is dropped."""
+    value = x.value if isinstance(x, Dual) else float(x)
+    return float(np.sign(value))
+
+
+def minimum(a: Any, b: Any) -> Any:
+    """Minimum by value; the derivative of the active branch is propagated."""
+    av = a.value if isinstance(a, Dual) else float(a)
+    bv = b.value if isinstance(b, Dual) else float(b)
+    return a if av <= bv else b
+
+
+def maximum(a: Any, b: Any) -> Any:
+    """Maximum by value; the derivative of the active branch is propagated."""
+    av = a.value if isinstance(a, Dual) else float(a)
+    bv = b.value if isinstance(b, Dual) else float(b)
+    return a if av >= bv else b
+
+
+def where(condition: Any, a: Any, b: Any) -> Any:
+    """Select ``a`` when ``condition`` is truthy, ``b`` otherwise."""
+    return a if bool(condition) else b
+
+
+def hypot(a: Any, b: Any) -> Any:
+    """Euclidean norm ``sqrt(a**2 + b**2)`` with dual support."""
+    if isinstance(a, Dual) or isinstance(b, Dual):
+        return sqrt(a * a + b * b)
+    return math.hypot(float(a), float(b))

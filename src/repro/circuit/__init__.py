@@ -1,0 +1,110 @@
+"""SPICE-class multi-domain circuit simulator (the ELDO substitute).
+
+Public surface::
+
+    from repro.circuit import Circuit, OperatingPointAnalysis, TransientAnalysis
+
+    ckt = Circuit("rc")
+    ckt.voltage_source("V1", "in", "0", Pulse(0, 5, rise=1e-6))
+    ckt.resistor("R1", "in", "out", "1k")
+    ckt.capacitor("C1", "out", "0", "1u")
+    result = TransientAnalysis(ckt, t_stop=10e-3).run()
+    vout = result.voltage("out")
+
+Mechanical elements (mass/spring/damper, force and velocity sources) live on
+the same netlist thanks to the force-current analogy, and behavioral devices
+(:class:`~repro.circuit.devices.behavioral.BehavioralDevice`) implement the
+HDL-A-style nonlinear transducer models.
+"""
+
+from .netlist import Circuit, Node
+from .waveforms import DC, Pulse, Sine, PieceWiseLinear, Exponential, Step, Waveform
+from .mna import MNASystem, Integrator
+from .devices import (
+    Device,
+    Resistor,
+    Capacitor,
+    Inductor,
+    VoltageSource,
+    CurrentSource,
+    VCCS,
+    VCVS,
+    CCCS,
+    CCVS,
+    Diode,
+    Mass,
+    Spring,
+    Damper,
+    ForceSource,
+    VelocitySource,
+    VoltageControlledSwitch,
+    BehavioralDevice,
+    BehaviorContext,
+    Port,
+)
+from .analysis import (
+    SimulationOptions,
+    OperatingPoint,
+    DCSweepResult,
+    ACResult,
+    TransientResult,
+    OperatingPointAnalysis,
+    DCSweepAnalysis,
+    ACAnalysis,
+    TransientAnalysis,
+)
+from .analysis.ac import frequency_grid
+from .linearize import (
+    small_signal_matrices,
+    input_admittance,
+    input_impedance,
+    equivalent_capacitance,
+)
+
+__all__ = [
+    "Circuit",
+    "Node",
+    "DC",
+    "Pulse",
+    "Sine",
+    "PieceWiseLinear",
+    "Exponential",
+    "Step",
+    "Waveform",
+    "MNASystem",
+    "Integrator",
+    "Device",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+    "VCCS",
+    "VCVS",
+    "CCCS",
+    "CCVS",
+    "Diode",
+    "Mass",
+    "Spring",
+    "Damper",
+    "ForceSource",
+    "VelocitySource",
+    "VoltageControlledSwitch",
+    "BehavioralDevice",
+    "BehaviorContext",
+    "Port",
+    "SimulationOptions",
+    "OperatingPoint",
+    "DCSweepResult",
+    "ACResult",
+    "TransientResult",
+    "OperatingPointAnalysis",
+    "DCSweepAnalysis",
+    "ACAnalysis",
+    "TransientAnalysis",
+    "frequency_grid",
+    "small_signal_matrices",
+    "input_admittance",
+    "input_impedance",
+    "equivalent_capacitance",
+]

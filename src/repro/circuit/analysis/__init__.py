@@ -1,0 +1,35 @@
+"""Circuit analyses: operating point, DC sweep, AC small-signal and transient.
+
+The analyses mirror the SPICE/ELDO analysis types the paper relies on
+("FE and SPICE simulators present analogies concerning the analysis types
+they can perform: static-dc, harmonic-ac, transient-transient"):
+
+* :class:`~repro.circuit.analysis.op.OperatingPointAnalysis` -- Newton with
+  gmin/source stepping fallbacks,
+* :class:`~repro.circuit.analysis.dcsweep.DCSweepAnalysis` -- source/parameter
+  sweeps with solution continuation,
+* :class:`~repro.circuit.analysis.ac.ACAnalysis` -- complex small-signal
+  solves around the operating point,
+* :class:`~repro.circuit.analysis.transient.TransientAnalysis` -- adaptive
+  backward-Euler / trapezoidal time stepping with per-step Newton.
+"""
+
+from .options import SimulationOptions
+from .results import OperatingPoint, DCSweepResult, ACResult, TransientResult
+from .op import OperatingPointAnalysis, newton_solve
+from .dcsweep import DCSweepAnalysis
+from .ac import ACAnalysis
+from .transient import TransientAnalysis
+
+__all__ = [
+    "SimulationOptions",
+    "OperatingPoint",
+    "DCSweepResult",
+    "ACResult",
+    "TransientResult",
+    "OperatingPointAnalysis",
+    "newton_solve",
+    "DCSweepAnalysis",
+    "ACAnalysis",
+    "TransientAnalysis",
+]

@@ -1,0 +1,97 @@
+"""AC small-signal analysis.
+
+The circuit is first solved for its DC operating point; every device is then
+linearized around that bias and the complex system ``Y(omega) x = b`` is
+solved at each requested frequency.  For behavioral (HDL-A) devices the
+linearization is exact: their contributions are evaluated with complex-seeded
+dual numbers in which ``ddt`` multiplies the sensitivity by ``j*omega``
+(see :class:`repro.circuit.devices.behavioral.BehaviorContext`).
+
+This is precisely the analysis the paper uses to claim that HDL-A models
+"are valid for the dc, ac and transient SPICE analysis domains": a single
+nonlinear model provides all three behaviours without being rewritten.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ...errors import AnalysisError, SingularMatrixError
+from ..mna import Integrator, MNASystem
+from ..netlist import Circuit
+from .op import OperatingPointAnalysis
+from .options import SimulationOptions
+from .results import ACResult, OperatingPoint
+
+__all__ = ["ACAnalysis", "frequency_grid"]
+
+
+def frequency_grid(start: float, stop: float, points_per_decade: int = 20,
+                   spacing: str = "log") -> np.ndarray:
+    """Build an AC frequency grid (``"log"``, ``"lin"`` spacing)."""
+    if start <= 0.0 or stop <= 0.0:
+        raise AnalysisError("AC frequencies must be positive")
+    if stop < start:
+        raise AnalysisError("stop frequency must not be below start frequency")
+    if spacing == "log":
+        decades = np.log10(stop / start)
+        n = max(2, int(np.ceil(decades * points_per_decade)) + 1)
+        return np.logspace(np.log10(start), np.log10(stop), n)
+    if spacing == "lin":
+        n = max(2, points_per_decade)
+        return np.linspace(start, stop, n)
+    raise AnalysisError(f"unknown spacing {spacing!r} (use 'log' or 'lin')")
+
+
+class ACAnalysis:
+    """Small-signal frequency sweep around the DC operating point."""
+
+    def __init__(self, circuit: Circuit, frequencies: Iterable[float],
+                 options: SimulationOptions | None = None) -> None:
+        self.circuit = circuit
+        self.frequencies = np.asarray(list(frequencies), dtype=float)
+        if self.frequencies.size == 0:
+            raise AnalysisError("AC analysis needs at least one frequency")
+        if np.any(self.frequencies <= 0.0):
+            raise AnalysisError("AC frequencies must be strictly positive")
+        self.options = options or SimulationOptions()
+
+    def run(self, operating_point: OperatingPoint | None = None) -> ACResult:
+        """Run the sweep; optionally reuse a precomputed operating point."""
+        system = MNASystem(self.circuit)
+        options = self.options
+        if operating_point is None:
+            operating_point = OperatingPointAnalysis(self.circuit, options).run()
+        op_values = operating_point.raw
+        if op_values.shape != (system.size,):
+            raise AnalysisError(
+                "operating point does not match this circuit (unknown count differs)")
+        # Integral states at the bias point: behavioral models read them via
+        # ``op_state`` so that e.g. a transducer biased at displacement x0
+        # keeps that displacement in its small-signal capacitance.
+        integrator_states = dict(operating_point.integrator_states)
+        labels = system.unknown_labels()
+        data: dict[str, np.ndarray] = {label: np.zeros(self.frequencies.size, dtype=complex)
+                                       for label in labels}
+        for k, frequency in enumerate(self.frequencies):
+            omega = 2.0 * np.pi * float(frequency)
+            ctx = system.assemble_ac(op_values, omega, integrator_states, options)
+            try:
+                solution = np.linalg.solve(ctx.matrix, ctx.rhs)
+            except np.linalg.LinAlgError as exc:
+                raise SingularMatrixError(
+                    f"singular small-signal matrix at f={frequency:g} Hz: {exc}") from exc
+            for i, label in enumerate(labels):
+                data[label][k] = solution[i]
+        # Rename auxiliary labels to the i(<device>) convention where possible.
+        renamed: dict[str, np.ndarray] = {}
+        for label, values in data.items():
+            if "#" in label:
+                device, aux = label.split("#", 1)
+                key = f"i({device})" if aux == "i" else f"{device}.{aux}"
+            else:
+                key = label
+            renamed[key] = values
+        return ACResult(self.frequencies, renamed)

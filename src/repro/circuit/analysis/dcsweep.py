@@ -1,0 +1,91 @@
+"""DC sweep analysis: repeated operating points over a swept source value.
+
+Used by the examples and the pull-in study: the electrostatic transducer's
+displacement-versus-voltage curve is a DC sweep of the drive source.  The
+sweep reuses each converged solution as the initial guess of the next point
+(continuation), which lets it follow strongly nonlinear characteristics up to
+the pull-in fold without source stepping at every point.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ...errors import AnalysisError, ConvergenceError, SingularMatrixError
+from ..devices.sources import CurrentSource, VoltageSource
+from ..mna import MNASystem
+from ..netlist import Circuit
+from ..waveforms import DC
+from .op import collect_outputs, newton_solve
+from .options import SimulationOptions
+from .results import DCSweepResult
+
+__all__ = ["DCSweepAnalysis"]
+
+
+class DCSweepAnalysis:
+    """Sweep the DC value of an independent source and record all outputs.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist to analyse.
+    source_name:
+        Name of the independent voltage or current source to sweep.
+    values:
+        Iterable of source values (need not be uniform or monotonic).
+    options:
+        Numerical options shared with the other analyses.
+    continue_on_failure:
+        When True, points that fail to converge are skipped (recorded as NaN)
+        instead of aborting the sweep -- useful to map out pull-in folds where
+        no stable solution exists beyond the fold point.
+    """
+
+    def __init__(self, circuit: Circuit, source_name: str, values: Iterable[float],
+                 options: SimulationOptions | None = None,
+                 continue_on_failure: bool = False) -> None:
+        self.circuit = circuit
+        self.source_name = source_name
+        self.values = np.asarray(list(values), dtype=float)
+        if self.values.size == 0:
+            raise AnalysisError("DC sweep needs at least one value")
+        self.options = options or SimulationOptions()
+        self.continue_on_failure = continue_on_failure
+        device = circuit[source_name]
+        if not isinstance(device, (VoltageSource, CurrentSource)):
+            raise AnalysisError(
+                f"{source_name!r} is not an independent source; cannot sweep it")
+        self._source = device
+
+    def run(self) -> DCSweepResult:
+        """Execute the sweep and return per-signal arrays over the sweep values."""
+        system = MNASystem(self.circuit)
+        options = self.options
+        original_waveform = self._source.waveform
+        x = np.zeros(system.size)
+        rows: list[dict[str, float]] = []
+        try:
+            for value in self.values:
+                self._source.waveform = DC(float(value))
+                try:
+                    x, _ = newton_solve(system, x, "dc", 0.0, None, options, 1.0)
+                    ctx = system.assemble(x, "dc", 0.0, None, options, 1.0)
+                    rows.append(collect_outputs(system, ctx))
+                except (ConvergenceError, SingularMatrixError):
+                    if not self.continue_on_failure:
+                        raise
+                    rows.append({})
+                    x = np.zeros(system.size)
+        finally:
+            self._source.waveform = original_waveform
+        keys: set[str] = set()
+        for row in rows:
+            keys.update(row)
+        data = {
+            key: np.array([row.get(key, np.nan) for row in rows], dtype=float)
+            for key in sorted(keys)
+        }
+        return DCSweepResult(self.source_name, self.values, data)

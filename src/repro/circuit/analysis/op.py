@@ -1,0 +1,133 @@
+"""Operating-point (DC bias) analysis and the shared Newton solver.
+
+``newton_solve`` is the single Newton-Raphson implementation used by the
+operating-point, DC-sweep and transient analyses.  Convergence requires every
+unknown's update to fall below ``tol_i = (vntol | abstol) + reltol * |x_i|``
+-- the SPICE criterion -- with across-type unknowns (node voltages and
+velocities) using ``vntol`` and auxiliary through-type unknowns using
+``abstol``.
+
+When plain Newton from a zero initial guess fails (strongly nonlinear bias
+points such as an electrostatic transducer biased close to pull-in), the
+operating-point analysis falls back to **source stepping**: all independent
+sources are ramped from zero to their nominal values over a geometric
+sequence of levels, each level starting from the previous solution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ConvergenceError, SingularMatrixError
+from ..mna import Integrator, MNASystem, StampContext
+from ..netlist import Circuit
+from .options import SimulationOptions
+from .results import OperatingPoint
+
+__all__ = ["newton_solve", "collect_outputs", "OperatingPointAnalysis"]
+
+
+def newton_solve(system: MNASystem, x0: np.ndarray, analysis: str, time: float,
+                 integrator: Integrator | None, options: SimulationOptions,
+                 source_scale: float = 1.0) -> tuple[np.ndarray, int]:
+    """Solve ``F(x) = 0`` by damped Newton-Raphson starting from ``x0``.
+
+    Returns the converged solution and the number of iterations used.
+    Raises :class:`~repro.errors.ConvergenceError` when the iteration cap is
+    reached and :class:`~repro.errors.SingularMatrixError` when the Jacobian
+    cannot be factorised.
+    """
+    x = np.array(x0, dtype=float, copy=True)
+    n_nodes = system.num_nodes
+    for iteration in range(1, options.max_newton_iterations + 1):
+        ctx = system.assemble(x, analysis, time, integrator, options, source_scale)
+        if not np.all(np.isfinite(ctx.res)) or not np.all(np.isfinite(ctx.jac)):
+            raise ConvergenceError(
+                f"non-finite residual/Jacobian at iteration {iteration} (t={time:g})",
+                iterations=iteration)
+        try:
+            dx = np.linalg.solve(ctx.jac, -ctx.res)
+        except np.linalg.LinAlgError as exc:
+            raise SingularMatrixError(
+                f"singular MNA matrix while solving {analysis} at t={time:g}: {exc}"
+            ) from exc
+        if not np.all(np.isfinite(dx)):
+            raise ConvergenceError(
+                f"non-finite Newton update at iteration {iteration} (t={time:g})",
+                iterations=iteration)
+        x_new = x + options.newton_damping * dx
+        tol = np.where(
+            np.arange(system.size) < n_nodes,
+            options.vntol + options.reltol * np.maximum(np.abs(x), np.abs(x_new)),
+            options.abstol + options.reltol * np.maximum(np.abs(x), np.abs(x_new)),
+        )
+        converged = bool(np.all(np.abs(options.newton_damping * dx) <= tol))
+        x = x_new
+        if converged and iteration >= 1:
+            return x, iteration
+    raise ConvergenceError(
+        f"Newton failed to converge in {options.max_newton_iterations} iterations "
+        f"({analysis}, t={time:g})",
+        iterations=options.max_newton_iterations,
+        residual=float(np.max(np.abs(ctx.res))))
+
+
+def collect_outputs(system: MNASystem, ctx: StampContext) -> dict[str, float]:
+    """Gather node across values and device-recorded outputs at a solution."""
+    data: dict[str, float] = {}
+    for node in system.nodes:
+        data[f"v({node.name})"] = float(ctx.x[system.index_of(node)])
+    for device in system.circuit:
+        for key, value in device.record(ctx).items():
+            data[key] = float(value)
+    return data
+
+
+class OperatingPointAnalysis:
+    """Compute the DC operating point of a circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist to solve.
+    options:
+        Numerical options; a default set is used when omitted.
+    """
+
+    def __init__(self, circuit: Circuit, options: SimulationOptions | None = None) -> None:
+        self.circuit = circuit
+        self.options = options or SimulationOptions()
+        self.system = MNASystem(circuit)
+
+    def run(self, initial_guess: np.ndarray | None = None) -> OperatingPoint:
+        """Solve the operating point, falling back to source stepping if needed."""
+        options = self.options
+        x0 = np.zeros(self.system.size) if initial_guess is None else \
+            np.array(initial_guess, dtype=float, copy=True)
+        try:
+            solution, iterations = newton_solve(
+                self.system, x0, "op", 0.0, None, options, source_scale=1.0)
+        except (ConvergenceError, SingularMatrixError):
+            solution, iterations = self._source_stepping(x0)
+        ctx = self.system.assemble(solution, "op", 0.0, None, options, 1.0)
+        data = collect_outputs(self.system, ctx)
+        return OperatingPoint(data, solution, self.system.unknown_labels(), iterations)
+
+    def _source_stepping(self, x0: np.ndarray) -> tuple[np.ndarray, int]:
+        """Homotopy on the independent-source amplitudes (0 -> 1)."""
+        options = self.options
+        levels = np.linspace(0.0, 1.0, min(options.max_source_steps, 32) + 1)[1:]
+        x = np.array(x0, dtype=float, copy=True)
+        total_iterations = 0
+        last_error: Exception | None = None
+        for scale in levels:
+            try:
+                x, iterations = newton_solve(
+                    self.system, x, "op", 0.0, None, options, source_scale=float(scale))
+                total_iterations += iterations
+            except (ConvergenceError, SingularMatrixError) as exc:
+                last_error = exc
+                raise ConvergenceError(
+                    f"operating point failed even with source stepping at scale "
+                    f"{scale:.3f}: {exc}") from exc
+        return x, max(total_iterations, 1)

@@ -1,0 +1,81 @@
+"""Simulation options shared by all analyses.
+
+The knobs deliberately mirror the classic SPICE option names (RELTOL, ABSTOL,
+VNTOL, GMIN, ITL1/ITL4, TRTOL) so that option decks from the literature map
+one-to-one.  The defaults are tuned for the microsystem netlists of the
+paper: across variables span volts down to nanometre-per-second velocities,
+hence the fairly tight ``vntol``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ... import constants
+from ...errors import AnalysisError
+
+__all__ = ["SimulationOptions"]
+
+
+@dataclass
+class SimulationOptions:
+    """Numerical settings for the MNA analyses.
+
+    Attributes
+    ----------
+    reltol:
+        Relative convergence tolerance on unknown updates.
+    abstol:
+        Absolute tolerance on through-type unknowns (currents, forces).
+    vntol:
+        Absolute tolerance on across-type unknowns (voltages, velocities).
+    gmin:
+        Conductance tied from every node to ground for conditioning.
+    max_newton_iterations:
+        Iteration cap of a single Newton solve (SPICE ITL1/ITL4).
+    max_source_steps:
+        Number of homotopy levels used when plain Newton fails on the OP.
+    integration_method:
+        ``"trapezoidal"`` (default) or ``"backward_euler"``.
+    trtol:
+        Truncation-error over-estimation factor in the step controller.
+    min_step_ratio:
+        Smallest allowed step as a fraction of the requested print step.
+    max_step_growth:
+        Largest factor by which two consecutive steps may differ.
+    newton_damping:
+        Damping factor applied to Newton updates (1.0 = full steps).
+    """
+
+    reltol: float = constants.RELTOL
+    abstol: float = constants.ABSTOL
+    vntol: float = constants.VNTOL
+    gmin: float = constants.GMIN
+    max_newton_iterations: int = constants.MAX_NEWTON_ITERATIONS
+    max_source_steps: int = constants.MAX_SOURCE_STEPS
+    integration_method: str = "trapezoidal"
+    trtol: float = 7.0
+    min_step_ratio: float = 1e-9
+    max_step_growth: float = 2.0
+    newton_damping: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.reltol <= 0.0 or self.reltol >= 1.0:
+            raise AnalysisError("reltol must be in (0, 1)")
+        if self.abstol <= 0.0 or self.vntol <= 0.0:
+            raise AnalysisError("abstol and vntol must be positive")
+        if self.gmin < 0.0:
+            raise AnalysisError("gmin must be non-negative")
+        if self.max_newton_iterations < 2:
+            raise AnalysisError("max_newton_iterations must be at least 2")
+        if self.integration_method not in ("trapezoidal", "backward_euler"):
+            raise AnalysisError(
+                f"unknown integration method {self.integration_method!r}")
+        if not (0.0 < self.newton_damping <= 1.0):
+            raise AnalysisError("newton_damping must be in (0, 1]")
+        if self.max_step_growth < 1.1:
+            raise AnalysisError("max_step_growth must be at least 1.1")
+
+    def with_(self, **changes) -> "SimulationOptions":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)

@@ -1,0 +1,230 @@
+"""Transient analysis: adaptive time stepping with per-step Newton solves.
+
+The integration follows standard SPICE practice:
+
+1. the DC operating point provides the initial condition (unless
+   ``use_ic=True`` requests a cold start from zero),
+2. the integrator (:class:`~repro.circuit.mna.Integrator`) is *primed* with
+   that solution so every dynamic state has a consistent history at ``t0``,
+3. time steps are taken with the trapezoidal rule (or backward Euler), each
+   step solved by the shared Newton routine,
+4. steps are rejected and halved when Newton fails or when the local
+   truncation error -- estimated from the deviation of the converged solution
+   from the polynomial predictor -- exceeds ``trtol`` times the tolerance,
+5. waveform breakpoints (pulse edges, PWL corners) are never stepped over.
+
+The recorded signals are the across value of every node plus everything the
+devices' ``record`` methods expose (branch currents, forces, displacements,
+transducer internal states), which is how the displacement traces of the
+paper's figure 5 come out of the solver directly.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Iterable
+
+import numpy as np
+
+from ...errors import AnalysisError, ConvergenceError, SingularMatrixError
+from ..mna import Integrator, MNASystem
+from ..netlist import Circuit
+from .op import OperatingPointAnalysis, collect_outputs, newton_solve
+from .options import SimulationOptions
+from .results import OperatingPoint, TransientResult
+
+__all__ = ["TransientAnalysis"]
+
+#: Hard cap on accepted time points, to bound runaway analyses.
+_MAX_POINTS = 2_000_000
+
+
+class TransientAnalysis:
+    """Time-domain simulation of a circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist to simulate.
+    t_stop:
+        Final time [s].
+    t_step:
+        Suggested (and maximum, unless ``max_step`` is given) time step; also
+        the initial step.  Defaults to ``t_stop / 200``.
+    t_start:
+        Start time (default 0); the result contains a point at ``t_start``.
+    max_step:
+        Optional hard cap on the step size (defaults to ``t_step``).
+    use_ic:
+        When True the operating-point solve is skipped and integration starts
+        from a zero solution vector (SPICE ``UIC``).
+    options:
+        Shared numerical options.
+    """
+
+    def __init__(self, circuit: Circuit, t_stop: float, t_step: float | None = None,
+                 t_start: float = 0.0, max_step: float | None = None,
+                 use_ic: bool = False, options: SimulationOptions | None = None) -> None:
+        if t_stop <= t_start:
+            raise AnalysisError("t_stop must be greater than t_start")
+        self.circuit = circuit
+        self.t_start = float(t_start)
+        self.t_stop = float(t_stop)
+        self.t_step = float(t_step) if t_step is not None else (t_stop - t_start) / 200.0
+        if self.t_step <= 0.0:
+            raise AnalysisError("t_step must be positive")
+        self.max_step = float(max_step) if max_step is not None else self.t_step
+        if self.max_step <= 0.0:
+            raise AnalysisError("max_step must be positive")
+        self.use_ic = bool(use_ic)
+        self.options = options or SimulationOptions()
+
+    # ------------------------------------------------------------------ helpers
+    def _breakpoints(self) -> list[float]:
+        points: set[float] = set()
+        for device in self.circuit:
+            waveform = getattr(device, "waveform", None)
+            if waveform is None:
+                continue
+            for t in waveform.breakpoints():
+                if self.t_start < t < self.t_stop:
+                    points.add(float(t))
+        return sorted(points)
+
+    def _tolerances(self, system: MNASystem, x: np.ndarray) -> np.ndarray:
+        options = self.options
+        base = np.where(np.arange(system.size) < system.num_nodes,
+                        options.vntol, options.abstol)
+        return base + options.reltol * np.abs(x)
+
+    # ------------------------------------------------------------------ main run
+    def run(self, operating_point: OperatingPoint | None = None) -> TransientResult:
+        """Integrate the circuit from ``t_start`` to ``t_stop``."""
+        wall_start = _time.perf_counter()
+        system = MNASystem(self.circuit)
+        options = self.options
+        integrator = Integrator(
+            Integrator.TRAPEZOIDAL if options.integration_method == "trapezoidal"
+            else Integrator.BACKWARD_EULER)
+
+        if self.use_ic:
+            x = np.zeros(system.size)
+        else:
+            if operating_point is None:
+                operating_point = OperatingPointAnalysis(self.circuit, options).run()
+            if operating_point.raw.shape != (system.size,):
+                raise AnalysisError("operating point does not match this circuit")
+            x = np.array(operating_point.raw, dtype=float, copy=True)
+
+        # Prime the integrator: register the t0 value of every dynamic state.
+        integrator.priming = True
+        integrator.set_step(self.t_step)
+        ctx0 = system.assemble(x, "tran", self.t_start, integrator, options, 1.0)
+        first_row = collect_outputs(system, ctx0)
+        integrator.commit()
+        integrator.priming = False
+
+        times: list[float] = [self.t_start]
+        rows: list[dict[str, float]] = [first_row]
+        history_x: list[np.ndarray] = [x.copy()]
+        history_t: list[float] = [self.t_start]
+
+        breakpoints = self._breakpoints()
+        bp_index = 0
+        stats = {"accepted": 0, "rejected": 0, "newton_iterations": 0}
+        t = self.t_start
+        h = min(self.t_step, self.max_step)
+        min_step = max(self.t_step * options.min_step_ratio, 1e-18)
+
+        while t < self.t_stop - 1e-15:
+            if self.t_stop - t <= max(min_step, 1e-12 * self.t_stop):
+                break
+            while bp_index < len(breakpoints) and breakpoints[bp_index] <= t + 1e-15:
+                bp_index += 1
+            h = min(h, self.max_step, self.t_stop - t)
+            if bp_index < len(breakpoints):
+                distance = breakpoints[bp_index] - t
+                if distance > 1e-15:
+                    h = min(h, distance)
+            if h < min_step:
+                raise ConvergenceError(
+                    f"transient step underflow at t={t:g} (step {h:g} < {min_step:g})")
+
+            t_new = t + h
+            integrator.set_step(h)
+            # Predictor: linear extrapolation of the last two accepted points.
+            if len(history_x) >= 2 and history_t[-1] > history_t[-2]:
+                slope = (history_x[-1] - history_x[-2]) / (history_t[-1] - history_t[-2])
+                x_guess = history_x[-1] + slope * h
+            else:
+                slope = None
+                x_guess = history_x[-1].copy()
+
+            try:
+                x_new, iterations = newton_solve(
+                    system, x_guess, "tran", t_new, integrator, options, 1.0)
+            except (ConvergenceError, SingularMatrixError):
+                integrator.discard()
+                stats["rejected"] += 1
+                h *= 0.25
+                continue
+
+            stats["newton_iterations"] += iterations
+            # Local truncation error estimate: converged solution versus the
+            # polynomial predictor, scaled by the mixed tolerance.  Only the
+            # node across variables are controlled -- auxiliary branch
+            # currents are algebraic quantities whose derivative jumps at
+            # waveform corners and would otherwise force needless step cuts.
+            if slope is not None:
+                n_nodes = system.num_nodes
+                tol = self._tolerances(system, x_new)[:n_nodes]
+                if n_nodes > 0:
+                    error = np.abs(x_new[:n_nodes] - x_guess[:n_nodes])
+                    error_ratio = float(np.max(error / (options.trtol * tol)))
+                else:
+                    error_ratio = 0.0
+            else:
+                error_ratio = 0.0
+            if error_ratio > 1.0 and h > 4.0 * min_step:
+                integrator.discard()
+                stats["rejected"] += 1
+                h = max(h * max(0.2, 0.9 / error_ratio ** 0.5), min_step)
+                continue
+
+            # Accept the step: refresh pending states at the converged point,
+            # record outputs and commit the integrator history.
+            ctx = system.assemble(x_new, "tran", t_new, integrator, options, 1.0)
+            rows.append(collect_outputs(system, ctx))
+            integrator.commit()
+            times.append(t_new)
+            history_x.append(x_new.copy())
+            history_t.append(t_new)
+            if len(history_x) > 3:
+                history_x.pop(0)
+                history_t.pop(0)
+            # A waveform corner invalidates the polynomial predictor history:
+            # restart the extrapolation from the breakpoint itself.
+            if bp_index < len(breakpoints) and abs(breakpoints[bp_index] - t_new) <= 1e-15:
+                history_x = [x_new.copy()]
+                history_t = [t_new]
+            stats["accepted"] += 1
+            t = t_new
+            x = x_new
+
+            if error_ratio < 0.1:
+                h = min(h * options.max_step_growth, self.max_step)
+            elif error_ratio > 0.5:
+                h = max(h * 0.8, min_step)
+            if len(times) > _MAX_POINTS:
+                raise AnalysisError(
+                    f"transient produced more than {_MAX_POINTS} points; "
+                    "increase t_step or loosen tolerances")
+
+        keys: set[str] = set()
+        for row in rows:
+            keys.update(row)
+        data = {key: np.array([row.get(key, np.nan) for row in rows], dtype=float)
+                for key in sorted(keys)}
+        stats["wall_time_s"] = _time.perf_counter() - wall_start
+        stats["points"] = len(times)
+        return TransientResult(np.asarray(times), data, statistics=stats)

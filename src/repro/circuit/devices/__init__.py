@@ -1,0 +1,42 @@
+"""Device library for the MNA circuit solver.
+
+The primitives cover what the paper's netlists need: linear passives and
+sources for the equivalent-circuit models, controlled sources for the
+linearized transducer (transduction factor Gamma), mechanical one-ports in
+the force-current analogy for the resonator of figure 3, and the behavioral
+device engine that HDL-A models and the energy-method transducers elaborate
+into.
+"""
+
+from .base import Device, TwoTerminalDevice
+from .passive import Resistor, Capacitor, Inductor
+from .sources import VoltageSource, CurrentSource
+from .controlled import VCCS, VCVS, CCCS, CCVS
+from .nonlinear import Diode
+from .mechanical import Mass, Spring, Damper, ForceSource, VelocitySource
+from .switches import VoltageControlledSwitch
+from .behavioral import BehavioralDevice, BehaviorContext, Port
+
+__all__ = [
+    "Device",
+    "TwoTerminalDevice",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+    "VCCS",
+    "VCVS",
+    "CCCS",
+    "CCVS",
+    "Diode",
+    "Mass",
+    "Spring",
+    "Damper",
+    "ForceSource",
+    "VelocitySource",
+    "VoltageControlledSwitch",
+    "BehavioralDevice",
+    "BehaviorContext",
+    "Port",
+]

@@ -1,0 +1,447 @@
+"""Modified nodal analysis (MNA) assembly and integration state.
+
+The solver formulation is residual based: the unknown vector ``x`` holds the
+across variables of every non-ground node followed by the auxiliary branch
+unknowns requested by devices (voltage-source and inductor currents, HDL
+equation-block unknowns, ...).  For a candidate ``x`` every device *stamps*
+its contribution to
+
+* ``res`` -- the KCL/branch residual vector ``F(x)``, and
+* ``jac`` -- the Jacobian ``dF/dx``,
+
+and the Newton iteration of :mod:`repro.circuit.analysis.op` solves
+``jac @ dx = -res``.  Linear devices produce an ``x``-independent Jacobian, so
+the same machinery covers linear and behavioral/nonlinear netlists without a
+separate linear path.
+
+Sign conventions
+----------------
+Through variables are positive when flowing from a device's ``p`` pin through
+the device to its ``n`` pin; a device therefore adds its through value to the
+residual row of ``p`` and subtracts it from the row of ``n``.  This matches
+the paper's figure-1 convention that flow entering a port increases the
+transducer energy.
+
+Time integration
+----------------
+:class:`Integrator` implements backward-Euler and trapezoidal discretizations
+of ``d/dt`` and of running integrals, with per-key state histories.  Devices
+never see the method directly -- they call :meth:`StampContext.ddt` /
+:meth:`StampContext.integ` which dispatch on the analysis mode (zero
+derivative at DC, ``j*omega`` in AC handled by the separate AC context).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable, Iterable
+
+import numpy as np
+
+from ..errors import AnalysisError, NetlistError
+from .netlist import Circuit, Node
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .analysis.options import SimulationOptions
+    from .devices.base import Device
+
+__all__ = ["MNASystem", "Integrator", "StampContext", "ACStampContext"]
+
+
+class Integrator:
+    """Discretized time-derivative / integral bookkeeping for one transient run.
+
+    Each dynamic quantity is identified by a hashable key (devices use
+    ``(device_name, local_name)``).  The integrator keeps the committed value
+    and derivative of the previous accepted time point and produces the
+    discretized derivative/integral of the current iterate.
+    """
+
+    BACKWARD_EULER = "backward_euler"
+    TRAPEZOIDAL = "trapezoidal"
+
+    def __init__(self, method: str = TRAPEZOIDAL) -> None:
+        if method not in (self.BACKWARD_EULER, self.TRAPEZOIDAL):
+            raise AnalysisError(f"unknown integration method {method!r}")
+        self.method = method
+        self.h = 0.0
+        #: While True the integrator is being primed with the DC solution:
+        #: derivatives evaluate to zero and integrals stay at their initial
+        #: values, but the pending states are still registered so that the
+        #: first real step has a consistent history.
+        self.priming = False
+        self._values: dict[Hashable, float] = {}
+        self._derivs: dict[Hashable, float] = {}
+        self._integrals: dict[Hashable, float] = {}
+        self._pending_values: dict[Hashable, float] = {}
+        self._pending_derivs: dict[Hashable, float] = {}
+        self._pending_integrals: dict[Hashable, float] = {}
+
+    # ------------------------------------------------------------------ setup
+    def set_step(self, h: float) -> None:
+        """Set the current timestep (must be positive)."""
+        if h <= 0.0:
+            raise AnalysisError(f"timestep must be positive, got {h}")
+        self.h = h
+
+    def set_initial(self, key: Hashable, value: float, derivative: float = 0.0) -> None:
+        """Initialise the committed history of a differentiated quantity."""
+        self._values[key] = float(value)
+        self._derivs[key] = float(derivative)
+
+    def set_initial_integral(self, key: Hashable, value: float) -> None:
+        """Initialise the committed value of an integrated quantity."""
+        self._integrals[key] = float(value)
+
+    def previous_value(self, key: Hashable, default: float = 0.0) -> float:
+        """Committed value of a differentiated quantity at the last time point."""
+        return self._values.get(key, default)
+
+    def previous_integral(self, key: Hashable, default: float = 0.0) -> float:
+        """Committed value of an integrated quantity at the last time point."""
+        return self._integrals.get(key, default)
+
+    # -------------------------------------------------------------- operators
+    def coefficient(self) -> float:
+        """Leading coefficient ``c0`` so that ``d/dt x ~= c0*x_new + history``."""
+        if self.priming:
+            return 0.0
+        if self.h <= 0.0:
+            raise AnalysisError("integrator step has not been set")
+        if self.method == self.BACKWARD_EULER:
+            return 1.0 / self.h
+        return 2.0 / self.h
+
+    def integral_coefficient(self) -> float:
+        """Coefficient ``dI/dx_new`` of the discretized running integral."""
+        if self.priming:
+            return 0.0
+        if self.h <= 0.0:
+            raise AnalysisError("integrator step has not been set")
+        if self.method == self.BACKWARD_EULER:
+            return self.h
+        return 0.5 * self.h
+
+    def differentiate(self, key: Hashable, value):
+        """Discretized time derivative of ``value`` identified by ``key``.
+
+        ``value`` may be a float or an AD dual; the arithmetic propagates the
+        derivative part automatically.  The plain value is remembered as the
+        *pending* state so that :meth:`commit` can promote it once the step is
+        accepted.
+        """
+        if self.priming:
+            derivative = 0.0 * value
+            self._pending_values[key] = _plain(value)
+            self._pending_derivs[key] = 0.0
+            return derivative
+        c0 = self.coefficient()
+        old_value = self._values.get(key, _plain(value))
+        old_deriv = self._derivs.get(key, 0.0)
+        if self.method == self.BACKWARD_EULER:
+            derivative = (value - old_value) * c0
+        else:
+            derivative = (value - old_value) * c0 - old_deriv
+        self._pending_values[key] = _plain(value)
+        self._pending_derivs[key] = _plain(derivative)
+        return derivative
+
+    def integrate(self, key: Hashable, value, initial: float = 0.0):
+        """Discretized running integral of ``value`` identified by ``key``."""
+        old_integral = self._integrals.get(key, float(initial))
+        if self.priming:
+            integral = 0.0 * value + old_integral
+            self._pending_values[("integ", key)] = _plain(value)
+            self._pending_integrals[key] = old_integral
+            return integral
+        old_value = self._values.get(("integ", key), _plain(value))
+        if self.method == self.BACKWARD_EULER:
+            integral = old_integral + self.h * value
+        else:
+            integral = old_integral + 0.5 * self.h * (value + old_value)
+        self._pending_values[("integ", key)] = _plain(value)
+        self._pending_integrals[key] = _plain(integral)
+        return integral
+
+    def commit(self) -> None:
+        """Promote the pending states after a time step has been accepted."""
+        self._values.update(self._pending_values)
+        self._derivs.update(self._pending_derivs)
+        self._integrals.update(self._pending_integrals)
+        self._pending_values = {}
+        self._pending_derivs = {}
+        self._pending_integrals = {}
+
+    def discard(self) -> None:
+        """Drop pending states after a rejected step."""
+        self._pending_values = {}
+        self._pending_derivs = {}
+        self._pending_integrals = {}
+
+    def state_snapshot(self) -> dict[Hashable, float]:
+        """Committed integral states (used to seed AC/record contexts)."""
+        return dict(self._integrals)
+
+
+def _plain(value) -> float:
+    """Value part of a float or dual."""
+    return float(getattr(value, "value", value))
+
+
+class MNASystem:
+    """Unknown numbering and assembly driver for one circuit.
+
+    The unknown vector layout is ``[across(node_0) ... across(node_{N-1}),
+    aux_0 ... aux_{M-1}]`` where the auxiliary unknowns are allocated in
+    device insertion order using each device's :meth:`aux_names`.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        circuit.validate()
+        self.circuit = circuit
+        self.nodes: list[Node] = circuit.nodes
+        self._node_index: dict[str, int] = {node.name: i for i, node in enumerate(self.nodes)}
+        self._aux_index: dict[tuple[str, str], int] = {}
+        offset = len(self.nodes)
+        for device in circuit:
+            for aux_name in device.aux_names():
+                key = (device.name, aux_name)
+                if key in self._aux_index:
+                    raise NetlistError(
+                        f"device {device.name!r} declares auxiliary unknown "
+                        f"{aux_name!r} twice")
+                self._aux_index[key] = offset
+                offset += 1
+        self.size = offset
+        self.num_nodes = len(self.nodes)
+        self.num_aux = offset - len(self.nodes)
+
+    # ------------------------------------------------------------------ lookups
+    def index_of(self, node: Node) -> int:
+        """Index of a node's across unknown; -1 for the ground reference."""
+        if node.is_ground:
+            return -1
+        try:
+            return self._node_index[node.name]
+        except KeyError:
+            raise NetlistError(f"node {node.name!r} is not part of this system") from None
+
+    def aux_index(self, device: "Device | str", aux_name: str) -> int:
+        """Index of a device's auxiliary unknown."""
+        name = device if isinstance(device, str) else device.name
+        try:
+            return self._aux_index[(name, aux_name)]
+        except KeyError:
+            raise NetlistError(
+                f"device {name!r} has no auxiliary unknown {aux_name!r}") from None
+
+    def unknown_labels(self) -> list[str]:
+        """Human-readable labels of the unknowns, in vector order."""
+        labels = [f"v({node.name})" for node in self.nodes]
+        aux = sorted(self._aux_index.items(), key=lambda item: item[1])
+        labels.extend(f"{device}#{name}" for (device, name), _ in aux)
+        return labels
+
+    # ------------------------------------------------------------------ assembly
+    def assemble(self, x: np.ndarray, analysis: str, time: float,
+                 integrator: Integrator | None, options: "SimulationOptions",
+                 source_scale: float = 1.0) -> "StampContext":
+        """Build the residual and Jacobian at the iterate ``x``."""
+        ctx = StampContext(self, x, analysis=analysis, time=time,
+                           integrator=integrator, options=options,
+                           source_scale=source_scale)
+        for device in self.circuit:
+            device.stamp(ctx)
+        ctx.apply_gmin(options.gmin)
+        return ctx
+
+    def assemble_ac(self, op_values: np.ndarray, omega: float,
+                    integrator_states: dict | None,
+                    options: "SimulationOptions") -> "ACStampContext":
+        """Build the complex small-signal system at angular frequency ``omega``."""
+        ctx = ACStampContext(self, op_values, omega=omega,
+                             integrator_states=integrator_states or {}, options=options)
+        for device in self.circuit:
+            device.stamp_ac(ctx)
+        ctx.apply_gmin(options.gmin)
+        return ctx
+
+
+class StampContext:
+    """Mutable assembly workspace handed to every device's :meth:`stamp`."""
+
+    def __init__(self, system: MNASystem, x: np.ndarray, analysis: str, time: float,
+                 integrator: Integrator | None, options: "SimulationOptions",
+                 source_scale: float = 1.0) -> None:
+        self.system = system
+        self.x = np.asarray(x, dtype=float)
+        if self.x.shape != (system.size,):
+            raise AnalysisError(
+                f"solution vector has shape {self.x.shape}, expected ({system.size},)")
+        self.analysis = analysis
+        self.time = time
+        self.integrator = integrator
+        self.options = options
+        self.source_scale = source_scale
+        n = system.size
+        self.jac = np.zeros((n, n))
+        self.res = np.zeros(n)
+
+    # ------------------------------------------------------------------ access
+    def node_index(self, node: Node) -> int:
+        """Unknown index of ``node`` (-1 for ground)."""
+        return self.system.index_of(node)
+
+    def aux_index(self, device: "Device | str", name: str) -> int:
+        """Unknown index of a device auxiliary variable."""
+        return self.system.aux_index(device, name)
+
+    def across(self, node: Node) -> float:
+        """Across value (voltage / velocity) of ``node`` at the current iterate."""
+        idx = self.system.index_of(node)
+        return 0.0 if idx < 0 else float(self.x[idx])
+
+    def across_pair(self, p: Node, n: Node) -> float:
+        """Across difference ``across(p) - across(n)``."""
+        return self.across(p) - self.across(n)
+
+    def aux_value(self, device: "Device | str", name: str) -> float:
+        """Value of a device auxiliary unknown at the current iterate."""
+        return float(self.x[self.system.aux_index(device, name)])
+
+    def unknown_value(self, index: int) -> float:
+        """Raw unknown value by vector index (-1 yields 0)."""
+        return 0.0 if index < 0 else float(self.x[index])
+
+    # --------------------------------------------------------------- stamping
+    def add_jac(self, row: int, col: int, value: float) -> None:
+        """Accumulate ``d res[row] / d x[col]``; ground rows/cols are ignored."""
+        if row < 0 or col < 0:
+            return
+        self.jac[row, col] += value
+
+    def add_res(self, row: int, value: float) -> None:
+        """Accumulate into the residual row; the ground row is ignored."""
+        if row < 0:
+            return
+        self.res[row] += value
+
+    def add_through(self, p_index: int, n_index: int, value: float) -> None:
+        """Add a through value flowing from index ``p`` to index ``n``."""
+        self.add_res(p_index, value)
+        self.add_res(n_index, -value)
+
+    def add_through_jac(self, p_index: int, n_index: int, col: int, dvalue: float) -> None:
+        """Jacobian counterpart of :meth:`add_through`."""
+        self.add_jac(p_index, col, dvalue)
+        self.add_jac(n_index, col, -dvalue)
+
+    def apply_gmin(self, gmin: float) -> None:
+        """Tie every node to ground with ``gmin`` to avoid singular matrices."""
+        if gmin <= 0.0:
+            return
+        for i in range(self.system.num_nodes):
+            self.jac[i, i] += gmin
+            self.res[i] += gmin * self.x[i]
+
+    # ------------------------------------------------------------ time dynamics
+    @property
+    def is_dc(self) -> bool:
+        """True for operating-point and DC-sweep assemblies."""
+        return self.analysis in ("op", "dc")
+
+    @property
+    def is_transient(self) -> bool:
+        """True during transient time stepping."""
+        return self.analysis == "tran"
+
+    def ddt_coefficient(self) -> float:
+        """``d(ddt(x))/dx`` of the active discretization (0 at DC)."""
+        if self.is_dc or self.integrator is None:
+            return 0.0
+        return self.integrator.coefficient()
+
+    def integ_coefficient(self) -> float:
+        """``d(integ(x))/dx`` of the active discretization (0 at DC)."""
+        if self.is_dc or self.integrator is None:
+            return 0.0
+        return self.integrator.integral_coefficient()
+
+    def ddt(self, key: Hashable, value):
+        """Discretized time derivative of ``value`` (0 at DC)."""
+        if self.is_dc or self.integrator is None:
+            return 0.0 * value
+        return self.integrator.differentiate(key, value)
+
+    def integ(self, key: Hashable, value, initial: float = 0.0):
+        """Running integral of ``value`` (frozen at its initial value at DC)."""
+        if self.is_dc or self.integrator is None:
+            return 0.0 * value + initial
+        return self.integrator.integrate(key, value, initial=initial)
+
+    def state_value(self, key: Hashable, default: float = 0.0) -> float:
+        """Committed integral state (used by record passes and DC)."""
+        if self.integrator is None:
+            return default
+        return self.integrator.previous_integral(key, default)
+
+
+class ACStampContext:
+    """Complex small-signal assembly workspace for AC analysis.
+
+    Devices stamp their linearized admittances into ``matrix`` and AC source
+    excitations into ``rhs``; the linearization point is the operating-point
+    solution ``op_values`` (same layout as the real unknown vector).
+    """
+
+    analysis = "ac"
+
+    def __init__(self, system: MNASystem, op_values: np.ndarray, omega: float,
+                 integrator_states: dict, options: "SimulationOptions") -> None:
+        self.system = system
+        self.op_values = np.asarray(op_values, dtype=float)
+        self.omega = float(omega)
+        self.integrator_states = integrator_states
+        self.options = options
+        n = system.size
+        self.matrix = np.zeros((n, n), dtype=complex)
+        self.rhs = np.zeros(n, dtype=complex)
+
+    def node_index(self, node: Node) -> int:
+        """Unknown index of ``node`` (-1 for ground)."""
+        return self.system.index_of(node)
+
+    def aux_index(self, device: "Device | str", name: str) -> int:
+        """Unknown index of a device auxiliary variable."""
+        return self.system.aux_index(device, name)
+
+    def op_across(self, node: Node) -> float:
+        """Operating-point across value of ``node``."""
+        idx = self.system.index_of(node)
+        return 0.0 if idx < 0 else float(self.op_values[idx])
+
+    def op_aux(self, device: "Device | str", name: str) -> float:
+        """Operating-point value of an auxiliary unknown."""
+        return float(self.op_values[self.system.aux_index(device, name)])
+
+    def op_state(self, key: Hashable, default: float = 0.0) -> float:
+        """Committed integral state at the operating point."""
+        return float(self.integrator_states.get(key, default))
+
+    def add(self, row: int, col: int, value: complex) -> None:
+        """Accumulate a complex admittance entry (ground indices ignored)."""
+        if row < 0 or col < 0:
+            return
+        self.matrix[row, col] += value
+
+    def add_rhs(self, row: int, value: complex) -> None:
+        """Accumulate an AC excitation into the right-hand side."""
+        if row < 0:
+            return
+        self.rhs[row] += value
+
+    def apply_gmin(self, gmin: float) -> None:
+        """Tie every node to ground with ``gmin`` (numerical conditioning)."""
+        if gmin <= 0.0:
+            return
+        for i in range(self.system.num_nodes):
+            self.matrix[i, i] += gmin

@@ -1,0 +1,314 @@
+"""Circuit netlist: typed nodes, device container and builder helpers.
+
+A :class:`Circuit` is the multi-domain netlist of the paper's system-level
+simulation: electrical nodes carry voltages, mechanical nodes carry
+velocities (force-current analogy) and behavioral transducer devices bridge
+the domains.  The circuit owns
+
+* the node table (each node typed by a :class:`~repro.natures.Nature`),
+* the device list (unique names, SPICE-style prefix conventions are not
+  enforced but the builder methods follow them),
+* convenience factory methods (``circuit.resistor(...)``,
+  ``circuit.mass(...)``, ``circuit.voltage_source(...)``) used throughout the
+  examples and benchmarks.
+
+Analyses operate on a circuit via :class:`repro.circuit.mna.MNASystem`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from ..errors import NetlistError
+from ..natures import ELECTRICAL, MECHANICAL_TRANSLATION, Nature, get_nature
+from ..units import parse_quantity
+from .waveforms import Waveform, ensure_waveform
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
+    from .devices.base import Device
+
+__all__ = ["Node", "Circuit", "GROUND_NAMES"]
+
+#: Node names treated as the global reference (electrical ground and the
+#: mechanical inertial frame alike).
+GROUND_NAMES = ("0", "gnd", "ground")
+
+
+class Node:
+    """A circuit node: a named across-variable of a given nature.
+
+    Nodes are created through :meth:`Circuit.node`; the ground node is shared
+    by all natures and represents both the electrical reference and the
+    mechanical inertial frame.
+    """
+
+    __slots__ = ("name", "nature", "is_ground")
+
+    def __init__(self, name: str, nature: Nature | None, is_ground: bool = False) -> None:
+        self.name = name
+        self.nature = nature
+        self.is_ground = is_ground
+
+    def __repr__(self) -> str:
+        nature = self.nature.name if self.nature is not None else "any"
+        return f"Node({self.name!r}, {nature})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Circuit:
+    """A named collection of nodes and devices forming one netlist."""
+
+    def __init__(self, title: str = "circuit") -> None:
+        self.title = title
+        self._nodes: dict[str, Node] = {}
+        self._devices: dict[str, "Device"] = {}
+        self.ground = Node("0", None, is_ground=True)
+        for alias in GROUND_NAMES:
+            self._nodes[alias] = self.ground
+
+    # ------------------------------------------------------------------ nodes
+    def node(self, name: str | Node, nature: Nature | str = ELECTRICAL) -> Node:
+        """Return the node called ``name``, creating it if necessary.
+
+        The nature of an existing node must match the requested one;
+        requesting the ground node ignores the nature (the reference is
+        shared across domains).
+        """
+        if isinstance(name, Node):
+            return name
+        if not isinstance(name, str) or not name:
+            raise NetlistError(f"node name must be a non-empty string, got {name!r}")
+        key = name.lower()
+        wanted = get_nature(nature)
+        existing = self._nodes.get(key)
+        if existing is not None:
+            if existing.is_ground:
+                return existing
+            if existing.nature is not wanted:
+                raise NetlistError(
+                    f"node {name!r} already exists with nature "
+                    f"{existing.nature.name}, requested {wanted.name}"
+                )
+            return existing
+        node = Node(name, wanted)
+        self._nodes[key] = node
+        return node
+
+    def electrical_node(self, name: str | Node) -> Node:
+        """Shorthand for an electrical node."""
+        return self.node(name, ELECTRICAL)
+
+    def mechanical_node(self, name: str | Node) -> Node:
+        """Shorthand for a translational mechanical node (velocity across)."""
+        return self.node(name, MECHANICAL_TRANSLATION)
+
+    @property
+    def nodes(self) -> list[Node]:
+        """All distinct non-ground nodes in creation order."""
+        seen: list[Node] = []
+        for node in self._nodes.values():
+            if not node.is_ground and node not in seen:
+                seen.append(node)
+        return seen
+
+    def has_node(self, name: str) -> bool:
+        """True when a node of that name exists (ground always exists)."""
+        return name.lower() in self._nodes
+
+    # ---------------------------------------------------------------- devices
+    def add(self, device: "Device") -> "Device":
+        """Add a constructed device to the netlist (unique name required)."""
+        if device.name in self._devices:
+            raise NetlistError(f"duplicate device name {device.name!r}")
+        for node in device.nodes():
+            if node is None:
+                raise NetlistError(f"device {device.name!r} has an unconnected pin")
+        self._devices[device.name] = device
+        return device
+
+    def remove(self, name: str) -> None:
+        """Remove the device called ``name`` from the netlist."""
+        if name not in self._devices:
+            raise NetlistError(f"no device named {name!r}")
+        del self._devices[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._devices
+
+    def __getitem__(self, name: str) -> "Device":
+        try:
+            return self._devices[name]
+        except KeyError:
+            raise NetlistError(f"no device named {name!r}") from None
+
+    def __iter__(self) -> Iterator["Device"]:
+        return iter(self._devices.values())
+
+    def __len__(self) -> int:
+        return len(self._devices)
+
+    @property
+    def devices(self) -> list["Device"]:
+        """Devices in insertion order."""
+        return list(self._devices.values())
+
+    # ------------------------------------------------------------ validation
+    def validate(self) -> None:
+        """Check the netlist for structural errors before analysis.
+
+        Raises :class:`~repro.errors.NetlistError` when a non-ground node has
+        fewer than two connections or a device pin nature disagrees with its
+        node nature.
+        """
+        connection_count: dict[str, int] = {}
+        for device in self:
+            for node in device.nodes():
+                if not node.is_ground:
+                    connection_count[node.name] = connection_count.get(node.name, 0) + 1
+        for node in self.nodes:
+            if connection_count.get(node.name, 0) == 0:
+                raise NetlistError(f"node {node.name!r} is not connected to any device")
+
+    # ------------------------------------------------------- builder helpers
+    # The factory methods below construct, add and return the common device
+    # types.  They accept node names (created on demand with the right
+    # nature), engineering-notation strings for values, and waveform objects
+    # for sources.  Imports are local to avoid a circular import with the
+    # devices package.
+
+    def resistor(self, name: str, p: str | Node, n: str | Node, resistance) -> "Device":
+        """Add a linear resistor between electrical nodes ``p`` and ``n``."""
+        from .devices.passive import Resistor
+
+        return self.add(Resistor(name, self.electrical_node(p), self.electrical_node(n),
+                                 parse_quantity(resistance)))
+
+    def capacitor(self, name: str, p: str | Node, n: str | Node, capacitance,
+                  ic: float | None = None) -> "Device":
+        """Add a linear capacitor (optional initial voltage ``ic``)."""
+        from .devices.passive import Capacitor
+
+        return self.add(Capacitor(name, self.electrical_node(p), self.electrical_node(n),
+                                  parse_quantity(capacitance), ic=ic))
+
+    def inductor(self, name: str, p: str | Node, n: str | Node, inductance,
+                 ic: float | None = None) -> "Device":
+        """Add a linear inductor (optional initial current ``ic``)."""
+        from .devices.passive import Inductor
+
+        return self.add(Inductor(name, self.electrical_node(p), self.electrical_node(n),
+                                 parse_quantity(inductance), ic=ic))
+
+    def voltage_source(self, name: str, p: str | Node, n: str | Node, value=0.0,
+                       ac: float = 0.0, ac_phase_deg: float = 0.0) -> "Device":
+        """Add an independent voltage source (number, string or waveform)."""
+        from .devices.sources import VoltageSource
+
+        return self.add(VoltageSource(name, self.electrical_node(p), self.electrical_node(n),
+                                      ensure_waveform(value), ac=ac, ac_phase_deg=ac_phase_deg))
+
+    def current_source(self, name: str, p: str | Node, n: str | Node, value=0.0,
+                       ac: float = 0.0, ac_phase_deg: float = 0.0) -> "Device":
+        """Add an independent current source (current flows from p to n)."""
+        from .devices.sources import CurrentSource
+
+        return self.add(CurrentSource(name, self.electrical_node(p), self.electrical_node(n),
+                                      ensure_waveform(value), ac=ac, ac_phase_deg=ac_phase_deg))
+
+    def vccs(self, name: str, p, n, cp, cn, transconductance) -> "Device":
+        """Add a voltage-controlled current source (SPICE ``G`` element)."""
+        from .devices.controlled import VCCS
+
+        return self.add(VCCS(name, self.electrical_node(p), self.electrical_node(n),
+                             self.electrical_node(cp), self.electrical_node(cn),
+                             parse_quantity(transconductance)))
+
+    def vcvs(self, name: str, p, n, cp, cn, gain) -> "Device":
+        """Add a voltage-controlled voltage source (SPICE ``E`` element)."""
+        from .devices.controlled import VCVS
+
+        return self.add(VCVS(name, self.electrical_node(p), self.electrical_node(n),
+                             self.electrical_node(cp), self.electrical_node(cn),
+                             parse_quantity(gain)))
+
+    def cccs(self, name: str, p, n, source_name: str, gain) -> "Device":
+        """Add a current-controlled current source (SPICE ``F`` element)."""
+        from .devices.controlled import CCCS
+
+        return self.add(CCCS(name, self.electrical_node(p), self.electrical_node(n),
+                             source_name, parse_quantity(gain)))
+
+    def ccvs(self, name: str, p, n, source_name: str, transresistance) -> "Device":
+        """Add a current-controlled voltage source (SPICE ``H`` element)."""
+        from .devices.controlled import CCVS
+
+        return self.add(CCVS(name, self.electrical_node(p), self.electrical_node(n),
+                             source_name, parse_quantity(transresistance)))
+
+    def diode(self, name: str, p, n, saturation_current=1e-14, emission=1.0) -> "Device":
+        """Add an exponential junction diode."""
+        from .devices.nonlinear import Diode
+
+        return self.add(Diode(name, self.electrical_node(p), self.electrical_node(n),
+                              parse_quantity(saturation_current), float(emission)))
+
+    def switch(self, name: str, p, n, cp, cn, threshold=0.0, r_on=1.0, r_off=1e9) -> "Device":
+        """Add a smooth voltage-controlled switch."""
+        from .devices.switches import VoltageControlledSwitch
+
+        return self.add(VoltageControlledSwitch(
+            name, self.electrical_node(p), self.electrical_node(n),
+            self.electrical_node(cp), self.electrical_node(cn),
+            threshold=parse_quantity(threshold),
+            r_on=parse_quantity(r_on), r_off=parse_quantity(r_off)))
+
+    # -- mechanical elements (force-current analogy) -------------------------
+    def mass(self, name: str, node: str | Node, mass) -> "Device":
+        """Add a point mass between a mechanical node and the inertial frame."""
+        from .devices.mechanical import Mass
+
+        return self.add(Mass(name, self.mechanical_node(node), self.ground,
+                             parse_quantity(mass)))
+
+    def spring(self, name: str, p: str | Node, n: str | Node, stiffness) -> "Device":
+        """Add a linear spring (stiffness ``k`` in N/m) between two nodes."""
+        from .devices.mechanical import Spring
+
+        return self.add(Spring(name, self.mechanical_node(p), self.mechanical_node(n),
+                               parse_quantity(stiffness)))
+
+    def damper(self, name: str, p: str | Node, n: str | Node, damping) -> "Device":
+        """Add a viscous damper (coefficient in N*s/m) between two nodes."""
+        from .devices.mechanical import Damper
+
+        return self.add(Damper(name, self.mechanical_node(p), self.mechanical_node(n),
+                               parse_quantity(damping)))
+
+    def force_source(self, name: str, p: str | Node, n: str | Node, value=0.0) -> "Device":
+        """Add an ideal force source acting from node ``p`` to node ``n``."""
+        from .devices.mechanical import ForceSource
+
+        return self.add(ForceSource(name, self.mechanical_node(p), self.mechanical_node(n),
+                                    ensure_waveform(value)))
+
+    def velocity_source(self, name: str, p: str | Node, n: str | Node, value=0.0) -> "Device":
+        """Add an ideal velocity source between two mechanical nodes."""
+        from .devices.mechanical import VelocitySource
+
+        return self.add(VelocitySource(name, self.mechanical_node(p), self.mechanical_node(n),
+                                       ensure_waveform(value)))
+
+    def behavioral(self, device: "Device") -> "Device":
+        """Add an already-constructed behavioral device (transducer, HDL model)."""
+        return self.add(device)
+
+    # ------------------------------------------------------------------ misc
+    def summary(self) -> str:
+        """Human-readable netlist summary used by examples and reports."""
+        lines = [f"* {self.title}", f"* nodes: {len(self.nodes)}, devices: {len(self)}"]
+        for device in self:
+            pins = " ".join(str(n) for n in device.nodes())
+            lines.append(f"{device.name} {pins} {device.describe()}")
+        return "\n".join(lines)

@@ -1,0 +1,283 @@
+"""Time-dependent source waveforms (DC, PULSE, SIN, PWL, EXP, STEP).
+
+Independent sources take a :class:`Waveform` describing their value as a
+function of time.  The classes mirror the classic SPICE source functions so
+netlists translated from the paper's ELDO decks keep their meaning; the
+pulse source with finite rise and fall times is exactly what drives the
+figure-5 experiment ("a voltage source with a finite rise and fall time was
+used to excite the transducer").
+
+Every waveform exposes
+
+``value(t)``
+    the source value at time ``t`` (scalar float),
+``derivative(t)``
+    the time derivative, used by the transient integrator's local-truncation
+    error estimate and by breakpoint-aware step control,
+``breakpoints()``
+    the times at which the waveform has corners; the transient analysis
+    forces time points there so sharp edges are never stepped over.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..errors import DeviceError
+from ..units import parse_quantity
+
+__all__ = [
+    "Waveform",
+    "DC",
+    "Pulse",
+    "Sine",
+    "PieceWiseLinear",
+    "Exponential",
+    "Step",
+    "ensure_waveform",
+]
+
+
+class Waveform:
+    """Base class for source waveforms."""
+
+    def value(self, t: float) -> float:
+        """Source value at time ``t``."""
+        raise NotImplementedError
+
+    def derivative(self, t: float) -> float:
+        """Time derivative at time ``t`` (default: centered finite difference)."""
+        h = 1e-9
+        return (self.value(t + h) - self.value(t - h)) / (2.0 * h)
+
+    def breakpoints(self) -> tuple[float, ...]:
+        """Times where the waveform is non-smooth (corners, edges)."""
+        return ()
+
+    @property
+    def dc(self) -> float:
+        """Value used for the DC operating point (waveform at t = 0)."""
+        return self.value(0.0)
+
+    def __call__(self, t: float) -> float:
+        return self.value(t)
+
+
+@dataclass(frozen=True)
+class DC(Waveform):
+    """Constant source value."""
+
+    level: float = 0.0
+
+    def value(self, t: float) -> float:
+        return self.level
+
+    def derivative(self, t: float) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class Pulse(Waveform):
+    """SPICE PULSE source: trapezoidal pulses with finite rise/fall times.
+
+    Parameters follow ``PULSE(v1 v2 td tr tf pw period)``.  ``period`` of
+    zero or ``None`` yields a single pulse.
+    """
+
+    v1: float = 0.0
+    v2: float = 1.0
+    delay: float = 0.0
+    rise: float = 1e-9
+    fall: float = 1e-9
+    width: float = 1e-3
+    period: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.rise < 0 or self.fall < 0 or self.width < 0:
+            raise DeviceError("pulse rise, fall and width must be non-negative")
+        if self.period is not None and self.period <= 0:
+            raise DeviceError("pulse period must be positive when given")
+
+    def _local_time(self, t: float) -> float:
+        t = t - self.delay
+        if t < 0.0:
+            return -1.0
+        if self.period:
+            t = math.fmod(t, self.period)
+        return t
+
+    def value(self, t: float) -> float:
+        tl = self._local_time(t)
+        if tl < 0.0:
+            return self.v1
+        rise = max(self.rise, 1e-15)
+        fall = max(self.fall, 1e-15)
+        if tl < self.rise:
+            return self.v1 + (self.v2 - self.v1) * tl / rise
+        if tl < self.rise + self.width:
+            return self.v2
+        if tl < self.rise + self.width + self.fall:
+            return self.v2 + (self.v1 - self.v2) * (tl - self.rise - self.width) / fall
+        return self.v1
+
+    def derivative(self, t: float) -> float:
+        tl = self._local_time(t)
+        if tl < 0.0:
+            return 0.0
+        rise = max(self.rise, 1e-15)
+        fall = max(self.fall, 1e-15)
+        if tl < self.rise:
+            return (self.v2 - self.v1) / rise
+        if tl < self.rise + self.width:
+            return 0.0
+        if tl < self.rise + self.width + self.fall:
+            return (self.v1 - self.v2) / fall
+        return 0.0
+
+    def breakpoints(self) -> tuple[float, ...]:
+        corners = [0.0, self.rise, self.rise + self.width, self.rise + self.width + self.fall]
+        points: list[float] = []
+        repeats = 1 if not self.period else 64
+        for k in range(repeats):
+            base = self.delay + (k * self.period if self.period else 0.0)
+            points.extend(base + c for c in corners)
+        return tuple(sorted(set(points)))
+
+
+@dataclass(frozen=True)
+class Sine(Waveform):
+    """SPICE SIN source: ``vo + va*sin(2*pi*freq*(t-td))*exp(-(t-td)*theta)``."""
+
+    offset: float = 0.0
+    amplitude: float = 1.0
+    frequency: float = 1e3
+    delay: float = 0.0
+    damping: float = 0.0
+    phase_deg: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0:
+            raise DeviceError("sine frequency must be positive")
+
+    def value(self, t: float) -> float:
+        phase0 = math.radians(self.phase_deg)
+        if t < self.delay:
+            return self.offset + self.amplitude * math.sin(phase0)
+        tau = t - self.delay
+        angle = 2.0 * math.pi * self.frequency * tau + phase0
+        return self.offset + self.amplitude * math.sin(angle) * math.exp(-tau * self.damping)
+
+    def derivative(self, t: float) -> float:
+        if t < self.delay:
+            return 0.0
+        phase0 = math.radians(self.phase_deg)
+        tau = t - self.delay
+        omega = 2.0 * math.pi * self.frequency
+        angle = omega * tau + phase0
+        decay = math.exp(-tau * self.damping)
+        return self.amplitude * decay * (omega * math.cos(angle) - self.damping * math.sin(angle))
+
+    def breakpoints(self) -> tuple[float, ...]:
+        return (self.delay,) if self.delay > 0.0 else ()
+
+
+@dataclass(frozen=True)
+class PieceWiseLinear(Waveform):
+    """PWL source defined by (time, value) pairs; flat before/after the ends."""
+
+    points: tuple[tuple[float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 1:
+            raise DeviceError("PWL source needs at least one point")
+        times = [p[0] for p in self.points]
+        if any(t2 <= t1 for t1, t2 in zip(times, times[1:])):
+            raise DeviceError("PWL times must be strictly increasing")
+
+    def value(self, t: float) -> float:
+        pts = self.points
+        if t <= pts[0][0]:
+            return pts[0][1]
+        if t >= pts[-1][0]:
+            return pts[-1][1]
+        for (t1, v1), (t2, v2) in zip(pts, pts[1:]):
+            if t1 <= t <= t2:
+                return v1 + (v2 - v1) * (t - t1) / (t2 - t1)
+        return pts[-1][1]
+
+    def derivative(self, t: float) -> float:
+        pts = self.points
+        if t <= pts[0][0] or t >= pts[-1][0]:
+            return 0.0
+        for (t1, v1), (t2, v2) in zip(pts, pts[1:]):
+            if t1 <= t < t2:
+                return (v2 - v1) / (t2 - t1)
+        return 0.0
+
+    def breakpoints(self) -> tuple[float, ...]:
+        return tuple(p[0] for p in self.points)
+
+
+@dataclass(frozen=True)
+class Exponential(Waveform):
+    """SPICE EXP source: exponential rise from ``v1`` to ``v2`` and decay back."""
+
+    v1: float = 0.0
+    v2: float = 1.0
+    rise_delay: float = 0.0
+    rise_tau: float = 1e-6
+    fall_delay: float = 1e-3
+    fall_tau: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.rise_tau <= 0 or self.fall_tau <= 0:
+            raise DeviceError("exponential time constants must be positive")
+
+    def value(self, t: float) -> float:
+        v = self.v1
+        if t >= self.rise_delay:
+            v += (self.v2 - self.v1) * (1.0 - math.exp(-(t - self.rise_delay) / self.rise_tau))
+        if t >= self.fall_delay:
+            v += (self.v1 - self.v2) * (1.0 - math.exp(-(t - self.fall_delay) / self.fall_tau))
+        return v
+
+    def breakpoints(self) -> tuple[float, ...]:
+        return (self.rise_delay, self.fall_delay)
+
+
+@dataclass(frozen=True)
+class Step(Waveform):
+    """Ideal-ish step from ``v1`` to ``v2`` at ``time`` with a short ramp."""
+
+    v1: float = 0.0
+    v2: float = 1.0
+    time: float = 0.0
+    ramp: float = 1e-9
+
+    def value(self, t: float) -> float:
+        if t <= self.time:
+            return self.v1
+        if t >= self.time + self.ramp:
+            return self.v2
+        return self.v1 + (self.v2 - self.v1) * (t - self.time) / self.ramp
+
+    def derivative(self, t: float) -> float:
+        if self.time < t < self.time + self.ramp:
+            return (self.v2 - self.v1) / self.ramp
+        return 0.0
+
+    def breakpoints(self) -> tuple[float, ...]:
+        return (self.time, self.time + self.ramp)
+
+
+def ensure_waveform(value) -> Waveform:
+    """Coerce ``value`` (number, quantity string or Waveform) into a Waveform."""
+    if isinstance(value, Waveform):
+        return value
+    if isinstance(value, (int, float)):
+        return DC(float(value))
+    if isinstance(value, str):
+        return DC(parse_quantity(value))
+    raise DeviceError(f"cannot interpret {value!r} as a source waveform")

@@ -1,0 +1,97 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while the
+concrete subclasses still communicate which layer failed (netlist
+construction, analysis convergence, HDL parsing, FE meshing, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the repro package."""
+
+
+class UnitError(ReproError):
+    """A quantity string or unit could not be parsed or converted."""
+
+
+class NatureError(ReproError):
+    """A physical nature (domain) is unknown or used inconsistently."""
+
+
+class NetlistError(ReproError):
+    """The circuit netlist is malformed (duplicate names, bad nodes, ...)."""
+
+
+class DeviceError(ReproError):
+    """A device was constructed or evaluated with invalid parameters."""
+
+
+class AnalysisError(ReproError):
+    """An analysis could not be set up (bad parameters, missing nodes, ...)."""
+
+
+class ConvergenceError(AnalysisError):
+    """Newton iteration or the transient integrator failed to converge."""
+
+    def __init__(self, message: str, iterations: int | None = None,
+                 residual: float | None = None) -> None:
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class SingularMatrixError(AnalysisError):
+    """The MNA matrix is singular (floating node, shorted source loop, ...)."""
+
+
+class HDLError(ReproError):
+    """Base class for HDL front-end errors."""
+
+
+class HDLLexError(HDLError):
+    """The HDL source contains an unrecognised character sequence."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class HDLParseError(HDLError):
+    """The HDL source does not conform to the grammar."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class HDLSemanticError(HDLError):
+    """The HDL source is grammatical but semantically invalid."""
+
+
+class HDLElaborationError(HDLError):
+    """An HDL model could not be elaborated into a simulatable device."""
+
+
+class FEMError(ReproError):
+    """Finite-element meshing, assembly or solution failed."""
+
+
+class MeshError(FEMError):
+    """The requested mesh is invalid (non-positive divisions, bad extent)."""
+
+
+class ExtractionError(ReproError):
+    """PXT parameter extraction failed (empty sweep, inconsistent tables)."""
+
+
+class MacroModelError(ReproError):
+    """A macromodel is malformed or evaluated outside its valid region."""
+
+
+class TransducerError(ReproError):
+    """A transducer model was given unphysical parameters or operating point."""

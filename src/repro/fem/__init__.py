@@ -1,0 +1,34 @@
+"""Finite-element substrate (the ANSYS substitute).
+
+The paper characterizes devices with ANSYS field solutions and extracts
+lumped parameters from them with PXT.  This package provides the minimum FE
+capability those extractions need, implemented from scratch on numpy/scipy:
+
+* :mod:`repro.fem.mesh` -- structured 2D quadrilateral meshes,
+* :mod:`repro.fem.elements` -- bilinear quad element matrices for the Laplace
+  / Poisson operator (electrostatics) with Gauss quadrature,
+* :mod:`repro.fem.assembly` / :mod:`repro.fem.solver` -- sparse assembly,
+  Dirichlet boundary conditions and the linear solve,
+* :mod:`repro.fem.electrostatics` -- the parallel-plate field problem of
+  figure 6: potential, field, energy, capacitance, electrode charge and the
+  Maxwell-stress force integral,
+* :mod:`repro.fem.structural` -- Euler-Bernoulli beam / spring-mass models
+  for mechanical stiffness and modal extraction,
+* :mod:`repro.fem.harmonic` -- harmonic (frequency-response) analysis used by
+  PXT's data-flow model generation.
+"""
+
+from .mesh import RectangularMesh
+from .electrostatics import ElectrostaticSolution, ParallelPlateProblem
+from .structural import CantileverBeam, SpringMassChain
+from .harmonic import HarmonicResponse, harmonic_response
+
+__all__ = [
+    "RectangularMesh",
+    "ElectrostaticSolution",
+    "ParallelPlateProblem",
+    "CantileverBeam",
+    "SpringMassChain",
+    "HarmonicResponse",
+    "harmonic_response",
+]

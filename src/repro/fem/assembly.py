@@ -1,0 +1,84 @@
+"""Global assembly and Dirichlet boundary conditions for the FE solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import FEMError
+from .elements import element_stiffness
+from .mesh import RectangularMesh
+
+__all__ = ["assemble_stiffness", "apply_dirichlet"]
+
+
+def assemble_stiffness(mesh: RectangularMesh,
+                       permittivity: float | np.ndarray = 1.0) -> sp.csr_matrix:
+    """Assemble the global stiffness (Laplace) matrix of a structured mesh.
+
+    ``permittivity`` is either a scalar or a per-element array, enabling
+    layered dielectrics in the gap.
+    """
+    coords = mesh.node_coordinates()
+    connectivity = mesh.element_connectivity()
+    if np.isscalar(permittivity):
+        eps = np.full(mesh.num_elements, float(permittivity))
+    else:
+        eps = np.asarray(permittivity, dtype=float)
+        if eps.shape != (mesh.num_elements,):
+            raise FEMError(
+                f"per-element permittivity needs {mesh.num_elements} entries, got {eps.shape}")
+    rows: list[int] = []
+    cols: list[int] = []
+    values: list[float] = []
+    for element, nodes in enumerate(connectivity):
+        ke = element_stiffness(coords[nodes], eps[element])
+        for a in range(4):
+            for b in range(4):
+                rows.append(int(nodes[a]))
+                cols.append(int(nodes[b]))
+                values.append(float(ke[a, b]))
+    matrix = sp.coo_matrix((values, (rows, cols)),
+                           shape=(mesh.num_nodes, mesh.num_nodes))
+    return matrix.tocsr()
+
+
+def apply_dirichlet(matrix: sp.csr_matrix, rhs: np.ndarray,
+                    node_values: dict[int, float]) -> tuple[sp.csr_matrix, np.ndarray]:
+    """Impose ``phi[node] = value`` constraints by row/column elimination.
+
+    Returns the modified matrix and right-hand side (copies; the inputs are
+    untouched).  The elimination keeps the matrix symmetric, which matters
+    for the conjugate-gradient option of the solver.
+    """
+    if not node_values:
+        raise FEMError("at least one Dirichlet constraint is required")
+    matrix = matrix.tolil(copy=True)
+    rhs = np.array(rhs, dtype=float, copy=True)
+    n = matrix.shape[0]
+    constrained = np.array(sorted(node_values), dtype=int)
+    if constrained.min() < 0 or constrained.max() >= n:
+        raise FEMError("Dirichlet node index out of range")
+    values = np.array([node_values[int(node)] for node in constrained], dtype=float)
+    # Move the known values to the right-hand side.
+    csr = matrix.tocsr()
+    rhs -= csr[:, constrained] @ values
+    matrix = csr.tolil()
+    for node, value in zip(constrained, values):
+        matrix.rows[node] = [node]
+        matrix.data[node] = [1.0]
+        rhs[node] = value
+    # Zero the columns of constrained nodes (except the diagonal already set).
+    csr = matrix.tocsr()
+    mask = np.ones(n, dtype=bool)
+    mask[constrained] = False
+    csc = csr.tocsc()
+    for node in constrained:
+        start, end = csc.indptr[node], csc.indptr[node + 1]
+        for pos in range(start, end):
+            row = csc.indices[pos]
+            if row != node:
+                csc.data[pos] = 0.0
+    result = csc.tocsr()
+    result.eliminate_zeros()
+    return result, rhs

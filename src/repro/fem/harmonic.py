@@ -1,0 +1,90 @@
+"""Harmonic (frequency-response) analysis of structural FE models.
+
+The paper's PXT uses harmonic FE analyses to build data-flow macromodels:
+"Harmonic FE analysis produces real and imaginary data of DOFs as discrete
+functions of frequencies, i.e. the frequency response (amplitude and phase).
+A polynomial filter is fitted to such a macro model."  This module produces
+those discrete complex responses; :mod:`repro.pxt.fitting` does the fitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import FEMError
+
+__all__ = ["HarmonicResponse", "harmonic_response"]
+
+
+@dataclass
+class HarmonicResponse:
+    """Complex frequency response of selected DOFs of a structural model."""
+
+    frequencies: np.ndarray
+    #: (num_frequencies, num_dofs) complex displacement amplitudes.
+    displacements: np.ndarray
+    #: Index of the driven DOF.
+    drive_dof: int
+
+    def dof(self, index: int) -> np.ndarray:
+        """Complex response of one DOF over frequency."""
+        return self.displacements[:, index]
+
+    def magnitude(self, index: int) -> np.ndarray:
+        """Amplitude of one DOF over frequency."""
+        return np.abs(self.dof(index))
+
+    def phase_deg(self, index: int) -> np.ndarray:
+        """Phase of one DOF over frequency [degrees]."""
+        return np.degrees(np.angle(self.dof(index)))
+
+    def resonance_frequency(self, index: int | None = None) -> float:
+        """Frequency of the amplitude peak of a DOF (default: driven DOF)."""
+        index = self.drive_dof if index is None else index
+        peak = int(np.argmax(self.magnitude(index)))
+        return float(self.frequencies[peak])
+
+    def static_compliance(self, index: int | None = None) -> float:
+        """Low-frequency limit of the response (per unit drive force) [m/N]."""
+        index = self.drive_dof if index is None else index
+        return float(np.abs(self.displacements[0, index]))
+
+
+def harmonic_response(mass: np.ndarray, damping: np.ndarray, stiffness: np.ndarray,
+                      frequencies: Iterable[float], drive_dof: int = -1,
+                      force_amplitude: float = 1.0) -> HarmonicResponse:
+    """Solve ``(K + j w C - w^2 M) u = F`` over a frequency grid.
+
+    ``drive_dof`` selects where the unit (or ``force_amplitude``) harmonic
+    force is applied; negative indices follow numpy conventions.
+    """
+    mass = np.asarray(mass, dtype=float)
+    damping = np.asarray(damping, dtype=float)
+    stiffness = np.asarray(stiffness, dtype=float)
+    n = mass.shape[0]
+    for name, matrix in (("mass", mass), ("damping", damping), ("stiffness", stiffness)):
+        if matrix.shape != (n, n):
+            raise FEMError(f"{name} matrix must be {n}x{n}, got {matrix.shape}")
+    frequencies = np.asarray(list(frequencies), dtype=float)
+    if frequencies.size == 0:
+        raise FEMError("harmonic analysis needs at least one frequency")
+    if np.any(frequencies < 0.0):
+        raise FEMError("frequencies must be non-negative")
+    drive = int(np.arange(n)[drive_dof])
+    force = np.zeros(n, dtype=complex)
+    force[drive] = force_amplitude
+    responses = np.zeros((frequencies.size, n), dtype=complex)
+    for k, frequency in enumerate(frequencies):
+        omega = 2.0 * np.pi * frequency
+        dynamic = stiffness + 1j * omega * damping - omega * omega * mass
+        try:
+            responses[k] = np.linalg.solve(dynamic, force)
+        except np.linalg.LinAlgError as exc:
+            raise FEMError(
+                f"harmonic solve failed at f={frequency:g} Hz (resonance of an "
+                f"undamped mode?): {exc}") from exc
+    return HarmonicResponse(frequencies=frequencies, displacements=responses,
+                            drive_dof=drive)

@@ -1,0 +1,47 @@
+"""Sparse linear solves for the FE problems."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..errors import FEMError
+
+__all__ = ["solve_sparse"]
+
+
+def solve_sparse(matrix: sp.spmatrix, rhs: np.ndarray, method: str = "direct") -> np.ndarray:
+    """Solve ``matrix @ x = rhs`` with a sparse direct or iterative method.
+
+    ``method`` is ``"direct"`` (SuperLU, default) or ``"cg"`` (conjugate
+    gradients with a Jacobi preconditioner -- the assembled Laplace matrices
+    are symmetric positive definite after Dirichlet elimination).
+    """
+    rhs = np.asarray(rhs, dtype=float)
+    if matrix.shape[0] != matrix.shape[1]:
+        raise FEMError("system matrix must be square")
+    if rhs.shape != (matrix.shape[0],):
+        raise FEMError(
+            f"right-hand side has shape {rhs.shape}, expected ({matrix.shape[0]},)")
+    if method == "direct":
+        try:
+            solution = spla.spsolve(matrix.tocsr(), rhs)
+        except RuntimeError as exc:  # pragma: no cover - SuperLU failure path
+            raise FEMError(f"sparse direct solve failed: {exc}") from exc
+        if not np.all(np.isfinite(solution)):
+            raise FEMError("sparse direct solve produced non-finite values "
+                           "(singular system; missing boundary conditions?)")
+        return np.asarray(solution, dtype=float)
+    if method == "cg":
+        diagonal = matrix.diagonal()
+        if np.any(diagonal == 0.0):
+            raise FEMError("zero diagonal entry; cannot build Jacobi preconditioner")
+        preconditioner = spla.LinearOperator(
+            matrix.shape, matvec=lambda x: x / diagonal)
+        solution, info = spla.cg(matrix.tocsr(), rhs, rtol=1e-10, maxiter=20000,
+                                 M=preconditioner)
+        if info != 0:
+            raise FEMError(f"conjugate-gradient solve did not converge (info={info})")
+        return np.asarray(solution, dtype=float)
+    raise FEMError(f"unknown solve method {method!r} (use 'direct' or 'cg')")

@@ -1,0 +1,216 @@
+"""Structural finite elements: cantilever beams and spring-mass chains.
+
+MEMS suspensions are usually beams; the paper's PXT extracts mechanical
+macro-parameters (stiffness, modal data) from structural FE models.  Two
+small structural models are provided:
+
+* :class:`CantileverBeam` -- Euler-Bernoulli beam elements with the standard
+  cubic Hermite shape functions, clamped at one end.  Static tip stiffness
+  and the first natural frequencies are available and can be compared with
+  the textbook closed forms (``k = 3EI/L^3``,
+  ``f1 = (1.875^2 / 2 pi) sqrt(EI / (rho A L^4))``).
+* :class:`SpringMassChain` -- a lumped chain of masses and springs used by
+  the harmonic-analysis tests and by PXT's frequency-response fitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg as la
+
+from ..errors import FEMError
+
+__all__ = ["CantileverBeam", "SpringMassChain"]
+
+
+class CantileverBeam:
+    """Euler-Bernoulli cantilever discretised into 2-DOF-per-node beam elements.
+
+    Parameters
+    ----------
+    length:
+        Beam length [m].
+    width, thickness:
+        Rectangular cross-section dimensions [m]; bending is about the axis
+        parallel to ``width`` (thickness enters the inertia cubed).
+    youngs_modulus:
+        Young's modulus [Pa].
+    density:
+        Mass density [kg/m^3].
+    elements:
+        Number of beam elements along the length.
+    """
+
+    def __init__(self, length: float, width: float, thickness: float,
+                 youngs_modulus: float, density: float, elements: int = 16) -> None:
+        if min(length, width, thickness, youngs_modulus, density) <= 0.0:
+            raise FEMError("all beam parameters must be positive")
+        if elements < 1:
+            raise FEMError("at least one beam element is required")
+        self.length = float(length)
+        self.width = float(width)
+        self.thickness = float(thickness)
+        self.youngs_modulus = float(youngs_modulus)
+        self.density = float(density)
+        self.elements = int(elements)
+
+    # ------------------------------------------------------------------ section
+    @property
+    def area(self) -> float:
+        """Cross-section area [m^2]."""
+        return self.width * self.thickness
+
+    @property
+    def inertia(self) -> float:
+        """Second moment of area ``w t^3 / 12`` [m^4]."""
+        return self.width * self.thickness ** 3 / 12.0
+
+    def analytic_tip_stiffness(self) -> float:
+        """Closed-form static tip stiffness ``3 E I / L^3`` [N/m]."""
+        return 3.0 * self.youngs_modulus * self.inertia / self.length ** 3
+
+    def analytic_first_frequency(self) -> float:
+        """Closed-form first bending frequency of a cantilever [Hz]."""
+        beta_l = 1.8751040687119611
+        omega = beta_l ** 2 * np.sqrt(
+            self.youngs_modulus * self.inertia
+            / (self.density * self.area * self.length ** 4))
+        return float(omega / (2.0 * np.pi))
+
+    # ------------------------------------------------------------------ matrices
+    def _element_matrices(self) -> tuple[np.ndarray, np.ndarray]:
+        le = self.length / self.elements
+        ei = self.youngs_modulus * self.inertia
+        k = ei / le ** 3 * np.array([
+            [12.0, 6.0 * le, -12.0, 6.0 * le],
+            [6.0 * le, 4.0 * le ** 2, -6.0 * le, 2.0 * le ** 2],
+            [-12.0, -6.0 * le, 12.0, -6.0 * le],
+            [6.0 * le, 2.0 * le ** 2, -6.0 * le, 4.0 * le ** 2],
+        ])
+        rho_a = self.density * self.area
+        m = rho_a * le / 420.0 * np.array([
+            [156.0, 22.0 * le, 54.0, -13.0 * le],
+            [22.0 * le, 4.0 * le ** 2, 13.0 * le, -3.0 * le ** 2],
+            [54.0, 13.0 * le, 156.0, -22.0 * le],
+            [-13.0 * le, -3.0 * le ** 2, -22.0 * le, 4.0 * le ** 2],
+        ])
+        return k, m
+
+    def assemble(self) -> tuple[np.ndarray, np.ndarray]:
+        """Assemble the clamped (cantilever) stiffness and mass matrices.
+
+        DOFs per node are (deflection, rotation); the clamped node's DOFs are
+        eliminated, so the returned matrices have ``2 * elements`` DOFs with
+        the tip deflection at index ``-2``.
+        """
+        ndof = 2 * (self.elements + 1)
+        stiffness = np.zeros((ndof, ndof))
+        mass = np.zeros((ndof, ndof))
+        ke, me = self._element_matrices()
+        for element in range(self.elements):
+            dofs = np.arange(2 * element, 2 * element + 4)
+            stiffness[np.ix_(dofs, dofs)] += ke
+            mass[np.ix_(dofs, dofs)] += me
+        free = np.arange(2, ndof)
+        return stiffness[np.ix_(free, free)], mass[np.ix_(free, free)]
+
+    # ------------------------------------------------------------------ results
+    def tip_stiffness(self) -> float:
+        """Static tip stiffness from a unit tip force [N/m]."""
+        stiffness, _ = self.assemble()
+        force = np.zeros(stiffness.shape[0])
+        force[-2] = 1.0
+        deflection = np.linalg.solve(stiffness, force)
+        return 1.0 / float(deflection[-2])
+
+    def tip_deflection(self, force: float) -> float:
+        """Static tip deflection under a point force at the tip [m]."""
+        return force / self.tip_stiffness()
+
+    def natural_frequencies(self, count: int = 3) -> np.ndarray:
+        """First ``count`` natural frequencies [Hz] from the generalized EVP."""
+        stiffness, mass = self.assemble()
+        eigenvalues = la.eigh(stiffness, mass, eigvals_only=True)
+        eigenvalues = np.clip(eigenvalues, 0.0, None)
+        frequencies = np.sqrt(eigenvalues) / (2.0 * np.pi)
+        return frequencies[:count]
+
+    def effective_mass(self) -> float:
+        """Modal (effective) mass of the first mode referred to the tip [kg].
+
+        Computed from the first natural frequency and the static tip
+        stiffness, ``m_eff = k_tip / omega_1^2`` -- the quantity a lumped
+        mass-spring model of the beam should use.
+        """
+        f1 = float(self.natural_frequencies(1)[0])
+        return self.tip_stiffness() / (2.0 * np.pi * f1) ** 2
+
+
+@dataclass
+class SpringMassChain:
+    """A chain of point masses connected by springs (and dampers) to ground.
+
+    The first mass is anchored to ground through the first spring; a force is
+    applied to the last mass.  Used for harmonic-response extraction tests.
+    """
+
+    masses: tuple[float, ...]
+    stiffnesses: tuple[float, ...]
+    dampings: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.masses) == 0:
+            raise FEMError("the chain needs at least one mass")
+        if len(self.stiffnesses) != len(self.masses):
+            raise FEMError("one spring per mass is required (mass i to mass i-1)")
+        if self.dampings is not None and len(self.dampings) != len(self.masses):
+            raise FEMError("one damper per mass is required when dampings are given")
+        if min(self.masses) <= 0.0 or min(self.stiffnesses) <= 0.0:
+            raise FEMError("masses and stiffnesses must be positive")
+
+    @property
+    def size(self) -> int:
+        """Number of degrees of freedom."""
+        return len(self.masses)
+
+    def matrices(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(M, C, K) matrices of the chain.
+
+        Spring/damper 0 anchors mass 0 to ground; spring/damper ``i > 0``
+        couples masses ``i-1`` and ``i``.
+        """
+        n = self.size
+        mass = np.diag(self.masses)
+        damping = np.zeros((n, n))
+        stiffness = np.zeros((n, n))
+        dampings = self.dampings or tuple(0.0 for _ in self.masses)
+        stiffness[0, 0] += self.stiffnesses[0]
+        damping[0, 0] += dampings[0]
+        for i in range(1, n):
+            k = self.stiffnesses[i]
+            c = dampings[i]
+            stiffness[i, i] += k
+            stiffness[i - 1, i - 1] += k
+            stiffness[i, i - 1] -= k
+            stiffness[i - 1, i] -= k
+            damping[i, i] += c
+            damping[i - 1, i - 1] += c
+            damping[i, i - 1] -= c
+            damping[i - 1, i] -= c
+        return mass, damping, stiffness
+
+    def natural_frequencies(self) -> np.ndarray:
+        """Undamped natural frequencies [Hz]."""
+        mass, _, stiffness = self.matrices()
+        eigenvalues = la.eigh(stiffness, mass, eigvals_only=True)
+        return np.sqrt(np.clip(eigenvalues, 0.0, None)) / (2.0 * np.pi)
+
+    def static_compliance(self) -> float:
+        """Displacement of the last mass per unit force applied to it [m/N]."""
+        _, _, stiffness = self.matrices()
+        force = np.zeros(self.size)
+        force[-1] = 1.0
+        displacement = np.linalg.solve(stiffness, force)
+        return float(displacement[-1])

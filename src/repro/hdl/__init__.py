@@ -1,0 +1,68 @@
+"""HDL-A-like analog hardware description language front-end.
+
+This package is the substitute for ANACAD's proprietary HDL-ATM compiler.
+It implements the subset of HDL-A that the paper actually uses (Listing 1
+plus what the PXT model generator emits):
+
+* ``ENTITY`` declarations with ``GENERIC`` and ``PIN`` clauses (pins typed by
+  nature: ``electrical``, ``mechanical1`` ...),
+* ``ARCHITECTURE`` bodies with ``VARIABLE``/``STATE``/``CONSTANT``
+  declarations and a ``RELATION`` block,
+* ``PROCEDURAL FOR <domains> =>`` statement groups (``init``, ``dc``, ``ac``,
+  ``transient``),
+* assignments ``:=``, branch contributions ``[p, n].i %= expr`` /
+  ``[p, n].f %= expr``, ``IF/ELSIF/ELSE`` statements,
+* the analog operators ``ddt`` and ``integ``, the usual math functions, and
+  the ``table1d`` piecewise-linear lookup used by generated macromodels.
+
+Typical use::
+
+    from repro.hdl import parse, instantiate
+
+    module = parse(hdl_source_text)
+    device = instantiate(module, "eletran", name="X1",
+                         generics={"A": 1e-4, "d": 0.15e-3, "er": 1.0},
+                         pins={"a": node_a, "b": gnd, "c": node_m, "d": gnd})
+    circuit.add(device)
+
+The elaborated device is a regular
+:class:`~repro.circuit.devices.behavioral.BehavioralDevice`, so every circuit
+analysis (DC, AC, transient) works on HDL models without special cases.
+"""
+
+from .lexer import tokenize
+from .ast_nodes import (
+    EntityDecl,
+    ArchitectureDecl,
+    Module,
+    PinDecl,
+    GenericDecl,
+)
+from .parser import parse
+from .semantic import analyze
+from .elaborate import instantiate, HDLEntityInstance
+from .codegen import (
+    generate_entity,
+    generate_architecture,
+    generate_model,
+    table1d_expression,
+)
+from .stdlib import BUILTIN_FUNCTIONS
+
+__all__ = [
+    "tokenize",
+    "parse",
+    "analyze",
+    "instantiate",
+    "HDLEntityInstance",
+    "Module",
+    "EntityDecl",
+    "ArchitectureDecl",
+    "PinDecl",
+    "GenericDecl",
+    "generate_entity",
+    "generate_architecture",
+    "generate_model",
+    "table1d_expression",
+    "BUILTIN_FUNCTIONS",
+]

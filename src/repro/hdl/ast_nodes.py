@@ -1,0 +1,218 @@
+"""Abstract syntax tree node classes for the HDL-A subset.
+
+Expression nodes carry a ``node_id`` assigned by the parser; the elaborator
+uses it as the state key of ``ddt``/``integ`` call sites so that dynamic
+states have stable identities across analysis modes and Newton iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = [
+    "Expression", "NumberLiteral", "Identifier", "UnaryOp", "BinaryOp",
+    "FunctionCall", "PinAccess",
+    "Statement", "Assignment", "Contribution", "IfStatement",
+    "GenericDecl", "PinDecl", "VariableDecl", "ProceduralBlock",
+    "EntityDecl", "ArchitectureDecl", "Module",
+]
+
+
+# --------------------------------------------------------------------------- expressions
+@dataclass
+class Expression:
+    """Base class for expression nodes."""
+
+    node_id: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class NumberLiteral(Expression):
+    """A numeric literal."""
+
+    value: float = 0.0
+
+
+@dataclass
+class Identifier(Expression):
+    """A reference to a generic, variable, state or named constant."""
+
+    name: str = ""
+
+
+@dataclass
+class UnaryOp(Expression):
+    """Unary operator: ``-x``, ``+x`` or ``not x``."""
+
+    operator: str = "-"
+    operand: Expression | None = None
+
+
+@dataclass
+class BinaryOp(Expression):
+    """Binary operator node (arithmetic, comparison or logical)."""
+
+    operator: str = "+"
+    left: Expression | None = None
+    right: Expression | None = None
+
+
+@dataclass
+class FunctionCall(Expression):
+    """Call of a built-in analog or math function (``ddt``, ``sqrt``, ...)."""
+
+    name: str = ""
+    arguments: tuple[Expression, ...] = ()
+
+
+@dataclass
+class PinAccess(Expression):
+    """Access to a branch quantity: ``[a, b].v`` or ``[c, d].tv``."""
+
+    pin_p: str = ""
+    pin_n: str = ""
+    quantity: str = "v"
+
+
+# --------------------------------------------------------------------------- statements
+@dataclass
+class Statement:
+    """Base class for statements."""
+
+    node_id: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class Assignment(Statement):
+    """Variable/state assignment ``name := expr;``."""
+
+    target: str = ""
+    value: Expression | None = None
+
+
+@dataclass
+class Contribution(Statement):
+    """Branch contribution ``[p, n].quantity %= expr;``."""
+
+    pin_p: str = ""
+    pin_n: str = ""
+    quantity: str = "i"
+    value: Expression | None = None
+
+
+@dataclass
+class IfStatement(Statement):
+    """``IF / ELSIF / ELSE`` conditional statement."""
+
+    #: (condition, statements) pairs for the IF and each ELSIF branch.
+    branches: tuple[tuple[Expression, tuple[Statement, ...]], ...] = ()
+    #: Statements of the ELSE branch (may be empty).
+    else_branch: tuple[Statement, ...] = ()
+
+
+# --------------------------------------------------------------------------- declarations
+@dataclass(frozen=True)
+class GenericDecl:
+    """One generic (model parameter) of an entity."""
+
+    name: str
+    type_name: str = "analog"
+    default: float | None = None
+
+
+@dataclass(frozen=True)
+class PinDecl:
+    """One pin (analog terminal) of an entity, typed by nature name."""
+
+    name: str
+    nature: str
+
+
+@dataclass(frozen=True)
+class VariableDecl:
+    """A VARIABLE / STATE / CONSTANT declaration in an architecture."""
+
+    name: str
+    kind: str  # "variable" | "state" | "constant"
+    type_name: str = "analog"
+    default: float | None = None
+
+
+@dataclass
+class ProceduralBlock:
+    """``PROCEDURAL FOR <domains> =>`` statement group."""
+
+    domains: tuple[str, ...] = ()
+    statements: tuple[Statement, ...] = ()
+
+    def applies_to(self, domain: str) -> bool:
+        """True when this block is active in the given analysis domain."""
+        return domain.lower() in self.domains
+
+
+@dataclass
+class EntityDecl:
+    """An ENTITY declaration: interface of a model."""
+
+    name: str = ""
+    generics: tuple[GenericDecl, ...] = ()
+    pins: tuple[PinDecl, ...] = ()
+
+    def generic_names(self) -> tuple[str, ...]:
+        return tuple(g.name for g in self.generics)
+
+    def pin_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.pins)
+
+    def pin(self, name: str) -> PinDecl | None:
+        for pin in self.pins:
+            if pin.name.lower() == name.lower():
+                return pin
+        return None
+
+
+@dataclass
+class ArchitectureDecl:
+    """An ARCHITECTURE body bound to an entity."""
+
+    name: str = ""
+    entity_name: str = ""
+    declarations: tuple[VariableDecl, ...] = ()
+    blocks: tuple[ProceduralBlock, ...] = ()
+
+    def states(self) -> tuple[str, ...]:
+        return tuple(d.name for d in self.declarations if d.kind == "state")
+
+    def variables(self) -> tuple[str, ...]:
+        return tuple(d.name for d in self.declarations if d.kind != "state")
+
+
+@dataclass
+class Module:
+    """A parsed HDL-A source file: entities and architectures by name."""
+
+    entities: dict[str, EntityDecl] = field(default_factory=dict)
+    architectures: dict[str, list[ArchitectureDecl]] = field(default_factory=dict)
+
+    def entity(self, name: str) -> EntityDecl | None:
+        return self.entities.get(name.lower())
+
+    def architecture_of(self, entity_name: str, architecture: str | None = None
+                        ) -> ArchitectureDecl | None:
+        candidates = self.architectures.get(entity_name.lower(), [])
+        if not candidates:
+            return None
+        if architecture is None:
+            return candidates[0]
+        for arch in candidates:
+            if arch.name.lower() == architecture.lower():
+                return arch
+        return None
+
+    def merge(self, other: "Module") -> "Module":
+        """Merge another module's declarations into this one (returns self)."""
+        self.entities.update(other.entities)
+        for key, archs in other.architectures.items():
+            self.architectures.setdefault(key, []).extend(archs)
+        return self

@@ -1,0 +1,170 @@
+"""Hand-written lexer for the HDL-A subset.
+
+The lexer is deliberately simple: HDL-A (like VHDL) is case-insensitive for
+keywords and identifiers, uses ``--`` line comments, and has only a handful
+of multi-character operators (``:=``, ``%=``, ``=>``, ``**``, ``/=``, ``<=``,
+``>=``).  Numbers accept the usual floating-point forms including exponents
+(``8.8542e-12``).
+"""
+
+from __future__ import annotations
+
+from ..errors import HDLLexError
+from .tokens import KEYWORDS, Token, TokenType
+
+__all__ = ["tokenize"]
+
+_SINGLE_CHAR = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    ",": TokenType.COMMA,
+    ";": TokenType.SEMICOLON,
+    ".": TokenType.DOT,
+    "+": TokenType.PLUS,
+    "-": TokenType.MINUS,
+    "=": TokenType.EQ,
+}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert HDL-A source text into a token list terminated by EOF."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+
+    def add(token_type: TokenType, value: str, start_col: int) -> None:
+        tokens.append(Token(token_type, value, line, start_col))
+
+    while i < n:
+        ch = source[i]
+        # -- whitespace -----------------------------------------------------
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            column = 1
+            continue
+        # -- comments ---------------------------------------------------------
+        if ch == "-" and i + 1 < n and source[i + 1] == "-":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        start_col = column
+        # -- numbers ----------------------------------------------------------
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = source[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    # A dot followed by a non-digit belongs to a pin access
+                    # like ``[a,b].v`` -- never the case right after digits in
+                    # this grammar, so accept it as a decimal point.
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j + 1 < n and (
+                        source[j + 1].isdigit() or source[j + 1] in "+-"):
+                    seen_exp = True
+                    j += 2 if source[j + 1] in "+-" else 1
+                else:
+                    break
+            text = source[i:j]
+            try:
+                float(text)
+            except ValueError:
+                raise HDLLexError(f"malformed number {text!r}", line, start_col)
+            add(TokenType.NUMBER, text, start_col)
+            column += j - i
+            i = j
+            continue
+        # -- identifiers / keywords --------------------------------------------
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            token_type = TokenType.KEYWORD if text.lower() in KEYWORDS else TokenType.IDENT
+            add(token_type, text, start_col)
+            column += j - i
+            i = j
+            continue
+        # -- strings ------------------------------------------------------------
+        if ch == '"':
+            j = i + 1
+            while j < n and source[j] != '"':
+                if source[j] == "\n":
+                    raise HDLLexError("unterminated string literal", line, start_col)
+                j += 1
+            if j >= n:
+                raise HDLLexError("unterminated string literal", line, start_col)
+            add(TokenType.STRING, source[i + 1:j], start_col)
+            column += j - i + 1
+            i = j + 1
+            continue
+        # -- multi-character operators -------------------------------------------
+        two = source[i:i + 2]
+        if two == ":=":
+            add(TokenType.ASSIGN, two, start_col)
+            i += 2
+            column += 2
+            continue
+        if two == "%=":
+            add(TokenType.CONTRIB, two, start_col)
+            i += 2
+            column += 2
+            continue
+        if two == "=>":
+            add(TokenType.ARROW, two, start_col)
+            i += 2
+            column += 2
+            continue
+        if two == "**":
+            add(TokenType.POWER, two, start_col)
+            i += 2
+            column += 2
+            continue
+        if two == "/=":
+            add(TokenType.NEQ, two, start_col)
+            i += 2
+            column += 2
+            continue
+        if two == "<=":
+            add(TokenType.LE, two, start_col)
+            i += 2
+            column += 2
+            continue
+        if two == ">=":
+            add(TokenType.GE, two, start_col)
+            i += 2
+            column += 2
+            continue
+        # -- single-character operators -------------------------------------------
+        if ch == ":":
+            add(TokenType.COLON, ch, start_col)
+        elif ch == "*":
+            add(TokenType.STAR, ch, start_col)
+        elif ch == "/":
+            add(TokenType.SLASH, ch, start_col)
+        elif ch == "<":
+            add(TokenType.LT, ch, start_col)
+        elif ch == ">":
+            add(TokenType.GT, ch, start_col)
+        elif ch in _SINGLE_CHAR:
+            add(_SINGLE_CHAR[ch], ch, start_col)
+        else:
+            raise HDLLexError(f"unexpected character {ch!r}", line, start_col)
+        i += 1
+        column += 1
+
+    tokens.append(Token(TokenType.EOF, "", line, column))
+    return tokens

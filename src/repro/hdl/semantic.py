@@ -1,0 +1,199 @@
+"""Semantic analysis of parsed HDL-A modules.
+
+The analyzer validates an entity/architecture pair before elaboration and
+produces an :class:`AnalyzedModel` that the elaborator consumes:
+
+* every architecture must name a known entity,
+* pin natures must be registered (``electrical``, ``mechanical1``, ...),
+* identifiers used in expressions must be generics, declared variables/
+  states, built-in constants or built-in function names,
+* pin accesses and contributions must reference declared pins, both of the
+  same nature, and use a quantity consistent with that nature (``v`` / ``tv``
+  for across access, ``i`` / ``f`` for contributions),
+* ``ddt``/``integ`` must be called with exactly one argument.
+
+Errors raise :class:`~repro.errors.HDLSemanticError` with an explanatory
+message; the checks are deliberately strict because silent elaboration
+mistakes in analog models are painful to debug downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import HDLSemanticError, NatureError
+from ..natures import get_nature
+from .ast_nodes import (
+    ArchitectureDecl,
+    Assignment,
+    BinaryOp,
+    Contribution,
+    EntityDecl,
+    Expression,
+    FunctionCall,
+    Identifier,
+    IfStatement,
+    Module,
+    NumberLiteral,
+    PinAccess,
+    Statement,
+    UnaryOp,
+)
+from .stdlib import ANALOG_OPERATORS, BUILTIN_FUNCTIONS
+
+__all__ = ["AnalyzedModel", "analyze"]
+
+#: Across-quantity suffixes accepted per nature family.
+_ACROSS_QUANTITIES = {"v", "tv", "u", "across", "voltage", "velocity"}
+#: Through-quantity suffixes accepted in contributions.
+_THROUGH_QUANTITIES = {"i", "f", "through", "current", "force"}
+#: Identifiers implicitly available in every architecture.
+_IMPLICIT_IDENTIFIERS = {"time", "temperature", "pi"}
+
+
+@dataclass
+class AnalyzedModel:
+    """Validated entity/architecture pair with derived symbol tables."""
+
+    entity: EntityDecl
+    architecture: ArchitectureDecl
+    pin_natures: dict[str, str] = field(default_factory=dict)
+    #: Distinct (pin_p, pin_n) pairs referenced anywhere in the architecture.
+    port_pairs: list[tuple[str, str]] = field(default_factory=list)
+    #: Names declared as STATE.
+    states: tuple[str, ...] = ()
+    #: Names declared as VARIABLE / CONSTANT.
+    variables: tuple[str, ...] = ()
+
+    def port_name(self, pin_p: str, pin_n: str) -> str:
+        """Canonical port name of a pin pair."""
+        return f"{pin_p.lower()}_{pin_n.lower()}"
+
+
+def analyze(module: Module, entity_name: str,
+            architecture_name: str | None = None) -> AnalyzedModel:
+    """Validate an entity/architecture pair and build the analysis record."""
+    entity = module.entity(entity_name)
+    if entity is None:
+        known = ", ".join(sorted(module.entities)) or "(none)"
+        raise HDLSemanticError(f"unknown entity {entity_name!r}; parsed entities: {known}")
+    architecture = module.architecture_of(entity_name, architecture_name)
+    if architecture is None:
+        raise HDLSemanticError(f"entity {entity_name!r} has no architecture"
+                               + (f" named {architecture_name!r}" if architecture_name else ""))
+
+    pin_natures: dict[str, str] = {}
+    for pin in entity.pins:
+        try:
+            nature = get_nature(pin.nature)
+        except NatureError as exc:
+            raise HDLSemanticError(
+                f"pin {pin.name!r} of entity {entity.name!r} has unknown nature "
+                f"{pin.nature!r}: {exc}") from exc
+        pin_natures[pin.name.lower()] = nature.name
+
+    model = AnalyzedModel(
+        entity=entity,
+        architecture=architecture,
+        pin_natures=pin_natures,
+        states=architecture.states(),
+        variables=architecture.variables(),
+    )
+
+    known_names = {name.lower() for name in entity.generic_names()}
+    known_names.update(name.lower() for name in model.states)
+    known_names.update(name.lower() for name in model.variables)
+    known_names.update(_IMPLICIT_IDENTIFIERS)
+
+    assigned: set[str] = set()
+    for block in architecture.blocks:
+        for statement in block.statements:
+            _check_statement(statement, model, known_names, assigned)
+    if not model.port_pairs:
+        raise HDLSemanticError(
+            f"architecture {architecture.name!r} of {entity.name!r} never references "
+            "any pin pair; the model would contribute nothing")
+    return model
+
+
+# --------------------------------------------------------------------------- statements
+def _check_statement(statement: Statement, model: AnalyzedModel,
+                     known: set[str], assigned: set[str]) -> None:
+    if isinstance(statement, Assignment):
+        _check_expression(statement.value, model, known)
+        assigned.add(statement.target.lower())
+        known.add(statement.target.lower())
+        return
+    if isinstance(statement, Contribution):
+        _register_pin_pair(statement.pin_p, statement.pin_n, model)
+        if statement.quantity not in _THROUGH_QUANTITIES:
+            raise HDLSemanticError(
+                f"contribution to [{statement.pin_p},{statement.pin_n}].{statement.quantity} "
+                f"is not a through quantity (expected one of {sorted(_THROUGH_QUANTITIES)})")
+        _check_expression(statement.value, model, known)
+        return
+    if isinstance(statement, IfStatement):
+        for condition, body in statement.branches:
+            _check_expression(condition, model, known)
+            for inner in body:
+                _check_statement(inner, model, known, assigned)
+        for inner in statement.else_branch:
+            _check_statement(inner, model, known, assigned)
+        return
+    raise HDLSemanticError(f"unsupported statement type {type(statement).__name__}")
+
+
+# --------------------------------------------------------------------------- expressions
+def _check_expression(expression: Expression | None, model: AnalyzedModel,
+                      known: set[str]) -> None:
+    if expression is None:
+        raise HDLSemanticError("empty expression")
+    if isinstance(expression, NumberLiteral):
+        return
+    if isinstance(expression, Identifier):
+        if expression.name.lower() not in known:
+            raise HDLSemanticError(
+                f"identifier {expression.name!r} is not a generic, variable, state "
+                "or built-in name")
+        return
+    if isinstance(expression, UnaryOp):
+        _check_expression(expression.operand, model, known)
+        return
+    if isinstance(expression, BinaryOp):
+        _check_expression(expression.left, model, known)
+        _check_expression(expression.right, model, known)
+        return
+    if isinstance(expression, PinAccess):
+        _register_pin_pair(expression.pin_p, expression.pin_n, model)
+        if expression.quantity not in _ACROSS_QUANTITIES:
+            raise HDLSemanticError(
+                f"pin access [{expression.pin_p},{expression.pin_n}].{expression.quantity} "
+                f"must read an across quantity (one of {sorted(_ACROSS_QUANTITIES)}); "
+                "through quantities can only be contributed with %=")
+        return
+    if isinstance(expression, FunctionCall):
+        name = expression.name.lower()
+        if name in ANALOG_OPERATORS:
+            if len(expression.arguments) != 1:
+                raise HDLSemanticError(f"{name}() takes exactly one argument")
+        elif name not in BUILTIN_FUNCTIONS:
+            raise HDLSemanticError(f"unknown function {expression.name!r}")
+        for argument in expression.arguments:
+            _check_expression(argument, model, known)
+        return
+    raise HDLSemanticError(f"unsupported expression type {type(expression).__name__}")
+
+
+def _register_pin_pair(pin_p: str, pin_n: str, model: AnalyzedModel) -> None:
+    p, n = pin_p.lower(), pin_n.lower()
+    for pin in (p, n):
+        if pin not in model.pin_natures:
+            raise HDLSemanticError(
+                f"pin {pin!r} is not declared in entity {model.entity.name!r}")
+    if model.pin_natures[p] != model.pin_natures[n]:
+        raise HDLSemanticError(
+            f"pins {pin_p!r} and {pin_n!r} have different natures "
+            f"({model.pin_natures[p]} vs {model.pin_natures[n]})")
+    pair = (p, n)
+    if pair not in model.port_pairs:
+        model.port_pairs.append(pair)

@@ -1,0 +1,72 @@
+"""Token definitions for the HDL-A lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["TokenType", "Token", "KEYWORDS"]
+
+
+class TokenType(enum.Enum):
+    """Lexical token categories."""
+
+    IDENT = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    KEYWORD = "keyword"
+
+    # punctuation / operators
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    COMMA = ","
+    SEMICOLON = ";"
+    COLON = ":"
+    DOT = "."
+    ASSIGN = ":="
+    CONTRIB = "%="
+    ARROW = "=>"
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    POWER = "**"
+    EQ = "="
+    NEQ = "/="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EOF = "end of input"
+
+
+#: Reserved words (case-insensitive, as in VHDL).
+KEYWORDS = {
+    "entity", "is", "end", "generic", "pin", "architecture", "of",
+    "variable", "state", "constant", "begin", "relation", "procedural",
+    "for", "if", "then", "elsif", "else", "and", "or", "not", "xor",
+    "port", "signal",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based line/column)."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def matches(self, token_type: TokenType, value: str | None = None) -> bool:
+        """True when type (and, if given, lower-cased value) match."""
+        if self.type is not token_type:
+            return False
+        if value is None:
+            return True
+        return self.value.lower() == value.lower()
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"

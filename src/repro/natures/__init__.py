@@ -1,0 +1,49 @@
+"""Physical domains ("natures") and the generalized-variable framework.
+
+This package implements Table 1 of the paper: every physical domain is
+described by a conjugate pair of an *effort* (across, intensive) variable and
+a *flow* (through) variable whose product is a power, plus the *state*
+(extensive) variable obtained by integrating the flow and the *momentum*
+obtained by integrating the effort.
+
+The :class:`~repro.natures.nature.Nature` registry is what the circuit
+simulator and the HDL elaborator use to type-check terminal connections, and
+:mod:`repro.natures.analogies` provides the force-voltage / force-current
+mappings used to translate mechanical networks into electrical equivalents.
+"""
+
+from .nature import (
+    Nature,
+    ELECTRICAL,
+    MECHANICAL_TRANSLATION,
+    MECHANICAL_ROTATION,
+    HYDRAULIC,
+    THERMAL,
+    MECHANICAL1,
+    get_nature,
+    register_nature,
+    all_natures,
+)
+from .variables import GeneralizedVariables, VariableRole, power, energy_increment
+from .analogies import Analogy, FORCE_CURRENT, FORCE_VOLTAGE, AnalogMapping
+
+__all__ = [
+    "Nature",
+    "ELECTRICAL",
+    "MECHANICAL_TRANSLATION",
+    "MECHANICAL_ROTATION",
+    "HYDRAULIC",
+    "THERMAL",
+    "MECHANICAL1",
+    "get_nature",
+    "register_nature",
+    "all_natures",
+    "GeneralizedVariables",
+    "VariableRole",
+    "power",
+    "energy_increment",
+    "Analogy",
+    "FORCE_CURRENT",
+    "FORCE_VOLTAGE",
+    "AnalogMapping",
+]

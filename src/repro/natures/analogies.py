@@ -1,0 +1,127 @@
+"""Electrical/mechanical analogies (force-voltage and force-current).
+
+The paper uses the force-current (FI, "mobility") analogy throughout because
+it preserves the topology of the mechanical network when it is mapped onto an
+electrical one:
+
+====================  =======================  =======================
+mechanical element    FI analogy (paper)       FV analogy
+====================  =======================  =======================
+velocity  v           node voltage             branch current
+force     F           branch current           branch voltage
+mass      m           capacitor  C = m         inductor  L = m
+spring    k           inductor   L = 1/k       capacitor C = 1/k
+damper    alpha       resistor   R = 1/alpha   resistor  R = alpha
+====================  =======================  =======================
+
+:class:`Analogy` captures both mappings so the same mechanical resonator can
+be instantiated either way; ``benchmarks/bench_ablation_analogy.py`` checks
+that both give identical resonant behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..errors import NatureError
+
+__all__ = ["Analogy", "AnalogMapping", "FORCE_CURRENT", "FORCE_VOLTAGE"]
+
+
+class Analogy(enum.Enum):
+    """Which electrical/mechanical analogy is in force."""
+
+    FORCE_CURRENT = "force_current"
+    FORCE_VOLTAGE = "force_voltage"
+
+    @property
+    def mapping(self) -> "AnalogMapping":
+        """Return the :class:`AnalogMapping` implementing this analogy."""
+        return _MAPPINGS[self]
+
+
+@dataclass(frozen=True)
+class AnalogMapping:
+    """Concrete element-value mapping for one analogy.
+
+    Methods return the electrical element value equivalent to a mechanical
+    element, and the inverse mappings recover the mechanical parameter from
+    an electrical one.  All parameters must be strictly positive.
+    """
+
+    analogy: "Analogy"
+
+    # -- mechanical -> electrical -------------------------------------------------
+    def mass_to_element(self, mass: float) -> float:
+        """Capacitance (FI) or inductance (FV) equivalent to ``mass`` [kg]."""
+        _require_positive("mass", mass)
+        return mass
+
+    def spring_to_element(self, stiffness: float) -> float:
+        """Inductance (FI) or capacitance (FV) equivalent to ``stiffness`` [N/m]."""
+        _require_positive("stiffness", stiffness)
+        return 1.0 / stiffness
+
+    def damper_to_element(self, damping: float) -> float:
+        """Resistance equivalent to the damping coefficient ``damping`` [N*s/m]."""
+        _require_positive("damping", damping)
+        if self.analogy is Analogy.FORCE_CURRENT:
+            return 1.0 / damping
+        return damping
+
+    # -- electrical -> mechanical -------------------------------------------------
+    def element_to_mass(self, value: float) -> float:
+        """Inverse of :meth:`mass_to_element`."""
+        _require_positive("element value", value)
+        return value
+
+    def element_to_spring(self, value: float) -> float:
+        """Inverse of :meth:`spring_to_element`."""
+        _require_positive("element value", value)
+        return 1.0 / value
+
+    def element_to_damper(self, value: float) -> float:
+        """Inverse of :meth:`damper_to_element`."""
+        _require_positive("element value", value)
+        if self.analogy is Analogy.FORCE_CURRENT:
+            return 1.0 / value
+        return value
+
+    # -- derived system quantities ------------------------------------------------
+    def resonant_frequency(self, mass: float, stiffness: float) -> float:
+        """Undamped natural frequency ``sqrt(k/m)/(2*pi)`` [Hz].
+
+        The analogy does not change the physics; this helper exists so that
+        tests can confirm both mappings predict the same resonance from their
+        electrical element values.
+        """
+        _require_positive("mass", mass)
+        _require_positive("stiffness", stiffness)
+        return math.sqrt(stiffness / mass) / (2.0 * math.pi)
+
+    def quality_factor(self, mass: float, stiffness: float, damping: float) -> float:
+        """Quality factor ``sqrt(k*m)/alpha`` of the mass-spring-damper."""
+        _require_positive("mass", mass)
+        _require_positive("stiffness", stiffness)
+        _require_positive("damping", damping)
+        return math.sqrt(stiffness * mass) / damping
+
+    def damping_ratio(self, mass: float, stiffness: float, damping: float) -> float:
+        """Damping ratio ``alpha / (2*sqrt(k*m))`` (1 = critical damping)."""
+        return 0.5 / self.quality_factor(mass, stiffness, damping)
+
+
+def _require_positive(name: str, value: float) -> None:
+    if not (value > 0.0) or math.isinf(value) or math.isnan(value):
+        raise NatureError(f"{name} must be a positive finite number, got {value!r}")
+
+
+FORCE_CURRENT = AnalogMapping(Analogy.FORCE_CURRENT)
+FORCE_VOLTAGE = AnalogMapping(Analogy.FORCE_VOLTAGE)
+
+_MAPPINGS = {
+    Analogy.FORCE_CURRENT: FORCE_CURRENT,
+    Analogy.FORCE_VOLTAGE: FORCE_VOLTAGE,
+}

@@ -1,0 +1,227 @@
+"""Nature (physical-domain) definitions and registry.
+
+A *nature* names a physical discipline and the units of its conjugate
+across/through pair.  Terminals (pins) of devices are typed by nature; the
+netlist refuses to connect pins of different natures to the same node, which
+catches the classic error of wiring a mechanical port straight into an
+electrical net without a transducer in between.
+
+The built-in natures reproduce the columns of the paper's Table 1 plus the
+thermal domain (pseudo bond-graph convention: effort = temperature,
+flow = heat flow, so the product is *not* a power -- flagged by
+``is_power_conjugate``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import NatureError
+
+__all__ = [
+    "Nature",
+    "ELECTRICAL",
+    "MECHANICAL_TRANSLATION",
+    "MECHANICAL_ROTATION",
+    "HYDRAULIC",
+    "THERMAL",
+    "MECHANICAL1",
+    "register_nature",
+    "get_nature",
+    "all_natures",
+]
+
+
+@dataclass(frozen=True)
+class Nature:
+    """A physical discipline with named across/through/state variables.
+
+    Attributes
+    ----------
+    name:
+        Canonical lower-case identifier (``"electrical"``).
+    across_name / across_unit:
+        The effort (intensive) variable, e.g. voltage [V] or velocity [m/s].
+    through_name / through_unit:
+        The flow variable, e.g. current [A] or force [N].
+    state_name / state_unit:
+        The extensive variable, the time integral of the flow
+        (charge [C], displacement [m], volume [m^3]).
+    momentum_name / momentum_unit:
+        The time integral of the effort (flux linkage, momentum, ...).
+    is_power_conjugate:
+        True when across x through has units of watts.  All Table 1 domains
+        are power-conjugate; the pseudo-bond-graph thermal domain is not.
+    aliases:
+        Alternative names accepted by :func:`get_nature` (HDL-A spells the
+        translational domain ``mechanical1``).
+    """
+
+    name: str
+    across_name: str
+    across_unit: str
+    through_name: str
+    through_unit: str
+    state_name: str
+    state_unit: str
+    momentum_name: str
+    momentum_unit: str
+    is_power_conjugate: bool = True
+    aliases: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.islower():
+            raise NatureError(f"nature name must be non-empty lower-case: {self.name!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    @property
+    def across_symbol(self) -> str:
+        """Conventional one-letter symbol of the across variable."""
+        return _SYMBOLS.get(self.name, ("e", "f", "q"))[0]
+
+    @property
+    def through_symbol(self) -> str:
+        """Conventional one-letter symbol of the through variable."""
+        return _SYMBOLS.get(self.name, ("e", "f", "q"))[1]
+
+    @property
+    def state_symbol(self) -> str:
+        """Conventional one-letter symbol of the state variable."""
+        return _SYMBOLS.get(self.name, ("e", "f", "q"))[2]
+
+    def describe(self) -> str:
+        """Return a one-line human-readable description (Table 1 row)."""
+        return (
+            f"{self.name}: effort={self.across_name} [{self.across_unit}], "
+            f"flow={self.through_name} [{self.through_unit}], "
+            f"state={self.state_name} [{self.state_unit}], "
+            f"momentum={self.momentum_name} [{self.momentum_unit}]"
+        )
+
+
+_SYMBOLS = {
+    "electrical": ("v", "i", "q"),
+    "mechanical_translation": ("v", "f", "x"),
+    "mechanical_rotation": ("w", "t", "theta"),
+    "hydraulic": ("p", "phi", "V"),
+    "thermal": ("T", "q", "Q"),
+}
+
+
+ELECTRICAL = Nature(
+    name="electrical",
+    across_name="voltage",
+    across_unit="V",
+    through_name="current",
+    through_unit="A",
+    state_name="charge",
+    state_unit="C",
+    momentum_name="flux linkage",
+    momentum_unit="Wb",
+    aliases=("electric", "elec"),
+)
+
+MECHANICAL_TRANSLATION = Nature(
+    name="mechanical_translation",
+    across_name="velocity",
+    across_unit="m/s",
+    through_name="force",
+    through_unit="N",
+    state_name="displacement",
+    state_unit="m",
+    momentum_name="momentum",
+    momentum_unit="kg*m/s",
+    aliases=("mechanical1", "mechanical", "translation", "kinematic"),
+)
+
+MECHANICAL_ROTATION = Nature(
+    name="mechanical_rotation",
+    across_name="angular velocity",
+    across_unit="rad/s",
+    through_name="torque",
+    through_unit="N*m",
+    state_name="angle",
+    state_unit="rad",
+    momentum_name="angular momentum",
+    momentum_unit="kg*m^2/s",
+    aliases=("mechanical2", "rotation", "rotational"),
+)
+
+HYDRAULIC = Nature(
+    name="hydraulic",
+    across_name="pressure",
+    across_unit="Pa",
+    through_name="volume flow rate",
+    through_unit="m^3/s",
+    state_name="volume",
+    state_unit="m^3",
+    momentum_name="pressure momentum",
+    momentum_unit="Pa*s",
+    aliases=("fluidic", "fluid"),
+)
+
+THERMAL = Nature(
+    name="thermal",
+    across_name="temperature",
+    across_unit="K",
+    through_name="heat flow",
+    through_unit="W",
+    state_name="heat",
+    state_unit="J",
+    momentum_name="(none)",
+    momentum_unit="-",
+    is_power_conjugate=False,
+    aliases=("thermic",),
+)
+
+#: HDL-A name for the translational mechanical nature (used in Listing 1).
+MECHANICAL1 = MECHANICAL_TRANSLATION
+
+_REGISTRY: dict[str, Nature] = {}
+
+
+def register_nature(nature: Nature) -> Nature:
+    """Register ``nature`` (and its aliases) so :func:`get_nature` finds it.
+
+    Re-registering the same object is a no-op; registering a different nature
+    under an existing name raises :class:`~repro.errors.NatureError`.
+    """
+    for key in (nature.name, *nature.aliases):
+        key = key.lower()
+        existing = _REGISTRY.get(key)
+        if existing is not None and existing != nature:
+            raise NatureError(f"nature name {key!r} already registered for {existing.name}")
+        _REGISTRY[key] = nature
+    return nature
+
+
+def get_nature(name: str | Nature) -> Nature:
+    """Look up a nature by name or alias (case-insensitive).
+
+    Passing a :class:`Nature` instance returns it unchanged, which lets API
+    functions accept either form.
+    """
+    if isinstance(name, Nature):
+        return name
+    if not isinstance(name, str):
+        raise NatureError(f"expected nature name, got {type(name).__name__}")
+    nature = _REGISTRY.get(name.lower())
+    if nature is None:
+        known = ", ".join(sorted({n.name for n in _REGISTRY.values()}))
+        raise NatureError(f"unknown nature {name!r}; known natures: {known}")
+    return nature
+
+
+def all_natures() -> list[Nature]:
+    """Return the distinct registered natures in registration order."""
+    seen: list[Nature] = []
+    for nature in _REGISTRY.values():
+        if nature not in seen:
+            seen.append(nature)
+    return seen
+
+
+for _nature in (ELECTRICAL, MECHANICAL_TRANSLATION, MECHANICAL_ROTATION, HYDRAULIC, THERMAL):
+    register_nature(_nature)

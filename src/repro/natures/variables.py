@@ -1,0 +1,100 @@
+"""Generalized power/state variables (Table 1 of the paper).
+
+The functions here express the algebra the paper summarises in Table 1:
+
+* instantaneous power is the product of the conjugate effort and flow,
+* the flow is the time derivative of the state variable,
+* the effort is the time derivative of the momentum variable,
+* energy increments are ``effort * d(state)`` or ``flow * d(momentum)``.
+
+They operate on plain floats or numpy arrays and are primarily used by the
+tests and by ``benchmarks/bench_table1_domains.py`` to check that every
+registered nature is a consistent power-conjugate pair.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from .nature import Nature
+
+__all__ = ["VariableRole", "GeneralizedVariables", "power", "energy_increment"]
+
+
+class VariableRole(enum.Enum):
+    """Role of a generalized variable within a nature."""
+
+    EFFORT = "effort"
+    FLOW = "flow"
+    STATE = "state"
+    MOMENTUM = "momentum"
+
+
+@dataclass
+class GeneralizedVariables:
+    """Time histories of the four generalized variables of one port.
+
+    The class is a small container used by tests, the energy-method
+    derivation and the PXT report generator.  Arrays must share one time
+    base ``t``.
+    """
+
+    nature: Nature
+    t: np.ndarray
+    effort: np.ndarray
+    flow: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.t = np.asarray(self.t, dtype=float)
+        self.effort = np.asarray(self.effort, dtype=float)
+        self.flow = np.asarray(self.flow, dtype=float)
+        if not (self.t.shape == self.effort.shape == self.flow.shape):
+            raise ValueError("t, effort and flow must have identical shapes")
+
+    @property
+    def state(self) -> np.ndarray:
+        """State variable: cumulative time integral of the flow."""
+        return cumulative_integral(self.t, self.flow)
+
+    @property
+    def momentum(self) -> np.ndarray:
+        """Momentum variable: cumulative time integral of the effort."""
+        return cumulative_integral(self.t, self.effort)
+
+    @property
+    def power(self) -> np.ndarray:
+        """Instantaneous power flowing into the port."""
+        return self.effort * self.flow
+
+    @property
+    def energy(self) -> np.ndarray:
+        """Cumulative energy delivered into the port."""
+        return cumulative_integral(self.t, self.power)
+
+
+def power(effort: float | np.ndarray, flow: float | np.ndarray) -> float | np.ndarray:
+    """Instantaneous power of a conjugate effort/flow pair."""
+    return effort * flow
+
+
+def energy_increment(effort: float | np.ndarray, dstate: float | np.ndarray) -> float | np.ndarray:
+    """Energy increment ``effort * d(state)`` (the integrands of Table 1)."""
+    return effort * dstate
+
+
+def cumulative_integral(t: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Trapezoidal cumulative integral of ``y`` over ``t`` starting at zero."""
+    t = np.asarray(t, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if t.shape != y.shape:
+        raise ValueError("t and y must have the same shape")
+    if t.size == 0:
+        return np.zeros(0)
+    out = np.zeros_like(y)
+    if t.size > 1:
+        dt = np.diff(t)
+        out[1:] = np.cumsum(0.5 * (y[1:] + y[:-1]) * dt)
+    return out

@@ -1,0 +1,51 @@
+"""PXT -- physical parameter extractor and HDL model generator.
+
+Reproduction of the paper's tool contribution: "A physical parameter
+extractor (PXT) based on the numerical integration of nodal (and element)
+degrees of freedom has been developed, and interfaces with ANSYS. [...] By
+iterating the variation of boundary conditions and extracting the parameter
+of interest, a piecewise linear behavioral macro model is created.  A HDL-A
+model is then generated."
+
+The workflow maps one-to-one onto the paper's:
+
+1. :class:`~repro.pxt.extractor.ParameterExtractor` drives the FE substrate
+   (:mod:`repro.fem`) over sweeps of boundary conditions (voltage,
+   displacement) and integrates DOF densities over the terminal surfaces to
+   obtain charges, capacitances and Maxwell-stress forces (figure 6),
+2. :mod:`repro.pxt.macromodel` turns the sweep data into piecewise-linear /
+   bilinear table macromodels,
+3. :mod:`repro.pxt.fitting` fits rational transfer functions to harmonic FE
+   responses (the "polynomial filter" of the paper),
+4. :mod:`repro.pxt.hdl_codegen` and :mod:`repro.pxt.dataflow` emit HDL-A
+   models (static table models and data-flow second-order models) that parse
+   and elaborate back through :mod:`repro.hdl`,
+5. :mod:`repro.pxt.report` produces the PXT output log of figure 6.
+"""
+
+from .extractor import ParameterExtractor, ExtractionPoint, ExtractionSweep
+from .macromodel import PiecewiseLinearModel, BilinearTableModel
+from .fitting import SecondOrderFit, fit_second_order, fit_rational, RationalFit
+from .hdl_codegen import generate_electrostatic_macromodel, generate_table_capacitor
+from .dataflow import generate_second_order_model, build_second_order_device
+from .report import ExtractionReport
+from .sweeps import displacement_sweep, voltage_sweep
+
+__all__ = [
+    "ParameterExtractor",
+    "ExtractionPoint",
+    "ExtractionSweep",
+    "PiecewiseLinearModel",
+    "BilinearTableModel",
+    "SecondOrderFit",
+    "fit_second_order",
+    "RationalFit",
+    "fit_rational",
+    "generate_electrostatic_macromodel",
+    "generate_table_capacitor",
+    "generate_second_order_model",
+    "build_second_order_device",
+    "ExtractionReport",
+    "displacement_sweep",
+    "voltage_sweep",
+]

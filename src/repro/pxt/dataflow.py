@@ -1,0 +1,81 @@
+"""Data-flow (dynamic) model generation from harmonic-response fits.
+
+The paper: "Harmonic FE analysis produces real and imaginary data of DOFs as
+discrete functions of frequencies [...] A polynomial filter is fitted to such
+a macro model, and thus generating a data flow HDL-A model."
+
+Here the identified second-order parameters (:class:`~repro.pxt.fitting.SecondOrderFit`)
+become either
+
+* HDL-A source text (:func:`generate_second_order_model`) implementing the
+  force-to-velocity admittance of the fitted resonator as a one-port
+  mechanical model, or
+* a ready-to-use :class:`~repro.circuit.devices.behavioral.BehavioralDevice`
+  (:func:`build_second_order_device`) for direct instantiation without going
+  through the HDL text (useful in tests and for ad-hoc system studies).
+
+Both forms represent the same constitutive relation: the port force follows
+``F = m * dv/dt + c * v + k * integ(v)``.
+"""
+
+from __future__ import annotations
+
+from ..circuit.devices.behavioral import BehavioralDevice, BehaviorContext, Port
+from ..circuit.netlist import Node
+from ..errors import ExtractionError
+from ..hdl.codegen import generate_model
+from ..natures import MECHANICAL_TRANSLATION
+from .fitting import SecondOrderFit
+
+__all__ = ["generate_second_order_model", "build_second_order_device"]
+
+
+def generate_second_order_model(name: str, fit: SecondOrderFit) -> str:
+    """Emit HDL-A source of the fitted resonator as a mechanical one-port."""
+    _validate(fit)
+    body = [
+        "U := [c, e].tv",
+        "x := integ(U)",
+        "[c, e].f %= m*ddt(U) + alpha*U + k*x",
+    ]
+    return generate_model(
+        name,
+        generics={"m": fit.mass, "alpha": fit.damping, "k": fit.stiffness},
+        pins={"c": "mechanical1", "e": "mechanical1"},
+        variables=["x"],
+        states=["U"],
+        body_statements=body,
+        header_comment=(
+            "PXT generated data-flow model (second-order fit of a harmonic FE response)\n"
+            f"f0 = {fit.natural_frequency_hz:.4g} Hz, Q = {fit.quality_factor:.4g}"),
+    )
+
+
+def build_second_order_device(name: str, fit: SecondOrderFit,
+                              p: Node, n: Node, x0: float = 0.0) -> BehavioralDevice:
+    """Build the fitted resonator directly as a behavioral device."""
+    _validate(fit)
+
+    def behavior(ctx: BehaviorContext) -> None:
+        velocity = ctx.across("mech")
+        displacement = ctx.integ(velocity, key="x", initial=x0)
+        force = fit.mass * ctx.ddt(velocity, key="v") \
+            + fit.damping * velocity + fit.stiffness * displacement
+        ctx.contribute("mech", force)
+        ctx.record("x", displacement)
+        ctx.record("force", force)
+
+    return BehavioralDevice(
+        name,
+        [Port("mech", p, n, MECHANICAL_TRANSLATION)],
+        behavior,
+        params={"m": fit.mass, "alpha": fit.damping, "k": fit.stiffness},
+        state_initials={"x": x0},
+    )
+
+
+def _validate(fit: SecondOrderFit) -> None:
+    if fit.mass <= 0.0 or fit.stiffness <= 0.0 or fit.damping < 0.0:
+        raise ExtractionError(
+            f"second-order fit is not physical (m={fit.mass:g}, c={fit.damping:g}, "
+            f"k={fit.stiffness:g})")

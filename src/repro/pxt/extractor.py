@@ -1,0 +1,184 @@
+"""The PXT parameter extractor: FE sweeps -> lumped macro-parameters.
+
+The extractor reproduces the figure-6 workflow of the paper:
+
+1. for each boundary-condition point (electrode displacement, applied
+   voltage) an electrostatic FE problem of the transducer gap is built and
+   solved,
+2. the conjugate quantities are obtained by numerical integration of DOF
+   densities over the terminal surface -- charge from the normal flux,
+   force from the Maxwell stress ``1/2 eps E^2``, capacitance from the field
+   energy,
+3. the sweep results become piecewise-linear / bilinear macromodels
+   (:mod:`repro.pxt.macromodel`), from which HDL-A models are generated
+   (:mod:`repro.pxt.hdl_codegen`).
+
+The extractor works on the *paper's* transverse electrostatic geometry
+(Table 4) but accepts any gap/area/permittivity combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..constants import EPSILON_0
+from ..errors import ExtractionError
+from ..fem.electrostatics import ElectrostaticSolution, ParallelPlateProblem
+from .macromodel import BilinearTableModel, PiecewiseLinearModel
+
+__all__ = ["ExtractionPoint", "ExtractionSweep", "ParameterExtractor"]
+
+
+@dataclass(frozen=True)
+class ExtractionPoint:
+    """One solved boundary-condition point of a sweep."""
+
+    displacement: float
+    voltage: float
+    capacitance: float
+    charge: float
+    force: float
+    energy: float
+    field: float
+
+
+@dataclass
+class ExtractionSweep:
+    """A collection of extraction points with convenience accessors."""
+
+    points: list[ExtractionPoint] = field(default_factory=list)
+
+    def displacements(self) -> np.ndarray:
+        return np.array(sorted({p.displacement for p in self.points}))
+
+    def voltages(self) -> np.ndarray:
+        return np.array(sorted({p.voltage for p in self.points}))
+
+    def at(self, displacement: float, voltage: float) -> ExtractionPoint:
+        """The stored point closest to the requested boundary conditions."""
+        if not self.points:
+            raise ExtractionError("the sweep holds no points")
+        return min(self.points,
+                   key=lambda p: abs(p.displacement - displacement) + abs(p.voltage - voltage))
+
+
+class ParameterExtractor:
+    """Boundary-condition sweeps over the electrostatic FE model.
+
+    Parameters
+    ----------
+    area:
+        Electrode area ``A`` [m^2].
+    gap:
+        Rest gap ``d`` [m].
+    epsilon_r:
+        Relative permittivity of the gap.
+    gap_orientation:
+        ``"paper"``: effective gap is ``d + x`` (Table 2 convention);
+        ``"closing"``: ``d - x``.
+    nx, ny:
+        FE mesh divisions used for every solve.
+    """
+
+    def __init__(self, area: float, gap: float, epsilon_r: float = 1.0,
+                 gap_orientation: str = "paper", nx: int = 24, ny: int = 16,
+                 epsilon_0: float = EPSILON_0) -> None:
+        if area <= 0.0 or gap <= 0.0 or epsilon_r <= 0.0:
+            raise ExtractionError("area, gap and epsilon_r must be positive")
+        if gap_orientation not in ("paper", "closing"):
+            raise ExtractionError("gap_orientation must be 'paper' or 'closing'")
+        self.area = float(area)
+        self.gap = float(gap)
+        self.epsilon_r = float(epsilon_r)
+        self.gap_orientation = gap_orientation
+        self.nx = int(nx)
+        self.ny = int(ny)
+        self.epsilon_0 = float(epsilon_0)
+
+    # ------------------------------------------------------------------ solves
+    def effective_gap(self, displacement: float) -> float:
+        """Electrode separation at a given free-plate displacement."""
+        gap = self.gap + displacement if self.gap_orientation == "paper" \
+            else self.gap - displacement
+        if gap <= 0.0:
+            raise ExtractionError(
+                f"displacement {displacement:g} closes the gap (effective gap {gap:g})")
+        return gap
+
+    def solve_point(self, displacement: float, voltage: float) -> ExtractionPoint:
+        """Solve one FE problem and extract all conjugate quantities."""
+        problem = ParallelPlateProblem.from_area(
+            area=self.area, gap=self.effective_gap(displacement),
+            epsilon_r=self.epsilon_r, nx=self.nx, ny=self.ny,
+            epsilon_0=self.epsilon_0)
+        solution = problem.solve(voltage if voltage != 0.0 else 1.0)
+        capacitance = solution.capacitance
+        if voltage == 0.0:
+            # Re-scale the unit-voltage solve back to zero drive.
+            charge = 0.0
+            force = 0.0
+            energy = 0.0
+            field = 0.0
+        else:
+            charge = solution.electrode_charge()
+            force = solution.electrode_force()
+            energy = solution.energy
+            field = solution.uniform_field_estimate()
+        return ExtractionPoint(
+            displacement=float(displacement), voltage=float(voltage),
+            capacitance=float(capacitance), charge=float(charge),
+            force=float(force), energy=float(energy), field=float(field))
+
+    def sweep(self, displacements: Iterable[float],
+              voltages: Iterable[float]) -> ExtractionSweep:
+        """Solve the full cartesian sweep of displacements x voltages."""
+        sweep = ExtractionSweep()
+        for displacement in displacements:
+            for voltage in voltages:
+                sweep.points.append(self.solve_point(float(displacement), float(voltage)))
+        if not sweep.points:
+            raise ExtractionError("empty extraction sweep")
+        return sweep
+
+    # ------------------------------------------------------------------ macromodels
+    def capacitance_model(self, displacements: Sequence[float],
+                          probe_voltage: float = 1.0) -> PiecewiseLinearModel:
+        """Piecewise-linear ``C(x)`` macromodel from an FE displacement sweep."""
+        displacements = sorted(float(x) for x in displacements)
+        capacitances = [self.solve_point(x, probe_voltage).capacitance
+                        for x in displacements]
+        return PiecewiseLinearModel(tuple(displacements), tuple(capacitances),
+                                    quantity="capacitance", unit="F")
+
+    def force_model(self, displacements: Sequence[float],
+                    voltages: Sequence[float]) -> BilinearTableModel:
+        """Bilinear ``F(x, V)`` macromodel (force magnitude) from an FE sweep."""
+        displacements = sorted(float(x) for x in displacements)
+        voltages = sorted(float(v) for v in voltages)
+        rows = []
+        for displacement in displacements:
+            row = [self.solve_point(displacement, voltage).force for voltage in voltages]
+            rows.append(tuple(row))
+        return BilinearTableModel(tuple(displacements), tuple(voltages), tuple(rows),
+                                  quantity="force", unit="N")
+
+    def force_vs_voltage(self, voltages: Sequence[float],
+                         displacement: float = 0.0) -> PiecewiseLinearModel:
+        """Piecewise-linear ``F(V)`` at a fixed displacement (figure-6 sweep)."""
+        voltages = sorted(float(v) for v in voltages)
+        forces = [self.solve_point(displacement, voltage).force for voltage in voltages]
+        return PiecewiseLinearModel(tuple(voltages), tuple(forces),
+                                    quantity="force", unit="N")
+
+    # ------------------------------------------------------------------ references
+    def analytic_capacitance(self, displacement: float = 0.0) -> float:
+        """Closed-form ``eps A / gap(x)`` for validation."""
+        return self.epsilon_0 * self.epsilon_r * self.area / self.effective_gap(displacement)
+
+    def analytic_force(self, voltage: float, displacement: float = 0.0) -> float:
+        """Closed-form attractive force magnitude (Table 3, row a)."""
+        gap = self.effective_gap(displacement)
+        return 0.5 * self.epsilon_0 * self.epsilon_r * self.area * voltage * voltage / (gap * gap)

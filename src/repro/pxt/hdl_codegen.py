@@ -1,0 +1,106 @@
+"""HDL-A model generation from PXT macromodels.
+
+This is the paper's "A HDL-A model is then generated" step: the extracted
+piecewise-linear tables are embedded into behavioral HDL-A source text that
+parses and elaborates through :mod:`repro.hdl` into a device functionally
+equivalent to the characterized transducer.
+
+Two generators are provided:
+
+* :func:`generate_table_capacitor` -- a one-port electrical model whose
+  charge is ``q = C(x0) * v`` with ``C`` looked up from the table at a fixed
+  displacement generic (useful as a sanity model and in unit tests),
+* :func:`generate_electrostatic_macromodel` -- the full two-port transducer
+  macromodel: the electrical port integrates the charge built from the
+  ``C(x)`` table, the mechanical port receives the Maxwell-stress force
+  scaled from the reference-voltage force table by ``(v / v_ref)^2`` (the
+  force of an electrostatic transducer is exactly quadratic in the voltage,
+  so the scaling introduces no model error beyond the table itself).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ExtractionError
+from ..hdl.codegen import generate_model, table1d_expression
+from .macromodel import PiecewiseLinearModel
+
+__all__ = ["generate_table_capacitor", "generate_electrostatic_macromodel"]
+
+
+def generate_table_capacitor(name: str, capacitance_model: PiecewiseLinearModel,
+                             displacement: float = 0.0) -> str:
+    """Emit a one-port HDL-A capacitor whose value comes from a C(x) table."""
+    table = table1d_expression("xpos", capacitance_model.xs, capacitance_model.ys)
+    body = [
+        "V := [p, n].v",
+        f"xpos := {displacement!r}",
+        f"c := {table}",
+        "[p, n].i %= ddt(c*V)",
+    ]
+    return generate_model(
+        name,
+        generics={"scale": 1.0},
+        pins={"p": "electrical", "n": "electrical"},
+        variables=["c", "xpos"],
+        states=["V"],
+        body_statements=body,
+        header_comment=(f"PXT generated table capacitor ({capacitance_model.quantity}"
+                        f" [{capacitance_model.unit}])"),
+    )
+
+
+def generate_electrostatic_macromodel(name: str,
+                                      capacitance_model: PiecewiseLinearModel,
+                                      force_model: PiecewiseLinearModel,
+                                      reference_voltage: float) -> str:
+    """Emit the two-port electrostatic transducer macromodel.
+
+    Parameters
+    ----------
+    name:
+        Entity name of the generated model.
+    capacitance_model:
+        ``C(x)`` piecewise-linear table from :class:`~repro.pxt.extractor.ParameterExtractor`.
+    force_model:
+        Force-magnitude table ``F(x)`` extracted at ``reference_voltage``.
+    reference_voltage:
+        Voltage at which the force table was extracted (must be non-zero).
+
+    The generated model follows Listing 1's structure: pins ``a, b``
+    (electrical) and ``c, e`` (mechanical1), displacement obtained by
+    integrating the mechanical across velocity, charge contribution through
+    ``ddt`` and the (attractive, hence negative) force contribution scaled by
+    ``(v / v_ref)^2``.
+    """
+    if reference_voltage == 0.0:
+        raise ExtractionError("the force table needs a non-zero reference voltage")
+    if capacitance_model.span != force_model.span:
+        # Not fatal, but worth refusing: the tables should come from one sweep.
+        raise ExtractionError(
+            "capacitance and force tables cover different displacement ranges: "
+            f"{capacitance_model.span} vs {force_model.span}")
+    c_table = table1d_expression("x", capacitance_model.xs, capacitance_model.ys)
+    f_table = table1d_expression("x", force_model.xs, force_model.ys)
+    body = [
+        "V := [a, b].v",
+        "S := [c, e].tv",
+        "x := integ(S)",
+        f"cap := {c_table}",
+        f"fmag := {f_table}",
+        "[a, b].i %= ddt(cap*V)",
+        f"[c, e].f %= -fmag*V*V/(vref*vref)",
+    ]
+    return generate_model(
+        name,
+        generics={"vref": float(reference_voltage)},
+        pins={"a": "electrical", "b": "electrical", "c": "mechanical1", "e": "mechanical1"},
+        variables=["cap", "fmag", "x"],
+        states=["V", "S"],
+        body_statements=body,
+        header_comment=(
+            "PXT generated electrostatic transducer macromodel\n"
+            f"capacitance table: {len(capacitance_model.xs)} points, "
+            f"force table: {len(force_model.xs)} points at Vref = {reference_voltage:g} V"),
+    )

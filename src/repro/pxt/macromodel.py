@@ -1,0 +1,177 @@
+"""Table-based macromodels produced by PXT sweeps.
+
+Two table types cover the paper's "piecewise linear behavioral macro model":
+
+* :class:`PiecewiseLinearModel` -- one independent variable (e.g. capacitance
+  versus displacement),
+* :class:`BilinearTableModel` -- two independent variables (e.g. force versus
+  displacement and voltage).
+
+Both evaluate with dual-number-friendly arithmetic so a macromodel can be
+used directly inside a behavioral device, and both can report their worst
+relative deviation from a reference callable (used by the table-density
+ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import MacroModelError
+
+__all__ = ["PiecewiseLinearModel", "BilinearTableModel"]
+
+
+def _value(x) -> float:
+    return float(getattr(x, "value", x))
+
+
+@dataclass
+class PiecewiseLinearModel:
+    """Piecewise-linear interpolation of samples ``(x_k, y_k)``.
+
+    Outside the sampled range the first/last segment is extrapolated
+    (documented PXT behaviour; extrapolation quality is the user's
+    responsibility and is reported by :meth:`max_relative_error`).
+    """
+
+    xs: tuple[float, ...]
+    ys: tuple[float, ...]
+    quantity: str = "value"
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise MacroModelError("xs and ys must have the same length")
+        if len(self.xs) < 2:
+            raise MacroModelError("a piecewise-linear model needs at least two points")
+        if any(b <= a for a, b in zip(self.xs, self.xs[1:])):
+            raise MacroModelError("breakpoints must be strictly increasing")
+        self.xs = tuple(float(x) for x in self.xs)
+        self.ys = tuple(float(y) for y in self.ys)
+
+    # ------------------------------------------------------------------ evaluation
+    def __call__(self, x):
+        """Interpolated value at ``x`` (float or dual number)."""
+        xv = _value(x)
+        index = self._segment(xv)
+        x0, x1 = self.xs[index], self.xs[index + 1]
+        y0, y1 = self.ys[index], self.ys[index + 1]
+        slope = (y1 - y0) / (x1 - x0)
+        return y0 + slope * (x - x0)
+
+    def derivative(self, x) -> float:
+        """Slope of the active segment at ``x``."""
+        index = self._segment(_value(x))
+        x0, x1 = self.xs[index], self.xs[index + 1]
+        return (self.ys[index + 1] - self.ys[index]) / (x1 - x0)
+
+    def _segment(self, x: float) -> int:
+        index = 0
+        for k in range(len(self.xs) - 1):
+            if x >= self.xs[k]:
+                index = k
+        return index
+
+    # ------------------------------------------------------------------ quality
+    def max_relative_error(self, reference: Callable[[float], float],
+                           samples: int = 200) -> float:
+        """Worst |model - reference| / |reference| over a dense grid."""
+        grid = np.linspace(self.xs[0], self.xs[-1], samples)
+        worst = 0.0
+        for x in grid:
+            ref = reference(float(x))
+            if ref == 0.0:
+                continue
+            worst = max(worst, abs(self(float(x)) - ref) / abs(ref))
+        return worst
+
+    @property
+    def span(self) -> tuple[float, float]:
+        """Sampled range of the independent variable."""
+        return self.xs[0], self.xs[-1]
+
+    def resampled(self, count: int) -> "PiecewiseLinearModel":
+        """A coarser/finer model re-sampled from this one on a uniform grid."""
+        if count < 2:
+            raise MacroModelError("resampling needs at least two points")
+        xs = np.linspace(self.xs[0], self.xs[-1], count)
+        ys = [self(float(x)) for x in xs]
+        return PiecewiseLinearModel(tuple(xs), tuple(float(y) for y in ys),
+                                    quantity=self.quantity, unit=self.unit)
+
+
+@dataclass
+class BilinearTableModel:
+    """Bilinear interpolation on a rectangular grid of samples ``z[i, j]``.
+
+    Rows follow the first independent variable (``xs``), columns the second
+    (``ys``).  Evaluation clamps to the grid boundary (no extrapolation) --
+    two-variable extrapolation is too easy to get silently wrong.
+    """
+
+    xs: tuple[float, ...]
+    ys: tuple[float, ...]
+    values: tuple[tuple[float, ...], ...]
+    quantity: str = "value"
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.xs) < 2 or len(self.ys) < 2:
+            raise MacroModelError("a bilinear table needs at least a 2x2 grid")
+        if any(b <= a for a, b in zip(self.xs, self.xs[1:])):
+            raise MacroModelError("xs must be strictly increasing")
+        if any(b <= a for a, b in zip(self.ys, self.ys[1:])):
+            raise MacroModelError("ys must be strictly increasing")
+        if len(self.values) != len(self.xs) or any(len(row) != len(self.ys)
+                                                   for row in self.values):
+            raise MacroModelError("values must form a len(xs) x len(ys) grid")
+        self.xs = tuple(float(x) for x in self.xs)
+        self.ys = tuple(float(y) for y in self.ys)
+        self.values = tuple(tuple(float(v) for v in row) for row in self.values)
+
+    def __call__(self, x, y):
+        """Bilinearly interpolated value at ``(x, y)`` (dual-friendly)."""
+        xv = min(max(_value(x), self.xs[0]), self.xs[-1])
+        yv = min(max(_value(y), self.ys[0]), self.ys[-1])
+        i = self._segment(self.xs, xv)
+        j = self._segment(self.ys, yv)
+        x0, x1 = self.xs[i], self.xs[i + 1]
+        y0, y1 = self.ys[j], self.ys[j + 1]
+        # Clamp the *symbolic* coordinates as well so extrapolating inputs do
+        # not leave the grid (consistent with the value clamping above).
+        tx = (x - x0) / (x1 - x0)
+        ty = (y - y0) / (y1 - y0)
+        tx = tx if 0.0 <= _value(tx) <= 1.0 else float(min(max(_value(tx), 0.0), 1.0))
+        ty = ty if 0.0 <= _value(ty) <= 1.0 else float(min(max(_value(ty), 0.0), 1.0))
+        z00 = self.values[i][j]
+        z10 = self.values[i + 1][j]
+        z01 = self.values[i][j + 1]
+        z11 = self.values[i + 1][j + 1]
+        return (z00 * (1.0 - tx) * (1.0 - ty) + z10 * tx * (1.0 - ty)
+                + z01 * (1.0 - tx) * ty + z11 * tx * ty)
+
+    @staticmethod
+    def _segment(axis: tuple[float, ...], value: float) -> int:
+        index = 0
+        for k in range(len(axis) - 1):
+            if value >= axis[k]:
+                index = k
+        return index
+
+    def max_relative_error(self, reference: Callable[[float, float], float],
+                           samples: int = 40) -> float:
+        """Worst relative deviation from ``reference`` over a dense grid."""
+        xg = np.linspace(self.xs[0], self.xs[-1], samples)
+        yg = np.linspace(self.ys[0], self.ys[-1], samples)
+        worst = 0.0
+        for x in xg:
+            for y in yg:
+                ref = reference(float(x), float(y))
+                if ref == 0.0:
+                    continue
+                worst = max(worst, abs(self(float(x), float(y)) - ref) / abs(ref))
+        return worst

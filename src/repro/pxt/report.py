@@ -1,0 +1,71 @@
+"""PXT extraction reports (the output log of figure 6).
+
+Figure 6 of the paper shows the PXT window with an output log of the
+electrostatic-force calculation.  :class:`ExtractionReport` renders the same
+kind of log from an :class:`~repro.pxt.extractor.ExtractionSweep`: the
+boundary conditions of every solved point, the integrated quantities, and
+(when a reference is available) the deviation from the closed-form values of
+Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..units import format_quantity
+from .extractor import ExtractionSweep, ParameterExtractor
+
+__all__ = ["ExtractionReport"]
+
+
+@dataclass
+class ExtractionReport:
+    """Textual report of one PXT extraction run."""
+
+    extractor: ParameterExtractor
+    sweep: ExtractionSweep
+    title: str = "PXT extraction report"
+
+    def header(self) -> str:
+        """Report header describing the device and mesh."""
+        ex = self.extractor
+        return "\n".join([
+            f"* {self.title}",
+            f"* device: transverse electrostatic transducer, "
+            f"A = {format_quantity(ex.area, 'm^2')}, d = {format_quantity(ex.gap, 'm')}, "
+            f"er = {ex.epsilon_r:g}",
+            f"* mesh: {ex.nx} x {ex.ny} bilinear quads, orientation = {ex.gap_orientation}",
+            f"* points solved: {len(self.sweep.points)}",
+        ])
+
+    def point_lines(self) -> list[str]:
+        """One log line per solved boundary-condition point."""
+        lines = []
+        for point in self.sweep.points:
+            analytic = self.extractor.analytic_force(point.voltage, point.displacement)
+            if analytic > 0.0:
+                error = abs(point.force - analytic) / analytic
+                error_text = f" (dev {100.0 * error:.3f}%)"
+            else:
+                error_text = ""
+            lines.append(
+                f"x = {format_quantity(point.displacement, 'm'):>10}  "
+                f"V = {point.voltage:6.2f} V  "
+                f"C = {format_quantity(point.capacitance, 'F'):>10}  "
+                f"Q = {format_quantity(point.charge, 'C'):>10}  "
+                f"F = {format_quantity(point.force, 'N'):>10}{error_text}")
+        return lines
+
+    def render(self) -> str:
+        """The complete report text."""
+        return "\n".join([self.header(), "-" * 72, *self.point_lines()])
+
+    def worst_force_deviation(self) -> float:
+        """Largest relative deviation of the FE force from the closed form."""
+        worst = 0.0
+        for point in self.sweep.points:
+            analytic = self.extractor.analytic_force(point.voltage, point.displacement)
+            if analytic > 0.0:
+                worst = max(worst, abs(point.force - analytic) / analytic)
+        return worst

@@ -1,0 +1,51 @@
+"""Sweep-grid helpers for parameter extraction.
+
+PXT characterizes a device "by iterating the variation of boundary
+conditions".  These helpers build the boundary-condition grids: displacement
+sweeps are expressed as a fraction of the rest gap (so they can never close
+the gap completely) and voltage sweeps as absolute values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ExtractionError
+
+__all__ = ["displacement_sweep", "voltage_sweep"]
+
+
+def displacement_sweep(gap: float, fraction: float = 0.3, points: int = 9,
+                       symmetric: bool = True) -> np.ndarray:
+    """Displacement grid spanning ``+/- fraction * gap`` (or ``0..fraction*gap``).
+
+    Parameters
+    ----------
+    gap:
+        Rest gap of the device [m].
+    fraction:
+        Largest displacement magnitude as a fraction of the gap (must keep
+        the plates separated, i.e. < 1).
+    points:
+        Number of grid points (>= 2).
+    symmetric:
+        Sweep both opening and closing displacements when True.
+    """
+    if gap <= 0.0:
+        raise ExtractionError("gap must be positive")
+    if not (0.0 < fraction < 1.0):
+        raise ExtractionError("fraction must be in (0, 1)")
+    if points < 2:
+        raise ExtractionError("a sweep needs at least two points")
+    limit = fraction * gap
+    start = -limit if symmetric else 0.0
+    return np.linspace(start, limit, points)
+
+
+def voltage_sweep(maximum: float, points: int = 9, minimum: float = 0.0) -> np.ndarray:
+    """Voltage grid from ``minimum`` to ``maximum`` [V]."""
+    if maximum <= minimum:
+        raise ExtractionError("maximum voltage must exceed the minimum")
+    if points < 2:
+        raise ExtractionError("a sweep needs at least two points")
+    return np.linspace(minimum, maximum, points)

@@ -1,0 +1,44 @@
+"""Microsystem-level experiment drivers.
+
+This package assembles the paper's system-level experiments from the lower
+layers:
+
+* :mod:`repro.system.resonator` -- the mechanical resonator (mass, spring,
+  damper) of figure 3 and its derived quantities,
+* :mod:`repro.system.microsystem` -- the transducer + resonator netlists of
+  figures 3/4 (behavioral and linearized variants) and the paper's Table 4
+  parameter set,
+* :mod:`repro.system.comparison` -- the figure-5 comparison harness
+  (behavioral HDL model versus linearized equivalent circuit, including the
+  runtime-penalty measurement),
+* :mod:`repro.system.experiments` -- tabulated reproductions of every table
+  and figure, shared by the benchmarks and EXPERIMENTS.md.
+"""
+
+from .resonator import MechanicalResonator
+from .microsystem import (
+    Table4Parameters,
+    PAPER_PARAMETERS,
+    build_behavioral_system,
+    build_linearized_system,
+    build_drive_waveform,
+)
+from .comparison import (
+    Figure5Run,
+    Figure5Comparison,
+    run_figure5_comparison,
+    measure_runtime_penalty,
+)
+
+__all__ = [
+    "MechanicalResonator",
+    "Table4Parameters",
+    "PAPER_PARAMETERS",
+    "build_behavioral_system",
+    "build_linearized_system",
+    "build_drive_waveform",
+    "Figure5Run",
+    "Figure5Comparison",
+    "run_figure5_comparison",
+    "measure_runtime_penalty",
+]

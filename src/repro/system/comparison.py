@@ -1,0 +1,208 @@
+"""Figure-5 comparison harness: behavioral model versus linearized circuit.
+
+The paper's figure 5 excites the transducer + resonator system with voltage
+pulses of 5, 10 and 15 V and overlays the displacements predicted by the
+nonlinear behavioral (HDL-A) model and by the linearized equivalent circuit:
+
+* at the linearization voltage (10 V) the two displacements converge,
+* below it (5 V) the linear model *overshoots* (predicts too much
+  displacement, by the ratio V0/V = 2x quasi-statically),
+* above it (15 V) the linear model *undershoots* (ratio V0/V = 2/3).
+
+The paper also reports a roughly 10x simulation-time penalty for the HDL
+behavioral model relative to the native equivalent circuit.
+:func:`measure_runtime_penalty` reproduces that measurement with this
+package's solver (the absolute factor depends on the implementation, the
+qualitative ordering -- behavioral slower than linearized -- is the claim).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..circuit.analysis.options import SimulationOptions
+from ..circuit.analysis.results import TransientResult
+from ..circuit.analysis.transient import TransientAnalysis
+from .microsystem import (
+    PAPER_PARAMETERS,
+    Table4Parameters,
+    build_behavioral_system,
+    build_drive_waveform,
+    build_linearized_system,
+)
+
+__all__ = ["Figure5Run", "Figure5Comparison", "run_figure5_comparison",
+           "measure_runtime_penalty"]
+
+#: Signal name of the behavioral transducer displacement in the results.
+BEHAVIORAL_DISPLACEMENT = "x(XDCR)"
+#: Signal name of the mass displacement (present in both systems).
+MASS_DISPLACEMENT = "x(res_m)"
+
+
+@dataclass
+class Figure5Run:
+    """Result of one excitation amplitude of the figure-5 experiment."""
+
+    amplitude: float
+    behavioral: TransientResult
+    linearized: TransientResult
+    #: Quasi-static displacement of the behavioral model on the pulse plateau.
+    behavioral_plateau: float
+    #: Quasi-static displacement of the linearized model on the pulse plateau.
+    linearized_plateau: float
+
+    @property
+    def plateau_ratio(self) -> float:
+        """Linearized / behavioral quasi-static displacement.
+
+        > 1 means the linear model overshoots, < 1 means it undershoots,
+        ~1 means the two models agree (expected at the bias voltage).
+        """
+        if self.behavioral_plateau == 0.0:
+            return float("nan")
+        return self.linearized_plateau / self.behavioral_plateau
+
+    @property
+    def linear_overshoots(self) -> bool:
+        """True when the linearized model predicts more displacement."""
+        return self.plateau_ratio > 1.0
+
+
+@dataclass
+class Figure5Comparison:
+    """All runs of the figure-5 experiment plus the runtime measurement."""
+
+    parameters: Table4Parameters
+    runs: list[Figure5Run] = field(default_factory=list)
+    behavioral_runtime: float = 0.0
+    linearized_runtime: float = 0.0
+
+    @property
+    def runtime_penalty(self) -> float:
+        """Behavioral / linearized wall-clock ratio (paper reports ~10x)."""
+        if self.linearized_runtime <= 0.0:
+            return float("nan")
+        return self.behavioral_runtime / self.linearized_runtime
+
+    def run_for(self, amplitude: float) -> Figure5Run:
+        """Return the run closest to the requested amplitude."""
+        return min(self.runs, key=lambda run: abs(run.amplitude - amplitude))
+
+    def table_rows(self) -> list[dict[str, float]]:
+        """Rows for the EXPERIMENTS.md / benchmark table."""
+        rows = []
+        for run in self.runs:
+            rows.append({
+                "amplitude_V": run.amplitude,
+                "x_behavioral_m": run.behavioral_plateau,
+                "x_linearized_m": run.linearized_plateau,
+                "ratio_lin_over_beh": run.plateau_ratio,
+                "expected_ratio_V0_over_V": self.parameters.dc_voltage / run.amplitude
+                if run.amplitude else float("nan"),
+            })
+        return rows
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = ["Figure 5 reproduction (quasi-static plateau displacements):"]
+        for row in self.table_rows():
+            lines.append(
+                f"  V = {row['amplitude_V']:5.1f} V : behavioral {row['x_behavioral_m']:.3e} m, "
+                f"linearized {row['x_linearized_m']:.3e} m, ratio {row['ratio_lin_over_beh']:.3f} "
+                f"(expected ~{row['expected_ratio_V0_over_V']:.3f})")
+        lines.append(
+            f"  runtime penalty behavioral/linearized: {self.runtime_penalty:.1f}x "
+            f"(paper reports ~10x)")
+        return "\n".join(lines)
+
+
+def _plateau(result: TransientResult, signal: str, drive: object) -> float:
+    """Mean displacement over the second half of the pulse plateau."""
+    t_start = drive.delay + drive.rise + 0.5 * drive.width
+    t_end = drive.delay + drive.rise + drive.width
+    mask = (result.time >= t_start) & (result.time <= t_end)
+    values = result.signal(signal)[mask]
+    if values.size == 0:
+        return result.final(signal)
+    return float(np.mean(values))
+
+
+def run_figure5_comparison(amplitudes: Sequence[float] = (5.0, 10.0, 15.0),
+                           parameters: Table4Parameters = PAPER_PARAMETERS,
+                           t_step: float = 2e-4,
+                           options: SimulationOptions | None = None,
+                           closed_form: bool = False,
+                           gamma_convention: str = "effective") -> Figure5Comparison:
+    """Run the figure-5 experiment for the given pulse amplitudes.
+
+    Each amplitude is simulated as a single pulse (same rise/fall/width as
+    one segment of the paper's three-pulse trace) through both the behavioral
+    and the linearized system; the quasi-static plateau displacements and the
+    cumulative wall-clock times are collected.
+    """
+    options = options or SimulationOptions()
+    comparison = Figure5Comparison(parameters=parameters)
+    linearized_bias = parameters.derived_bias_point()
+    for amplitude in amplitudes:
+        drive = build_drive_waveform(amplitude)
+        t_stop = drive.delay + drive.rise + drive.width + drive.fall + 15e-3
+
+        behavioral_circuit = build_behavioral_system(
+            parameters, drive, closed_form=closed_form)
+        start = time.perf_counter()
+        behavioral_result = TransientAnalysis(
+            behavioral_circuit, t_stop=t_stop, t_step=t_step, options=options).run()
+        comparison.behavioral_runtime += time.perf_counter() - start
+
+        linearized_circuit = build_linearized_system(
+            parameters, drive, gamma_convention=gamma_convention,
+            linearized=linearized_bias)
+        start = time.perf_counter()
+        linearized_result = TransientAnalysis(
+            linearized_circuit, t_stop=t_stop, t_step=t_step, options=options).run()
+        comparison.linearized_runtime += time.perf_counter() - start
+
+        comparison.runs.append(Figure5Run(
+            amplitude=float(amplitude),
+            behavioral=behavioral_result,
+            linearized=linearized_result,
+            behavioral_plateau=_plateau(behavioral_result, BEHAVIORAL_DISPLACEMENT, drive),
+            linearized_plateau=_plateau(linearized_result, MASS_DISPLACEMENT, drive),
+        ))
+    return comparison
+
+
+def measure_runtime_penalty(parameters: Table4Parameters = PAPER_PARAMETERS,
+                            amplitude: float = 10.0, t_step: float = 2e-4,
+                            repeats: int = 3,
+                            closed_form: bool = False) -> dict[str, float]:
+    """Measure the behavioral-versus-linearized simulation-time penalty.
+
+    Returns a dictionary with the best-of-``repeats`` wall-clock time of each
+    variant and their ratio (the paper's "factor of 10was observed").
+    """
+    drive = build_drive_waveform(amplitude)
+    t_stop = drive.delay + drive.rise + drive.width + drive.fall + 15e-3
+    behavioral_circuit = build_behavioral_system(parameters, drive, closed_form=closed_form)
+    linearized_circuit = build_linearized_system(parameters, drive)
+
+    def best_time(circuit) -> float:
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            TransientAnalysis(circuit, t_stop=t_stop, t_step=t_step).run()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    behavioral_time = best_time(behavioral_circuit)
+    linearized_time = best_time(linearized_circuit)
+    return {
+        "behavioral_s": behavioral_time,
+        "linearized_s": linearized_time,
+        "penalty": behavioral_time / linearized_time if linearized_time > 0 else float("nan"),
+    }

@@ -1,0 +1,114 @@
+"""Mechanical resonator (mass-spring-damper) of the paper's figure 3.
+
+The resonator is the mechanical load of the electrostatic transducer in the
+figure-5 experiment: a free plate of mass ``m`` suspended by a spring ``k``
+with viscous damping ``alpha``.  The class wraps the three parameters, their
+derived dynamic quantities (natural frequency, damping ratio, quality
+factor), and the netlist insertion in the force-current analogy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..circuit.netlist import Circuit
+from ..errors import NetlistError
+
+__all__ = ["MechanicalResonator"]
+
+
+@dataclass(frozen=True)
+class MechanicalResonator:
+    """A second-order mechanical resonator (figure 3 of the paper).
+
+    Attributes
+    ----------
+    mass:
+        Moving mass ``m`` [kg].
+    stiffness:
+        Suspension stiffness ``k`` [N/m].
+    damping:
+        Viscous damping coefficient ``alpha`` [N*s/m].
+    """
+
+    mass: float
+    stiffness: float
+    damping: float
+
+    def __post_init__(self) -> None:
+        if self.mass <= 0.0 or self.stiffness <= 0.0 or self.damping <= 0.0:
+            raise NetlistError("mass, stiffness and damping must all be positive")
+
+    # ------------------------------------------------------------ derived
+    @property
+    def natural_frequency_rad(self) -> float:
+        """Undamped natural angular frequency ``sqrt(k/m)`` [rad/s]."""
+        return math.sqrt(self.stiffness / self.mass)
+
+    @property
+    def natural_frequency_hz(self) -> float:
+        """Undamped natural frequency [Hz]."""
+        return self.natural_frequency_rad / (2.0 * math.pi)
+
+    @property
+    def damping_ratio(self) -> float:
+        """Damping ratio ``alpha / (2 sqrt(k m))`` (< 1 means under-damped)."""
+        return self.damping / (2.0 * math.sqrt(self.stiffness * self.mass))
+
+    @property
+    def quality_factor(self) -> float:
+        """Quality factor ``sqrt(k m) / alpha``."""
+        return math.sqrt(self.stiffness * self.mass) / self.damping
+
+    @property
+    def damped_frequency_rad(self) -> float:
+        """Damped ringing angular frequency ``wn * sqrt(1 - zeta^2)`` [rad/s]."""
+        zeta = self.damping_ratio
+        if zeta >= 1.0:
+            return 0.0
+        return self.natural_frequency_rad * math.sqrt(1.0 - zeta * zeta)
+
+    @property
+    def is_underdamped(self) -> bool:
+        """True when the step response rings (zeta < 1)."""
+        return self.damping_ratio < 1.0
+
+    def static_deflection(self, force: float) -> float:
+        """Quasi-static deflection ``F / k`` under a constant force."""
+        return force / self.stiffness
+
+    def step_overshoot(self) -> float:
+        """Relative first-peak overshoot of the displacement step response."""
+        zeta = self.damping_ratio
+        if zeta >= 1.0:
+            return 0.0
+        return math.exp(-zeta * math.pi / math.sqrt(1.0 - zeta * zeta))
+
+    def settling_time(self, tolerance: float = 0.01) -> float:
+        """Approximate time to settle within ``tolerance`` of the final value."""
+        zeta = self.damping_ratio
+        if zeta <= 0.0 or zeta >= 1.0:
+            return float("inf")
+        return -math.log(tolerance) / (zeta * self.natural_frequency_rad)
+
+    # ------------------------------------------------------------ netlist
+    def add_to_circuit(self, circuit: Circuit, node: str, prefix: str = "res") -> dict[str, object]:
+        """Insert the mass/spring/damper between ``node`` and the frame.
+
+        Returns the three created devices keyed ``"mass"``, ``"spring"``,
+        ``"damper"`` (named ``<prefix>_m`` etc. in the netlist).
+        """
+        return {
+            "mass": circuit.mass(f"{prefix}_m", node, self.mass),
+            "spring": circuit.spring(f"{prefix}_k", node, "0", self.stiffness),
+            "damper": circuit.damper(f"{prefix}_a", node, "0", self.damping),
+        }
+
+    def summary(self) -> str:
+        """One-line report of the resonator parameters and dynamics."""
+        return (
+            f"m = {self.mass:g} kg, k = {self.stiffness:g} N/m, alpha = {self.damping:g} N*s/m, "
+            f"f0 = {self.natural_frequency_hz:.2f} Hz, zeta = {self.damping_ratio:.3f}, "
+            f"Q = {self.quality_factor:.2f}"
+        )

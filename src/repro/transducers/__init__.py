@@ -1,0 +1,54 @@
+"""Energy-based lumped-parameter models of electromechanical transducers.
+
+This package is the paper's primary contribution:
+
+* :mod:`repro.transducers.energy_method` mechanises the four-step recipe
+  ("express the internal energy, derive it with respect to each port's state
+  variable") with automatic differentiation,
+* :mod:`repro.transducers.electrostatic`, :mod:`~repro.transducers.electromagnetic`
+  and :mod:`~repro.transducers.electrodynamic` implement the four transducers
+  of figure 2 / tables 2-3 as nonlinear behavioral devices,
+* :mod:`repro.transducers.linearized` builds the classical linearized
+  equivalent-circuit models (transduction factor Gamma) the paper compares
+  against in figure 5,
+* :mod:`repro.transducers.library` is a small registry used by the examples
+  and the HDL code generator.
+"""
+
+from .base import ConservativeTransducer, TransducerPortSpec
+from .energy_method import (
+    EnergyDerivation,
+    derive_efforts,
+    differentiate_coenergy,
+    partials_with_sensitivities,
+)
+from .electrostatic import (
+    TransverseElectrostaticTransducer,
+    LateralElectrostaticTransducer,
+)
+from .electromagnetic import ElectromagneticTransducer
+from .electrodynamic import ElectrodynamicTransducer
+from .linearized import (
+    LinearizedTransducer,
+    linearize_transverse_electrostatic,
+    add_linearized_equivalent_circuit,
+)
+from .library import TRANSDUCER_LIBRARY, create_transducer
+
+__all__ = [
+    "ConservativeTransducer",
+    "TransducerPortSpec",
+    "EnergyDerivation",
+    "derive_efforts",
+    "differentiate_coenergy",
+    "partials_with_sensitivities",
+    "TransverseElectrostaticTransducer",
+    "LateralElectrostaticTransducer",
+    "ElectromagneticTransducer",
+    "ElectrodynamicTransducer",
+    "LinearizedTransducer",
+    "linearize_transverse_electrostatic",
+    "add_linearized_equivalent_circuit",
+    "TRANSDUCER_LIBRARY",
+    "create_transducer",
+]

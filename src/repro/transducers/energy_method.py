@@ -1,0 +1,160 @@
+"""The paper's energy-method recipe, mechanised with automatic differentiation.
+
+The paper derives behavioral models of conservative transducers in four
+steps:
+
+1. list the effort, flow and state variables of each port,
+2. express the total internal energy (or co-energy) of the transducer as a
+   function of the state variables,
+3. derive the energy with respect to the state variable of each port to
+   obtain the corresponding effort,
+4. replace time derivatives of state variables by the corresponding flow
+   variables.
+
+Steps 2-3 are implemented by :func:`derive_efforts` /
+:func:`differentiate_coenergy`: the user supplies the (co-)energy as a plain
+Python function and the partial derivatives are evaluated with forward-mode
+AD -- no hand-derived expressions required.  The helpers return the efforts
+as *circuit-level dual numbers*: when the input state variables carry
+sensitivities with respect to the MNA unknowns (because they were produced by
+:class:`~repro.circuit.devices.behavioral.BehaviorContext`), the chain rule
+
+``d(effort_k)/d(unknown) = sum_j Hessian[k, j] * d(state_j)/d(unknown)``
+
+is applied so the Newton and AC linearizations of the resulting behavioral
+device remain consistent.  The gradient is exact (AD); the Hessian is
+obtained by central differences of the AD gradient with per-variable
+characteristic scales, which is far better conditioned than double finite
+differencing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..ad import Dual, gradient
+from ..errors import TransducerError
+
+__all__ = [
+    "EnergyDerivation",
+    "partials_with_sensitivities",
+    "differentiate_coenergy",
+    "derive_efforts",
+    "hessian_scaled",
+]
+
+
+def hessian_scaled(func: Callable[..., object], values: Sequence[float],
+                   scales: Sequence[float] | None = None,
+                   relative_step: float = 1e-4) -> np.ndarray:
+    """Hessian of ``func`` at ``values`` by central differences of the AD gradient.
+
+    ``scales`` provides the characteristic magnitude of each variable so the
+    finite-difference step stays meaningful even when the operating value is
+    zero (e.g. a displacement of 0 m around a 150 um gap).
+    """
+    values = np.asarray(list(values), dtype=float)
+    n = values.size
+    if scales is None:
+        scales = np.maximum(np.abs(values), 1.0)
+    else:
+        scales = np.asarray(list(scales), dtype=float)
+        if scales.shape != values.shape:
+            raise TransducerError("scales must have one entry per variable")
+        if np.any(scales <= 0.0):
+            raise TransducerError("characteristic scales must be positive")
+    hess = np.zeros((n, n))
+    for j in range(n):
+        step = relative_step * max(abs(values[j]), scales[j])
+        forward = values.copy()
+        backward = values.copy()
+        forward[j] += step
+        backward[j] -= step
+        grad_fwd = gradient(func, forward)
+        grad_bwd = gradient(func, backward)
+        hess[:, j] = (grad_fwd - grad_bwd) / (2.0 * step)
+    return 0.5 * (hess + hess.T)
+
+
+def partials_with_sensitivities(func: Callable[..., object],
+                                variables: Sequence[object],
+                                scales: Sequence[float] | None = None) -> list[object]:
+    """Partial derivatives of ``func`` w.r.t. each variable, chain-rule aware.
+
+    ``variables`` may mix plain floats and :class:`~repro.ad.Dual` values.
+    The k-th returned element is ``d func / d variable_k`` evaluated at the
+    value parts; when any input is a dual, the result is a dual whose
+    derivative part is ``sum_j H[k, j] * variables[j].deriv`` (chain rule
+    through the second derivatives of ``func``).
+    """
+    values = [float(getattr(v, "value", v)) for v in variables]
+    grad = gradient(func, values)
+    dual_inputs = [v for v in variables if isinstance(v, Dual)]
+    if not dual_inputs:
+        return [float(g) for g in grad]
+    hess = hessian_scaled(func, values, scales=scales)
+    template = dual_inputs[0].deriv
+    outputs: list[object] = []
+    for k in range(len(values)):
+        deriv = np.zeros_like(template)
+        for j, variable in enumerate(variables):
+            if isinstance(variable, Dual) and hess[k, j] != 0.0:
+                deriv = deriv + hess[k, j] * variable.deriv
+        outputs.append(Dual(float(grad[k]), deriv))
+    return outputs
+
+
+def differentiate_coenergy(coenergy: Callable[[object, object], object],
+                           drive: object, displacement: object,
+                           scales: tuple[float, float] | None = None) -> tuple[object, object]:
+    """Return ``(d W*/d drive, d W*/d x)`` for a two-port co-energy function.
+
+    For a voltage-driven (capacitive) transducer the first partial is the
+    charge and the second the force contribution at the mechanical port; for
+    a current-driven (inductive) transducer the first partial is the flux
+    linkage.  This is exactly the relation behind the paper's Table 3.
+    """
+    results = partials_with_sensitivities(coenergy, [drive, displacement], scales=scales)
+    return results[0], results[1]
+
+
+@dataclass(frozen=True)
+class EnergyDerivation:
+    """Record of one energy-method derivation (used for reports and tests).
+
+    Attributes
+    ----------
+    port_states:
+        Names of the state variables in the order passed to the energy
+        function (step 1 of the recipe).
+    efforts:
+        Names of the resulting efforts, one per state (step 3).
+    energy_description:
+        Human-readable description of the energy expression (step 2).
+    """
+
+    port_states: tuple[str, ...]
+    efforts: tuple[str, ...]
+    energy_description: str
+
+    def summary(self) -> str:
+        """One-line summary of the derivation."""
+        pairs = ", ".join(
+            f"{effort} = dW/d{state}" for state, effort in zip(self.port_states, self.efforts))
+        return f"{self.energy_description}: {pairs}"
+
+
+def derive_efforts(energy: Callable[..., object], states: Sequence[float],
+                   scales: Sequence[float] | None = None) -> np.ndarray:
+    """Numerically evaluate all port efforts from an internal-energy function.
+
+    This is the plain-number variant of :func:`partials_with_sensitivities`
+    used by the tests and benchmarks to check the closed forms of Table 3:
+    ``efforts[k] = d energy / d state_k`` evaluated at ``states``.
+    """
+    if len(states) == 0:
+        raise TransducerError("derive_efforts needs at least one state variable")
+    return gradient(energy, [float(s) for s in states])

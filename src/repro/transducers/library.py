@@ -1,0 +1,49 @@
+"""Registry of the built-in transducer models.
+
+The library maps short names (the ones used by the paper's figure 2 and by
+the HDL code generator) to the model classes, so examples, tests and the PXT
+report generator can instantiate devices from configuration data::
+
+    from repro.transducers import create_transducer
+    xdcr = create_transducer("transverse_electrostatic", area=1e-4, gap=0.15e-3)
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import TransducerError
+from .base import ConservativeTransducer
+from .electrodynamic import ElectrodynamicTransducer
+from .electromagnetic import ElectromagneticTransducer
+from .electrostatic import LateralElectrostaticTransducer, TransverseElectrostaticTransducer
+
+__all__ = ["TRANSDUCER_LIBRARY", "create_transducer"]
+
+#: Mapping of library names to transducer classes.  The ``fig2*`` aliases
+#: mirror the paper's figure labels.
+TRANSDUCER_LIBRARY: dict[str, Callable[..., ConservativeTransducer]] = {
+    "transverse_electrostatic": TransverseElectrostaticTransducer,
+    "lateral_electrostatic": LateralElectrostaticTransducer,
+    "parallel_electrostatic": LateralElectrostaticTransducer,
+    "electromagnetic": ElectromagneticTransducer,
+    "electrodynamic": ElectrodynamicTransducer,
+    "fig2a": TransverseElectrostaticTransducer,
+    "fig2b": LateralElectrostaticTransducer,
+    "fig2c": ElectromagneticTransducer,
+    "fig2d": ElectrodynamicTransducer,
+}
+
+
+def create_transducer(kind: str, **parameters) -> ConservativeTransducer:
+    """Instantiate a transducer from the library by name.
+
+    Raises :class:`~repro.errors.TransducerError` for unknown names; parameter
+    errors propagate from the model constructors.
+    """
+    try:
+        factory = TRANSDUCER_LIBRARY[kind.lower()]
+    except KeyError:
+        known = ", ".join(sorted(set(TRANSDUCER_LIBRARY)))
+        raise TransducerError(f"unknown transducer kind {kind!r}; known kinds: {known}") from None
+    return factory(**parameters)

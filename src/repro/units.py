@@ -1,0 +1,145 @@
+"""Engineering-unit parsing and formatting.
+
+SPICE decks and HDL-A generics habitually use engineering suffixes
+(``100u``, ``5.86p``, ``0.15m``) and the paper's Table 4 mixes plain SI with
+scaled notation.  This module provides a small, dependency-free quantity
+parser so that netlists, examples and the PXT report generator can accept and
+emit the familiar notation.
+
+The parser intentionally follows SPICE conventions:
+
+* suffixes are case-insensitive,
+* ``m`` is milli and ``meg`` is mega (the classic SPICE trap),
+* trailing unit names after the suffix are ignored (``10pF`` == ``10p``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .errors import UnitError
+
+__all__ = [
+    "parse_quantity",
+    "format_quantity",
+    "format_si",
+    "ENGINEERING_SUFFIXES",
+]
+
+#: Mapping of SPICE-style suffixes to multipliers, longest first where needed.
+ENGINEERING_SUFFIXES: dict[str, float] = {
+    "t": 1e12,
+    "g": 1e9,
+    "meg": 1e6,
+    "x": 1e6,
+    "k": 1e3,
+    "m": 1e-3,
+    "u": 1e-6,
+    "µ": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+    "a": 1e-18,
+}
+
+_NUMBER_RE = re.compile(
+    r"""^\s*
+        (?P<number>[+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)
+        (?P<rest>[a-zA-Zµ%]*)
+        \s*$""",
+    re.VERBOSE,
+)
+
+#: SI prefixes used for human-readable formatting, from large to small.
+_FORMAT_PREFIXES = [
+    (1e12, "T"),
+    (1e9, "G"),
+    # "Meg" (not "M") so formatted values round-trip through the SPICE parser,
+    # where a leading "m" always means milli.
+    (1e6, "Meg"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+    (1e-18, "a"),
+]
+
+
+def parse_quantity(text: str | float | int) -> float:
+    """Parse a SPICE/engineering quantity into a float.
+
+    Accepts plain numbers (returned unchanged), strings with exponents and
+    strings with engineering suffixes optionally followed by a unit name:
+
+    >>> parse_quantity("0.15m")
+    0.00015
+    >>> parse_quantity("5.8637pF")
+    5.8637e-12
+    >>> parse_quantity("2meg")
+    2000000.0
+
+    Raises :class:`~repro.errors.UnitError` for malformed input.
+    """
+    if isinstance(text, (int, float)):
+        value = float(text)
+        if math.isnan(value):
+            raise UnitError("quantity is NaN")
+        return value
+    if not isinstance(text, str):
+        raise UnitError(f"cannot parse quantity from {type(text).__name__}")
+    match = _NUMBER_RE.match(text)
+    if match is None:
+        raise UnitError(f"malformed quantity: {text!r}")
+    value = float(match.group("number"))
+    rest = match.group("rest").lower()
+    if not rest:
+        return value
+    if rest == "%":
+        return value / 100.0
+    if rest.startswith("meg"):
+        return value * ENGINEERING_SUFFIXES["meg"]
+    if rest.startswith("mil"):
+        return value * 25.4e-6
+    suffix = rest[0]
+    if suffix in ENGINEERING_SUFFIXES:
+        return value * ENGINEERING_SUFFIXES[suffix]
+    # No recognised suffix: treat the trailing characters as a bare unit name
+    # ("10V", "200N") and return the number as-is.
+    if rest.isalpha():
+        return value
+    raise UnitError(f"malformed quantity: {text!r}")
+
+
+def format_quantity(value: float, unit: str = "", digits: int = 4) -> str:
+    """Format ``value`` with an engineering prefix and optional unit.
+
+    >>> format_quantity(5.8637e-12, "F")
+    '5.864pF'
+    >>> format_quantity(0.0, "m")
+    '0m'
+    """
+    if value == 0.0:
+        return f"0{unit}"
+    if math.isnan(value) or math.isinf(value):
+        return f"{value}{unit}"
+    magnitude = abs(value)
+    for scale, prefix in _FORMAT_PREFIXES:
+        if magnitude >= scale:
+            scaled = value / scale
+            return f"{_trim(scaled, digits)}{prefix}{unit}"
+    scale, prefix = _FORMAT_PREFIXES[-1]
+    return f"{_trim(value / scale, digits)}{prefix}{unit}"
+
+
+def format_si(value: float, unit: str = "", digits: int = 6) -> str:
+    """Format ``value`` in plain scientific notation with a unit suffix."""
+    return f"{value:.{digits}g}{(' ' + unit) if unit else ''}"
+
+
+def _trim(value: float, digits: int) -> str:
+    text = f"{value:.{digits}g}"
+    return text

@@ -1,0 +1,155 @@
+"""Tests for the dual-number automatic differentiation core."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ad import Dual, seed, seed_many, value_of, derivative_of, is_dual
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+nonzero = finite.filter(lambda x: abs(x) > 1e-6)
+
+
+class TestConstruction:
+    def test_scalar_derivative_promoted_to_array(self):
+        d = Dual(2.0, 1.0)
+        assert d.deriv.shape == (1,)
+
+    def test_variable_seed(self):
+        d = Dual.variable(3.0, index=1, nvars=3)
+        assert d.value == 3.0
+        assert list(d.deriv) == [0.0, 1.0, 0.0]
+
+    def test_constant(self):
+        d = Dual.constant(5.0, nvars=2)
+        assert d.value == 5.0
+        assert not np.any(d.deriv)
+
+    def test_seed_many_builds_identity(self):
+        duals = seed_many([1.0, 2.0, 3.0])
+        matrix = np.vstack([d.deriv for d in duals])
+        assert np.allclose(matrix, np.eye(3))
+
+    def test_helpers(self):
+        d = seed(4.0)
+        assert is_dual(d) and not is_dual(4.0)
+        assert value_of(d) == 4.0 and value_of(4.0) == 4.0
+        assert derivative_of(d) == 1.0 and derivative_of(4.0) == 0.0
+
+    def test_bad_derivative_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Dual(1.0, np.zeros((2, 2)))
+
+
+class TestArithmeticDerivatives:
+    """Derivatives of elementary operations match calculus."""
+
+    @given(finite, finite)
+    def test_addition(self, a, b):
+        x = seed(a)
+        assert (x + b).partial() == pytest.approx(1.0)
+        assert (b + x).partial() == pytest.approx(1.0)
+
+    @given(finite, finite)
+    def test_subtraction(self, a, b):
+        x = seed(a)
+        assert (x - b).partial() == pytest.approx(1.0)
+        assert (b - x).partial() == pytest.approx(-1.0)
+
+    @given(finite, finite)
+    def test_multiplication(self, a, b):
+        x = seed(a)
+        assert (x * b).partial() == pytest.approx(b)
+
+    @given(finite, nonzero)
+    def test_division_by_constant(self, a, b):
+        x = seed(a)
+        assert (x / b).partial() == pytest.approx(1.0 / b)
+
+    @given(nonzero, finite)
+    def test_constant_divided_by_dual(self, a, b):
+        x = seed(a)
+        assert (b / x).partial() == pytest.approx(-b / a ** 2, rel=1e-6)
+
+    @given(nonzero)
+    def test_integer_power(self, a):
+        x = seed(a)
+        assert (x ** 3).partial() == pytest.approx(3 * a ** 2, rel=1e-6)
+
+    def test_power_zero_exponent(self):
+        x = seed(2.0)
+        result = x ** 0
+        assert result.value == 1.0 and result.partial() == 0.0
+
+    def test_dual_exponent(self):
+        x = seed(2.0)
+        result = 2.0 ** x
+        assert result.value == pytest.approx(4.0)
+        assert result.partial() == pytest.approx(4.0 * math.log(2.0))
+
+    @given(finite)
+    def test_negation(self, a):
+        x = seed(a)
+        assert (-x).partial() == -1.0
+
+    @given(finite)
+    def test_abs_matches_sign(self, a):
+        x = seed(a)
+        expected = -1.0 if a < 0 else 1.0
+        assert abs(x).partial() == expected
+
+    def test_product_rule_two_variables(self):
+        x, y = seed_many([3.0, 4.0])
+        result = x * y
+        assert result.partial(0) == pytest.approx(4.0)
+        assert result.partial(1) == pytest.approx(3.0)
+
+    def test_quotient_rule_two_variables(self):
+        x, y = seed_many([3.0, 4.0])
+        result = x / y
+        assert result.partial(0) == pytest.approx(1.0 / 4.0)
+        assert result.partial(1) == pytest.approx(-3.0 / 16.0)
+
+
+class TestComparisonsAndConversions:
+    def test_comparisons_use_value(self):
+        assert seed(2.0) > 1.0
+        assert seed(2.0) >= 2.0
+        assert seed(2.0) < 3.0
+        assert seed(2.0) <= 2.0
+
+    def test_equality_with_numbers_and_duals(self):
+        assert seed(2.0) == 2.0
+        assert Dual(1.0, [0.0]) == Dual(1.0, [0.0])
+        assert Dual(1.0, [1.0]) != Dual(1.0, [0.0])
+
+    def test_float_and_bool(self):
+        assert float(seed(2.5)) == 2.5
+        assert bool(seed(1.0)) and not bool(Dual(0.0))
+
+    def test_hashable(self):
+        assert isinstance(hash(seed(1.0)), int)
+
+    def test_repr_mentions_value(self):
+        assert "2.0" in repr(seed(2.0))
+
+
+class TestComplexDerivatives:
+    """Complex derivative parts (used by the AC linearization) propagate."""
+
+    def test_complex_seed(self):
+        x = Dual.variable(1.0, index=0, nvars=1, dtype=complex)
+        y = x * 3.0
+        assert y.deriv.dtype == complex
+        scaled = Dual(0.0, 1j * 2.0 * y.deriv)
+        assert scaled.deriv[0] == pytest.approx(6j)
+
+    def test_mixed_arithmetic_keeps_complex_dtype(self):
+        x = Dual.variable(2.0, dtype=complex)
+        y = (x * x + 1.0) / 2.0
+        assert y.deriv.dtype == complex
+        assert y.deriv[0] == pytest.approx(2.0)

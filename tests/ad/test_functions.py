@@ -1,0 +1,116 @@
+"""Tests for the dual-aware elementary functions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ad import (
+    Dual,
+    absolute,
+    acos,
+    asin,
+    atan,
+    cos,
+    cosh,
+    exp,
+    hypot,
+    log,
+    maximum,
+    minimum,
+    seed,
+    sign,
+    sin,
+    sinh,
+    sqrt,
+    tan,
+    tanh,
+    where,
+)
+
+moderate = st.floats(min_value=-20.0, max_value=20.0, allow_nan=False, allow_infinity=False)
+positive = st.floats(min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False)
+unit_open = st.floats(min_value=-0.99, max_value=0.99)
+
+
+def numeric_derivative(fn, x, h=1e-6):
+    return (fn(x + h) - fn(x - h)) / (2.0 * h)
+
+
+class TestPlainNumbers:
+    """Functions on plain floats delegate to math."""
+
+    @given(positive)
+    def test_sqrt(self, x):
+        assert sqrt(x) == pytest.approx(math.sqrt(x))
+
+    @given(moderate)
+    def test_exp_sin_cos(self, x):
+        assert exp(x) == pytest.approx(math.exp(x))
+        assert sin(x) == pytest.approx(math.sin(x))
+        assert cos(x) == pytest.approx(math.cos(x))
+
+    def test_hypot_plain(self):
+        assert hypot(3.0, 4.0) == pytest.approx(5.0)
+
+
+class TestDualDerivatives:
+    """AD derivatives match central finite differences."""
+
+    @pytest.mark.parametrize("fn,domain", [
+        (sqrt, 2.0), (exp, 0.7), (log, 3.0), (sin, 1.1), (cos, 0.4), (tan, 0.5),
+        (sinh, 0.8), (cosh, 0.8), (tanh, 0.3), (atan, 2.0), (asin, 0.4), (acos, 0.3),
+    ])
+    def test_against_finite_difference(self, fn, domain):
+        ad_derivative = fn(seed(domain)).partial()
+        fd_derivative = numeric_derivative(lambda v: float(fn(v)), domain)
+        assert ad_derivative == pytest.approx(fd_derivative, rel=1e-5, abs=1e-8)
+
+    @given(positive)
+    def test_sqrt_derivative_formula(self, x):
+        assert sqrt(seed(x)).partial() == pytest.approx(0.5 / math.sqrt(x), rel=1e-9)
+
+    @given(moderate)
+    def test_exp_derivative_is_value(self, x):
+        result = exp(seed(x))
+        assert result.partial() == pytest.approx(result.value, rel=1e-12)
+
+    @given(unit_open)
+    def test_asin_acos_derivatives_opposite(self, x):
+        assert asin(seed(x)).partial() == pytest.approx(-acos(seed(x)).partial(), rel=1e-9)
+
+    def test_chain_rule_composition(self):
+        x = seed(0.3)
+        result = sin(exp(x * x))
+        inner = math.exp(0.09)
+        expected = math.cos(inner) * inner * 2 * 0.3
+        assert result.partial() == pytest.approx(expected, rel=1e-9)
+
+    def test_hypot_dual(self):
+        x = seed(3.0)
+        result = hypot(x, 4.0)
+        assert result.value == pytest.approx(5.0)
+        assert result.partial() == pytest.approx(3.0 / 5.0)
+
+
+class TestSelectionFunctions:
+    def test_sign(self):
+        assert sign(seed(-2.0)) == -1.0
+        assert sign(3.0) == 1.0
+        assert sign(0.0) == 0.0
+
+    def test_absolute(self):
+        assert absolute(-4.0) == 4.0
+        assert absolute(seed(-4.0)).value == 4.0
+
+    def test_minimum_maximum_pick_active_branch_derivative(self):
+        x, y = seed(1.0), Dual(2.0, [5.0])
+        assert minimum(x, y) is x
+        assert maximum(x, y) is y
+        assert minimum(3.0, seed(1.0)).partial() == 1.0
+
+    def test_where(self):
+        assert where(True, 1.0, 2.0) == 1.0
+        assert where(0, 1.0, 2.0) == 2.0

@@ -1,0 +1,96 @@
+"""Tests for the gradient / Jacobian / Hessian drivers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ad import derivative, gradient, hessian, jacobian
+from repro.ad.vector import value_and_gradient
+
+moderate = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False)
+
+
+class TestDerivative:
+    @given(moderate)
+    def test_polynomial(self, x):
+        assert derivative(lambda v: 3 * v * v + 2 * v + 1, x) == pytest.approx(6 * x + 2, rel=1e-9, abs=1e-9)
+
+    def test_constant_function_returns_zero(self):
+        assert derivative(lambda v: 7.0, 2.0) == 0.0
+
+
+class TestGradient:
+    def test_quadratic_form(self):
+        def f(x, y):
+            return x * x + 3.0 * x * y + 2.0 * y * y
+
+        grad = gradient(f, [1.0, 2.0])
+        assert grad == pytest.approx([2 * 1 + 3 * 2, 3 * 1 + 4 * 2])
+
+    def test_value_and_gradient(self):
+        value, grad = value_and_gradient(lambda x, y: x * y, [3.0, 4.0])
+        assert value == 12.0
+        assert grad == pytest.approx([4.0, 3.0])
+
+    def test_constant_gives_zero_gradient(self):
+        assert np.allclose(gradient(lambda x, y: 5.0, [1.0, 2.0]), 0.0)
+
+    @given(moderate, moderate)
+    def test_electrostatic_coenergy_gradient(self, v, x):
+        """Gradient of the Table 2 co-energy matches the Table 3 closed forms."""
+        eps_a = 8.8542e-12 * 1e-4
+        d = 0.15e-3
+
+        def coenergy(voltage, displacement):
+            return 0.5 * eps_a / (d + displacement) * voltage * voltage
+
+        x = x * 1e-5  # keep |x| << d
+        grad = gradient(coenergy, [v, x])
+        charge_expected = eps_a / (d + x) * v
+        force_expected = -0.5 * eps_a * v * v / (d + x) ** 2
+        assert grad[0] == pytest.approx(charge_expected, rel=1e-9, abs=1e-18)
+        assert grad[1] == pytest.approx(force_expected, rel=1e-9, abs=1e-18)
+
+
+class TestJacobian:
+    def test_linear_map(self):
+        def f(x, y):
+            return (2.0 * x + y, x - 3.0 * y)
+
+        jac = jacobian(f, [1.0, 1.0])
+        assert jac == pytest.approx(np.array([[2.0, 1.0], [1.0, -3.0]]))
+
+    def test_mixed_constant_rows(self):
+        def f(x, y):
+            return (x * y, 7.0)
+
+        jac = jacobian(f, [2.0, 3.0])
+        assert jac[0] == pytest.approx([3.0, 2.0])
+        assert jac[1] == pytest.approx([0.0, 0.0])
+
+    def test_empty_output(self):
+        assert jacobian(lambda x: (), [1.0]).shape == (0, 1)
+
+
+class TestHessian:
+    def test_quadratic_exact(self):
+        def f(x, y):
+            return x * x + 3.0 * x * y + 2.0 * y * y
+
+        hess = hessian(f, [0.3, -0.2])
+        assert hess == pytest.approx(np.array([[2.0, 3.0], [3.0, 4.0]]), rel=1e-5)
+
+    def test_symmetry(self):
+        def f(x, y, z):
+            return math.e ** 0 * x * y * z + x * x * y
+
+        hess = hessian(f, [1.0, 2.0, 3.0])
+        assert np.allclose(hess, hess.T)
+
+    def test_trig_function(self):
+        hess = hessian(lambda x: math.sin(0) + x * x * x, [2.0])
+        assert hess[0, 0] == pytest.approx(12.0, rel=1e-4)

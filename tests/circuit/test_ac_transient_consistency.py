@@ -1,0 +1,96 @@
+"""Cross-validation: AC small-signal analysis versus small-amplitude transients.
+
+The paper's selling point for HDL-A behavioral models is that one nonlinear
+model serves the dc, ac and transient analysis domains consistently.  These
+tests verify that property on this implementation: the small-signal transfer
+function predicted by the AC linearization of the behavioral electrostatic
+transducer matches the amplitude observed in a transient simulation with a
+small sinusoidal perturbation superimposed on the bias.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    ACAnalysis,
+    Circuit,
+    OperatingPointAnalysis,
+    SimulationOptions,
+    TransientAnalysis,
+)
+from repro.circuit.waveforms import Waveform
+from repro.system import PAPER_PARAMETERS
+from repro.transducers import TransverseElectrostaticTransducer
+
+
+class _BiasPlusSine(Waveform):
+    """A DC bias with a small superimposed sine (not a standard SPICE source)."""
+
+    def __init__(self, bias: float, amplitude: float, frequency: float) -> None:
+        self.bias = bias
+        self.amplitude = amplitude
+        self.frequency = frequency
+
+    def value(self, t: float) -> float:
+        return self.bias + self.amplitude * np.sin(2.0 * np.pi * self.frequency * t)
+
+    def breakpoints(self):
+        return ()
+
+
+def _build(drive) -> Circuit:
+    circuit = Circuit("ac/tran consistency")
+    circuit.voltage_source("VS", "a", "0", drive, ac=1.0)
+    TransverseElectrostaticTransducer(
+        area=PAPER_PARAMETERS.area, gap=PAPER_PARAMETERS.gap).add_to_circuit(
+        circuit, "XDCR", "a", "0", "m", "0")
+    circuit.mass("M1", "m", PAPER_PARAMETERS.mass)
+    circuit.spring("K1", "m", "0", PAPER_PARAMETERS.stiffness)
+    circuit.damper("D1", "m", "0", PAPER_PARAMETERS.damping)
+    return circuit
+
+
+class TestACTransientConsistency:
+    FREQUENCY = 100.0          # well below the 225 Hz resonance
+    BIAS = 10.0
+    PERTURBATION = 0.2         # volts, small signal
+
+    @pytest.fixture(scope="class")
+    def ac_velocity_gain(self):
+        circuit = _build(self.BIAS)
+        op = OperatingPointAnalysis(circuit).run()
+        result = ACAnalysis(circuit, [self.FREQUENCY]).run(operating_point=op)
+        return abs(result.at("v(m)", self.FREQUENCY))
+
+    @pytest.fixture(scope="class")
+    def transient_velocity_gain(self):
+        drive = _BiasPlusSine(self.BIAS, self.PERTURBATION, self.FREQUENCY)
+        circuit = _build(drive)
+        options = SimulationOptions(trtol=10.0)
+        result = TransientAnalysis(circuit, t_stop=80e-3, t_step=2e-4,
+                                   options=options).run()
+        # Measure the steady-state velocity amplitude over the last cycles.
+        mask = result.time > 40e-3
+        velocity = result.signal("v(m)")[mask]
+        amplitude = 0.5 * (np.max(velocity) - np.min(velocity))
+        return amplitude / self.PERTURBATION
+
+    def test_ac_gain_is_finite_and_nonzero(self, ac_velocity_gain):
+        assert 0.0 < ac_velocity_gain < 1.0
+
+    def test_transient_amplitude_matches_ac_prediction(self, ac_velocity_gain,
+                                                       transient_velocity_gain):
+        assert transient_velocity_gain == pytest.approx(ac_velocity_gain, rel=0.1)
+
+    def test_ac_gain_scales_with_bias_voltage(self):
+        """The transduction is proportional to the bias voltage: doubling the
+        bias doubles the small-signal velocity response."""
+        gains = {}
+        for bias in (5.0, 10.0):
+            circuit = _build(bias)
+            op = OperatingPointAnalysis(circuit).run()
+            result = ACAnalysis(circuit, [self.FREQUENCY]).run(operating_point=op)
+            gains[bias] = abs(result.at("v(m)", self.FREQUENCY))
+        assert gains[10.0] / gains[5.0] == pytest.approx(2.0, rel=0.02)

@@ -1,0 +1,216 @@
+"""Tests for the behavioral (equation-defined) device engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    ACAnalysis,
+    Circuit,
+    OperatingPointAnalysis,
+    Step,
+    TransientAnalysis,
+)
+from repro.circuit.devices.behavioral import BehavioralDevice, Port
+from repro.errors import DeviceError
+from repro.natures import ELECTRICAL
+
+
+def behavioral_resistor(circuit, name, p, n, resistance):
+    """A resistor written as a behavioral contribution i = v / R."""
+
+    def behavior(ctx):
+        v = ctx.across("e")
+        ctx.contribute("e", v / ctx.param("R"))
+
+    device = BehavioralDevice(
+        name, [Port("e", circuit.electrical_node(p), circuit.electrical_node(n), ELECTRICAL)],
+        behavior, params={"R": resistance})
+    return circuit.add(device)
+
+
+def behavioral_capacitor(circuit, name, p, n, capacitance):
+    """A capacitor written with ddt: i = C * ddt(v)."""
+
+    def behavior(ctx):
+        v = ctx.across("e")
+        ctx.contribute("e", ctx.param("C") * ctx.ddt(v, key="v"))
+
+    device = BehavioralDevice(
+        name, [Port("e", circuit.electrical_node(p), circuit.electrical_node(n), ELECTRICAL)],
+        behavior, params={"C": capacitance})
+    return circuit.add(device)
+
+
+class TestConstruction:
+    def test_needs_at_least_one_port(self):
+        with pytest.raises(DeviceError):
+            BehavioralDevice("X1", [], lambda ctx: None)
+
+    def test_duplicate_port_names_rejected(self):
+        circuit = Circuit()
+        a, b = circuit.electrical_node("a"), circuit.electrical_node("b")
+        ports = [Port("e", a, circuit.ground, ELECTRICAL),
+                 Port("e", b, circuit.ground, ELECTRICAL)]
+        with pytest.raises(DeviceError):
+            BehavioralDevice("X1", ports, lambda ctx: None)
+
+    def test_unknown_port_access_raises(self):
+        circuit = Circuit()
+        device = BehavioralDevice(
+            "X1", [Port("e", circuit.electrical_node("a"), circuit.ground, ELECTRICAL)],
+            lambda ctx: ctx.contribute("nope", 1.0))
+        circuit.add(device)
+        circuit.resistor("R1", "a", "0", 1.0)
+        with pytest.raises(DeviceError):
+            OperatingPointAnalysis(circuit).run()
+
+    def test_unknown_parameter_raises(self):
+        circuit = Circuit()
+        device = BehavioralDevice(
+            "X1", [Port("e", circuit.electrical_node("a"), circuit.ground, ELECTRICAL)],
+            lambda ctx: ctx.contribute("e", ctx.param("missing")))
+        circuit.add(device)
+        circuit.resistor("R1", "a", "0", 1.0)
+        with pytest.raises(DeviceError):
+            OperatingPointAnalysis(circuit).run()
+
+    def test_declared_unknown_without_equation_raises(self):
+        circuit = Circuit()
+        device = BehavioralDevice(
+            "X1", [Port("e", circuit.electrical_node("a"), circuit.ground, ELECTRICAL)],
+            lambda ctx: ctx.contribute("e", 0.0), extra_unknowns=("i",))
+        circuit.add(device)
+        circuit.resistor("R1", "a", "0", 1.0)
+        with pytest.raises(DeviceError):
+            OperatingPointAnalysis(circuit).run()
+
+    def test_describe_mentions_ports(self):
+        circuit = Circuit()
+        device = BehavioralDevice(
+            "X1", [Port("e", circuit.electrical_node("a"), circuit.ground, ELECTRICAL)],
+            lambda ctx: None)
+        assert "e:electrical" in device.describe()
+
+
+class TestAgainstLinearDevices:
+    """Behavioral formulations must match the hand-coded stamps exactly."""
+
+    def test_behavioral_resistor_divider(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", 6.0)
+        circuit.resistor("R1", "in", "out", 1e3)
+        behavioral_resistor(circuit, "X1", "out", "0", 2e3)
+        op = OperatingPointAnalysis(circuit).run()
+        assert op.voltage("out") == pytest.approx(4.0, rel=1e-9)
+
+    def test_behavioral_capacitor_rc_step(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", Step(0.0, 5.0, ramp=1e-9))
+        circuit.resistor("R1", "in", "out", 1e3)
+        behavioral_capacitor(circuit, "X1", "out", "0", 1e-6)
+        result = TransientAnalysis(circuit, t_stop=5e-3, t_step=20e-6).run()
+        expected = 5.0 * (1.0 - np.exp(-1.0))
+        assert result.at("v(out)", 1e-3) == pytest.approx(expected, rel=1e-2)
+
+    def test_behavioral_capacitor_ac_matches_linear(self):
+        behavioral = Circuit()
+        behavioral.voltage_source("V1", "in", "0", 0.0, ac=1.0)
+        behavioral.resistor("R1", "in", "out", 1e3)
+        behavioral_capacitor(behavioral, "X1", "out", "0", 1e-6)
+
+        linear = Circuit()
+        linear.voltage_source("V1", "in", "0", 0.0, ac=1.0)
+        linear.resistor("R1", "in", "out", 1e3)
+        linear.capacitor("C1", "out", "0", 1e-6)
+
+        frequencies = [10.0, 159.0, 5e3]
+        res_b = ACAnalysis(behavioral, frequencies).run()
+        res_l = ACAnalysis(linear, frequencies).run()
+        assert np.allclose(np.asarray(res_b["v(out)"]), np.asarray(res_l["v(out)"]), rtol=1e-9)
+
+    def test_nonlinear_conductance_newton(self):
+        """A cubic conductance i = k*v^3 converges and matches the root."""
+        circuit = Circuit()
+        circuit.current_source("I1", "0", "a", 8e-3)
+
+        def behavior(ctx):
+            v = ctx.across("e")
+            ctx.contribute("e", 1e-3 * v * v * v)
+
+        circuit.add(BehavioralDevice(
+            "X1", [Port("e", circuit.electrical_node("a"), circuit.ground, ELECTRICAL)],
+            behavior))
+        op = OperatingPointAnalysis(circuit).run()
+        assert op.voltage("a") == pytest.approx(2.0, rel=1e-6)
+
+
+class TestExtraUnknowns:
+    def test_behavioral_inductor_with_branch_equation(self):
+        """v = L di/dt implemented through an extra unknown and equation."""
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", Step(0.0, 1.0, ramp=1e-9))
+        circuit.resistor("R1", "in", "out", 10.0)
+
+        def behavior(ctx):
+            v = ctx.across("e")
+            current = ctx.unknown("i")
+            ctx.contribute("e", current)
+            ctx.equation("i", v - 10e-3 * ctx.ddt(current, key="i"))
+
+        circuit.add(BehavioralDevice(
+            "XL", [Port("e", circuit.electrical_node("out"), circuit.ground, ELECTRICAL)],
+            behavior, extra_unknowns=("i",)))
+        result = TransientAnalysis(circuit, t_stop=5e-3, t_step=10e-6).run()
+        tau = 10e-3 / 10.0
+        expected = 0.1 * (1.0 - np.exp(-1.0))
+        assert result.at("i(XL.e)", tau) == pytest.approx(expected, rel=2e-2)
+        assert result.final("i(XL.e)") == pytest.approx(0.1, rel=1e-2)
+
+    def test_undeclared_unknown_access_rejected(self):
+        circuit = Circuit()
+
+        def behavior(ctx):
+            ctx.contribute("e", ctx.unknown("ghost"))
+
+        circuit.add(BehavioralDevice(
+            "X1", [Port("e", circuit.electrical_node("a"), circuit.ground, ELECTRICAL)],
+            behavior))
+        circuit.resistor("R1", "a", "0", 1.0)
+        with pytest.raises(DeviceError):
+            OperatingPointAnalysis(circuit).run()
+
+
+class TestRecording:
+    def test_recorded_quantities_appear_in_results(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", 2.0)
+
+        def behavior(ctx):
+            v = ctx.across("e")
+            ctx.contribute("e", v / 100.0)
+            ctx.record("vsq", v * v)
+
+        circuit.add(BehavioralDevice(
+            "X1", [Port("e", circuit.electrical_node("in"), circuit.ground, ELECTRICAL)],
+            behavior))
+        op = OperatingPointAnalysis(circuit).run()
+        assert op["vsq(X1)"] == pytest.approx(4.0)
+        assert op["i(X1.e)"] == pytest.approx(0.02)
+
+    def test_integ_state_initial_value_used_at_dc(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", 1.0)
+
+        def behavior(ctx):
+            v = ctx.across("e")
+            x = ctx.integ(v, key="x", initial=0.5)
+            ctx.contribute("e", v * 1e-3)
+            ctx.record("x", x)
+
+        circuit.add(BehavioralDevice(
+            "X1", [Port("e", circuit.electrical_node("in"), circuit.ground, ELECTRICAL)],
+            behavior, state_initials={"x": 0.5}))
+        op = OperatingPointAnalysis(circuit).run()
+        assert op["x(X1)"] == pytest.approx(0.5)

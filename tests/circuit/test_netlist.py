@@ -1,0 +1,145 @@
+"""Tests for the Circuit netlist container and builder helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import Circuit
+from repro.circuit.devices import (
+    CCCS,
+    CCVS,
+    Capacitor,
+    CurrentSource,
+    Damper,
+    Diode,
+    ForceSource,
+    Inductor,
+    Mass,
+    Resistor,
+    Spring,
+    VCCS,
+    VCVS,
+    VoltageControlledSwitch,
+    VoltageSource,
+)
+from repro.errors import NetlistError
+from repro.natures import ELECTRICAL, MECHANICAL_TRANSLATION
+
+
+class TestNodes:
+    def test_ground_aliases_share_one_node(self):
+        circuit = Circuit()
+        assert circuit.node("0") is circuit.ground
+        assert circuit.node("gnd") is circuit.ground
+        assert circuit.node("GROUND") is circuit.ground
+
+    def test_node_created_once(self):
+        circuit = Circuit()
+        assert circuit.node("a") is circuit.node("a")
+
+    def test_node_nature_checked(self):
+        circuit = Circuit()
+        circuit.node("a", ELECTRICAL)
+        with pytest.raises(NetlistError):
+            circuit.node("a", MECHANICAL_TRANSLATION)
+
+    def test_ground_ignores_requested_nature(self):
+        circuit = Circuit()
+        assert circuit.node("0", MECHANICAL_TRANSLATION) is circuit.ground
+
+    def test_invalid_node_name(self):
+        with pytest.raises(NetlistError):
+            Circuit().node("")
+
+    def test_nodes_listing_excludes_ground(self):
+        circuit = Circuit()
+        circuit.resistor("R1", "a", "b", 1.0)
+        names = [node.name for node in circuit.nodes]
+        assert names == ["a", "b"]
+
+    def test_has_node(self):
+        circuit = Circuit()
+        circuit.node("x")
+        assert circuit.has_node("x") and circuit.has_node("0")
+        assert not circuit.has_node("y")
+
+
+class TestDeviceManagement:
+    def test_duplicate_names_rejected(self):
+        circuit = Circuit()
+        circuit.resistor("R1", "a", "0", 1.0)
+        with pytest.raises(NetlistError):
+            circuit.resistor("R1", "b", "0", 1.0)
+
+    def test_lookup_and_iteration(self):
+        circuit = Circuit()
+        r = circuit.resistor("R1", "a", "0", 1.0)
+        assert circuit["R1"] is r
+        assert "R1" in circuit
+        assert list(circuit) == [r]
+        assert len(circuit) == 1
+
+    def test_unknown_device_lookup(self):
+        with pytest.raises(NetlistError):
+            Circuit()["nope"]
+
+    def test_remove(self):
+        circuit = Circuit()
+        circuit.resistor("R1", "a", "0", 1.0)
+        circuit.remove("R1")
+        assert "R1" not in circuit
+        with pytest.raises(NetlistError):
+            circuit.remove("R1")
+
+    def test_validate_rejects_dangling_node(self):
+        circuit = Circuit()
+        circuit.node("floating")
+        circuit.resistor("R1", "a", "0", 1.0)
+        with pytest.raises(NetlistError):
+            circuit.validate()
+
+    def test_summary_lists_devices(self):
+        circuit = Circuit("my system")
+        circuit.resistor("R1", "a", "0", "1k")
+        text = circuit.summary()
+        assert "my system" in text and "R1" in text
+
+
+class TestBuilderHelpers:
+    def test_electrical_builders_types_and_values(self):
+        circuit = Circuit()
+        assert isinstance(circuit.resistor("R1", "a", "0", "1k"), Resistor)
+        assert circuit["R1"].resistance == 1000.0
+        assert isinstance(circuit.capacitor("C1", "a", "0", "1u"), Capacitor)
+        assert circuit["C1"].capacitance == pytest.approx(1e-6)
+        assert isinstance(circuit.inductor("L1", "a", "b", "10m"), Inductor)
+        assert isinstance(circuit.voltage_source("V1", "b", "0", 5.0), VoltageSource)
+        assert isinstance(circuit.current_source("I1", "a", "0", 1e-3), CurrentSource)
+        assert isinstance(circuit.diode("D1", "a", "0"), Diode)
+
+    def test_controlled_source_builders(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", 1.0)
+        assert isinstance(circuit.vccs("G1", "out", "0", "in", "0", 1e-3), VCCS)
+        assert isinstance(circuit.vcvs("E1", "e", "0", "in", "0", 2.0), VCVS)
+        assert isinstance(circuit.cccs("F1", "f", "0", "V1", 3.0), CCCS)
+        assert isinstance(circuit.ccvs("H1", "h", "0", "V1", 10.0), CCVS)
+
+    def test_switch_builder(self):
+        circuit = Circuit()
+        assert isinstance(circuit.switch("S1", "a", "0", "c", "0", threshold=1.0),
+                          VoltageControlledSwitch)
+
+    def test_mechanical_builders_use_mechanical_nature(self):
+        circuit = Circuit()
+        assert isinstance(circuit.mass("M1", "m", "1e-4"), Mass)
+        assert isinstance(circuit.spring("K1", "m", "0", 200.0), Spring)
+        assert isinstance(circuit.damper("D1", "m", "0", 0.04), Damper)
+        assert isinstance(circuit.force_source("F1", "m", "0", 1.0), ForceSource)
+        assert circuit.mechanical_node("m").nature is MECHANICAL_TRANSLATION
+
+    def test_mixing_natures_on_one_node_rejected(self):
+        circuit = Circuit()
+        circuit.resistor("R1", "a", "0", 1.0)
+        with pytest.raises(NetlistError):
+            circuit.mass("M1", "a", 1e-4)

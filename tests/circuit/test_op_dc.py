@@ -1,0 +1,169 @@
+"""Tests for operating-point and DC-sweep analyses on analytic circuits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    DCSweepAnalysis,
+    OperatingPointAnalysis,
+    SimulationOptions,
+)
+from repro.circuit.mna import MNASystem
+from repro.errors import AnalysisError, NetlistError
+
+
+class TestVoltageDivider:
+    def test_two_resistor_divider(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", 10.0)
+        circuit.resistor("R1", "in", "out", 1e3)
+        circuit.resistor("R2", "out", "0", 3e3)
+        op = OperatingPointAnalysis(circuit).run()
+        assert op.voltage("out") == pytest.approx(7.5, rel=1e-6)
+        assert op.current("V1") == pytest.approx(-10.0 / 4e3, rel=1e-6)
+
+    def test_current_source_into_resistor(self):
+        circuit = Circuit()
+        circuit.current_source("I1", "0", "a", 1e-3)
+        circuit.resistor("R1", "a", "0", 2e3)
+        op = OperatingPointAnalysis(circuit).run()
+        assert op.voltage("a") == pytest.approx(2.0, rel=1e-6)
+
+    def test_capacitor_open_inductor_short_at_dc(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", 5.0)
+        circuit.resistor("R1", "in", "mid", 1e3)
+        circuit.capacitor("C1", "mid", "0", 1e-6)
+        circuit.inductor("L1", "mid", "out", 1e-3)
+        circuit.resistor("R2", "out", "0", 1e3)
+        op = OperatingPointAnalysis(circuit).run()
+        # Inductor shorts mid to out, capacitor draws nothing: divider of R1/R2.
+        assert op.voltage("mid") == pytest.approx(2.5, rel=1e-6)
+        assert op.voltage("out") == pytest.approx(2.5, rel=1e-6)
+        assert op.current("L1") == pytest.approx(2.5e-3, rel=1e-6)
+
+    def test_controlled_sources(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", 2.0)
+        circuit.resistor("R1", "in", "0", 1e3)
+        circuit.vccs("G1", "0", "out", "in", "0", 1e-3)  # injects 2 mA into out
+        circuit.resistor("R2", "out", "0", 1e3)
+        circuit.vcvs("E1", "amp", "0", "out", "0", 5.0)
+        circuit.resistor("R3", "amp", "0", 1e3)
+        op = OperatingPointAnalysis(circuit).run()
+        assert op.voltage("out") == pytest.approx(2.0, rel=1e-6)
+        assert op.voltage("amp") == pytest.approx(10.0, rel=1e-6)
+
+    def test_current_controlled_sources(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", 1.0)
+        circuit.resistor("R1", "in", "0", 100.0)     # i(V1) = -10 mA (SPICE sign)
+        circuit.cccs("F1", "0", "out", "V1", 2.0)
+        circuit.resistor("R2", "out", "0", 50.0)
+        circuit.ccvs("H1", "h", "0", "V1", 100.0)
+        circuit.resistor("R3", "h", "0", 1e3)
+        op = OperatingPointAnalysis(circuit).run()
+        assert op.voltage("out") == pytest.approx(-1.0, rel=1e-6)
+        assert op.voltage("h") == pytest.approx(-1.0, rel=1e-6)
+
+
+class TestNonlinearOperatingPoint:
+    def test_diode_resistor_bias(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", 5.0)
+        circuit.resistor("R1", "in", "d", 1e3)
+        circuit.diode("D1", "d", "0")
+        op = OperatingPointAnalysis(circuit).run()
+        vd = op.voltage("d")
+        assert 0.5 < vd < 0.8
+        # KCL: resistor current equals diode current.
+        i_r = (5.0 - vd) / 1e3
+        assert op["i(D1)"] == pytest.approx(i_r, rel=1e-3)
+
+    def test_reverse_biased_diode_blocks(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", -5.0)
+        circuit.resistor("R1", "in", "d", 1e3)
+        circuit.diode("D1", "d", "0")
+        op = OperatingPointAnalysis(circuit).run()
+        assert op.voltage("d") == pytest.approx(-5.0, rel=1e-3)
+
+    def test_floating_node_rejected(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", 1.0)
+        circuit.resistor("R1", "in", "out", 1e3)
+        # node out only touches one device but is still solvable thanks to gmin;
+        # a completely unconnected node however fails validation.
+        circuit.node("nowhere")
+        with pytest.raises(NetlistError):
+            OperatingPointAnalysis(circuit).run()
+
+
+class TestDCSweep:
+    def test_resistive_divider_sweep_is_linear(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", 0.0)
+        circuit.resistor("R1", "in", "out", 1e3)
+        circuit.resistor("R2", "out", "0", 1e3)
+        sweep = DCSweepAnalysis(circuit, "V1", np.linspace(0.0, 10.0, 11)).run()
+        assert sweep.column("v(out)") == pytest.approx(0.5 * sweep.sweep_values)
+
+    def test_diode_sweep_monotonic_current(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", 0.0)
+        circuit.resistor("R1", "in", "d", 1e3)
+        circuit.diode("D1", "d", "0")
+        sweep = DCSweepAnalysis(circuit, "V1", np.linspace(0.0, 5.0, 21)).run()
+        current = sweep.column("i(D1)")
+        assert np.all(np.diff(current) >= -1e-12)
+        assert current[-1] > 1e-3
+
+    def test_sweep_restores_original_waveform(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", 7.0)
+        circuit.resistor("R1", "in", "0", 1e3)
+        DCSweepAnalysis(circuit, "V1", [0.0, 1.0]).run()
+        assert circuit["V1"].waveform.value(0.0) == 7.0
+
+    def test_sweeping_non_source_rejected(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", 1.0)
+        circuit.resistor("R1", "in", "0", 1e3)
+        with pytest.raises(AnalysisError):
+            DCSweepAnalysis(circuit, "R1", [1.0, 2.0])
+
+    def test_empty_sweep_rejected(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", 1.0)
+        circuit.resistor("R1", "in", "0", 1e3)
+        with pytest.raises(AnalysisError):
+            DCSweepAnalysis(circuit, "V1", [])
+
+
+class TestMNASystem:
+    def test_unknown_labels(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", 1.0)
+        circuit.resistor("R1", "in", "out", 1e3)
+        circuit.capacitor("C1", "out", "0", 1e-9)
+        system = MNASystem(circuit)
+        labels = system.unknown_labels()
+        assert "v(in)" in labels and "v(out)" in labels and "V1#i" in labels
+        assert system.size == 3
+        assert system.num_nodes == 2 and system.num_aux == 1
+
+    def test_index_of_ground_is_negative(self):
+        circuit = Circuit()
+        circuit.resistor("R1", "a", "0", 1.0)
+        system = MNASystem(circuit)
+        assert system.index_of(circuit.ground) == -1
+
+    def test_aux_index_unknown_device(self):
+        circuit = Circuit()
+        circuit.resistor("R1", "a", "0", 1.0)
+        system = MNASystem(circuit)
+        with pytest.raises(NetlistError):
+            system.aux_index("R1", "i")

@@ -1,0 +1,158 @@
+"""Transient-analysis tests against closed-form circuit responses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    Pulse,
+    Sine,
+    SimulationOptions,
+    Step,
+    TransientAnalysis,
+)
+from repro.errors import AnalysisError
+
+
+def rc_circuit(tau_resistor=1e3, tau_capacitor=1e-6, amplitude=5.0):
+    circuit = Circuit("rc")
+    circuit.voltage_source("V1", "in", "0",
+                           Step(v1=0.0, v2=amplitude, time=0.0, ramp=1e-9))
+    circuit.resistor("R1", "in", "out", tau_resistor)
+    circuit.capacitor("C1", "out", "0", tau_capacitor)
+    return circuit
+
+
+class TestRCStepResponse:
+    def test_exponential_charging(self):
+        circuit = rc_circuit()
+        result = TransientAnalysis(circuit, t_stop=5e-3, t_step=20e-6).run()
+        tau = 1e-3
+        for t_probe in (0.5e-3, 1e-3, 2e-3, 4e-3):
+            expected = 5.0 * (1.0 - np.exp(-t_probe / tau))
+            assert result.at("v(out)", t_probe) == pytest.approx(expected, rel=5e-3)
+
+    def test_final_value_reaches_source(self):
+        result = TransientAnalysis(rc_circuit(), t_stop=10e-3, t_step=50e-6).run()
+        assert result.final("v(out)") == pytest.approx(5.0, rel=1e-3)
+
+    def test_capacitor_current_decays(self):
+        result = TransientAnalysis(rc_circuit(), t_stop=10e-3, t_step=50e-6).run()
+        i_start = result.at("i(R1)", 50e-6)
+        i_end = result.final("i(R1)")
+        assert i_start > 100 * abs(i_end)
+
+    def test_backward_euler_also_converges(self):
+        options = SimulationOptions(integration_method="backward_euler")
+        result = TransientAnalysis(rc_circuit(), t_stop=5e-3, t_step=10e-6,
+                                   options=options).run()
+        expected = 5.0 * (1.0 - np.exp(-1.0))
+        assert result.at("v(out)", 1e-3) == pytest.approx(expected, rel=2e-2)
+
+    def test_statistics_populated(self):
+        result = TransientAnalysis(rc_circuit(), t_stop=1e-3, t_step=20e-6).run()
+        assert result.statistics["accepted"] > 10
+        assert result.statistics["wall_time_s"] > 0.0
+        assert result.statistics["points"] == result.time.size
+
+
+class TestRLNetwork:
+    def test_rl_current_rise(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", Step(0.0, 1.0, time=0.0, ramp=1e-9))
+        circuit.resistor("R1", "in", "out", 10.0)
+        circuit.inductor("L1", "out", "0", 10e-3)
+        result = TransientAnalysis(circuit, t_stop=5e-3, t_step=10e-6).run()
+        tau = 10e-3 / 10.0
+        expected = 0.1 * (1.0 - np.exp(-1.0))
+        assert result.at("i(L1)", tau) == pytest.approx(expected, rel=1e-2)
+        # After 5 time constants the current has reached 1 - e^-5 of its limit.
+        assert result.final("i(L1)") == pytest.approx(0.1 * (1.0 - np.exp(-5.0)), rel=1e-3)
+
+
+class TestSeriesRLCRinging:
+    def test_underdamped_oscillation_frequency(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", Step(0.0, 1.0, time=0.0, ramp=1e-9))
+        circuit.resistor("R1", "in", "a", 10.0)
+        circuit.inductor("L1", "a", "b", 1e-3)
+        circuit.capacitor("C1", "b", "0", 1e-6)
+        result = TransientAnalysis(circuit, t_stop=1e-3, t_step=1e-6).run()
+        vout = result.signal("v(b)")
+        # Peak of the underdamped response overshoots the final value.
+        assert np.max(vout) > 1.2
+        assert result.final("v(b)") == pytest.approx(1.0, rel=5e-2)
+        # Ringing frequency ~ 1/(2 pi sqrt(LC)) ~ 5.03 kHz: find first peak.
+        t_peak, _ = result.peak("v(b)")
+        half_period = np.pi * np.sqrt(1e-3 * 1e-6)
+        assert t_peak == pytest.approx(half_period, rel=0.1)
+
+
+class TestSineDrive:
+    def test_amplitude_through_rc_at_low_frequency(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", Sine(amplitude=1.0, frequency=50.0))
+        circuit.resistor("R1", "in", "out", 1e3)
+        circuit.capacitor("C1", "out", "0", 1e-9)  # cutoff 159 kHz >> 50 Hz
+        result = TransientAnalysis(circuit, t_stop=40e-3, t_step=0.1e-3).run()
+        assert np.max(result.signal("v(out)")) == pytest.approx(1.0, rel=2e-2)
+
+
+class TestMechanicalResonatorResponse:
+    def test_step_force_overshoot_matches_damping_ratio(self):
+        circuit = Circuit()
+        circuit.force_source("F1", "m", "0", Pulse(0.0, 1.0, rise=1e-4, width=10.0))
+        circuit.mass("M1", "m", 1e-4)
+        circuit.spring("K1", "m", "0", 200.0)
+        circuit.damper("D1", "m", "0", 40e-3)
+        result = TransientAnalysis(circuit, t_stop=0.15, t_step=2e-4).run()
+        static = 1.0 / 200.0
+        assert result.final("x(M1)") == pytest.approx(static, rel=1e-2)
+        zeta = 40e-3 / (2.0 * np.sqrt(200.0 * 1e-4))
+        expected_peak = static * (1.0 + np.exp(-zeta * np.pi / np.sqrt(1.0 - zeta ** 2)))
+        _, peak = result.peak("x(M1)")
+        assert peak == pytest.approx(expected_peak, rel=2e-2)
+
+    def test_velocity_source_imposes_motion(self):
+        circuit = Circuit()
+        circuit.velocity_source("U1", "m", "0", Sine(amplitude=1e-3, frequency=100.0))
+        circuit.damper("D1", "m", "0", 0.5)
+        result = TransientAnalysis(circuit, t_stop=20e-3, t_step=50e-6).run()
+        # Damper force follows alpha * velocity.
+        assert np.max(result.signal("f(D1)")) == pytest.approx(0.5e-3, rel=5e-2)
+
+
+class TestValidationAndEdges:
+    def test_bad_time_range_rejected(self):
+        with pytest.raises(AnalysisError):
+            TransientAnalysis(rc_circuit(), t_stop=0.0)
+
+    def test_bad_step_rejected(self):
+        with pytest.raises(AnalysisError):
+            TransientAnalysis(rc_circuit(), t_stop=1e-3, t_step=-1.0)
+
+    def test_use_ic_starts_from_zero(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", 5.0)
+        circuit.resistor("R1", "in", "out", 1e3)
+        circuit.capacitor("C1", "out", "0", 1e-6)
+        result = TransientAnalysis(circuit, t_stop=5e-3, t_step=20e-6, use_ic=True).run()
+        assert result.signal("v(out)")[0] == pytest.approx(0.0, abs=1e-9)
+        assert result.final("v(out)") == pytest.approx(5.0, rel=1e-2)
+
+    def test_time_axis_is_monotonic(self):
+        result = TransientAnalysis(rc_circuit(), t_stop=2e-3, t_step=20e-6).run()
+        assert np.all(np.diff(result.time) > 0.0)
+        assert result.time[0] == 0.0
+        assert result.time[-1] == pytest.approx(2e-3, rel=1e-6)
+
+    def test_pulse_breakpoints_are_hit(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0",
+                               Pulse(0.0, 1.0, delay=0.3e-3, rise=0.1e-3, width=0.5e-3))
+        circuit.resistor("R1", "in", "0", 1e3)
+        result = TransientAnalysis(circuit, t_stop=2e-3, t_step=0.25e-3).run()
+        # The plateau start (0.4 ms) must be an exact sample despite the 0.25 ms step.
+        assert np.any(np.isclose(result.time, 0.4e-3, atol=1e-12))

@@ -1,0 +1,164 @@
+"""Tests for the source waveforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuit.waveforms import (
+    DC,
+    Exponential,
+    PieceWiseLinear,
+    Pulse,
+    Sine,
+    Step,
+    ensure_waveform,
+)
+from repro.errors import DeviceError
+
+
+class TestDC:
+    def test_constant_value_and_zero_derivative(self):
+        wave = DC(3.3)
+        assert wave.value(0.0) == 3.3
+        assert wave.value(1e3) == 3.3
+        assert wave.derivative(0.5) == 0.0
+        assert wave.dc == 3.3
+
+    def test_callable(self):
+        assert DC(2.0)(5.0) == 2.0
+
+
+class TestPulse:
+    def make(self):
+        return Pulse(v1=0.0, v2=10.0, delay=1e-3, rise=2e-3, fall=2e-3, width=5e-3)
+
+    def test_before_delay(self):
+        assert self.make().value(0.5e-3) == 0.0
+
+    def test_mid_rise_is_half(self):
+        assert self.make().value(1e-3 + 1e-3) == pytest.approx(5.0)
+
+    def test_plateau(self):
+        assert self.make().value(5e-3) == 10.0
+
+    def test_mid_fall(self):
+        wave = self.make()
+        assert wave.value(1e-3 + 2e-3 + 5e-3 + 1e-3) == pytest.approx(5.0)
+
+    def test_after_pulse_returns_to_v1(self):
+        assert self.make().value(0.1) == 0.0
+
+    def test_derivative_on_edges(self):
+        wave = self.make()
+        assert wave.derivative(2e-3) == pytest.approx(10.0 / 2e-3)
+        assert wave.derivative(9e-3) == pytest.approx(-10.0 / 2e-3)
+        assert wave.derivative(5e-3) == 0.0
+
+    def test_breakpoints_contain_all_corners(self):
+        points = self.make().breakpoints()
+        for expected in (1e-3, 3e-3, 8e-3, 10e-3):
+            assert any(abs(p - expected) < 1e-12 for p in points)
+
+    def test_periodic_pulse_repeats(self):
+        wave = Pulse(0.0, 1.0, delay=0.0, rise=1e-4, fall=1e-4, width=1e-3, period=5e-3)
+        assert wave.value(0.5e-3) == wave.value(0.5e-3 + 5e-3)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(DeviceError):
+            Pulse(rise=-1.0)
+        with pytest.raises(DeviceError):
+            Pulse(period=0.0)
+
+
+class TestSine:
+    def test_offset_before_delay(self):
+        wave = Sine(offset=1.0, amplitude=2.0, frequency=1e3, delay=1e-3)
+        assert wave.value(0.0) == pytest.approx(1.0)
+
+    def test_amplitude_at_quarter_period(self):
+        wave = Sine(amplitude=2.0, frequency=1e3)
+        assert wave.value(0.25e-3) == pytest.approx(2.0, rel=1e-9)
+
+    def test_damping_decays(self):
+        wave = Sine(amplitude=1.0, frequency=1e3, damping=1e3)
+        assert abs(wave.value(2.25e-3)) < 1.0
+
+    def test_derivative_at_zero_crossing(self):
+        wave = Sine(amplitude=1.0, frequency=1e3)
+        assert wave.derivative(0.0) == pytest.approx(2.0 * np.pi * 1e3, rel=1e-9)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(DeviceError):
+            Sine(frequency=0.0)
+
+
+class TestPieceWiseLinear:
+    def make(self):
+        return PieceWiseLinear(((0.0, 0.0), (1e-3, 5.0), (2e-3, 5.0), (3e-3, 0.0)))
+
+    def test_interpolation(self):
+        assert self.make().value(0.5e-3) == pytest.approx(2.5)
+
+    def test_flat_extension(self):
+        wave = self.make()
+        assert wave.value(-1.0) == 0.0
+        assert wave.value(1.0) == 0.0
+
+    def test_derivative(self):
+        assert self.make().derivative(0.5e-3) == pytest.approx(5000.0)
+        assert self.make().derivative(1.5e-3) == pytest.approx(0.0)
+
+    def test_breakpoints(self):
+        assert self.make().breakpoints() == (0.0, 1e-3, 2e-3, 3e-3)
+
+    def test_non_monotonic_times_raise(self):
+        with pytest.raises(DeviceError):
+            PieceWiseLinear(((0.0, 0.0), (0.0, 1.0)))
+
+    def test_empty_raises(self):
+        with pytest.raises(DeviceError):
+            PieceWiseLinear(())
+
+
+class TestExponentialAndStep:
+    def test_exponential_limits(self):
+        wave = Exponential(v1=0.0, v2=5.0, rise_delay=0.0, rise_tau=1e-3,
+                           fall_delay=1.0, fall_tau=1e-3)
+        assert wave.value(0.0) == pytest.approx(0.0)
+        assert wave.value(20e-3) == pytest.approx(5.0, rel=1e-6)
+
+    def test_exponential_invalid_tau(self):
+        with pytest.raises(DeviceError):
+            Exponential(rise_tau=0.0)
+
+    def test_step_values(self):
+        wave = Step(v1=0.0, v2=3.0, time=1e-3, ramp=1e-6)
+        assert wave.value(0.0) == 0.0
+        assert wave.value(2e-3) == 3.0
+        assert wave.value(1e-3 + 0.5e-6) == pytest.approx(1.5)
+
+    def test_step_breakpoints(self):
+        assert Step(time=1e-3, ramp=1e-6).breakpoints() == (1e-3, 1e-3 + 1e-6)
+
+
+class TestEnsureWaveform:
+    def test_passthrough(self):
+        wave = DC(1.0)
+        assert ensure_waveform(wave) is wave
+
+    def test_number_to_dc(self):
+        assert isinstance(ensure_waveform(5), DC)
+        assert ensure_waveform(5).value(0.0) == 5.0
+
+    def test_quantity_string(self):
+        assert ensure_waveform("10m").value(0.0) == pytest.approx(0.01)
+
+    def test_invalid_type(self):
+        with pytest.raises(DeviceError):
+            ensure_waveform(object())
+
+    @given(st.floats(-100, 100, allow_nan=False))
+    def test_dc_derivative_always_zero(self, level):
+        assert ensure_waveform(level).derivative(0.123) == 0.0

@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import SimulationOptions
+from repro.system.microsystem import PAPER_PARAMETERS, Table4Parameters
+from repro.transducers import TransverseElectrostaticTransducer
+
+
+@pytest.fixture
+def paper_parameters() -> Table4Parameters:
+    """The paper's Table 4 parameter set."""
+    return PAPER_PARAMETERS
+
+
+@pytest.fixture
+def paper_transducer() -> TransverseElectrostaticTransducer:
+    """The transverse electrostatic transducer with Table 4 geometry."""
+    return PAPER_PARAMETERS.transducer()
+
+
+@pytest.fixture
+def fast_options() -> SimulationOptions:
+    """Slightly relaxed solver options for quick transient tests."""
+    return SimulationOptions(reltol=1e-3, trtol=10.0)

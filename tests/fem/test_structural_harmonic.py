@@ -1,0 +1,145 @@
+"""Tests for the structural FE models and the harmonic-response analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FEMError
+from repro.fem import CantileverBeam, SpringMassChain, harmonic_response
+
+
+@pytest.fixture(scope="module")
+def silicon_beam():
+    # A typical MEMS cantilever: 300 x 20 x 2 um polysilicon.
+    return CantileverBeam(length=300e-6, width=20e-6, thickness=2e-6,
+                          youngs_modulus=160e9, density=2330.0, elements=20)
+
+
+class TestCantileverBeam:
+    def test_tip_stiffness_matches_3EI_over_L3(self, silicon_beam):
+        assert silicon_beam.tip_stiffness() == pytest.approx(
+            silicon_beam.analytic_tip_stiffness(), rel=1e-6)
+
+    def test_tip_deflection_linear_in_force(self, silicon_beam):
+        assert silicon_beam.tip_deflection(2e-6) == pytest.approx(
+            2.0 * silicon_beam.tip_deflection(1e-6), rel=1e-12)
+
+    def test_first_frequency_matches_euler_bernoulli(self, silicon_beam):
+        fem_f1 = float(silicon_beam.natural_frequencies(1)[0])
+        assert fem_f1 == pytest.approx(silicon_beam.analytic_first_frequency(), rel=1e-3)
+
+    def test_higher_modes_ordered(self, silicon_beam):
+        frequencies = silicon_beam.natural_frequencies(3)
+        assert np.all(np.diff(frequencies) > 0.0)
+        # Second cantilever mode is ~6.27x the first.
+        assert frequencies[1] / frequencies[0] == pytest.approx(6.27, rel=2e-2)
+
+    def test_effective_mass_smaller_than_total(self, silicon_beam):
+        total = silicon_beam.density * silicon_beam.area * silicon_beam.length
+        effective = silicon_beam.effective_mass()
+        assert 0.1 * total < effective < total
+
+    def test_section_properties(self, silicon_beam):
+        assert silicon_beam.area == pytest.approx(40e-12)
+        assert silicon_beam.inertia == pytest.approx(20e-6 * (2e-6) ** 3 / 12.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(FEMError):
+            CantileverBeam(length=-1.0, width=1e-6, thickness=1e-6,
+                           youngs_modulus=1e9, density=1000.0)
+        with pytest.raises(FEMError):
+            CantileverBeam(length=1e-3, width=1e-6, thickness=1e-6,
+                           youngs_modulus=1e9, density=1000.0, elements=0)
+
+    def test_convergence_with_refinement(self):
+        coarse = CantileverBeam(300e-6, 20e-6, 2e-6, 160e9, 2330.0, elements=2)
+        fine = CantileverBeam(300e-6, 20e-6, 2e-6, 160e9, 2330.0, elements=40)
+        analytic = fine.analytic_first_frequency()
+        assert abs(fine.natural_frequencies(1)[0] - analytic) <= \
+            abs(coarse.natural_frequencies(1)[0] - analytic) + 1e-9
+
+
+class TestSpringMassChain:
+    def test_single_mass_resonance(self):
+        chain = SpringMassChain(masses=(1e-4,), stiffnesses=(200.0,))
+        f0 = chain.natural_frequencies()[0]
+        assert f0 == pytest.approx(np.sqrt(200.0 / 1e-4) / (2.0 * np.pi), rel=1e-9)
+
+    def test_static_compliance_of_series_springs(self):
+        chain = SpringMassChain(masses=(1e-4, 1e-4), stiffnesses=(100.0, 100.0))
+        # A force on the last mass loads both springs in series: 1/k1 + 1/k2.
+        assert chain.static_compliance() == pytest.approx(0.02, rel=1e-9)
+
+    def test_two_mass_chain_has_two_modes(self):
+        chain = SpringMassChain(masses=(1e-4, 2e-4), stiffnesses=(100.0, 300.0))
+        frequencies = chain.natural_frequencies()
+        assert frequencies.size == 2 and frequencies[1] > frequencies[0]
+
+    def test_matrices_shapes_and_symmetry(self):
+        chain = SpringMassChain(masses=(1e-4, 1e-4), stiffnesses=(100.0, 50.0),
+                                dampings=(0.01, 0.02))
+        mass, damping, stiffness = chain.matrices()
+        for matrix in (mass, damping, stiffness):
+            assert matrix.shape == (2, 2)
+            assert np.allclose(matrix, matrix.T)
+
+    def test_validation(self):
+        with pytest.raises(FEMError):
+            SpringMassChain(masses=(), stiffnesses=())
+        with pytest.raises(FEMError):
+            SpringMassChain(masses=(1.0,), stiffnesses=(1.0, 2.0))
+        with pytest.raises(FEMError):
+            SpringMassChain(masses=(1.0,), stiffnesses=(-1.0,))
+
+
+class TestHarmonicResponse:
+    def _paper_resonator(self):
+        chain = SpringMassChain(masses=(1e-4,), stiffnesses=(200.0,), dampings=(0.04,))
+        return chain.matrices()
+
+    def test_static_limit_is_compliance(self):
+        mass, damping, stiffness = self._paper_resonator()
+        response = harmonic_response(mass, damping, stiffness, [1e-3, 1.0])
+        assert response.static_compliance() == pytest.approx(1.0 / 200.0, rel=1e-4)
+
+    def test_peak_at_damped_amplitude_resonance(self):
+        mass, damping, stiffness = self._paper_resonator()
+        f0 = np.sqrt(200.0 / 1e-4) / (2.0 * np.pi)
+        zeta = 0.04 / (2.0 * np.sqrt(200.0 * 1e-4))
+        # The displacement amplitude of a damped oscillator peaks at
+        # f0 * sqrt(1 - 2 zeta^2), slightly below the undamped frequency.
+        f_peak = f0 * np.sqrt(1.0 - 2.0 * zeta ** 2)
+        frequencies = np.linspace(0.5 * f0, 1.5 * f0, 400)
+        response = harmonic_response(mass, damping, stiffness, frequencies)
+        assert response.resonance_frequency() == pytest.approx(f_peak, rel=1e-2)
+
+    def test_peak_magnitude_is_q_times_static(self):
+        mass, damping, stiffness = self._paper_resonator()
+        f0 = np.sqrt(200.0 / 1e-4) / (2.0 * np.pi)
+        q = np.sqrt(200.0 * 1e-4) / 0.04
+        response = harmonic_response(mass, damping, stiffness, [f0])
+        assert response.magnitude(0)[0] == pytest.approx(q / 200.0, rel=1e-2)
+
+    def test_phase_crosses_minus_90_at_resonance(self):
+        mass, damping, stiffness = self._paper_resonator()
+        f0 = np.sqrt(200.0 / 1e-4) / (2.0 * np.pi)
+        response = harmonic_response(mass, damping, stiffness, [f0])
+        assert response.phase_deg(0)[0] == pytest.approx(-90.0, abs=1.0)
+
+    def test_multi_dof_drive_selection(self):
+        chain = SpringMassChain(masses=(1e-4, 1e-4), stiffnesses=(100.0, 100.0),
+                                dampings=(0.01, 0.01))
+        mass, damping, stiffness = chain.matrices()
+        response = harmonic_response(mass, damping, stiffness, [10.0, 100.0], drive_dof=0)
+        assert response.drive_dof == 0
+        assert response.displacements.shape == (2, 2)
+
+    def test_validation(self):
+        mass, damping, stiffness = self._paper_resonator()
+        with pytest.raises(FEMError):
+            harmonic_response(mass, damping, stiffness, [])
+        with pytest.raises(FEMError):
+            harmonic_response(mass, damping, stiffness, [-1.0])
+        with pytest.raises(FEMError):
+            harmonic_response(np.eye(2), damping, stiffness, [1.0])

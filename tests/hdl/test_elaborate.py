@@ -1,0 +1,210 @@
+"""Tests for HDL elaboration: parsed models behave like native devices."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    ACAnalysis,
+    Circuit,
+    OperatingPointAnalysis,
+    Step,
+    TransientAnalysis,
+)
+from repro.errors import HDLElaborationError
+from repro.hdl import instantiate, parse
+from repro.hdl.codegen import LISTING1_SOURCE
+
+RESISTOR_HDL = """
+ENTITY rbeh IS
+  GENERIC (rval : analog := 100.0);
+  PIN (p, n : electrical);
+END ENTITY rbeh;
+ARCHITECTURE a OF rbeh IS
+BEGIN
+  RELATION
+    PROCEDURAL FOR dc, ac, transient =>
+      [p, n].i %= [p, n].v / rval;
+  END RELATION;
+END ARCHITECTURE a;
+"""
+
+CAPACITOR_HDL = """
+ENTITY cbeh IS
+  GENERIC (cval : analog);
+  PIN (p, n : electrical);
+END ENTITY cbeh;
+ARCHITECTURE a OF cbeh IS
+  STATE V : analog;
+BEGIN
+  RELATION
+    PROCEDURAL FOR dc, ac, transient =>
+      V := [p, n].v;
+      [p, n].i %= cval*ddt(V);
+  END RELATION;
+END ARCHITECTURE a;
+"""
+
+PIECEWISE_HDL = """
+ENTITY clip IS
+  GENERIC (lim : analog := 1.0);
+  PIN (p, n : electrical);
+END ENTITY clip;
+ARCHITECTURE a OF clip IS
+  VARIABLE v : analog;
+BEGIN
+  RELATION
+    PROCEDURAL FOR dc, ac, transient =>
+      v := [p, n].v;
+      IF v > lim THEN
+        [p, n].i %= (v - lim)*1.0e-3;
+      ELSIF v < -lim THEN
+        [p, n].i %= (v + lim)*1.0e-3;
+      ELSE
+        [p, n].i %= 0.0;
+      END IF;
+  END RELATION;
+END ARCHITECTURE a;
+"""
+
+
+def add_hdl(circuit, source, entity, name, generics, pins):
+    module = parse(source)
+    node_map = {pin: circuit.node(node, nature) for pin, (node, nature) in pins.items()}
+    device = instantiate(module, entity, name=name, generics=generics, pins=node_map)
+    return circuit.add(device)
+
+
+class TestResistorModel:
+    def test_divider_with_hdl_resistor(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", 10.0)
+        circuit.resistor("R1", "in", "out", 1e3)
+        add_hdl(circuit, RESISTOR_HDL, "rbeh", "X1", {"rval": 3e3},
+                {"p": ("out", "electrical"), "n": ("0", "electrical")})
+        op = OperatingPointAnalysis(circuit).run()
+        assert op.voltage("out") == pytest.approx(7.5, rel=1e-6)
+
+    def test_generic_default_used_when_omitted(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", 1.0)
+        add_hdl(circuit, RESISTOR_HDL, "rbeh", "X1", {},
+                {"p": ("in", "electrical"), "n": ("0", "electrical")})
+        op = OperatingPointAnalysis(circuit).run()
+        assert op["i(X1.p_n)"] == pytest.approx(1.0 / 100.0, rel=1e-6)
+
+    def test_missing_generic_raises(self):
+        module = parse(CAPACITOR_HDL)
+        circuit = Circuit()
+        with pytest.raises(HDLElaborationError, match="generic"):
+            instantiate(module, "cbeh", name="X1", generics={},
+                        pins={"p": circuit.electrical_node("a"), "n": circuit.ground})
+
+    def test_unknown_generic_raises(self):
+        module = parse(RESISTOR_HDL)
+        circuit = Circuit()
+        with pytest.raises(HDLElaborationError, match="unknown generics"):
+            instantiate(module, "rbeh", name="X1", generics={"bogus": 1.0},
+                        pins={"p": circuit.electrical_node("a"), "n": circuit.ground})
+
+    def test_missing_pin_raises(self):
+        module = parse(RESISTOR_HDL)
+        circuit = Circuit()
+        with pytest.raises(HDLElaborationError, match="not connected"):
+            instantiate(module, "rbeh", name="X1", generics={},
+                        pins={"p": circuit.electrical_node("a")})
+
+    def test_unknown_pin_raises(self):
+        module = parse(RESISTOR_HDL)
+        circuit = Circuit()
+        with pytest.raises(HDLElaborationError, match="unknown pins"):
+            instantiate(module, "rbeh", name="X1", generics={},
+                        pins={"p": circuit.electrical_node("a"), "n": circuit.ground,
+                              "z": circuit.ground})
+
+
+class TestCapacitorModel:
+    def test_rc_step_response_matches_native_capacitor(self):
+        hdl_circuit = Circuit()
+        hdl_circuit.voltage_source("V1", "in", "0", Step(0.0, 5.0, ramp=1e-9))
+        hdl_circuit.resistor("R1", "in", "out", 1e3)
+        add_hdl(hdl_circuit, CAPACITOR_HDL, "cbeh", "X1", {"cval": 1e-6},
+                {"p": ("out", "electrical"), "n": ("0", "electrical")})
+
+        native = Circuit()
+        native.voltage_source("V1", "in", "0", Step(0.0, 5.0, ramp=1e-9))
+        native.resistor("R1", "in", "out", 1e3)
+        native.capacitor("C1", "out", "0", 1e-6)
+
+        res_hdl = TransientAnalysis(hdl_circuit, t_stop=4e-3, t_step=20e-6).run()
+        res_nat = TransientAnalysis(native, t_stop=4e-3, t_step=20e-6).run()
+        probe_times = np.linspace(0.1e-3, 3.9e-3, 20)
+        assert np.allclose(res_hdl.sample("v(out)", probe_times),
+                           res_nat.sample("v(out)", probe_times), rtol=1e-3)
+
+    def test_ac_response_matches_native_capacitor(self):
+        hdl_circuit = Circuit()
+        hdl_circuit.voltage_source("V1", "in", "0", 0.0, ac=1.0)
+        hdl_circuit.resistor("R1", "in", "out", 1e3)
+        add_hdl(hdl_circuit, CAPACITOR_HDL, "cbeh", "X1", {"cval": 1e-6},
+                {"p": ("out", "electrical"), "n": ("0", "electrical")})
+        f_corner = 1.0 / (2.0 * np.pi * 1e-3)
+        result = ACAnalysis(hdl_circuit, [f_corner]).run()
+        assert abs(result.at("v(out)", f_corner)) == pytest.approx(1 / np.sqrt(2), rel=1e-6)
+
+    def test_state_recorded_in_outputs(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", 2.0)
+        circuit.resistor("R1", "in", "out", 1e3)
+        add_hdl(circuit, CAPACITOR_HDL, "cbeh", "X1", {"cval": 1e-9},
+                {"p": ("out", "electrical"), "n": ("0", "electrical")})
+        op = OperatingPointAnalysis(circuit).run()
+        assert op["V(X1)"] == pytest.approx(2.0, rel=1e-6)
+
+
+class TestPiecewiseModel:
+    def test_dead_zone_behaviour(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", 0.5)
+        add_hdl(circuit, PIECEWISE_HDL, "clip", "X1", {"lim": 1.0},
+                {"p": ("in", "electrical"), "n": ("0", "electrical")})
+        op = OperatingPointAnalysis(circuit).run()
+        assert op["i(X1.p_n)"] == pytest.approx(0.0, abs=1e-12)
+
+    def test_conducting_region(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", 3.0)
+        add_hdl(circuit, PIECEWISE_HDL, "clip", "X1", {"lim": 1.0},
+                {"p": ("in", "electrical"), "n": ("0", "electrical")})
+        op = OperatingPointAnalysis(circuit).run()
+        assert op["i(X1.p_n)"] == pytest.approx(2e-3, rel=1e-6)
+
+    def test_negative_region_symmetry(self):
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", -3.0)
+        add_hdl(circuit, PIECEWISE_HDL, "clip", "X1", {"lim": 1.0},
+                {"p": ("in", "electrical"), "n": ("0", "electrical")})
+        op = OperatingPointAnalysis(circuit).run()
+        assert op["i(X1.p_n)"] == pytest.approx(-2e-3, rel=1e-6)
+
+
+class TestListing1Elaboration:
+    def test_listing1_builds_a_two_port_device(self):
+        circuit = Circuit()
+        module = parse(LISTING1_SOURCE)
+        device = instantiate(
+            module, "eletran", name="XD",
+            generics={"A": 1e-4, "d": 0.15e-3, "er": 1.0},
+            pins={"a": circuit.electrical_node("drive"), "b": circuit.ground,
+                  "c": circuit.mechanical_node("plate"), "e": circuit.ground})
+        circuit.add(device)
+        circuit.voltage_source("VS", "drive", "0", 10.0)
+        circuit.mass("M1", "plate", 1e-4)
+        circuit.spring("K1", "plate", "0", 200.0)
+        circuit.damper("D1", "plate", "0", 0.04)
+        op = OperatingPointAnalysis(circuit).run()
+        # At DC the electrostatic force is recorded through the contribution.
+        force = op["i(XD.c_e)"]
+        expected = 8.8542e-12 * 1e-4 * 100.0 / (2.0 * (0.15e-3) ** 2)
+        assert abs(force) == pytest.approx(expected, rel=1e-6)

@@ -1,0 +1,91 @@
+"""Tests for the HDL-A lexer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HDLLexError
+from repro.hdl import tokenize
+from repro.hdl.tokens import TokenType
+
+
+def kinds(source):
+    return [token.type for token in tokenize(source)]
+
+
+def values(source):
+    return [token.value for token in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1 and tokens[0].type is TokenType.EOF
+
+    def test_keywords_case_insensitive(self):
+        for text in ("ENTITY", "entity", "Entity"):
+            assert tokenize(text)[0].type is TokenType.KEYWORD
+
+    def test_identifier_with_underscore_and_digits(self):
+        token = tokenize("my_pin2")[0]
+        assert token.type is TokenType.IDENT and token.value == "my_pin2"
+
+    @pytest.mark.parametrize("text,expected", [
+        ("42", 42.0),
+        ("3.14", 3.14),
+        ("8.8542e-12", 8.8542e-12),
+        ("1E6", 1e6),
+        (".5", 0.5),
+        ("2.", 2.0),
+    ])
+    def test_numbers(self, text, expected):
+        token = tokenize(text)[0]
+        assert token.type is TokenType.NUMBER
+        assert float(token.value) == pytest.approx(expected)
+
+    def test_operators(self):
+        source = ":= %= => ** /= <= >= < > = + - * / ( ) [ ] , ; : ."
+        types = kinds(source)[:-1]
+        assert TokenType.ASSIGN in types
+        assert TokenType.CONTRIB in types
+        assert TokenType.ARROW in types
+        assert TokenType.POWER in types
+        assert TokenType.NEQ in types
+        assert types.count(TokenType.LPAREN) == 1
+
+    def test_comments_are_skipped(self):
+        tokens = tokenize("a := 1.0; -- this is a comment\nb := 2.0;")
+        text = [t.value for t in tokens if t.type is TokenType.IDENT]
+        assert text == ["a", "b"]
+
+    def test_string_literal(self):
+        token = tokenize('"hello world"')[0]
+        assert token.type is TokenType.STRING and token.value == "hello world"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(HDLLexError):
+            tokenize('"oops')
+
+    def test_unexpected_character_raises_with_position(self):
+        with pytest.raises(HDLLexError) as excinfo:
+            tokenize("a := 1.0;\nb := #;")
+        assert excinfo.value.line == 2
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+
+class TestListing1Tokens:
+    def test_contribution_line_tokenizes(self):
+        source = "[a, b].i %= e0*er*A/(d + x)*ddt(V);"
+        token_values = values(source)
+        assert "%=" in token_values and "ddt" in token_values
+
+    def test_full_listing_token_count_reasonable(self):
+        from repro.hdl.codegen import LISTING1_SOURCE
+
+        tokens = tokenize(LISTING1_SOURCE)
+        assert tokens[-1].type is TokenType.EOF
+        assert len(tokens) > 100

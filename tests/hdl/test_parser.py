@@ -1,0 +1,184 @@
+"""Tests for the HDL-A parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HDLParseError
+from repro.hdl import parse
+from repro.hdl.ast_nodes import (
+    Assignment,
+    BinaryOp,
+    Contribution,
+    FunctionCall,
+    Identifier,
+    IfStatement,
+    NumberLiteral,
+    PinAccess,
+    UnaryOp,
+)
+from repro.hdl.codegen import LISTING1_SOURCE
+
+MINIMAL = """
+ENTITY r IS
+  GENERIC (rval : analog := 1000.0);
+  PIN (p, n : electrical);
+END ENTITY r;
+ARCHITECTURE a OF r IS
+BEGIN
+  RELATION
+    PROCEDURAL FOR dc, ac, transient =>
+      [p, n].i %= [p, n].v / rval;
+  END RELATION;
+END ARCHITECTURE a;
+"""
+
+
+class TestEntityParsing:
+    def test_minimal_entity(self):
+        module = parse(MINIMAL)
+        entity = module.entity("r")
+        assert entity is not None
+        assert entity.generic_names() == ("rval",)
+        assert entity.generics[0].default == 1000.0
+        assert entity.pin_names() == ("p", "n")
+        assert entity.pin("p").nature == "electrical"
+
+    def test_entity_lookup_case_insensitive(self):
+        module = parse(MINIMAL)
+        assert module.entity("R") is module.entity("r")
+
+    def test_listing1_interface(self):
+        module = parse(LISTING1_SOURCE)
+        entity = module.entity("eletran")
+        assert entity.generic_names() == ("A", "d", "er")
+        assert entity.pin_names() == ("a", "b", "c", "e")
+        assert entity.pin("c").nature == "mechanical1"
+
+    def test_mismatched_closing_name_rejected(self):
+        bad = MINIMAL.replace("END ENTITY r;", "END ENTITY wrong;")
+        with pytest.raises(HDLParseError):
+            parse(bad)
+
+    def test_missing_semicolon_rejected(self):
+        bad = MINIMAL.replace("END ENTITY r;", "END ENTITY r")
+        with pytest.raises(HDLParseError):
+            parse(bad)
+
+    def test_garbage_toplevel_rejected(self):
+        with pytest.raises(HDLParseError):
+            parse("PROCEDURE nope;")
+
+
+class TestArchitectureParsing:
+    def test_declarations_and_blocks(self):
+        module = parse(LISTING1_SOURCE)
+        arch = module.architecture_of("eletran")
+        assert arch.name == "a"
+        assert set(arch.states()) == {"V", "S"}
+        assert set(arch.variables()) == {"e0", "x"}
+        domains = [block.domains for block in arch.blocks]
+        assert ("init",) in domains
+        assert any("transient" in d for d in domains)
+
+    def test_architecture_selection_by_name(self):
+        module = parse(LISTING1_SOURCE)
+        assert module.architecture_of("eletran", "a") is not None
+        assert module.architecture_of("eletran", "missing") is None
+
+    def test_statement_kinds_in_listing1(self):
+        module = parse(LISTING1_SOURCE)
+        arch = module.architecture_of("eletran")
+        main = [b for b in arch.blocks if b.applies_to("transient")][0]
+        assert isinstance(main.statements[0], Assignment)
+        contributions = [s for s in main.statements if isinstance(s, Contribution)]
+        assert len(contributions) == 2
+        assert contributions[0].quantity == "i"
+        assert contributions[1].quantity == "f"
+
+    def test_if_statement(self):
+        source = MINIMAL.replace(
+            "[p, n].i %= [p, n].v / rval;",
+            """
+            IF [p, n].v > 1.0 THEN
+              [p, n].i %= 1.0;
+            ELSIF [p, n].v < -1.0 THEN
+              [p, n].i %= -1.0;
+            ELSE
+              [p, n].i %= 0.0;
+            END IF;
+            """)
+        module = parse(source)
+        arch = module.architecture_of("r")
+        statement = arch.blocks[0].statements[0]
+        assert isinstance(statement, IfStatement)
+        assert len(statement.branches) == 2
+        assert len(statement.else_branch) == 1
+
+
+class TestExpressions:
+    def _expression_of(self, text):
+        source = MINIMAL.replace("[p, n].v / rval", text)
+        module = parse(source)
+        statement = module.architecture_of("r").blocks[0].statements[0]
+        return statement.value
+
+    def test_precedence_mul_before_add(self):
+        expr = self._expression_of("1.0 + 2.0 * 3.0")
+        assert isinstance(expr, BinaryOp) and expr.operator == "+"
+        assert isinstance(expr.right, BinaryOp) and expr.right.operator == "*"
+
+    def test_parentheses_override(self):
+        expr = self._expression_of("(1.0 + 2.0) * 3.0")
+        assert expr.operator == "*"
+        assert isinstance(expr.left, BinaryOp) and expr.left.operator == "+"
+
+    def test_power_operator(self):
+        expr = self._expression_of("[p, n].v ** 2")
+        assert expr.operator == "**"
+        assert isinstance(expr.left, PinAccess)
+
+    def test_unary_minus(self):
+        expr = self._expression_of("-rval")
+        assert isinstance(expr, UnaryOp) and expr.operator == "-"
+        assert isinstance(expr.operand, Identifier)
+
+    def test_function_call_with_arguments(self):
+        expr = self._expression_of("table1d([p, n].v, 0.0, 1.0, 2.0, 3.0)")
+        assert isinstance(expr, FunctionCall)
+        assert expr.name == "table1d"
+        assert len(expr.arguments) == 5
+
+    def test_comparison_operator(self):
+        expr = self._expression_of("rval >= 2.0")
+        assert expr.operator == ">="
+
+    def test_number_literal(self):
+        expr = self._expression_of("8.8542e-12")
+        assert isinstance(expr, NumberLiteral)
+        assert expr.value == pytest.approx(8.8542e-12)
+
+    def test_node_ids_are_unique(self):
+        module = parse(LISTING1_SOURCE)
+        arch = module.architecture_of("eletran")
+        ids = []
+
+        def collect(node):
+            ids.append(node.node_id)
+            for attr in ("left", "right", "operand", "value"):
+                child = getattr(node, attr, None)
+                if child is not None and hasattr(child, "node_id"):
+                    collect(child)
+            for child in getattr(node, "arguments", ()):
+                collect(child)
+
+        for block in arch.blocks:
+            for statement in block.statements:
+                collect(statement)
+        non_zero = [i for i in ids if i != 0]
+        assert len(non_zero) == len(set(non_zero))
+
+    def test_generic_default_must_be_literal(self):
+        bad = MINIMAL.replace(":= 1000.0", ":= rval + 1.0")
+        with pytest.raises(HDLParseError):
+            parse(bad)

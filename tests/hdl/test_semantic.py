@@ -1,0 +1,113 @@
+"""Tests for HDL-A semantic analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HDLSemanticError
+from repro.hdl import analyze, parse
+from repro.hdl.codegen import LISTING1_SOURCE
+
+TEMPLATE = """
+ENTITY dev IS
+  GENERIC (g : analog);
+  PIN (a, b : electrical; c, e : mechanical1);
+END ENTITY dev;
+ARCHITECTURE arch OF dev IS
+  VARIABLE x : analog;
+  STATE V : analog;
+BEGIN
+  RELATION
+    PROCEDURAL FOR dc, ac, transient =>
+      {body}
+  END RELATION;
+END ARCHITECTURE arch;
+"""
+
+
+def analyzed(body):
+    return analyze(parse(TEMPLATE.format(body=body)), "dev")
+
+
+class TestValidModels:
+    def test_listing1_analyzes(self):
+        model = analyze(parse(LISTING1_SOURCE), "eletran")
+        assert ("a", "b") in model.port_pairs
+        assert ("c", "e") in model.port_pairs
+        assert model.pin_natures["c"] == "mechanical_translation"
+        assert set(model.states) == {"V", "S"}
+
+    def test_port_name_derivation(self):
+        model = analyze(parse(LISTING1_SOURCE), "eletran")
+        assert model.port_name("a", "b") == "a_b"
+
+    def test_contribution_of_force_allowed_on_mechanical_pair(self):
+        model = analyzed("[c, e].f %= g*[a, b].v;")
+        assert ("c", "e") in model.port_pairs
+
+
+class TestRejectedModels:
+    def test_unknown_entity(self):
+        with pytest.raises(HDLSemanticError, match="unknown entity"):
+            analyze(parse(LISTING1_SOURCE), "nonexistent")
+
+    def test_missing_architecture(self):
+        module = parse(TEMPLATE.format(body="[a, b].i %= 0.0;"))
+        with pytest.raises(HDLSemanticError, match="no architecture"):
+            analyze(module, "dev", "other")
+
+    def test_unknown_identifier(self):
+        with pytest.raises(HDLSemanticError, match="identifier"):
+            analyzed("[a, b].i %= undefined_name;")
+
+    def test_unknown_function(self):
+        with pytest.raises(HDLSemanticError, match="unknown function"):
+            analyzed("[a, b].i %= mystery(1.0);")
+
+    def test_ddt_arity_checked(self):
+        with pytest.raises(HDLSemanticError, match="exactly one argument"):
+            analyzed("[a, b].i %= ddt(1.0, 2.0);")
+
+    def test_undeclared_pin(self):
+        with pytest.raises(HDLSemanticError, match="not declared"):
+            analyzed("[a, z].i %= 0.0;")
+
+    def test_mixed_nature_pin_pair(self):
+        with pytest.raises(HDLSemanticError, match="different natures"):
+            analyzed("[a, c].i %= 0.0;")
+
+    def test_reading_through_quantity_rejected(self):
+        with pytest.raises(HDLSemanticError, match="across quantity"):
+            analyzed("[a, b].i %= [a, b].i;")
+
+    def test_contributing_across_quantity_rejected(self):
+        with pytest.raises(HDLSemanticError, match="through quantity"):
+            analyzed("[a, b].v %= 1.0;")
+
+    def test_model_with_no_pin_reference_rejected(self):
+        source = """
+        ENTITY dead IS
+          GENERIC (g : analog);
+          PIN (a, b : electrical);
+        END ENTITY dead;
+        ARCHITECTURE arch OF dead IS
+          VARIABLE x : analog;
+        BEGIN
+          RELATION
+            PROCEDURAL FOR dc, ac, transient =>
+              x := g;
+          END RELATION;
+        END ARCHITECTURE arch;
+        """
+        with pytest.raises(HDLSemanticError, match="never references any pin"):
+            analyze(parse(source), "dead")
+
+    def test_unknown_nature(self):
+        source = TEMPLATE.replace("mechanical1", "gravitational")
+        with pytest.raises(HDLSemanticError, match="unknown nature"):
+            analyze(parse(source.format(body="[a, b].i %= 0.0;")), "dev")
+
+    def test_assigned_names_become_known(self):
+        # x is declared, y is assigned before use: both must be accepted.
+        model = analyzed("x := 1.0; y := x + 1.0; [a, b].i %= y;")
+        assert model is not None

@@ -1,0 +1,68 @@
+"""Tests for the HDL built-in function library."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ad import seed
+from repro.errors import HDLElaborationError
+from repro.hdl.stdlib import ANALOG_OPERATORS, BUILTIN_FUNCTIONS, limit, table1d
+
+
+class TestRegistry:
+    def test_analog_operators_are_not_pure_functions(self):
+        assert "ddt" in ANALOG_OPERATORS and "integ" in ANALOG_OPERATORS
+        assert "ddt" not in BUILTIN_FUNCTIONS
+
+    def test_expected_functions_present(self):
+        for name in ("sqrt", "exp", "log", "sin", "cos", "abs", "min", "max",
+                     "table1d", "limit", "sign", "tanh"):
+            assert name in BUILTIN_FUNCTIONS
+
+    def test_functions_accept_duals(self):
+        result = BUILTIN_FUNCTIONS["sqrt"](seed(4.0))
+        assert result.value == pytest.approx(2.0)
+        assert result.partial() == pytest.approx(0.25)
+
+
+class TestTable1D:
+    def test_interpolation_and_extrapolation(self):
+        args = (0.0, 0.0, 1.0, 10.0, 2.0, 40.0)
+        assert table1d(0.5, *args) == pytest.approx(5.0)
+        assert table1d(1.5, *args) == pytest.approx(25.0)
+        assert table1d(3.0, *args) == pytest.approx(70.0)   # extrapolated
+        assert table1d(-1.0, *args) == pytest.approx(-10.0)
+
+    def test_dual_input_carries_segment_slope(self):
+        args = (0.0, 0.0, 1.0, 10.0, 2.0, 40.0)
+        result = table1d(seed(1.5), *args)
+        assert result.partial() == pytest.approx(30.0)
+
+    def test_argument_validation(self):
+        with pytest.raises(HDLElaborationError):
+            table1d(0.5, 0.0, 1.0)               # too few breakpoints
+        with pytest.raises(HDLElaborationError):
+            table1d(0.5, 0.0, 1.0, 2.0)          # odd argument count
+        with pytest.raises(HDLElaborationError):
+            table1d(0.5, 1.0, 0.0, 0.0, 1.0)     # non-increasing abscissae
+
+    @given(st.floats(-3.0, 6.0))
+    def test_continuity(self, x):
+        args = (0.0, 1.0, 1.0, 3.0, 2.0, 2.0, 4.0, 8.0)
+        assert abs(table1d(x + 1e-9, *args) - table1d(x, *args)) < 1e-6
+
+
+class TestLimit:
+    def test_clamping(self):
+        assert limit(5.0, 0.0, 1.0) == 1.0
+        assert limit(-5.0, 0.0, 1.0) == 0.0
+        assert limit(0.3, 0.0, 1.0) == 0.3
+
+    def test_dual_passes_through_inside_range(self):
+        result = limit(seed(0.5), 0.0, 1.0)
+        assert result.partial() == pytest.approx(1.0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(HDLElaborationError):
+            limit(0.5, 1.0, 0.0)

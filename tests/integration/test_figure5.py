@@ -1,0 +1,78 @@
+"""Integration test: the figure-5 experiment end to end.
+
+This is the headline claim of the paper: the nonlinear behavioral (HDL-A)
+transducer model and the linearized equivalent circuit agree at the
+linearization voltage (10 V), while the linear model overshoots below it
+(5 V) and undershoots above it (15 V).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import SimulationOptions
+from repro.system import run_figure5_comparison
+from repro.system.comparison import measure_runtime_penalty
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    options = SimulationOptions(trtol=10.0)
+    return run_figure5_comparison(amplitudes=(5.0, 10.0, 15.0), t_step=4e-4,
+                                  options=options)
+
+
+class TestFigure5:
+    def test_agreement_at_linearization_voltage(self, comparison):
+        run = comparison.run_for(10.0)
+        assert run.plateau_ratio == pytest.approx(1.0, abs=0.05)
+
+    def test_linear_model_overshoots_at_5V(self, comparison):
+        run = comparison.run_for(5.0)
+        assert run.linear_overshoots
+        assert run.plateau_ratio == pytest.approx(2.0, rel=0.1)
+
+    def test_linear_model_undershoots_at_15V(self, comparison):
+        run = comparison.run_for(15.0)
+        assert not run.linear_overshoots
+        assert run.plateau_ratio == pytest.approx(2.0 / 3.0, rel=0.1)
+
+    def test_behavioral_displacement_scales_quadratically(self, comparison):
+        x5 = comparison.run_for(5.0).behavioral_plateau
+        x10 = comparison.run_for(10.0).behavioral_plateau
+        x15 = comparison.run_for(15.0).behavioral_plateau
+        assert x10 / x5 == pytest.approx(4.0, rel=0.05)
+        assert x15 / x5 == pytest.approx(9.0, rel=0.05)
+
+    def test_bias_displacement_close_to_table4(self, comparison):
+        run = comparison.run_for(10.0)
+        assert run.behavioral_plateau == pytest.approx(1e-8, rel=0.05)
+
+    def test_displacements_are_positive_as_in_the_paper_plot(self, comparison):
+        for run in comparison.runs:
+            assert run.behavioral_plateau > 0.0
+            assert run.linearized_plateau > 0.0
+
+    def test_ringing_visible_in_transients(self, comparison):
+        """The under-critically damped resonator overshoots on the pulse edge."""
+        run = comparison.run_for(10.0)
+        signal = run.behavioral.signal("x(XDCR)")
+        assert np.max(signal) > 1.2 * run.behavioral_plateau
+
+    def test_table_rows_and_summary(self, comparison):
+        rows = comparison.table_rows()
+        assert len(rows) == 3
+        assert {row["amplitude_V"] for row in rows} == {5.0, 10.0, 15.0}
+        assert "runtime penalty" in comparison.summary()
+
+    def test_behavioral_model_is_slower_than_linearized(self, comparison):
+        assert comparison.behavioral_runtime > comparison.linearized_runtime
+
+
+class TestRuntimePenalty:
+    def test_measurement_returns_positive_penalty(self):
+        data = measure_runtime_penalty(t_step=1e-3, repeats=1)
+        assert data["behavioral_s"] > 0.0
+        assert data["linearized_s"] > 0.0
+        assert data["penalty"] > 1.0

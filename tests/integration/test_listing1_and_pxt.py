@@ -1,0 +1,116 @@
+"""Integration tests: Listing 1 through the HDL front-end, and the full
+PXT workflow (FE extraction -> HDL generation -> system simulation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, Pulse, SimulationOptions, TransientAnalysis
+from repro.hdl import instantiate, parse
+from repro.hdl.codegen import LISTING1_SOURCE
+from repro.pxt import ParameterExtractor, generate_electrostatic_macromodel
+from repro.pxt.macromodel import PiecewiseLinearModel
+from repro.system import PAPER_PARAMETERS, build_behavioral_system, build_drive_waveform
+
+OPTIONS = SimulationOptions(trtol=10.0)
+
+
+def build_listing1_system(amplitude=10.0):
+    """The figure-3 system with the transducer parsed from Listing 1."""
+    circuit = Circuit("listing-1 system")
+    drive = build_drive_waveform(amplitude)
+    circuit.voltage_source("VS", "a", "0", drive)
+    module = parse(LISTING1_SOURCE)
+    device = instantiate(
+        module, "eletran", name="XDCR",
+        generics={"A": PAPER_PARAMETERS.area, "d": PAPER_PARAMETERS.gap,
+                  "er": PAPER_PARAMETERS.epsilon_r},
+        pins={"a": circuit.electrical_node("a"), "b": circuit.ground,
+              "c": circuit.mechanical_node("m"), "e": circuit.ground})
+    circuit.add(device)
+    PAPER_PARAMETERS.resonator().add_to_circuit(circuit, "m")
+    return circuit, drive
+
+
+class TestListing1System:
+    """The parsed HDL-A model must reproduce the Python behavioral model."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        listing_circuit, drive = build_listing1_system(10.0)
+        t_stop = drive.delay + drive.rise + drive.width
+        listing_result = TransientAnalysis(listing_circuit, t_stop=t_stop, t_step=4e-4,
+                                           options=OPTIONS).run()
+        python_circuit = build_behavioral_system(PAPER_PARAMETERS, drive)
+        python_result = TransientAnalysis(python_circuit, t_stop=t_stop, t_step=4e-4,
+                                          options=OPTIONS).run()
+        return listing_result, python_result, drive
+
+    def test_quasi_static_displacement_matches_table4(self, results):
+        listing_result, _, drive = results
+        plateau_time = drive.delay + drive.rise + drive.width
+        x_final = listing_result.at("x(XDCR)", plateau_time)
+        assert x_final == pytest.approx(1e-8, rel=0.05)
+
+    def test_listing1_matches_python_behavioral_model(self, results):
+        listing_result, python_result, drive = results
+        probes = np.linspace(drive.delay, drive.delay + drive.rise + drive.width, 25)
+        x_listing = listing_result.sample("x(XDCR)", probes)
+        x_python = python_result.sample("x(XDCR)", probes)
+        assert np.allclose(x_listing, x_python, rtol=2e-2, atol=1e-11)
+
+    def test_mass_and_transducer_agree_on_displacement(self, results):
+        listing_result, _, _ = results
+        assert listing_result.final("x(res_m)") == pytest.approx(
+            listing_result.final("x(XDCR)"), rel=1e-3)
+
+
+class TestPXTWorkflow:
+    """FE sweep -> macromodel -> generated HDL -> system simulation."""
+
+    @pytest.fixture(scope="class")
+    def generated_device_source(self):
+        extractor = ParameterExtractor(area=PAPER_PARAMETERS.area, gap=PAPER_PARAMETERS.gap,
+                                       nx=10, ny=8)
+        displacements = sorted(np.linspace(-0.3 * PAPER_PARAMETERS.gap,
+                                           0.3 * PAPER_PARAMETERS.gap, 9))
+        capacitance = extractor.capacitance_model(displacements)
+        force = PiecewiseLinearModel(
+            tuple(displacements),
+            tuple(extractor.solve_point(x, 10.0).force for x in displacements),
+            quantity="force", unit="N")
+        return generate_electrostatic_macromodel("pxtel", capacitance, force, 10.0)
+
+    def test_generated_model_simulates_like_the_analytic_one(self, generated_device_source):
+        module = parse(generated_device_source)
+        circuit = Circuit("pxt system")
+        drive = Pulse(0.0, 10.0, delay=2e-3, rise=2e-3, width=40e-3)
+        circuit.voltage_source("VS", "a", "0", drive)
+        device = instantiate(
+            module, "pxtel", name="XDCR", generics={"vref": 10.0},
+            pins={"a": circuit.electrical_node("a"), "b": circuit.ground,
+                  "c": circuit.mechanical_node("m"), "e": circuit.ground})
+        circuit.add(device)
+        PAPER_PARAMETERS.resonator().add_to_circuit(circuit, "m")
+        result = TransientAnalysis(circuit, t_stop=40e-3, t_step=4e-4,
+                                   options=OPTIONS).run()
+        assert result.final("x(res_m)") == pytest.approx(1e-8, rel=0.05)
+
+    def test_generated_model_scales_quadratically_with_voltage(self, generated_device_source):
+        module = parse(generated_device_source)
+        finals = {}
+        for amplitude in (5.0, 10.0):
+            circuit = Circuit("pxt system")
+            drive = Pulse(0.0, amplitude, delay=2e-3, rise=2e-3, width=40e-3)
+            circuit.voltage_source("VS", "a", "0", drive)
+            device = instantiate(
+                module, "pxtel", name="XDCR", generics={"vref": 10.0},
+                pins={"a": circuit.electrical_node("a"), "b": circuit.ground,
+                      "c": circuit.mechanical_node("m"), "e": circuit.ground})
+            circuit.add(device)
+            PAPER_PARAMETERS.resonator().add_to_circuit(circuit, "m")
+            result = TransientAnalysis(circuit, t_stop=40e-3, t_step=4e-4,
+                                       options=OPTIONS).run()
+            finals[amplitude] = result.final("x(res_m)")
+        assert finals[10.0] / finals[5.0] == pytest.approx(4.0, rel=0.05)

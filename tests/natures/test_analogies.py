@@ -1,0 +1,84 @@
+"""Tests for the force-voltage / force-current analogies."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NatureError
+from repro.natures import FORCE_CURRENT, FORCE_VOLTAGE, Analogy
+
+positive = st.floats(min_value=1e-9, max_value=1e9, allow_nan=False, allow_infinity=False)
+
+
+class TestElementMappings:
+    def test_fi_mass_is_capacitance(self):
+        assert FORCE_CURRENT.mass_to_element(1e-4) == pytest.approx(1e-4)
+
+    def test_fi_spring_is_inverse_stiffness(self):
+        assert FORCE_CURRENT.spring_to_element(200.0) == pytest.approx(1.0 / 200.0)
+
+    def test_fi_damper_is_inverse_damping(self):
+        assert FORCE_CURRENT.damper_to_element(0.04) == pytest.approx(25.0)
+
+    def test_fv_damper_is_damping(self):
+        assert FORCE_VOLTAGE.damper_to_element(0.04) == pytest.approx(0.04)
+
+    @given(positive)
+    def test_mass_roundtrip(self, mass):
+        for mapping in (FORCE_CURRENT, FORCE_VOLTAGE):
+            assert mapping.element_to_mass(mapping.mass_to_element(mass)) == pytest.approx(mass)
+
+    @given(positive)
+    def test_spring_roundtrip(self, stiffness):
+        for mapping in (FORCE_CURRENT, FORCE_VOLTAGE):
+            assert mapping.element_to_spring(
+                mapping.spring_to_element(stiffness)) == pytest.approx(stiffness)
+
+    @given(positive)
+    def test_damper_roundtrip(self, damping):
+        for mapping in (FORCE_CURRENT, FORCE_VOLTAGE):
+            assert mapping.element_to_damper(
+                mapping.damper_to_element(damping)) == pytest.approx(damping)
+
+    @pytest.mark.parametrize("value", [0.0, -1.0, float("nan"), float("inf")])
+    def test_invalid_values_rejected(self, value):
+        with pytest.raises(NatureError):
+            FORCE_CURRENT.mass_to_element(value)
+        with pytest.raises(NatureError):
+            FORCE_CURRENT.spring_to_element(value)
+        with pytest.raises(NatureError):
+            FORCE_CURRENT.damper_to_element(value)
+
+
+class TestDerivedQuantities:
+    """Both analogies must predict identical physics (Table 4 resonator)."""
+
+    MASS = 1e-4
+    STIFFNESS = 200.0
+    DAMPING = 0.04
+
+    def test_resonant_frequency_matches_textbook(self):
+        expected = math.sqrt(self.STIFFNESS / self.MASS) / (2.0 * math.pi)
+        assert FORCE_CURRENT.resonant_frequency(self.MASS, self.STIFFNESS) == pytest.approx(expected)
+        assert FORCE_VOLTAGE.resonant_frequency(self.MASS, self.STIFFNESS) == pytest.approx(expected)
+
+    def test_quality_factor(self):
+        expected = math.sqrt(self.STIFFNESS * self.MASS) / self.DAMPING
+        assert FORCE_CURRENT.quality_factor(
+            self.MASS, self.STIFFNESS, self.DAMPING) == pytest.approx(expected)
+
+    def test_damping_ratio_consistent_with_quality_factor(self):
+        q = FORCE_CURRENT.quality_factor(self.MASS, self.STIFFNESS, self.DAMPING)
+        zeta = FORCE_CURRENT.damping_ratio(self.MASS, self.STIFFNESS, self.DAMPING)
+        assert zeta == pytest.approx(0.5 / q)
+
+    def test_paper_resonator_is_underdamped(self):
+        zeta = FORCE_CURRENT.damping_ratio(self.MASS, self.STIFFNESS, self.DAMPING)
+        assert zeta < 1.0
+
+    def test_enum_mapping_accessor(self):
+        assert Analogy.FORCE_CURRENT.mapping is FORCE_CURRENT
+        assert Analogy.FORCE_VOLTAGE.mapping is FORCE_VOLTAGE

@@ -1,0 +1,97 @@
+"""Tests for the nature (physical domain) registry -- the paper's Table 1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NatureError
+from repro.natures import (
+    ELECTRICAL,
+    HYDRAULIC,
+    MECHANICAL1,
+    MECHANICAL_ROTATION,
+    MECHANICAL_TRANSLATION,
+    THERMAL,
+    Nature,
+    all_natures,
+    get_nature,
+    register_nature,
+)
+
+
+class TestTable1Rows:
+    """The registered natures reproduce the rows of Table 1."""
+
+    @pytest.mark.parametrize("nature,effort,flow,state", [
+        (MECHANICAL_TRANSLATION, "velocity", "force", "displacement"),
+        (MECHANICAL_ROTATION, "angular velocity", "torque", "angle"),
+        (ELECTRICAL, "voltage", "current", "charge"),
+        (HYDRAULIC, "pressure", "volume flow rate", "volume"),
+    ])
+    def test_variable_names(self, nature, effort, flow, state):
+        assert nature.across_name == effort
+        assert nature.through_name == flow
+        assert nature.state_name == state
+
+    def test_all_table1_domains_power_conjugate(self):
+        for nature in (MECHANICAL_TRANSLATION, MECHANICAL_ROTATION, ELECTRICAL, HYDRAULIC):
+            assert nature.is_power_conjugate
+
+    def test_thermal_is_not_power_conjugate(self):
+        assert not THERMAL.is_power_conjugate
+
+    def test_describe_mentions_units(self):
+        text = ELECTRICAL.describe()
+        assert "V" in text and "A" in text and "C" in text
+
+
+class TestRegistry:
+    def test_lookup_by_name_case_insensitive(self):
+        assert get_nature("ELECTRICAL") is ELECTRICAL
+        assert get_nature("Electrical") is ELECTRICAL
+
+    def test_lookup_by_alias(self):
+        assert get_nature("mechanical1") is MECHANICAL_TRANSLATION
+        assert get_nature("fluidic") is HYDRAULIC
+
+    def test_mechanical1_constant_is_translation(self):
+        assert MECHANICAL1 is MECHANICAL_TRANSLATION
+
+    def test_passthrough_of_nature_instances(self):
+        assert get_nature(ELECTRICAL) is ELECTRICAL
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(NatureError, match="electrical"):
+            get_nature("gravitational")
+
+    def test_non_string_raises(self):
+        with pytest.raises(NatureError):
+            get_nature(123)
+
+    def test_all_natures_contains_five_domains(self):
+        names = {n.name for n in all_natures()}
+        assert {"electrical", "mechanical_translation", "mechanical_rotation",
+                "hydraulic", "thermal"} <= names
+
+    def test_register_conflicting_name_raises(self):
+        impostor = Nature(
+            name="electrical2", across_name="voltage", across_unit="V",
+            through_name="current", through_unit="A", state_name="charge",
+            state_unit="C", momentum_name="flux", momentum_unit="Wb",
+            aliases=("electrical",))
+        with pytest.raises(NatureError):
+            register_nature(impostor)
+
+    def test_reregistering_same_nature_is_noop(self):
+        assert register_nature(ELECTRICAL) is ELECTRICAL
+
+    def test_nature_name_must_be_lowercase(self):
+        with pytest.raises(NatureError):
+            Nature(name="Electrical", across_name="v", across_unit="V",
+                   through_name="i", through_unit="A", state_name="q",
+                   state_unit="C", momentum_name="p", momentum_unit="Wb")
+
+    def test_symbols(self):
+        assert ELECTRICAL.across_symbol == "v"
+        assert MECHANICAL_TRANSLATION.through_symbol == "f"
+        assert MECHANICAL_TRANSLATION.state_symbol == "x"

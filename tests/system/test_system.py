@@ -1,0 +1,130 @@
+"""Tests for the microsystem assembly layer (resonator, figure-3/4 netlists)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import ACAnalysis, OperatingPointAnalysis, TransientAnalysis, frequency_grid
+from repro.errors import NetlistError
+from repro.system import (
+    MechanicalResonator,
+    PAPER_PARAMETERS,
+    Table4Parameters,
+    build_behavioral_system,
+    build_drive_waveform,
+    build_linearized_system,
+)
+from repro.system.microsystem import build_three_pulse_waveform
+
+
+class TestMechanicalResonator:
+    def setup_method(self):
+        self.resonator = MechanicalResonator(mass=1e-4, stiffness=200.0, damping=0.04)
+
+    def test_derived_quantities(self):
+        assert self.resonator.natural_frequency_rad == pytest.approx(math.sqrt(2e6))
+        assert self.resonator.natural_frequency_hz == pytest.approx(225.08, rel=1e-3)
+        assert self.resonator.damping_ratio == pytest.approx(0.1414, rel=1e-2)
+        assert self.resonator.quality_factor == pytest.approx(3.536, rel=1e-2)
+        assert self.resonator.is_underdamped
+
+    def test_static_deflection(self):
+        assert self.resonator.static_deflection(2e-6) == pytest.approx(1e-8)
+
+    def test_overshoot_and_settling(self):
+        zeta = self.resonator.damping_ratio
+        expected = math.exp(-zeta * math.pi / math.sqrt(1 - zeta * zeta))
+        assert self.resonator.step_overshoot() == pytest.approx(expected)
+        assert self.resonator.settling_time() > 0.0
+
+    def test_damped_frequency_below_natural(self):
+        assert self.resonator.damped_frequency_rad < self.resonator.natural_frequency_rad
+
+    def test_add_to_circuit(self):
+        from repro.circuit import Circuit
+
+        circuit = Circuit()
+        circuit.force_source("F1", "m", "0", 1e-6)
+        devices = self.resonator.add_to_circuit(circuit, "m")
+        assert set(devices) == {"mass", "spring", "damper"}
+        assert "res_m" in circuit and "res_k" in circuit and "res_a" in circuit
+
+    def test_validation(self):
+        with pytest.raises(NetlistError):
+            MechanicalResonator(mass=0.0, stiffness=1.0, damping=1.0)
+
+    def test_summary(self):
+        assert "Q =" in self.resonator.summary()
+
+
+class TestTable4Parameters:
+    def test_defaults_match_paper_table4(self):
+        p = PAPER_PARAMETERS
+        assert p.area == 1e-4 and p.gap == 0.15e-3 and p.epsilon_r == 1.0
+        assert p.mass == 1e-4 and p.stiffness == 200.0 and p.damping == 0.04
+        assert p.dc_voltage == 10.0
+        assert p.dc_displacement == 1e-8
+        assert p.dc_capacitance == pytest.approx(5.8637e-12)
+
+    def test_derived_bias_point_close_to_printed_values(self):
+        lin = PAPER_PARAMETERS.derived_bias_point()
+        assert lin.bias_displacement == pytest.approx(PAPER_PARAMETERS.dc_displacement, rel=2e-2)
+        assert lin.c0 == pytest.approx(PAPER_PARAMETERS.dc_capacitance, rel=1e-2)
+
+    def test_transducer_and_resonator_factories(self):
+        assert PAPER_PARAMETERS.transducer().area == 1e-4
+        assert PAPER_PARAMETERS.resonator().quality_factor > 1.0
+
+
+class TestDriveWaveforms:
+    def test_single_pulse_plateau_value(self):
+        drive = build_drive_waveform(10.0)
+        plateau_time = drive.delay + drive.rise + 0.5 * drive.width
+        assert drive.value(plateau_time) == 10.0
+        assert drive.value(0.0) == 0.0
+
+    def test_negative_amplitude_rejected(self):
+        from repro.errors import TransducerError
+
+        with pytest.raises(TransducerError):
+            build_drive_waveform(-1.0)
+
+    def test_three_pulse_waveform_hits_all_levels(self):
+        drive = build_three_pulse_waveform()
+        values = {drive.value(t) for t in np.arange(0.0, 0.18, 1e-4)}
+        assert any(abs(v - 5.0) < 1e-9 for v in values)
+        assert any(abs(v - 10.0) < 1e-9 for v in values)
+        assert any(abs(v - 15.0) < 1e-9 for v in values)
+
+
+class TestSystemNetlists:
+    def test_behavioral_system_structure(self):
+        circuit = build_behavioral_system(PAPER_PARAMETERS, 10.0)
+        assert "VS" in circuit and "XDCR" in circuit and "res_m" in circuit
+
+    def test_linearized_system_structure(self):
+        circuit = build_linearized_system(PAPER_PARAMETERS, 10.0)
+        assert "XLIN_C0" in circuit and "XLIN_Gf" in circuit
+
+    def test_behavioral_dc_bias_force(self):
+        circuit = build_behavioral_system(PAPER_PARAMETERS, 10.0)
+        op = OperatingPointAnalysis(circuit).run()
+        expected = abs(PAPER_PARAMETERS.transducer().force(10.0, 0.0))
+        assert abs(op["force(XDCR)"]) == pytest.approx(expected, rel=1e-6)
+
+    def test_behavioral_ac_resonance_near_resonator_frequency(self):
+        circuit = build_behavioral_system(PAPER_PARAMETERS, 10.0)
+        resonator = PAPER_PARAMETERS.resonator()
+        grid = frequency_grid(50.0, 1000.0, 40)
+        result = ACAnalysis(circuit, grid).run()
+        # The mechanical node velocity peaks near the resonator natural frequency.
+        assert result.resonance_frequency("v(m)") == pytest.approx(
+            resonator.natural_frequency_hz, rel=0.1)
+
+    def test_gap_orientation_passthrough(self):
+        circuit = build_behavioral_system(PAPER_PARAMETERS, 10.0, gap_orientation="closing")
+        op = OperatingPointAnalysis(circuit).run()
+        assert op["force(XDCR)"] > 0.0

@@ -1,0 +1,34 @@
+"""Sanity checks of the physical constants and default tolerances."""
+
+from __future__ import annotations
+
+import math
+
+from repro import constants
+
+
+def test_paper_permittivity_matches_listing1():
+    # Listing 1 hard-codes e0 := 8.8542e-12.
+    assert constants.EPSILON_0 == 8.8542e-12
+
+
+def test_codata_value_close_to_paper_value():
+    assert constants.EPSILON_0 == abs(constants.EPSILON_0)
+    assert abs(constants.EPSILON_0 - constants.EPSILON_0_CODATA) / constants.EPSILON_0_CODATA < 1e-4
+
+
+def test_mu0_epsilon0_speed_of_light():
+    c = 1.0 / math.sqrt(constants.MU_0 * constants.EPSILON_0_CODATA)
+    assert c == abs(c)
+    assert abs(c - constants.SPEED_OF_LIGHT) / constants.SPEED_OF_LIGHT < 1e-4
+
+
+def test_thermal_voltage_at_room_temperature():
+    assert 0.024 < constants.THERMAL_VOLTAGE < 0.028
+
+
+def test_default_tolerances_are_sensible():
+    assert 0.0 < constants.RELTOL < 1.0
+    assert constants.ABSTOL < constants.VNTOL
+    assert constants.GMIN > 0.0
+    assert constants.MAX_NEWTON_ITERATIONS >= 10

@@ -1,0 +1,42 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+def test_all_exceptions_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+            assert issubclass(obj, errors.ReproError), name
+
+
+def test_convergence_error_carries_diagnostics():
+    error = errors.ConvergenceError("did not converge", iterations=17, residual=1e-3)
+    assert error.iterations == 17
+    assert error.residual == 1e-3
+    assert "did not converge" in str(error)
+
+
+def test_hdl_errors_carry_positions():
+    lex = errors.HDLLexError("bad char", line=3, column=7)
+    parse = errors.HDLParseError("bad token", line=2, column=1)
+    assert lex.line == 3 and lex.column == 7 and "line 3" in str(lex)
+    assert parse.line == 2 and "line 2" in str(parse)
+
+
+def test_specific_errors_catchable_as_their_layer():
+    assert issubclass(errors.ConvergenceError, errors.AnalysisError)
+    assert issubclass(errors.SingularMatrixError, errors.AnalysisError)
+    assert issubclass(errors.MeshError, errors.FEMError)
+    assert issubclass(errors.HDLSemanticError, errors.HDLError)
+
+
+def test_library_raises_catchable_base_error():
+    from repro.natures import get_nature
+
+    with pytest.raises(errors.ReproError):
+        get_nature("nonexistent-domain")

@@ -1,0 +1,100 @@
+"""Tests for engineering-unit parsing and formatting."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import UnitError
+from repro.units import format_quantity, format_si, parse_quantity
+
+
+class TestParseQuantity:
+    def test_plain_numbers_pass_through(self):
+        assert parse_quantity(3.5) == 3.5
+        assert parse_quantity(7) == 7.0
+
+    def test_plain_string_number(self):
+        assert parse_quantity("42") == 42.0
+        assert parse_quantity("-1.5e-3") == -1.5e-3
+
+    @pytest.mark.parametrize("text,expected", [
+        ("1k", 1e3),
+        ("2meg", 2e6),
+        ("3u", 3e-6),
+        ("0.15m", 0.15e-3),
+        ("5.8637p", 5.8637e-12),
+        ("10n", 10e-9),
+        ("1f", 1e-15),
+        ("2.2G", 2.2e9),
+        ("1T", 1e12),
+    ])
+    def test_engineering_suffixes(self, text, expected):
+        assert parse_quantity(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("text,expected", [
+        ("10pF", 10e-12),
+        ("200nH", 200e-9),
+        ("0.15mm", 0.15e-3),
+        ("2megohm", 2e6),
+    ])
+    def test_unit_names_after_suffix_are_ignored(self, text, expected):
+        assert parse_quantity(text) == pytest.approx(expected)
+
+    def test_bare_unit_without_prefix(self):
+        # Letters that are not engineering suffixes are treated as unit names.
+        assert parse_quantity("10V") == 10.0
+        assert parse_quantity("3Hz") == 3.0
+
+    def test_spice_prefix_collision_follows_spice(self):
+        # As in SPICE, a leading letter that IS a prefix wins: 200N = 200 nano.
+        assert parse_quantity("200N") == pytest.approx(200e-9)
+
+    def test_percent(self):
+        assert parse_quantity("5%") == pytest.approx(0.05)
+
+    def test_mil_suffix(self):
+        assert parse_quantity("10mil") == pytest.approx(254e-6)
+
+    @pytest.mark.parametrize("bad", ["", "abc", "1..2", "--3", None, float("nan")])
+    def test_malformed_input_raises(self, bad):
+        with pytest.raises(UnitError):
+            parse_quantity(bad)
+
+    def test_case_insensitive(self):
+        assert parse_quantity("1K") == parse_quantity("1k")
+        assert parse_quantity("3U") == parse_quantity("3u")
+
+    @given(st.floats(min_value=-1e20, max_value=1e20, allow_nan=False))
+    def test_roundtrip_plain_floats(self, value):
+        assert parse_quantity(value) == value
+
+
+class TestFormatQuantity:
+    def test_zero(self):
+        assert format_quantity(0.0, "F") == "0F"
+
+    def test_pico(self):
+        assert format_quantity(5.8637e-12, "F") == "5.864pF"
+
+    def test_kilo(self):
+        assert format_quantity(1500.0, "Hz") == "1.5kHz"
+
+    def test_unity_range(self):
+        assert format_quantity(2.5, "V") == "2.5V"
+
+    def test_nonfinite_passthrough(self):
+        assert "inf" in format_quantity(float("inf"), "V")
+
+    @given(st.floats(min_value=1e-17, max_value=1e13, allow_nan=False,
+                     allow_infinity=False).filter(lambda x: x > 0))
+    def test_formats_roundtrip_through_parse(self, value):
+        text = format_quantity(value, digits=12)
+        parsed = parse_quantity(text)
+        assert parsed == pytest.approx(value, rel=1e-6)
+
+    def test_format_si(self):
+        assert format_si(1.23456789e-3, "m", digits=4) == "0.001235 m"
+        assert format_si(5.0) == "5"

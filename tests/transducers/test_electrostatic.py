@@ -1,0 +1,177 @@
+"""Tests for the electrostatic transducer models (figure 2a/2b, Tables 2-3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import Circuit, OperatingPointAnalysis, Pulse, TransientAnalysis
+from repro.constants import EPSILON_0
+from repro.errors import TransducerError
+from repro.transducers import (
+    LateralElectrostaticTransducer,
+    TransverseElectrostaticTransducer,
+)
+
+AREA, GAP = 1e-4, 0.15e-3
+
+voltages = st.floats(min_value=-20.0, max_value=20.0, allow_nan=False)
+small_displacements = st.floats(min_value=-3e-5, max_value=3e-5, allow_nan=False)
+
+
+class TestTransverseAnalytics:
+    """Closed forms of Table 2 / Table 3, row (a)."""
+
+    def setup_method(self):
+        self.xdcr = TransverseElectrostaticTransducer(area=AREA, gap=GAP)
+
+    @given(small_displacements)
+    @settings(max_examples=30)
+    def test_capacitance_table2(self, displacement):
+        expected = EPSILON_0 * AREA / (GAP + displacement)
+        assert self.xdcr.capacitance(displacement) == pytest.approx(expected, rel=1e-12)
+
+    @given(voltages, small_displacements)
+    @settings(max_examples=30)
+    def test_coenergy_table2(self, voltage, displacement):
+        expected = 0.5 * EPSILON_0 * AREA * voltage ** 2 / (GAP + displacement)
+        assert self.xdcr.coenergy(voltage, displacement) == pytest.approx(
+            expected, rel=1e-12, abs=1e-25)
+
+    @given(voltages, small_displacements)
+    @settings(max_examples=30)
+    def test_force_table3(self, voltage, displacement):
+        expected = -0.5 * EPSILON_0 * AREA * voltage ** 2 / (GAP + displacement) ** 2
+        assert self.xdcr.force(voltage, displacement) == pytest.approx(
+            expected, rel=1e-12, abs=1e-25)
+
+    @given(voltages, small_displacements)
+    @settings(max_examples=30)
+    def test_energy_method_matches_closed_form(self, voltage, displacement):
+        assert self.xdcr.energy_method_force(voltage, displacement) == pytest.approx(
+            self.xdcr.force(voltage, displacement), rel=1e-6, abs=1e-25)
+
+    def test_charge_is_capacitance_times_voltage(self):
+        assert self.xdcr.charge_or_flux(10.0, 1e-6) == pytest.approx(
+            self.xdcr.capacitance(1e-6) * 10.0, rel=1e-12)
+
+    def test_voltage_from_charge_inverts_charge(self):
+        charge = self.xdcr.charge_or_flux(7.0, 2e-6)
+        assert self.xdcr.voltage_from_charge(charge, 2e-6) == pytest.approx(7.0, rel=1e-12)
+
+    def test_stored_energy_equals_coenergy_for_linear_dielectric(self):
+        voltage, displacement = 10.0, 1e-6
+        charge = self.xdcr.charge_or_flux(voltage, displacement)
+        assert self.xdcr.stored_energy(charge, displacement) == pytest.approx(
+            self.xdcr.coenergy(voltage, displacement), rel=1e-12)
+
+    def test_paper_bias_values(self):
+        """Table 4: C0 ~ 5.9 pF and x0 ~ 1e-8 m at 10 V with k = 200 N/m."""
+        force = abs(self.xdcr.force(10.0, 0.0))
+        assert force / 200.0 == pytest.approx(1e-8, rel=2e-2)
+        assert self.xdcr.capacitance(1e-8) == pytest.approx(5.9e-12, rel=1e-2)
+
+    def test_contact_rejected(self):
+        with pytest.raises(TransducerError):
+            self.xdcr.capacitance(-GAP)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(TransducerError):
+            TransverseElectrostaticTransducer(area=-1.0, gap=GAP)
+        with pytest.raises(TransducerError):
+            TransverseElectrostaticTransducer(area=AREA, gap=GAP, gap_orientation="sideways")
+
+    def test_parameters_dictionary(self):
+        params = self.xdcr.parameters()
+        assert params["A"] == AREA and params["d"] == GAP and params["er"] == 1.0
+
+    def test_repr_contains_parameters(self):
+        assert "0.00015" in repr(self.xdcr) or "1.5e-04" in repr(self.xdcr)
+
+
+class TestGapOrientations:
+    def test_closing_orientation_flips_force_sign(self):
+        paper = TransverseElectrostaticTransducer(AREA, GAP, gap_orientation="paper")
+        closing = TransverseElectrostaticTransducer(AREA, GAP, gap_orientation="closing")
+        assert paper.force(10.0, 0.0) == pytest.approx(-closing.force(10.0, 0.0))
+
+    def test_closing_orientation_capacitance_grows_with_displacement(self):
+        closing = TransverseElectrostaticTransducer(AREA, GAP, gap_orientation="closing")
+        assert closing.capacitance(1e-5) > closing.capacitance(0.0)
+
+    def test_pull_in_voltage_formula(self):
+        closing = TransverseElectrostaticTransducer(AREA, GAP, gap_orientation="closing")
+        expected = np.sqrt(8.0 * 200.0 * GAP ** 3 / (27.0 * EPSILON_0 * AREA))
+        assert closing.pull_in_voltage(200.0) == pytest.approx(expected, rel=1e-12)
+        assert closing.pull_in_displacement() == pytest.approx(GAP / 3.0)
+        with pytest.raises(TransducerError):
+            closing.pull_in_voltage(-1.0)
+
+
+class TestLateralAnalytics:
+    """Closed forms of Table 2 / Table 3, row (b)."""
+
+    def setup_method(self):
+        self.xdcr = LateralElectrostaticTransducer(depth=10e-6, length=100e-6, gap=2e-6)
+
+    def test_capacitance_table2(self):
+        expected = EPSILON_0 * 10e-6 * (100e-6 - 5e-6) / 2e-6
+        assert self.xdcr.capacitance(5e-6) == pytest.approx(expected, rel=1e-12)
+
+    @given(voltages)
+    @settings(max_examples=30)
+    def test_force_independent_of_displacement(self, voltage):
+        f0 = self.xdcr.force(voltage, 0.0)
+        f1 = self.xdcr.force(voltage, 20e-6)
+        assert f0 == pytest.approx(f1, rel=1e-12)
+        assert f0 == pytest.approx(-0.5 * EPSILON_0 * 10e-6 * voltage ** 2 / 2e-6,
+                                   rel=1e-12, abs=1e-25)
+
+    @given(voltages, st.floats(min_value=-20e-6, max_value=50e-6))
+    @settings(max_examples=30)
+    def test_energy_method_matches_closed_form(self, voltage, displacement):
+        assert self.xdcr.energy_method_force(voltage, displacement) == pytest.approx(
+            self.xdcr.force(voltage, displacement), rel=1e-6, abs=1e-22)
+
+    def test_disengagement_rejected(self):
+        with pytest.raises(TransducerError):
+            self.xdcr.capacitance(200e-6)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(TransducerError):
+            LateralElectrostaticTransducer(depth=0.0, length=1e-6, gap=1e-6)
+
+
+class TestTransverseDeviceInCircuit:
+    """The elaborated behavioral device in a bias circuit (energy method and
+    closed form must agree with the analytic force)."""
+
+    @pytest.mark.parametrize("closed_form", [False, True])
+    def test_dc_force_matches_analytic(self, closed_form):
+        xdcr = TransverseElectrostaticTransducer(AREA, GAP)
+        circuit = Circuit()
+        circuit.voltage_source("VS", "a", "0", 10.0)
+        xdcr.add_to_circuit(circuit, "X1", "a", "0", "m", "0", closed_form=closed_form)
+        circuit.mass("M1", "m", 1e-4)
+        circuit.spring("K1", "m", "0", 200.0)
+        circuit.damper("D1", "m", "0", 0.04)
+        op = OperatingPointAnalysis(circuit).run()
+        assert op["force(X1)"] == pytest.approx(xdcr.force(10.0, 0.0), rel=1e-6)
+        assert op["charge(X1)"] == pytest.approx(xdcr.charge_or_flux(10.0, 0.0), rel=1e-6)
+
+    def test_transient_displacement_follows_quasi_static_value(self, fast_options):
+        xdcr = TransverseElectrostaticTransducer(AREA, GAP)
+        circuit = Circuit()
+        circuit.voltage_source("VS", "a", "0", Pulse(0.0, 10.0, rise=2e-3, width=40e-3))
+        xdcr.add_to_circuit(circuit, "X1", "a", "0", "m", "0")
+        circuit.mass("M1", "m", 1e-4)
+        circuit.spring("K1", "m", "0", 200.0)
+        circuit.damper("D1", "m", "0", 0.04)
+        result = TransientAnalysis(circuit, t_stop=40e-3, t_step=2e-4,
+                                   options=fast_options).run()
+        expected = abs(xdcr.force(10.0, 0.0)) / 200.0
+        assert result.final("x(X1)") == pytest.approx(expected, rel=2e-2)
+        # The mass and the transducer record the same displacement.
+        assert result.final("x(res_m)") if "x(res_m)" in result.signals() else True
+        assert result.final("x(M1)") == pytest.approx(result.final("x(X1)"), rel=1e-3)

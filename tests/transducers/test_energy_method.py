@@ -1,0 +1,123 @@
+"""Tests for the mechanised energy-method derivation (the paper's 4-step recipe)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ad import Dual, seed_many
+from repro.constants import EPSILON_0, MU_0
+from repro.errors import TransducerError
+from repro.transducers.energy_method import (
+    EnergyDerivation,
+    derive_efforts,
+    differentiate_coenergy,
+    hessian_scaled,
+    partials_with_sensitivities,
+)
+
+AREA, GAP, TURNS = 1e-4, 0.15e-3, 100.0
+
+
+def electrostatic_coenergy(voltage, displacement):
+    return 0.5 * EPSILON_0 * AREA / (GAP + displacement) * voltage * voltage
+
+
+def electrostatic_energy(charge, displacement):
+    return 0.5 * charge * charge * (GAP + displacement) / (EPSILON_0 * AREA)
+
+
+def magnetic_coenergy(current, displacement):
+    return MU_0 * AREA * TURNS ** 2 * current * current / (4.0 * (GAP + displacement))
+
+
+voltages = st.floats(min_value=-30.0, max_value=30.0, allow_nan=False)
+displacements = st.floats(min_value=-4e-5, max_value=4e-5, allow_nan=False)
+
+
+class TestDeriveEfforts:
+    """Step 3 of the recipe reproduces the closed forms of Table 3."""
+
+    @given(voltages, displacements)
+    @settings(max_examples=50)
+    def test_electrostatic_charge_and_force(self, voltage, displacement):
+        charge, force = derive_efforts(electrostatic_coenergy, [voltage, displacement])
+        gap = GAP + displacement
+        assert charge == pytest.approx(EPSILON_0 * AREA * voltage / gap, rel=1e-9, abs=1e-20)
+        assert force == pytest.approx(-0.5 * EPSILON_0 * AREA * voltage ** 2 / gap ** 2,
+                                      rel=1e-9, abs=1e-20)
+
+    @given(st.floats(min_value=-2.0, max_value=2.0), displacements)
+    @settings(max_examples=50)
+    def test_energy_form_gives_port_voltage(self, charge, displacement):
+        """dW/dq of the internal energy is the Table 3 voltage expression."""
+        voltage, _ = derive_efforts(electrostatic_energy, [charge * 1e-9, displacement])
+        expected = charge * 1e-9 * (GAP + displacement) / (EPSILON_0 * AREA)
+        assert voltage == pytest.approx(expected, rel=1e-9, abs=1e-20)
+
+    @given(st.floats(min_value=-1.0, max_value=1.0), displacements)
+    @settings(max_examples=50)
+    def test_electromagnetic_flux_and_force(self, current, displacement):
+        flux, force = derive_efforts(magnetic_coenergy, [current, displacement])
+        gap = GAP + displacement
+        inductance = MU_0 * AREA * TURNS ** 2 / (2.0 * gap)
+        assert flux == pytest.approx(inductance * current, rel=1e-9, abs=1e-20)
+        assert force == pytest.approx(
+            -MU_0 * AREA * TURNS ** 2 * current ** 2 / (4.0 * gap ** 2), rel=1e-9, abs=1e-20)
+
+    def test_empty_state_list_rejected(self):
+        with pytest.raises(TransducerError):
+            derive_efforts(electrostatic_coenergy, [])
+
+
+class TestHessianScaled:
+    def test_quadratic_is_exact(self):
+        hess = hessian_scaled(lambda x, y: x * x + 4.0 * x * y, [1.0, 2.0], scales=[1.0, 1.0])
+        assert hess == pytest.approx(np.array([[2.0, 4.0], [4.0, 0.0]]), abs=1e-6)
+
+    def test_small_scale_variables_remain_accurate(self):
+        # Around x = 0 with a 150-um characteristic scale the second
+        # derivative of the coenergy must match the analytic value.
+        hess = hessian_scaled(electrostatic_coenergy, [10.0, 0.0], scales=(1.0, GAP))
+        analytic_df_dx_dv = -EPSILON_0 * AREA * 2.0 * 10.0 / (2.0 * GAP ** 2)
+        assert hess[0, 1] == pytest.approx(analytic_df_dx_dv, rel=1e-4)
+
+    def test_scale_validation(self):
+        with pytest.raises(TransducerError):
+            hessian_scaled(electrostatic_coenergy, [1.0, 0.0], scales=(1.0,))
+        with pytest.raises(TransducerError):
+            hessian_scaled(electrostatic_coenergy, [1.0, 0.0], scales=(1.0, -1.0))
+
+
+class TestPartialsWithSensitivities:
+    def test_plain_floats_return_floats(self):
+        results = partials_with_sensitivities(electrostatic_coenergy, [10.0, 0.0],
+                                              scales=(1.0, GAP))
+        assert all(isinstance(r, float) for r in results)
+
+    def test_chain_rule_through_dual_inputs(self):
+        voltage, displacement = seed_many([10.0, 1e-6])
+        charge, force = partials_with_sensitivities(
+            electrostatic_coenergy, [voltage, displacement], scales=(1.0, GAP))
+        assert isinstance(charge, Dual) and isinstance(force, Dual)
+        gap = GAP + 1e-6
+        # d(charge)/d(voltage) = C(x); d(charge)/d(x) = -eps A V / gap^2.
+        assert charge.partial(0) == pytest.approx(EPSILON_0 * AREA / gap, rel=1e-4)
+        assert charge.partial(1) == pytest.approx(-EPSILON_0 * AREA * 10.0 / gap ** 2, rel=1e-4)
+        # d(force)/d(voltage) = -eps A V / gap^2 (symmetry of the Hessian).
+        assert force.partial(0) == pytest.approx(charge.partial(1), rel=1e-6)
+
+    def test_differentiate_coenergy_wrapper(self):
+        charge, force = differentiate_coenergy(electrostatic_coenergy, 10.0, 0.0,
+                                               scales=(1.0, GAP))
+        assert charge == pytest.approx(EPSILON_0 * AREA * 10.0 / GAP, rel=1e-9)
+        assert force == pytest.approx(-0.5 * EPSILON_0 * AREA * 100.0 / GAP ** 2, rel=1e-9)
+
+
+class TestEnergyDerivationRecord:
+    def test_summary_mentions_states(self):
+        record = EnergyDerivation(("charge q", "displacement x"),
+                                  ("voltage", "force"), "electrostatic transducer")
+        text = record.summary()
+        assert "dW/dcharge q" in text and "force" in text

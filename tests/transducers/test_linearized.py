@@ -1,0 +1,134 @@
+"""Tests for the linearized equivalent-circuit transducer model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, OperatingPointAnalysis, Pulse, TransientAnalysis
+from repro.constants import EPSILON_0
+from repro.errors import TransducerError
+from repro.transducers import (
+    TransverseElectrostaticTransducer,
+    create_transducer,
+    linearize_transverse_electrostatic,
+)
+from repro.transducers.library import TRANSDUCER_LIBRARY
+from repro.transducers.linearized import add_linearized_equivalent_circuit
+
+AREA, GAP, STIFFNESS, V0 = 1e-4, 0.15e-3, 200.0, 10.0
+
+
+@pytest.fixture
+def transducer():
+    return TransverseElectrostaticTransducer(area=AREA, gap=GAP)
+
+
+@pytest.fixture
+def linearized(transducer):
+    return linearize_transverse_electrostatic(transducer, V0, stiffness=STIFFNESS)
+
+
+class TestBiasPoint:
+    def test_bias_displacement_close_to_table4(self, linearized):
+        assert linearized.bias_displacement == pytest.approx(1e-8, rel=2e-2)
+
+    def test_c0_close_to_table4(self, linearized):
+        assert linearized.c0 == pytest.approx(5.9e-12, rel=1e-2)
+
+    def test_gamma_small_signal_is_paper_formula(self, linearized):
+        expected = EPSILON_0 * AREA * V0 / (GAP + linearized.bias_displacement) ** 2
+        assert linearized.gamma_small_signal == pytest.approx(expected, rel=1e-6)
+
+    def test_gamma_effective_is_half_of_small_signal(self, linearized):
+        assert linearized.gamma_effective == pytest.approx(
+            0.5 * linearized.gamma_small_signal, rel=1e-9)
+
+    def test_printed_paper_gamma_differs_from_formula(self, linearized):
+        # The paper prints 3.34675e-9 N/V, which is inconsistent with its own
+        # formula by roughly two orders of magnitude -- recorded here as a fact.
+        assert linearized.gamma_small_signal / 3.34675e-9 > 50.0
+
+    def test_gamma_selector(self, linearized):
+        assert linearized.gamma("effective") == linearized.gamma_effective
+        assert linearized.gamma("small_signal") == linearized.gamma_small_signal
+        assert linearized.gamma("tilmans") == linearized.gamma_small_signal
+        with pytest.raises(TransducerError):
+            linearized.gamma("bogus")
+
+    def test_explicit_bias_displacement(self, transducer):
+        lin = linearize_transverse_electrostatic(transducer, V0, bias_displacement=0.0)
+        assert lin.bias_displacement == 0.0
+        assert lin.c0 == pytest.approx(EPSILON_0 * AREA / GAP, rel=1e-12)
+
+    def test_missing_stiffness_and_displacement_rejected(self, transducer):
+        with pytest.raises(TransducerError):
+            linearize_transverse_electrostatic(transducer, V0)
+
+    def test_zero_bias_voltage_gives_zero_gamma(self, transducer):
+        lin = linearize_transverse_electrostatic(transducer, 0.0, bias_displacement=0.0)
+        assert lin.gamma_effective == 0.0 and lin.gamma_small_signal == 0.0
+
+    def test_summary_text(self, linearized):
+        text = linearized.summary()
+        assert "C0" in text and "Gamma" in text
+
+
+class TestEquivalentCircuit:
+    def _build(self, linearized, drive, **kwargs):
+        circuit = Circuit()
+        circuit.voltage_source("VS", "a", "0", drive)
+        add_linearized_equivalent_circuit(circuit, linearized, "XL", "a", "0", "m", "0",
+                                          **kwargs)
+        circuit.mass("M1", "m", 1e-4)
+        circuit.spring("K1", "m", "0", STIFFNESS)
+        circuit.damper("D1", "m", "0", 0.04)
+        return circuit
+
+    def test_devices_created(self, linearized):
+        circuit = self._build(linearized, 10.0)
+        assert "XL_C0" in circuit and "XL_Gf" in circuit and "XL_Gi" in circuit
+
+    def test_spring_softening_optional(self, linearized):
+        circuit = self._build(linearized, 10.0, include_spring_softening=True)
+        assert "XL_ke" in circuit
+
+    def test_quasi_static_displacement_matches_nonlinear_at_bias(self, linearized,
+                                                                 fast_options):
+        drive = Pulse(0.0, 10.0, rise=2e-3, width=40e-3)
+        circuit = self._build(linearized, drive)
+        result = TransientAnalysis(circuit, t_stop=40e-3, t_step=2e-4,
+                                   options=fast_options).run()
+        expected = linearized.bias_force / STIFFNESS
+        assert result.final("x(M1)") == pytest.approx(expected, rel=2e-2)
+
+    def test_displacement_scales_linearly_with_drive(self, linearized, fast_options):
+        plateaus = []
+        for amplitude in (5.0, 15.0):
+            drive = Pulse(0.0, amplitude, rise=2e-3, width=40e-3)
+            circuit = self._build(linearized, drive)
+            result = TransientAnalysis(circuit, t_stop=40e-3, t_step=2e-4,
+                                       options=fast_options).run()
+            plateaus.append(result.final("x(M1)"))
+        assert plateaus[1] / plateaus[0] == pytest.approx(3.0, rel=2e-2)
+
+    def test_motional_current_loads_the_source(self, linearized):
+        # At DC there is no motion, so the source sees only the capacitor
+        # (zero current); this checks the reciprocal branch does not leak.
+        circuit = self._build(linearized, 10.0)
+        op = OperatingPointAnalysis(circuit).run()
+        assert op["i(VS)"] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestLibrary:
+    def test_create_by_name(self):
+        xdcr = create_transducer("transverse_electrostatic", area=AREA, gap=GAP)
+        assert isinstance(xdcr, TransverseElectrostaticTransducer)
+
+    def test_figure_aliases_present(self):
+        for alias in ("fig2a", "fig2b", "fig2c", "fig2d"):
+            assert alias in TRANSDUCER_LIBRARY
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(TransducerError, match="unknown transducer"):
+            create_transducer("warp_drive")

@@ -1,0 +1,164 @@
+"""Tests for the electromagnetic and electrodynamic transducers (fig. 2c/2d)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuit import Circuit, OperatingPointAnalysis, Sine, Step, TransientAnalysis
+from repro.constants import MU_0
+from repro.errors import TransducerError
+from repro.transducers import ElectrodynamicTransducer, ElectromagneticTransducer
+
+currents = st.floats(min_value=-2.0, max_value=2.0, allow_nan=False)
+small_displacements = st.floats(min_value=-3e-5, max_value=3e-5, allow_nan=False)
+
+
+class TestElectromagneticAnalytics:
+    """Closed forms of Table 2 / Table 3, row (c)."""
+
+    def setup_method(self):
+        self.xdcr = ElectromagneticTransducer(area=1e-4, turns=100.0, gap=0.15e-3)
+
+    @given(small_displacements)
+    @settings(max_examples=30)
+    def test_inductance_table2(self, displacement):
+        expected = MU_0 * 1e-4 * 100.0 ** 2 / (2.0 * (0.15e-3 + displacement))
+        assert self.xdcr.inductance(displacement) == pytest.approx(expected, rel=1e-12)
+
+    @given(currents, small_displacements)
+    @settings(max_examples=30)
+    def test_coenergy_table2(self, current, displacement):
+        expected = MU_0 * 1e-4 * 100.0 ** 2 * current ** 2 / (4.0 * (0.15e-3 + displacement))
+        assert self.xdcr.coenergy(current, displacement) == pytest.approx(
+            expected, rel=1e-12, abs=1e-25)
+
+    @given(currents, small_displacements)
+    @settings(max_examples=30)
+    def test_force_table3(self, current, displacement):
+        gap = 0.15e-3 + displacement
+        expected = -MU_0 * 1e-4 * 100.0 ** 2 * current ** 2 / (4.0 * gap ** 2)
+        assert self.xdcr.force(current, displacement) == pytest.approx(
+            expected, rel=1e-12, abs=1e-25)
+
+    @given(currents, small_displacements)
+    @settings(max_examples=30)
+    def test_energy_method_matches_closed_form(self, current, displacement):
+        assert self.xdcr.energy_method_force(current, displacement) == pytest.approx(
+            self.xdcr.force(current, displacement), rel=1e-6, abs=1e-22)
+
+    def test_flux_is_inductance_times_current(self):
+        assert self.xdcr.charge_or_flux(0.5, 0.0) == pytest.approx(
+            self.xdcr.inductance(0.0) * 0.5, rel=1e-12)
+
+    def test_quasi_static_voltage(self):
+        didt = 100.0
+        assert self.xdcr.voltage(1.0, didt) == pytest.approx(
+            self.xdcr.inductance(0.0) * didt, rel=1e-12)
+
+    def test_contact_rejected(self):
+        with pytest.raises(TransducerError):
+            self.xdcr.inductance(-0.15e-3)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(TransducerError):
+            ElectromagneticTransducer(area=1e-4, turns=0.0, gap=1e-3)
+
+
+class TestElectromagneticInCircuit:
+    def test_dc_bias_current_and_force(self):
+        """Driven by a voltage source through a resistor, the coil is a DC
+        short so the bias current is V/R and the reluctance force follows."""
+        xdcr = ElectromagneticTransducer(area=1e-4, turns=200.0, gap=0.2e-3)
+        circuit = Circuit()
+        circuit.voltage_source("VS", "in", "0", 2.0)
+        circuit.resistor("R1", "in", "coil", 20.0)
+        xdcr.add_to_circuit(circuit, "X1", "coil", "0", "m", "0")
+        circuit.mass("M1", "m", 1e-3)
+        circuit.spring("K1", "m", "0", 500.0)
+        circuit.damper("D1", "m", "0", 0.1)
+        op = OperatingPointAnalysis(circuit).run()
+        bias_current = 2.0 / 20.0
+        assert op["i(X1.elec)"] == pytest.approx(bias_current, rel=1e-6)
+        assert op["force(X1)"] == pytest.approx(xdcr.force(bias_current, 0.0), rel=1e-4)
+        assert op.voltage("coil") == pytest.approx(0.0, abs=1e-6)
+
+    def test_transient_rl_rise_with_motion_disabled_by_stiff_spring(self, fast_options):
+        xdcr = ElectromagneticTransducer(area=1e-4, turns=200.0, gap=0.2e-3)
+        circuit = Circuit()
+        circuit.voltage_source("VS", "in", "0", Step(0.0, 2.0, ramp=1e-6))
+        circuit.resistor("R1", "in", "coil", 20.0)
+        xdcr.add_to_circuit(circuit, "X1", "coil", "0", "m", "0")
+        circuit.spring("K1", "m", "0", 1e9)  # effectively clamped armature
+        circuit.damper("D1", "m", "0", 1.0)
+        inductance = xdcr.inductance(0.0)
+        tau = inductance / 20.0
+        result = TransientAnalysis(circuit, t_stop=5 * tau, t_step=tau / 40,
+                                   options=fast_options).run()
+        expected = 0.1 * (1.0 - math.exp(-1.0))
+        assert result.at("i(X1.elec)", tau) == pytest.approx(expected, rel=5e-2)
+
+
+class TestElectrodynamicAnalytics:
+    """Voice-coil transducer, Table 2/3 row (d)."""
+
+    def setup_method(self):
+        self.xdcr = ElectrodynamicTransducer(turns=50.0, radius=5e-3, b_field=0.8)
+
+    def test_coupling_is_2piNrB(self):
+        assert self.xdcr.coupling == pytest.approx(2.0 * math.pi * 50.0 * 5e-3 * 0.8)
+
+    def test_force_magnitude_matches_table3(self):
+        current = 0.3
+        assert abs(self.xdcr.force(current, 0.0)) == pytest.approx(
+            2.0 * math.pi * 50.0 * 5e-3 * 0.8 * current, rel=1e-12)
+
+    def test_inductance_table2(self):
+        assert self.xdcr.inductance() == pytest.approx(0.5 * MU_0 * 50.0 * 5e-3, rel=1e-12)
+
+    def test_back_emf(self):
+        assert self.xdcr.back_emf(0.1) == pytest.approx(self.xdcr.coupling * 0.1)
+
+    def test_coenergy_independent_of_displacement(self):
+        assert self.xdcr.coenergy(0.2, 0.0) == pytest.approx(self.xdcr.coenergy(0.2, 1e-3))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TransducerError):
+            ElectrodynamicTransducer(turns=-1.0, radius=1e-3, b_field=1.0)
+
+
+class TestElectrodynamicInCircuit:
+    def test_dc_force_proportional_to_current(self):
+        xdcr = ElectrodynamicTransducer(turns=50.0, radius=5e-3, b_field=0.8)
+        circuit = Circuit()
+        circuit.voltage_source("VS", "in", "0", 1.0)
+        circuit.resistor("R1", "in", "coil", 10.0)
+        xdcr.add_to_circuit(circuit, "X1", "coil", "0", "m", "0")
+        circuit.mass("M1", "m", 1e-3)
+        circuit.spring("K1", "m", "0", 100.0)
+        circuit.damper("D1", "m", "0", 0.5)
+        op = OperatingPointAnalysis(circuit).run()
+        assert op["i(X1.elec)"] == pytest.approx(0.1, rel=1e-6)
+        assert abs(op["force(X1)"]) == pytest.approx(xdcr.coupling * 0.1, rel=1e-6)
+
+    def test_energy_conservation_through_gyrator(self, fast_options):
+        """Electrical power in ~ mechanical power out + inductor storage:
+        drive the coil with a sine and check the damper dissipates power."""
+        xdcr = ElectrodynamicTransducer(turns=50.0, radius=5e-3, b_field=0.8)
+        circuit = Circuit()
+        circuit.voltage_source("VS", "in", "0", Sine(amplitude=1.0, frequency=50.0))
+        circuit.resistor("R1", "in", "coil", 10.0)
+        xdcr.add_to_circuit(circuit, "X1", "coil", "0", "m", "0")
+        circuit.mass("M1", "m", 1e-3)
+        circuit.spring("K1", "m", "0", 100.0)
+        circuit.damper("D1", "m", "0", 0.5)
+        result = TransientAnalysis(circuit, t_stop=0.1, t_step=2e-4,
+                                   options=fast_options).run()
+        velocity = result.signal("v(m)")
+        # The coil must actually move the mass.
+        assert np.max(np.abs(velocity)) > 1e-4
+        # Back-EMF reduces the drive current relative to V/R.
+        assert np.max(np.abs(result.signal("i(X1.elec)"))) < 0.1
