@@ -1,0 +1,119 @@
+"""Campaign engine throughput: serial vs pool backends, cold vs warm cache.
+
+The workload is the paper's own: a 64-point boundary-condition grid
+(8 displacements x 8 voltages) of FE extraction solves, the same sweep the
+PXT flow iterates.  The benchmark measures points/sec for
+
+* the serial backend (the seed's nested-loop behaviour),
+* the multiprocessing pool backend (one worker per CPU),
+* a cold disk cache (every point computed and stored), and
+* a warm rerun (every point served from the cache),
+
+and pins two correctness properties: the warm rerun is >= 10x faster than
+the cold run, and the campaign-driven extraction reproduces the direct
+``solve_point`` loop to 1e-9.  The pool-beats-serial assertion only applies
+on multi-core hosts -- on a single CPU a process pool cannot win, so there
+the numbers are reported without the assertion.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from conftest import report
+from repro.campaign import CampaignRunner, ResultCache
+from repro.pxt import ParameterExtractor
+from repro.system import PAPER_PARAMETERS
+
+GRID_POINTS = 64  # 8 x 8; the acceptance floor for the pool comparison
+
+
+def _extractor() -> ParameterExtractor:
+    return ParameterExtractor(
+        area=PAPER_PARAMETERS.area, gap=PAPER_PARAMETERS.gap,
+        epsilon_r=PAPER_PARAMETERS.epsilon_r, nx=20, ny=14)
+
+
+def _grid(extractor):
+    displacements = [(-0.3 + 0.6 * i / 7.0) * extractor.gap for i in range(8)]
+    voltages = [2.0 + 13.0 * i / 7.0 for i in range(8)]
+    return displacements, voltages
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def test_campaign_throughput(benchmark, tmp_path):
+    extractor = _extractor()
+    displacements, voltages = _grid(extractor)
+    spec = extractor.campaign_spec(displacements, voltages)
+    evaluator = extractor.campaign_evaluator()
+    assert len(spec) == GRID_POINTS
+    cpus = os.cpu_count() or 1
+
+    # --- serial backend (timed by the benchmark harness as the baseline) ---
+    serial_result = benchmark.pedantic(
+        lambda: CampaignRunner(backend="serial").run(spec, evaluator),
+        rounds=1, iterations=1)
+    _, serial_s = _timed(
+        lambda: CampaignRunner(backend="serial").run(spec, evaluator))
+
+    # --- pool backend -------------------------------------------------------
+    pool_runner = CampaignRunner(backend="pool", processes=cpus)
+    pool_result, pool_s = _timed(lambda: pool_runner.run(spec, evaluator))
+
+    # --- cold vs warm cache -------------------------------------------------
+    cache = ResultCache(tmp_path / "campaign-cache")
+    cached_runner = CampaignRunner(cache=cache)
+    cold_result, cold_s = _timed(lambda: cached_runner.run(spec, evaluator))
+    warm_result, warm_s = _timed(lambda: cached_runner.run(spec, evaluator))
+
+    # --- parity with the seed's direct nested-loop extraction ---------------
+    direct = [extractor.solve_point(x, v)
+              for x in displacements for v in voltages]
+    worst = 0.0
+    for row, want in zip(serial_result, direct):
+        assert row.params["displacement"] == want.displacement
+        assert row.params["voltage"] == want.voltage
+        for name, reference in (("capacitance", want.capacitance),
+                                ("force", want.force),
+                                ("charge", want.charge)):
+            scale = max(abs(reference), 1e-30)
+            worst = max(worst, abs(row[name] - reference) / scale)
+    assert worst < 1e-9
+    assert pool_result.to_rows() == serial_result.to_rows()
+    assert warm_result.to_rows() == cold_result.to_rows()
+    assert warm_result.num_cached == GRID_POINTS
+
+    lines = [
+        f"grid: {GRID_POINTS} boundary-condition points "
+        f"(8 displacements x 8 voltages, {extractor.nx}x{extractor.ny} mesh)",
+        f"serial backend     : {serial_s:8.3f} s  "
+        f"({GRID_POINTS / serial_s:7.1f} points/s)",
+        f"pool backend ({cpus:2d}p) : {pool_s:8.3f} s  "
+        f"({GRID_POINTS / pool_s:7.1f} points/s)",
+        f"cold disk cache    : {cold_s:8.3f} s  "
+        f"({GRID_POINTS / cold_s:7.1f} points/s)",
+        f"warm disk cache    : {warm_s:8.3f} s  "
+        f"({GRID_POINTS / warm_s:7.1f} points/s, {cold_s / warm_s:.0f}x cold)",
+        f"campaign vs direct solve_point parity: {worst:.2e} (<= 1e-9)",
+    ]
+    if cpus > 1:
+        lines.append(f"pool speedup over serial: {serial_s / pool_s:.2f}x")
+        assert pool_s < serial_s, (
+            f"pool backend ({pool_s:.3f} s) should beat serial "
+            f"({serial_s:.3f} s) on {cpus} CPUs")
+    else:
+        lines.append("pool speedup over serial: n/a "
+                     "(single-CPU host; fork overhead only)")
+    report("Campaign throughput: 64-point PXT grid", lines)
+
+    assert warm_s * 10.0 <= cold_s, (
+        f"warm cache ({warm_s:.4f} s) should be >= 10x faster than cold "
+        f"({cold_s:.4f} s)")

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Monte Carlo pull-in yield of a gap-closing electrostatic actuator.
+
+Process variation turns the single pull-in voltage of
+``examples/pull_in_analysis.py`` into a distribution: the sacrificial-layer
+thickness sets the gap, and the structural-layer thickness sets the
+suspension stiffness (beam bending stiffness scales with thickness cubed).
+This example runs a seeded Monte Carlo campaign over both, estimates each
+sample's pull-in voltage from a DC drive sweep of the full nonlinear
+transducer circuit, and reports the yield against a minimum operating
+voltage -- the paper's boundary-condition iteration, scaled out to a
+process-variation study on the campaign engine.
+
+Run with::
+
+    python examples/monte_carlo_pull_in.py
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.campaign import CampaignRunner, CircuitEvaluator, MonteCarlo, Normal, ResultCache
+from repro.circuit import Circuit
+from repro.transducers import TransverseElectrostaticTransducer
+
+AREA = 4e-8                 # 200 um x 200 um plate
+GAP_NOM = 2e-6              # nominal 2 um gap (sacrificial-layer thickness)
+GAP_SIGMA = 0.08e-6         # 4 % process sigma on the gap
+THICKNESS_NOM = 2e-6        # nominal structural-layer thickness
+THICKNESS_SIGMA = 0.10e-6   # 5 % process sigma on the thickness
+STIFFNESS_NOM = 2.0         # N/m at nominal thickness
+MASS = 1e-9                 # kg
+DAMPING = 1e-5              # N*s/m
+
+SAMPLES = 40
+SEED = 1997                 # the paper's year; any seed reproduces exactly
+V_MIN_SPEC = 3.2            # yield spec: pull-in must stay above this [V]
+
+#: DC drive grid the pull-in voltage is read from (generous upper margin so
+#: fast-corner samples still pull in inside the swept range).
+DRIVE_VOLTAGES = np.linspace(0.0, 6.0, 61)
+
+
+def stiffness_from_thickness(thickness: float) -> float:
+    """Suspension stiffness: bending stiffness scales with thickness cubed."""
+    return STIFFNESS_NOM * (thickness / THICKNESS_NOM) ** 3
+
+
+def build_actuator(params: dict) -> Circuit:
+    """Per-sample netlist: gap-closing transducer + suspension (picklable)."""
+    circuit = Circuit("mc pull-in sample")
+    circuit.voltage_source("VS", "a", "0", 0.0)
+    transducer = TransverseElectrostaticTransducer(
+        area=AREA, gap=params["gap"], gap_orientation="closing")
+    transducer.add_to_circuit(circuit, "XDCR", "a", "0", "m", "0")
+    circuit.mass("M1", "m", MASS)
+    circuit.spring("K1", "m", "0", stiffness_from_thickness(params["thickness"]))
+    circuit.damper("D1", "m", "0", DAMPING)
+    return circuit
+
+
+def pull_in_from_sweep(result, params: dict) -> dict:
+    """Reduce a DC drive sweep to the sample's pull-in voltage estimate.
+
+    The sweep yields the simulated electrostatic force ``F0(V)`` at rest
+    (at DC the plate displacement is an integral state held at zero).  The
+    static balance ``k*x = F0(V) * d^2 / (d - x)^2`` has a stable
+    equilibrium (root below ``d/3``) iff ``k*d/3 >= 2.25 * F0(V)``; the
+    pull-in estimate is the last swept voltage that satisfies it.
+    """
+    gap = params["gap"]
+    stiffness = stiffness_from_thickness(params["thickness"])
+    forces = np.abs(result.column("force(XDCR)"))
+    if not np.all(np.isfinite(forces)):
+        raise ValueError("drive sweep failed to converge")
+    stable = stiffness * gap / 3.0 >= 2.25 * forces
+    if not stable[0]:
+        raise ValueError("no stable operating point even at zero drive")
+    last = int(np.max(np.nonzero(stable)))
+    if last == len(forces) - 1:
+        raise ValueError("pull-in above the swept drive range")
+    return {"pull_in_v": float(result.sweep_values[last]),
+            "force_at_pull_in": float(forces[last])}
+
+
+def analytic_pull_in(gap: float, thickness: float) -> float:
+    """Closed-form ``sqrt(8 k d^3 / (27 eps0 A))`` for cross-checking."""
+    transducer = TransverseElectrostaticTransducer(
+        area=AREA, gap=gap, gap_orientation="closing")
+    return transducer.pull_in_voltage(stiffness_from_thickness(thickness))
+
+
+def main() -> None:
+    spec = MonteCarlo(
+        {"gap": Normal(GAP_NOM, GAP_SIGMA, low=0.5 * GAP_NOM),
+         "thickness": Normal(THICKNESS_NOM, THICKNESS_SIGMA,
+                             low=0.5 * THICKNESS_NOM)},
+        samples=SAMPLES, seed=SEED)
+    evaluator = CircuitEvaluator(
+        build_actuator, analysis="dc",
+        analysis_args={"source_name": "VS", "values": DRIVE_VOLTAGES.tolist(),
+                       "continue_on_failure": True},
+        reduce=pull_in_from_sweep)
+
+    processes = min(4, os.cpu_count() or 1)
+    cache = ResultCache()
+    runner = CampaignRunner(backend="pool", processes=processes, cache=cache)
+
+    print(f"Monte Carlo pull-in study: {SAMPLES} samples, seed {SEED}, "
+          f"{processes} worker(s)")
+    print(f"  gap       ~ N({GAP_NOM * 1e6:.2f} um, {GAP_SIGMA * 1e6:.2f} um)")
+    print(f"  thickness ~ N({THICKNESS_NOM * 1e6:.2f} um, "
+          f"{THICKNESS_SIGMA * 1e6:.2f} um)")
+    print(f"  analytic nominal pull-in: "
+          f"{analytic_pull_in(GAP_NOM, THICKNESS_NOM):.3f} V")
+    print()
+
+    start = time.perf_counter()
+    result = runner.run(spec, evaluator)
+    elapsed = time.perf_counter() - start
+    rerun_start = time.perf_counter()
+    runner.run(spec, evaluator)  # every point served from the result cache
+    rerun_elapsed = time.perf_counter() - rerun_start
+
+    print("  sample   gap [um]  thickness [um]   V_pullin [V]   analytic [V]")
+    for row in list(result)[:10]:
+        analytic = analytic_pull_in(row["gap"], row["thickness"])
+        print(f"  {row.index:4d}     {row['gap'] * 1e6:7.3f}   "
+              f"{row['thickness'] * 1e6:9.3f}       {row['pull_in_v']:7.3f} "
+              f"       {analytic:7.3f}")
+    if len(result) > 10:
+        print(f"  ... ({len(result) - 10} more)")
+    print()
+
+    summary = result.summary("pull_in_v")
+    spread = result.percentile("pull_in_v", [5.0, 95.0])
+    yield_ok = result.yield_fraction(lambda row: row["pull_in_v"] >= V_MIN_SPEC)
+    print(f"pull-in voltage: mean {summary['mean']:.3f} V, "
+          f"std {summary['std']:.3f} V, "
+          f"p5/p95 {spread[0]:.3f}/{spread[1]:.3f} V")
+    print(f"failed samples : {result.num_failures} of {len(result)}")
+    print(f"yield (V_pullin >= {V_MIN_SPEC} V): {100.0 * yield_ok:.1f} %")
+    print()
+    print(f"campaign wall time : {elapsed:.2f} s "
+          f"({len(result) / elapsed:.1f} samples/s)")
+    print(f"cached rerun       : {rerun_elapsed * 1e3:.1f} ms "
+          f"({cache.stats()['hits']} cache hits)")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,9 @@ The package provides, entirely in Python:
 * :mod:`repro.fem` -- a 2D electrostatic finite-element solver standing in
   for ANSYS, plus structural beam/chain models and harmonic analysis,
 * :mod:`repro.pxt` -- the parameter extraction and HDL model generation tool,
+* :mod:`repro.campaign` -- the simulation-campaign engine: declarative
+  grid/Monte-Carlo/corner sweeps executed serially or on a process pool,
+  with content-addressed result caching and columnar yield statistics,
 * :mod:`repro.system` -- the transducer + resonator microsystem of Figs. 3-5
   and the behavioral-versus-linearized comparison harness.
 
@@ -41,9 +44,20 @@ Quickstart::
 
 from __future__ import annotations
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from . import constants, errors, units
+from .campaign import (
+    CampaignResult,
+    CampaignRunner,
+    CircuitEvaluator,
+    CornerSet,
+    GridSweep,
+    MonteCarlo,
+    Normal,
+    ResultCache,
+    Uniform,
+)
 from .circuit import (
     ACAnalysis,
     BehavioralDevice,
@@ -87,6 +101,15 @@ __all__ = [
     "ACAnalysis",
     "TransientAnalysis",
     "BehavioralDevice",
+    "CampaignRunner",
+    "CampaignResult",
+    "CircuitEvaluator",
+    "GridSweep",
+    "MonteCarlo",
+    "CornerSet",
+    "Uniform",
+    "Normal",
+    "ResultCache",
     "ELECTRICAL",
     "MECHANICAL_TRANSLATION",
     "get_nature",

@@ -1,0 +1,81 @@
+"""Simulation-campaign engine: declarative sweeps on a parallel worker pool.
+
+The paper characterizes a transducer "by iterating the variation of boundary
+conditions" -- a many-point sweep workload.  This package turns that pattern
+into a first-class subsystem:
+
+* :mod:`repro.campaign.spec` -- declarative, serializable campaign specs
+  (:class:`GridSweep`, seeded :class:`MonteCarlo`, :class:`CornerSet`,
+  ``zip``/``product`` combinators),
+* :mod:`repro.campaign.runner` -- a :class:`CampaignRunner` executing every
+  scenario point on a serial or multiprocessing backend with deterministic
+  result ordering and per-point error capture, plus the
+  :class:`CircuitEvaluator` bridge to the op/dc/ac/transient analyses,
+* :mod:`repro.campaign.cache` -- content-addressed result caching (SHA-256
+  over evaluator identity + scenario point) in memory and on disk,
+* :mod:`repro.campaign.results` -- the columnar :class:`CampaignResult`
+  table with filtering, group-by and percentile/yield statistics.
+
+Quickstart::
+
+    from repro.campaign import CampaignRunner, GridSweep, MonteCarlo, Normal
+
+    spec = GridSweep(displacement=[-1e-5, 0.0, 1e-5], voltage=[2.0, 5.0, 10.0])
+    result = CampaignRunner(backend="pool").run(spec, my_evaluator)
+    result.column("force")          # in spec order, NaN where a point failed
+
+    mc = MonteCarlo({"gap": Normal(2e-6, 0.1e-6)}, samples=500, seed=7)
+    yield_ok = CampaignRunner().run(mc, my_evaluator).yield_fraction(
+        lambda row: row["pull_in_voltage"] > 30.0)
+"""
+
+from .cache import ResultCache, canonicalize, scenario_key
+from .results import CampaignResult, CampaignRow
+from .runner import (
+    OPTIONS_PREFIX,
+    CampaignRunner,
+    CircuitEvaluator,
+    FunctionEvaluator,
+    evaluator_payload,
+    split_point,
+)
+from .spec import (
+    CampaignSpec,
+    CornerSet,
+    Discrete,
+    Distribution,
+    GridSweep,
+    LogNormal,
+    MonteCarlo,
+    Normal,
+    ProductSpec,
+    Uniform,
+    ZipSpec,
+    spec_from_dict,
+)
+
+__all__ = [
+    "CampaignSpec",
+    "GridSweep",
+    "MonteCarlo",
+    "CornerSet",
+    "ZipSpec",
+    "ProductSpec",
+    "Distribution",
+    "Uniform",
+    "Normal",
+    "LogNormal",
+    "Discrete",
+    "spec_from_dict",
+    "CampaignRunner",
+    "CircuitEvaluator",
+    "FunctionEvaluator",
+    "OPTIONS_PREFIX",
+    "split_point",
+    "evaluator_payload",
+    "ResultCache",
+    "scenario_key",
+    "canonicalize",
+    "CampaignResult",
+    "CampaignRow",
+]

@@ -1,0 +1,162 @@
+"""Content-addressed result caching for simulation campaigns.
+
+A campaign point is fully determined by *what* is evaluated (the evaluator's
+identity payload: netlist recipe, analysis kind, simulation options) and
+*where* (the scenario point's parameter values).  :func:`scenario_key`
+hashes a canonical JSON form of both into a SHA-256 key, so
+
+* re-running a grid after extending one axis only pays for the new points,
+* changing any simulation option (tolerances, solver selection) changes the
+  key and transparently invalidates stale entries,
+* two processes -- or two machines sharing the cache directory -- agree on
+  every key.
+
+:class:`ResultCache` layers an in-memory dict over an optional on-disk store
+(one JSON file per entry, sharded by key prefix to keep directories small).
+Only successful rows are cached; failures are re-attempted on the next run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Mapping
+
+from ..errors import CampaignError
+
+__all__ = ["canonicalize", "scenario_key", "ResultCache"]
+
+
+def canonicalize(value):
+    """Reduce a payload to canonical JSON-compatible primitives.
+
+    Mappings are sorted by key, tuples become lists, numpy scalars/arrays
+    become Python numbers/lists.  Floats stay exact: ``json`` serializes
+    them with shortest round-trip repr.
+    """
+    if isinstance(value, Mapping):
+        return {str(key): canonicalize(value[key]) for key in sorted(value, key=str)}
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(item) for item in value]
+    if hasattr(value, "tolist"):  # numpy scalar or array
+        return canonicalize(value.tolist())
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise CampaignError(
+        f"cannot canonicalize {type(value).__name__!r} for cache keying")
+
+
+def scenario_key(*parts) -> str:
+    """SHA-256 hex key of the canonical JSON form of ``parts``."""
+    payload = json.dumps([canonicalize(part) for part in parts],
+                         sort_keys=True, separators=(",", ":"), allow_nan=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """In-memory + optional on-disk store of campaign result rows.
+
+    Parameters
+    ----------
+    directory:
+        On-disk location; ``None`` keeps the cache memory-only.  The
+        directory (and shard subdirectories) are created on demand.
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        self.directory = None if directory is None else os.fspath(directory)
+        self._memory: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------ paths
+    def _path(self, key: str) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, key[:2], f"{key}.json")
+
+    # ------------------------------------------------------------------ access
+    def get(self, key: str) -> dict | None:
+        """The cached row for ``key``, or ``None`` on a miss."""
+        row = self._memory.get(key)
+        if row is not None:
+            self.hits += 1
+            return dict(row)
+        if self.directory is not None:
+            path = self._path(key)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    row = json.load(handle)
+            except (OSError, ValueError):
+                row = None
+            if isinstance(row, dict):
+                self._memory[key] = row  # promote for the rest of the run
+                self.hits += 1
+                return dict(row)
+        self.misses += 1
+        return None
+
+    def put(self, key: str, row: Mapping[str, object]) -> None:
+        """Store one row under ``key`` (memory, and disk when configured)."""
+        row = dict(row)
+        self._memory[key] = row
+        self.stores += 1
+        if self.directory is None:
+            return
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        # Write-rename so a concurrent reader never sees a torn file.
+        fd, tmp_path = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(row, handle, allow_nan=True)
+            os.replace(tmp_path, path)
+        except OSError:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def contains(self, key: str) -> bool:
+        """True when ``key`` is available (without counting a hit/miss)."""
+        if key in self._memory:
+            return True
+        return self.directory is not None and os.path.exists(self._path(key))
+
+    def invalidate(self, key: str) -> None:
+        """Drop one entry from memory and disk."""
+        self._memory.pop(key, None)
+        if self.directory is not None:
+            try:
+                os.unlink(self._path(key))
+            except OSError:
+                pass
+
+    def clear(self) -> None:
+        """Drop every entry (and reset the hit/miss counters)."""
+        self._memory.clear()
+        if self.directory is not None and os.path.isdir(self.directory):
+            for shard in os.listdir(self.directory):
+                shard_dir = os.path.join(self.directory, shard)
+                if not os.path.isdir(shard_dir):
+                    continue
+                for name in os.listdir(shard_dir):
+                    if name.endswith(".json"):
+                        try:
+                            os.unlink(os.path.join(shard_dir, name))
+                        except OSError:
+                            pass
+        self.hits = self.misses = self.stores = 0
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/store counters since construction (or ``clear``)."""
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores,
+                "entries": len(self._memory)}
+
+    def __repr__(self) -> str:
+        where = self.directory or "memory"
+        return (f"ResultCache({where}: {len(self._memory)} entries, "
+                f"{self.hits} hits / {self.misses} misses)")

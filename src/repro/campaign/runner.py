@@ -1,0 +1,321 @@
+"""Campaign execution: map scenario points onto analysis runs.
+
+The runner is pure execution policy -- *which* points exist is the spec's
+business (:mod:`repro.campaign.spec`), *what* one point means is the
+evaluator's.  An evaluator is any callable ``point_dict -> {name: float}``;
+for the multiprocessing backend it must be picklable, which in practice
+means a module-level function or an instance of a picklable class such as
+:class:`CircuitEvaluator`.
+
+Guarantees, regardless of backend:
+
+* **deterministic ordering** -- the result rows come back in spec order,
+  even though the pool completes chunks out of order,
+* **per-point error capture** -- an exception inside one point becomes that
+  row's ``error`` string instead of aborting the campaign (a pull-in fold
+  in the middle of a Monte Carlo run must not kill the other 990 samples),
+* **transparent caching** -- with a :class:`~repro.campaign.cache.ResultCache`
+  attached, points whose content hash (evaluator identity + scenario point)
+  is already stored are served without dispatching any work.
+
+:class:`CircuitEvaluator` is the bridge to the simulator: it rebuilds a
+netlist per point via a picklable factory function, applies ``options.*``
+parameters onto :class:`~repro.circuit.analysis.options.SimulationOptions`
+(so a campaign can select e.g. the sparse linear solver per point), runs an
+``op`` / ``dc`` / ``ac`` / ``tran`` analysis and reduces the outcome to a
+flat row of floats.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+from typing import Callable, Mapping, Sequence
+
+from ..circuit.analysis.ac import ACAnalysis
+from ..circuit.analysis.dcsweep import DCSweepAnalysis
+from ..circuit.analysis.op import OperatingPointAnalysis
+from ..circuit.analysis.options import SimulationOptions
+from ..circuit.analysis.transient import TransientAnalysis
+from ..errors import CampaignError
+from .cache import ResultCache, canonicalize, scenario_key
+from .results import CampaignResult, CampaignRow
+from .spec import CampaignSpec
+
+__all__ = ["CampaignRunner", "CircuitEvaluator", "FunctionEvaluator",
+           "OPTIONS_PREFIX", "split_point", "evaluator_payload"]
+
+#: Scenario-point keys with this prefix override ``SimulationOptions`` fields.
+OPTIONS_PREFIX = "options."
+
+
+def split_point(point: Mapping[str, object]) -> tuple[dict, dict]:
+    """Split a scenario point into model parameters and options overrides."""
+    params, overrides = {}, {}
+    for name, value in point.items():
+        if name.startswith(OPTIONS_PREFIX):
+            overrides[name[len(OPTIONS_PREFIX):]] = value
+        else:
+            params[name] = value
+    return params, overrides
+
+
+def _qualified_name(obj) -> str:
+    """Stable identity string of a function/class for cache payloads."""
+    module = getattr(obj, "__module__", type(obj).__module__)
+    name = getattr(obj, "__qualname__", type(obj).__qualname__)
+    return f"{module}.{name}"
+
+
+def evaluator_payload(evaluator) -> dict:
+    """The evaluator's cache-identity payload.
+
+    Evaluators that can be re-parameterized (netlist recipe, analysis
+    options, ...) expose ``cache_payload()``; plain functions fall back to
+    their qualified name, which is enough as long as the function body's
+    behaviour does not change between runs.
+    """
+    payload = getattr(evaluator, "cache_payload", None)
+    if callable(payload):
+        return payload()
+    return {"evaluator": _qualified_name(evaluator)}
+
+
+def _evaluate_one(evaluator, index: int, point: Mapping[str, object]
+                  ) -> tuple[int, dict, str | None]:
+    """Run one point, converting any failure into an error string."""
+    try:
+        outputs = evaluator(dict(point))
+        if not isinstance(outputs, Mapping):
+            raise CampaignError(
+                f"evaluator returned {type(outputs).__name__}, expected a "
+                "mapping of output name to float")
+        row = {str(name): float(value) for name, value in outputs.items()}
+        return index, row, None
+    except Exception as exc:  # noqa: BLE001 -- per-point isolation is the point
+        return index, {}, f"{type(exc).__name__}: {exc}"
+
+
+def _evaluate_chunk(task: tuple) -> list[tuple[int, dict, str | None]]:
+    """Worker entry point: evaluate one chunk of (index, point) pairs."""
+    evaluator, items = task
+    return [_evaluate_one(evaluator, index, point) for index, point in items]
+
+
+class CampaignRunner:
+    """Execute a campaign spec against an evaluator.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` (in-process loop) or ``"pool"`` (``multiprocessing``
+        process pool with chunked dispatch).
+    processes:
+        Worker count for the pool backend (default: ``os.cpu_count()``).
+    chunk_size:
+        Points per dispatched task; the default splits the pending work
+        into about four chunks per worker to balance load against
+        serialization overhead.
+    cache:
+        Optional :class:`ResultCache`; cached points are not dispatched.
+    """
+
+    BACKENDS = ("serial", "pool")
+
+    def __init__(self, backend: str = "serial", processes: int | None = None,
+                 chunk_size: int | None = None,
+                 cache: ResultCache | None = None) -> None:
+        if backend not in self.BACKENDS:
+            raise CampaignError(
+                f"unknown backend {backend!r} (use one of {self.BACKENDS})")
+        if processes is not None and processes < 1:
+            raise CampaignError("processes must be at least 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise CampaignError("chunk_size must be at least 1")
+        self.backend = backend
+        self.processes = processes
+        self.chunk_size = chunk_size
+        self.cache = cache
+
+    # ------------------------------------------------------------------ run
+    def run(self, spec: CampaignSpec, evaluator) -> CampaignResult:
+        """Evaluate every point of ``spec`` and return the ordered result."""
+        points = spec.points()
+        if not points:
+            raise CampaignError("the campaign spec produced no points")
+        payload = evaluator_payload(evaluator) if self.cache is not None else None
+
+        rows: list[CampaignRow | None] = [None] * len(points)
+        pending: list[tuple[int, dict]] = []
+        keys: list[str | None] = [None] * len(points)
+        for index, point in enumerate(points):
+            if self.cache is not None:
+                key = scenario_key(payload, canonicalize(point))
+                keys[index] = key
+                cached = self.cache.get(key)
+                if cached is not None:
+                    rows[index] = CampaignRow(index, point, cached,
+                                              error=None, from_cache=True)
+                    continue
+            pending.append((index, point))
+
+        for index, outputs, error in self._dispatch(evaluator, pending):
+            point = points[index]
+            rows[index] = CampaignRow(index, point, outputs, error=error)
+            if self.cache is not None and error is None:
+                self.cache.put(keys[index], outputs)
+
+        return CampaignResult([row for row in rows if row is not None],
+                              param_names=spec.names)
+
+    # ------------------------------------------------------------- dispatch
+    def _dispatch(self, evaluator, pending: Sequence[tuple[int, dict]]
+                  ) -> list[tuple[int, dict, str | None]]:
+        if not pending:
+            return []
+        if self.backend == "serial":
+            return [_evaluate_one(evaluator, index, point)
+                    for index, point in pending]
+        processes = self.processes or os.cpu_count() or 1
+        processes = min(processes, len(pending))
+        chunk = self.chunk_size or max(1, -(-len(pending) // (4 * processes)))
+        chunks = [(evaluator, pending[i:i + chunk])
+                  for i in range(0, len(pending), chunk)]
+        with multiprocessing.Pool(processes) as pool:
+            completed = pool.map(_evaluate_chunk, chunks)
+        return [item for batch in completed for item in batch]
+
+
+# --------------------------------------------------------------------------- #
+# evaluators                                                                  #
+# --------------------------------------------------------------------------- #
+
+class FunctionEvaluator:
+    """Bind a picklable module-level function and a fixed config payload.
+
+    ``fn(config, params, options)`` receives the static config dict, the
+    point's model parameters and the per-point ``SimulationOptions`` and
+    returns a mapping of output name to float.
+    """
+
+    def __init__(self, fn: Callable, config: Mapping[str, object] | None = None,
+                 options: SimulationOptions | None = None) -> None:
+        self.fn = fn
+        self.config = dict(config or {})
+        self.options = options
+
+    def __call__(self, point: Mapping[str, object]) -> dict:
+        params, overrides = split_point(point)
+        options = (self.options or SimulationOptions()).with_(
+            **_coerced_overrides(overrides))
+        return dict(self.fn(self.config, params, options))
+
+    def cache_payload(self) -> dict:
+        return {
+            "evaluator": _qualified_name(self.fn),
+            "config": canonicalize(self.config),
+            "options": _options_payload(self.options),
+        }
+
+
+class CircuitEvaluator:
+    """Evaluate points as circuit analyses over a rebuilt netlist.
+
+    Parameters
+    ----------
+    build:
+        Module-level function ``params_dict -> Circuit``.  Rebuilding the
+        netlist per point keeps the evaluator picklable and stateless.
+    analysis:
+        ``"op"``, ``"dc"``, ``"ac"`` or ``"tran"``.
+    analysis_args:
+        Constructor arguments of the analysis (e.g. ``source_name`` and
+        ``values`` for a DC sweep, ``t_stop`` for a transient).
+    outputs:
+        For ``"op"``: the signal names to keep (default: every signal).
+    reduce:
+        Module-level function ``(result, params) -> {name: float}``;
+        required for ``dc`` / ``ac`` / ``tran`` whose results are not flat
+        scalars.  ``params`` is the point's model-parameter dict, so the
+        reduction can depend on the scenario (e.g. a per-sample gap).
+    options:
+        Baseline simulation options; per-point ``options.*`` parameters are
+        applied on top, so a campaign axis can flip e.g.
+        ``options.linear_solver`` between dense and sparse.
+    """
+
+    ANALYSES = ("op", "dc", "ac", "tran")
+
+    def __init__(self, build: Callable, analysis: str = "op",
+                 analysis_args: Mapping[str, object] | None = None,
+                 outputs: Sequence[str] | None = None,
+                 reduce: Callable | None = None,
+                 options: SimulationOptions | None = None) -> None:
+        if analysis not in self.ANALYSES:
+            raise CampaignError(
+                f"unknown analysis {analysis!r} (use one of {self.ANALYSES})")
+        if analysis != "op" and reduce is None:
+            raise CampaignError(
+                f"analysis {analysis!r} returns waveforms; a module-level "
+                "'reduce' function is required to produce scalar outputs")
+        self.build = build
+        self.analysis = analysis
+        self.analysis_args = dict(analysis_args or {})
+        self.outputs = None if outputs is None else tuple(outputs)
+        self.reduce = reduce
+        self.options = options
+
+    def __call__(self, point: Mapping[str, object]) -> dict:
+        params, overrides = split_point(point)
+        options = (self.options or SimulationOptions()).with_(
+            **_coerced_overrides(overrides))
+        circuit = self.build(params)
+        if self.analysis == "op":
+            op = OperatingPointAnalysis(circuit, options).run(**self.analysis_args)
+            if self.reduce is not None:
+                return dict(self.reduce(op, params))
+            names = self.outputs if self.outputs is not None else op.signals()
+            return {name: float(op[name]) for name in names}
+        if self.analysis == "dc":
+            result = DCSweepAnalysis(circuit, options=options,
+                                     **self.analysis_args).run()
+        elif self.analysis == "ac":
+            result = ACAnalysis(circuit, options=options,
+                                **self.analysis_args).run()
+        else:
+            result = TransientAnalysis(circuit, options=options,
+                                       **self.analysis_args).run()
+        return dict(self.reduce(result, params))
+
+    def cache_payload(self) -> dict:
+        return {
+            "evaluator": _qualified_name(self),
+            "build": _qualified_name(self.build),
+            "analysis": self.analysis,
+            "analysis_args": canonicalize(self.analysis_args),
+            "outputs": list(self.outputs) if self.outputs is not None else None,
+            "reduce": None if self.reduce is None else _qualified_name(self.reduce),
+            "options": _options_payload(self.options),
+        }
+
+
+def _coerced_overrides(overrides: Mapping[str, object]) -> dict:
+    """Coerce ``options.*`` point values onto SimulationOptions field types."""
+    fields = {f.name: f.type for f in dataclasses.fields(SimulationOptions)}
+    coerced: dict[str, object] = {}
+    for name, value in overrides.items():
+        if name not in fields:
+            raise CampaignError(
+                f"unknown simulation option {OPTIONS_PREFIX}{name}")
+        if isinstance(value, str):
+            coerced[name] = value
+        elif "int" in str(fields[name]):
+            coerced[name] = int(value)
+        else:
+            coerced[name] = float(value)
+    return coerced
+
+
+def _options_payload(options: SimulationOptions | None) -> dict:
+    return dataclasses.asdict(options or SimulationOptions())

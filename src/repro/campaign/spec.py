@@ -1,0 +1,506 @@
+"""Declarative, serializable campaign specifications.
+
+A *campaign spec* describes the set of scenario points a simulation campaign
+visits, without saying anything about how each point is evaluated.  Each
+point is a plain ``dict`` binding parameter names to values; the names are
+interpreted by the evaluator (netlist knobs, device geometry, analysis
+options -- see :mod:`repro.campaign.runner`).
+
+Three primitive specs cover the paper's characterization workloads:
+
+* :class:`GridSweep` -- the full cartesian product of named axes; the PXT
+  flow's "iterating the variation of boundary conditions" is a 2-axis grid,
+* :class:`MonteCarlo` -- seeded random sampling of parameter distributions
+  (:class:`Uniform`, :class:`Normal`, :class:`LogNormal`, :class:`Discrete`)
+  for process-variation / yield studies,
+* :class:`CornerSet` -- a handful of named worst-case corners.
+
+Specs compose with :meth:`CampaignSpec.zip` (same-length pointwise merge)
+and :meth:`CampaignSpec.product` (cartesian combination), and round-trip
+through ``to_dict`` / :func:`spec_from_dict` so that a campaign can be
+stored next to its cached results.
+
+Determinism is a hard requirement -- a :class:`MonteCarlo` spec with a given
+seed must generate bit-identical points in every process (the cache keys and
+the serial/pool equivalence tests depend on it).  Every distribution is
+sampled from a child generator seeded by ``(seed, sha256(name))``, so the
+draws do not depend on dict insertion order or on Python's per-process hash
+salt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import CampaignError
+
+__all__ = [
+    "CampaignSpec",
+    "GridSweep",
+    "MonteCarlo",
+    "CornerSet",
+    "ZipSpec",
+    "ProductSpec",
+    "Distribution",
+    "Uniform",
+    "Normal",
+    "LogNormal",
+    "Discrete",
+    "spec_from_dict",
+]
+
+
+# --------------------------------------------------------------------------- #
+# parameter distributions                                                     #
+# --------------------------------------------------------------------------- #
+
+class Distribution:
+    """A seeded 1-D parameter distribution used by :class:`MonteCarlo`."""
+
+    kind = "distribution"
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def to_dict(self) -> dict:
+        raise NotImplementedError
+
+    @staticmethod
+    def from_dict(payload: Mapping) -> "Distribution":
+        kinds = {cls.kind: cls for cls in (Uniform, Normal, LogNormal, Discrete)}
+        try:
+            cls = kinds[payload["kind"]]
+        except KeyError:
+            raise CampaignError(
+                f"unknown distribution kind {payload.get('kind')!r}") from None
+        return cls._from_dict(payload)
+
+
+@dataclass(frozen=True)
+class Uniform(Distribution):
+    """Uniform samples in ``[low, high)``."""
+
+    low: float
+    high: float
+    kind = "uniform"
+
+    def __post_init__(self) -> None:
+        if not self.high > self.low:
+            raise CampaignError("Uniform needs high > low")
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, count)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "low": float(self.low), "high": float(self.high)}
+
+    @classmethod
+    def _from_dict(cls, payload: Mapping) -> "Uniform":
+        return cls(float(payload["low"]), float(payload["high"]))
+
+
+@dataclass(frozen=True)
+class Normal(Distribution):
+    """Gaussian samples, optionally clipped to ``[low, high]``.
+
+    Clipping keeps physically-bounded parameters (gaps, thicknesses) from
+    going non-positive in the far tails without distorting the bulk.
+    """
+
+    mean: float
+    sigma: float
+    low: float | None = None
+    high: float | None = None
+    kind = "normal"
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0.0:
+            raise CampaignError("Normal needs a positive sigma")
+        if self.low is not None and self.high is not None and self.low >= self.high:
+            raise CampaignError("Normal clip bounds need low < high")
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        values = rng.normal(self.mean, self.sigma, count)
+        if self.low is not None or self.high is not None:
+            values = np.clip(values, self.low, self.high)
+        return values
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "mean": float(self.mean), "sigma": float(self.sigma),
+                "low": None if self.low is None else float(self.low),
+                "high": None if self.high is None else float(self.high)}
+
+    @classmethod
+    def _from_dict(cls, payload: Mapping) -> "Normal":
+        return cls(float(payload["mean"]), float(payload["sigma"]),
+                   payload.get("low"), payload.get("high"))
+
+
+@dataclass(frozen=True)
+class LogNormal(Distribution):
+    """Log-normal samples: ``exp(N(mu, sigma))`` -- always positive."""
+
+    mu: float
+    sigma: float
+    kind = "lognormal"
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0.0:
+            raise CampaignError("LogNormal needs a positive sigma")
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        return rng.lognormal(self.mu, self.sigma, count)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "mu": float(self.mu), "sigma": float(self.sigma)}
+
+    @classmethod
+    def _from_dict(cls, payload: Mapping) -> "LogNormal":
+        return cls(float(payload["mu"]), float(payload["sigma"]))
+
+
+@dataclass(frozen=True)
+class Discrete(Distribution):
+    """Uniform choice from a finite set of values (e.g. device variants)."""
+
+    choices: tuple
+    kind = "discrete"
+
+    def __init__(self, choices: Sequence) -> None:
+        if len(choices) == 0:
+            raise CampaignError("Discrete needs at least one choice")
+        object.__setattr__(self, "choices", tuple(choices))
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        indices = rng.integers(0, len(self.choices), count)
+        return np.array([self.choices[i] for i in indices], dtype=object)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "choices": list(self.choices)}
+
+    @classmethod
+    def _from_dict(cls, payload: Mapping) -> "Discrete":
+        return cls(payload["choices"])
+
+
+# --------------------------------------------------------------------------- #
+# campaign specs                                                              #
+# --------------------------------------------------------------------------- #
+
+class CampaignSpec:
+    """Base class of every campaign specification.
+
+    A spec is an immutable description of an ordered list of scenario
+    points.  ``points()`` materialises the list; the order is part of the
+    contract (campaign results are reported in spec order regardless of the
+    execution backend).
+    """
+
+    kind = "spec"
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """The parameter names every point of this spec binds."""
+        raise NotImplementedError
+
+    def points(self) -> list[dict]:
+        """The ordered scenario points as plain dicts."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self.points())
+
+    def to_dict(self) -> dict:
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- combinators
+    def zip(self, other: "CampaignSpec") -> "ZipSpec":
+        """Pointwise merge with a same-length spec (disjoint names)."""
+        return ZipSpec(self, other)
+
+    def product(self, other: "CampaignSpec") -> "ProductSpec":
+        """Cartesian combination with another spec (self is the outer axis)."""
+        return ProductSpec(self, other)
+
+    def _check_disjoint(self, other: "CampaignSpec") -> None:
+        clash = set(self.names) & set(other.names)
+        if clash:
+            raise CampaignError(
+                f"combined specs bind the same parameter(s): {sorted(clash)}")
+
+
+class GridSweep(CampaignSpec):
+    """Full cartesian product of named axes.
+
+    Axes iterate in insertion order with the *last* axis fastest, matching
+    the nested-loop order of the seed's PXT extractor (outer displacement,
+    inner voltage).
+
+    Parameters
+    ----------
+    axes:
+        Mapping of parameter name to a 1-D sequence of values.
+    """
+
+    kind = "grid"
+
+    def __init__(self, axes: Mapping[str, Sequence] | None = None, **kw_axes) -> None:
+        merged: dict[str, tuple] = {}
+        for source in (axes or {}), kw_axes:
+            for name, values in source.items():
+                if name in merged:
+                    raise CampaignError(f"axis {name!r} given twice")
+                values = tuple(np.asarray(values).tolist()) \
+                    if isinstance(values, np.ndarray) else tuple(values)
+                if len(values) == 0:
+                    raise CampaignError(f"axis {name!r} is empty")
+                merged[name] = values
+        if not merged:
+            raise CampaignError("a grid sweep needs at least one axis")
+        self.axes = merged
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self.axes)
+
+    def __len__(self) -> int:
+        count = 1
+        for values in self.axes.values():
+            count *= len(values)
+        return count
+
+    def points(self) -> list[dict]:
+        names = list(self.axes)
+        return [dict(zip(names, combo))
+                for combo in itertools.product(*self.axes.values())]
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind,
+                "axes": {name: list(values) for name, values in self.axes.items()}}
+
+    @classmethod
+    def _from_dict(cls, payload: Mapping) -> "GridSweep":
+        return cls(payload["axes"])
+
+    def __repr__(self) -> str:
+        shape = "x".join(str(len(v)) for v in self.axes.values())
+        return f"GridSweep({', '.join(self.axes)}; {shape} = {len(self)} points)"
+
+
+def _name_seed(seed: int, name: str) -> np.random.Generator:
+    """Child generator for one parameter, stable across processes.
+
+    ``hash()`` is salted per process, so the per-name stream is derived from
+    a SHA-256 digest of the name instead.
+    """
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    words = [int.from_bytes(digest[i:i + 4], "big") for i in range(0, 16, 4)]
+    return np.random.default_rng([int(seed), *words])
+
+
+class MonteCarlo(CampaignSpec):
+    """Seeded random sampling of parameter distributions.
+
+    Each parameter draws ``samples`` values from its own child generator
+    (derived from the campaign seed and the parameter name), so the points
+    are reproducible bit-for-bit in every process and do not change when
+    unrelated parameters are added or reordered.
+
+    Parameters
+    ----------
+    distributions:
+        Mapping of parameter name to :class:`Distribution`.
+    samples:
+        Number of scenario points.
+    seed:
+        Campaign seed; same seed, same points -- everywhere.
+    """
+
+    kind = "monte_carlo"
+
+    def __init__(self, distributions: Mapping[str, Distribution],
+                 samples: int, seed: int = 0) -> None:
+        if not distributions:
+            raise CampaignError("Monte Carlo needs at least one distribution")
+        if samples < 1:
+            raise CampaignError("Monte Carlo needs at least one sample")
+        if seed < 0:
+            raise CampaignError("Monte Carlo seed must be non-negative")
+        for name, dist in distributions.items():
+            if not isinstance(dist, Distribution):
+                raise CampaignError(
+                    f"parameter {name!r} is not bound to a Distribution")
+        self.distributions = dict(distributions)
+        self.samples = int(samples)
+        self.seed = int(seed)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self.distributions)
+
+    def __len__(self) -> int:
+        return self.samples
+
+    def points(self) -> list[dict]:
+        columns = {
+            name: dist.sample(_name_seed(self.seed, name), self.samples)
+            for name, dist in self.distributions.items()
+        }
+        return [
+            {name: (values[i] if values.dtype == object else float(values[i]))
+             for name, values in columns.items()}
+            for i in range(self.samples)
+        ]
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "samples": self.samples, "seed": self.seed,
+                "distributions": {name: dist.to_dict()
+                                  for name, dist in self.distributions.items()}}
+
+    @classmethod
+    def _from_dict(cls, payload: Mapping) -> "MonteCarlo":
+        distributions = {name: Distribution.from_dict(d)
+                         for name, d in payload["distributions"].items()}
+        return cls(distributions, int(payload["samples"]), int(payload["seed"]))
+
+    def __repr__(self) -> str:
+        return (f"MonteCarlo({', '.join(self.distributions)}; "
+                f"{self.samples} samples, seed={self.seed})")
+
+
+class CornerSet(CampaignSpec):
+    """A small set of named worst-case corners.
+
+    Every corner must bind the same parameter names.  The corner label is
+    exposed as the ``corner`` parameter of each point so that results can be
+    grouped by corner; evaluators ignore parameters they do not bind.
+    """
+
+    kind = "corners"
+    LABEL = "corner"
+
+    def __init__(self, corners: Mapping[str, Mapping[str, object]]) -> None:
+        if not corners:
+            raise CampaignError("a corner set needs at least one corner")
+        names: tuple[str, ...] | None = None
+        cleaned: dict[str, dict] = {}
+        for label, values in corners.items():
+            if self.LABEL in values:
+                raise CampaignError(
+                    f"corner {label!r} binds the reserved name {self.LABEL!r}")
+            these = tuple(values)
+            if names is None:
+                names = these
+            elif set(these) != set(names):
+                raise CampaignError(
+                    f"corner {label!r} binds {sorted(these)}, "
+                    f"expected {sorted(names)}")
+            cleaned[str(label)] = dict(values)
+        self.corners = cleaned
+        self._names = tuple(names or ())
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return (self.LABEL, *self._names)
+
+    def __len__(self) -> int:
+        return len(self.corners)
+
+    def points(self) -> list[dict]:
+        return [{self.LABEL: label, **values}
+                for label, values in self.corners.items()]
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind,
+                "corners": {label: dict(values)
+                            for label, values in self.corners.items()}}
+
+    @classmethod
+    def _from_dict(cls, payload: Mapping) -> "CornerSet":
+        return cls(payload["corners"])
+
+    def __repr__(self) -> str:
+        return f"CornerSet({', '.join(self.corners)})"
+
+
+class ZipSpec(CampaignSpec):
+    """Pointwise merge of two same-length specs (disjoint parameter names)."""
+
+    kind = "zip"
+
+    def __init__(self, left: CampaignSpec, right: CampaignSpec) -> None:
+        left._check_disjoint(right)
+        if len(left) != len(right):
+            raise CampaignError(
+                f"zip needs same-length specs ({len(left)} vs {len(right)} points)")
+        self.left = left
+        self.right = right
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return (*self.left.names, *self.right.names)
+
+    def __len__(self) -> int:
+        return len(self.left)
+
+    def points(self) -> list[dict]:
+        return [{**a, **b} for a, b in zip(self.left.points(), self.right.points())]
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "left": self.left.to_dict(),
+                "right": self.right.to_dict()}
+
+    @classmethod
+    def _from_dict(cls, payload: Mapping) -> "ZipSpec":
+        return cls(spec_from_dict(payload["left"]), spec_from_dict(payload["right"]))
+
+
+class ProductSpec(CampaignSpec):
+    """Cartesian product of two specs; the left spec is the outer axis."""
+
+    kind = "product"
+
+    def __init__(self, left: CampaignSpec, right: CampaignSpec) -> None:
+        left._check_disjoint(right)
+        self.left = left
+        self.right = right
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return (*self.left.names, *self.right.names)
+
+    def __len__(self) -> int:
+        return len(self.left) * len(self.right)
+
+    def points(self) -> list[dict]:
+        inner = self.right.points()
+        return [{**a, **b} for a in self.left.points() for b in inner]
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "left": self.left.to_dict(),
+                "right": self.right.to_dict()}
+
+    @classmethod
+    def _from_dict(cls, payload: Mapping) -> "ProductSpec":
+        return cls(spec_from_dict(payload["left"]), spec_from_dict(payload["right"]))
+
+
+_SPEC_KINDS = {cls.kind: cls for cls in
+               (GridSweep, MonteCarlo, CornerSet, ZipSpec, ProductSpec)}
+
+
+def spec_from_dict(payload: Mapping) -> CampaignSpec:
+    """Rebuild any campaign spec from its ``to_dict`` payload."""
+    try:
+        cls = _SPEC_KINDS[payload["kind"]]
+    except KeyError:
+        raise CampaignError(f"unknown spec kind {payload.get('kind')!r}") from None
+    return cls._from_dict(payload)

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ...errors import ConvergenceError, SingularMatrixError
+from ...errors import ConvergenceError, FEMError, SingularMatrixError
+from ...fem.solver import solve_sparse
 from ..mna import Integrator, MNASystem, StampContext
 from ..netlist import Circuit
 from .options import SimulationOptions
@@ -41,16 +42,28 @@ def newton_solve(system: MNASystem, x0: np.ndarray, analysis: str, time: float,
     n_nodes = system.num_nodes
     for iteration in range(1, options.max_newton_iterations + 1):
         ctx = system.assemble(x, analysis, time, integrator, options, source_scale)
-        if not np.all(np.isfinite(ctx.res)) or not np.all(np.isfinite(ctx.jac)):
+        if not np.all(np.isfinite(ctx.res)) or not ctx.jacobian_is_finite():
             raise ConvergenceError(
                 f"non-finite residual/Jacobian at iteration {iteration} (t={time:g})",
                 iterations=iteration)
-        try:
-            dx = np.linalg.solve(ctx.jac, -ctx.res)
-        except np.linalg.LinAlgError as exc:
-            raise SingularMatrixError(
-                f"singular MNA matrix while solving {analysis} at t={time:g}: {exc}"
-            ) from exc
+        if ctx.use_sparse:
+            # Large systems assemble COO triplets and route through the FE
+            # sparse solver (SuperLU direct or preconditioned CG).
+            try:
+                dx = solve_sparse(ctx.jacobian(), -ctx.res,
+                                  method=options.sparse_method(),
+                                  rtol=options.linear_solver_rtol)
+            except FEMError as exc:
+                raise SingularMatrixError(
+                    f"sparse MNA solve failed for {analysis} at t={time:g}: {exc}"
+                ) from exc
+        else:
+            try:
+                dx = np.linalg.solve(ctx.jac, -ctx.res)
+            except np.linalg.LinAlgError as exc:
+                raise SingularMatrixError(
+                    f"singular MNA matrix while solving {analysis} at t={time:g}: {exc}"
+                ) from exc
         if not np.all(np.isfinite(dx)):
             raise ConvergenceError(
                 f"non-finite Newton update at iteration {iteration} (t={time:g})",

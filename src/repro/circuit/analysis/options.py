@@ -45,6 +45,17 @@ class SimulationOptions:
         Largest factor by which two consecutive steps may differ.
     newton_damping:
         Damping factor applied to Newton updates (1.0 = full steps).
+    linear_solver:
+        Linear-solve routing for the Newton updates: ``"auto"`` picks the
+        sparse direct solver once the unknown count exceeds
+        ``sparse_threshold``; ``"dense"`` forces LAPACK; ``"sparse"`` forces
+        the SuperLU direct solve; ``"cg"`` forces Jacobi-preconditioned
+        conjugate gradients (SPD systems only).
+    linear_solver_rtol:
+        Relative tolerance of the iterative (``"cg"``) linear solver.
+    sparse_threshold:
+        Unknown count above which ``"auto"`` switches from the dense LAPACK
+        solve to sparse assembly + SuperLU.
     """
 
     reltol: float = constants.RELTOL
@@ -58,6 +69,9 @@ class SimulationOptions:
     min_step_ratio: float = 1e-9
     max_step_growth: float = 2.0
     newton_damping: float = 1.0
+    linear_solver: str = "auto"
+    linear_solver_rtol: float = 1e-10
+    sparse_threshold: int = 256
 
     def __post_init__(self) -> None:
         if self.reltol <= 0.0 or self.reltol >= 1.0:
@@ -75,6 +89,26 @@ class SimulationOptions:
             raise AnalysisError("newton_damping must be in (0, 1]")
         if self.max_step_growth < 1.1:
             raise AnalysisError("max_step_growth must be at least 1.1")
+        if self.linear_solver not in ("auto", "dense", "sparse", "cg"):
+            raise AnalysisError(
+                f"unknown linear solver {self.linear_solver!r} "
+                "(use 'auto', 'dense', 'sparse' or 'cg')")
+        if self.linear_solver_rtol <= 0.0:
+            raise AnalysisError("linear_solver_rtol must be positive")
+        if self.sparse_threshold < 1:
+            raise AnalysisError("sparse_threshold must be at least 1")
+
+    def use_sparse(self, size: int) -> bool:
+        """Whether a system of ``size`` unknowns should assemble sparse."""
+        if self.linear_solver == "dense":
+            return False
+        if self.linear_solver in ("sparse", "cg"):
+            return True
+        return size > self.sparse_threshold
+
+    def sparse_method(self) -> str:
+        """The :func:`repro.fem.solver.solve_sparse` method to route to."""
+        return "cg" if self.linear_solver == "cg" else "direct"
 
     def with_(self, **changes) -> "SimulationOptions":
         """Return a copy with the given fields replaced."""

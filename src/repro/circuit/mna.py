@@ -283,8 +283,19 @@ class StampContext:
         self.options = options
         self.source_scale = source_scale
         n = system.size
-        self.jac = np.zeros((n, n))
         self.res = np.zeros(n)
+        #: Above ``options.sparse_threshold`` unknowns (or when forced by
+        #: ``options.linear_solver``) the Jacobian is accumulated as COO
+        #: triplets instead of a dense array; ``jacobian()`` then yields a
+        #: SciPy CSR matrix and ``jac`` stays None.
+        self.use_sparse = options.use_sparse(n)
+        if self.use_sparse:
+            self.jac = None
+            self._jac_rows: list[int] = []
+            self._jac_cols: list[int] = []
+            self._jac_vals: list[float] = []
+        else:
+            self.jac = np.zeros((n, n))
 
     # ------------------------------------------------------------------ access
     def node_index(self, node: Node) -> int:
@@ -317,7 +328,34 @@ class StampContext:
         """Accumulate ``d res[row] / d x[col]``; ground rows/cols are ignored."""
         if row < 0 or col < 0:
             return
-        self.jac[row, col] += value
+        if self.use_sparse:
+            self._jac_rows.append(row)
+            self._jac_cols.append(col)
+            self._jac_vals.append(value)
+        else:
+            self.jac[row, col] += value
+
+    def jacobian(self):
+        """The assembled Jacobian: dense ndarray, or CSR in sparse mode.
+
+        COO construction sums duplicate entries, so the sparse matrix is
+        numerically identical to the dense accumulation.
+        """
+        if not self.use_sparse:
+            return self.jac
+        import scipy.sparse as sp
+
+        n = self.system.size
+        return sp.coo_matrix(
+            (self._jac_vals, (self._jac_rows, self._jac_cols)),
+            shape=(n, n)).tocsr()
+
+    def jacobian_is_finite(self) -> bool:
+        """Whether every accumulated Jacobian entry is finite."""
+        if self.use_sparse:
+            return bool(np.all(np.isfinite(self._jac_vals))) if self._jac_vals \
+                else True
+        return bool(np.all(np.isfinite(self.jac)))
 
     def add_res(self, row: int, value: float) -> None:
         """Accumulate into the residual row; the ground row is ignored."""
@@ -340,7 +378,7 @@ class StampContext:
         if gmin <= 0.0:
             return
         for i in range(self.system.num_nodes):
-            self.jac[i, i] += gmin
+            self.add_jac(i, i, gmin)
             self.res[i] += gmin * self.x[i]
 
     # ------------------------------------------------------------ time dynamics

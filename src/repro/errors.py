@@ -95,3 +95,7 @@ class MacroModelError(ReproError):
 
 class TransducerError(ReproError):
     """A transducer model was given unphysical parameters or operating point."""
+
+
+class CampaignError(ReproError):
+    """A simulation campaign is malformed or could not be executed."""

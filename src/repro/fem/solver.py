@@ -11,12 +11,14 @@ from ..errors import FEMError
 __all__ = ["solve_sparse"]
 
 
-def solve_sparse(matrix: sp.spmatrix, rhs: np.ndarray, method: str = "direct") -> np.ndarray:
+def solve_sparse(matrix: sp.spmatrix, rhs: np.ndarray, method: str = "direct",
+                 rtol: float = 1e-10) -> np.ndarray:
     """Solve ``matrix @ x = rhs`` with a sparse direct or iterative method.
 
     ``method`` is ``"direct"`` (SuperLU, default) or ``"cg"`` (conjugate
     gradients with a Jacobi preconditioner -- the assembled Laplace matrices
-    are symmetric positive definite after Dirichlet elimination).
+    are symmetric positive definite after Dirichlet elimination).  ``rtol``
+    is the relative tolerance of the iterative method.
     """
     rhs = np.asarray(rhs, dtype=float)
     if matrix.shape[0] != matrix.shape[1]:
@@ -39,7 +41,7 @@ def solve_sparse(matrix: sp.spmatrix, rhs: np.ndarray, method: str = "direct") -
             raise FEMError("zero diagonal entry; cannot build Jacobi preconditioner")
         preconditioner = spla.LinearOperator(
             matrix.shape, matvec=lambda x: x / diagonal)
-        solution, info = spla.cg(matrix.tocsr(), rhs, rtol=1e-10, maxiter=20000,
+        solution, info = spla.cg(matrix.tocsr(), rhs, rtol=rtol, maxiter=20000,
                                  M=preconditioner)
         if info != 0:
             raise FEMError(f"conjugate-gradient solve did not converge (info={info})")

@@ -23,18 +23,21 @@ The workflow maps one-to-one onto the paper's:
 5. :mod:`repro.pxt.report` produces the PXT output log of figure 6.
 """
 
-from .extractor import ParameterExtractor, ExtractionPoint, ExtractionSweep
+from .extractor import (ParameterExtractor, ExtractionPoint, ExtractionSweep,
+                        ExtractionPointEvaluator)
 from .macromodel import PiecewiseLinearModel, BilinearTableModel
 from .fitting import SecondOrderFit, fit_second_order, fit_rational, RationalFit
 from .hdl_codegen import generate_electrostatic_macromodel, generate_table_capacitor
 from .dataflow import generate_second_order_model, build_second_order_device
 from .report import ExtractionReport
-from .sweeps import displacement_sweep, voltage_sweep
+from .sweeps import displacement_sweep, voltage_sweep, extraction_grid
 
 __all__ = [
     "ParameterExtractor",
     "ExtractionPoint",
     "ExtractionSweep",
+    "ExtractionPointEvaluator",
+    "extraction_grid",
     "PiecewiseLinearModel",
     "BilinearTableModel",
     "SecondOrderFit",

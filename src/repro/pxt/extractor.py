@@ -20,16 +20,22 @@ The extractor works on the *paper's* transverse electrostatic geometry
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 import numpy as np
 
+from ..campaign.runner import CampaignRunner
+from ..campaign.spec import GridSweep
 from ..constants import EPSILON_0
 from ..errors import ExtractionError
 from ..fem.electrostatics import ElectrostaticSolution, ParallelPlateProblem
 from .macromodel import BilinearTableModel, PiecewiseLinearModel
 
-__all__ = ["ExtractionPoint", "ExtractionSweep", "ParameterExtractor"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..campaign.results import CampaignResult
+
+__all__ = ["ExtractionPoint", "ExtractionSweep", "ParameterExtractor",
+           "ExtractionPointEvaluator"]
 
 
 @dataclass(frozen=True)
@@ -132,44 +138,100 @@ class ParameterExtractor:
             capacitance=float(capacitance), charge=float(charge),
             force=float(force), energy=float(energy), field=float(field))
 
-    def sweep(self, displacements: Iterable[float],
-              voltages: Iterable[float]) -> ExtractionSweep:
-        """Solve the full cartesian sweep of displacements x voltages."""
-        sweep = ExtractionSweep()
-        for displacement in displacements:
-            for voltage in voltages:
-                sweep.points.append(self.solve_point(float(displacement), float(voltage)))
-        if not sweep.points:
+    # ------------------------------------------------------------------ campaigns
+    def campaign_evaluator(self) -> "ExtractionPointEvaluator":
+        """A picklable campaign evaluator bound to this extractor's geometry."""
+        return ExtractionPointEvaluator(
+            area=self.area, gap=self.gap, epsilon_r=self.epsilon_r,
+            gap_orientation=self.gap_orientation, nx=self.nx, ny=self.ny,
+            epsilon_0=self.epsilon_0)
+
+    def campaign_spec(self, displacements: Iterable[float],
+                      voltages: Iterable[float]) -> GridSweep:
+        """The boundary-condition grid as a campaign spec.
+
+        The axis order (outer displacement, inner voltage) reproduces the
+        historical nested-loop point ordering.
+        """
+        displacements = [float(x) for x in displacements]
+        voltages = [float(v) for v in voltages]
+        if not displacements or not voltages:
             raise ExtractionError("empty extraction sweep")
-        return sweep
+        return GridSweep(displacement=displacements, voltage=voltages)
+
+    def sweep(self, displacements: Iterable[float], voltages: Iterable[float],
+              runner: CampaignRunner | None = None) -> ExtractionSweep:
+        """Solve the full cartesian sweep of displacements x voltages.
+
+        The boundary-condition grid runs through the campaign engine: pass a
+        configured :class:`~repro.campaign.runner.CampaignRunner` to execute
+        the FE solves on a process pool and/or against a result cache.  The
+        default serial backend reproduces the historical point values and
+        ordering exactly.  Unlike the old nested loop, failures no longer
+        abort mid-grid: every point is attempted and an
+        :class:`~repro.errors.ExtractionError` summarising the failing
+        points is raised afterwards (use :meth:`sweep_campaign` to get the
+        partial results instead of an exception).
+        """
+        result = self.sweep_campaign(displacements, voltages, runner=runner)
+        failures = result.failures()
+        if failures:
+            first = failures[0]
+            raise ExtractionError(
+                f"{len(failures)} of {len(result)} extraction points failed; "
+                f"first failure at displacement {first.params['displacement']:g}, "
+                f"voltage {first.params['voltage']:g}: {first.error}")
+        return ExtractionSweep([
+            ExtractionPoint(
+                displacement=float(row.params["displacement"]),
+                voltage=float(row.params["voltage"]),
+                capacitance=float(row["capacitance"]), charge=float(row["charge"]),
+                force=float(row["force"]), energy=float(row["energy"]),
+                field=float(row["field"]))
+            for row in result
+        ])
+
+    def sweep_campaign(self, displacements: Iterable[float],
+                       voltages: Iterable[float],
+                       runner: CampaignRunner | None = None) -> "CampaignResult":
+        """The raw columnar campaign result of a boundary-condition grid."""
+        spec = self.campaign_spec(displacements, voltages)
+        runner = runner or CampaignRunner()
+        return runner.run(spec, self.campaign_evaluator())
 
     # ------------------------------------------------------------------ macromodels
     def capacitance_model(self, displacements: Sequence[float],
-                          probe_voltage: float = 1.0) -> PiecewiseLinearModel:
+                          probe_voltage: float = 1.0,
+                          runner: CampaignRunner | None = None) -> PiecewiseLinearModel:
         """Piecewise-linear ``C(x)`` macromodel from an FE displacement sweep."""
         displacements = sorted(float(x) for x in displacements)
-        capacitances = [self.solve_point(x, probe_voltage).capacitance
-                        for x in displacements]
+        sweep = self.sweep(displacements, [probe_voltage], runner=runner)
+        capacitances = [point.capacitance for point in sweep.points]
         return PiecewiseLinearModel(tuple(displacements), tuple(capacitances),
                                     quantity="capacitance", unit="F")
 
     def force_model(self, displacements: Sequence[float],
-                    voltages: Sequence[float]) -> BilinearTableModel:
+                    voltages: Sequence[float],
+                    runner: CampaignRunner | None = None) -> BilinearTableModel:
         """Bilinear ``F(x, V)`` macromodel (force magnitude) from an FE sweep."""
         displacements = sorted(float(x) for x in displacements)
         voltages = sorted(float(v) for v in voltages)
-        rows = []
-        for displacement in displacements:
-            row = [self.solve_point(displacement, voltage).force for voltage in voltages]
-            rows.append(tuple(row))
+        sweep = self.sweep(displacements, voltages, runner=runner)
+        # Grid points come back displacement-major (inner voltage axis).
+        rows = [
+            tuple(point.force
+                  for point in sweep.points[i * len(voltages):(i + 1) * len(voltages)])
+            for i in range(len(displacements))
+        ]
         return BilinearTableModel(tuple(displacements), tuple(voltages), tuple(rows),
                                   quantity="force", unit="N")
 
-    def force_vs_voltage(self, voltages: Sequence[float],
-                         displacement: float = 0.0) -> PiecewiseLinearModel:
+    def force_vs_voltage(self, voltages: Sequence[float], displacement: float = 0.0,
+                         runner: CampaignRunner | None = None) -> PiecewiseLinearModel:
         """Piecewise-linear ``F(V)`` at a fixed displacement (figure-6 sweep)."""
         voltages = sorted(float(v) for v in voltages)
-        forces = [self.solve_point(displacement, voltage).force for voltage in voltages]
+        sweep = self.sweep([displacement], voltages, runner=runner)
+        forces = [point.force for point in sweep.points]
         return PiecewiseLinearModel(tuple(voltages), tuple(forces),
                                     quantity="force", unit="N")
 
@@ -182,3 +244,44 @@ class ParameterExtractor:
         """Closed-form attractive force magnitude (Table 3, row a)."""
         gap = self.effective_gap(displacement)
         return 0.5 * self.epsilon_0 * self.epsilon_r * self.area * voltage * voltage / (gap * gap)
+
+
+@dataclass(frozen=True)
+class ExtractionPointEvaluator:
+    """Campaign evaluator: one FE boundary-condition solve per point.
+
+    The evaluator holds only the extractor's plain-float geometry, so it
+    pickles cheaply to pool workers, and its :meth:`cache_payload` makes the
+    result cache key cover the full FE configuration -- changing the mesh
+    density or gap orientation invalidates every cached point.
+
+    Points bind ``displacement`` and ``voltage``; the outputs are the five
+    conjugate quantities of :class:`ExtractionPoint`.
+    """
+
+    area: float
+    gap: float
+    epsilon_r: float = 1.0
+    gap_orientation: str = "paper"
+    nx: int = 24
+    ny: int = 16
+    epsilon_0: float = EPSILON_0
+
+    def _extractor(self) -> ParameterExtractor:
+        return ParameterExtractor(
+            area=self.area, gap=self.gap, epsilon_r=self.epsilon_r,
+            gap_orientation=self.gap_orientation, nx=self.nx, ny=self.ny,
+            epsilon_0=self.epsilon_0)
+
+    def __call__(self, point: dict) -> dict[str, float]:
+        solved = self._extractor().solve_point(
+            float(point["displacement"]), float(point["voltage"]))
+        return {"capacitance": solved.capacitance, "charge": solved.charge,
+                "force": solved.force, "energy": solved.energy,
+                "field": solved.field}
+
+    def cache_payload(self) -> dict:
+        return {"evaluator": "repro.pxt.extractor.ExtractionPointEvaluator",
+                "area": self.area, "gap": self.gap, "epsilon_r": self.epsilon_r,
+                "gap_orientation": self.gap_orientation,
+                "nx": self.nx, "ny": self.ny, "epsilon_0": self.epsilon_0}

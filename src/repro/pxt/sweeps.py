@@ -10,9 +10,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..campaign.spec import GridSweep
 from ..errors import ExtractionError
 
-__all__ = ["displacement_sweep", "voltage_sweep"]
+__all__ = ["displacement_sweep", "voltage_sweep", "extraction_grid"]
 
 
 def displacement_sweep(gap: float, fraction: float = 0.3, points: int = 9,
@@ -49,3 +50,24 @@ def voltage_sweep(maximum: float, points: int = 9, minimum: float = 0.0) -> np.n
     if points < 2:
         raise ExtractionError("a sweep needs at least two points")
     return np.linspace(minimum, maximum, points)
+
+
+def extraction_grid(gap: float, max_voltage: float, fraction: float = 0.3,
+                    displacement_points: int = 9, voltage_points: int = 9,
+                    symmetric: bool = True, min_voltage: float = 0.0) -> GridSweep:
+    """The full boundary-condition grid as a declarative campaign spec.
+
+    Combines :func:`displacement_sweep` and :func:`voltage_sweep` into a
+    :class:`~repro.campaign.spec.GridSweep` with outer ``displacement`` and
+    inner ``voltage`` axes -- the same point order as the nested loops of
+    :meth:`~repro.pxt.extractor.ParameterExtractor.sweep`.  The spec can be
+    handed to a :class:`~repro.campaign.runner.CampaignRunner`, composed
+    with other specs (e.g. ``.product(CornerSet(...))``), or serialized.
+    """
+    displacements = displacement_sweep(gap, fraction=fraction,
+                                       points=displacement_points,
+                                       symmetric=symmetric)
+    voltages = voltage_sweep(max_voltage, points=voltage_points,
+                             minimum=min_voltage)
+    return GridSweep(displacement=displacements.tolist(),
+                     voltage=voltages.tolist())

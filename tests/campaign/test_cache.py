@@ -1,0 +1,67 @@
+"""Tests for content-addressed campaign result caching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.campaign import ResultCache, canonicalize, scenario_key
+from repro.errors import CampaignError
+
+
+class TestScenarioKey:
+    def test_stable_and_order_independent(self):
+        a = scenario_key({"gap": 2e-6, "area": 1e-4}, {"voltage": 5.0})
+        b = scenario_key({"area": 1e-4, "gap": 2e-6}, {"voltage": 5.0})
+        assert a == b and len(a) == 64
+
+    def test_value_changes_key(self):
+        base = scenario_key({"gap": 2e-6}, {"voltage": 5.0})
+        assert scenario_key({"gap": 2e-6}, {"voltage": 5.0000001}) != base
+        assert scenario_key({"gap": 2.0000001e-6}, {"voltage": 5.0}) != base
+
+    def test_numpy_values_canonicalize(self):
+        assert scenario_key({"v": np.float64(5.0)}) == scenario_key({"v": 5.0})
+        assert (scenario_key({"vals": np.array([1.0, 2.0])})
+                == scenario_key({"vals": [1.0, 2.0]}))
+
+    def test_uncacheable_type_rejected(self):
+        with pytest.raises(CampaignError):
+            canonicalize(object())
+
+
+class TestResultCache:
+    def test_memory_round_trip(self):
+        cache = ResultCache()
+        key = scenario_key({"v": 1.0})
+        assert cache.get(key) is None
+        cache.put(key, {"force": 1.5})
+        assert cache.get(key) == {"force": 1.5}
+        assert cache.stats()["hits"] == 1 and cache.stats()["misses"] == 1
+
+    def test_disk_round_trip_across_instances(self, tmp_path):
+        key = scenario_key({"v": 2.0})
+        ResultCache(tmp_path).put(key, {"force": 2.5, "cap": 1e-12})
+        fresh = ResultCache(tmp_path)  # empty memory, warm disk
+        assert fresh.get(key) == {"force": 2.5, "cap": 1e-12}
+        assert fresh.get(key) == {"force": 2.5, "cap": 1e-12}  # now from memory
+        assert fresh.stats()["hits"] == 2
+
+    def test_nan_rows_survive_disk(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = scenario_key({"v": 3.0})
+        cache.put(key, {"force": float("nan")})
+        restored = ResultCache(tmp_path).get(key)
+        assert np.isnan(restored["force"])
+
+    def test_invalidate_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = scenario_key({"v": 4.0})
+        cache.put(key, {"x": 1.0})
+        cache.invalidate(key)
+        assert not cache.contains(key)
+        assert ResultCache(tmp_path).get(key) is None
+        cache.put(key, {"x": 1.0})
+        cache.clear()
+        assert cache.stats() == {"hits": 0, "misses": 0, "stores": 0, "entries": 0}
+        assert ResultCache(tmp_path).get(key) is None

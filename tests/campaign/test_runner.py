@@ -1,0 +1,208 @@
+"""Tests for campaign execution: backends, determinism, caching, evaluators.
+
+The module-level evaluator functions are required: the pool backend pickles
+the evaluator to its worker processes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    CircuitEvaluator,
+    FunctionEvaluator,
+    GridSweep,
+    MonteCarlo,
+    Normal,
+    ResultCache,
+    Uniform,
+    evaluator_payload,
+    scenario_key,
+)
+from repro.circuit import Circuit, SimulationOptions
+from repro.errors import CampaignError
+
+
+def quadratic_evaluator(point):
+    """v, k -> spring force and energy (picklable module-level evaluator)."""
+    v, k = point["v"], point.get("k", 1.0)
+    return {"force": k * v * v, "energy": 0.5 * k * v * v}
+
+
+def failing_evaluator(point):
+    if point["v"] > 2.0:
+        raise ValueError(f"no solution at v={point['v']}")
+    return {"force": point["v"]}
+
+
+def spring_fn(config, params, options):
+    return {"force": config["scale"] * params["v"], "gmin": options.gmin}
+
+
+def build_divider(params):
+    """Resistive divider with a swept top resistor (picklable factory)."""
+    circuit = Circuit("divider")
+    circuit.voltage_source("V1", "in", "0", params.get("vin", 10.0))
+    circuit.resistor("R1", "in", "out", params["r_top"])
+    circuit.resistor("R2", "out", "0", 1000.0)
+    return circuit
+
+
+class TestBackends:
+    def test_serial_pool_identical_grid(self):
+        spec = GridSweep(v=[0.0, 1.0, 2.0, 3.0], k=[1.0, 2.0])
+        serial = CampaignRunner(backend="serial").run(spec, quadratic_evaluator)
+        pool = CampaignRunner(backend="pool", processes=2).run(
+            spec, quadratic_evaluator)
+        assert serial.to_rows() == pool.to_rows()
+
+    def test_serial_pool_identical_monte_carlo(self):
+        # The headline determinism contract: one seed, identical results on
+        # every backend, bit for bit.
+        spec = MonteCarlo({"v": Uniform(0.0, 10.0), "k": Normal(2.0, 0.2)},
+                          samples=24, seed=123)
+        serial = CampaignRunner().run(spec, quadratic_evaluator)
+        pool = CampaignRunner(backend="pool", processes=3, chunk_size=5).run(
+            spec, quadratic_evaluator)
+        assert serial.to_rows() == pool.to_rows()
+        assert [row.params for row in serial] == spec.points()
+
+    def test_result_order_matches_spec_order(self):
+        spec = GridSweep(v=[3.0, 1.0, 2.0])
+        result = CampaignRunner(backend="pool", processes=2, chunk_size=1).run(
+            spec, quadratic_evaluator)
+        np.testing.assert_allclose(result.column("v"), [3.0, 1.0, 2.0])
+        np.testing.assert_allclose(result.column("force"), [9.0, 1.0, 4.0])
+
+    def test_validation(self):
+        with pytest.raises(CampaignError):
+            CampaignRunner(backend="threads")
+        with pytest.raises(CampaignError):
+            CampaignRunner(processes=0)
+        with pytest.raises(CampaignError):
+            CampaignRunner(chunk_size=0)
+
+
+class TestErrorCapture:
+    @pytest.mark.parametrize("backend", ["serial", "pool"])
+    def test_point_failure_does_not_abort(self, backend):
+        spec = GridSweep(v=[1.0, 2.0, 3.0, 4.0])
+        runner = CampaignRunner(backend=backend, processes=2)
+        result = runner.run(spec, failing_evaluator)
+        assert len(result) == 4 and result.num_failures == 2
+        assert result.error(2) == "ValueError: no solution at v=3.0"
+        np.testing.assert_allclose(result.column("force")[:2], [1.0, 2.0])
+        assert np.isnan(result.column("force")[2])
+
+    def test_non_mapping_output_is_captured(self):
+        result = CampaignRunner().run(GridSweep(v=[1.0]), lambda point: 3.0)
+        assert result.num_failures == 1
+        assert "CampaignError" in result.error(0)
+
+
+class TestCaching:
+    def test_second_run_is_all_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = GridSweep(v=[1.0, 2.0, 3.0])
+        runner = CampaignRunner(cache=cache)
+        first = runner.run(spec, quadratic_evaluator)
+        assert first.num_cached == 0 and cache.stats()["stores"] == 3
+        second = runner.run(spec, quadratic_evaluator)
+        assert second.num_cached == 3
+        assert second.to_rows() == first.to_rows()
+
+    def test_extending_an_axis_only_computes_new_points(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = CampaignRunner(cache=cache)
+        runner.run(GridSweep(v=[1.0, 2.0]), quadratic_evaluator)
+        result = runner.run(GridSweep(v=[1.0, 2.0, 3.0]), quadratic_evaluator)
+        assert result.num_cached == 2
+        assert cache.stats()["stores"] == 3
+
+    def test_failures_are_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = CampaignRunner(cache=cache)
+        runner.run(GridSweep(v=[1.0, 3.0]), failing_evaluator)
+        assert cache.stats()["stores"] == 1
+        result = runner.run(GridSweep(v=[1.0, 3.0]), failing_evaluator)
+        assert result.num_cached == 1 and result.num_failures == 1
+
+    def test_option_change_invalidates(self, tmp_path):
+        # Same spec, same function -- but the evaluator's options differ, so
+        # the content hash differs and nothing is served stale.
+        cache = ResultCache(tmp_path)
+        spec = GridSweep(v=[1.0, 2.0])
+        loose = FunctionEvaluator(spring_fn, {"scale": 2.0},
+                                  SimulationOptions(gmin=1e-12))
+        tight = FunctionEvaluator(spring_fn, {"scale": 2.0},
+                                  SimulationOptions(gmin=1e-9))
+        runner = CampaignRunner(cache=cache)
+        first = runner.run(spec, loose)
+        second = runner.run(spec, tight)
+        assert first.num_cached == 0 and second.num_cached == 0
+        assert cache.stats()["stores"] == 4
+        assert second.column("gmin")[0] == pytest.approx(1e-9)
+        # And the keys really differ at the hash level:
+        point = spec.points()[0]
+        assert (scenario_key(evaluator_payload(loose), point)
+                != scenario_key(evaluator_payload(tight), point))
+
+    def test_config_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = GridSweep(v=[1.0])
+        runner = CampaignRunner(cache=cache)
+        runner.run(spec, FunctionEvaluator(spring_fn, {"scale": 2.0}))
+        result = runner.run(spec, FunctionEvaluator(spring_fn, {"scale": 3.0}))
+        assert result.num_cached == 0
+        assert result.column("force")[0] == pytest.approx(3.0)
+
+
+class TestCircuitEvaluator:
+    def test_op_over_grid(self):
+        evaluator = CircuitEvaluator(build_divider, analysis="op",
+                                     outputs=("v(out)",))
+        spec = GridSweep(r_top=[1000.0, 3000.0, 9000.0])
+        result = CampaignRunner().run(spec, evaluator)
+        np.testing.assert_allclose(result.column("v(out)"), [5.0, 2.5, 1.0],
+                                   rtol=1e-9)
+
+    def test_pool_matches_serial(self):
+        evaluator = CircuitEvaluator(build_divider, outputs=("v(out)",))
+        spec = GridSweep(r_top=[500.0, 1000.0, 2000.0, 4000.0])
+        serial = CampaignRunner().run(spec, evaluator)
+        pool = CampaignRunner(backend="pool", processes=2).run(spec, evaluator)
+        assert serial.to_rows() == pool.to_rows()
+
+    def test_per_point_options_select_linear_solver(self):
+        # A campaign axis can flip solver routing per point; the physics
+        # must not change.
+        evaluator = CircuitEvaluator(build_divider, outputs=("v(out)",))
+        spec = GridSweep(r_top=[1000.0],
+                         **{"options.linear_solver": ["dense", "sparse"]})
+        result = CampaignRunner().run(spec, evaluator)
+        assert result.num_failures == 0
+        dense_v, sparse_v = result.column("v(out)")
+        assert sparse_v == pytest.approx(dense_v, rel=1e-12)
+        assert dense_v == pytest.approx(5.0, rel=1e-6)
+
+    def test_unknown_option_is_captured_per_point(self):
+        evaluator = CircuitEvaluator(build_divider, outputs=("v(out)",))
+        spec = GridSweep(r_top=[1000.0], **{"options.bogus": [1.0]})
+        result = CampaignRunner().run(spec, evaluator)
+        assert result.num_failures == 1
+        assert "bogus" in result.error(0)
+
+    def test_waveform_analysis_requires_reduce(self):
+        with pytest.raises(CampaignError):
+            CircuitEvaluator(build_divider, analysis="dc",
+                             analysis_args={"source_name": "V1",
+                                            "values": [1.0, 2.0]})
+
+    def test_cache_payload_covers_recipe(self):
+        a = CircuitEvaluator(build_divider, outputs=("v(out)",))
+        b = CircuitEvaluator(build_divider, outputs=("v(out)",),
+                             options=SimulationOptions(reltol=1e-6))
+        assert evaluator_payload(a) != evaluator_payload(b)
+        assert evaluator_payload(a)["build"].endswith("build_divider")

@@ -1,0 +1,160 @@
+"""Tests for campaign specifications: grids, Monte Carlo, corners, combinators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import (
+    CornerSet,
+    Discrete,
+    GridSweep,
+    LogNormal,
+    MonteCarlo,
+    Normal,
+    Uniform,
+    spec_from_dict,
+)
+from repro.errors import CampaignError
+
+
+class TestGridSweep:
+    def test_cartesian_order_last_axis_fastest(self):
+        spec = GridSweep(x=[0.0, 1.0], v=[5.0, 10.0, 15.0])
+        points = spec.points()
+        assert len(spec) == 6 and len(points) == 6
+        assert points[0] == {"x": 0.0, "v": 5.0}
+        assert points[1] == {"x": 0.0, "v": 10.0}
+        assert points[3] == {"x": 1.0, "v": 5.0}
+        assert spec.names == ("x", "v")
+
+    def test_matches_nested_loop_order(self):
+        xs, vs = [0.0, 1.0, 2.0], [3.0, 4.0]
+        expected = [{"x": x, "v": v} for x in xs for v in vs]
+        assert GridSweep(x=xs, v=vs).points() == expected
+
+    def test_validation(self):
+        with pytest.raises(CampaignError):
+            GridSweep()
+        with pytest.raises(CampaignError):
+            GridSweep(x=[])
+        with pytest.raises(CampaignError):
+            GridSweep({"x": [1.0]}, x=[2.0])
+
+
+class TestMonteCarlo:
+    def test_same_seed_same_points(self):
+        dists = {"gap": Normal(2e-6, 1e-7), "v": Uniform(0.0, 10.0)}
+        a = MonteCarlo(dists, samples=16, seed=42).points()
+        b = MonteCarlo(dists, samples=16, seed=42).points()
+        assert a == b
+
+    def test_different_seed_differs(self):
+        dists = {"v": Uniform(0.0, 10.0)}
+        a = MonteCarlo(dists, samples=8, seed=1).points()
+        b = MonteCarlo(dists, samples=8, seed=2).points()
+        assert a != b
+
+    def test_wide_seeds_are_not_truncated(self):
+        # Seeds differing only above bit 31 must still generate distinct
+        # sample streams.
+        dists = {"v": Uniform(0.0, 10.0)}
+        a = MonteCarlo(dists, samples=8, seed=0).points()
+        b = MonteCarlo(dists, samples=8, seed=2 ** 32).points()
+        assert a != b
+
+    def test_insertion_order_does_not_change_draws(self):
+        # Per-name child generators: adding/reordering parameters must not
+        # shift the samples of an existing parameter.
+        a = MonteCarlo({"gap": Normal(1.0, 0.1), "v": Uniform(0, 1)},
+                       samples=8, seed=7).points()
+        b = MonteCarlo({"v": Uniform(0, 1), "gap": Normal(1.0, 0.1)},
+                       samples=8, seed=7).points()
+        assert [p["gap"] for p in a] == [p["gap"] for p in b]
+        assert [p["v"] for p in a] == [p["v"] for p in b]
+
+    def test_normal_clipping(self):
+        points = MonteCarlo({"gap": Normal(1.0, 10.0, low=0.5, high=1.5)},
+                            samples=64, seed=0).points()
+        assert all(0.5 <= p["gap"] <= 1.5 for p in points)
+
+    def test_lognormal_positive(self):
+        points = MonteCarlo({"k": LogNormal(0.0, 2.0)}, samples=32, seed=0).points()
+        assert all(p["k"] > 0.0 for p in points)
+
+    def test_discrete_choices(self):
+        points = MonteCarlo({"variant": Discrete(["a", "b"])},
+                            samples=32, seed=0).points()
+        assert {p["variant"] for p in points} <= {"a", "b"}
+
+    def test_validation(self):
+        with pytest.raises(CampaignError):
+            MonteCarlo({}, samples=4)
+        with pytest.raises(CampaignError):
+            MonteCarlo({"v": Uniform(0, 1)}, samples=0)
+        with pytest.raises(CampaignError):
+            MonteCarlo({"v": 3.0}, samples=4)
+        with pytest.raises(CampaignError):
+            MonteCarlo({"v": Uniform(0, 1)}, samples=4, seed=-1)
+        with pytest.raises(CampaignError):
+            Uniform(1.0, 1.0)
+        with pytest.raises(CampaignError):
+            Normal(0.0, 0.0)
+
+
+class TestCornerSet:
+    def test_points_carry_labels(self):
+        spec = CornerSet({"slow": {"k": 1.8, "gap": 2.2e-6},
+                          "fast": {"k": 2.2, "gap": 1.8e-6}})
+        points = spec.points()
+        assert len(spec) == 2
+        assert points[0] == {"corner": "slow", "k": 1.8, "gap": 2.2e-6}
+        assert "corner" in spec.names
+
+    def test_validation(self):
+        with pytest.raises(CampaignError):
+            CornerSet({})
+        with pytest.raises(CampaignError):
+            CornerSet({"a": {"k": 1.0}, "b": {"gap": 1.0}})
+        with pytest.raises(CampaignError):
+            CornerSet({"a": {"corner": 1.0}})
+
+
+class TestCombinators:
+    def test_zip_merges_pointwise(self):
+        spec = GridSweep(x=[1.0, 2.0]).zip(GridSweep(v=[10.0, 20.0]))
+        assert spec.points() == [{"x": 1.0, "v": 10.0}, {"x": 2.0, "v": 20.0}]
+
+    def test_zip_rejects_length_mismatch_and_name_clash(self):
+        with pytest.raises(CampaignError):
+            GridSweep(x=[1.0, 2.0]).zip(GridSweep(v=[1.0]))
+        with pytest.raises(CampaignError):
+            GridSweep(x=[1.0]).zip(GridSweep(x=[2.0]))
+
+    def test_product_left_outer(self):
+        spec = CornerSet({"lo": {"k": 1.0}, "hi": {"k": 2.0}}).product(
+            GridSweep(v=[5.0, 10.0]))
+        points = spec.points()
+        assert len(spec) == 4
+        assert points[0] == {"corner": "lo", "k": 1.0, "v": 5.0}
+        assert points[1] == {"corner": "lo", "k": 1.0, "v": 10.0}
+        assert points[2]["corner"] == "hi"
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("spec", [
+        GridSweep(x=[0.0, 1.0], v=[2.0, 3.0]),
+        MonteCarlo({"gap": Normal(2e-6, 1e-7, low=1e-6), "v": Uniform(0, 10),
+                    "k": LogNormal(0.0, 0.5), "variant": Discrete(["a", "b"])},
+                   samples=6, seed=9),
+        CornerSet({"slow": {"k": 1.8}, "fast": {"k": 2.2}}),
+        GridSweep(x=[1.0, 2.0]).zip(GridSweep(v=[3.0, 4.0])),
+        CornerSet({"lo": {"k": 1.0}}).product(GridSweep(v=[5.0])),
+    ])
+    def test_round_trip_preserves_points(self, spec):
+        rebuilt = spec_from_dict(spec.to_dict())
+        assert rebuilt.points() == spec.points()
+        assert rebuilt.names == spec.names
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(CampaignError):
+            spec_from_dict({"kind": "no-such-spec"})

@@ -1,0 +1,121 @@
+"""PXT boundary-condition sweeps through the campaign engine.
+
+The extraction grid is the paper's "iterating the variation of boundary
+conditions" workload; these tests pin the contract that routing it through
+:class:`~repro.campaign.runner.CampaignRunner` (any backend, cached or not)
+reproduces the direct nested-loop solve exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CampaignRunner, ResultCache
+from repro.errors import ExtractionError
+from repro.pxt import ParameterExtractor, displacement_sweep, extraction_grid, voltage_sweep
+
+AREA, GAP = 1e-4, 0.15e-3
+
+DISPLACEMENTS = [-2e-5, 0.0, 2e-5]
+VOLTAGES = [0.0, 5.0, 10.0]
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return ParameterExtractor(area=AREA, gap=GAP, nx=10, ny=8)
+
+
+@pytest.fixture(scope="module")
+def direct_points(extractor):
+    """The seed-path reference: one solve_point call per grid point."""
+    return [extractor.solve_point(x, v) for x in DISPLACEMENTS for v in VOLTAGES]
+
+
+def _assert_matches(sweep, reference):
+    assert len(sweep.points) == len(reference)
+    for got, want in zip(sweep.points, reference):
+        assert got.displacement == want.displacement
+        assert got.voltage == want.voltage
+        assert got.capacitance == pytest.approx(want.capacitance, abs=1e-9, rel=1e-9)
+        assert got.force == pytest.approx(want.force, abs=1e-9, rel=1e-9)
+        assert got.charge == pytest.approx(want.charge, abs=1e-9, rel=1e-9)
+        assert got.energy == pytest.approx(want.energy, abs=1e-9, rel=1e-9)
+        assert got.field == pytest.approx(want.field, rel=1e-9)
+
+
+class TestCampaignParity:
+    def test_default_serial_runner_matches_direct_solves(self, extractor,
+                                                         direct_points):
+        sweep = extractor.sweep(DISPLACEMENTS, VOLTAGES)
+        _assert_matches(sweep, direct_points)
+
+    def test_pool_backend_matches_direct_solves(self, extractor, direct_points):
+        runner = CampaignRunner(backend="pool", processes=2)
+        sweep = extractor.sweep(DISPLACEMENTS, VOLTAGES, runner=runner)
+        _assert_matches(sweep, direct_points)
+
+    def test_cached_rerun_matches_direct_solves(self, extractor, direct_points,
+                                                tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = CampaignRunner(cache=cache)
+        _assert_matches(extractor.sweep(DISPLACEMENTS, VOLTAGES, runner=runner),
+                        direct_points)
+        warm = extractor.sweep(DISPLACEMENTS, VOLTAGES, runner=runner)
+        _assert_matches(warm, direct_points)
+        assert cache.stats()["hits"] == len(direct_points)
+
+    def test_macromodels_match_through_runner(self, extractor):
+        runner = CampaignRunner(cache=ResultCache())
+        direct = extractor.force_model(DISPLACEMENTS, [5.0, 10.0])
+        via_campaign = extractor.force_model(DISPLACEMENTS, [5.0, 10.0],
+                                             runner=runner)
+        for x in DISPLACEMENTS:
+            for v in (5.0, 7.5, 10.0):
+                assert via_campaign(x, v) == pytest.approx(direct(x, v), rel=1e-12)
+
+    def test_mesh_change_invalidates_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = CampaignRunner(cache=cache)
+        ParameterExtractor(area=AREA, gap=GAP, nx=6, ny=4).sweep(
+            [0.0], [5.0], runner=runner)
+        ParameterExtractor(area=AREA, gap=GAP, nx=8, ny=6).sweep(
+            [0.0], [5.0], runner=runner)
+        assert cache.stats()["hits"] == 0 and cache.stats()["stores"] == 2
+
+
+class TestFailureBehaviour:
+    def test_gap_closing_point_raises_with_location(self, extractor):
+        with pytest.raises(ExtractionError, match="displacement"):
+            extractor.sweep([-GAP, 0.0], [5.0])
+
+    def test_raw_campaign_result_captures_failures(self, extractor):
+        result = extractor.sweep_campaign([-GAP, 0.0], [5.0])
+        assert len(result) == 2 and result.num_failures == 1
+        assert "ExtractionError" in result.error(0)
+
+    def test_empty_sweep_rejected(self, extractor):
+        with pytest.raises(ExtractionError):
+            extractor.sweep([], [5.0])
+
+
+class TestExtractionGrid:
+    def test_spec_matches_sweep_helpers(self):
+        spec = extraction_grid(GAP, max_voltage=15.0, fraction=0.3,
+                               displacement_points=5, voltage_points=4)
+        displacements = displacement_sweep(GAP, fraction=0.3, points=5)
+        voltages = voltage_sweep(15.0, points=4)
+        assert len(spec) == 20
+        points = spec.points()
+        assert points[0]["displacement"] == displacements[0]
+        assert points[0]["voltage"] == voltages[0]
+        # outer displacement, inner voltage -- the extractor's loop order
+        assert points[1]["displacement"] == displacements[0]
+        assert points[1]["voltage"] == voltages[1]
+
+    def test_spec_drives_runner(self, extractor):
+        spec = extraction_grid(GAP, max_voltage=10.0, displacement_points=2,
+                               voltage_points=2)
+        result = CampaignRunner().run(spec, extractor.campaign_evaluator())
+        assert len(result) == 4 and result.num_failures == 0
+        assert set(result.output_names) == {"capacitance", "charge", "force",
+                                            "energy", "field"}
