@@ -1,0 +1,130 @@
+"""Full-vs-reduced benchmark: harmonic and transient cost of a beam model.
+
+The workload is the macromodeling claim of the ROM subsystem: a cantilever
+FE beam with >= 200 DOFs is swept over a dense frequency grid and integrated
+through a step transient, once with the full ``(M, C, K)`` system and once
+through modal ROMs of increasing order.  Reported per order:
+
+* ROM build time (eigensolve + projection),
+* harmonic sweep time and speedup over the full dense sweep,
+* transient integration time and speedup (same trapezoidal integrator on
+  both sides, so the comparison is purely about system size),
+* worst relative harmonic error at the driven tip over the probe grid.
+
+Acceptance pin: at order 6 the amortized ROM harmonic path (build + sweep)
+is >= 5x faster than the full sweep and matches it within 1% at >= 95% of
+the probe frequencies.
+
+Run standalone (``python benchmarks/bench_rom_speedup.py``); ``--smoke``
+shrinks the grids so CI can exercise the script in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.fem import CantileverBeam
+from repro.rom import ReducedModel, harmonic_error, rom_from_matrices
+
+RAYLEIGH = (0.0, 1e-9)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def run(elements: int, num_frequencies: int, num_steps: int,
+        orders: tuple[int, ...], check: bool = True) -> list[str]:
+    beam = CantileverBeam(length=300e-6, width=20e-6, thickness=2e-6,
+                          youngs_modulus=160e9, density=2330.0,
+                          elements=elements)
+    stiffness, mass = beam.assemble()
+    damping = RAYLEIGH[0] * mass + RAYLEIGH[1] * stiffness
+    n = stiffness.shape[0]
+    tip = n - 2
+    f1 = beam.analytic_first_frequency()
+    frequencies = np.linspace(0.2 * f1, 5.0 * f1, num_frequencies)
+    t_stop = 20.0 / f1
+    t_step = t_stop / num_steps
+
+    # Full references: the dense harmonic sweep and the same trapezoidal
+    # integrator applied to the unreduced system (identity "reduction").
+    selector = np.zeros(n)
+    selector[tip] = 1.0
+    full_system = ReducedModel(M=mass, C=damping, K=stiffness, B=selector,
+                               L=selector[None, :], method="full")
+    full_harmonic, t_full_harmonic = _timed(
+        lambda: full_system.harmonic(frequencies))
+    (_, full_transient), t_full_transient = _timed(
+        lambda: full_system.transient(t_stop, t_step, force=1e-6))
+
+    lines = [f"mesh: {elements} beam elements -> {n} DOFs, "
+             f"{num_frequencies} frequencies, {num_steps} transient steps",
+             f"full harmonic sweep  : {t_full_harmonic * 1e3:8.1f} ms",
+             f"full transient sweep : {t_full_transient * 1e3:8.1f} ms",
+             f"{'order':>5} {'build[ms]':>10} {'harm[ms]':>9} {'harm x':>7} "
+             f"{'tran[ms]':>9} {'tran x':>7} {'max err':>9} {'<=1%':>6}"]
+    results = {}
+    for order in orders:
+        rom, t_build = _timed(lambda order=order: rom_from_matrices(
+            mass, stiffness, order=order, drive_dof=tip, output_dofs=[tip],
+            rayleigh=RAYLEIGH))
+        _, t_harmonic = _timed(lambda rom=rom: rom.harmonic(frequencies))
+        _, t_transient = _timed(
+            lambda rom=rom: rom.transient(t_stop, t_step, force=1e-6))
+        errors = harmonic_error(rom, mass, damping, stiffness, frequencies,
+                                drive_dof=tip, output_dofs=[tip])
+        harmonic_speedup = t_full_harmonic / (t_build + t_harmonic)
+        transient_speedup = t_full_transient / (t_build + t_transient)
+        within = float(np.mean(errors <= 0.01))
+        results[order] = (harmonic_speedup, within)
+        lines.append(
+            f"{order:5d} {t_build * 1e3:10.1f} {t_harmonic * 1e3:9.1f} "
+            f"{harmonic_speedup:7.1f} {t_transient * 1e3:9.1f} "
+            f"{transient_speedup:7.1f} {np.max(errors):9.2e} {within:6.0%}")
+
+    if check:
+        if 6 not in results:
+            raise ValueError(
+                "the acceptance check pins order 6; include it in 'orders' "
+                "or pass check=False")
+        # Explicit raises, not asserts: the pin must survive `python -O`.
+        speedup, within = results[6]
+        if within < 0.95:
+            raise RuntimeError(
+                f"order-6 ROM within 1% at only {within:.0%} of probe "
+                "frequencies (acceptance: >= 95%)")
+        if speedup < 5.0:
+            raise RuntimeError(
+                f"order-6 ROM harmonic speedup {speedup:.1f}x "
+                "(acceptance: >= 5x)")
+        lines.append(f"acceptance: order-6 harmonic speedup {speedup:.1f}x "
+                     f"(>= 5x), within 1% at {within:.0%} of probes (>= 95%)")
+    return lines
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny grids for CI (acceptance pin still enforced)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        lines = run(elements=100, num_frequencies=40, num_steps=200,
+                    orders=(4, 6))
+    else:
+        lines = run(elements=100, num_frequencies=200, num_steps=2000,
+                    orders=(2, 4, 6, 8, 12))
+    print("==== ROM speedup: full vs reduced beam model ====")
+    for line in lines:
+        print(f"  {line}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

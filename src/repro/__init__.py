@@ -44,7 +44,7 @@ Quickstart::
 
 from __future__ import annotations
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from . import constants, errors, units
 from .campaign import (
@@ -70,6 +70,16 @@ from .circuit import (
     TransientAnalysis,
 )
 from .natures import ELECTRICAL, MECHANICAL_TRANSLATION, get_nature
+from .rom import (
+    BeamROMEvaluator,
+    ReducedModel,
+    krylov_rom,
+    modal_rom,
+    rom_from_beam,
+    rom_from_chain,
+    rom_from_matrices,
+    rom_to_hdl,
+)
 from .system import (
     PAPER_PARAMETERS,
     MechanicalResonator,
@@ -113,6 +123,14 @@ __all__ = [
     "ELECTRICAL",
     "MECHANICAL_TRANSLATION",
     "get_nature",
+    "ReducedModel",
+    "modal_rom",
+    "krylov_rom",
+    "rom_from_matrices",
+    "rom_from_beam",
+    "rom_from_chain",
+    "rom_to_hdl",
+    "BeamROMEvaluator",
     "TransverseElectrostaticTransducer",
     "LateralElectrostaticTransducer",
     "ElectromagneticTransducer",

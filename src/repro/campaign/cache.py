@@ -99,11 +99,17 @@ class ResultCache:
         return None
 
     def put(self, key: str, row: Mapping[str, object]) -> None:
-        """Store one row under ``key`` (memory, and disk when configured)."""
+        """Store one row under ``key`` (memory, and disk when configured).
+
+        For a disk-backed cache the memory layer and the ``stores`` counter
+        are only updated after the disk write succeeds, so a failed
+        serialization leaves the cache consistent (no phantom same-process
+        hits for rows that were never persisted).
+        """
         row = dict(row)
-        self._memory[key] = row
-        self.stores += 1
         if self.directory is None:
+            self._memory[key] = row
+            self.stores += 1
             return
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
@@ -113,12 +119,28 @@ class ResultCache:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(row, handle, allow_nan=True)
             os.replace(tmp_path, path)
-        except OSError:
+        except Exception:
+            # Also non-OSError failures (e.g. an unserializable value raising
+            # TypeError inside json.dump) must not leak the temp file.
             try:
                 os.unlink(tmp_path)
             except OSError:
                 pass
             raise
+        self._memory[key] = row
+        self.stores += 1
+
+    def _disk_files(self):
+        """Yield the path of every persisted entry (empty for memory-only)."""
+        if self.directory is None or not os.path.isdir(self.directory):
+            return
+        for shard in os.listdir(self.directory):
+            shard_dir = os.path.join(self.directory, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in os.listdir(shard_dir):
+                if name.endswith(".json"):
+                    yield os.path.join(shard_dir, name)
 
     def contains(self, key: str) -> bool:
         """True when ``key`` is available (without counting a hit/miss)."""
@@ -138,23 +160,36 @@ class ResultCache:
     def clear(self) -> None:
         """Drop every entry (and reset the hit/miss counters)."""
         self._memory.clear()
-        if self.directory is not None and os.path.isdir(self.directory):
-            for shard in os.listdir(self.directory):
-                shard_dir = os.path.join(self.directory, shard)
-                if not os.path.isdir(shard_dir):
-                    continue
-                for name in os.listdir(shard_dir):
-                    if name.endswith(".json"):
-                        try:
-                            os.unlink(os.path.join(shard_dir, name))
-                        except OSError:
-                            pass
+        for path in self._disk_files():
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
         self.hits = self.misses = self.stores = 0
 
     def stats(self) -> dict[str, int]:
-        """Hit/miss/store counters since construction (or ``clear``)."""
+        """Cache size and counter snapshot.
+
+        For a disk-backed cache, ``entries``/``bytes`` describe the
+        persistent store (on-disk entry count and total payload size); for a
+        memory-only cache ``entries`` falls back to the in-memory count and
+        ``bytes`` is 0.  ``memory_entries`` always reports the in-process
+        layer, and ``hits``/``misses``/``stores`` are the counters since
+        construction or :meth:`clear`.
+        """
+        disk_entries = 0
+        disk_bytes = 0
+        for path in self._disk_files():
+            try:
+                disk_bytes += os.path.getsize(path)
+            except OSError:
+                continue
+            disk_entries += 1
         return {"hits": self.hits, "misses": self.misses, "stores": self.stores,
-                "entries": len(self._memory)}
+                "memory_entries": len(self._memory),
+                "entries": disk_entries if self.directory is not None
+                else len(self._memory),
+                "bytes": disk_bytes}
 
     def __repr__(self) -> str:
         where = self.directory or "memory"

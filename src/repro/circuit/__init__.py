@@ -41,6 +41,7 @@ from .devices import (
     BehavioralDevice,
     BehaviorContext,
     Port,
+    ROMDevice,
 )
 from .analysis import (
     SimulationOptions,
@@ -93,6 +94,7 @@ __all__ = [
     "BehavioralDevice",
     "BehaviorContext",
     "Port",
+    "ROMDevice",
     "SimulationOptions",
     "OperatingPoint",
     "DCSweepResult",

@@ -128,9 +128,15 @@ class ACResult(_SignalMapping):
         return complex(np.asarray(self[signal], dtype=complex)[idx])
 
     def resonance_frequency(self, signal: str) -> float:
-        """Frequency of the magnitude peak of ``signal``."""
-        idx = int(np.argmax(self.magnitude(signal)))
-        return float(self.frequencies[idx])
+        """Frequency of the magnitude peak of ``signal``.
+
+        Refined to sub-grid resolution by parabolic interpolation through
+        the peak sample (shared with the FE harmonic analysis).
+        """
+        from ...fem.harmonic import interpolate_peak_frequency
+
+        return interpolate_peak_frequency(self.frequencies,
+                                          self.magnitude(signal))
 
     def __repr__(self) -> str:
         return f"ACResult({self.frequencies.size} frequencies, {len(self._data)} signals)"

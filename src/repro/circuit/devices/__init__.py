@@ -16,6 +16,7 @@ from .nonlinear import Diode
 from .mechanical import Mass, Spring, Damper, ForceSource, VelocitySource
 from .switches import VoltageControlledSwitch
 from .behavioral import BehavioralDevice, BehaviorContext, Port
+from .rom import ROMDevice
 
 __all__ = [
     "Device",
@@ -39,4 +40,5 @@ __all__ = [
     "BehavioralDevice",
     "BehaviorContext",
     "Port",
+    "ROMDevice",
 ]

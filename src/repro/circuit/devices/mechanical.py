@@ -111,10 +111,11 @@ class ForceSource(CurrentSource):
     electrical source with its terminals swapped.
     """
 
-    def __init__(self, name: str, p: Node, n: Node, waveform: Waveform | float = 0.0) -> None:
+    def __init__(self, name: str, p: Node, n: Node, waveform: Waveform | float = 0.0,
+                 ac: float = 0.0, ac_phase_deg: float = 0.0) -> None:
         # Swap the terminals handed to the CurrentSource stamp so that a
         # positive force is injected INTO node p.
-        super().__init__(name, n, p, waveform)
+        super().__init__(name, n, p, waveform, ac=ac, ac_phase_deg=ac_phase_deg)
         self.applied_node = p
         self.reaction_node = n
 

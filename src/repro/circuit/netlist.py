@@ -286,12 +286,14 @@ class Circuit:
         return self.add(Damper(name, self.mechanical_node(p), self.mechanical_node(n),
                                parse_quantity(damping)))
 
-    def force_source(self, name: str, p: str | Node, n: str | Node, value=0.0) -> "Device":
+    def force_source(self, name: str, p: str | Node, n: str | Node, value=0.0,
+                     ac: float = 0.0, ac_phase_deg: float = 0.0) -> "Device":
         """Add an ideal force source acting from node ``p`` to node ``n``."""
         from .devices.mechanical import ForceSource
 
         return self.add(ForceSource(name, self.mechanical_node(p), self.mechanical_node(n),
-                                    ensure_waveform(value)))
+                                    ensure_waveform(value), ac=ac,
+                                    ac_phase_deg=ac_phase_deg))
 
     def velocity_source(self, name: str, p: str | Node, n: str | Node, value=0.0) -> "Device":
         """Add an ideal velocity source between two mechanical nodes."""
@@ -303,6 +305,19 @@ class Circuit:
     def behavioral(self, device: "Device") -> "Device":
         """Add an already-constructed behavioral device (transducer, HDL model)."""
         return self.add(device)
+
+    def rom_block(self, name: str, rom, *port_pairs) -> "Device":
+        """Add a reduced-order macromodel as a multi-terminal device.
+
+        ``rom`` is a :class:`~repro.rom.statespace.ReducedModel`; each
+        ``(p, n)`` pair in ``port_pairs`` binds one ROM input column to a
+        mechanical port (velocity across, force through).
+        """
+        from .devices.rom import ROMDevice
+
+        pairs = [(self.mechanical_node(p), self.mechanical_node(n))
+                 for p, n in port_pairs]
+        return self.add(ROMDevice(name, rom, pairs))
 
     # ------------------------------------------------------------------ misc
     def summary(self) -> str:

@@ -21,7 +21,9 @@ capability those extractions need, implemented from scratch on numpy/scipy:
 from .mesh import RectangularMesh
 from .electrostatics import ElectrostaticSolution, ParallelPlateProblem
 from .structural import CantileverBeam, SpringMassChain
-from .harmonic import HarmonicResponse, harmonic_response
+from .harmonic import (HarmonicResponse, harmonic_response,
+                       interpolate_peak_frequency)
+from .solver import solve_generalized_eig, solve_sparse
 
 __all__ = [
     "RectangularMesh",
@@ -31,4 +33,7 @@ __all__ = [
     "SpringMassChain",
     "HarmonicResponse",
     "harmonic_response",
+    "interpolate_peak_frequency",
+    "solve_sparse",
+    "solve_generalized_eig",
 ]

@@ -16,7 +16,39 @@ import numpy as np
 
 from ..errors import FEMError
 
-__all__ = ["HarmonicResponse", "harmonic_response"]
+__all__ = ["HarmonicResponse", "harmonic_response",
+           "interpolate_peak_frequency"]
+
+
+def interpolate_peak_frequency(frequencies: np.ndarray,
+                               magnitudes: np.ndarray) -> float:
+    """Sub-grid peak frequency from a sampled magnitude response.
+
+    Refines the grid maximum with a parabola through the peak sample and its
+    two neighbours on log-magnitude (locally parabolic for a resonance),
+    using the non-uniform three-point vertex formula so linear and
+    logarithmic grids are both handled without bias.  Falls back to the raw
+    grid point when the peak sits on a boundary, a neighbour is
+    non-positive, or the fitted parabola is not concave.
+    """
+    frequencies = np.asarray(frequencies, dtype=float)
+    magnitudes = np.asarray(magnitudes, dtype=float)
+    peak = int(np.argmax(magnitudes))
+    if peak == 0 or peak == magnitudes.size - 1:
+        return float(frequencies[peak])
+    left, mid, right = magnitudes[peak - 1:peak + 2]
+    if left <= 0.0 or mid <= 0.0 or right <= 0.0:
+        return float(frequencies[peak])
+    x0, x1, x2 = frequencies[peak - 1:peak + 2]
+    y0, y1, y2 = np.log(left), np.log(mid), np.log(right)
+    # Vertex of the parabola through three unequally spaced points.
+    h01, h12 = x1 - x0, x2 - x1
+    numerator = h01 * h01 * (y1 - y2) - h12 * h12 * (y1 - y0)
+    denominator = h01 * (y1 - y2) + h12 * (y1 - y0)
+    if denominator <= 0.0:  # not a concave fit around the sample maximum
+        return float(x1)
+    vertex = x1 - 0.5 * numerator / denominator
+    return float(np.clip(vertex, x0, x2))
 
 
 @dataclass
@@ -42,10 +74,14 @@ class HarmonicResponse:
         return np.degrees(np.angle(self.dof(index)))
 
     def resonance_frequency(self, index: int | None = None) -> float:
-        """Frequency of the amplitude peak of a DOF (default: driven DOF)."""
+        """Frequency of the amplitude peak of a DOF (default: driven DOF).
+
+        Refined to sub-grid resolution by
+        :func:`interpolate_peak_frequency`.
+        """
         index = self.drive_dof if index is None else index
-        peak = int(np.argmax(self.magnitude(index)))
-        return float(self.frequencies[peak])
+        return interpolate_peak_frequency(self.frequencies,
+                                          self.magnitude(index))
 
     def static_compliance(self, index: int | None = None) -> float:
         """Low-frequency limit of the response (per unit drive force) [m/N]."""
@@ -55,11 +91,21 @@ class HarmonicResponse:
 
 def harmonic_response(mass: np.ndarray, damping: np.ndarray, stiffness: np.ndarray,
                       frequencies: Iterable[float], drive_dof: int = -1,
-                      force_amplitude: float = 1.0) -> HarmonicResponse:
+                      force_amplitude: float = 1.0, method: str = "full",
+                      rom_order: int = 10) -> HarmonicResponse:
     """Solve ``(K + j w C - w^2 M) u = F`` over a frequency grid.
 
     ``drive_dof`` selects where the unit (or ``force_amplitude``) harmonic
     force is applied; negative indices follow numpy conventions.
+
+    ``method`` selects the solver: ``"full"`` factorizes the full ``n x n``
+    dynamic-stiffness matrix at every frequency, ``"rom"`` first projects the
+    system onto an order-``rom_order`` modal basis (:func:`repro.rom.modal_rom`
+    with its default static-correction augmentation: ``rom_order - 1`` of the
+    lowest mass-normalized modes plus the static response of the drive) and
+    sweeps the small reduced system -- one eigensolve up front, then
+    ``r x r`` solves per frequency, which is how the PXT flow amortizes
+    dense FE cost over large frequency grids.
     """
     mass = np.asarray(mass, dtype=float)
     damping = np.asarray(damping, dtype=float)
@@ -74,6 +120,19 @@ def harmonic_response(mass: np.ndarray, damping: np.ndarray, stiffness: np.ndarr
     if np.any(frequencies < 0.0):
         raise FEMError("frequencies must be non-negative")
     drive = int(np.arange(n)[drive_dof])
+    if method == "rom":
+        # Local import: repro.rom builds on fem.solver, so importing it at
+        # module scope would be circular through the fem package __init__.
+        from ..rom.modal import modal_rom
+
+        rom = modal_rom(mass, stiffness, damping=damping,
+                        order=min(int(rom_order), n), inputs=drive)
+        responses = force_amplitude * rom.harmonic(frequencies)
+        return HarmonicResponse(frequencies=frequencies,
+                                displacements=np.asarray(responses, dtype=complex),
+                                drive_dof=drive)
+    if method != "full":
+        raise FEMError(f"unknown harmonic method {method!r} (use 'full' or 'rom')")
     force = np.zeros(n, dtype=complex)
     force[drive] = force_amplitude
     responses = np.zeros((frequencies.size, n), dtype=complex)

@@ -22,16 +22,21 @@ __all__ = [
     "generate_architecture",
     "generate_model",
     "table1d_expression",
+    "format_number",
     "LISTING1_SOURCE",
 ]
 
 
-def _format_number(value: float) -> str:
+def format_number(value: float) -> str:
     """Format a float as an HDL-A literal (always with a decimal or exponent)."""
     text = repr(float(value))
     if "e" in text or "." in text or "inf" in text or "nan" in text:
         return text
     return text + ".0"
+
+
+#: Backwards-compatible alias for the pre-public name.
+_format_number = format_number
 
 
 def generate_entity(name: str, generics: Mapping[str, float | None],
@@ -51,7 +56,7 @@ def generate_entity(name: str, generics: Mapping[str, float | None],
             if default is None:
                 parts.append(f"{generic} : analog")
             else:
-                parts.append(f"{generic} : analog := {_format_number(default)}")
+                parts.append(f"{generic} : analog := {format_number(default)}")
         lines.append(f"  GENERIC ({'; '.join(parts)});")
     groups: dict[str, list[str]] = {}
     for pin, nature in pins.items():
@@ -127,7 +132,7 @@ def table1d_expression(argument: str, xs: Iterable[float], ys: Iterable[float]) 
     if any(b <= a for a, b in zip(xs, xs[1:])):
         raise HDLError("table1d breakpoints must be strictly increasing")
     pairs = ", ".join(
-        f"{_format_number(x)}, {_format_number(y)}" for x, y in zip(xs, ys))
+        f"{format_number(x)}, {format_number(y)}" for x, y in zip(xs, ys))
     return f"table1d({argument}, {pairs})"
 
 

@@ -27,8 +27,10 @@ from .extractor import (ParameterExtractor, ExtractionPoint, ExtractionSweep,
                         ExtractionPointEvaluator)
 from .macromodel import PiecewiseLinearModel, BilinearTableModel
 from .fitting import SecondOrderFit, fit_second_order, fit_rational, RationalFit
-from .hdl_codegen import generate_electrostatic_macromodel, generate_table_capacitor
-from .dataflow import generate_second_order_model, build_second_order_device
+from .hdl_codegen import (generate_electrostatic_macromodel,
+                          generate_rom_macromodel, generate_table_capacitor)
+from .dataflow import (build_second_order_device, extract_second_order_fit,
+                       generate_second_order_model)
 from .report import ExtractionReport
 from .sweeps import displacement_sweep, voltage_sweep, extraction_grid
 
@@ -46,8 +48,10 @@ __all__ = [
     "fit_rational",
     "generate_electrostatic_macromodel",
     "generate_table_capacitor",
+    "generate_rom_macromodel",
     "generate_second_order_model",
     "build_second_order_device",
+    "extract_second_order_fit",
     "ExtractionReport",
     "displacement_sweep",
     "voltage_sweep",

@@ -20,14 +20,41 @@ Both forms represent the same constitutive relation: the port force follows
 
 from __future__ import annotations
 
+from typing import Iterable
+
+import numpy as np
+
 from ..circuit.devices.behavioral import BehavioralDevice, BehaviorContext, Port
 from ..circuit.netlist import Node
 from ..errors import ExtractionError
+from ..fem.harmonic import harmonic_response
 from ..hdl.codegen import generate_model
 from ..natures import MECHANICAL_TRANSLATION
-from .fitting import SecondOrderFit
+from .fitting import SecondOrderFit, fit_second_order
 
-__all__ = ["generate_second_order_model", "build_second_order_device"]
+__all__ = ["generate_second_order_model", "build_second_order_device",
+           "extract_second_order_fit"]
+
+
+def extract_second_order_fit(mass: np.ndarray, damping: np.ndarray,
+                             stiffness: np.ndarray,
+                             frequencies: Iterable[float], drive_dof: int = -1,
+                             method: str = "full",
+                             rom_order: int = 10) -> SecondOrderFit:
+    """Harmonic FE sweep -> fitted ``(m, c, k)`` in one call.
+
+    This is the paper's frequency-response extraction pipeline: run the
+    harmonic analysis of the assembled structural model at the drive DOF and
+    fit the single-resonance compliance.  ``method="rom"`` routes the sweep
+    through a modal reduced-order model of order ``rom_order``
+    (:func:`repro.fem.harmonic.harmonic_response`), which amortizes one
+    eigensolve over the whole grid -- the fast path for the dense frequency
+    grids that a clean fit wants.
+    """
+    response = harmonic_response(mass, damping, stiffness, frequencies,
+                                 drive_dof=drive_dof, method=method,
+                                 rom_order=rom_order)
+    return fit_second_order(response.frequencies, response.dof(response.drive_dof))
 
 
 def generate_second_order_model(name: str, fit: SecondOrderFit) -> str:

@@ -20,13 +20,19 @@ Two generators are provided:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
 
 from ..errors import ExtractionError
-from ..hdl.codegen import generate_model, table1d_expression
+from ..hdl.codegen import format_number, generate_model, table1d_expression
 from .macromodel import PiecewiseLinearModel
 
-__all__ = ["generate_table_capacitor", "generate_electrostatic_macromodel"]
+if TYPE_CHECKING:  # pragma: no cover - type-only import (repro.rom -> here)
+    from ..rom.statespace import ReducedModel
+
+__all__ = ["generate_table_capacitor", "generate_electrostatic_macromodel",
+           "generate_rom_macromodel"]
 
 
 def generate_table_capacitor(name: str, capacitance_model: PiecewiseLinearModel,
@@ -103,4 +109,79 @@ def generate_electrostatic_macromodel(name: str,
             "PXT generated electrostatic transducer macromodel\n"
             f"capacitance table: {len(capacitance_model.xs)} points, "
             f"force table: {len(force_model.xs)} points at Vref = {reference_voltage:g} V"),
+    )
+
+
+def generate_rom_macromodel(name: str, rom: "ReducedModel",
+                            input_index: int = 0,
+                            drop_tolerance: float = 1e-9) -> str:
+    """Emit a reduced-order macromodel as an HDL-A mechanical Foster chain.
+
+    The ROM's drive-point behaviour at input column ``input_index`` is
+    diagonalized into modal branches ``kappa_i^2 / (s^2 + c_i s + omega_i^2)``
+    and synthesized as series-connected second-order one-ports: the entity
+    exposes pins ``p0 .. pN`` and mode ``i`` occupies the pin pair
+    ``(p_{i-1}, p_i)``.  Because the sections share their through force and
+    their across velocities add, connecting ``p0`` and ``pN`` into a circuit
+    realizes exactly the modal-superposition compliance at the drive DOF --
+    the classic Foster synthesis of a multi-resonant one-port, expressible in
+    the explicit HDL-A subset (no implicit equation blocks needed).
+
+    Modes with negligible port coupling (``|kappa| <= drop_tolerance`` of the
+    largest) contribute nothing at the port and are omitted.  Off-diagonal
+    reduced damping is discarded (exact for Rayleigh damping, a standard
+    approximation otherwise).  Rigid-body modes cannot be synthesized as
+    springs and raise :class:`~repro.errors.ExtractionError`.
+    """
+    omega_sq, shapes = rom.modal_parameters()
+    modal_damping = shapes.T @ rom.C @ shapes
+    couplings = shapes.T @ rom.B[:, input_index]
+    scale = float(np.max(np.abs(couplings)))
+    if scale <= 0.0:
+        raise ExtractionError(
+            "the ROM input pattern does not couple to any retained mode")
+    sections: list[tuple[float, float, float]] = []
+    for i in range(rom.order):
+        kappa = float(couplings[i])
+        if abs(kappa) <= drop_tolerance * scale:
+            continue
+        if omega_sq[i] <= 0.0:
+            raise ExtractionError(
+                f"mode {i} is a rigid-body mode (omega^2 = {omega_sq[i]:g}); "
+                "a Foster section needs a finite stiffness")
+        kappa_sq = kappa * kappa
+        sections.append((1.0 / kappa_sq,                       # mass
+                         max(float(modal_damping[i, i]), 0.0) / kappa_sq,
+                         float(omega_sq[i]) / kappa_sq))       # stiffness
+    if not sections:
+        raise ExtractionError("every retained mode decoupled from the port")
+    pins = {f"p{i}": "mechanical1" for i in range(len(sections) + 1)}
+    body: list[str] = []
+    variables: list[str] = []
+    states: list[str] = []
+    for i, (m_i, c_i, k_i) in enumerate(sections, start=1):
+        velocity, displacement = f"u{i}", f"x{i}"
+        states.append(velocity)
+        variables.append(displacement)
+        body.append(f"{velocity} := [p{i - 1}, p{i}].tv")
+        body.append(f"{displacement} := integ({velocity})")
+        force = f"{format_number(m_i)}*ddt({velocity})"
+        if c_i > 0.0:
+            force += f" + {format_number(c_i)}*{velocity}"
+        force += f" + {format_number(k_i)}*{displacement}"
+        body.append(f"[p{i - 1}, p{i}].f %= {force}")
+    frequencies = np.sqrt(omega_sq[omega_sq > 0.0]) / (2.0 * np.pi)
+    return generate_model(
+        name,
+        generics={},
+        pins=pins,
+        variables=variables,
+        states=states,
+        body_statements=body,
+        header_comment=(
+            f"PXT generated reduced-order macromodel ({rom.method}, "
+            f"order {rom.order}, {len(sections)} Foster sections)\n"
+            "modal frequencies [Hz]: "
+            + ", ".join(f"{f:.6g}" for f in frequencies[:8])
+            + (" ..." if frequencies.size > 8 else "")),
     )

@@ -1,0 +1,51 @@
+"""Model-order reduction: FE systems distilled into small macromodels.
+
+The paper's PXT flow characterizes FE models and replaces them with cheap
+behavioral macromodels for system simulation.  This package provides the
+modern form of that distillation -- projection-based model-order reduction
+of assembled ``(M, C, K)`` systems:
+
+* :mod:`repro.rom.modal` -- modal truncation onto the lowest mass-normalized
+  modes (via the shared :func:`repro.fem.solver.solve_generalized_eig`),
+* :mod:`repro.rom.krylov` -- second-order Arnoldi / moment matching about
+  one or more expansion frequencies (no eigensolve, accuracy concentrated
+  where the sweep lives),
+* :mod:`repro.rom.statespace` -- the :class:`ReducedModel` macromodel with
+  ``harmonic()``, trapezoidal ``transient()``, ``dc_gain()`` and error
+  probing against the full model,
+* :mod:`repro.rom.convert` -- bridges: one-call builders from
+  :mod:`repro.fem.structural` models, the
+  :class:`~repro.circuit.devices.rom.ROMDevice` circuit wrapper, HDL-A
+  Foster-chain export, and the campaign-cacheable
+  :class:`BeamROMEvaluator` for order/accuracy sweeps on the worker pool.
+
+Quickstart::
+
+    from repro.fem import CantileverBeam
+    from repro.rom import rom_from_beam
+
+    beam = CantileverBeam(300e-6, 20e-6, 2e-6, 160e9, 2330.0, elements=100)
+    rom = rom_from_beam(beam, order=6)           # 200 DOFs -> 6
+    response = rom.harmonic(frequencies)          # r x r solves per point
+    compliance = rom.dc_gain()[-2, 0]             # tip row: 1 / tip_stiffness
+"""
+
+from .statespace import ReducedModel, harmonic_error
+from .modal import modal_rom
+from .krylov import krylov_rom, second_order_arnoldi
+from .convert import (BeamROMEvaluator, rom_device, rom_from_beam,
+                      rom_from_chain, rom_from_matrices, rom_to_hdl)
+
+__all__ = [
+    "ReducedModel",
+    "harmonic_error",
+    "modal_rom",
+    "krylov_rom",
+    "second_order_arnoldi",
+    "rom_from_matrices",
+    "rom_from_beam",
+    "rom_from_chain",
+    "rom_device",
+    "rom_to_hdl",
+    "BeamROMEvaluator",
+]

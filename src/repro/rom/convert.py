@@ -1,0 +1,195 @@
+"""Bridges between the ROM subsystem and the other layers.
+
+* :func:`rom_from_matrices` / :func:`rom_from_beam` / :func:`rom_from_chain`
+  build :class:`~repro.rom.statespace.ReducedModel` objects from assembled
+  FE output (:mod:`repro.fem.structural`) with one call,
+* :func:`rom_device` wraps a ROM as the multi-terminal
+  :class:`~repro.circuit.devices.rom.ROMDevice` for MNA op/ac/tran analyses,
+* :func:`rom_to_hdl` emits the ROM as an HDL-A Foster-chain entity through
+  :func:`repro.pxt.hdl_codegen.generate_rom_macromodel`,
+* :class:`BeamROMEvaluator` is a picklable, cache-friendly campaign
+  evaluator so order/accuracy convergence sweeps run on the
+  :class:`~repro.campaign.runner.CampaignRunner` worker pool with
+  content-addressed result caching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import FEMError
+from .krylov import krylov_rom
+from .modal import modal_rom
+from .statespace import ReducedModel, harmonic_error
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..circuit.devices.rom import ROMDevice
+    from ..circuit.netlist import Node
+    from ..fem.structural import CantileverBeam, SpringMassChain
+
+__all__ = ["rom_from_matrices", "rom_from_beam", "rom_from_chain",
+           "rom_device", "rom_to_hdl", "BeamROMEvaluator"]
+
+
+def _output_map(n: int, output_dofs: Sequence[int] | None):
+    """Columns selecting ``output_dofs`` (None keeps every DOF)."""
+    if output_dofs is None:
+        return None
+    indices = [int(np.arange(n)[dof]) for dof in output_dofs]
+    matrix = np.zeros((n, len(indices)))
+    matrix[indices, np.arange(len(indices))] = 1.0
+    return matrix
+
+
+def rom_from_matrices(mass, stiffness, damping=None, *, order: int = 6,
+                      method: str = "modal", drive_dof: int = -1,
+                      output_dofs: Sequence[int] | None = None,
+                      expansion_freqs: Iterable[float] = (0.0,),
+                      rayleigh: tuple[float, float] | None = None) -> ReducedModel:
+    """Reduce an assembled ``(M, [C,] K)`` system driven at one DOF.
+
+    ``method`` is ``"modal"`` (eigensolve + truncation) or ``"krylov"``
+    (moment matching about ``expansion_freqs``).  ``output_dofs`` defaults to
+    every DOF so the ROM response has the same layout as the full solution.
+    """
+    n = mass.shape[0]
+    drive = int(np.arange(n)[drive_dof])
+    outputs = _output_map(n, output_dofs)
+    if method == "modal":
+        return modal_rom(mass, stiffness, damping, order=order, inputs=drive,
+                         outputs=outputs, rayleigh=rayleigh)
+    if method == "krylov":
+        return krylov_rom(mass, stiffness, damping, order=order,
+                          expansion_freqs=expansion_freqs, inputs=drive,
+                          outputs=outputs, rayleigh=rayleigh)
+    raise FEMError(f"unknown reduction method {method!r} "
+                   "(use 'modal' or 'krylov')")
+
+
+def rom_from_beam(beam: "CantileverBeam", *, order: int = 6,
+                  method: str = "modal", drive_dof: int = -2,
+                  output_dofs: Sequence[int] | None = None,
+                  expansion_freqs: Iterable[float] = (0.0,),
+                  rayleigh: tuple[float, float] | None = None) -> ReducedModel:
+    """ROM of a :class:`~repro.fem.structural.CantileverBeam`.
+
+    The default drive/observation DOF is the tip deflection (index ``-2`` of
+    the clamped assembly).
+    """
+    stiffness, mass = beam.assemble()
+    return rom_from_matrices(mass, stiffness, order=order, method=method,
+                             drive_dof=drive_dof, output_dofs=output_dofs,
+                             expansion_freqs=expansion_freqs, rayleigh=rayleigh)
+
+
+def rom_from_chain(chain: "SpringMassChain", *, order: int | None = None,
+                   method: str = "modal", drive_dof: int = -1,
+                   output_dofs: Sequence[int] | None = None,
+                   expansion_freqs: Iterable[float] = (0.0,)) -> ReducedModel:
+    """ROM of a :class:`~repro.fem.structural.SpringMassChain`.
+
+    The chain's own damping matrix is projected; ``order`` defaults to the
+    full chain size (useful for exact-equivalence tests).
+    """
+    mass, damping, stiffness = chain.matrices()
+    return rom_from_matrices(mass, stiffness, damping,
+                             order=chain.size if order is None else order,
+                             method=method, drive_dof=drive_dof,
+                             output_dofs=output_dofs,
+                             expansion_freqs=expansion_freqs)
+
+
+def rom_device(name: str, rom: ReducedModel, p: "Node", n: "Node") -> "ROMDevice":
+    """Wrap a single-input ROM as a one-port mechanical circuit device."""
+    from ..circuit.devices.rom import ROMDevice
+
+    if rom.num_inputs != 1:
+        raise FEMError(
+            f"rom_device wraps single-input models; this one has "
+            f"{rom.num_inputs} inputs (construct ROMDevice directly)")
+    return ROMDevice(name, rom, [(p, n)])
+
+
+def rom_to_hdl(name: str, rom: ReducedModel, input_index: int = 0) -> str:
+    """Emit the ROM as HDL-A source (Foster-chain entity ``name``)."""
+    from ..pxt.hdl_codegen import generate_rom_macromodel
+
+    return generate_rom_macromodel(name, rom, input_index=input_index)
+
+
+@dataclass(frozen=True)
+class BeamROMEvaluator:
+    """Campaign evaluator: build a beam ROM per point and score its accuracy.
+
+    The evaluator holds only plain-float beam geometry and probe-grid
+    configuration, so it pickles cheaply to pool workers; scenario points
+    bind ``order`` (and optionally ``method`` via a corner axis and
+    ``expansion_freq`` for Krylov ROMs).  Outputs per point:
+
+    * ``max_error`` / ``mean_error`` -- relative harmonic error against the
+      full solve over the probe grid,
+    * ``within_1pct`` -- fraction of probe frequencies within 1% relative
+      error (the acceptance-criterion quantity),
+    * ``resonance_hz`` -- the ROM's fundamental frequency.
+
+    ``cache_payload`` covers the full configuration, so changing the mesh,
+    geometry or probe grid transparently invalidates cached rows.
+    """
+
+    length: float
+    width: float
+    thickness: float
+    youngs_modulus: float
+    density: float
+    elements: int = 40
+    f_min: float = 1e3
+    f_max: float = 1e6
+    probe_points: int = 60
+    rayleigh_alpha: float = 0.0
+    rayleigh_beta: float = 1e-9
+
+    def _beam(self) -> "CantileverBeam":
+        from ..fem.structural import CantileverBeam
+
+        return CantileverBeam(
+            length=self.length, width=self.width, thickness=self.thickness,
+            youngs_modulus=self.youngs_modulus, density=self.density,
+            elements=self.elements)
+
+    def __call__(self, point: Mapping[str, object]) -> dict[str, float]:
+        order = int(point["order"])
+        method = str(point.get("method", "modal"))
+        expansion = point.get("expansion_freq")
+        freqs = (0.0,) if expansion is None else (float(expansion),)
+        stiffness, mass = self._beam().assemble()
+        rayleigh = (self.rayleigh_alpha, self.rayleigh_beta)
+        damping = rayleigh[0] * mass + rayleigh[1] * stiffness
+        rom = rom_from_matrices(mass, stiffness, order=order, method=method,
+                                drive_dof=-2, output_dofs=[-2],
+                                expansion_freqs=freqs, rayleigh=rayleigh)
+        probe = np.linspace(self.f_min, self.f_max, self.probe_points)
+        errors = harmonic_error(rom, mass, damping, stiffness, probe,
+                                drive_dof=-2, output_dofs=[-2])
+        omega_sq, _ = rom.modal_parameters()
+        fundamental = float(np.sqrt(max(float(omega_sq[0]), 0.0)) / (2.0 * np.pi))
+        return {
+            "max_error": float(np.max(errors)),
+            "mean_error": float(np.mean(errors)),
+            "within_1pct": float(np.mean(errors <= 0.01)),
+            "resonance_hz": fundamental,
+        }
+
+    def cache_payload(self) -> dict:
+        return {
+            "evaluator": "repro.rom.convert.BeamROMEvaluator",
+            "length": self.length, "width": self.width,
+            "thickness": self.thickness,
+            "youngs_modulus": self.youngs_modulus, "density": self.density,
+            "elements": self.elements, "f_min": self.f_min,
+            "f_max": self.f_max, "probe_points": self.probe_points,
+            "rayleigh_alpha": self.rayleigh_alpha,
+            "rayleigh_beta": self.rayleigh_beta,
+        }

@@ -63,5 +63,49 @@ class TestResultCache:
         assert ResultCache(tmp_path).get(key) is None
         cache.put(key, {"x": 1.0})
         cache.clear()
-        assert cache.stats() == {"hits": 0, "misses": 0, "stores": 0, "entries": 0}
+        assert cache.stats() == {"hits": 0, "misses": 0, "stores": 0,
+                                 "memory_entries": 0, "entries": 0, "bytes": 0}
         assert ResultCache(tmp_path).get(key) is None
+
+    def test_stats_reports_disk_entries_and_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for v in (1.0, 2.0, 3.0):
+            cache.put(scenario_key({"v": v}), {"force": v})
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        assert stats["memory_entries"] == 3
+        assert stats["bytes"] > 0
+        # A fresh instance sees the same persistent entries with cold memory.
+        fresh_stats = ResultCache(tmp_path).stats()
+        assert fresh_stats["entries"] == 3
+        assert fresh_stats["memory_entries"] == 0
+        assert fresh_stats["bytes"] == stats["bytes"]
+        cache.clear()
+        assert cache.stats()["entries"] == 0
+        assert cache.stats()["bytes"] == 0
+
+    def test_memory_only_stats_counts_memory_entries(self):
+        cache = ResultCache()
+        cache.put(scenario_key({"v": 9.0}), {"x": 1.0})
+        stats = cache.stats()
+        assert stats["entries"] == 1 and stats["bytes"] == 0
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path)
+        for v in range(10):
+            cache.put(scenario_key({"v": float(v)}), {"x": float(v)})
+        # A failing serialization (TypeError inside json.dump) must clean up
+        # its temp file too, not only OSError-class failures, and must not
+        # leave a phantom row in the memory layer or count a store.
+        stores_before = cache.stats()["stores"]
+        bad_key = scenario_key({"v": 99.0})
+        with pytest.raises(TypeError):
+            cache.put(bad_key, {"x": object()})
+        leftovers = [name
+                     for _, _, names in os.walk(tmp_path)
+                     for name in names if not name.endswith(".json")]
+        assert leftovers == []
+        assert not cache.contains(bad_key)
+        assert cache.stats()["stores"] == stores_before

@@ -101,6 +101,25 @@ class TestErrorCapture:
         assert result.num_failures == 1
         assert "CampaignError" in result.error(0)
 
+    def test_pool_worker_exception_isolated_per_point(self):
+        # An exception raised inside a multiprocessing worker must mark only
+        # that row as failed: the error text crosses the process boundary,
+        # yield statistics count the loss, and every other point -- including
+        # points sharing the failing point's dispatch chunk -- is unaffected.
+        spec = GridSweep(v=[1.0, 2.0, 3.0, 4.0, 1.5, 0.5])
+        result = CampaignRunner(backend="pool", processes=2,
+                                chunk_size=3).run(spec, failing_evaluator)
+        assert len(result) == 6
+        failed = result.failures()
+        assert {row.params["v"] for row in failed} == {3.0, 4.0}
+        assert result.error(2) == "ValueError: no solution at v=3.0"
+        assert result.error(3) == "ValueError: no solution at v=4.0"
+        ok_forces = [row["force"] for row in result if row.ok]
+        np.testing.assert_allclose(ok_forces, [1.0, 2.0, 1.5, 0.5])
+        assert result.yield_fraction() == pytest.approx(4.0 / 6.0)
+        assert result.yield_fraction(lambda row: row["force"] >= 1.0) \
+            == pytest.approx(3.0 / 6.0)
+
 
 class TestCaching:
     def test_second_run_is_all_hits(self, tmp_path):

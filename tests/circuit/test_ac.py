@@ -88,8 +88,11 @@ class TestRLCResonance:
         circuit.capacitor("C1", "b", "0", 1e-6)
         f0 = 1.0 / (2.0 * np.pi * np.sqrt(1e-3 * 1e-6))
         result = ACAnalysis(circuit, frequency_grid(f0 / 10, f0 * 10, 60)).run()
-        # Current magnitude peaks at the resonance frequency.
-        assert result.resonance_frequency("i(V1)") == pytest.approx(f0, rel=5e-2)
+        # Current magnitude peaks at the resonance frequency; the parabolic
+        # refinement resolves it well below the coarse log-grid spacing.
+        estimate = result.resonance_frequency("i(V1)")
+        assert estimate == pytest.approx(f0, rel=5e-3)
+        assert estimate not in result.frequencies
         # At resonance the current is limited by R only.
         assert np.max(result.magnitude("i(V1)")) == pytest.approx(1.0 / 10.0, rel=1e-2)
 

@@ -1,0 +1,118 @@
+"""Tests for the shared generalized eigensolver helper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import FEMError
+from repro.fem import CantileverBeam, solve_generalized_eig
+
+
+@pytest.fixture(scope="module")
+def beam_matrices():
+    beam = CantileverBeam(length=300e-6, width=20e-6, thickness=2e-6,
+                          youngs_modulus=160e9, density=2330.0, elements=40)
+    stiffness, mass = beam.assemble()
+    return stiffness, mass, beam
+
+
+class TestDensePath:
+    def test_matches_beam_frequencies(self, beam_matrices):
+        stiffness, mass, beam = beam_matrices
+        values, _ = solve_generalized_eig(stiffness, mass, 3, method="dense")
+        frequencies = np.sqrt(values) / (2.0 * np.pi)
+        # subset_by_index selects a different LAPACK driver than the full
+        # decomposition in natural_frequencies(), so allow driver-level noise.
+        np.testing.assert_allclose(frequencies, beam.natural_frequencies(3),
+                                   rtol=1e-6)
+
+    def test_vectors_are_mass_normalized(self, beam_matrices):
+        stiffness, mass, _ = beam_matrices
+        _, vectors = solve_generalized_eig(stiffness, mass, 4, method="dense")
+        gram = vectors.T @ mass @ vectors
+        np.testing.assert_allclose(gram, np.eye(4), atol=1e-8)
+
+    def test_vectors_satisfy_eigenproblem(self, beam_matrices):
+        stiffness, mass, _ = beam_matrices
+        values, vectors = solve_generalized_eig(stiffness, mass, 3,
+                                                method="dense")
+        for k in range(3):
+            residual = stiffness @ vectors[:, k] - values[k] * (mass @ vectors[:, k])
+            assert np.linalg.norm(residual) <= 1e-6 * values[k]
+
+    def test_deterministic_sign_convention(self, beam_matrices):
+        stiffness, mass, _ = beam_matrices
+        _, first = solve_generalized_eig(stiffness, mass, 3)
+        _, second = solve_generalized_eig(stiffness, mass, 3)
+        np.testing.assert_array_equal(first, second)
+        for k in range(3):
+            pivot = int(np.argmax(np.abs(first[:, k])))
+            assert first[pivot, k] > 0.0
+
+
+class TestSparsePath:
+    def test_shift_invert_matches_dense(self, beam_matrices):
+        stiffness, mass, _ = beam_matrices
+        dense_values, _ = solve_generalized_eig(stiffness, mass, 3,
+                                                method="dense")
+        sparse_values, vectors = solve_generalized_eig(
+            sp.csr_matrix(stiffness), sp.csr_matrix(mass), 3, method="sparse")
+        np.testing.assert_allclose(sparse_values, dense_values, rtol=1e-6)
+        gram = vectors.T @ sp.csr_matrix(mass) @ vectors
+        np.testing.assert_allclose(gram, np.eye(3), atol=1e-8)
+
+    def test_sigma_selects_same_modes_on_both_paths(self, beam_matrices):
+        stiffness, mass, beam = beam_matrices
+        # Target the band around mode 3: both paths must return the modes
+        # nearest the shift, not the lowest ones.
+        all_freqs = beam.natural_frequencies(6)
+        sigma = float((2.0 * np.pi * all_freqs[2]) ** 2 * 1.05)
+        dense_values, _ = solve_generalized_eig(stiffness, mass, 2,
+                                                method="dense", sigma=sigma)
+        sparse_values, _ = solve_generalized_eig(
+            sp.csr_matrix(stiffness), sp.csr_matrix(mass), 2,
+            method="sparse", sigma=sigma)
+        np.testing.assert_allclose(dense_values, sparse_values, rtol=1e-6)
+        # Nearest two eigenvalues to 1.05*lambda_3 are lambda_2 and lambda_3.
+        expected = (2.0 * np.pi * all_freqs[1:3]) ** 2
+        np.testing.assert_allclose(dense_values, expected, rtol=1e-6)
+
+    def test_indefinite_k_selects_nearest_zero_on_both_paths(self):
+        # Buckling/prestressed systems have negative eigenvalues; sigma=0
+        # must mean "nearest zero" on the dense path too, matching ARPACK.
+        stiffness = np.diag([-5.0, -1.0, 0.5, 2.0, 7.0])
+        mass = np.eye(5)
+        dense_values, _ = solve_generalized_eig(stiffness, mass, 2,
+                                                method="dense")
+        sparse_values, _ = solve_generalized_eig(
+            sp.csr_matrix(stiffness), sp.csr_matrix(mass), 2, method="sparse")
+        np.testing.assert_allclose(dense_values, sparse_values, rtol=1e-9)
+        np.testing.assert_allclose(dense_values, [-1.0, 0.5], rtol=1e-9)
+
+    def test_auto_uses_sparse_only_for_small_fraction(self, beam_matrices):
+        stiffness, mass, _ = beam_matrices
+        # Requesting most of the spectrum must silently take the dense path.
+        values, _ = solve_generalized_eig(sp.csr_matrix(stiffness),
+                                          sp.csr_matrix(mass),
+                                          mass.shape[0] - 1, method="auto")
+        assert values.shape == (mass.shape[0] - 1,)
+
+
+class TestValidation:
+    def test_count_bounds(self, beam_matrices):
+        stiffness, mass, _ = beam_matrices
+        with pytest.raises(FEMError):
+            solve_generalized_eig(stiffness, mass, 0)
+        with pytest.raises(FEMError):
+            solve_generalized_eig(stiffness, mass, mass.shape[0] + 1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(FEMError):
+            solve_generalized_eig(np.eye(3), np.eye(4), 1)
+
+    def test_unknown_method(self, beam_matrices):
+        stiffness, mass, _ = beam_matrices
+        with pytest.raises(FEMError):
+            solve_generalized_eig(stiffness, mass, 2, method="lanczos")

@@ -143,3 +143,75 @@ class TestHarmonicResponse:
             harmonic_response(mass, damping, stiffness, [-1.0])
         with pytest.raises(FEMError):
             harmonic_response(np.eye(2), damping, stiffness, [1.0])
+        with pytest.raises(FEMError):
+            harmonic_response(mass, damping, stiffness, [1.0], method="pade")
+
+
+class TestParabolicResonanceInterpolation:
+    def _oscillator(self):
+        # Analytic 1-DOF oscillator: m = 1e-4 kg, k = 200 N/m, c = 0.04.
+        chain = SpringMassChain(masses=(1e-4,), stiffnesses=(200.0,),
+                                dampings=(0.04,))
+        mass, damping, stiffness = chain.matrices()
+        f0 = np.sqrt(200.0 / 1e-4) / (2.0 * np.pi)
+        zeta = 0.04 / (2.0 * np.sqrt(200.0 * 1e-4))
+        f_peak = f0 * np.sqrt(1.0 - 2.0 * zeta ** 2)
+        return mass, damping, stiffness, f_peak
+
+    def test_estimate_not_quantized_to_grid(self):
+        mass, damping, stiffness, f_peak = self._oscillator()
+        # A deliberately coarse grid whose points straddle the true peak
+        # (an even count keeps f_peak off the grid).
+        frequencies = np.linspace(0.6 * f_peak, 1.4 * f_peak, 22)
+        response = harmonic_response(mass, damping, stiffness, frequencies)
+        estimate = response.resonance_frequency()
+        assert estimate not in frequencies
+        grid_step = frequencies[1] - frequencies[0]
+        grid_error = np.min(np.abs(frequencies - f_peak))
+        assert abs(estimate - f_peak) < grid_error
+        assert abs(estimate - f_peak) < 0.05 * grid_step
+
+    def test_refinement_beats_grid_on_average(self):
+        mass, damping, stiffness, f_peak = self._oscillator()
+        for points in (14, 24, 40):
+            frequencies = np.linspace(0.5 * f_peak, 1.5 * f_peak, points)
+            response = harmonic_response(mass, damping, stiffness, frequencies)
+            estimate = response.resonance_frequency()
+            assert abs(estimate - f_peak) <= \
+                np.min(np.abs(frequencies - f_peak)) + 1e-9
+
+    def test_boundary_peak_returns_grid_point(self):
+        mass, damping, stiffness, f_peak = self._oscillator()
+        # Grid entirely below resonance: the peak sits on the last sample.
+        frequencies = np.linspace(0.1 * f_peak, 0.8 * f_peak, 10)
+        response = harmonic_response(mass, damping, stiffness, frequencies)
+        assert response.resonance_frequency() == frequencies[-1]
+
+
+class TestHarmonicROMMethod:
+    def test_rom_method_matches_full_on_beam(self):
+        beam = CantileverBeam(300e-6, 20e-6, 2e-6, 160e9, 2330.0, elements=25)
+        stiffness, mass = beam.assemble()
+        damping = 1e-9 * stiffness
+        f1 = beam.analytic_first_frequency()
+        frequencies = np.linspace(0.3 * f1, 4.0 * f1, 30)
+        full = harmonic_response(mass, damping, stiffness, frequencies,
+                                 drive_dof=-2)
+        reduced = harmonic_response(mass, damping, stiffness, frequencies,
+                                    drive_dof=-2, method="rom", rom_order=8)
+        tip = stiffness.shape[0] - 2
+        relative = np.abs(reduced.dof(tip) - full.dof(tip)) \
+            / np.abs(full.dof(tip))
+        assert np.max(relative) < 1e-3
+        assert reduced.displacements.shape == full.displacements.shape
+        assert reduced.resonance_frequency() == pytest.approx(
+            full.resonance_frequency(), rel=1e-6)
+
+    def test_rom_order_clamped_to_system_size(self):
+        chain = SpringMassChain(masses=(1e-4, 1e-4),
+                                stiffnesses=(100.0, 100.0),
+                                dampings=(0.01, 0.01))
+        mass, damping, stiffness = chain.matrices()
+        response = harmonic_response(mass, damping, stiffness, [10.0, 50.0],
+                                     method="rom", rom_order=99)
+        assert response.displacements.shape == (2, 2)

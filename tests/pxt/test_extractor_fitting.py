@@ -144,6 +144,29 @@ class TestSecondOrderFit:
             fit_second_order(np.array([1.0, 2.0, 3.0]), np.array([0j, 1j, 2j]))
 
 
+class TestExtractSecondOrderFit:
+    def test_full_and_rom_paths_agree(self):
+        from repro.fem import CantileverBeam
+        from repro.pxt import extract_second_order_fit
+
+        beam = CantileverBeam(300e-6, 20e-6, 2e-6, 160e9, 2330.0, elements=20)
+        stiffness, mass = beam.assemble()
+        damping = 1e-9 * stiffness
+        f1 = beam.analytic_first_frequency()
+        # Fit only around the fundamental so the single-resonance model holds.
+        frequencies = np.linspace(0.5 * f1, 1.5 * f1, 120)
+        full = extract_second_order_fit(mass, damping, stiffness, frequencies,
+                                        drive_dof=-2)
+        reduced = extract_second_order_fit(mass, damping, stiffness,
+                                           frequencies, drive_dof=-2,
+                                           method="rom", rom_order=8)
+        assert reduced.natural_frequency_hz == pytest.approx(
+            full.natural_frequency_hz, rel=1e-6)
+        assert reduced.stiffness == pytest.approx(full.stiffness, rel=1e-4)
+        assert reduced.mass == pytest.approx(full.mass, rel=1e-4)
+        assert full.natural_frequency_hz == pytest.approx(f1, rel=1e-2)
+
+
 class TestRationalFit:
     def test_fits_second_order_compliance(self):
         frequencies = np.linspace(10.0, 1000.0, 200)

@@ -1,0 +1,144 @@
+"""Tests for the ROM circuit device and the conversion/campaign bridges."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.campaign import CampaignRunner, GridSweep, ResultCache
+from repro.circuit import ACAnalysis, Circuit, OperatingPointAnalysis, Sine, \
+    TransientAnalysis
+from repro.errors import FEMError
+from repro.fem import CantileverBeam, SpringMassChain
+from repro.rom import (BeamROMEvaluator, rom_device, rom_from_beam,
+                       rom_from_chain, rom_from_matrices)
+
+
+@pytest.fixture(scope="module")
+def chain():
+    return SpringMassChain(masses=(1e-4, 2e-4, 1.5e-4),
+                           stiffnesses=(200.0, 150.0, 120.0),
+                           dampings=(0.05, 0.02, 0.03))
+
+
+@pytest.fixture(scope="module")
+def chain_rom(chain):
+    return rom_from_chain(chain, drive_dof=-1, output_dofs=[-1])
+
+
+class TestBuilders:
+    def test_rom_from_matrices_method_dispatch(self, chain):
+        mass, damping, stiffness = chain.matrices()
+        modal = rom_from_matrices(mass, stiffness, damping, order=3)
+        krylov = rom_from_matrices(mass, stiffness, damping, order=3,
+                                   method="krylov")
+        assert modal.method == "modal" and krylov.method == "krylov"
+        np.testing.assert_allclose(modal.dc_gain(), krylov.dc_gain(),
+                                   rtol=1e-8)
+        with pytest.raises(FEMError):
+            rom_from_matrices(mass, stiffness, method="pod")
+
+    def test_rom_from_beam_default_drive_is_tip(self):
+        beam = CantileverBeam(300e-6, 20e-6, 2e-6, 160e9, 2330.0, elements=12)
+        rom = rom_from_beam(beam, order=5)
+        assert rom.dc_gain()[-2, 0] == pytest.approx(
+            1.0 / beam.tip_stiffness(), rel=1e-6)
+
+    def test_rom_device_requires_single_input(self, chain):
+        mass, damping, stiffness = chain.matrices()
+        multi = rom_from_matrices(mass, stiffness, damping, order=3,
+                                  drive_dof=0)
+        multi.B = np.ones((3, 2))  # fake a two-input model
+        circuit = Circuit("x")
+        with pytest.raises(FEMError):
+            rom_device("X1", multi, circuit.mechanical_node("m"),
+                       circuit.ground)
+
+
+class TestROMDeviceAnalyses:
+    def test_operating_point_static_deflection(self, chain, chain_rom):
+        circuit = Circuit("rom op")
+        circuit.force_source("F1", "m", "0", 1.0)
+        circuit.rom_block("X1", chain_rom, ("m", "0"))
+        op = OperatingPointAnalysis(circuit).run()
+        # DC: node velocity is zero, recorded displacement is the static one.
+        assert op["v(m)"] == pytest.approx(0.0, abs=1e-9)
+        assert op["y0(X1)"] == pytest.approx(chain.static_compliance(),
+                                             rel=1e-9)
+
+    def test_ac_matches_full_harmonic_solve(self, chain, chain_rom):
+        mass, damping, stiffness = chain.matrices()
+        circuit = Circuit("rom ac")
+        circuit.force_source("F1", "m", "0", 0.0, ac=1.0)
+        circuit.rom_block("X1", chain_rom, ("m", "0"))
+        freqs = np.linspace(50.0, 400.0, 25)
+        ac = ACAnalysis(circuit, freqs).run()
+        force = np.zeros(chain.size, dtype=complex)
+        force[-1] = 1.0
+        reference = []
+        for f in freqs:
+            omega = 2.0 * np.pi * f
+            dynamic = stiffness + 1j * omega * damping - omega * omega * mass
+            reference.append(1j * omega * np.linalg.solve(dynamic, force)[-1])
+        reference = np.asarray(reference)
+        np.testing.assert_allclose(ac["v(m)"], reference, rtol=1e-8)
+
+    def test_transient_matches_reduced_integration(self, chain_rom):
+        f0 = 80.0
+        circuit = Circuit("rom tran")
+        circuit.force_source("F1", "m", "0", Sine(amplitude=1.0, frequency=f0))
+        circuit.rom_block("X1", chain_rom, ("m", "0"))
+        result = TransientAnalysis(circuit, t_stop=0.05, t_step=2e-5).run()
+        t_ref, y_ref = chain_rom.transient(
+            0.05, 2e-5, force=lambda t: np.sin(2.0 * np.pi * f0 * t))
+        device_x = result.signal("y0(X1)")
+        reference = np.interp(result.time, t_ref, y_ref[:, 0])
+        scale = np.max(np.abs(reference))
+        assert np.max(np.abs(device_x - reference)) < 1e-3 * scale
+
+    def test_describe_mentions_order_and_method(self, chain_rom):
+        circuit = Circuit("rom describe")
+        circuit.force_source("F1", "m", "0", 1.0)
+        device = circuit.rom_block("X1", chain_rom, ("m", "0"))
+        assert "order=3" in device.describe()
+        assert "modal" in device.describe()
+
+    def test_port_count_must_match_inputs(self, chain_rom):
+        circuit = Circuit("rom ports")
+        from repro.circuit import ROMDevice
+        from repro.errors import DeviceError
+
+        m = circuit.mechanical_node("m")
+        k = circuit.mechanical_node("k")
+        with pytest.raises(DeviceError):
+            ROMDevice("X1", chain_rom, [(m, circuit.ground),
+                                        (k, circuit.ground)])
+
+
+class TestBeamROMEvaluator:
+    EVALUATOR = BeamROMEvaluator(
+        length=300e-6, width=20e-6, thickness=2e-6, youngs_modulus=160e9,
+        density=2330.0, elements=20, f_min=5e3, f_max=1.5e5, probe_points=20)
+
+    def test_order_sweep_converges(self):
+        result = CampaignRunner().run(GridSweep(order=[2, 4, 8]),
+                                      self.EVALUATOR)
+        errors = result.column("max_error")
+        assert errors[2] < errors[0]
+        assert result.column("within_1pct")[2] >= 0.95
+
+    def test_rows_are_cacheable(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = CampaignRunner(cache=cache)
+        spec = GridSweep(order=[3, 5])
+        first = runner.run(spec, self.EVALUATOR)
+        second = runner.run(spec, self.EVALUATOR)
+        assert first.num_cached == 0 and second.num_cached == 2
+        np.testing.assert_allclose(first.column("max_error"),
+                                   second.column("max_error"))
+
+    def test_resonance_output_close_to_analytic(self):
+        beam = CantileverBeam(300e-6, 20e-6, 2e-6, 160e9, 2330.0, elements=20)
+        result = CampaignRunner().run(GridSweep(order=[6]), self.EVALUATOR)
+        assert result.column("resonance_hz")[0] == pytest.approx(
+            beam.analytic_first_frequency(), rel=1e-2)

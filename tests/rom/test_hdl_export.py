@@ -1,0 +1,115 @@
+"""Tests for the ROM -> HDL-A Foster-chain export and its round trip."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import ACAnalysis, Circuit
+from repro.errors import ExtractionError
+from repro.fem import SpringMassChain
+from repro.hdl import instantiate, parse
+from repro.pxt import generate_rom_macromodel
+from repro.rom import ReducedModel, rom_from_chain, rom_to_hdl
+
+# Rayleigh-damped chain: diagonal modal damping, so the Foster synthesis is
+# exact (no off-diagonal damping is discarded).
+ALPHA, BETA = 0.5, 1e-5
+
+
+@pytest.fixture(scope="module")
+def chain_system():
+    chain = SpringMassChain(masses=(1e-4, 2e-4, 1.5e-4),
+                            stiffnesses=(200.0, 150.0, 120.0))
+    mass, _, stiffness = chain.matrices()
+    damping = ALPHA * mass + BETA * stiffness
+    return mass, damping, stiffness
+
+
+@pytest.fixture(scope="module")
+def rayleigh_rom(chain_system):
+    from repro.rom import rom_from_matrices
+
+    mass, _, stiffness = chain_system
+    return rom_from_matrices(mass, stiffness, order=3, drive_dof=-1,
+                             output_dofs=[-1], rayleigh=(ALPHA, BETA))
+
+
+class TestGeneration:
+    def test_source_structure(self, rayleigh_rom):
+        source = rom_to_hdl("romchain", rayleigh_rom)
+        assert "ENTITY romchain IS" in source
+        assert "p0, p1, p2, p3 : mechanical1" in source
+        assert source.count("%=") == 3  # one Foster section per mode
+        assert "integ(" in source and "ddt(" in source
+
+    def test_parses_and_analyzes(self, rayleigh_rom):
+        module = parse(rom_to_hdl("romchain", rayleigh_rom))
+        assert module.entity("romchain") is not None
+
+    def test_rigid_body_mode_rejected(self):
+        # A free mass (K = 0) has no spring to synthesize.
+        rom = ReducedModel(M=np.eye(1), C=np.zeros((1, 1)),
+                           K=np.zeros((1, 1)), B=np.ones(1),
+                           L=np.ones((1, 1)))
+        with pytest.raises(ExtractionError):
+            generate_rom_macromodel("free", rom)
+
+    def test_uncoupled_input_rejected(self):
+        rom = ReducedModel(M=np.eye(2), C=np.zeros((2, 2)),
+                           K=np.diag([1.0, 4.0]), B=np.zeros(2),
+                           L=np.eye(2))
+        with pytest.raises(ExtractionError):
+            generate_rom_macromodel("dead", rom)
+
+    def test_decoupled_modes_are_dropped(self):
+        # Only the first mode couples to the input: one section, two pins.
+        rom = ReducedModel(M=np.eye(2), C=np.zeros((2, 2)),
+                           K=np.diag([1.0, 4.0]), B=np.array([1.0, 0.0]),
+                           L=np.eye(2))
+        source = generate_rom_macromodel("partial", rom)
+        assert "p0, p1 : mechanical1" in source
+        assert source.count("%=") == 1
+
+
+class TestRoundTrip:
+    def test_ac_parity_with_reduced_model(self, chain_system, rayleigh_rom):
+        source = rom_to_hdl("romchain", rayleigh_rom)
+        module = parse(source)
+        circuit = Circuit("hdl rom roundtrip")
+        circuit.force_source("F1", "m", "0", 0.0, ac=1.0)
+        pins = {"p0": circuit.mechanical_node("m"),
+                "p1": circuit.mechanical_node("i1"),
+                "p2": circuit.mechanical_node("i2"),
+                "p3": circuit.ground}
+        circuit.behavioral(instantiate(module, "romchain", name="X1",
+                                       generics={}, pins=pins))
+        freqs = np.linspace(40.0, 400.0, 20)
+        ac = ACAnalysis(circuit, freqs).run()
+        # v(m) must equal j*omega times the ROM's drive-point compliance.
+        expected = 2j * np.pi * freqs * rayleigh_rom.harmonic(freqs)[:, 0]
+        np.testing.assert_allclose(ac["v(m)"], expected, rtol=1e-6)
+
+    def test_full_fem_parity(self, chain_system, rayleigh_rom):
+        # HDL chain against the raw (M, C, K) harmonic solve: end-to-end
+        # distillation error for a Rayleigh-damped structure.
+        mass, damping, stiffness = chain_system
+        source = rom_to_hdl("romchain", rayleigh_rom)
+        module = parse(source)
+        circuit = Circuit("hdl rom fem parity")
+        circuit.force_source("F1", "m", "0", 0.0, ac=1.0)
+        pins = {"p0": circuit.mechanical_node("m"),
+                "p1": circuit.mechanical_node("i1"),
+                "p2": circuit.mechanical_node("i2"),
+                "p3": circuit.ground}
+        circuit.behavioral(instantiate(module, "romchain", name="X1",
+                                       generics={}, pins=pins))
+        freqs = np.linspace(40.0, 400.0, 15)
+        ac = ACAnalysis(circuit, freqs).run()
+        force = np.zeros(mass.shape[0], dtype=complex)
+        force[-1] = 1.0
+        for value, f in zip(ac["v(m)"], freqs):
+            omega = 2.0 * np.pi * f
+            dynamic = stiffness + 1j * omega * damping - omega * omega * mass
+            reference = 1j * omega * np.linalg.solve(dynamic, force)[-1]
+            assert abs(value - reference) <= 1e-6 * abs(reference)

@@ -1,0 +1,175 @@
+"""Tests for the modal-truncation and Krylov reduction builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FEMError
+from repro.fem import CantileverBeam
+from repro.rom import harmonic_error, krylov_rom, modal_rom, rom_from_beam
+
+RAYLEIGH = (0.0, 1e-9)
+
+
+@pytest.fixture(scope="module")
+def beam():
+    return CantileverBeam(length=300e-6, width=20e-6, thickness=2e-6,
+                          youngs_modulus=160e9, density=2330.0, elements=30)
+
+
+@pytest.fixture(scope="module")
+def beam_matrices(beam):
+    stiffness, mass = beam.assemble()
+    damping = RAYLEIGH[0] * mass + RAYLEIGH[1] * stiffness
+    return mass, damping, stiffness
+
+
+@pytest.fixture(scope="module")
+def probe_grid(beam):
+    f1 = beam.analytic_first_frequency()
+    return np.linspace(0.2 * f1, 5.0 * f1, 40)
+
+
+class TestModalRom:
+    def test_acceptance_order6_within_1pct_at_95pct_of_probes(
+            self, beam, beam_matrices, probe_grid):
+        # The PR acceptance criterion: order >= 6, <= 1% relative error at
+        # >= 95% of probe frequencies on the beam fixture.
+        mass, damping, stiffness = beam_matrices
+        rom = rom_from_beam(beam, order=6, rayleigh=RAYLEIGH)
+        errors = harmonic_error(rom, mass, damping, stiffness, probe_grid,
+                                drive_dof=-2, output_dofs=[-2])
+        assert np.mean(errors <= 0.01) >= 0.95
+
+    def test_static_correction_fixes_antiresonance(self, beam, beam_matrices,
+                                                   probe_grid):
+        mass, damping, stiffness = beam_matrices
+        plain = modal_rom(mass, stiffness, order=6,
+                          inputs=stiffness.shape[0] - 2, rayleigh=RAYLEIGH,
+                          static_correction=False)
+        corrected = modal_rom(mass, stiffness, order=6,
+                              inputs=stiffness.shape[0] - 2, rayleigh=RAYLEIGH)
+        err_plain = harmonic_error(plain, mass, damping, stiffness,
+                                   probe_grid, drive_dof=-2, output_dofs=[-2])
+        err_corr = harmonic_error(corrected, mass, damping, stiffness,
+                                  probe_grid, drive_dof=-2, output_dofs=[-2])
+        assert np.max(err_corr) < 1e-4
+        assert np.max(err_corr) < 0.01 * np.max(err_plain)
+
+    def test_dc_gain_matches_tip_compliance(self, beam):
+        rom = rom_from_beam(beam, order=6)
+        stiffness, _ = beam.assemble()
+        assert rom.dc_gain()[0 if rom.num_outputs == 1 else -2, 0] \
+            == pytest.approx(1.0 / beam.tip_stiffness(), rel=1e-6)
+
+    def test_modal_frequencies_match_beam(self, beam, beam_matrices):
+        mass, _, stiffness = beam_matrices
+        rom = modal_rom(mass, stiffness, order=4, static_correction=False,
+                        inputs=stiffness.shape[0] - 2)
+        omega_sq, _ = rom.modal_parameters()
+        expected = (2.0 * np.pi * beam.natural_frequencies(4)) ** 2
+        np.testing.assert_allclose(omega_sq, expected, rtol=1e-8)
+
+    def test_rayleigh_and_damping_matrix_are_exclusive(self, beam_matrices):
+        mass, damping, stiffness = beam_matrices
+        with pytest.raises(FEMError):
+            modal_rom(mass, stiffness, damping, rayleigh=(1.0, 0.0))
+
+    def test_order_bounds(self, beam_matrices):
+        mass, _, stiffness = beam_matrices
+        with pytest.raises(FEMError):
+            modal_rom(mass, stiffness, order=0)
+        with pytest.raises(FEMError):
+            modal_rom(mass, stiffness, order=mass.shape[0] + 1)
+
+    def test_sparse_matrices_accepted(self, beam, beam_matrices):
+        import scipy.sparse as sp
+
+        mass, _, stiffness = beam_matrices
+        rom = modal_rom(sp.csr_matrix(mass), sp.csr_matrix(stiffness),
+                        order=6, inputs=mass.shape[0] - 2)
+        assert rom.dc_gain()[-2, 0] == pytest.approx(
+            1.0 / beam.tip_stiffness(), rel=1e-6)
+
+
+class TestKrylovRom:
+    def test_zero_expansion_matches_statics_exactly(self, beam, beam_matrices):
+        mass, _, stiffness = beam_matrices
+        rom = krylov_rom(mass, stiffness, order=6,
+                         inputs=mass.shape[0] - 2,
+                         outputs=mass.shape[0] - 2)
+        assert rom.dc_gain()[0, 0] == pytest.approx(
+            1.0 / beam.tip_stiffness(), rel=1e-9)
+
+    def test_accurate_around_expansion_points(self, beam, beam_matrices,
+                                              probe_grid):
+        mass, damping, stiffness = beam_matrices
+        f1 = beam.analytic_first_frequency()
+        rom = krylov_rom(mass, stiffness, damping=damping, order=8,
+                         expansion_freqs=(0.0, 2.0 * f1),
+                         inputs=mass.shape[0] - 2)
+        assert rom.order == 8  # Arnoldi must deliver the full requested basis
+        errors = harmonic_error(rom, mass, damping, stiffness, probe_grid,
+                                drive_dof=-2)
+        assert np.max(errors) < 1e-3
+
+    def test_resolves_first_resonance(self, beam, beam_matrices):
+        mass, _, stiffness = beam_matrices
+        rom = krylov_rom(mass, stiffness, order=6,
+                         expansion_freqs=(0.0, beam.analytic_first_frequency()),
+                         inputs=mass.shape[0] - 2)
+        omega_sq, _ = rom.modal_parameters()
+        f_ritz = np.sqrt(np.min(omega_sq)) / (2.0 * np.pi)
+        assert f_ritz == pytest.approx(float(beam.natural_frequencies(1)[0]),
+                                       rel=1e-6)
+
+    def test_requires_low_rank_inputs(self, beam_matrices):
+        mass, _, stiffness = beam_matrices
+        with pytest.raises(FEMError):
+            krylov_rom(mass, stiffness, order=4)  # identity input map
+
+    def test_every_expansion_point_contributes(self, beam, beam_matrices):
+        # Regression: the order budget must be split across expansion points,
+        # not consumed by the early ones with the later ones silently dropped.
+        mass, damping, stiffness = beam_matrices
+        f1 = beam.analytic_first_frequency()
+        high = 6.0 * f1
+        rom = krylov_rom(mass, stiffness, damping=damping, order=4,
+                         expansion_freqs=(0.0, 2.0 * f1, high),
+                         inputs=mass.shape[0] - 2)
+        near_high = np.linspace(0.9 * high, 1.1 * high, 10)
+        errors = harmonic_error(rom, mass, damping, stiffness, near_high,
+                                drive_dof=-2)
+        assert np.max(errors) < 0.01  # the high shift was actually used
+
+    def test_order_must_cover_expansion_points(self, beam_matrices):
+        mass, _, stiffness = beam_matrices
+        with pytest.raises(FEMError):
+            krylov_rom(mass, stiffness, order=2,
+                       expansion_freqs=(0.0, 1e4, 1e5),
+                       inputs=mass.shape[0] - 2)
+
+    def test_multi_input_order_is_honoured(self, beam_matrices):
+        # Regression: an order that does not divide the input count must not
+        # silently shrink the delivered basis.
+        mass, _, stiffness = beam_matrices
+        n = mass.shape[0]
+        inputs = np.zeros((n, 2))
+        inputs[n - 2, 0] = 1.0  # tip deflection
+        inputs[n - 1, 1] = 1.0  # tip rotation
+        rom = krylov_rom(mass, stiffness, order=5, inputs=inputs)
+        assert rom.order == 5
+
+    def test_basis_is_orthonormal(self, beam_matrices):
+        mass, _, stiffness = beam_matrices
+        rom = krylov_rom(mass, stiffness, order=5,
+                         inputs=mass.shape[0] - 2)
+        np.testing.assert_allclose(rom.basis.T @ rom.basis, np.eye(rom.order),
+                                   atol=1e-10)
+
+    def test_empty_expansion_rejected(self, beam_matrices):
+        mass, _, stiffness = beam_matrices
+        with pytest.raises(FEMError):
+            krylov_rom(mass, stiffness, order=4, expansion_freqs=(),
+                       inputs=0)

@@ -1,0 +1,144 @@
+"""Tests for the ReducedModel state-space macromodel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FEMError
+from repro.fem import SpringMassChain
+from repro.rom import ReducedModel, harmonic_error, rom_from_chain
+
+
+@pytest.fixture(scope="module")
+def chain():
+    return SpringMassChain(masses=(1e-4, 2e-4, 1.5e-4),
+                           stiffnesses=(200.0, 150.0, 120.0),
+                           dampings=(0.05, 0.02, 0.03))
+
+
+@pytest.fixture(scope="module")
+def full_order_rom(chain):
+    # Full-order "reduction": must be an exact change of coordinates.
+    return rom_from_chain(chain, drive_dof=-1)
+
+
+class TestReducedModelBasics:
+    def test_shapes_and_properties(self, full_order_rom):
+        rom = full_order_rom
+        assert rom.order == 3
+        assert rom.num_inputs == 1
+        assert rom.num_outputs == 3
+        assert rom.basis.shape == (3, 3)
+
+    def test_validation_rejects_mismatched_shapes(self):
+        eye = np.eye(2)
+        with pytest.raises(FEMError):
+            ReducedModel(M=eye, C=eye, K=np.eye(3), B=np.ones(2), L=np.ones((1, 2)))
+        with pytest.raises(FEMError):
+            ReducedModel(M=eye, C=eye, K=eye, B=np.ones(3), L=np.ones((1, 2)))
+        with pytest.raises(FEMError):
+            ReducedModel(M=eye, C=eye, K=eye, B=np.ones(2), L=np.ones((1, 3)))
+
+    def test_first_order_descriptor_consistent(self, full_order_rom):
+        a, b, c, e = full_order_rom.first_order()
+        r = full_order_rom.order
+        assert a.shape == e.shape == (2 * r, 2 * r)
+        assert b.shape == (2 * r, 1)
+        assert c.shape == (3, 2 * r)
+        # Eigenvalues of (A, E) must be the second-order poles: check that
+        # the DC gain of the descriptor system matches dc_gain().
+        gain = -c @ np.linalg.solve(a, b)
+        np.testing.assert_allclose(gain, full_order_rom.dc_gain(), rtol=1e-9)
+
+    def test_dc_gain_matches_static_compliance(self, chain, full_order_rom):
+        gain = full_order_rom.dc_gain()
+        assert gain[-1, 0] == pytest.approx(chain.static_compliance(), rel=1e-9)
+
+    def test_modal_parameters_match_chain_frequencies(self, chain, full_order_rom):
+        omega_sq, _ = full_order_rom.modal_parameters()
+        expected = (2.0 * np.pi * chain.natural_frequencies()) ** 2
+        np.testing.assert_allclose(np.sort(omega_sq), expected, rtol=1e-8)
+
+
+class TestHarmonic:
+    def test_full_order_harmonic_is_exact(self, chain, full_order_rom):
+        mass, damping, stiffness = chain.matrices()
+        freqs = np.linspace(20.0, 400.0, 25)
+        errors = harmonic_error(full_order_rom, mass, damping, stiffness,
+                                freqs, drive_dof=-1)
+        assert np.max(errors) < 1e-9
+
+    def test_harmonic_output_shape(self, full_order_rom):
+        response = full_order_rom.harmonic([50.0, 100.0])
+        assert response.shape == (2, 3)
+        assert response.dtype == complex
+
+    def test_empty_grid_rejected(self, full_order_rom):
+        with pytest.raises(FEMError):
+            full_order_rom.harmonic([])
+
+    def test_subset_output_rom_lifts_through_basis(self, chain):
+        # A subset-output ROM that kept its basis is compared by lifting, so
+        # the default all-DOF probe works and the metric ignores L entirely
+        # (a weighted output map must not skew the error).
+        mass, damping, stiffness = chain.matrices()
+        rom = rom_from_chain(chain, drive_dof=-1, output_dofs=[0])
+        errors = harmonic_error(rom, mass, damping, stiffness, [50.0, 100.0],
+                                drive_dof=-1)
+        assert np.max(errors) < 1e-9  # full-order reduction is exact
+        rom.L = 2.0 * rom.L  # a scaled output map must not change the metric
+        scaled = harmonic_error(rom, mass, damping, stiffness, [50.0, 100.0],
+                                drive_dof=-1)
+        assert np.max(scaled) < 1e-9
+
+    def test_basisless_subset_rom_requires_explicit_probe_dofs(self, chain):
+        # Without a basis the row->DOF mapping is positional and cannot be
+        # inferred: omitting output_dofs must fail loudly instead of
+        # comparing against the wrong DOF.
+        mass, damping, stiffness = chain.matrices()
+        rom = rom_from_chain(chain, drive_dof=-1, output_dofs=[-1])
+        rom.basis = None
+        with pytest.raises(FEMError):
+            harmonic_error(rom, mass, damping, stiffness, [50.0, 100.0],
+                           drive_dof=-1)
+        errors = harmonic_error(rom, mass, damping, stiffness, [50.0, 100.0],
+                                drive_dof=-1, output_dofs=[-1])
+        assert np.max(errors) < 1e-9
+
+
+class TestTransient:
+    def test_step_settles_to_static_deflection(self, chain, full_order_rom):
+        # Damped chain: the step response must settle onto K^-1 F.
+        times, outputs = full_order_rom.transient(4.0, 1e-3, force=2.0)
+        assert times[0] == 0.0 and outputs[0, -1] == 0.0
+        assert outputs[-1, -1] == pytest.approx(
+            2.0 * chain.static_compliance(), rel=1e-3)
+
+    def test_time_grid_and_shapes(self, full_order_rom):
+        times, outputs = full_order_rom.transient(0.1, 0.01)
+        assert times.shape[0] == outputs.shape[0] == 11
+        assert outputs.shape[1] == 3
+
+    def test_invalid_steps_rejected(self, full_order_rom):
+        with pytest.raises(FEMError):
+            full_order_rom.transient(-1.0, 0.1)
+        with pytest.raises(FEMError):
+            full_order_rom.transient(1.0, 2.0)
+
+
+class TestLift:
+    def test_lift_recovers_full_static_solution(self, chain, full_order_rom):
+        mass, _, stiffness = chain.matrices()
+        force = np.zeros(chain.size)
+        force[-1] = 1.0
+        q_static = np.linalg.solve(full_order_rom.K, full_order_rom.B[:, 0])
+        np.testing.assert_allclose(full_order_rom.lift(q_static),
+                                   np.linalg.solve(stiffness, force),
+                                   rtol=1e-9)
+
+    def test_lift_without_basis_raises(self):
+        rom = ReducedModel(M=np.eye(1), C=np.zeros((1, 1)), K=np.eye(1),
+                           B=np.ones(1), L=np.ones((1, 1)))
+        with pytest.raises(FEMError):
+            rom.lift(np.ones(1))
