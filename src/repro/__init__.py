@@ -17,6 +17,9 @@ The package provides, entirely in Python:
 * :mod:`repro.transducers` -- the four conservative electromechanical
   transducers of the paper (Tables 2/3) in energy-based, closed-form and
   linearized equivalent-circuit forms,
+* :mod:`repro.linalg` -- the shared factorization-caching linear-solver
+  core (dense LU / SuperLU / CG backends, fingerprint-keyed factorization
+  reuse, sparsity-pattern caching) behind every analysis layer,
 * :mod:`repro.fem` -- a 2D electrostatic finite-element solver standing in
   for ANSYS, plus structural beam/chain models and harmonic analysis,
 * :mod:`repro.pxt` -- the parameter extraction and HDL model generation tool,
@@ -44,7 +47,7 @@ Quickstart::
 
 from __future__ import annotations
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from . import constants, errors, units
 from .campaign import (
@@ -69,6 +72,7 @@ from .circuit import (
     SimulationOptions,
     TransientAnalysis,
 )
+from .linalg import FactorizationCache, FactorizedSolver, StructureCache
 from .natures import ELECTRICAL, MECHANICAL_TRANSLATION, get_nature
 from .rom import (
     BeamROMEvaluator,
@@ -120,6 +124,9 @@ __all__ = [
     "Uniform",
     "Normal",
     "ResultCache",
+    "FactorizedSolver",
+    "FactorizationCache",
+    "StructureCache",
     "ELECTRICAL",
     "MECHANICAL_TRANSLATION",
     "get_nature",

@@ -22,6 +22,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from typing import Mapping
 
 from ..errors import CampaignError
@@ -63,19 +64,48 @@ class ResultCache:
     directory:
         On-disk location; ``None`` keeps the cache memory-only.  The
         directory (and shard subdirectories) are created on demand.
+    max_disk_bytes:
+        Optional cap on the total size of the persisted entries.  When a
+        store pushes the cache past the cap, the least-recently-used entries
+        (by file modification time; reads refresh it) are pruned until the
+        cache fits.  ``None`` disables eviction.
     """
 
-    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+    def __init__(self, directory: str | os.PathLike | None = None,
+                 max_disk_bytes: int | None = None) -> None:
         self.directory = None if directory is None else os.fspath(directory)
+        if max_disk_bytes is not None and max_disk_bytes < 1:
+            raise CampaignError("max_disk_bytes must be positive (or None)")
+        if max_disk_bytes is not None and self.directory is None:
+            raise CampaignError(
+                "max_disk_bytes bounds the on-disk store; it needs a cache "
+                "directory (memory-only caches are unbounded)")
+        self.max_disk_bytes = max_disk_bytes
         self._memory: dict[str, dict] = {}
+        #: Running total of persisted bytes (None until first needed); kept
+        #: incrementally so capped stores do not rescan the store per put.
+        self._disk_bytes: int | None = None
+        #: Strictly increasing recency clock: plain mtimes tie within the
+        #: filesystem timestamp granularity, which would make LRU ordering
+        #: of rapid touches arbitrary.
+        self._recency_clock = 0.0
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------ paths
     def _path(self, key: str) -> str:
         assert self.directory is not None
         return os.path.join(self.directory, key[:2], f"{key}.json")
+
+    def _touch(self, path: str) -> None:
+        """Stamp ``path`` with a strictly newer mtime than any prior touch."""
+        self._recency_clock = max(time.time(), self._recency_clock + 1e-4)
+        try:
+            os.utime(path, times=(self._recency_clock, self._recency_clock))
+        except OSError:
+            pass
 
     # ------------------------------------------------------------------ access
     def get(self, key: str) -> dict | None:
@@ -83,6 +113,10 @@ class ResultCache:
         row = self._memory.get(key)
         if row is not None:
             self.hits += 1
+            if self.directory is not None and self.max_disk_bytes is not None:
+                # Memory hits must refresh the on-disk recency too, or the
+                # hottest rows look stalest to the LRU pruner.
+                self._touch(self._path(key))
             return dict(row)
         if self.directory is not None:
             path = self._path(key)
@@ -94,6 +128,8 @@ class ResultCache:
             if isinstance(row, dict):
                 self._memory[key] = row  # promote for the rest of the run
                 self.hits += 1
+                if self.max_disk_bytes is not None:
+                    self._touch(path)  # refresh LRU recency for the pruner
                 return dict(row)
         self.misses += 1
         return None
@@ -113,6 +149,10 @@ class ResultCache:
             return
         path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
+        try:
+            previous_size = os.path.getsize(path)
+        except OSError:
+            previous_size = 0
         # Write-rename so a concurrent reader never sees a torn file.
         fd, tmp_path = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
         try:
@@ -129,6 +169,65 @@ class ResultCache:
             raise
         self._memory[key] = row
         self.stores += 1
+        if self.max_disk_bytes is not None:
+            self._touch(path)  # granularity-proof recency for the pruner
+            if self._disk_bytes is None:
+                self._disk_bytes = sum(self._entry_sizes().values())
+            else:
+                try:
+                    self._disk_bytes += os.path.getsize(path) - previous_size
+                except OSError:
+                    pass
+            if self._disk_bytes > self.max_disk_bytes:
+                self._prune_disk(keep=key)
+
+    def _entry_sizes(self) -> dict[str, int]:
+        sizes = {}
+        for path in self._disk_files():
+            try:
+                sizes[path] = os.path.getsize(path)
+            except OSError:
+                continue
+        return sizes
+
+    def _prune_disk(self, keep: str | None = None) -> None:
+        """Evict least-recently-used entries until the store fits the cap.
+
+        Only runs when the running byte total exceeds the cap, and prunes to
+        90% of it so back-to-back stores near the limit do not rescan the
+        shard tree every time.  ``keep`` protects the just-written key so a
+        single oversized row cannot evict itself into a store/miss loop.
+        """
+        entries = []
+        total = 0
+        for path in self._disk_files():
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        self._disk_bytes = total  # authoritative rescan
+        if total <= self.max_disk_bytes:
+            return
+        low_water = int(0.9 * self.max_disk_bytes)
+        protected = None if keep is None else self._path(keep)
+        entries.sort()  # oldest mtime first
+        for _, size, path in entries:
+            if total <= low_water:
+                break
+            if path == protected:
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            self.evictions += 1
+            # The memory layer mirrors the persistent store; a pruned entry
+            # must miss (and be recomputed) next run, not ghost-hit here.
+            self._memory.pop(os.path.splitext(os.path.basename(path))[0], None)
+        self._disk_bytes = total
 
     def _disk_files(self):
         """Yield the path of every persisted entry (empty for memory-only)."""
@@ -152,10 +251,14 @@ class ResultCache:
         """Drop one entry from memory and disk."""
         self._memory.pop(key, None)
         if self.directory is not None:
+            path = self._path(key)
             try:
-                os.unlink(self._path(key))
+                size = os.path.getsize(path)
+                os.unlink(path)
             except OSError:
-                pass
+                return
+            if self._disk_bytes is not None:
+                self._disk_bytes = max(0, self._disk_bytes - size)
 
     def clear(self) -> None:
         """Drop every entry (and reset the hit/miss counters)."""
@@ -165,7 +268,8 @@ class ResultCache:
                 os.unlink(path)
             except OSError:
                 pass
-        self.hits = self.misses = self.stores = 0
+        self._disk_bytes = 0 if self.directory is not None else None
+        self.hits = self.misses = self.stores = self.evictions = 0
 
     def stats(self) -> dict[str, int]:
         """Cache size and counter snapshot.
@@ -186,6 +290,7 @@ class ResultCache:
                 continue
             disk_entries += 1
         return {"hits": self.hits, "misses": self.misses, "stores": self.stores,
+                "evictions": self.evictions,
                 "memory_entries": len(self._memory),
                 "entries": disk_entries if self.directory is not None
                 else len(self._memory),

@@ -7,6 +7,20 @@ linearization is exact: their contributions are evaluated with complex-seeded
 dual numbers in which ``ddt`` multiplies the sensitivity by ``j*omega``
 (see :class:`repro.circuit.devices.behavioral.BehaviorContext`).
 
+Sweep caching
+-------------
+Re-stamping every device at every frequency repeats work: for the device
+classes of this package the small-signal matrix has the exact form
+``Y(omega) = G + j*omega*C + S/(j*omega)`` (conductances, ``ddt``
+susceptances and ``integ`` terms respectively).  Unless
+``options.jacobian_reuse == "off"``, the sweep assembles that decomposition
+once from probe frequencies, *verifies* it against a direct assembly at an
+independent probe, and then walks the grid as pure value updates + dense
+refactorizations through :mod:`repro.linalg` -- devices are never stamped
+again.  A circuit whose frequency dependence does not fit the decomposition
+fails the verification probe and transparently falls back to per-frequency
+assembly, so the fast path can never change which circuits are solvable.
+
 This is precisely the analysis the paper uses to claim that HDL-A models
 "are valid for the dc, ac and transient SPICE analysis domains": a single
 nonlinear model provides all three behaviours without being rewritten.
@@ -18,14 +32,19 @@ from typing import Iterable
 
 import numpy as np
 
-from ...errors import AnalysisError, SingularMatrixError
-from ..mna import Integrator, MNASystem
+from ...errors import AnalysisError, LinAlgError, SingularMatrixError
+from ...linalg import FactorizedSolver
+from ..mna import MNASystem
 from ..netlist import Circuit
 from .op import OperatingPointAnalysis
 from .options import SimulationOptions
-from .results import ACResult, OperatingPoint
+from .results import ACResult, OperatingPoint, canonical_signal_name
 
 __all__ = ["ACAnalysis", "frequency_grid"]
+
+#: Relative mismatch above which the G/C/S decomposition is rejected at the
+#: verification probe (generous against rounding, far below model errors).
+_VERIFY_RTOL = 1e-7
 
 
 def frequency_grid(start: float, stop: float, points_per_decade: int = 20,
@@ -57,6 +76,9 @@ class ACAnalysis:
         if np.any(self.frequencies <= 0.0):
             raise AnalysisError("AC frequencies must be strictly positive")
         self.options = options or SimulationOptions()
+        #: ``"cached"`` or ``"direct"`` after :meth:`run` -- which sweep
+        #: strategy actually executed (diagnostics and tests).
+        self.sweep_mode: str | None = None
 
     def run(self, operating_point: OperatingPoint | None = None) -> ACResult:
         """Run the sweep; optionally reuse a precomputed operating point."""
@@ -72,26 +94,110 @@ class ACAnalysis:
         # ``op_state`` so that e.g. a transducer biased at displacement x0
         # keeps that displacement in its small-signal capacitance.
         integrator_states = dict(operating_point.integrator_states)
+        solutions = None
+        if options.jacobian_reuse != "off" and self.frequencies.size >= 4:
+            solutions = self._sweep_cached(system, op_values, integrator_states)
+        if solutions is None:
+            self.sweep_mode = "direct"
+            solutions = self._sweep_direct(system, op_values, integrator_states)
+        else:
+            self.sweep_mode = "cached"
         labels = system.unknown_labels()
-        data: dict[str, np.ndarray] = {label: np.zeros(self.frequencies.size, dtype=complex)
-                                       for label in labels}
+        data = {canonical_signal_name(label): solutions[:, i]
+                for i, label in enumerate(labels)}
+        return ACResult(self.frequencies, data)
+
+    # ------------------------------------------------------------------ sweeps
+    def _solve_point(self, matrix: np.ndarray, rhs: np.ndarray,
+                     solver: FactorizedSolver, frequency: float) -> np.ndarray:
+        try:
+            return solver.solve(matrix, rhs)
+        except LinAlgError as exc:
+            raise SingularMatrixError(
+                f"singular small-signal matrix at f={frequency:g} Hz: {exc}") from exc
+
+    def _sweep_direct(self, system: MNASystem, op_values: np.ndarray,
+                      integrator_states: dict) -> np.ndarray:
+        """Reference path: stamp and solve every frequency independently."""
+        solver = FactorizedSolver("dense")
+        solutions = np.zeros((self.frequencies.size, system.size), dtype=complex)
         for k, frequency in enumerate(self.frequencies):
             omega = 2.0 * np.pi * float(frequency)
-            ctx = system.assemble_ac(op_values, omega, integrator_states, options)
-            try:
-                solution = np.linalg.solve(ctx.matrix, ctx.rhs)
-            except np.linalg.LinAlgError as exc:
-                raise SingularMatrixError(
-                    f"singular small-signal matrix at f={frequency:g} Hz: {exc}") from exc
-            for i, label in enumerate(labels):
-                data[label][k] = solution[i]
-        # Rename auxiliary labels to the i(<device>) convention where possible.
-        renamed: dict[str, np.ndarray] = {}
-        for label, values in data.items():
-            if "#" in label:
-                device, aux = label.split("#", 1)
-                key = f"i({device})" if aux == "i" else f"{device}.{aux}"
-            else:
-                key = label
-            renamed[key] = values
-        return ACResult(self.frequencies, renamed)
+            ctx = system.assemble_ac(op_values, omega, integrator_states,
+                                     self.options)
+            solutions[k] = self._solve_point(ctx.matrix, ctx.rhs, solver,
+                                             float(frequency))
+        return solutions
+
+    def _sweep_cached(self, system: MNASystem, op_values: np.ndarray,
+                      integrator_states: dict) -> np.ndarray | None:
+        """Extract ``Y = G + jwC + S/(jw)`` once and sweep as value updates.
+
+        Returns ``None`` when the verification probe rejects the
+        decomposition (frequency dependence outside the model) so the caller
+        falls back to the direct sweep.
+        """
+        f_lo = float(np.min(self.frequencies))
+        f_hi = float(np.max(self.frequencies))
+        omega_lo = 2.0 * np.pi * f_lo
+        omega_hi = 2.0 * np.pi * f_hi
+        if omega_hi >= 2.0 * omega_lo:
+            # Extract at the sweep edges -- frequency dependence outside the
+            # model grows fastest there, so the edge probes give the
+            # real-part check its maximum lever -- and verify in between.
+            omega_a, omega_b = omega_lo, omega_hi
+            omega_c = float(np.sqrt(omega_lo * omega_hi))
+        else:
+            # Narrow band: spread synthetic probes instead (and the model
+            # cannot drift far across it anyway).
+            omega_a, omega_b = omega_lo, 2.0 * omega_lo
+            omega_c = 3.0 * omega_lo
+
+        def probe(omega: float):
+            ctx = system.assemble_ac(op_values, omega, integrator_states,
+                                     self.options)
+            return ctx.matrix, ctx.rhs
+
+        y_a, rhs = probe(omega_a)
+        y_b, rhs_b = probe(omega_b)
+        # Entrywise: omega * Im(Y) = omega^2 * C - S, linear in omega^2.
+        im_a, im_b = np.imag(y_a), np.imag(y_b)
+        capacitance = (omega_b * im_b - omega_a * im_a) / \
+            (omega_b ** 2 - omega_a ** 2)
+        integ_map = omega_a ** 2 * capacitance - omega_a * im_a
+        conductance = np.real(y_a)
+        # Entries of S below the rounding floor of the subtraction they came
+        # from are extraction noise, not physics; zeroing them keeps pure
+        # G/C circuits on the two-term matrix update.
+        noise_floor = 1e-12 * np.maximum(np.abs(omega_a ** 2 * capacitance),
+                                         np.abs(omega_a * im_a))
+        integ_map[np.abs(integ_map) <= noise_floor] = 0.0
+        has_integ = bool(np.any(integ_map))
+
+        # Verification: the decomposition must reproduce an independent
+        # probe (and the real part / excitation must be frequency-flat).
+        y_c, rhs_c = probe(omega_c)
+        susceptance = 1j * capacitance
+        inverse_map = integ_map / 1j
+        predicted = conductance + omega_c * susceptance + inverse_map / omega_c
+        # Tolerances scale per row: an entry only matters relative to its own
+        # equation, and a global |Y| scale would let small-magnitude rows
+        # (high-impedance nodes) drift through verification unchecked.
+        row_scale = np.max(np.abs(y_c), axis=1, keepdims=True)
+        row_scale[row_scale == 0.0] = 1.0
+        tolerance = _VERIFY_RTOL * row_scale
+        if not (np.all(np.abs(predicted - y_c) <= tolerance)
+                and np.all(np.abs(np.real(y_b) - conductance) <= tolerance)
+                and np.allclose(rhs_b, rhs, rtol=1e-12, atol=0.0)
+                and np.allclose(rhs_c, rhs, rtol=1e-12, atol=0.0)):
+            return None
+
+        solver = FactorizedSolver("dense")
+        solutions = np.zeros((self.frequencies.size, system.size), dtype=complex)
+        for k, frequency in enumerate(self.frequencies):
+            omega = 2.0 * np.pi * float(frequency)
+            matrix = conductance + omega * susceptance
+            if has_integ:
+                matrix += inverse_map / omega
+            solutions[k] = self._solve_point(matrix, rhs, solver, float(frequency))
+        return solutions

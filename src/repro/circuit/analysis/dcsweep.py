@@ -18,7 +18,7 @@ from ..devices.sources import CurrentSource, VoltageSource
 from ..mna import MNASystem
 from ..netlist import Circuit
 from ..waveforms import DC
-from .op import collect_outputs, newton_solve
+from .op import NewtonWorkspace, collect_outputs, newton_solve
 from .options import SimulationOptions
 from .results import DCSweepResult
 
@@ -67,12 +67,18 @@ class DCSweepAnalysis:
         original_waveform = self._source.waveform
         x = np.zeros(system.size)
         rows: list[dict[str, float]] = []
+        # One workspace for the whole sweep: a linear circuit's Jacobian is
+        # independent of the swept source value, so every point after the
+        # first reuses the same factorization.
+        workspace = NewtonWorkspace(options)
         try:
             for value in self.values:
                 self._source.waveform = DC(float(value))
                 try:
-                    x, _ = newton_solve(system, x, "dc", 0.0, None, options, 1.0)
-                    ctx = system.assemble(x, "dc", 0.0, None, options, 1.0)
+                    x, _ = newton_solve(system, x, "dc", 0.0, None, options, 1.0,
+                                        workspace=workspace)
+                    ctx = system.assemble(x, "dc", 0.0, None, options, 1.0,
+                                          want_jacobian=False)
                     rows.append(collect_outputs(system, ctx))
                 except (ConvergenceError, SingularMatrixError):
                     if not self.continue_on_failure:

@@ -7,6 +7,23 @@ unknown's update to fall below ``tol_i = (vntol | abstol) + reltol * |x_i|``
 velocities) using ``vntol`` and auxiliary through-type unknowns using
 ``abstol``.
 
+Linear stage
+------------
+Every Newton update routes through :mod:`repro.linalg`.  A
+:class:`NewtonWorkspace` carries the factorization state across iterations
+*and* across calls (time steps of a transient, points of a DC sweep), which
+is where the ``jacobian_reuse`` policies of
+:class:`~repro.circuit.analysis.options.SimulationOptions` live:
+
+* ``"off"`` factors every freshly assembled Jacobian,
+* ``"auto"`` matches the assembled Jacobian against recently factored
+  matrices (exact array equality) and skips the refactor when the values
+  are unchanged -- bit-identical to ``"off"``, and a linear circuit at a
+  fixed step factors exactly once for a whole run,
+* ``"chord"`` keeps solving with the held factorization while assembling
+  the residual only (no derivative propagation at all); a stalling residual
+  or a step-size change triggers an automatic full-Newton refactor.
+
 When plain Newton from a zero initial guess fails (strongly nonlinear bias
 points such as an electrostatic transducer biased close to pull-in), the
 operating-point analysis falls back to **source stepping**: all independent
@@ -18,62 +35,176 @@ from __future__ import annotations
 
 import numpy as np
 
-from ...errors import ConvergenceError, FEMError, SingularMatrixError
-from ...fem.solver import solve_sparse
+import scipy.sparse as sp
+
+from ...errors import ConvergenceError, LinAlgError, SingularMatrixError
+from ...linalg import FactorizedSolver
 from ..mna import Integrator, MNASystem, StampContext
 from ..netlist import Circuit
 from .options import SimulationOptions
 from .results import OperatingPoint
 
-__all__ = ["newton_solve", "collect_outputs", "OperatingPointAnalysis"]
+__all__ = ["newton_solve", "collect_outputs", "NewtonWorkspace",
+           "OperatingPointAnalysis"]
+
+
+class NewtonWorkspace:
+    """Linear-stage state shared across the Newton solves of one analysis.
+
+    Holds the backend solver, a short equality-matched list of recently
+    factored Jacobians and the chord-Newton bookkeeping (which factorization
+    is held, and for which integrator step / source level it was produced).
+    Analyses create one workspace per run and thread it through every
+    :func:`newton_solve` call so factorizations survive across time steps
+    and sweep points.
+    """
+
+    #: Recent (matrix, factorization) pairs kept for equality matching.
+    _RECENT_LIMIT = 4
+
+    def __init__(self, options: SimulationOptions) -> None:
+        self.options = options
+        self.solver = FactorizedSolver(options.solver_backend(),
+                                       rtol=options.linear_solver_rtol,
+                                       cg_fallback=True)
+        #: list of (structure generation, matrix, factorization), most
+        #: recent first.  Matching is exact array equality -- a memcmp-speed
+        #: check, cheap enough to run every Newton iteration (unlike a
+        #: content hash, which costs a sizable fraction of the LU it is
+        #: trying to skip).
+        self._recent: list[tuple[int, object, object]] = []
+        self.factorization = None
+        #: (analysis, step, source_scale, structure generation) the held
+        #: factorization belongs to; chord reuse is only valid within it.
+        self.chord_tag: tuple | None = None
+        self.factor_reuses = 0
+        self.chord_iterations = 0
+        self.stall_refactors = 0
+
+    @staticmethod
+    def _same_matrix(stored, matrix) -> bool:
+        if sp.issparse(matrix):
+            return sp.issparse(stored) and stored.shape == matrix.shape \
+                and stored.data.size == matrix.data.size \
+                and np.array_equal(stored.data, matrix.data)
+        return not sp.issparse(stored) and np.array_equal(stored, matrix)
+
+    def factor(self, system: MNASystem, ctx: StampContext):
+        """Factor (or fetch) the Jacobian of a fully assembled context."""
+        matrix = ctx.jacobian()
+        generation = system.structure_cache.generation if ctx.use_sparse else 0
+        if self.options.jacobian_reuse == "off":
+            factorization = self.solver.factorize(matrix)
+        else:
+            factorization = None
+            for index, (stored_gen, stored, handle) in enumerate(self._recent):
+                # The generation tag pins the sparsity pattern the stored
+                # data array belongs to.
+                if stored_gen == generation and self._same_matrix(stored, matrix):
+                    factorization = handle
+                    if index:
+                        self._recent.insert(0, self._recent.pop(index))
+                    self.factor_reuses += 1
+                    break
+            if factorization is None:
+                factorization = self.solver.factorize(matrix)
+                self._recent.insert(0, (generation, matrix, factorization))
+                del self._recent[self._RECENT_LIMIT:]
+        self.factorization = factorization
+        return factorization
+
+    def statistics(self) -> dict[str, int]:
+        """Counters for result statistics and the reuse benchmarks."""
+        return {
+            "factorizations": self.solver.factorizations,
+            "factor_cache_hits": self.factor_reuses,
+            "chord_iterations": self.chord_iterations,
+            "stall_refactors": self.stall_refactors,
+        }
+
+
+def _chord_tag(system: MNASystem, analysis: str,
+               integrator: Integrator | None, source_scale: float) -> tuple:
+    step = integrator.h if (integrator is not None
+                            and analysis == "tran"
+                            and not integrator.priming) else None
+    return (analysis, step, source_scale, system.structure_cache.generation)
 
 
 def newton_solve(system: MNASystem, x0: np.ndarray, analysis: str, time: float,
                  integrator: Integrator | None, options: SimulationOptions,
-                 source_scale: float = 1.0) -> tuple[np.ndarray, int]:
+                 source_scale: float = 1.0,
+                 workspace: NewtonWorkspace | None = None) -> tuple[np.ndarray, int]:
     """Solve ``F(x) = 0`` by damped Newton-Raphson starting from ``x0``.
 
     Returns the converged solution and the number of iterations used.
     Raises :class:`~repro.errors.ConvergenceError` when the iteration cap is
     reached and :class:`~repro.errors.SingularMatrixError` when the Jacobian
-    cannot be factorised.
+    cannot be factorised.  ``workspace`` carries factorization reuse across
+    calls; a throwaway one is created when omitted.
     """
+    ws = NewtonWorkspace(options) if workspace is None else workspace
     x = np.array(x0, dtype=float, copy=True)
     n_nodes = system.num_nodes
+    base_tol = np.where(np.arange(system.size) < n_nodes,
+                        options.vntol, options.abstol)
+    tag = _chord_tag(system, analysis, integrator, source_scale)
+    chord_allowed = options.jacobian_reuse == "chord"
+    chord = (chord_allowed
+             and ws.factorization is not None and ws.chord_tag == tag)
+    # Past this point a chord solve that is still grinding is assumed to be
+    # riding a stale Jacobian; refactor instead of burning the iteration cap.
+    chord_limit = max(3, options.max_newton_iterations // 2)
+    previous_residual = None
     for iteration in range(1, options.max_newton_iterations + 1):
-        ctx = system.assemble(x, analysis, time, integrator, options, source_scale)
+        ctx = system.assemble(x, analysis, time, integrator, options,
+                              source_scale, want_jacobian=not chord)
         if not np.all(np.isfinite(ctx.res)) or not ctx.jacobian_is_finite():
             raise ConvergenceError(
                 f"non-finite residual/Jacobian at iteration {iteration} (t={time:g})",
                 iterations=iteration)
-        if ctx.use_sparse:
-            # Large systems assemble COO triplets and route through the FE
-            # sparse solver (SuperLU direct or preconditioned CG).
-            try:
-                dx = solve_sparse(ctx.jacobian(), -ctx.res,
-                                  method=options.sparse_method(),
-                                  rtol=options.linear_solver_rtol)
-            except FEMError as exc:
-                raise SingularMatrixError(
-                    f"sparse MNA solve failed for {analysis} at t={time:g}: {exc}"
-                ) from exc
+        if chord:
+            residual_norm = float(np.max(np.abs(ctx.res))) if ctx.res.size else 0.0
+            stalled = (previous_residual is not None
+                       and residual_norm >
+                       options.refactor_threshold * previous_residual)
+            if stalled or iteration >= chord_limit:
+                ctx = system.assemble(x, analysis, time, integrator, options,
+                                      source_scale, want_jacobian=True)
+                if not ctx.jacobian_is_finite():
+                    raise ConvergenceError(
+                        f"non-finite Jacobian at iteration {iteration} (t={time:g})",
+                        iterations=iteration)
+                _factorize(ws, system, ctx, analysis, time)
+                ws.chord_tag = tag
+                ws.stall_refactors += 1
+                previous_residual = None
+                if iteration >= chord_limit:
+                    # This solve is grinding: give the rest of it plain full
+                    # Newton instead of re-assembling twice per iteration.
+                    chord_allowed = False
+                    chord = False
+            else:
+                ws.chord_iterations += 1
+                previous_residual = residual_norm
+            factorization = ws.factorization
         else:
-            try:
-                dx = np.linalg.solve(ctx.jac, -ctx.res)
-            except np.linalg.LinAlgError as exc:
-                raise SingularMatrixError(
-                    f"singular MNA matrix while solving {analysis} at t={time:g}: {exc}"
-                ) from exc
+            factorization = _factorize(ws, system, ctx, analysis, time)
+            ws.chord_tag = tag
+            if chord_allowed:
+                # Ride this factorization from the next iteration on.
+                chord = True
+        try:
+            dx = factorization.solve(-ctx.res)
+        except LinAlgError as exc:
+            raise SingularMatrixError(
+                f"MNA solve failed for {analysis} at t={time:g}: {exc}") from exc
         if not np.all(np.isfinite(dx)):
             raise ConvergenceError(
                 f"non-finite Newton update at iteration {iteration} (t={time:g})",
                 iterations=iteration)
         x_new = x + options.newton_damping * dx
-        tol = np.where(
-            np.arange(system.size) < n_nodes,
-            options.vntol + options.reltol * np.maximum(np.abs(x), np.abs(x_new)),
-            options.abstol + options.reltol * np.maximum(np.abs(x), np.abs(x_new)),
-        )
+        tol = base_tol + options.reltol * np.maximum(np.abs(x), np.abs(x_new))
         converged = bool(np.all(np.abs(options.newton_damping * dx) <= tol))
         x = x_new
         if converged and iteration >= 1:
@@ -85,14 +216,31 @@ def newton_solve(system: MNASystem, x0: np.ndarray, analysis: str, time: float,
         residual=float(np.max(np.abs(ctx.res))))
 
 
+def _factorize(ws: NewtonWorkspace, system: MNASystem, ctx: StampContext,
+               analysis: str, time: float):
+    try:
+        return ws.factor(system, ctx)
+    except LinAlgError as exc:
+        raise SingularMatrixError(
+            f"singular MNA matrix while solving {analysis} at t={time:g}: {exc}"
+        ) from exc
+
+
 def collect_outputs(system: MNASystem, ctx: StampContext) -> dict[str, float]:
-    """Gather node across values and device-recorded outputs at a solution."""
+    """Gather node across values and device-recorded outputs at a solution.
+
+    Auxiliary unknowns (branch currents, behavioral extra unknowns) are
+    included under their canonical names unless a device already recorded
+    the same signal.
+    """
     data: dict[str, float] = {}
     for node in system.nodes:
         data[f"v({node.name})"] = float(ctx.x[system.index_of(node)])
     for device in system.circuit:
         for key, value in device.record(ctx).items():
             data[key] = float(value)
+    for offset, name in enumerate(system.aux_signal_names()):
+        data.setdefault(name, float(ctx.x[system.num_nodes + offset]))
     return data
 
 
@@ -115,31 +263,35 @@ class OperatingPointAnalysis:
     def run(self, initial_guess: np.ndarray | None = None) -> OperatingPoint:
         """Solve the operating point, falling back to source stepping if needed."""
         options = self.options
+        workspace = NewtonWorkspace(options)
         x0 = np.zeros(self.system.size) if initial_guess is None else \
             np.array(initial_guess, dtype=float, copy=True)
         try:
             solution, iterations = newton_solve(
-                self.system, x0, "op", 0.0, None, options, source_scale=1.0)
+                self.system, x0, "op", 0.0, None, options, source_scale=1.0,
+                workspace=workspace)
         except (ConvergenceError, SingularMatrixError):
-            solution, iterations = self._source_stepping(x0)
-        ctx = self.system.assemble(solution, "op", 0.0, None, options, 1.0)
+            solution, iterations = self._source_stepping(x0, workspace)
+        ctx = self.system.assemble(solution, "op", 0.0, None, options, 1.0,
+                                   want_jacobian=False)
         data = collect_outputs(self.system, ctx)
         return OperatingPoint(data, solution, self.system.unknown_labels(), iterations)
 
-    def _source_stepping(self, x0: np.ndarray) -> tuple[np.ndarray, int]:
+    def _source_stepping(self, x0: np.ndarray,
+                         workspace: NewtonWorkspace | None = None
+                         ) -> tuple[np.ndarray, int]:
         """Homotopy on the independent-source amplitudes (0 -> 1)."""
         options = self.options
         levels = np.linspace(0.0, 1.0, min(options.max_source_steps, 32) + 1)[1:]
         x = np.array(x0, dtype=float, copy=True)
         total_iterations = 0
-        last_error: Exception | None = None
         for scale in levels:
             try:
                 x, iterations = newton_solve(
-                    self.system, x, "op", 0.0, None, options, source_scale=float(scale))
+                    self.system, x, "op", 0.0, None, options,
+                    source_scale=float(scale), workspace=workspace)
                 total_iterations += iterations
             except (ConvergenceError, SingularMatrixError) as exc:
-                last_error = exc
                 raise ConvergenceError(
                     f"operating point failed even with source stepping at scale "
                     f"{scale:.3f}: {exc}") from exc

@@ -56,6 +56,26 @@ class SimulationOptions:
     sparse_threshold:
         Unknown count above which ``"auto"`` switches from the dense LAPACK
         solve to sparse assembly + SuperLU.
+    jacobian_reuse:
+        Factorization-reuse policy of the Newton linear stage:
+
+        * ``"off"`` -- factor the freshly assembled Jacobian on every
+          iteration (the historical behaviour),
+        * ``"auto"`` (default) -- compare the assembled Jacobian against
+          the recently factored matrices (exact array equality) and reuse
+          the held factorization whenever the values are unchanged.
+          Bit-identical to ``"off"``; linear circuits factor once per
+          structure/step-size and sweeps/transients amortize it,
+        * ``"chord"`` -- additionally hold the factorization across
+          iterations and accepted time steps, assembling residual-only
+          (no derivatives) while it converges, with an automatic
+          full-Newton refactor when the residual stalls.  Fastest for
+          smooth nonlinear transients; iterates may differ from full
+          Newton within the convergence tolerance.
+    refactor_threshold:
+        Chord-Newton stall criterion: a chord iteration must shrink the
+        residual norm below ``refactor_threshold`` times the previous
+        iteration's norm, otherwise the Jacobian is refactored.
     """
 
     reltol: float = constants.RELTOL
@@ -72,6 +92,8 @@ class SimulationOptions:
     linear_solver: str = "auto"
     linear_solver_rtol: float = 1e-10
     sparse_threshold: int = 256
+    jacobian_reuse: str = "auto"
+    refactor_threshold: float = 0.5
 
     def __post_init__(self) -> None:
         if self.reltol <= 0.0 or self.reltol >= 1.0:
@@ -97,6 +119,12 @@ class SimulationOptions:
             raise AnalysisError("linear_solver_rtol must be positive")
         if self.sparse_threshold < 1:
             raise AnalysisError("sparse_threshold must be at least 1")
+        if self.jacobian_reuse not in ("off", "auto", "chord"):
+            raise AnalysisError(
+                f"unknown jacobian_reuse policy {self.jacobian_reuse!r} "
+                "(use 'off', 'auto' or 'chord')")
+        if not (0.0 < self.refactor_threshold < 1.0):
+            raise AnalysisError("refactor_threshold must be in (0, 1)")
 
     def use_sparse(self, size: int) -> bool:
         """Whether a system of ``size`` unknowns should assemble sparse."""
@@ -106,9 +134,14 @@ class SimulationOptions:
             return True
         return size > self.sparse_threshold
 
-    def sparse_method(self) -> str:
-        """The :func:`repro.fem.solver.solve_sparse` method to route to."""
-        return "cg" if self.linear_solver == "cg" else "direct"
+    def solver_backend(self) -> str:
+        """The :class:`repro.linalg.FactorizedSolver` backend to use.
+
+        ``"cg"`` when forced; otherwise ``"auto"``, which resolves to the
+        SuperLU backend for sparse assemblies and dense LAPACK otherwise --
+        matching :meth:`use_sparse` because the assembly type follows it.
+        """
+        return "cg" if self.linear_solver == "cg" else "auto"
 
     def with_(self, **changes) -> "SimulationOptions":
         """Return a copy with the given fields replaced."""

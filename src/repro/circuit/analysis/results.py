@@ -21,7 +21,10 @@ import numpy as np
 
 from ...errors import AnalysisError
 
-__all__ = ["OperatingPoint", "DCSweepResult", "ACResult", "TransientResult"]
+from ..mna import canonical_signal_name
+
+__all__ = ["OperatingPoint", "DCSweepResult", "ACResult", "TransientResult",
+           "canonical_signal_name"]
 
 
 class _SignalMapping(Mapping[str, object]):

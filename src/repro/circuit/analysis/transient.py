@@ -29,7 +29,8 @@ import numpy as np
 from ...errors import AnalysisError, ConvergenceError, SingularMatrixError
 from ..mna import Integrator, MNASystem
 from ..netlist import Circuit
-from .op import OperatingPointAnalysis, collect_outputs, newton_solve
+from .op import (NewtonWorkspace, OperatingPointAnalysis, collect_outputs,
+                 newton_solve)
 from .options import SimulationOptions
 from .results import OperatingPoint, TransientResult
 
@@ -119,7 +120,8 @@ class TransientAnalysis:
         # Prime the integrator: register the t0 value of every dynamic state.
         integrator.priming = True
         integrator.set_step(self.t_step)
-        ctx0 = system.assemble(x, "tran", self.t_start, integrator, options, 1.0)
+        ctx0 = system.assemble(x, "tran", self.t_start, integrator, options, 1.0,
+                               want_jacobian=False)
         first_row = collect_outputs(system, ctx0)
         integrator.commit()
         integrator.priming = False
@@ -131,7 +133,11 @@ class TransientAnalysis:
 
         breakpoints = self._breakpoints()
         bp_index = 0
-        stats = {"accepted": 0, "rejected": 0, "newton_iterations": 0}
+        #: One workspace for the whole run: factorizations survive across
+        #: time steps, so a linear circuit at a fixed step factors once.
+        workspace = NewtonWorkspace(options)
+        stats = {"accepted": 0, "rejected": 0, "newton_iterations": 0,
+                 "newton_time_s": 0.0}
         t = self.t_start
         h = min(self.t_step, self.max_step)
         min_step = max(self.t_step * options.min_step_ratio, 1e-18)
@@ -160,14 +166,18 @@ class TransientAnalysis:
                 slope = None
                 x_guess = history_x[-1].copy()
 
+            newton_start = _time.perf_counter()
             try:
                 x_new, iterations = newton_solve(
-                    system, x_guess, "tran", t_new, integrator, options, 1.0)
+                    system, x_guess, "tran", t_new, integrator, options, 1.0,
+                    workspace=workspace)
             except (ConvergenceError, SingularMatrixError):
+                stats["newton_time_s"] += _time.perf_counter() - newton_start
                 integrator.discard()
                 stats["rejected"] += 1
                 h *= 0.25
                 continue
+            stats["newton_time_s"] += _time.perf_counter() - newton_start
 
             stats["newton_iterations"] += iterations
             # Local truncation error estimate: converged solution versus the
@@ -192,8 +202,10 @@ class TransientAnalysis:
                 continue
 
             # Accept the step: refresh pending states at the converged point,
-            # record outputs and commit the integrator history.
-            ctx = system.assemble(x_new, "tran", t_new, integrator, options, 1.0)
+            # record outputs and commit the integrator history.  The record
+            # pass never reads the Jacobian, so it assembles residual-only.
+            ctx = system.assemble(x_new, "tran", t_new, integrator, options, 1.0,
+                                  want_jacobian=False)
             rows.append(collect_outputs(system, ctx))
             integrator.commit()
             times.append(t_new)
@@ -227,4 +239,5 @@ class TransientAnalysis:
                 for key in sorted(keys)}
         stats["wall_time_s"] = _time.perf_counter() - wall_start
         stats["points"] = len(times)
+        stats.update(workspace.statistics())
         return TransientResult(np.asarray(times), data, statistics=stats)

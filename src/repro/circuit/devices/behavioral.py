@@ -71,13 +71,18 @@ class BehaviorContext:
                  stamp_ctx: StampContext | None = None,
                  ac_ctx: ACStampContext | None = None,
                  dep_positions: Mapping[int, int] | None = None,
-                 nvars: int = 0) -> None:
+                 nvars: int = 0, with_jacobian: bool = True) -> None:
         self._device = device
         self.analysis = mode
         self._stamp_ctx = stamp_ctx
         self._ac_ctx = ac_ctx
         self._dep_positions = dict(dep_positions or {})
         self._nvars = nvars
+        #: When False the context seeds plain floats instead of AD duals:
+        #: the behaviour evaluates values only (identical to the dual value
+        #: parts), which lets residual-only assemblies and record passes
+        #: skip every derivative -- including the energy-method Hessians.
+        self._with_jacobian = with_jacobian
         self._auto_counter = 0
         self.contributions: dict[str, object] = {}
         self.equations: dict[str, object] = {}
@@ -107,7 +112,9 @@ class BehaviorContext:
             return default
         raise DeviceError(f"{self._device.name!r}: unknown parameter {name!r}")
 
-    def _seed(self, value: float, index: int) -> Dual:
+    def _seed(self, value: float, index: int):
+        if not self._with_jacobian:
+            return value
         dtype = complex if self.analysis == "ac" else float
         position = self._dep_positions.get(index)
         if position is None:
@@ -121,14 +128,18 @@ class BehaviorContext:
         assert self._stamp_ctx is not None
         return self._stamp_ctx.across(node), self._stamp_ctx.node_index(node)
 
-    def across(self, port_name: str) -> Dual:
-        """Across variable of a port (voltage, velocity, ...) as a dual number."""
+    def across(self, port_name: str):
+        """Across variable of a port (voltage, velocity, ...).
+
+        A dual number carrying MNA sensitivities, or a plain float in
+        value-only (residual/record) evaluations.
+        """
         port = self._device.port(port_name)
         vp, ip = self._node_value(port.p)
         vn, in_ = self._node_value(port.n)
         return self._seed(vp, ip) - self._seed(vn, in_)
 
-    def unknown(self, name: str) -> Dual:
+    def unknown(self, name: str):
         """Value of one of the device's declared extra unknowns."""
         if name not in self._device.extra_unknowns:
             raise DeviceError(
@@ -264,7 +275,13 @@ class BehavioralDevice(Device):
         return indices
 
     def _run(self, mode: str, stamp_ctx: StampContext | None,
-             ac_ctx: ACStampContext | None) -> tuple[BehaviorContext, list[int]]:
+             ac_ctx: ACStampContext | None,
+             with_jacobian: bool = True) -> tuple[BehaviorContext, list[int]]:
+        if not with_jacobian:
+            ctx = BehaviorContext(self, mode, stamp_ctx=stamp_ctx, ac_ctx=ac_ctx,
+                                  with_jacobian=False)
+            self.behavior(ctx)
+            return ctx, []
         if mode == "ac":
             assert ac_ctx is not None
             deps = self._dependency_indices(ac_ctx.node_index, ac_ctx.aux_index)
@@ -280,7 +297,7 @@ class BehavioralDevice(Device):
     # ------------------------------------------------------------------ stamping
     def stamp(self, ctx: StampContext) -> None:
         mode = "tran" if ctx.is_transient else "op"
-        bctx, deps = self._run(mode, ctx, None)
+        bctx, deps = self._run(mode, ctx, None, with_jacobian=ctx.want_jacobian)
         for port_name, value in bctx.contributions.items():
             port = self._ports[port_name]
             ip, in_ = ctx.node_index(port.p), ctx.node_index(port.n)
@@ -330,7 +347,9 @@ class BehavioralDevice(Device):
     # ------------------------------------------------------------------ outputs
     def record(self, ctx: StampContext) -> dict[str, float]:
         mode = "tran" if ctx.is_transient else "op"
-        bctx, _ = self._run(mode, ctx, None)
+        # Records read value parts only; the float-mode evaluation produces
+        # exactly those values without paying for any sensitivity.
+        bctx, _ = self._run(mode, ctx, None, with_jacobian=False)
         outputs: dict[str, float] = {}
         for port_name, value in bctx.contributions.items():
             plain = value.value if isinstance(value, Dual) else float(value)

@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import AnalysisError
+from ..errors import AnalysisError, LinAlgError
+from ..linalg import FactorizedSolver
 from .analysis.op import OperatingPointAnalysis
 from .analysis.options import SimulationOptions
 from .analysis.results import OperatingPoint
@@ -79,8 +80,8 @@ def input_admittance(circuit: Circuit, node: str | Node, frequency: float,
     rhs = np.zeros(system.size, dtype=complex)
     rhs[index] = 1.0
     try:
-        solution = np.linalg.solve(ctx.matrix, rhs)
-    except np.linalg.LinAlgError as exc:
+        solution = FactorizedSolver("dense").solve(ctx.matrix, rhs)
+    except LinAlgError as exc:
         raise AnalysisError(f"singular small-signal matrix: {exc}") from exc
     voltage = solution[index]
     if voltage == 0.0:

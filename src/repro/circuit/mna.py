@@ -38,13 +38,30 @@ from typing import TYPE_CHECKING, Hashable, Iterable
 import numpy as np
 
 from ..errors import AnalysisError, NetlistError
+from ..linalg import StructureCache
 from .netlist import Circuit, Node
 
 if TYPE_CHECKING:  # pragma: no cover
     from .analysis.options import SimulationOptions
     from .devices.base import Device
 
-__all__ = ["MNASystem", "Integrator", "StampContext", "ACStampContext"]
+__all__ = ["MNASystem", "Integrator", "StampContext", "ACStampContext",
+           "canonical_signal_name"]
+
+
+def canonical_signal_name(label: str) -> str:
+    """Public signal name of a raw unknown label.
+
+    Auxiliary unknowns are labelled ``<device>#<aux>`` internally; the
+    result files use the SPICE ``i(<device>)`` convention for plain branch
+    currents and ``<device>.<aux>`` for named extra unknowns.  Node labels
+    (``v(<node>)``) pass through unchanged.  Shared by the AC sweep and the
+    op/transient output collection so the renaming never diverges.
+    """
+    if "#" not in label:
+        return label
+    device, aux = label.split("#", 1)
+    return f"i({device})" if aux == "i" else f"{device}.{aux}"
 
 
 class Integrator:
@@ -214,6 +231,11 @@ class MNASystem:
         self.size = offset
         self.num_nodes = len(self.nodes)
         self.num_aux = offset - len(self.nodes)
+        #: COO->CSR pattern cache shared by every sparse assembly of this
+        #: system; the stamp stream of a fixed topology repeats its
+        #: coordinates, so only the first assembly pays the reduction.
+        self.structure_cache = StructureCache()
+        self._aux_signal_names: list[str] | None = None
 
     # ------------------------------------------------------------------ lookups
     def index_of(self, node: Node) -> int:
@@ -241,14 +263,35 @@ class MNASystem:
         labels.extend(f"{device}#{name}" for (device, name), _ in aux)
         return labels
 
+    def aux_signal_names(self) -> list[str]:
+        """Canonical result names of the auxiliary unknowns, in vector order.
+
+        The unknown layout is fixed at construction, so the list is computed
+        once and memoized -- per-step output collection must not re-format
+        and re-sort the label map.
+        """
+        names = self._aux_signal_names
+        if names is None:
+            names = [canonical_signal_name(label)
+                     for label in self.unknown_labels()[self.num_nodes:]]
+            self._aux_signal_names = names
+        return names
+
     # ------------------------------------------------------------------ assembly
     def assemble(self, x: np.ndarray, analysis: str, time: float,
                  integrator: Integrator | None, options: "SimulationOptions",
-                 source_scale: float = 1.0) -> "StampContext":
-        """Build the residual and Jacobian at the iterate ``x``."""
+                 source_scale: float = 1.0,
+                 want_jacobian: bool = True) -> "StampContext":
+        """Build the residual (and, unless disabled, the Jacobian) at ``x``.
+
+        ``want_jacobian=False`` assembles the residual only: Jacobian stamps
+        are dropped and behavioral devices evaluate on plain floats instead
+        of AD duals.  Used for record passes and chord-Newton iterations,
+        where the Jacobian is never read.
+        """
         ctx = StampContext(self, x, analysis=analysis, time=time,
                            integrator=integrator, options=options,
-                           source_scale=source_scale)
+                           source_scale=source_scale, want_jacobian=want_jacobian)
         for device in self.circuit:
             device.stamp(ctx)
         ctx.apply_gmin(options.gmin)
@@ -271,7 +314,7 @@ class StampContext:
 
     def __init__(self, system: MNASystem, x: np.ndarray, analysis: str, time: float,
                  integrator: Integrator | None, options: "SimulationOptions",
-                 source_scale: float = 1.0) -> None:
+                 source_scale: float = 1.0, want_jacobian: bool = True) -> None:
         self.system = system
         self.x = np.asarray(x, dtype=float)
         if self.x.shape != (system.size,):
@@ -282,6 +325,9 @@ class StampContext:
         self.integrator = integrator
         self.options = options
         self.source_scale = source_scale
+        #: False for residual-only assemblies: ``add_jac`` becomes a no-op
+        #: and devices may skip derivative propagation entirely.
+        self.want_jacobian = want_jacobian
         n = system.size
         self.res = np.zeros(n)
         #: Above ``options.sparse_threshold`` unknowns (or when forced by
@@ -289,7 +335,7 @@ class StampContext:
         #: triplets instead of a dense array; ``jacobian()`` then yields a
         #: SciPy CSR matrix and ``jac`` stays None.
         self.use_sparse = options.use_sparse(n)
-        if self.use_sparse:
+        if self.use_sparse or not want_jacobian:
             self.jac = None
             self._jac_rows: list[int] = []
             self._jac_cols: list[int] = []
@@ -326,7 +372,7 @@ class StampContext:
     # --------------------------------------------------------------- stamping
     def add_jac(self, row: int, col: int, value: float) -> None:
         """Accumulate ``d res[row] / d x[col]``; ground rows/cols are ignored."""
-        if row < 0 or col < 0:
+        if row < 0 or col < 0 or not self.want_jacobian:
             return
         if self.use_sparse:
             self._jac_rows.append(row)
@@ -338,20 +384,23 @@ class StampContext:
     def jacobian(self):
         """The assembled Jacobian: dense ndarray, or CSR in sparse mode.
 
-        COO construction sums duplicate entries, so the sparse matrix is
-        numerically identical to the dense accumulation.
+        The sparse path routes through the system's
+        :class:`~repro.linalg.StructureCache`: duplicate entries are summed
+        in stamp order into the cached CSR pattern, so repeated assemblies
+        of an unchanged topology skip the COO sort/deduplicate work.
         """
+        if not self.want_jacobian:
+            raise AnalysisError(
+                "this context was assembled residual-only (want_jacobian=False)")
         if not self.use_sparse:
             return self.jac
-        import scipy.sparse as sp
-
-        n = self.system.size
-        return sp.coo_matrix(
-            (self._jac_vals, (self._jac_rows, self._jac_cols)),
-            shape=(n, n)).tocsr()
+        return self.system.structure_cache.assemble(
+            self._jac_rows, self._jac_cols, self._jac_vals, self.system.size)
 
     def jacobian_is_finite(self) -> bool:
         """Whether every accumulated Jacobian entry is finite."""
+        if not self.want_jacobian:
+            return True
         if self.use_sparse:
             return bool(np.all(np.isfinite(self._jac_vals))) if self._jac_vals \
                 else True
@@ -377,9 +426,19 @@ class StampContext:
         """Tie every node to ground with ``gmin`` to avoid singular matrices."""
         if gmin <= 0.0:
             return
-        for i in range(self.system.num_nodes):
-            self.add_jac(i, i, gmin)
-            self.res[i] += gmin * self.x[i]
+        n_nodes = self.system.num_nodes
+        if n_nodes == 0:
+            return
+        if self.want_jacobian:
+            diag = range(n_nodes)
+            if self.use_sparse:
+                self._jac_rows.extend(diag)
+                self._jac_cols.extend(diag)
+                self._jac_vals.extend([gmin] * n_nodes)
+            else:
+                idx = np.arange(n_nodes)
+                self.jac[idx, idx] += gmin
+        self.res[:n_nodes] += gmin * self.x[:n_nodes]
 
     # ------------------------------------------------------------ time dynamics
     @property

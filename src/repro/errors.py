@@ -77,6 +77,11 @@ class HDLElaborationError(HDLError):
     """An HDL model could not be elaborated into a simulatable device."""
 
 
+class LinAlgError(ReproError):
+    """A linear-algebra backend failed (singular factorization, iterative
+    solver breakdown, structure mismatch in a cached sparsity pattern)."""
+
+
 class FEMError(ReproError):
     """Finite-element meshing, assembly or solution failed."""
 

@@ -14,7 +14,8 @@ from typing import Iterable
 
 import numpy as np
 
-from ..errors import FEMError
+from ..errors import FEMError, LinAlgError
+from ..linalg import FactorizedSolver
 
 __all__ = ["HarmonicResponse", "harmonic_response",
            "interpolate_peak_frequency"]
@@ -136,12 +137,13 @@ def harmonic_response(mass: np.ndarray, damping: np.ndarray, stiffness: np.ndarr
     force = np.zeros(n, dtype=complex)
     force[drive] = force_amplitude
     responses = np.zeros((frequencies.size, n), dtype=complex)
+    solver = FactorizedSolver("dense")
     for k, frequency in enumerate(frequencies):
         omega = 2.0 * np.pi * frequency
         dynamic = stiffness + 1j * omega * damping - omega * omega * mass
         try:
-            responses[k] = np.linalg.solve(dynamic, force)
-        except np.linalg.LinAlgError as exc:
+            responses[k] = solver.solve(dynamic, force)
+        except LinAlgError as exc:
             raise FEMError(
                 f"harmonic solve failed at f={frequency:g} Hz (resonance of an "
                 f"undamped mode?): {exc}") from exc

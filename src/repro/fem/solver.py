@@ -1,4 +1,13 @@
-"""Sparse linear solves and eigensolves for the FE problems."""
+"""Sparse linear solves and eigensolves for the FE problems.
+
+The plain linear solves are thin wrappers over :mod:`repro.linalg` -- the
+shared factorization-caching solver core -- keeping the historical FE-facing
+signature and :class:`~repro.errors.FEMError` semantics.  Callers that solve
+the same matrix repeatedly should hold a
+:class:`~repro.linalg.FactorizedSolver` factorization (or a
+:class:`~repro.linalg.FactorizationCache`) instead of calling
+:func:`solve_sparse` per right-hand side.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +16,8 @@ import scipy.linalg as la
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
-from ..errors import FEMError
+from ..errors import FEMError, LinAlgError
+from ..linalg import FactorizedSolver
 
 __all__ = ["solve_sparse", "solve_generalized_eig"]
 
@@ -19,7 +29,9 @@ def solve_sparse(matrix: sp.spmatrix, rhs: np.ndarray, method: str = "direct",
     ``method`` is ``"direct"`` (SuperLU, default) or ``"cg"`` (conjugate
     gradients with a Jacobi preconditioner -- the assembled Laplace matrices
     are symmetric positive definite after Dirichlet elimination).  ``rtol``
-    is the relative tolerance of the iterative method.
+    is the relative tolerance of the iterative method.  A non-converging CG
+    iteration raises (no silent fallback): the FE callers choose ``"cg"``
+    deliberately and the failure usually indicates a modelling error.
     """
     rhs = np.asarray(rhs, dtype=float)
     if matrix.shape[0] != matrix.shape[1]:
@@ -27,27 +39,14 @@ def solve_sparse(matrix: sp.spmatrix, rhs: np.ndarray, method: str = "direct",
     if rhs.shape != (matrix.shape[0],):
         raise FEMError(
             f"right-hand side has shape {rhs.shape}, expected ({matrix.shape[0]},)")
-    if method == "direct":
-        try:
-            solution = spla.spsolve(matrix.tocsr(), rhs)
-        except RuntimeError as exc:  # pragma: no cover - SuperLU failure path
-            raise FEMError(f"sparse direct solve failed: {exc}") from exc
-        if not np.all(np.isfinite(solution)):
-            raise FEMError("sparse direct solve produced non-finite values "
-                           "(singular system; missing boundary conditions?)")
-        return np.asarray(solution, dtype=float)
-    if method == "cg":
-        diagonal = matrix.diagonal()
-        if np.any(diagonal == 0.0):
-            raise FEMError("zero diagonal entry; cannot build Jacobi preconditioner")
-        preconditioner = spla.LinearOperator(
-            matrix.shape, matvec=lambda x: x / diagonal)
-        solution, info = spla.cg(matrix.tocsr(), rhs, rtol=rtol, maxiter=20000,
-                                 M=preconditioner)
-        if info != 0:
-            raise FEMError(f"conjugate-gradient solve did not converge (info={info})")
-        return np.asarray(solution, dtype=float)
-    raise FEMError(f"unknown solve method {method!r} (use 'direct' or 'cg')")
+    if method not in ("direct", "cg"):
+        raise FEMError(f"unknown solve method {method!r} (use 'direct' or 'cg')")
+    solver = FactorizedSolver("superlu" if method == "direct" else "cg",
+                              rtol=rtol, cg_fallback=False)
+    try:
+        return solver.solve(sp.csr_matrix(matrix), rhs)
+    except LinAlgError as exc:
+        raise FEMError(f"sparse {method} solve failed: {exc}") from exc
 
 
 def solve_generalized_eig(stiffness, mass, count: int, *,

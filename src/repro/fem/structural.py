@@ -20,7 +20,8 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.linalg as la
 
-from ..errors import FEMError
+from ..errors import FEMError, LinAlgError
+from ..linalg import FactorizedSolver
 
 __all__ = ["CantileverBeam", "SpringMassChain"]
 
@@ -122,7 +123,10 @@ class CantileverBeam:
         stiffness, _ = self.assemble()
         force = np.zeros(stiffness.shape[0])
         force[-2] = 1.0
-        deflection = np.linalg.solve(stiffness, force)
+        try:
+            deflection = FactorizedSolver("dense").solve(stiffness, force)
+        except LinAlgError as exc:
+            raise FEMError(f"static tip solve failed: {exc}") from exc
         return 1.0 / float(deflection[-2])
 
     def tip_deflection(self, force: float) -> float:
@@ -212,5 +216,8 @@ class SpringMassChain:
         _, _, stiffness = self.matrices()
         force = np.zeros(self.size)
         force[-1] = 1.0
-        displacement = np.linalg.solve(stiffness, force)
+        try:
+            displacement = FactorizedSolver("dense").solve(stiffness, force)
+        except LinAlgError as exc:
+            raise FEMError(f"static compliance solve failed: {exc}") from exc
         return float(displacement[-1])

@@ -1,0 +1,240 @@
+"""Backend-abstracted factorized linear solvers.
+
+Every layer of the reproduction funnels its ``A x = b`` solves through
+:class:`FactorizedSolver`: the MNA Newton loop, the AC sweep, the FE field
+and harmonic solves and the reduced-order-model analyses.  The central
+abstraction is the :class:`Factorization` handle -- factor once, then
+back-substitute as many right-hand sides as the caller can reuse it for.
+That split is what makes the solver-reuse optimizations of the analysis
+layer possible: a chord-Newton iteration, a fixed-step transient or a
+value-updated AC sweep all hold on to one factorization and pay only the
+back-substitution per point.
+
+Backends
+--------
+``dense``
+    LAPACK LU (``getrf``/``getrs`` -- the same routines behind
+    ``np.linalg.solve``), real or complex.
+``superlu``
+    SciPy's SuperLU direct factorization of a sparse matrix.
+``cg``
+    Jacobi-preconditioned conjugate gradients (SPD systems).  No true
+    factorization exists; the handle re-runs the iteration per right-hand
+    side and can fall back to a direct solve when the iteration stalls.
+``auto``
+    ``superlu`` for sparse input, ``dense`` otherwise.
+
+All failure paths raise :class:`~repro.errors.LinAlgError` so callers can
+map them onto their layer's exception type.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import scipy.linalg as la
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from ..errors import LinAlgError
+
+__all__ = ["Factorization", "FactorizedSolver", "BACKENDS"]
+
+BACKENDS = ("auto", "dense", "superlu", "cg")
+
+#: Iteration cap of the conjugate-gradient backend (matches the historical
+#: FE solver setting).
+_CG_MAXITER = 20000
+
+
+class Factorization:
+    """Handle to a factored (or otherwise solvable) system matrix."""
+
+    #: Name of the backend that produced this handle.
+    backend: str = "abstract"
+
+    def __init__(self, shape: tuple[int, int]) -> None:
+        self.shape = shape
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Back-substitute one right-hand side (or a column block)."""
+        raise NotImplementedError
+
+    def _check_rhs(self, rhs: np.ndarray) -> np.ndarray:
+        rhs = np.asarray(rhs)
+        if rhs.ndim not in (1, 2) or rhs.shape[0] != self.shape[0]:
+            raise LinAlgError(
+                f"right-hand side has shape {rhs.shape}, expected "
+                f"({self.shape[0]},) or ({self.shape[0]}, k)")
+        return rhs
+
+
+class _DenseLU(Factorization):
+    """LAPACK LU of a dense real or complex matrix."""
+
+    backend = "dense"
+
+    def __init__(self, matrix: np.ndarray) -> None:
+        matrix = np.asarray(matrix)
+        super().__init__(matrix.shape)
+        with warnings.catch_warnings():
+            # An exactly singular U triggers a LinAlgWarning before we can
+            # turn it into the LinAlgError below.
+            warnings.simplefilter("ignore")
+            try:
+                self._lu, self._piv = la.lu_factor(matrix, check_finite=False)
+            except (la.LinAlgError, ValueError) as exc:
+                raise LinAlgError(f"dense LU factorization failed: {exc}") from exc
+        diag = np.diagonal(self._lu)
+        if np.any(diag == 0.0) or not np.all(np.isfinite(diag)):
+            raise LinAlgError("matrix is singular (zero pivot in LU)")
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        rhs = self._check_rhs(rhs)
+        return la.lu_solve((self._lu, self._piv), rhs, check_finite=False)
+
+
+class _SparseLU(Factorization):
+    """SuperLU factorization of a sparse (real or complex) matrix."""
+
+    backend = "superlu"
+
+    def __init__(self, matrix) -> None:
+        matrix = sp.csc_matrix(matrix)
+        super().__init__(matrix.shape)
+        self._complex = np.iscomplexobj(matrix)
+        try:
+            self._lu = spla.splu(matrix)
+        except RuntimeError as exc:
+            raise LinAlgError(f"sparse LU factorization failed: {exc}") from exc
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        rhs = self._check_rhs(rhs)
+        if self._complex:
+            solution = self._lu.solve(np.asarray(rhs, dtype=complex))
+        elif np.iscomplexobj(rhs):
+            # Real factorization, complex right-hand side: two real
+            # back-substitutions instead of silently dropping Im(rhs).
+            solution = self._lu.solve(np.ascontiguousarray(rhs.real)) \
+                + 1j * self._lu.solve(np.ascontiguousarray(rhs.imag))
+        else:
+            solution = self._lu.solve(np.asarray(rhs, dtype=float))
+        if not np.all(np.isfinite(solution)):
+            raise LinAlgError(
+                "sparse direct solve produced non-finite values "
+                "(singular system; missing boundary conditions?)")
+        return solution
+
+
+class _JacobiCG(Factorization):
+    """Jacobi-preconditioned conjugate gradients with optional direct fallback.
+
+    There is no factorization to hold; the handle keeps the matrix and the
+    preconditioner and re-runs the iteration per right-hand side.  When the
+    iteration fails to converge and ``fallback`` is enabled, the handle
+    factors the matrix with SuperLU once and answers this and every later
+    right-hand side directly.
+    """
+
+    backend = "cg"
+
+    def __init__(self, matrix, rtol: float, fallback: bool) -> None:
+        if np.iscomplexobj(matrix):
+            raise LinAlgError(
+                "the cg backend handles real symmetric-positive-definite "
+                "systems only; use the dense or superlu backend for complex "
+                "matrices")
+        self._matrix = sp.csr_matrix(matrix)
+        super().__init__(self._matrix.shape)
+        self._rtol = float(rtol)
+        self._fallback_allowed = bool(fallback)
+        self._direct: _SparseLU | None = None
+        #: Number of right-hand sides answered by the direct fallback.
+        self.fallback_solves = 0
+        self._preconditioner = None
+        diagonal = self._matrix.diagonal()
+        if np.any(diagonal == 0.0):
+            # No Jacobi preconditioner exists (e.g. MNA voltage-source rows).
+            if not self._fallback_allowed:
+                raise LinAlgError(
+                    "zero diagonal entry; cannot build Jacobi preconditioner")
+            self._direct = _SparseLU(self._matrix)
+        else:
+            self._preconditioner = spla.LinearOperator(
+                self._matrix.shape, matvec=lambda x, d=diagonal: x / d)
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        rhs = self._check_rhs(rhs)
+        if rhs.ndim == 2:
+            return np.column_stack([self.solve(rhs[:, j])
+                                    for j in range(rhs.shape[1])])
+        if np.iscomplexobj(rhs):
+            # The matrix is real (enforced at construction): solve the real
+            # and imaginary parts independently.
+            return self.solve(np.ascontiguousarray(rhs.real)) \
+                + 1j * self.solve(np.ascontiguousarray(rhs.imag))
+        if self._direct is None:
+            solution, info = spla.cg(self._matrix, np.asarray(rhs, dtype=float),
+                                     rtol=self._rtol, maxiter=_CG_MAXITER,
+                                     M=self._preconditioner)
+            if info == 0:
+                return np.asarray(solution, dtype=float)
+            if not self._fallback_allowed:
+                raise LinAlgError(
+                    f"conjugate-gradient solve did not converge (info={info})")
+            self._direct = _SparseLU(self._matrix)
+        self.fallback_solves += 1
+        return self._direct.solve(rhs)
+
+
+class FactorizedSolver:
+    """Factory for :class:`Factorization` handles with backend selection.
+
+    Parameters
+    ----------
+    backend:
+        One of ``"auto"``, ``"dense"``, ``"superlu"``, ``"cg"``.
+    rtol:
+        Relative tolerance of the iterative (CG) backend.
+    cg_fallback:
+        Whether a stalled CG iteration falls back to a SuperLU direct solve
+        instead of raising.
+    """
+
+    def __init__(self, backend: str = "auto", rtol: float = 1e-10,
+                 cg_fallback: bool = True) -> None:
+        if backend not in BACKENDS:
+            raise LinAlgError(
+                f"unknown linear-solver backend {backend!r} (use one of {BACKENDS})")
+        if rtol <= 0.0:
+            raise LinAlgError("rtol must be positive")
+        self.backend = backend
+        self.rtol = float(rtol)
+        self.cg_fallback = bool(cg_fallback)
+        #: Number of factorizations produced (reuse diagnostics).
+        self.factorizations = 0
+
+    def resolve_backend(self, matrix) -> str:
+        """The concrete backend used for ``matrix``."""
+        if self.backend != "auto":
+            return self.backend
+        return "superlu" if sp.issparse(matrix) else "dense"
+
+    def factorize(self, matrix) -> Factorization:
+        """Factor ``matrix`` and return a reusable solve handle."""
+        shape = matrix.shape
+        if len(shape) != 2 or shape[0] != shape[1]:
+            raise LinAlgError(f"system matrix must be square, got {shape}")
+        backend = self.resolve_backend(matrix)
+        self.factorizations += 1
+        if backend == "dense":
+            dense = matrix.toarray() if sp.issparse(matrix) else np.asarray(matrix)
+            return _DenseLU(dense)
+        if backend == "superlu":
+            return _SparseLU(matrix)
+        return _JacobiCG(matrix, rtol=self.rtol, fallback=self.cg_fallback)
+
+    def solve(self, matrix, rhs: np.ndarray) -> np.ndarray:
+        """One-shot ``matrix @ x = rhs`` (factor + back-substitute)."""
+        return self.factorize(matrix).solve(rhs)

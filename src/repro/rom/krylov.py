@@ -19,11 +19,9 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 import numpy as np
-import scipy.linalg as la
-import scipy.sparse as sp
-import scipy.sparse.linalg as spla
 
-from ..errors import FEMError
+from ..errors import FEMError, LinAlgError
+from ..linalg import FactorizedSolver
 from .modal import _input_map, _project, _reduced_damping
 from .statespace import ReducedModel
 
@@ -31,12 +29,13 @@ __all__ = ["krylov_rom", "second_order_arnoldi"]
 
 
 def _factorize(matrix):
-    """LU-factorize a dense or sparse operator, returning a solve closure."""
-    if sp.issparse(matrix):
-        solver = spla.splu(sp.csc_matrix(matrix))
-        return solver.solve
-    lu = la.lu_factor(np.asarray(matrix, dtype=float))
-    return lambda rhs: la.lu_solve(lu, rhs)
+    """Factorize a dense or sparse operator, returning a solve closure.
+
+    Routed through :class:`repro.linalg.FactorizedSolver`, which picks
+    SuperLU for sparse operators and LAPACK LU otherwise; the closure is
+    reused for every moment vector of the expansion point.
+    """
+    return FactorizedSolver().factorize(matrix).solve
 
 
 def second_order_arnoldi(mass, stiffness, starts: np.ndarray,
@@ -90,7 +89,7 @@ def second_order_arnoldi(mass, stiffness, starts: np.ndarray,
         shifted = stiffness - mu0 * mass
         try:
             solve = _factorize(shifted)
-        except (RuntimeError, la.LinAlgError, ValueError) as exc:
+        except (LinAlgError, ValueError) as exc:
             raise FEMError(
                 f"cannot factorize K - mu0 M at f0={f0:g} Hz (expansion point "
                 f"on a resonance?): {exc}") from exc

@@ -20,10 +20,10 @@ from __future__ import annotations
 
 import numpy as np
 import scipy.sparse as sp
-import scipy.sparse.linalg as spla
 
-from ..errors import FEMError
+from ..errors import FEMError, LinAlgError
 from ..fem.solver import solve_generalized_eig
+from ..linalg import FactorizedSolver
 from .statespace import ReducedModel
 
 __all__ = ["modal_rom"]
@@ -75,11 +75,12 @@ def _reduced_damping(basis: np.ndarray, reduced_m: np.ndarray,
 
 def _static_solve(stiffness, rhs: np.ndarray) -> np.ndarray:
     """Solve ``K x = rhs`` for the static-correction columns."""
-    if sp.issparse(stiffness):
-        solution = spla.spsolve(sp.csc_matrix(stiffness), rhs)
-        return solution if solution.ndim == 2 else solution[:, None]
-    return np.linalg.solve(np.asarray(stiffness, dtype=float),
-                           rhs if rhs.ndim == 2 else rhs[:, None])
+    rhs = rhs if rhs.ndim == 2 else rhs[:, None]
+    try:
+        solution = FactorizedSolver().solve(stiffness, rhs)
+    except LinAlgError as exc:
+        raise FEMError(f"static-correction solve failed: {exc}") from exc
+    return solution if solution.ndim == 2 else solution[:, None]
 
 
 def modal_rom(mass: np.ndarray, stiffness: np.ndarray,

@@ -24,7 +24,14 @@ from typing import Callable, Iterable
 import numpy as np
 import scipy.linalg as la
 
-from ..errors import FEMError
+from ..errors import FEMError, LinAlgError
+from ..linalg import FactorizationCache, FactorizedSolver
+
+#: Shared cache of transient iteration-matrix factorizations: repeated
+#: integrations of the same reduced model at the same step (campaign points,
+#: convergence sweeps) skip the LU entirely.
+_TRANSIENT_FACTOR_CACHE = FactorizationCache(FactorizedSolver("dense"),
+                                             maxsize=16)
 
 __all__ = ["ReducedModel", "harmonic_error"]
 
@@ -124,8 +131,8 @@ class ReducedModel:
     def dc_gain(self) -> np.ndarray:
         """Static output per unit input ``L K^-1 B`` as a ``(p, m)`` array."""
         try:
-            return self.L @ np.linalg.solve(self.K, self.B)
-        except np.linalg.LinAlgError as exc:
+            return self.L @ FactorizedSolver("dense").solve(self.K, self.B)
+        except LinAlgError as exc:
             raise FEMError(f"reduced stiffness is singular: {exc}") from exc
 
     def harmonic_states(self, frequencies: Iterable[float],
@@ -139,14 +146,15 @@ class ReducedModel:
         frequencies = np.asarray(list(frequencies), dtype=float)
         if frequencies.size == 0:
             raise FEMError("harmonic sweep needs at least one frequency")
-        b = self.B[:, input_index]
+        b = self.B[:, input_index].astype(complex)
         states = np.zeros((frequencies.size, self.order), dtype=complex)
+        solver = FactorizedSolver("dense")
         for k, frequency in enumerate(frequencies):
             omega = 2.0 * np.pi * frequency
             dynamic = self.K + 1j * omega * self.C - omega * omega * self.M
             try:
-                states[k] = np.linalg.solve(dynamic, b)
-            except np.linalg.LinAlgError as exc:
+                states[k] = solver.solve(dynamic, b)
+            except LinAlgError as exc:
                 raise FEMError(
                     f"reduced harmonic solve failed at f={frequency:g} Hz: "
                     f"{exc}") from exc
@@ -180,8 +188,10 @@ class ReducedModel:
         lhs = e - 0.5 * h * a
         rhs_matrix = e + 0.5 * h * a
         try:
-            lu = la.lu_factor(lhs)
-        except la.LinAlgError as exc:
+            # Fingerprint-keyed: re-integrating the same model at the same
+            # step (campaign points, parameter studies) reuses the LU.
+            factorization = _TRANSIENT_FACTOR_CACHE.factorize(lhs)
+        except LinAlgError as exc:
             raise FEMError(f"transient system is singular: {exc}") from exc
         x = np.zeros(2 * self.order)
         outputs = np.zeros((times.size, self.num_outputs))
@@ -190,7 +200,7 @@ class ReducedModel:
         for k in range(1, times.size):
             u_next = u(times[k])
             rhs = rhs_matrix @ x + 0.5 * h * b * (u_prev + u_next)
-            x = la.lu_solve(lu, rhs)
+            x = factorization.solve(rhs)
             outputs[k] = c @ x
             u_prev = u_next
         return times, outputs
@@ -211,7 +221,8 @@ class ReducedModel:
 def harmonic_error(rom: ReducedModel, mass: np.ndarray, damping: np.ndarray,
                    stiffness: np.ndarray, frequencies: Iterable[float],
                    drive_dof: int = -1, output_dofs: Iterable[int] | None = None,
-                   input_index: int = 0) -> np.ndarray:
+                   input_index: int = 0,
+                   reference: np.ndarray | None = None) -> np.ndarray:
     """Per-frequency relative error of the ROM against the full harmonic solve.
 
     The full system is solved on the probe grid with a unit force at
@@ -225,6 +236,11 @@ def harmonic_error(rom: ReducedModel, mass: np.ndarray, damping: np.ndarray,
     model has one row per DOF).  The returned array holds, per frequency,
     the worst relative magnitude error over the compared DOFs -- the
     quantity the acceptance tests and the order-convergence campaign sweep.
+
+    ``reference`` may supply a precomputed full-solve displacement block of
+    shape ``(num_frequencies, len(output_dofs))`` so order sweeps over one
+    geometry pay the expensive full solve once (see
+    :class:`~repro.rom.convert.BeamROMEvaluator`).
     """
     # Local import: fem.harmonic routes method="rom" back into this package.
     from ..fem.harmonic import harmonic_response
@@ -244,8 +260,15 @@ def harmonic_error(rom: ReducedModel, mass: np.ndarray, damping: np.ndarray,
         outputs = list(range(n))
     else:
         outputs = [int(np.arange(n)[dof]) for dof in output_dofs]
-    reference = harmonic_response(mass, damping, stiffness, frequencies,
-                                  drive_dof=drive).displacements[:, outputs]
+    if reference is None:
+        reference = harmonic_response(mass, damping, stiffness, frequencies,
+                                      drive_dof=drive).displacements[:, outputs]
+    else:
+        reference = np.asarray(reference, dtype=complex)
+        if reference.shape != (frequencies.size, len(outputs)):
+            raise FEMError(
+                f"precomputed reference has shape {reference.shape}, expected "
+                f"({frequencies.size}, {len(outputs)})")
     if rom.basis is not None:
         # Lift the reduced solution to the probed DOFs through the basis;
         # exact regardless of how L weights or selects outputs.

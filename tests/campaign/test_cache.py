@@ -64,7 +64,8 @@ class TestResultCache:
         cache.put(key, {"x": 1.0})
         cache.clear()
         assert cache.stats() == {"hits": 0, "misses": 0, "stores": 0,
-                                 "memory_entries": 0, "entries": 0, "bytes": 0}
+                                 "evictions": 0, "memory_entries": 0,
+                                 "entries": 0, "bytes": 0}
         assert ResultCache(tmp_path).get(key) is None
 
     def test_stats_reports_disk_entries_and_bytes(self, tmp_path):
@@ -109,3 +110,65 @@ class TestResultCache:
         assert leftovers == []
         assert not cache.contains(bad_key)
         assert cache.stats()["stores"] == stores_before
+
+
+class TestDiskEviction:
+    def _fill(self, cache, count, payload_floats=50):
+        keys = []
+        for v in range(count):
+            key = scenario_key({"v": float(v)})
+            cache.put(key, {f"x{i}": float(i) for i in range(payload_floats)})
+            keys.append(key)
+        return keys
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(CampaignError):
+            ResultCache(tmp_path, max_disk_bytes=0)
+        with pytest.raises(CampaignError):
+            ResultCache(max_disk_bytes=1024)  # memory-only: cap is meaningless
+
+    def test_unlimited_by_default(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        self._fill(cache, 12)
+        assert cache.stats()["entries"] == 12
+        assert cache.stats()["evictions"] == 0
+
+    def test_cap_enforced_lru(self, tmp_path):
+        import os
+        import time
+
+        cache = ResultCache(tmp_path)
+        keys = self._fill(cache, 6)
+        entry_bytes = cache.stats()["bytes"] // 6
+        # Make the first key the most recently used (on disk) before
+        # re-opening with a cap that only fits three entries.
+        os.utime(cache._path(keys[0]),
+                 times=(time.time() + 60.0, time.time() + 60.0))
+        capped = ResultCache(tmp_path, max_disk_bytes=3 * entry_bytes + 10)
+        new_key = scenario_key({"v": 99.0})
+        capped.put(new_key, {f"x{i}": float(i) for i in range(50)})
+        stats = capped.stats()
+        assert stats["bytes"] <= 3 * entry_bytes + 10
+        assert stats["evictions"] >= 3
+        # The freshly stored key and the most-recently-touched old key
+        # survive; the stale middle keys were pruned.
+        assert capped.contains(new_key)
+        assert capped.contains(keys[0])
+        assert not capped.contains(keys[1])
+
+    def test_oversized_row_keeps_itself(self, tmp_path):
+        cache = ResultCache(tmp_path, max_disk_bytes=64)
+        key = scenario_key({"v": 1.0})
+        cache.put(key, {f"x{i}": float(i) for i in range(100)})
+        # The row exceeds the cap on its own but must not evict itself.
+        assert cache.contains(key)
+
+    def test_eviction_drops_memory_layer_too(self, tmp_path):
+        cache = ResultCache(tmp_path, max_disk_bytes=400)
+        keys = self._fill(cache, 8)
+        for key in keys[:-1]:
+            if not cache.contains(key):
+                assert cache.get(key) is None
+                break
+        else:
+            pytest.fail("expected at least one eviction")

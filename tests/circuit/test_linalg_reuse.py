@@ -1,0 +1,260 @@
+"""Tests for the factorization-reuse policies of the Newton/AC solver core."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import (
+    ACAnalysis,
+    Circuit,
+    DCSweepAnalysis,
+    OperatingPointAnalysis,
+    Pulse,
+    SimulationOptions,
+    TransientAnalysis,
+)
+from repro.circuit.analysis.ac import frequency_grid
+from repro.circuit.analysis.results import canonical_signal_name
+from repro.errors import AnalysisError
+
+
+def _rc(drive=None) -> Circuit:
+    circuit = Circuit("rc")
+    circuit.voltage_source("V1", "in", "0",
+                           drive if drive is not None else Pulse(0.0, 5.0, rise=1e-6))
+    circuit.resistor("R1", "in", "out", 1e3)
+    circuit.capacitor("C1", "out", "0", 1e-6)
+    return circuit
+
+
+def _diode_rc() -> Circuit:
+    """A mildly nonlinear dynamic circuit (diode + RC)."""
+    circuit = Circuit("diode-rc")
+    circuit.voltage_source("V1", "in", "0", Pulse(0.0, 2.0, rise=1e-4, width=2e-3))
+    circuit.resistor("R1", "in", "mid", 500.0)
+    circuit.diode("D1", "mid", "out")
+    circuit.resistor("R2", "out", "0", 2e3)
+    circuit.capacitor("C1", "out", "0", 2e-7)
+    return circuit
+
+
+class TestOptionValidation:
+    def test_policy_names(self):
+        for policy in ("off", "auto", "chord"):
+            assert SimulationOptions(jacobian_reuse=policy).jacobian_reuse == policy
+        with pytest.raises(AnalysisError):
+            SimulationOptions(jacobian_reuse="always")
+
+    def test_refactor_threshold_range(self):
+        with pytest.raises(AnalysisError):
+            SimulationOptions(refactor_threshold=0.0)
+        with pytest.raises(AnalysisError):
+            SimulationOptions(refactor_threshold=1.0)
+
+
+class TestAutoReuse:
+    def test_auto_bit_identical_to_off_nonlinear_transient(self):
+        runs = {}
+        for policy in ("off", "auto"):
+            result = TransientAnalysis(
+                _diode_rc(), t_stop=4e-3, t_step=4e-5,
+                options=SimulationOptions(jacobian_reuse=policy)).run()
+            runs[policy] = result
+        assert set(runs["off"].signals()) == set(runs["auto"].signals())
+        for signal in runs["off"].signals():
+            assert np.array_equal(runs["off"][signal], runs["auto"][signal])
+
+    def test_linear_transient_factors_once_per_step_size(self):
+        result = TransientAnalysis(
+            _rc(), t_stop=5e-3, t_step=5e-5,
+            options=SimulationOptions(jacobian_reuse="auto")).run()
+        stats = result.statistics
+        # Far fewer factorizations than Newton iterations: the fixed-step
+        # portions of the run reuse one LU per step size.
+        assert stats["factorizations"] < stats["newton_iterations"] / 4
+        assert stats["factor_cache_hits"] > 0
+
+    def test_linear_dc_sweep_factors_once(self):
+        circuit = Circuit("divider")
+        circuit.voltage_source("V1", "in", "0", 1.0)
+        circuit.resistor("R1", "in", "out", 1e3)
+        circuit.resistor("R2", "out", "0", 1e3)
+        sweep = DCSweepAnalysis(circuit, "V1", np.linspace(0.0, 5.0, 21))
+        result = sweep.run()
+        np.testing.assert_allclose(result["v(out)"], sweep.values / 2.0,
+                                   rtol=1e-8)
+
+
+class TestChord:
+    def test_chord_matches_full_newton_closely(self):
+        full = TransientAnalysis(
+            _diode_rc(), t_stop=4e-3, t_step=4e-5,
+            options=SimulationOptions(jacobian_reuse="off")).run()
+        chord = TransientAnalysis(
+            _diode_rc(), t_stop=4e-3, t_step=4e-5,
+            options=SimulationOptions(jacobian_reuse="chord")).run()
+        probe = np.linspace(1e-4, 3.9e-3, 25)
+        for signal in ("v(out)", "v(mid)"):
+            reference = full.sample(signal, probe)
+            scale = float(np.max(np.abs(reference)))
+            # Chord iterates settle to the same waveform within the Newton
+            # tolerance; the switching edge is the worst case.
+            assert np.max(np.abs(chord.sample(signal, probe) - reference)) \
+                <= 5e-4 * scale
+
+    def test_chord_reuses_factorizations(self):
+        chord = TransientAnalysis(
+            _diode_rc(), t_stop=4e-3, t_step=4e-5,
+            options=SimulationOptions(jacobian_reuse="chord")).run()
+        stats = chord.statistics
+        assert stats["chord_iterations"] > 0
+        assert stats["factorizations"] < stats["newton_iterations"]
+
+    def test_stall_triggers_refactor(self):
+        """A pulse edge invalidates the held Jacobian of a nonlinear circuit;
+        the stall detector must respond with full-Newton refactors rather
+        than burning the iteration cap."""
+        circuit = Circuit("hard-diode")
+        circuit.voltage_source("V1", "in", "0",
+                               Pulse(0.0, 5.0, rise=2e-5, width=1e-3, delay=5e-4))
+        circuit.resistor("R1", "in", "mid", 100.0)
+        circuit.diode("D1", "mid", "out", saturation_current=1e-14)
+        circuit.resistor("R2", "out", "0", 1e4)
+        circuit.capacitor("C1", "out", "0", 1e-7)
+        chord = TransientAnalysis(
+            circuit, t_stop=2e-3, t_step=2e-5,
+            options=SimulationOptions(jacobian_reuse="chord")).run()
+        assert chord.statistics["stall_refactors"] > 0
+        # And the answer still matches full Newton.
+        full = TransientAnalysis(
+            circuit, t_stop=2e-3, t_step=2e-5,
+            options=SimulationOptions(jacobian_reuse="off")).run()
+        probe = np.linspace(1e-4, 1.9e-3, 20)
+        reference = full.sample("v(out)", probe)
+        assert np.max(np.abs(chord.sample("v(out)", probe) - reference)) \
+            <= 1e-5 * float(np.max(np.abs(reference)))
+
+
+class TestACSweepCache:
+    def test_cached_sweep_matches_direct(self):
+        circuit = _rc(drive=1.0)
+        circuit["V1"].ac = 1.0
+        frequencies = frequency_grid(10.0, 1e6, 15)
+        direct = ACAnalysis(circuit, frequencies,
+                            SimulationOptions(jacobian_reuse="off"))
+        cached = ACAnalysis(circuit, frequencies, SimulationOptions())
+        reference = direct.run()
+        fast = cached.run()
+        assert direct.sweep_mode == "direct"
+        assert cached.sweep_mode == "cached"
+        for signal in reference.signals():
+            ref = np.asarray(reference[signal])
+            scale = float(np.max(np.abs(ref))) or 1.0
+            assert np.max(np.abs(np.asarray(fast[signal]) - ref)) <= 1e-9 * scale
+
+    def test_small_sweeps_stay_direct(self):
+        circuit = _rc(drive=1.0)
+        circuit["V1"].ac = 1.0
+        analysis = ACAnalysis(circuit, [1e3, 2e3], SimulationOptions())
+        analysis.run()
+        assert analysis.sweep_mode == "direct"
+
+    def test_behavioral_integ_circuit_uses_cache(self):
+        """The transducer's integ term produces the S/(jw) block; the
+        decomposition must still verify and accelerate."""
+        from repro.system import build_behavioral_system
+
+        circuit = build_behavioral_system()
+        frequencies = frequency_grid(10.0, 1e5, 10)
+        cached = ACAnalysis(circuit, frequencies, SimulationOptions())
+        direct = ACAnalysis(circuit, frequencies,
+                            SimulationOptions(jacobian_reuse="off"))
+        fast = cached.run()
+        reference = direct.run()
+        assert cached.sweep_mode == "cached"
+        for signal in reference.signals():
+            ref = np.asarray(reference[signal])
+            scale = float(np.max(np.abs(ref))) or 1.0
+            assert np.max(np.abs(np.asarray(fast[signal]) - ref)) <= 1e-8 * scale
+
+
+class TestSignalNames:
+    def test_canonical_rename(self):
+        assert canonical_signal_name("V1#i") == "i(V1)"
+        assert canonical_signal_name("XDCR#x") == "XDCR.x"
+        assert canonical_signal_name("v(out)") == "v(out)"
+
+    def test_op_exposes_aux_unknowns(self):
+        circuit = _rc(drive=2.0)
+        op = OperatingPointAnalysis(circuit).run()
+        assert op["i(V1)"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_ac_and_transient_share_renaming(self):
+        circuit = _rc(drive=1.0)
+        circuit["V1"].ac = 1.0
+        ac_result = ACAnalysis(circuit, frequency_grid(10.0, 1e5, 8),
+                               SimulationOptions()).run()
+        tran_result = TransientAnalysis(circuit, t_stop=1e-4,
+                                        t_step=1e-5).run()
+        assert "i(V1)" in ac_result.signals()
+        assert "i(V1)" in tran_result.signals()
+
+
+class TestSingularFailurePaths:
+    def test_dense_singular_mna_raises(self):
+        """Two current sources in series leave the middle node floating;
+        with gmin disabled the Jacobian is exactly singular."""
+        from repro.circuit.analysis.op import newton_solve
+        from repro.circuit.mna import MNASystem
+        from repro.errors import SingularMatrixError
+
+        circuit = Circuit("floating")
+        circuit.current_source("I1", "a", "0", 1e-3)
+        circuit.current_source("I2", "b", "a", 1e-3)
+        options = SimulationOptions(gmin=0.0)
+        system = MNASystem(circuit)
+        with pytest.raises(SingularMatrixError):
+            newton_solve(system, np.zeros(system.size), "op", 0.0, None,
+                         options)
+
+    def test_sparse_singular_mna_raises(self):
+        from repro.circuit.analysis.op import newton_solve
+        from repro.circuit.mna import MNASystem
+        from repro.errors import SingularMatrixError
+
+        circuit = Circuit("floating-sparse")
+        circuit.current_source("I1", "a", "0", 1e-3)
+        circuit.current_source("I2", "b", "a", 1e-3)
+        options = SimulationOptions(gmin=0.0, linear_solver="sparse")
+        system = MNASystem(circuit)
+        with pytest.raises(SingularMatrixError):
+            newton_solve(system, np.zeros(system.size), "op", 0.0, None,
+                         options)
+
+    def test_op_analysis_gmin_rescues_floating_node(self):
+        """The default gmin keeps the same circuit solvable (the historical
+        fallback behaviour must survive the linalg rewiring)."""
+        circuit = Circuit("floating-gmin")
+        circuit.current_source("I1", "a", "0", 1e-3)
+        circuit.resistor("R1", "a", "b", 1e3)
+        op = OperatingPointAnalysis(circuit).run()
+        assert np.isfinite(op.voltage("b"))
+
+    def test_cg_newton_falls_back_to_direct(self):
+        """linear_solver='cg' on an MNA system with a voltage source (zero
+        diagonal in the aux row, so no Jacobi preconditioner exists) must
+        fall back to the direct solve instead of failing.  Historically this
+        configuration raised SingularMatrixError."""
+        circuit = Circuit("cg-fallback")
+        circuit.voltage_source("V1", "in", "0", 5.0)
+        circuit.resistor("Rin", "in", "n0", 100.0)
+        for i in range(6):
+            circuit.resistor(f"R{i}", f"n{i}", f"n{i + 1}", 100.0)
+        circuit.resistor("Rg", "n6", "0", 100.0)
+        options = SimulationOptions(linear_solver="cg")
+        cg_op = OperatingPointAnalysis(circuit, options).run()
+        dense_op = OperatingPointAnalysis(
+            circuit, SimulationOptions(linear_solver="dense")).run()
+        assert cg_op.voltage("n3") == pytest.approx(dense_op.voltage("n3"),
+                                                    rel=1e-8)

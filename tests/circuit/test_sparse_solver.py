@@ -40,8 +40,8 @@ class TestOptions:
         assert SimulationOptions(linear_solver="sparse").use_sparse(2)
         assert SimulationOptions(linear_solver="cg").use_sparse(2)
         assert not SimulationOptions(linear_solver="dense").use_sparse(10_000)
-        assert SimulationOptions(linear_solver="cg").sparse_method() == "cg"
-        assert SimulationOptions(linear_solver="sparse").sparse_method() == "direct"
+        assert SimulationOptions(linear_solver="cg").solver_backend() == "cg"
+        assert SimulationOptions(linear_solver="sparse").solver_backend() == "auto"
 
     def test_threshold_is_tunable(self):
         options = SimulationOptions(sparse_threshold=5)

@@ -1,0 +1,155 @@
+"""Tests for the backend-abstracted factorized solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import LinAlgError
+from repro.linalg import FactorizedSolver
+
+
+def _spd(n: int, seed: int = 7) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+class TestDense:
+    def test_matches_numpy_solve_bitwise(self):
+        rng = np.random.default_rng(3)
+        matrix = rng.standard_normal((12, 12))
+        rhs = rng.standard_normal(12)
+        ours = FactorizedSolver("dense").solve(matrix, rhs)
+        reference = np.linalg.solve(matrix, rhs)
+        assert np.array_equal(ours, reference)
+
+    def test_complex_matrix(self):
+        rng = np.random.default_rng(4)
+        matrix = rng.standard_normal((6, 6)) + 1j * rng.standard_normal((6, 6))
+        rhs = rng.standard_normal(6) + 1j * rng.standard_normal(6)
+        solution = FactorizedSolver("dense").solve(matrix, rhs)
+        np.testing.assert_allclose(matrix @ solution, rhs, atol=1e-12)
+
+    def test_multi_rhs(self):
+        matrix = _spd(5)
+        rhs = np.eye(5)[:, :3]
+        solution = FactorizedSolver("dense").solve(matrix, rhs)
+        np.testing.assert_allclose(matrix @ solution, rhs, atol=1e-10)
+
+    def test_singular_raises(self):
+        with pytest.raises(LinAlgError):
+            FactorizedSolver("dense").solve(np.zeros((3, 3)), np.ones(3))
+
+    def test_factorization_reused_for_many_rhs(self):
+        solver = FactorizedSolver("dense")
+        factorization = solver.factorize(_spd(4))
+        for k in range(3):
+            rhs = np.eye(4)[:, k]
+            np.testing.assert_allclose(
+                factorization.solve(rhs), np.linalg.solve(_spd(4), rhs),
+                atol=1e-12)
+        assert solver.factorizations == 1
+
+    def test_rhs_shape_checked(self):
+        factorization = FactorizedSolver("dense").factorize(_spd(4))
+        with pytest.raises(LinAlgError):
+            factorization.solve(np.ones(5))
+
+
+class TestSparse:
+    def test_superlu_matches_dense(self):
+        matrix = _spd(20)
+        rhs = np.arange(20, dtype=float)
+        sparse = FactorizedSolver("superlu").solve(sp.csr_matrix(matrix), rhs)
+        dense = FactorizedSolver("dense").solve(matrix, rhs)
+        np.testing.assert_allclose(sparse, dense, rtol=1e-10)
+
+    def test_auto_resolves_by_matrix_type(self):
+        solver = FactorizedSolver("auto")
+        assert solver.resolve_backend(np.eye(3)) == "dense"
+        assert solver.resolve_backend(sp.eye(3, format="csr")) == "superlu"
+
+    def test_exactly_singular_sparse_raises(self):
+        singular = sp.csr_matrix(
+            np.array([[1.0, 1.0, 0.0], [1.0, 1.0, 0.0], [0.0, 0.0, 1.0]]))
+        with pytest.raises(LinAlgError):
+            FactorizedSolver("superlu").solve(singular, np.ones(3))
+
+    def test_complex_sparse_matrix(self):
+        matrix = sp.csr_matrix(np.array([[2.0 + 1.0j, 0.0], [0.0, 1.0]]))
+        solution = FactorizedSolver("auto").solve(matrix, np.ones(2))
+        np.testing.assert_allclose(matrix @ solution, np.ones(2), atol=1e-12)
+        assert np.iscomplexobj(solution)
+
+    def test_real_sparse_matrix_complex_rhs(self):
+        matrix = sp.csr_matrix(_spd(6))
+        rhs = np.arange(6) + 1j * np.arange(6)[::-1]
+        solution = FactorizedSolver("superlu").solve(matrix, rhs)
+        np.testing.assert_allclose(matrix @ solution, rhs, atol=1e-9)
+
+
+class TestCG:
+    def test_cg_agrees_with_direct_on_spd(self):
+        matrix = sp.csr_matrix(_spd(30))
+        rhs = np.linspace(-1.0, 1.0, 30)
+        cg = FactorizedSolver("cg", rtol=1e-12).solve(matrix, rhs)
+        direct = FactorizedSolver("superlu").solve(matrix, rhs)
+        np.testing.assert_allclose(cg, direct, atol=1e-8)
+
+    def test_complex_matrix_rejected(self):
+        matrix = sp.csr_matrix(np.eye(2) * (1.0 + 1.0j))
+        with pytest.raises(LinAlgError):
+            FactorizedSolver("cg").factorize(matrix)
+
+    def test_complex_rhs_on_real_matrix(self):
+        matrix = sp.csr_matrix(_spd(8))
+        rhs = np.ones(8) + 2j * np.ones(8)
+        solution = FactorizedSolver("cg", rtol=1e-12).factorize(matrix).solve(rhs)
+        np.testing.assert_allclose(matrix @ solution, rhs, atol=1e-7)
+
+    def test_zero_diagonal_rejected_without_fallback(self):
+        matrix = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        with pytest.raises(LinAlgError):
+            FactorizedSolver("cg", cg_fallback=False).factorize(matrix)
+
+    def test_zero_diagonal_falls_back_to_direct(self):
+        matrix = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        factorization = FactorizedSolver("cg").factorize(matrix)
+        solution = factorization.solve(np.array([2.0, 3.0]))
+        np.testing.assert_allclose(solution, [3.0, 2.0])
+        assert factorization.fallback_solves == 1
+
+    def test_nonconvergence_falls_back_to_direct(self):
+        # An indefinite, wildly scaled system CG cannot solve.
+        rng = np.random.default_rng(11)
+        base = rng.standard_normal((40, 40))
+        matrix = base - base.T + np.diag(np.logspace(-8, 8, 40))
+        rhs = rng.standard_normal(40)
+        factorization = FactorizedSolver("cg", rtol=1e-14,
+                                         cg_fallback=True).factorize(
+            sp.csr_matrix(matrix))
+        solution = factorization.solve(rhs)
+        assert factorization.fallback_solves >= 1
+        np.testing.assert_allclose(matrix @ solution, rhs, atol=1e-6)
+
+    def test_nonconvergence_raises_without_fallback(self):
+        rng = np.random.default_rng(11)
+        base = rng.standard_normal((40, 40))
+        matrix = base - base.T + np.diag(np.logspace(-8, 8, 40))
+        factorization = FactorizedSolver("cg", rtol=1e-14,
+                                         cg_fallback=False).factorize(
+            sp.csr_matrix(matrix))
+        with pytest.raises(LinAlgError):
+            factorization.solve(rng.standard_normal(40))
+
+
+class TestValidation:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(LinAlgError):
+            FactorizedSolver("lu")
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(LinAlgError):
+            FactorizedSolver().factorize(np.ones((2, 3)))

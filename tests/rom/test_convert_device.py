@@ -142,3 +142,50 @@ class TestBeamROMEvaluator:
         result = CampaignRunner().run(GridSweep(order=[6]), self.EVALUATOR)
         assert result.column("resonance_hz")[0] == pytest.approx(
             beam.analytic_first_frequency(), rel=1e-2)
+
+
+class TestEvaluatorMatrixCache:
+    EVALUATOR = BeamROMEvaluator(
+        length=280e-6, width=18e-6, thickness=2e-6, youngs_modulus=160e9,
+        density=2330.0, elements=16, f_min=5e3, f_max=1.2e5, probe_points=15)
+
+    def test_matrices_assembled_once_per_geometry(self):
+        from repro.rom.convert import _assembled_beam, _reference_response
+
+        _assembled_beam.cache_clear()
+        _reference_response.cache_clear()
+        rows = [self.EVALUATOR({"order": order}) for order in (2, 4, 6)]
+        assert _assembled_beam.cache_info().misses == 1
+        assert _assembled_beam.cache_info().hits >= 2
+        assert _reference_response.cache_info().misses == 1
+        assert rows[2]["max_error"] <= rows[0]["max_error"]
+
+    def test_cached_reference_matches_direct_scoring(self):
+        from repro.fem.structural import CantileverBeam
+        from repro.rom import harmonic_error, rom_from_matrices
+        from repro.rom.convert import _assembled_beam, _reference_response
+
+        _assembled_beam.cache_clear()
+        _reference_response.cache_clear()
+        row = self.EVALUATOR({"order": 5})
+        beam = CantileverBeam(280e-6, 18e-6, 2e-6, 160e9, 2330.0, elements=16)
+        stiffness, mass = beam.assemble()
+        rayleigh = (0.0, 1e-9)
+        damping = rayleigh[1] * stiffness
+        rom = rom_from_matrices(mass, stiffness, order=5, drive_dof=-2,
+                                output_dofs=[-2], rayleigh=rayleigh)
+        probe = np.linspace(5e3, 1.2e5, 15)
+        errors = harmonic_error(rom, mass, damping, stiffness, probe,
+                                drive_dof=-2, output_dofs=[-2])
+        assert row["max_error"] == pytest.approx(float(np.max(errors)),
+                                                 rel=1e-9)
+
+    def test_geometry_change_is_a_cache_miss(self):
+        from dataclasses import replace
+
+        from repro.rom.convert import _assembled_beam
+
+        _assembled_beam.cache_clear()
+        self.EVALUATOR({"order": 3})
+        replace(self.EVALUATOR, thickness=2.5e-6)({"order": 3})
+        assert _assembled_beam.cache_info().misses == 2
