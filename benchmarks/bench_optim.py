@@ -1,0 +1,172 @@
+"""Optimization benchmark: pin the ROM-surrogate evaluation saving.
+
+One design task, solved twice:
+
+* **full-model optimization** -- Nelder-Mead directly on the expensive
+  objective (fundamental resonance measured on the full-order damped FE
+  harmonic response, ~120 dense factorizations per design),
+* **ROM-surrogate strategy** -- the same solver does its search work on an
+  order-6 modal-ROM measurement of the same quantity;
+  :class:`~repro.optim.surrogate.SurrogateStrategy` spends one full-model
+  evaluation per outer verification round.
+
+Both must land within 1 % of the 25 kHz resonance target; the surrogate
+path must need **>= 5x fewer real full-model evaluations** (the objective's
+``evaluations`` counter -- deterministic, so the floor is enforced in the
+CI smoke job with an explicit raise; wall-clock is reported but not gated).
+
+Run standalone (``python benchmarks/bench_optim.py``); ``--smoke`` is
+accepted for CI symmetry and runs the identical deterministic workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.fem.harmonic import harmonic_response, interpolate_peak_frequency
+from repro.fem.structural import CantileverBeam
+from repro.optim import NelderMead, Objective, ParameterSpace, SurrogateStrategy
+from repro.rom import rom_from_matrices
+
+LENGTH = 400e-6
+WIDTH = 20e-6
+YOUNGS_MODULUS = 160e9
+DENSITY = 2330.0
+ELEMENTS = 40
+RAYLEIGH_BETA = 2.1e-7
+
+TARGET_HZ = 25e3
+TOLERANCE = 0.01
+ROM_ORDER = 6
+COARSE_GRID = np.geomspace(5e3, 3e5, 60)
+
+#: Pinned floor: the surrogate strategy must save at least this factor in
+#: real full-model evaluations.
+MIN_EVALUATION_SAVING = 5.0
+
+SPACE = ParameterSpace(thickness=(1.0e-6, 10.0e-6, "log"))
+
+
+def _beam_matrices(thickness: float):
+    beam = CantileverBeam(length=LENGTH, width=WIDTH, thickness=thickness,
+                          youngs_modulus=YOUNGS_MODULUS, density=DENSITY,
+                          elements=ELEMENTS)
+    stiffness, mass = beam.assemble()
+    return mass, RAYLEIGH_BETA * stiffness, stiffness
+
+
+def _refined_peak(magnitude_of) -> float:
+    coarse = magnitude_of(COARSE_GRID)
+    f0 = float(COARSE_GRID[int(np.argmax(coarse))])
+    window = np.linspace(0.85 * f0, 1.15 * f0, 61)
+    return interpolate_peak_frequency(window, magnitude_of(window))
+
+
+def full_resonance(params: dict) -> dict[str, float]:
+    mass, damping, stiffness = _beam_matrices(float(params["thickness"]))
+
+    def magnitude(frequencies: np.ndarray) -> np.ndarray:
+        response = harmonic_response(mass, damping, stiffness, frequencies,
+                                     drive_dof=-2)
+        return response.magnitude(-2)
+
+    return {"resonance_hz": _refined_peak(magnitude)}
+
+
+def rom_resonance(params: dict) -> dict[str, float]:
+    mass, damping, stiffness = _beam_matrices(float(params["thickness"]))
+    rom = rom_from_matrices(mass, stiffness, order=ROM_ORDER, method="modal",
+                            drive_dof=-2, output_dofs=[-2],
+                            rayleigh=(0.0, RAYLEIGH_BETA))
+
+    def magnitude(frequencies: np.ndarray) -> np.ndarray:
+        return np.abs(rom.harmonic(frequencies)[:, 0])
+
+    return {"resonance_hz": _refined_peak(magnitude)}
+
+
+def _objective(fn) -> Objective:
+    return Objective(fn, SPACE, output="resonance_hz", target=TARGET_HZ)
+
+
+def _miss(params: dict) -> float:
+    return abs(full_resonance(params)["resonance_hz"] - TARGET_HZ) / TARGET_HZ
+
+
+def run_benchmark() -> dict[str, float]:
+    solver = NelderMead(max_iterations=80, xtol=1e-7, ftol=1e-14)
+
+    # Direct full-model optimization (the baseline every designer pays today).
+    full_direct = _objective(full_resonance)
+    start = time.perf_counter()
+    direct = solver.minimize(full_direct)
+    direct_time = time.perf_counter() - start
+    direct_evals = full_direct.evaluations
+    direct_miss = _miss(direct.params)
+
+    # ROM-surrogate strategy on the identical task.
+    full = _objective(full_resonance)
+    surrogate = _objective(rom_resonance)
+    strategy = SurrogateStrategy(solver=solver, fun_tol=TOLERANCE ** 2,
+                                 agree_rtol=5e-2)
+    start = time.perf_counter()
+    accelerated = strategy.minimize(full, surrogate)
+    accelerated_time = time.perf_counter() - start
+    accelerated_miss = _miss(accelerated.params)
+
+    saving = direct_evals / max(accelerated.full_evaluations, 1)
+    return {
+        "direct_evals": direct_evals,
+        "direct_miss": direct_miss,
+        "direct_time_s": direct_time,
+        "surrogate_full_evals": accelerated.full_evaluations,
+        "surrogate_rom_evals": accelerated.surrogate_evaluations,
+        "surrogate_miss": accelerated_miss,
+        "surrogate_time_s": accelerated_time,
+        "fallback_used": float(accelerated.fallback_used),
+        "saving": saving,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI smoke mode (identical deterministic workload)")
+    parser.parse_args(argv)
+
+    stats = run_benchmark()
+    print("=== bench_optim: ROM-surrogate vs full-model optimization ===")
+    print(f"target {TARGET_HZ / 1e3:.1f} kHz, tolerance {100 * TOLERANCE:.0f} %")
+    print(f"full-model Nelder-Mead : {stats['direct_evals']:4.0f} full "
+          f"evaluations, miss {100 * stats['direct_miss']:.4f} %, "
+          f"{stats['direct_time_s']:.2f} s")
+    print(f"ROM-surrogate strategy : {stats['surrogate_full_evals']:4.0f} full "
+          f"evaluations (+{stats['surrogate_rom_evals']:.0f} ROM), "
+          f"miss {100 * stats['surrogate_miss']:.4f} %, "
+          f"{stats['surrogate_time_s']:.2f} s, "
+          f"fallback={bool(stats['fallback_used'])}")
+    print(f"full-model evaluation saving: {stats['saving']:.1f}x "
+          f"(floor {MIN_EVALUATION_SAVING:.0f}x)")
+
+    if stats["direct_miss"] > TOLERANCE:
+        raise AssertionError(
+            f"direct optimization missed the target by "
+            f"{100 * stats['direct_miss']:.2f} % (> {100 * TOLERANCE:.0f} %)")
+    if stats["surrogate_miss"] > TOLERANCE:
+        raise AssertionError(
+            f"surrogate optimization missed the target by "
+            f"{100 * stats['surrogate_miss']:.2f} % (> {100 * TOLERANCE:.0f} %)")
+    if stats["saving"] < MIN_EVALUATION_SAVING:
+        raise AssertionError(
+            f"surrogate saving regressed: {stats['saving']:.1f}x full-model "
+            f"evaluations (floor {MIN_EVALUATION_SAVING:.0f}x)")
+    print("floors satisfied.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,11 @@ The package provides, entirely in Python:
 * :mod:`repro.campaign` -- the simulation-campaign engine: declarative
   grid/Monte-Carlo/corner sweeps executed serially or on a process pool,
   with content-addressed result caching and columnar yield statistics,
+* :mod:`repro.optim` -- the design-optimization and calibration engine:
+  bounded/log parameter spaces, AD/finite-difference gradient objectives
+  with content-addressed memoization, Nelder-Mead / projected gradient
+  descent / multi-start solvers on the campaign backends, ROM-surrogate
+  acceleration and Monte-Carlo yield optimization,
 * :mod:`repro.system` -- the transducer + resonator microsystem of Figs. 3-5
   and the behavioral-versus-linearized comparison harness.
 
@@ -47,7 +52,7 @@ Quickstart::
 
 from __future__ import annotations
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from . import constants, errors, units
 from .campaign import (
@@ -58,6 +63,7 @@ from .campaign import (
     GridSweep,
     MonteCarlo,
     Normal,
+    PointList,
     ResultCache,
     Uniform,
 )
@@ -74,6 +80,17 @@ from .circuit import (
 )
 from .linalg import FactorizationCache, FactorizedSolver, StructureCache
 from .natures import ELECTRICAL, MECHANICAL_TRANSLATION, get_nature
+from .optim import (
+    GradientDescent,
+    MultiStart,
+    NelderMead,
+    Objective,
+    OptimResult,
+    Parameter,
+    ParameterSpace,
+    SurrogateStrategy,
+    YieldOptimizer,
+)
 from .rom import (
     BeamROMEvaluator,
     ReducedModel,
@@ -121,6 +138,7 @@ __all__ = [
     "GridSweep",
     "MonteCarlo",
     "CornerSet",
+    "PointList",
     "Uniform",
     "Normal",
     "ResultCache",
@@ -138,6 +156,15 @@ __all__ = [
     "rom_from_chain",
     "rom_to_hdl",
     "BeamROMEvaluator",
+    "Parameter",
+    "ParameterSpace",
+    "Objective",
+    "OptimResult",
+    "NelderMead",
+    "GradientDescent",
+    "MultiStart",
+    "SurrogateStrategy",
+    "YieldOptimizer",
     "TransverseElectrostaticTransducer",
     "LateralElectrostaticTransducer",
     "ElectromagneticTransducer",

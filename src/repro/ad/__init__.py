@@ -13,7 +13,8 @@ small-signal admittances needed by the AC analysis (``ddt`` becomes a
 multiplication of the derivative part by ``j*omega``).
 """
 
-from .dual import Dual, seed, seed_many, value_of, derivative_of, is_dual
+from .dual import (Dual, seed, seed_many, seed_dict, value_of,
+                   derivative_of, is_dual)
 from .functions import (
     sqrt,
     exp,
@@ -40,6 +41,7 @@ __all__ = [
     "Dual",
     "seed",
     "seed_many",
+    "seed_dict",
     "value_of",
     "derivative_of",
     "is_dual",

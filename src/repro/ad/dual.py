@@ -27,7 +27,8 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["Dual", "seed", "seed_many", "value_of", "derivative_of", "is_dual"]
+__all__ = ["Dual", "seed", "seed_many", "seed_dict", "value_of",
+           "derivative_of", "is_dual"]
 
 
 def _as_deriv(deriv: Any, size: int | None = None) -> np.ndarray:
@@ -204,6 +205,23 @@ def seed_many(values, dtype: type = float) -> list[Dual]:
     values = list(values)
     n = len(values)
     return [Dual.variable(float(v), index=i, nvars=n, dtype=dtype) for i, v in enumerate(values)]
+
+
+def seed_dict(values, dtype: type = float) -> dict:
+    """Seed a mapping of named variables as one dual-vector system.
+
+    Returns ``{name: Dual}`` where the derivative parts together form the
+    identity matrix in the mapping's iteration order, so evaluating a model
+    on the seeded dict yields the value *and* the gradient with respect to
+    every named parameter in a single pass.  This is the entry point the
+    optimization layer uses to push parameter sensitivities through
+    behavioral/transducer evaluation.
+    """
+    names = list(values)
+    n = len(names)
+    return {name: Dual.variable(float(values[name]), index=i, nvars=n,
+                                dtype=dtype)
+            for i, name in enumerate(names)}
 
 
 def value_of(x: Any) -> float:

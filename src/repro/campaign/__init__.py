@@ -48,6 +48,7 @@ from .spec import (
     LogNormal,
     MonteCarlo,
     Normal,
+    PointList,
     ProductSpec,
     Uniform,
     ZipSpec,
@@ -59,6 +60,7 @@ __all__ = [
     "GridSweep",
     "MonteCarlo",
     "CornerSet",
+    "PointList",
     "ZipSpec",
     "ProductSpec",
     "Distribution",

@@ -44,6 +44,7 @@ __all__ = [
     "GridSweep",
     "MonteCarlo",
     "CornerSet",
+    "PointList",
     "ZipSpec",
     "ProductSpec",
     "Distribution",
@@ -431,6 +432,51 @@ class CornerSet(CampaignSpec):
         return f"CornerSet({', '.join(self.corners)})"
 
 
+class PointList(CampaignSpec):
+    """An explicit, ordered list of scenario points.
+
+    The escape hatch for point sets that are neither grids, samples nor
+    corners -- e.g. the start vectors of a multi-start optimization fan-out,
+    or a hand-picked validation set.  Every point must bind the same
+    parameter names; the list order is the campaign order.
+    """
+
+    kind = "points"
+
+    def __init__(self, points: Sequence[Mapping[str, object]]) -> None:
+        cleaned = [dict(point) for point in points]
+        if not cleaned:
+            raise CampaignError("a point list needs at least one point")
+        names = tuple(cleaned[0])
+        for index, point in enumerate(cleaned):
+            if set(point) != set(names):
+                raise CampaignError(
+                    f"point #{index} binds {sorted(point)}, "
+                    f"expected {sorted(names)}")
+        self._points = cleaned
+        self._names = names
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self._names
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def points(self) -> list[dict]:
+        return [dict(point) for point in self._points]
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "points": [dict(p) for p in self._points]}
+
+    @classmethod
+    def _from_dict(cls, payload: Mapping) -> "PointList":
+        return cls(payload["points"])
+
+    def __repr__(self) -> str:
+        return f"PointList({', '.join(self._names)}; {len(self)} points)"
+
+
 class ZipSpec(CampaignSpec):
     """Pointwise merge of two same-length specs (disjoint parameter names)."""
 
@@ -494,7 +540,8 @@ class ProductSpec(CampaignSpec):
 
 
 _SPEC_KINDS = {cls.kind: cls for cls in
-               (GridSweep, MonteCarlo, CornerSet, ZipSpec, ProductSpec)}
+               (GridSweep, MonteCarlo, CornerSet, PointList, ZipSpec,
+                ProductSpec)}
 
 
 def spec_from_dict(payload: Mapping) -> CampaignSpec:

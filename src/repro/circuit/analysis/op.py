@@ -80,6 +80,7 @@ class NewtonWorkspace:
         self.factor_reuses = 0
         self.chord_iterations = 0
         self.stall_refactors = 0
+        self.step_chord_reuses = 0
 
     @staticmethod
     def _same_matrix(stored, matrix) -> bool:
@@ -120,6 +121,7 @@ class NewtonWorkspace:
             "factor_cache_hits": self.factor_reuses,
             "chord_iterations": self.chord_iterations,
             "stall_refactors": self.stall_refactors,
+            "step_chord_reuses": self.step_chord_reuses,
         }
 
 
@@ -129,6 +131,40 @@ def _chord_tag(system: MNASystem, analysis: str,
                             and analysis == "tran"
                             and not integrator.priming) else None
     return (analysis, step, source_scale, system.structure_cache.generation)
+
+
+#: Step ratios outside this window make the chord iteration matrix
+#: ``I - A(h_old)^-1 A(h_new)`` expansive in the companion-dominated worst
+#: case (the mismatch scales like ``h_old/h_new - 1``), so reuse is pointless
+#: -- the stall detector would refactor immediately anyway.
+_STEP_REUSE_RATIO = (0.5, 2.0)
+
+#: Tightening factor applied to the convergence tolerance while a solve is
+#: riding a step-mismatched factorization: with a contraction of at most 0.5
+#: per chord pass the accepted solution then sits within ~1/20 of the normal
+#: Newton tolerance of the exact answer, preserving the historical chord
+#: accuracy pins at the cost of a few extra residual-only assemblies.
+_CONFIRM_TIGHTEN = 0.02
+
+
+def _step_only_change(old: tuple | None, new: tuple) -> bool:
+    """True when two chord tags differ only in a *moderate* step change.
+
+    The LTE controller softly rejects a step (``h * 0.8 .. 0.9``) and grows
+    it after smooth stretches (up to ``max_step_growth``, default 2x); the
+    Jacobian then changes only through the companion conductances, so the
+    held factorization is still a contractive chord operator -- the residual
+    is assembled exactly at the new step, a confirming iteration guards the
+    convergence test, and the stall detector refactors if the step change
+    was too aggressive after all.  Hard rejections (``h * 0.2 .. 0.25``)
+    fall outside the ratio window and refactor as before.
+    """
+    if not (old is not None and old[0] == new[0] == "tran"
+            and old[1] is not None and new[1] is not None
+            and old[1] != new[1] and old[2:] == new[2:]):
+        return False
+    ratio = new[1] / old[1]
+    return _STEP_REUSE_RATIO[0] <= ratio <= _STEP_REUSE_RATIO[1]
 
 
 def newton_solve(system: MNASystem, x0: np.ndarray, analysis: str, time: float,
@@ -152,10 +188,28 @@ def newton_solve(system: MNASystem, x0: np.ndarray, analysis: str, time: float,
     chord_allowed = options.jacobian_reuse == "chord"
     chord = (chord_allowed
              and ws.factorization is not None and ws.chord_tag == tag)
+    #: While riding a factorization from a *different* step size, a small
+    #: Newton update does not prove convergence (the chord operator is only
+    #: contractive, not exact): drive the cheap residual-only iteration to a
+    #: much tighter update tolerance and require one confirming pass, so the
+    #: accepted solution matches a freshly factored solve to well below the
+    #: Newton tolerance.  Extra residual assemblies cost a small fraction of
+    #: the factorization they replace.
+    require_confirm = False
+    if (chord_allowed and options.step_chord_reuse and not chord
+            and ws.factorization is not None
+            and _step_only_change(ws.chord_tag, tag)):
+        # A rejected (or re-grown) time step changed only ``h``: ride the
+        # accepted-step factorization instead of re-assembling from scratch.
+        chord = True
+        require_confirm = True
+        ws.chord_tag = tag
+        ws.step_chord_reuses += 1
     # Past this point a chord solve that is still grinding is assumed to be
     # riding a stale Jacobian; refactor instead of burning the iteration cap.
     chord_limit = max(3, options.max_newton_iterations // 2)
     previous_residual = None
+    confirmed_once = False
     for iteration in range(1, options.max_newton_iterations + 1):
         ctx = system.assemble(x, analysis, time, integrator, options,
                               source_scale, want_jacobian=not chord)
@@ -179,6 +233,7 @@ def newton_solve(system: MNASystem, x0: np.ndarray, analysis: str, time: float,
                 ws.chord_tag = tag
                 ws.stall_refactors += 1
                 previous_residual = None
+                require_confirm = False  # fresh factorization for this step
                 if iteration >= chord_limit:
                     # This solve is grinding: give the rest of it plain full
                     # Newton instead of re-assembling twice per iteration.
@@ -205,10 +260,16 @@ def newton_solve(system: MNASystem, x0: np.ndarray, analysis: str, time: float,
                 iterations=iteration)
         x_new = x + options.newton_damping * dx
         tol = base_tol + options.reltol * np.maximum(np.abs(x), np.abs(x_new))
+        if require_confirm:
+            tol = _CONFIRM_TIGHTEN * tol
         converged = bool(np.all(np.abs(options.newton_damping * dx) <= tol))
         x = x_new
         if converged and iteration >= 1:
+            if require_confirm and not confirmed_once:
+                confirmed_once = True  # one more below-tolerance pass, please
+                continue
             return x, iteration
+        confirmed_once = False
     raise ConvergenceError(
         f"Newton failed to converge in {options.max_newton_iterations} iterations "
         f"({analysis}, t={time:g})",

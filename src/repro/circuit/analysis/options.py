@@ -76,6 +76,14 @@ class SimulationOptions:
         Chord-Newton stall criterion: a chord iteration must shrink the
         residual norm below ``refactor_threshold`` times the previous
         iteration's norm, otherwise the Jacobian is refactored.
+    step_chord_reuse:
+        Chord-mode only: when a transient step is rejected (or re-grown) and
+        only the step size ``h`` changed, keep riding the accepted-step
+        factorization instead of refactoring (moderate step ratios only;
+        the solve then runs to a tightened update tolerance with a
+        confirming pass, and the stall detector still refactors when the
+        step change was too aggressive).  Disable to recover the historical
+        refactor-on-every-step-change chord behaviour exactly.
     """
 
     reltol: float = constants.RELTOL
@@ -94,6 +102,7 @@ class SimulationOptions:
     sparse_threshold: int = 256
     jacobian_reuse: str = "auto"
     refactor_threshold: float = 0.5
+    step_chord_reuse: bool = True
 
     def __post_init__(self) -> None:
         if self.reltol <= 0.0 or self.reltol >= 1.0:

@@ -104,3 +104,7 @@ class TransducerError(ReproError):
 
 class CampaignError(ReproError):
     """A simulation campaign is malformed or could not be executed."""
+
+
+class OptimizationError(ReproError):
+    """A design optimization / calibration problem is malformed or failed."""

@@ -1,4 +1,16 @@
-"""Global assembly and Dirichlet boundary conditions for the FE solver."""
+"""Global assembly and Dirichlet boundary conditions for the FE solver.
+
+The stiffness assembly routes its COO triplet stream through
+:class:`~repro.linalg.structure.StructureCache`: the triplet *pattern* of a
+structured mesh depends only on its ``(nx, ny)`` topology, not on the
+physical dimensions or the permittivity, so repeated solves -- a PXT
+boundary-condition sweep re-meshing only the gap height, an optimization
+loop iterating a geometry -- pay the sort-and-dedup COO->CSR reduction once
+and every later assembly is a single ``bincount``.  Patterns are shared
+process-wide per topology via :func:`structure_cache_for`; the cache
+verifies the triplet arrays exactly, so a topology collision can only cost
+a rebuild, never produce a wrong matrix.
+"""
 
 from __future__ import annotations
 
@@ -6,21 +18,55 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..errors import FEMError
+from ..linalg import StructureCache
 from .elements import element_stiffness
 from .mesh import RectangularMesh
 
-__all__ = ["assemble_stiffness", "apply_dirichlet"]
+__all__ = ["assemble_stiffness", "apply_dirichlet", "structure_cache_for"]
+
+#: Process-wide pattern caches keyed by mesh topology.  Bounded: topologies
+#: beyond the cap evict the whole table (optimization sweeps cycle through a
+#: handful of mesh densities, not hundreds).
+_PATTERN_CACHES: dict[tuple[int, int], StructureCache] = {}
+_PATTERN_CACHE_LIMIT = 32
+
+
+def structure_cache_for(mesh: RectangularMesh) -> StructureCache:
+    """The shared COO->CSR pattern cache for ``mesh``'s topology.
+
+    Meshes with the same ``(nx, ny)`` divisions produce identical triplet
+    patterns regardless of their physical size, so one cache serves every
+    geometry variant of a sweep.
+    """
+    key = (mesh.nx, mesh.ny)
+    cache = _PATTERN_CACHES.get(key)
+    if cache is None:
+        if len(_PATTERN_CACHES) >= _PATTERN_CACHE_LIMIT:
+            _PATTERN_CACHES.clear()
+        cache = StructureCache()
+        _PATTERN_CACHES[key] = cache
+    return cache
 
 
 def assemble_stiffness(mesh: RectangularMesh,
-                       permittivity: float | np.ndarray = 1.0) -> sp.csr_matrix:
+                       permittivity: float | np.ndarray = 1.0,
+                       structure_cache: StructureCache | None = None
+                       ) -> sp.csr_matrix:
     """Assemble the global stiffness (Laplace) matrix of a structured mesh.
 
     ``permittivity`` is either a scalar or a per-element array, enabling
-    layered dielectrics in the gap.
+    layered dielectrics in the gap.  ``structure_cache`` overrides the
+    process-wide per-topology pattern cache (pass a private instance to
+    isolate a long-lived solver from unrelated assemblies).
+
+    All elements of a structured rectangular mesh are congruent and the
+    element stiffness is linear in the permittivity, so the ``(4, 4)``
+    element matrix is integrated once and scaled per element; the returned
+    CSR matrix shares its index structure with the pattern cache and should
+    be treated as read-only (downstream consumers copy before mutating).
     """
     coords = mesh.node_coordinates()
-    connectivity = mesh.element_connectivity()
+    connectivity = np.asarray(mesh.element_connectivity(), dtype=np.intp)
     if np.isscalar(permittivity):
         eps = np.full(mesh.num_elements, float(permittivity))
     else:
@@ -28,19 +74,14 @@ def assemble_stiffness(mesh: RectangularMesh,
         if eps.shape != (mesh.num_elements,):
             raise FEMError(
                 f"per-element permittivity needs {mesh.num_elements} entries, got {eps.shape}")
-    rows: list[int] = []
-    cols: list[int] = []
-    values: list[float] = []
-    for element, nodes in enumerate(connectivity):
-        ke = element_stiffness(coords[nodes], eps[element])
-        for a in range(4):
-            for b in range(4):
-                rows.append(int(nodes[a]))
-                cols.append(int(nodes[b]))
-                values.append(float(ke[a, b]))
-    matrix = sp.coo_matrix((values, (rows, cols)),
-                           shape=(mesh.num_nodes, mesh.num_nodes))
-    return matrix.tocsr()
+    ke_unit = element_stiffness(coords[connectivity[0]], 1.0)
+    values = eps[:, None, None] * ke_unit[None, :, :]
+    # Triplet order matches the historical (element, a, b) nested loop.
+    rows = np.repeat(connectivity, 4, axis=1).ravel()
+    cols = np.tile(connectivity, (1, 4)).ravel()
+    if structure_cache is None:
+        structure_cache = structure_cache_for(mesh)
+    return structure_cache.assemble(rows, cols, values.ravel(), mesh.num_nodes)
 
 
 def apply_dirichlet(matrix: sp.csr_matrix, rhs: np.ndarray,

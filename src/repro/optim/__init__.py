@@ -1,0 +1,57 @@
+"""Design optimization and calibration over the whole simulation stack.
+
+The repo can *evaluate* a design at every level -- closed-form transducers,
+circuit analyses, FE solves, ROMs, Monte-Carlo campaigns.  This package
+makes it *search* one:
+
+* :mod:`repro.optim.transforms` -- bounded/log parameter spaces mapping a
+  unit-box design vector to physical parameters (with AD chain rule),
+* :mod:`repro.optim.objective` -- :class:`Objective` wraps any evaluator
+  with transforms, content-addressed memoization
+  (:class:`~repro.campaign.cache.ResultCache`) and forward-AD gradients
+  (dual seeding) with a finite-difference fallback,
+* :mod:`repro.optim.solvers` -- derivative-free :class:`NelderMead` and
+  projected :class:`GradientDescent` with backtracking line search,
+* :mod:`repro.optim.multistart` -- :class:`MultiStart` fans seeded local
+  starts out over the :class:`~repro.campaign.runner.CampaignRunner`
+  backends (serial / process pool) deterministically,
+* :mod:`repro.optim.surrogate` -- :class:`SurrogateStrategy` searches a
+  cheap ROM/macromodel objective and verifies accepted iterates against the
+  full model, falling back automatically when the surrogate disagrees,
+* :mod:`repro.optim.yield_opt` -- :class:`YieldOptimizer` turns a
+  Monte-Carlo campaign into a stochastic yield objective with common random
+  numbers.
+
+Quickstart::
+
+    from repro.optim import Objective, ParameterSpace, NelderMead
+
+    space = ParameterSpace(thickness=(1e-6, 20e-6, "log"))
+    objective = Objective(my_resonance_evaluator, space,
+                          output="resonance_hz", target=25e3)
+    result = NelderMead().minimize(objective)
+    result.params      # {"thickness": ...}, within bounds by construction
+"""
+
+from .objective import Objective
+from .multistart import MultiStart, MultiStartResult, StartEvaluator
+from .solvers import GradientDescent, NelderMead, OptimResult
+from .surrogate import SurrogateResult, SurrogateStrategy
+from .transforms import Parameter, ParameterSpace
+from .yield_opt import YieldOptimizer, YieldResult
+
+__all__ = [
+    "Parameter",
+    "ParameterSpace",
+    "Objective",
+    "OptimResult",
+    "NelderMead",
+    "GradientDescent",
+    "MultiStart",
+    "MultiStartResult",
+    "StartEvaluator",
+    "SurrogateStrategy",
+    "SurrogateResult",
+    "YieldOptimizer",
+    "YieldResult",
+]

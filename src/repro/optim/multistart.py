@@ -1,0 +1,159 @@
+"""Multi-start driver: fan local optimizations out over the campaign engine.
+
+Nonconvex design landscapes (pull-in folds, multi-modal resonances) need
+more than one local descent.  :class:`MultiStart` draws a seeded set of
+start vectors in the unit box, wraps (objective, solver) into a picklable
+campaign evaluator and runs one local optimization per start point through
+a :class:`~repro.campaign.runner.CampaignRunner` -- serially, or on the
+multiprocessing pool, with the usual per-point error capture and optional
+content-addressed caching of whole local runs.
+
+Determinism: the starts come from a seeded generator, each local solver is
+deterministic, and campaign rows come back in spec order regardless of the
+backend -- so the selected optimum is bit-identical between ``serial`` and
+``pool`` execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..campaign.runner import CampaignRunner
+from ..campaign.spec import PointList
+from ..errors import OptimizationError
+from .objective import Objective
+from .solvers import NelderMead, OptimResult
+
+__all__ = ["MultiStart", "MultiStartResult", "StartEvaluator"]
+
+
+class StartEvaluator:
+    """Campaign evaluator running one local optimization per scenario point.
+
+    A scenario point binds the internal start coordinates as ``z_0 .. z_{n-1}``;
+    the flat result row is :meth:`OptimResult.row`.  Picklable as long as the
+    objective's evaluator and the solver are (module-level callables and the
+    provided solvers qualify), which is what lets the pool backend fan the
+    starts out across processes.
+    """
+
+    def __init__(self, objective: Objective, solver) -> None:
+        self.objective = objective
+        self.solver = solver
+
+    def __call__(self, point: dict) -> dict[str, float]:
+        n = self.objective.space.size
+        z0 = np.array([float(point[f"z_{i}"]) for i in range(n)])
+        result = self.solver.minimize(self.objective, x0=z0)
+        return result.row()
+
+    def cache_payload(self) -> dict:
+        return {"evaluator": "repro.optim.multistart.StartEvaluator",
+                "objective": self.objective.cache_payload(),
+                "solver": self.solver.payload()}
+
+
+@dataclass
+class MultiStartResult:
+    """The best local optimum plus every per-start outcome."""
+
+    best: OptimResult
+    starts: list[OptimResult]
+    #: Index of the winning start (spec order).
+    best_index: int
+
+    @property
+    def converged(self) -> bool:
+        return self.best.converged
+
+    def total_evaluations(self) -> int:
+        """Objective calls summed over every start."""
+        return int(sum(r.evaluations for r in self.starts))
+
+
+class MultiStart:
+    """Run a local solver from many seeded starts and keep the best.
+
+    Parameters
+    ----------
+    solver:
+        The local solver (default: :class:`NelderMead`).
+    starts:
+        Number of start points (including the center/x0 start when
+        ``include_center`` is set).
+    seed:
+        Seed of the start-point generator; same seed, same starts -- on
+        every backend.
+    runner:
+        Campaign runner executing the fan-out (default: serial).  Attach a
+        cache to memoize whole local runs.
+    include_center:
+        Make the first start the space center (or the caller's ``x0``).
+    """
+
+    def __init__(self, solver=None, starts: int = 8, seed: int = 0,
+                 runner: CampaignRunner | None = None,
+                 include_center: bool = True) -> None:
+        if starts < 1:
+            raise OptimizationError("need at least one start")
+        self.solver = solver or NelderMead()
+        self.starts = int(starts)
+        self.seed = int(seed)
+        self.runner = runner or CampaignRunner()
+        self.include_center = bool(include_center)
+
+    # ------------------------------------------------------------------ points
+    def start_points(self, objective: Objective, x0=None) -> np.ndarray:
+        """The ``(starts, n)`` internal start matrix (seeded, deterministic)."""
+        space = objective.space
+        rng = np.random.default_rng(self.seed)
+        random_count = self.starts - (1 if self.include_center else 0)
+        blocks = []
+        if self.include_center:
+            first = space.center() if x0 is None else space.clip(x0)
+            blocks.append(first[None, :])
+        if random_count > 0:
+            blocks.append(space.random(rng, random_count))
+        return np.vstack(blocks)
+
+    # ------------------------------------------------------------------ minimize
+    def minimize(self, objective: Objective, x0=None) -> MultiStartResult:
+        space = objective.space
+        points = self.start_points(objective, x0)
+        spec = PointList([
+            {f"z_{i}": float(z[i]) for i in range(space.size)}
+            for z in points
+        ])
+        campaign = self.runner.run(spec, StartEvaluator(objective, self.solver))
+        failures = campaign.failures()
+        if len(failures) == len(campaign):
+            raise OptimizationError(
+                f"every start failed; first error: {failures[0].error}")
+        results: list[OptimResult] = []
+        for row in campaign:
+            if not row.ok:
+                results.append(OptimResult(
+                    x=np.array([row.params[f"z_{i}"] for i in range(space.size)]),
+                    params=space.decode([row.params[f"z_{i}"]
+                                         for i in range(space.size)]),
+                    fun=float("inf"), iterations=0, evaluations=0,
+                    converged=False, message=f"start failed: {row.error}"))
+                continue
+            x = np.array([float(row[f"x_{i}"]) for i in range(space.size)])
+            results.append(OptimResult(
+                x=x, params=space.decode(x), fun=float(row["fun"]),
+                iterations=int(row["iterations"]),
+                evaluations=int(row["evaluations"]),
+                converged=bool(row["converged"]),
+                message="local start (campaign fan-out)"))
+        funs = np.array([r.fun for r in results])
+        finite = np.flatnonzero(np.isfinite(funs))
+        if finite.size == 0:
+            raise OptimizationError(
+                "no start produced a finite objective value")
+        # ties -> lowest spec index (argmin is stable over the finite subset)
+        best_index = int(finite[np.argmin(funs[finite])])
+        return MultiStartResult(best=results[best_index], starts=results,
+                                best_index=best_index)

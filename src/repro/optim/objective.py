@@ -1,0 +1,245 @@
+"""The objective layer: wrap any evaluator in the stack as ``f(z) -> float``.
+
+An :class:`Objective` binds
+
+* an **evaluator** -- any callable ``params_dict -> float | {name: value}``:
+  a closed-form transducer expression, a circuit analysis reduction, an FE
+  harmonic solve, a :class:`~repro.rom.convert.BeamROMEvaluator`, a PXT
+  extraction error ... anything the rest of the repo can evaluate,
+* a :class:`~repro.optim.transforms.ParameterSpace` mapping the internal
+  unit-box design vector to the evaluator's physical parameters,
+* optional **memoization** through a content-addressed
+  :class:`~repro.campaign.cache.ResultCache` -- the cache key covers the
+  evaluator identity (via :func:`repro.campaign.runner.evaluator_payload`),
+  the fixed config, the parameter space and the decoded point, so restarted
+  or multi-start optimizations never pay twice for the same design,
+* **gradients**: forward-AD by dual-seeding the decoded parameters through
+  the evaluator (exact, one pass), with a central finite-difference fallback
+  for evaluators that cannot propagate duals (e.g. a full Newton solve).
+
+Counters (:attr:`evaluations`, :attr:`cache_hits`) report how many *real*
+model evaluations were spent -- the currency the surrogate benchmark pins.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..ad import Dual
+from ..campaign.cache import ResultCache, canonicalize, scenario_key
+from ..campaign.runner import evaluator_payload
+from ..errors import OptimizationError
+from .transforms import ParameterSpace
+
+__all__ = ["Objective"]
+
+_GRADIENT_MODES = ("ad", "fd", "auto")
+
+
+class Objective:
+    """A scalar design objective over a bounded parameter space.
+
+    Parameters
+    ----------
+    fn:
+        Evaluator ``params_dict -> float`` (or a mapping; see ``output``).
+        For multi-start fan-out on the multiprocessing backend it must be
+        picklable (module-level function, or an instance of a picklable
+        class).  For AD gradients it must tolerate
+        :class:`~repro.ad.Dual` parameter values.
+    space:
+        The design space; the optimizers work in its internal coordinates.
+    config:
+        Fixed parameters merged into every point (``fn`` receives
+        ``{**config, **decoded}``); part of the cache key.
+    output:
+        When ``fn`` returns a mapping, the name of the entry to minimize.
+    target:
+        Optional set-point: the objective becomes the squared relative
+        miss ``((y - target) / target)**2`` -- the natural form for
+        "hit this resonance" design problems.  ``target`` must be non-zero.
+    minimize:
+        ``False`` negates the raw value (maximization), before any
+        ``target`` transform is applied.
+    cache:
+        Optional :class:`ResultCache` for content-addressed memoization.
+    gradient:
+        ``"ad"`` (dual seeding, raise if the evaluator cannot propagate),
+        ``"fd"`` (central differences), or ``"auto"`` (try AD once, fall
+        back to FD for this objective if the evaluator rejects duals).
+    fd_step:
+        Relative finite-difference step in internal coordinates.
+    """
+
+    def __init__(self, fn: Callable[[dict], object], space: ParameterSpace,
+                 *, config: Mapping[str, object] | None = None,
+                 output: str | None = None, target: float | None = None,
+                 minimize: bool = True, cache: ResultCache | None = None,
+                 gradient: str = "auto", fd_step: float = 1e-6) -> None:
+        if not callable(fn):
+            raise OptimizationError("the objective evaluator must be callable")
+        if gradient not in _GRADIENT_MODES:
+            raise OptimizationError(
+                f"unknown gradient mode {gradient!r} (use one of {_GRADIENT_MODES})")
+        if target is not None and target == 0.0:
+            raise OptimizationError(
+                "target must be non-zero (the miss is measured relative to it)")
+        if fd_step <= 0.0:
+            raise OptimizationError("fd_step must be positive")
+        self.fn = fn
+        self.space = space
+        self.config = dict(config or {})
+        self.output = output
+        self.target = None if target is None else float(target)
+        self.minimize = bool(minimize)
+        self.cache = cache
+        self.gradient = gradient
+        self.fd_step = float(fd_step)
+        self.evaluations = 0
+        self.cache_hits = 0
+        self.ad_failures = 0
+
+    # ------------------------------------------------------------------ identity
+    def cache_payload(self) -> dict:
+        """Content-address identity of this objective (not including ``z``)."""
+        return {
+            "objective": evaluator_payload(self.fn),
+            "space": self.space.payload(),
+            "config": canonicalize(self.config),
+            "output": self.output,
+            "target": self.target,
+            "minimize": self.minimize,
+        }
+
+    def params_of(self, z) -> dict[str, float]:
+        """Physical parameters at internal coordinates ``z``."""
+        return self.space.decode(z)
+
+    def statistics(self) -> dict[str, int]:
+        return {"evaluations": self.evaluations, "cache_hits": self.cache_hits,
+                "ad_failures": self.ad_failures}
+
+    # ------------------------------------------------------------------ raw calls
+    def _call_raw(self, params: dict):
+        """One evaluator call on (possibly dual-valued) physical parameters."""
+        result = self.fn({**self.config, **params})
+        if isinstance(result, Mapping):
+            if self.output is None:
+                raise OptimizationError(
+                    "the evaluator returned a mapping; construct the "
+                    "Objective with output=<name> to select an entry")
+            try:
+                result = result[self.output]
+            except KeyError:
+                known = ", ".join(sorted(map(str, result)))
+                raise OptimizationError(
+                    f"evaluator output {self.output!r} not found "
+                    f"(available: {known})") from None
+        return result
+
+    def _shape(self, raw):
+        """Apply the goal transform (sign, target) in value or dual space."""
+        if not self.minimize:
+            raw = -raw
+        if self.target is not None:
+            miss = (raw - self.target) / self.target
+            raw = miss * miss
+        return raw
+
+    # ------------------------------------------------------------------ value
+    def value(self, z) -> float:
+        """The objective at internal coordinates ``z`` (cached when possible)."""
+        z = self.space.clip(z)
+        params = self.space.decode(z)
+        key = None
+        if self.cache is not None:
+            key = scenario_key(self.cache_payload(), params)
+            row = self.cache.get(key)
+            if row is not None:
+                self.cache_hits += 1
+                return float(row["value"])
+        value = float(self._shape(self._call_raw(params)))
+        self.evaluations += 1
+        if key is not None and np.isfinite(value):
+            self.cache.put(key, {"value": value})
+        return value
+
+    def __call__(self, z) -> float:
+        return self.value(z)
+
+    # ------------------------------------------------------------------ gradient
+    def value_and_gradient(self, z) -> tuple[float, np.ndarray]:
+        """Objective value and gradient w.r.t. the internal coordinates.
+
+        The AD path dual-seeds the decoded physical parameters (chain rule
+        through the bound/log transforms included) and evaluates the model
+        once.  The FD path uses central differences of :meth:`value`, which
+        reuses the cache.
+        """
+        z = self.space.clip(z)
+        key = None
+        if self.cache is not None:
+            params = self.space.decode(z)
+            key = scenario_key({**self.cache_payload(), "record": "gradient"},
+                               params)
+            row = self.cache.get(key)
+            if row is not None:
+                self.cache_hits += 1
+                return float(row["value"]), np.asarray(row["grad"], dtype=float)
+        if self.gradient in ("ad", "auto"):
+            try:
+                value, grad = self._ad_gradient(z)
+            except TypeError as exc:
+                # TypeError is the dual-incompatibility signal (including the
+                # explicit probe in _ad_gradient).  Other evaluator failures
+                # -- an infeasible point raising ValueError mid line-search,
+                # say -- propagate: they would fail the FD path identically
+                # and must not silently demote every future gradient to
+                # 2n+1 model evaluations.
+                if self.gradient == "ad":
+                    raise OptimizationError(
+                        f"AD gradient failed (evaluator cannot propagate "
+                        f"duals?): {type(exc).__name__}: {exc}") from exc
+                # auto: this evaluator cannot carry duals; remember that and
+                # use finite differences from now on.
+                self.ad_failures += 1
+                self.gradient = "fd"
+                value, grad = self._fd_gradient(z)
+        else:
+            value, grad = self._fd_gradient(z)
+        if key is not None and np.isfinite(value) and np.all(np.isfinite(grad)):
+            self.cache.put(key, {"value": value, "grad": [float(g) for g in grad]})
+        return value, grad
+
+    def _ad_gradient(self, z) -> tuple[float, np.ndarray]:
+        duals = self.space.decode_dual(z)
+        result = self._shape(self._call_raw(duals))
+        self.evaluations += 1
+        if isinstance(result, Dual):
+            return float(result.value), np.asarray(result.deriv, dtype=float).copy()
+        # The evaluator dropped the derivative (e.g. coerced to float):
+        # constant as far as AD can see -- make "auto" fall back instead of
+        # silently reporting a zero gradient.
+        raise TypeError("the evaluator returned a plain number for dual inputs")
+
+    def _fd_gradient(self, z) -> tuple[float, np.ndarray]:
+        value = self.value(z)
+        grad = np.zeros(self.space.size)
+        for i in range(self.space.size):
+            h = self.fd_step
+            forward = np.array(z, dtype=float)
+            backward = np.array(z, dtype=float)
+            forward[i] = min(z[i] + h, 1.0)
+            backward[i] = max(z[i] - h, 0.0)
+            span = forward[i] - backward[i]
+            if span <= 0.0:  # degenerate axis (lower == upper after clip)
+                continue
+            grad[i] = (self.value(forward) - self.value(backward)) / span
+        return value, grad
+
+    def __repr__(self) -> str:
+        name = getattr(self.fn, "__name__", type(self.fn).__name__)
+        return (f"Objective({name} over {self.space!r}, "
+                f"{self.evaluations} evaluations)")

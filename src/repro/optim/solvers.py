@@ -1,0 +1,274 @@
+"""Local optimizers over the unit-box internal coordinates.
+
+Two deliberately simple, dependency-free solvers cover the workloads of the
+design layer:
+
+* :class:`NelderMead` -- derivative-free downhill simplex with projection
+  onto the unit box; robust on the noisy/kinked objectives produced by
+  mesh-discretized FE solves and yield estimates,
+* :class:`GradientDescent` -- projected gradient descent with a
+  backtracking (Armijo) line search, driven by the objective's AD gradient
+  (or its finite-difference fallback).
+
+Both are fully deterministic (no internal randomness), picklable (plain
+float configuration), and expose a :meth:`payload` for content-addressed
+caching of whole optimization runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import OptimizationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .objective import Objective
+
+__all__ = ["OptimResult", "NelderMead", "GradientDescent"]
+
+
+@dataclass
+class OptimResult:
+    """Outcome of one local optimization run.
+
+    ``x`` is in internal (unit box) coordinates; ``params`` is the decoded
+    physical point.  ``evaluations`` counts objective *calls* made by the
+    solver (cache hits included); the objective's own counters distinguish
+    real model evaluations.
+    """
+
+    x: np.ndarray
+    params: dict[str, float]
+    fun: float
+    iterations: int
+    evaluations: int
+    converged: bool
+    message: str
+    history: tuple[float, ...] = field(default_factory=tuple)
+
+    def row(self, prefix: str = "") -> dict[str, float]:
+        """Flatten to a campaign-style row of floats (for fan-out results)."""
+        row = {f"{prefix}fun": float(self.fun),
+               f"{prefix}iterations": float(self.iterations),
+               f"{prefix}evaluations": float(self.evaluations),
+               f"{prefix}converged": 1.0 if self.converged else 0.0}
+        for i, value in enumerate(np.asarray(self.x, dtype=float)):
+            row[f"{prefix}x_{i}"] = float(value)
+        for name, value in self.params.items():
+            row[f"{prefix}p_{name}"] = float(value)
+        return row
+
+
+class NelderMead:
+    """Bounded downhill simplex (Nelder-Mead) on the unit box.
+
+    Standard reflection/expansion/contraction/shrink moves; every trial
+    vertex is projected onto ``[0, 1]^n`` so bounds hold by construction.
+    Deterministic for a given start.
+
+    Parameters
+    ----------
+    max_iterations:
+        Iteration cap (one reflect/expand/contract/shrink cycle each).
+    xtol, ftol:
+        Converged when the simplex spread in coordinates *and* in function
+        values falls below these (absolute, internal coordinates).
+    initial_step:
+        Edge length of the axis-aligned start simplex.
+    """
+
+    name = "nelder-mead"
+
+    def __init__(self, max_iterations: int = 200, xtol: float = 1e-6,
+                 ftol: float = 1e-10, initial_step: float = 0.15) -> None:
+        if max_iterations < 1:
+            raise OptimizationError("max_iterations must be at least 1")
+        if not 0.0 < initial_step <= 0.5:
+            raise OptimizationError("initial_step must be in (0, 0.5]")
+        self.max_iterations = int(max_iterations)
+        self.xtol = float(xtol)
+        self.ftol = float(ftol)
+        self.initial_step = float(initial_step)
+
+    def payload(self) -> dict:
+        return {"solver": self.name, "max_iterations": self.max_iterations,
+                "xtol": self.xtol, "ftol": self.ftol,
+                "initial_step": self.initial_step}
+
+    # ------------------------------------------------------------------ minimize
+    def minimize(self, objective: "Objective", x0=None) -> OptimResult:
+        space = objective.space
+        n = space.size
+        x0 = space.center() if x0 is None else space.clip(x0)
+        calls = 0
+
+        def f(z) -> float:
+            nonlocal calls
+            calls += 1
+            value = objective.value(z)
+            return value if np.isfinite(value) else np.inf
+
+        # Axis-aligned initial simplex, stepping away from the nearest bound.
+        simplex = [np.array(x0, dtype=float)]
+        for i in range(n):
+            vertex = np.array(x0, dtype=float)
+            step = self.initial_step if vertex[i] + self.initial_step <= 1.0 \
+                else -self.initial_step
+            vertex[i] = float(np.clip(vertex[i] + step, 0.0, 1.0))
+            simplex.append(vertex)
+        values = [f(v) for v in simplex]
+
+        history: list[float] = []
+        iterations = 0
+        converged = False
+        message = "iteration limit reached"
+        for iterations in range(1, self.max_iterations + 1):
+            order = np.argsort(values, kind="stable")
+            simplex = [simplex[i] for i in order]
+            values = [values[i] for i in order]
+            best, worst = values[0], values[-1]
+            history.append(best)
+            spread_x = max(float(np.max(np.abs(v - simplex[0])))
+                           for v in simplex[1:])
+            spread_f = worst - best if np.isfinite(worst) else np.inf
+            if spread_x <= self.xtol and spread_f <= self.ftol:
+                converged = True
+                message = "simplex collapsed within tolerance"
+                break
+
+            centroid = np.mean(simplex[:-1], axis=0)
+            reflected = space.clip(centroid + (centroid - simplex[-1]))
+            f_reflected = f(reflected)
+            if f_reflected < values[0]:
+                expanded = space.clip(centroid + 2.0 * (centroid - simplex[-1]))
+                f_expanded = f(expanded)
+                if f_expanded < f_reflected:
+                    simplex[-1], values[-1] = expanded, f_expanded
+                else:
+                    simplex[-1], values[-1] = reflected, f_reflected
+                continue
+            if f_reflected < values[-2]:
+                simplex[-1], values[-1] = reflected, f_reflected
+                continue
+            # Contract towards the better of (worst, reflected).
+            if f_reflected < values[-1]:
+                contracted = space.clip(centroid + 0.5 * (reflected - centroid))
+            else:
+                contracted = space.clip(centroid + 0.5 * (simplex[-1] - centroid))
+            f_contracted = f(contracted)
+            if f_contracted < min(f_reflected, values[-1]):
+                simplex[-1], values[-1] = contracted, f_contracted
+                continue
+            # Shrink everything towards the best vertex.
+            for i in range(1, n + 1):
+                simplex[i] = space.clip(simplex[0] + 0.5 * (simplex[i] - simplex[0]))
+                values[i] = f(simplex[i])
+
+        order = np.argsort(values, kind="stable")
+        x_best = simplex[order[0]]
+        f_best = values[order[0]]
+        return OptimResult(
+            x=np.array(x_best, dtype=float), params=space.decode(x_best),
+            fun=float(f_best), iterations=iterations, evaluations=calls,
+            converged=converged, message=message, history=tuple(history))
+
+
+class GradientDescent:
+    """Projected gradient descent with a backtracking Armijo line search.
+
+    Uses :meth:`Objective.value_and_gradient` -- exact forward-AD when the
+    evaluator propagates duals, central finite differences otherwise.  Every
+    iterate is projected onto the unit box, so bound constraints are handled
+    by projection (the standard projected-gradient method).
+    """
+
+    name = "gradient-descent"
+
+    def __init__(self, max_iterations: int = 100, gtol: float = 1e-8,
+                 ftol: float = 1e-12, xtol: float = 1e-10,
+                 initial_step: float = 1.0, backtrack: float = 0.5,
+                 armijo: float = 1e-4, max_backtracks: int = 30) -> None:
+        if max_iterations < 1:
+            raise OptimizationError("max_iterations must be at least 1")
+        if not 0.0 < backtrack < 1.0:
+            raise OptimizationError("backtrack must be in (0, 1)")
+        if initial_step <= 0.0:
+            raise OptimizationError("initial_step must be positive")
+        self.max_iterations = int(max_iterations)
+        self.gtol = float(gtol)
+        self.ftol = float(ftol)
+        self.xtol = float(xtol)
+        self.initial_step = float(initial_step)
+        self.backtrack = float(backtrack)
+        self.armijo = float(armijo)
+        self.max_backtracks = int(max_backtracks)
+
+    def payload(self) -> dict:
+        return {"solver": self.name, "max_iterations": self.max_iterations,
+                "gtol": self.gtol, "ftol": self.ftol, "xtol": self.xtol,
+                "initial_step": self.initial_step, "backtrack": self.backtrack,
+                "armijo": self.armijo, "max_backtracks": self.max_backtracks}
+
+    # ------------------------------------------------------------------ minimize
+    def minimize(self, objective: "Objective", x0=None) -> OptimResult:
+        space = objective.space
+        x = space.center() if x0 is None else space.clip(x0)
+        calls = 0
+        history: list[float] = []
+        converged = False
+        message = "iteration limit reached"
+        value, grad = objective.value_and_gradient(x)
+        calls += 1
+        if not np.isfinite(value) or not np.all(np.isfinite(grad)):
+            return OptimResult(
+                x=np.array(x, dtype=float), params=space.decode(x),
+                fun=float(value), iterations=0, evaluations=calls,
+                converged=False,
+                message="objective/gradient not finite at the start point")
+        step = self.initial_step
+        iterations = 0
+        for iterations in range(1, self.max_iterations + 1):
+            history.append(float(value))
+            # Projected gradient: the free-direction derivative at the bounds.
+            projected = space.clip(x - grad) - x
+            if float(np.max(np.abs(projected))) <= self.gtol:
+                converged = True
+                message = "projected gradient within tolerance"
+                break
+            # Backtracking line search on the projected step.
+            t = step
+            accepted = False
+            for _ in range(self.max_backtracks):
+                candidate = space.clip(x - t * grad)
+                direction = candidate - x
+                if float(np.max(np.abs(direction))) <= 0.0:
+                    break
+                f_candidate = objective.value(candidate)
+                calls += 1
+                if np.isfinite(f_candidate) and \
+                        f_candidate <= value + self.armijo * float(grad @ direction):
+                    accepted = True
+                    break
+                t *= self.backtrack
+            if not accepted:
+                converged = True
+                message = "line search could not improve (stationary point)"
+                break
+            moved = float(np.max(np.abs(candidate - x)))
+            improvement = value - f_candidate
+            x = candidate
+            value, grad = objective.value_and_gradient(x)
+            calls += 1
+            # Let the next search start a little above the accepted step.
+            step = min(self.initial_step, t / self.backtrack)
+            if moved <= self.xtol or improvement <= self.ftol * (1.0 + abs(value)):
+                converged = True
+                message = "step/improvement within tolerance"
+                break
+        return OptimResult(
+            x=np.array(x, dtype=float), params=space.decode(x),
+            fun=float(value), iterations=iterations, evaluations=calls,
+            converged=converged, message=message, history=tuple(history))

@@ -1,0 +1,144 @@
+"""Yield optimization: Monte-Carlo campaigns as a stochastic design objective.
+
+A design is rarely judged at its nominal point -- the paper-class question
+is "what geometry keeps the spec at 3-sigma process variation?".
+:class:`YieldOptimizer` closes that loop:
+
+* a picklable ``build_spec(params, seed)`` maps the *design* parameters to a
+  :class:`~repro.campaign.spec.MonteCarlo` spec over the *process*
+  parameters (e.g. distributions centered on the designed geometry),
+* a campaign evaluator (any :class:`CampaignRunner`-compatible callable)
+  scores every sampled device; a ``passed(row)`` predicate decides spec
+  compliance (failed rows -- pull-in, non-convergence -- count as fails),
+* the yield fraction becomes a scalar objective (``1 - yield`` minimized).
+
+**Common random numbers:** the Monte-Carlo seed is fixed by the optimizer
+and passed into ``build_spec`` unchanged for every design iterate, so two
+designs are compared on the *same* quantile draws.  That removes the
+sampling noise between iterates (the yield difference of two nearby designs
+is exact for the shared sample set), which is what makes the yield surface
+smooth enough for Nelder-Mead to descend reliably at modest sample counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..campaign.results import CampaignRow
+from ..campaign.runner import CampaignRunner, evaluator_payload
+from ..campaign.spec import CampaignSpec
+from ..errors import OptimizationError
+from .objective import Objective
+from .solvers import NelderMead, OptimResult
+from .transforms import ParameterSpace
+
+__all__ = ["YieldOptimizer", "YieldResult"]
+
+
+@dataclass
+class YieldResult:
+    """Optimized design plus its Monte-Carlo yield."""
+
+    params: dict[str, float]
+    #: Yield fraction in [0, 1] at the optimized design.
+    yield_fraction: float
+    result: OptimResult
+
+
+class YieldOptimizer:
+    """Maximize Monte-Carlo yield over a bounded design space.
+
+    Parameters
+    ----------
+    space:
+        The design :class:`ParameterSpace`.
+    build_spec:
+        Module-level callable ``(params: dict, seed: int) -> CampaignSpec``
+        producing the process-variation campaign for one design.  It must
+        thread ``seed`` into the spec unchanged (common random numbers).
+    evaluator:
+        Campaign evaluator scoring one sampled device (picklable for the
+        pool backend).
+    passed:
+        Module-level predicate ``CampaignRow -> bool`` deciding spec
+        compliance of a successful row.
+    seed:
+        The common-random-numbers seed shared by every design iterate.
+    runner:
+        Campaign runner for the per-design Monte-Carlo sweeps (attach a
+        cache to memoize re-visited sample points).
+    cache:
+        Optional result cache for the *yield objective itself* (whole
+        designs), independent of the runner's per-sample cache.
+    """
+
+    def __init__(self, space: ParameterSpace,
+                 build_spec: Callable[[dict, int], CampaignSpec],
+                 evaluator, passed: Callable[[CampaignRow], bool],
+                 *, seed: int = 0, runner: CampaignRunner | None = None,
+                 cache=None) -> None:
+        if not callable(build_spec) or not callable(passed):
+            raise OptimizationError("build_spec and passed must be callable")
+        self.space = space
+        self.build_spec = build_spec
+        self.evaluator = evaluator
+        self.passed = passed
+        self.seed = int(seed)
+        self.runner = runner or CampaignRunner()
+        self.cache = cache
+
+    # ------------------------------------------------------------------ pieces
+    def yield_at(self, params: dict) -> float:
+        """Monte-Carlo yield fraction of one design (CRN sample set)."""
+        spec = self.build_spec(dict(params), self.seed)
+        result = self.runner.run(spec, self.evaluator)
+        passes = sum(1 for row in result if row.ok and self.passed(row))
+        return passes / len(result)
+
+    def _loss(self, params: dict) -> dict[str, float]:
+        """Objective evaluator: ``1 - yield`` (a minimizable loss)."""
+        y = self.yield_at(params)
+        return {"loss": 1.0 - y, "yield": y}
+
+    def cache_payload(self) -> dict:
+        """Identity of the stochastic objective for content addressing."""
+        probe = self.build_spec(self.space.decode(self.space.center()),
+                                self.seed)
+        return {
+            "evaluator": "repro.optim.yield_opt.YieldOptimizer",
+            "inner": evaluator_payload(self.evaluator),
+            "build_spec": f"{self.build_spec.__module__}."
+                          f"{self.build_spec.__qualname__}",
+            "passed": f"{self.passed.__module__}.{self.passed.__qualname__}",
+            "seed": self.seed,
+            "spec_kind": probe.to_dict()["kind"],
+            "samples": len(probe),
+        }
+
+    def objective(self) -> Objective:
+        """The ``1 - yield`` loss as a cacheable :class:`Objective`."""
+        return Objective(_YieldLoss(self), self.space, output="loss",
+                         cache=self.cache, gradient="fd", fd_step=5e-2)
+
+    # ------------------------------------------------------------------ optimize
+    def maximize(self, x0=None, solver=None) -> YieldResult:
+        """Find the design with the highest yield (CRN, deterministic)."""
+        solver = solver or NelderMead(max_iterations=60, xtol=1e-3, ftol=1e-12)
+        result = solver.minimize(self.objective(), x0=x0)
+        return YieldResult(params=result.params,
+                           yield_fraction=1.0 - float(result.fun),
+                           result=result)
+
+
+class _YieldLoss:
+    """Picklable bridge making a :class:`YieldOptimizer` an Objective fn."""
+
+    def __init__(self, optimizer: YieldOptimizer) -> None:
+        self.optimizer = optimizer
+
+    def __call__(self, params: dict) -> dict[str, float]:
+        return self.optimizer._loss(params)
+
+    def cache_payload(self) -> dict:
+        return self.optimizer.cache_payload()

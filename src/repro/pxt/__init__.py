@@ -20,7 +20,10 @@ The workflow maps one-to-one onto the paper's:
 4. :mod:`repro.pxt.hdl_codegen` and :mod:`repro.pxt.dataflow` emit HDL-A
    models (static table models and data-flow second-order models) that parse
    and elaborate back through :mod:`repro.hdl`,
-5. :mod:`repro.pxt.report` produces the PXT output log of figure 6.
+5. :mod:`repro.pxt.report` produces the PXT output log of figure 6,
+6. :mod:`repro.pxt.calibrate` solves the inverse problem --
+   :func:`fit_macromodel_parameters` fits lumped macromodel parameters to
+   extracted/measured reference data through the :mod:`repro.optim` engine.
 """
 
 from .extractor import (ParameterExtractor, ExtractionPoint, ExtractionSweep,
@@ -31,6 +34,8 @@ from .hdl_codegen import (generate_electrostatic_macromodel,
                           generate_rom_macromodel, generate_table_capacitor)
 from .dataflow import (build_second_order_device, extract_second_order_fit,
                        generate_second_order_model)
+from .calibrate import (CalibrationResult, MacromodelResidual,
+                        fit_macromodel_parameters)
 from .report import ExtractionReport
 from .sweeps import displacement_sweep, voltage_sweep, extraction_grid
 
@@ -52,6 +57,9 @@ __all__ = [
     "generate_second_order_model",
     "build_second_order_device",
     "extract_second_order_fit",
+    "fit_macromodel_parameters",
+    "CalibrationResult",
+    "MacromodelResidual",
     "ExtractionReport",
     "displacement_sweep",
     "voltage_sweep",

@@ -1,0 +1,164 @@
+"""Macromodel calibration: fit lumped parameters to extracted/measured data.
+
+The PXT forward flow extracts macromodel tables from FE solves; calibration
+is the inverse problem -- given reference data (an FE extraction sweep, a
+measured response), find the lumped macromodel parameters that reproduce
+it.  :func:`fit_macromodel_parameters` poses that as a bounded
+least-squares problem over a :class:`~repro.optim.transforms.ParameterSpace`
+and solves it with the :mod:`repro.optim` engine, AD gradients included
+when the predictor propagates duals (the closed-form transducer models do).
+
+Example: recover the effective area/gap of a transverse electrostatic
+transducer from an FE capacitance sweep::
+
+    def predict(params, displacement):
+        t = TransverseElectrostaticTransducer(params["area"], params["gap"])
+        return t.capacitance(displacement)
+
+    fit = fit_macromodel_parameters(
+        predict, ParameterSpace(area=(1e-8, 1e-4, "log"),
+                                gap=(1e-6, 1e-3, "log")),
+        inputs=displacements, targets=fe_capacitances)
+    fit.params["area"], fit.rms_error
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..campaign.cache import ResultCache
+from ..errors import ExtractionError
+from ..optim.objective import Objective
+from ..optim.solvers import NelderMead, OptimResult
+from ..optim.transforms import ParameterSpace
+
+__all__ = ["fit_macromodel_parameters", "CalibrationResult",
+           "MacromodelResidual"]
+
+
+class MacromodelResidual:
+    """Mean-square (relative) prediction error as an Objective evaluator.
+
+    Holds the predictor and the reference data; picklable when the
+    predictor is a module-level function, and content-addressable through
+    ``cache_payload`` (the data is part of the identity, so two fits
+    against different sweeps never share cache entries).
+    """
+
+    def __init__(self, predict: Callable, inputs: Sequence[float],
+                 targets: Sequence[float],
+                 weights: Sequence[float] | None = None,
+                 relative: bool = True) -> None:
+        self.predict = predict
+        self.inputs = tuple(float(x) for x in inputs)
+        self.targets = tuple(float(y) for y in targets)
+        if len(self.inputs) != len(self.targets) or not self.inputs:
+            raise ExtractionError(
+                "calibration needs equal, non-empty inputs and targets")
+        if weights is None:
+            self.weights = tuple(1.0 for _ in self.inputs)
+        else:
+            self.weights = tuple(float(w) for w in weights)
+            if len(self.weights) != len(self.inputs):
+                raise ExtractionError("weights must match the inputs")
+        self.relative = bool(relative)
+        if self.relative and any(y == 0.0 for y in self.targets):
+            raise ExtractionError(
+                "relative error needs non-zero targets (pass relative=False)")
+
+    def __call__(self, params: dict):
+        total = 0.0
+        for x, y, w in zip(self.inputs, self.targets, self.weights):
+            residual = self.predict(params, x) - y
+            if self.relative:
+                residual = residual / y
+            total = total + w * residual * residual
+        return total / len(self.inputs)
+
+    def cache_payload(self) -> dict:
+        return {
+            "evaluator": "repro.pxt.calibrate.MacromodelResidual",
+            "predict": f"{self.predict.__module__}."
+                       f"{getattr(self.predict, '__qualname__', type(self.predict).__qualname__)}",
+            "inputs": list(self.inputs),
+            "targets": list(self.targets),
+            "weights": list(self.weights),
+            "relative": self.relative,
+        }
+
+
+@dataclass
+class CalibrationResult:
+    """Fitted macromodel parameters and the fit quality."""
+
+    #: Fitted physical parameters.
+    params: dict[str, float]
+    #: Root-mean-square (relative, unless ``relative=False``) error.
+    rms_error: float
+    #: The underlying optimization outcome.
+    result: OptimResult
+    residual: MacromodelResidual
+
+    def predictions(self) -> np.ndarray:
+        """Model predictions at the fitted parameters over the fit inputs."""
+        return np.array([float(self.residual.predict(self.params, x))
+                         for x in self.residual.inputs])
+
+
+def fit_macromodel_parameters(predict: Callable, space: ParameterSpace,
+                              inputs: Sequence[float],
+                              targets: Sequence[float], *,
+                              weights: Sequence[float] | None = None,
+                              relative: bool = True,
+                              solver=None, x0=None,
+                              cache: ResultCache | None = None,
+                              gradient: str = "auto") -> CalibrationResult:
+    """Fit macromodel parameters to reference data (the PXT inverse problem).
+
+    Parameters
+    ----------
+    predict:
+        ``(params: dict, input: float) -> value`` -- the macromodel being
+        calibrated.  When it propagates :class:`~repro.ad.Dual` parameters
+        (every closed-form transducer does), gradients are exact forward-AD;
+        otherwise the objective falls back to finite differences.
+    space:
+        Bounded (optionally log-scaled) parameter space of the fit.
+    inputs, targets:
+        The reference sweep: ``targets[i]`` is the measured/extracted value
+        at ``inputs[i]``.
+    weights:
+        Optional per-point weights.
+    relative:
+        Measure the misfit relative to each target (default) -- the right
+        choice when targets span decades, e.g. a capacitance sweep.
+    solver:
+        Optimizer (default: a :class:`~repro.optim.solvers.NelderMead`
+        tuned for smooth low-dimensional fits).  Any object with
+        ``minimize(objective, x0)`` works -- including
+        :class:`~repro.optim.multistart.MultiStart`.
+    x0:
+        Optional start in internal coordinates (defaults to the space
+        center).
+    cache:
+        Optional result cache memoizing objective evaluations.
+    gradient:
+        Gradient mode of the objective (``"auto"``/``"ad"``/``"fd"``).
+
+    Returns
+    -------
+    CalibrationResult
+        Fitted parameters, RMS error and the raw optimizer result.
+    """
+    residual = MacromodelResidual(predict, inputs, targets,
+                                  weights=weights, relative=relative)
+    objective = Objective(residual, space, cache=cache, gradient=gradient)
+    solver = solver or NelderMead(max_iterations=400, xtol=1e-9, ftol=1e-18)
+    outcome = solver.minimize(objective, x0=x0)
+    best = getattr(outcome, "best", outcome)  # MultiStart returns a wrapper
+    return CalibrationResult(params=dict(best.params),
+                             rms_error=float(np.sqrt(max(best.fun, 0.0))),
+                             result=best, residual=residual)

@@ -41,7 +41,22 @@ from ..errors import TransducerError
 from ..natures import ELECTRICAL, MECHANICAL_TRANSLATION
 from .energy_method import EnergyDerivation, differentiate_coenergy
 
-__all__ = ["TransducerPortSpec", "ConservativeTransducer"]
+__all__ = ["TransducerPortSpec", "ConservativeTransducer", "numeric_parameter"]
+
+
+def numeric_parameter(x):
+    """Coerce a constructor parameter to float, but keep duals intact.
+
+    Transducer geometry parameters seeded as :class:`repro.ad.Dual` flow
+    through the closed-form evaluation methods (capacitance, force,
+    co-energy) by the chain rule, which is how the optimization layer gets
+    exact design-parameter gradients.  Dual-seeded instances are for direct
+    evaluation only -- circuit devices and HDL code generation need plain
+    floats (``parameters()`` strips the derivative part).
+    """
+    from ..ad import is_dual
+
+    return x if is_dual(x) else float(x)
 
 
 @dataclass(frozen=True)

@@ -24,9 +24,10 @@ positive displacement closes the gap and the classic pull-in instability at
 
 from __future__ import annotations
 
+from ..ad import value_of
 from ..constants import EPSILON_0
 from ..errors import TransducerError
-from .base import ConservativeTransducer
+from .base import ConservativeTransducer, numeric_parameter
 
 __all__ = ["TransverseElectrostaticTransducer", "LateralElectrostaticTransducer"]
 
@@ -56,13 +57,16 @@ class TransverseElectrostaticTransducer(ConservativeTransducer):
 
     def __init__(self, area: float, gap: float, epsilon_r: float = 1.0,
                  gap_orientation: str = "paper", epsilon_0: float = EPSILON_0) -> None:
-        if area <= 0.0 or gap <= 0.0 or epsilon_r <= 0.0:
+        if value_of(area) <= 0.0 or value_of(gap) <= 0.0 \
+                or value_of(epsilon_r) <= 0.0:
             raise TransducerError("area, gap and epsilon_r must be positive")
         if gap_orientation not in ("paper", "closing"):
             raise TransducerError("gap_orientation must be 'paper' or 'closing'")
-        self.area = float(area)
-        self.gap = float(gap)
-        self.epsilon_r = float(epsilon_r)
+        # Geometry may be dual-seeded (see base.numeric_parameter): the
+        # closed forms below then carry design-parameter sensitivities.
+        self.area = numeric_parameter(area)
+        self.gap = numeric_parameter(gap)
+        self.epsilon_r = numeric_parameter(epsilon_r)
         self.gap_orientation = gap_orientation
         self.epsilon_0 = float(epsilon_0)
 
@@ -129,9 +133,9 @@ class TransverseElectrostaticTransducer(ConservativeTransducer):
 
     def parameters(self) -> dict[str, float]:
         return {
-            "A": self.area,
-            "d": self.gap,
-            "er": self.epsilon_r,
+            "A": value_of(self.area),
+            "d": value_of(self.gap),
+            "er": value_of(self.epsilon_r),
             "e0": self.epsilon_0,
         }
 
@@ -156,12 +160,13 @@ class LateralElectrostaticTransducer(ConservativeTransducer):
 
     def __init__(self, depth: float, length: float, gap: float, epsilon_r: float = 1.0,
                  epsilon_0: float = EPSILON_0) -> None:
-        if depth <= 0.0 or length <= 0.0 or gap <= 0.0 or epsilon_r <= 0.0:
+        if value_of(depth) <= 0.0 or value_of(length) <= 0.0 \
+                or value_of(gap) <= 0.0 or value_of(epsilon_r) <= 0.0:
             raise TransducerError("depth, length, gap and epsilon_r must be positive")
-        self.depth = float(depth)
-        self.length = float(length)
-        self.gap = float(gap)
-        self.epsilon_r = float(epsilon_r)
+        self.depth = numeric_parameter(depth)
+        self.length = numeric_parameter(length)
+        self.gap = numeric_parameter(gap)
+        self.epsilon_r = numeric_parameter(epsilon_r)
         self.epsilon_0 = float(epsilon_0)
 
     def capacitance(self, displacement=0.0):
@@ -193,9 +198,9 @@ class LateralElectrostaticTransducer(ConservativeTransducer):
 
     def parameters(self) -> dict[str, float]:
         return {
-            "h": self.depth,
-            "l": self.length,
-            "d": self.gap,
-            "er": self.epsilon_r,
+            "h": value_of(self.depth),
+            "l": value_of(self.length),
+            "d": value_of(self.gap),
+            "er": value_of(self.epsilon_r),
             "e0": self.epsilon_0,
         }

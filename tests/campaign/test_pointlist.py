@@ -1,0 +1,49 @@
+"""PointList campaign spec: explicit ordered scenario points."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CampaignRunner, PointList, spec_from_dict
+from repro.errors import CampaignError
+
+
+def double_evaluator(point):
+    return {"twice": 2.0 * float(point["x"]) + float(point["y"])}
+
+
+class TestPointList:
+    def test_points_in_order(self):
+        spec = PointList([{"x": 1.0}, {"x": 3.0}, {"x": 2.0}])
+        assert spec.names == ("x",)
+        assert len(spec) == 3
+        assert [p["x"] for p in spec.points()] == [1.0, 3.0, 2.0]
+
+    def test_points_are_copies(self):
+        spec = PointList([{"x": 1.0}])
+        spec.points()[0]["x"] = 99.0
+        assert spec.points()[0]["x"] == 1.0
+
+    def test_rejects_empty_and_inconsistent(self):
+        with pytest.raises(CampaignError):
+            PointList([])
+        with pytest.raises(CampaignError, match="point #1"):
+            PointList([{"x": 1.0}, {"y": 2.0}])
+
+    def test_round_trip_serialization(self):
+        spec = PointList([{"x": 1.0, "y": 2.0}, {"x": 3.0, "y": 4.0}])
+        rebuilt = spec_from_dict(spec.to_dict())
+        assert isinstance(rebuilt, PointList)
+        assert rebuilt.points() == spec.points()
+
+    def test_combinators_work(self):
+        spec = PointList([{"x": 1.0}, {"x": 2.0}]).zip(
+            PointList([{"y": 10.0}, {"y": 20.0}]))
+        assert spec.points() == [{"x": 1.0, "y": 10.0}, {"x": 2.0, "y": 20.0}]
+
+    @pytest.mark.parametrize("backend", ["serial", "pool"])
+    def test_runner_integration(self, backend):
+        spec = PointList([{"x": 1.0, "y": 0.5}, {"x": -1.0, "y": 0.0}])
+        runner = CampaignRunner(backend=backend, processes=2)
+        result = runner.run(spec, double_evaluator)
+        assert [row["twice"] for row in result] == [2.5, -2.0]

@@ -88,12 +88,18 @@ class TestAutoReuse:
 
 class TestChord:
     def test_chord_matches_full_newton_closely(self):
+        # step_chord_reuse=False pins the historical chord contract: with a
+        # refactor on every step-size change the chord trajectory follows
+        # full Newton's LTE decisions almost exactly.  The (default) reuse
+        # path trades that for fewer factorizations and is covered by
+        # tests/circuit/test_step_chord_reuse.py.
         full = TransientAnalysis(
             _diode_rc(), t_stop=4e-3, t_step=4e-5,
             options=SimulationOptions(jacobian_reuse="off")).run()
         chord = TransientAnalysis(
             _diode_rc(), t_stop=4e-3, t_step=4e-5,
-            options=SimulationOptions(jacobian_reuse="chord")).run()
+            options=SimulationOptions(jacobian_reuse="chord",
+                                      step_chord_reuse=False)).run()
         probe = np.linspace(1e-4, 3.9e-3, 25)
         for signal in ("v(out)", "v(mid)"):
             reference = full.sample(signal, probe)
@@ -122,9 +128,11 @@ class TestChord:
         circuit.diode("D1", "mid", "out", saturation_current=1e-14)
         circuit.resistor("R2", "out", "0", 1e4)
         circuit.capacitor("C1", "out", "0", 1e-7)
+        # Historical contract (see test_chord_matches_full_newton_closely).
         chord = TransientAnalysis(
             circuit, t_stop=2e-3, t_step=2e-5,
-            options=SimulationOptions(jacobian_reuse="chord")).run()
+            options=SimulationOptions(jacobian_reuse="chord",
+                                      step_chord_reuse=False)).run()
         assert chord.statistics["stall_refactors"] > 0
         # And the answer still matches full Newton.
         full = TransientAnalysis(

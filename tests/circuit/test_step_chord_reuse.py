@@ -1,0 +1,100 @@
+"""Chord factorization reuse across transient step-size changes.
+
+The LTE controller rejects a step by shrinking ``h`` (and re-grows it after
+smooth stretches); before this feature a chord run refactored on every such
+change even though only the companion conductances moved.  The reuse is
+guarded by the existing stall detector, so accuracy is bounded by the same
+chord contract as before.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, Pulse, SimulationOptions, TransientAnalysis
+from repro.circuit.analysis.op import NewtonWorkspace, _step_only_change
+
+
+def _rc_pulse_circuit() -> Circuit:
+    circuit = Circuit("rc pulse")
+    circuit.voltage_source("VS", "in", "0",
+                           Pulse(0.0, 5.0, rise=2e-5, width=4e-4, delay=1e-5))
+    circuit.resistor("R1", "in", "out", 1e3)
+    circuit.capacitor("C1", "out", "0", 1e-7)
+    circuit.resistor("R2", "out", "0", 1e4)
+    return circuit
+
+
+def _run(reuse: str):
+    options = SimulationOptions(jacobian_reuse=reuse)
+    return TransientAnalysis(_rc_pulse_circuit(), t_stop=1e-3, t_step=1e-5,
+                             options=options).run()
+
+
+class TestStepChordReuse:
+    def test_tag_compatibility_rules(self):
+        base = ("tran", 1e-6, 1.0, 3)
+        assert _step_only_change(base, ("tran", 5e-7, 1.0, 3))
+        assert not _step_only_change(base, base)  # equal tags: normal chord
+        assert not _step_only_change(None, base)
+        assert not _step_only_change(("op", None, 1.0, 3), ("op", None, 1.0, 3))
+        assert not _step_only_change(base, ("tran", 5e-7, 0.5, 3))  # scale
+        assert not _step_only_change(base, ("tran", 5e-7, 1.0, 4))  # structure
+        assert not _step_only_change(("tran", None, 1.0, 3),
+                                     ("tran", 1e-6, 1.0, 3))  # priming
+
+    def test_chord_reuses_factorization_across_step_changes(self):
+        result = _run("chord")
+        stats = result.statistics
+        assert stats["step_chord_reuses"] > 0
+        # Step changes no longer force a refactor each: strictly fewer
+        # factorizations than step-size changes + 1 would historically need.
+        assert stats["factorizations"] < stats["step_chord_reuses"] + \
+            stats["accepted"]
+
+    def test_chord_matches_full_newton_waveform(self):
+        chord = _run("chord")
+        reference = _run("off")
+        v_chord = chord.signal("v(out)")
+        v_ref = reference.signal("v(out)")
+        # Time grids may differ slightly (step control interacts with the
+        # Newton path); compare on the common interpolated grid.  Chord
+        # accepts residual-stale solutions by design, so the contract is
+        # "within a few times reltol", not bit-identical.
+        grid = np.linspace(0.0, 1e-3, 200)
+        a = np.interp(grid, chord.time, v_chord)
+        b = np.interp(grid, reference.time, v_ref)
+        scale = np.max(np.abs(b))
+        assert np.max(np.abs(a - b)) <= 5e-3 * scale
+
+    def test_off_mode_has_no_step_reuses(self):
+        stats = _run("off").statistics
+        assert stats["step_chord_reuses"] == 0
+
+    def test_workspace_statistics_expose_counter(self):
+        workspace = NewtonWorkspace(SimulationOptions())
+        assert workspace.statistics()["step_chord_reuses"] == 0
+
+
+class TestNonlinearStepChord:
+    def test_nonlinear_transient_still_converges_and_matches(self):
+        def build():
+            circuit = Circuit("nl")
+            circuit.voltage_source("VS", "in", "0",
+                                   Pulse(0.0, 1.0, rise=5e-5, width=3e-4))
+            circuit.resistor("R1", "in", "d", 100.0)
+            circuit.diode("D1", "d", "0")
+            circuit.capacitor("C1", "d", "0", 1e-8)
+            return circuit
+
+        options_chord = SimulationOptions(jacobian_reuse="chord")
+        options_off = SimulationOptions(jacobian_reuse="off")
+        chord = TransientAnalysis(build(), t_stop=5e-4, t_step=5e-6,
+                                  options=options_chord).run()
+        reference = TransientAnalysis(build(), t_stop=5e-4, t_step=5e-6,
+                                      options=options_off).run()
+        grid = np.linspace(0.0, 5e-4, 150)
+        a = np.interp(grid, chord.time, chord.signal("v(d)"))
+        b = np.interp(grid, reference.time, reference.signal("v(d)"))
+        assert np.max(np.abs(a - b)) <= 1e-2 * max(np.max(np.abs(b)), 1e-12)

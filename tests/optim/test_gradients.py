@@ -1,0 +1,131 @@
+"""Gradient correctness: AD objectives vs central finite differences.
+
+The tentpole promise is that seeding :class:`repro.ad.Dual` parameters
+through the *existing* evaluation paths yields exact design gradients.
+Pinned here on the two paths the issue names:
+
+* the **electrostatic-transducer path** -- geometry-seeded
+  :class:`TransverseElectrostaticTransducer` closed forms (capacitance,
+  force, co-energy, pull-in voltage),
+* the **behavioral-device path** -- a behavioral constitutive expression
+  composed from the :mod:`repro.ad` function library (the same overloaded
+  primitives behavioral devices and elaborated HDL models evaluate).
+
+Every comparison is seeded/deterministic and tolerance-pinned against
+central finite differences of the same objective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ad import exp, sqrt, tanh
+from repro.optim import Objective, ParameterSpace
+from repro.transducers import TransverseElectrostaticTransducer
+
+#: FD comparisons: central differences on a smooth objective are O(h^2);
+#: with h = 1e-6 in unit coordinates an agreement of 1e-5 relative is a
+#: conservative, repeatable pin.
+RTOL = 1e-5
+ATOL = 1e-10
+FD_STEP = 1e-6
+
+TRANSDUCER_SPACE = ParameterSpace(
+    area=(1e-9, 1e-6, "log"),
+    gap=(1e-6, 1e-3, "log"),
+    voltage=(0.1, 50.0),
+)
+
+
+def transducer_force(params):
+    """Electrostatic port force with geometry seeded through the class."""
+    transducer = TransverseElectrostaticTransducer(
+        area=params["area"], gap=params["gap"])
+    return transducer.force(params["voltage"], 0.2 * params["gap"])
+
+
+def transducer_coenergy(params):
+    transducer = TransverseElectrostaticTransducer(
+        area=params["area"], gap=params["gap"], gap_orientation="closing")
+    return transducer.coenergy(params["voltage"], 0.1 * params["gap"])
+
+
+def transducer_pull_in(params):
+    transducer = TransverseElectrostaticTransducer(
+        area=params["area"], gap=params["gap"], gap_orientation="closing")
+    return transducer.pull_in_voltage(2.0) - 0.01 * params["voltage"]
+
+
+def behavioral_expression(params):
+    """A behavioral-device style constitutive relation on ad primitives.
+
+    The shape mirrors what elaborated HDL / behavioral devices evaluate: a
+    nonlinear conductance with an exponential, a saturation and a
+    square-root geometry factor.
+    """
+    v = params["voltage"]
+    g0 = params["area"] * 1e6
+    sat = tanh(v / 10.0)
+    return g0 * (exp(-v / 25.0) - 1.0) + sat * sqrt(params["gap"]) * 50.0
+
+
+def _compare(fn, space, z):
+    ad_objective = Objective(fn, space, gradient="ad")
+    fd_objective = Objective(fn, space, gradient="fd", fd_step=FD_STEP)
+    value_ad, grad_ad = ad_objective.value_and_gradient(z)
+    value_fd, grad_fd = fd_objective.value_and_gradient(z)
+    assert value_ad == pytest.approx(value_fd)
+    np.testing.assert_allclose(grad_ad, grad_fd, rtol=RTOL, atol=ATOL)
+    assert ad_objective.gradient == "ad"  # the AD path really ran
+    return grad_ad
+
+
+#: Seeded, fixed evaluation points (interior of the unit box).
+POINTS = [np.array([0.4, 0.5, 0.3]), np.array([0.7, 0.2, 0.8]),
+          np.array([0.5, 0.5, 0.5])]
+
+
+class TestElectrostaticTransducerPath:
+    @pytest.mark.parametrize("z", POINTS, ids=["p0", "p1", "p2"])
+    def test_force_gradient(self, z):
+        grad = _compare(transducer_force, TRANSDUCER_SPACE, z)
+        assert np.all(np.isfinite(grad)) and np.any(grad != 0.0)
+
+    @pytest.mark.parametrize("z", POINTS, ids=["p0", "p1", "p2"])
+    def test_coenergy_gradient(self, z):
+        _compare(transducer_coenergy, TRANSDUCER_SPACE, z)
+
+    def test_pull_in_gradient(self):
+        _compare(transducer_pull_in, TRANSDUCER_SPACE, POINTS[0])
+
+    def test_force_gradient_matches_closed_form(self):
+        # d|F|/d gap of eps A V^2 / (2 g^2) at x=0.2 gap is analytic; check
+        # the chain through encode/decode reproduces it.
+        space = ParameterSpace(gap=(1e-6, 1e-3, "log"))
+
+        def force_of_gap(params):
+            transducer = TransverseElectrostaticTransducer(
+                area=1e-8, gap=params["gap"])
+            return transducer.force(10.0, 0.0)
+
+        z = space.encode({"gap": 1e-4})
+        objective = Objective(force_of_gap, space, gradient="ad")
+        _, grad = objective.value_and_gradient(z)
+        eps0 = TransverseElectrostaticTransducer(1e-8, 1e-4).epsilon_0
+        gap = 1e-4
+        d_force_d_gap = 2.0 * 0.5 * eps0 * 1e-8 * 100.0 / gap ** 3
+        dz = gap * np.log(1e-3 / 1e-6)  # log-scale chain factor
+        assert grad[0] == pytest.approx(d_force_d_gap * dz, rel=1e-10)
+
+
+class TestBehavioralExpressionPath:
+    @pytest.mark.parametrize("z", POINTS, ids=["p0", "p1", "p2"])
+    def test_behavioral_gradient(self, z):
+        grad = _compare(behavioral_expression, TRANSDUCER_SPACE, z)
+        assert np.all(np.isfinite(grad))
+
+    def test_seeded_repeatability(self):
+        one = _compare(behavioral_expression, TRANSDUCER_SPACE, POINTS[1])
+        two = _compare(behavioral_expression, TRANSDUCER_SPACE, POINTS[1])
+        np.testing.assert_array_equal(one, two)

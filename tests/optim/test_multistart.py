@@ -1,0 +1,129 @@
+"""Multi-start fan-out over the campaign backends.
+
+The evaluator functions are module-level: the pool backend pickles them by
+reference into the worker processes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.campaign import CampaignRunner, ResultCache
+from repro.errors import OptimizationError
+from repro.optim import MultiStart, NelderMead, Objective, ParameterSpace
+
+SPACE = ParameterSpace(a=(-1.5, 1.5), b=(-1.5, 1.5))
+
+
+def two_wells(params):
+    """Double-well landscape: global optimum near a = +1, local near a = -1."""
+    a, b = params["a"], params["b"]
+    return (a * a - 1.0) ** 2 + 0.3 * a + b * b
+
+
+def broken_region(params):
+    if params["a"] < -1.0:
+        raise ValueError("model breaks down here")
+    return (params["a"] - 0.5) ** 2 + params["b"] ** 2
+
+
+def nan_region(params):
+    if params["a"] < -1.0:
+        return float("nan")
+    return (params["a"] - 0.5) ** 2 + params["b"] ** 2
+
+
+def _solver() -> NelderMead:
+    return NelderMead(max_iterations=150, xtol=1e-8, ftol=1e-12)
+
+
+class TestMultiStart:
+    def test_finds_global_optimum_of_double_well(self):
+        result = MultiStart(solver=_solver(), starts=6, seed=2).minimize(
+            Objective(two_wells, SPACE))
+        # Global minimum of (a^2-1)^2 + 0.3a is near a = -1.04 -- the well
+        # the +0.3a tilt favours; b = 0.
+        assert result.best.params["a"] == pytest.approx(-1.0373, abs=1e-2)
+        assert result.best.params["b"] == pytest.approx(0.0, abs=1e-3)
+        assert len(result.starts) == 6
+        assert result.total_evaluations() >= 6
+
+    def test_serial_and_pool_backends_identical(self):
+        serial = MultiStart(solver=_solver(), starts=5, seed=9,
+                            runner=CampaignRunner()).minimize(
+            Objective(two_wells, SPACE))
+        pool = MultiStart(solver=_solver(), starts=5, seed=9,
+                          runner=CampaignRunner(backend="pool",
+                                                processes=2)).minimize(
+            Objective(two_wells, SPACE))
+        assert serial.best_index == pool.best_index
+        np.testing.assert_array_equal(serial.best.x, pool.best.x)
+        assert serial.best.fun == pool.best.fun
+        for a, b in zip(serial.starts, pool.starts):
+            np.testing.assert_array_equal(a.x, b.x)
+            assert a.fun == b.fun and a.evaluations == b.evaluations
+
+    def test_start_points_are_seeded(self):
+        objective = Objective(two_wells, SPACE)
+        ms = MultiStart(starts=4, seed=5)
+        np.testing.assert_array_equal(ms.start_points(objective),
+                                      ms.start_points(objective))
+        assert ms.start_points(objective).shape == (4, 2)
+        # First start is the center (include_center default).
+        np.testing.assert_array_equal(ms.start_points(objective)[0],
+                                      SPACE.center())
+
+    def test_x0_overrides_center_start(self):
+        objective = Objective(two_wells, SPACE)
+        x0 = np.array([0.9, 0.1])
+        points = MultiStart(starts=3, seed=5).start_points(objective, x0=x0)
+        np.testing.assert_array_equal(points[0], x0)
+
+    def test_failed_starts_are_captured_not_fatal(self):
+        result = MultiStart(solver=_solver(), starts=8, seed=1).minimize(
+            Objective(broken_region, SPACE))
+        failed = [r for r in result.starts if not np.isfinite(r.fun)]
+        assert failed, "expected at least one start inside the broken region"
+        assert all("model breaks down" in r.message for r in failed)
+        assert result.best.params["a"] == pytest.approx(0.5, abs=1e-3)
+
+    def test_nan_start_never_wins(self):
+        # A start landing on a NaN objective value (e.g. a failed FE
+        # measurement region) must not shadow the finite optima -- a plain
+        # argmin would return the NaN index.
+        from repro.optim import GradientDescent
+
+        result = MultiStart(solver=GradientDescent(max_iterations=200),
+                            starts=8, seed=1).minimize(
+            Objective(nan_region, SPACE, gradient="fd"))
+        nan_starts = [r for r in result.starts if not np.isfinite(r.fun)]
+        assert nan_starts, "expected at least one start in the NaN region"
+        assert not any(r.converged for r in nan_starts)
+        assert np.isfinite(result.best.fun)
+        assert result.best.params["a"] == pytest.approx(0.5, abs=1e-3)
+
+    def test_all_starts_failing_raises(self):
+        def always_broken(params):
+            raise ValueError("nope")
+
+        with pytest.raises(OptimizationError, match="every start failed"):
+            MultiStart(solver=_solver(), starts=2, seed=0).minimize(
+                Objective(always_broken, SPACE))
+
+    def test_cached_runs_are_not_recomputed(self):
+        cache = ResultCache()
+        runner = CampaignRunner(cache=cache)
+        objective = Objective(two_wells, SPACE)
+        first = MultiStart(solver=_solver(), starts=4, seed=3,
+                           runner=runner).minimize(objective)
+        evaluations_after_first = objective.evaluations
+        second = MultiStart(solver=_solver(), starts=4, seed=3,
+                            runner=runner).minimize(objective)
+        assert objective.evaluations == evaluations_after_first  # all cached
+        np.testing.assert_array_equal(first.best.x, second.best.x)
+        assert cache.hits >= 4
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            MultiStart(starts=0)

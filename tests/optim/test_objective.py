@@ -1,0 +1,171 @@
+"""Objective layer: goal shaping, memoization, counters, FD fallback."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.campaign import ResultCache
+from repro.errors import OptimizationError
+from repro.optim import Objective, ParameterSpace
+
+SPACE = ParameterSpace(a=(0.0, 4.0), b=(0.5, 2.0))
+
+
+def scalar_fn(params):
+    return (params["a"] - 1.0) ** 2 + params["b"]
+
+
+def mapping_fn(params):
+    return {"loss": (params["a"] - 1.0) ** 2, "aux": params["b"]}
+
+
+def config_fn(params):
+    return params["a"] * params["scale"]
+
+
+class TestValue:
+    def test_scalar_evaluator(self):
+        objective = Objective(scalar_fn, SPACE)
+        z = SPACE.encode({"a": 3.0, "b": 1.0})
+        assert objective.value(z) == pytest.approx(5.0)
+        assert objective.evaluations == 1
+
+    def test_mapping_needs_output(self):
+        with pytest.raises(OptimizationError):
+            Objective(mapping_fn, SPACE).value(SPACE.center())
+
+    def test_mapping_output_selected(self):
+        objective = Objective(mapping_fn, SPACE, output="loss")
+        z = SPACE.encode({"a": 3.0, "b": 1.0})
+        assert objective.value(z) == pytest.approx(4.0)
+
+    def test_unknown_output_reported(self):
+        objective = Objective(mapping_fn, SPACE, output="nope")
+        with pytest.raises(OptimizationError, match="aux"):
+            objective.value(SPACE.center())
+
+    def test_config_merged_and_fixed(self):
+        space = ParameterSpace(a=(0.0, 4.0))
+        objective = Objective(config_fn, space, config={"scale": 10.0})
+        z = space.encode({"a": 2.0})
+        assert objective.value(z) == pytest.approx(20.0)
+
+    def test_target_squared_relative_miss(self):
+        space = ParameterSpace(a=(0.0, 4.0))
+        objective = Objective(lambda p: p["a"], space, target=2.0)
+        assert objective.value(space.encode({"a": 3.0})) == pytest.approx(0.25)
+        assert objective.value(space.encode({"a": 2.0})) == pytest.approx(0.0)
+
+    def test_maximize_negates(self):
+        space = ParameterSpace(a=(0.0, 4.0))
+        objective = Objective(lambda p: p["a"], space, minimize=False)
+        assert objective.value(space.encode({"a": 3.0})) == pytest.approx(-3.0)
+
+    def test_out_of_box_input_is_clipped(self):
+        space = ParameterSpace(a=(0.0, 4.0))
+        objective = Objective(lambda p: p["a"], space)
+        assert objective.value(np.array([2.0])) == pytest.approx(4.0)
+
+
+class TestCaching:
+    def test_repeat_evaluations_hit_cache(self):
+        cache = ResultCache()
+        objective = Objective(scalar_fn, SPACE, cache=cache)
+        z = SPACE.center()
+        first = objective.value(z)
+        second = objective.value(z)
+        assert first == second
+        assert objective.evaluations == 1
+        assert objective.cache_hits == 1
+        assert cache.stores == 1
+
+    def test_two_objectives_share_content_addressed_entries(self):
+        cache = ResultCache()
+        Objective(scalar_fn, SPACE, cache=cache).value(SPACE.center())
+        other = Objective(scalar_fn, SPACE, cache=cache)
+        other.value(SPACE.center())
+        assert other.evaluations == 0
+        assert other.cache_hits == 1
+
+    def test_different_target_changes_the_key(self):
+        cache = ResultCache()
+        space = ParameterSpace(a=(0.0, 4.0))
+        Objective(lambda p: p["a"], space, target=2.0,
+                  cache=cache).value(space.center())
+        # lambdas share a qualified name but the payload includes the target
+        missed = Objective(lambda p: p["a"], space, target=3.0, cache=cache)
+        missed.value(space.center())
+        assert missed.cache_hits == 0
+        assert missed.evaluations == 1
+
+    def test_gradient_rows_cached_separately(self):
+        cache = ResultCache()
+        objective = Objective(scalar_fn, SPACE, cache=cache, gradient="fd")
+        z = SPACE.center()
+        value, grad = objective.value_and_gradient(z)
+        again_value, again_grad = objective.value_and_gradient(z)
+        assert again_value == value
+        np.testing.assert_array_equal(again_grad, grad)
+        evaluations = objective.evaluations
+        objective.value_and_gradient(z)
+        assert objective.evaluations == evaluations  # served from cache
+
+
+class TestGradientModes:
+    def test_fd_matches_ad_on_smooth_function(self):
+        z = np.array([0.3, 0.6])
+        _, g_ad = Objective(scalar_fn, SPACE, gradient="ad").value_and_gradient(z)
+        _, g_fd = Objective(scalar_fn, SPACE, gradient="fd",
+                            fd_step=1e-7).value_and_gradient(z)
+        np.testing.assert_allclose(g_ad, g_fd, rtol=1e-5, atol=1e-8)
+
+    def test_auto_falls_back_for_dual_hostile_evaluator(self):
+        def hostile(params):
+            return float(params["a"]) ** 2  # float() drops the derivative
+
+        space = ParameterSpace(a=(0.0, 4.0))
+        objective = Objective(hostile, space, gradient="auto")
+        value, grad = objective.value_and_gradient(space.encode({"a": 2.0}))
+        assert value == pytest.approx(4.0)
+        # d/dz = d/da * (upper - lower) = 2a * 4 = 16
+        assert grad[0] == pytest.approx(16.0, rel=1e-4)
+        assert objective.gradient == "fd"
+        assert objective.ad_failures == 1
+
+    def test_auto_does_not_demote_ad_on_evaluator_failure(self):
+        # A dual-capable evaluator that raises for an infeasible point must
+        # propagate the error, not be misclassified as dual-hostile (which
+        # would silently demote every later gradient to 2n+1 evaluations).
+        def feasibility_limited(params):
+            if params["a"] > 3.0:
+                raise ValueError("pull-in: no stable solution")
+            return (params["a"] - 1.0) ** 2
+
+        space = ParameterSpace(a=(0.0, 4.0))
+        objective = Objective(feasibility_limited, space, gradient="auto")
+        with pytest.raises(ValueError, match="pull-in"):
+            objective.value_and_gradient(space.encode({"a": 3.5}))
+        assert objective.gradient == "auto"  # AD stays available
+        _, grad = objective.value_and_gradient(space.encode({"a": 2.0}))
+        assert grad[0] == pytest.approx(2.0 * 1.0 * 4.0)
+        assert objective.ad_failures == 0
+
+    def test_strict_ad_raises_for_dual_hostile_evaluator(self):
+        def hostile(params):
+            return float(params["a"]) ** 2
+
+        space = ParameterSpace(a=(0.0, 4.0))
+        objective = Objective(hostile, space, gradient="ad")
+        with pytest.raises(OptimizationError):
+            objective.value_and_gradient(space.center())
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            Objective(scalar_fn, SPACE, gradient="newton")
+        with pytest.raises(OptimizationError):
+            Objective(scalar_fn, SPACE, target=0.0)
+        with pytest.raises(OptimizationError):
+            Objective(scalar_fn, SPACE, fd_step=0.0)
+        with pytest.raises(OptimizationError):
+            Objective("not callable", SPACE)

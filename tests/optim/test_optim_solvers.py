@@ -1,0 +1,136 @@
+"""Local solvers: convergence, bounds, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import OptimizationError
+from repro.optim import GradientDescent, NelderMead, Objective, ParameterSpace
+
+SPACE = ParameterSpace(a=(-2.0, 4.0), b=(0.1, 10.0, "log"))
+
+
+def bowl(params):
+    return (params["a"] - 1.5) ** 2 + 2.0 * (params["b"] - 2.0) ** 2
+
+
+def rosenbrock(params):
+    a, b = params["a"], params["b"]
+    return (1.0 - a) ** 2 + 100.0 * (b - a * a) ** 2
+
+
+def edge_bowl(params):
+    # Unconstrained optimum (a = 6) is outside the box; optimum at a = 4.
+    return (params["a"] - 6.0) ** 2
+
+
+class TestNelderMead:
+    def test_converges_on_bowl(self):
+        result = NelderMead(max_iterations=300).minimize(Objective(bowl, SPACE))
+        assert result.converged
+        assert result.params["a"] == pytest.approx(1.5, abs=1e-4)
+        assert result.params["b"] == pytest.approx(2.0, abs=1e-3)
+        assert result.fun == pytest.approx(0.0, abs=1e-8)
+
+    def test_converges_on_rosenbrock_valley(self):
+        space = ParameterSpace(a=(-2.0, 2.0), b=(-1.0, 3.0))
+        result = NelderMead(max_iterations=500, xtol=1e-9,
+                            ftol=1e-14).minimize(Objective(rosenbrock, space))
+        assert result.params["a"] == pytest.approx(1.0, abs=1e-3)
+        assert result.params["b"] == pytest.approx(1.0, abs=1e-3)
+
+    def test_respects_bounds(self):
+        space = ParameterSpace(a=(-2.0, 4.0))
+        result = NelderMead(max_iterations=200).minimize(
+            Objective(edge_bowl, space))
+        assert result.params["a"] == pytest.approx(4.0, abs=1e-6)
+        assert 0.0 <= result.x[0] <= 1.0
+
+    def test_deterministic(self):
+        one = NelderMead().minimize(Objective(bowl, SPACE))
+        two = NelderMead().minimize(Objective(bowl, SPACE))
+        np.testing.assert_array_equal(one.x, two.x)
+        assert one.fun == two.fun and one.evaluations == two.evaluations
+
+    def test_history_is_monotone_nonincreasing(self):
+        result = NelderMead().minimize(Objective(bowl, SPACE))
+        history = np.array(result.history)
+        assert np.all(np.diff(history) <= 0.0)
+
+    def test_non_finite_points_are_survivable(self):
+        def partial(params):
+            if params["a"] > 3.0:
+                return float("nan")
+            return (params["a"] - 1.0) ** 2
+
+        space = ParameterSpace(a=(-2.0, 4.0))
+        result = NelderMead(max_iterations=200).minimize(
+            Objective(partial, space))
+        assert result.params["a"] == pytest.approx(1.0, abs=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            NelderMead(max_iterations=0)
+        with pytest.raises(OptimizationError):
+            NelderMead(initial_step=0.9)
+
+    def test_result_row_flattening(self):
+        result = NelderMead(max_iterations=50).minimize(Objective(bowl, SPACE))
+        row = result.row()
+        assert set(row) == {"fun", "iterations", "evaluations", "converged",
+                            "x_0", "x_1", "p_a", "p_b"}
+        assert row["converged"] in (0.0, 1.0)
+
+
+class TestGradientDescent:
+    def test_converges_with_ad_gradient(self):
+        objective = Objective(bowl, SPACE, gradient="ad")
+        result = GradientDescent(max_iterations=300).minimize(objective)
+        assert result.converged
+        assert result.params["a"] == pytest.approx(1.5, abs=1e-3)
+        assert result.params["b"] == pytest.approx(2.0, abs=1e-3)
+        assert objective.gradient == "ad"
+
+    def test_converges_with_fd_fallback(self):
+        def hostile(params):
+            return float((params["a"] - 1.5) ** 2)
+
+        space = ParameterSpace(a=(-2.0, 4.0))
+        objective = Objective(hostile, space, gradient="auto")
+        result = GradientDescent(max_iterations=200).minimize(objective)
+        assert result.params["a"] == pytest.approx(1.5, abs=1e-3)
+        assert objective.gradient == "fd"
+
+    def test_stops_at_active_bound(self):
+        space = ParameterSpace(a=(-2.0, 4.0))
+        result = GradientDescent(max_iterations=100).minimize(
+            Objective(edge_bowl, space, gradient="ad"))
+        assert result.converged
+        assert result.params["a"] == pytest.approx(4.0, abs=1e-6)
+
+    def test_deterministic(self):
+        one = GradientDescent().minimize(Objective(bowl, SPACE, gradient="ad"))
+        two = GradientDescent().minimize(Objective(bowl, SPACE, gradient="ad"))
+        np.testing.assert_array_equal(one.x, two.x)
+        assert one.iterations == two.iterations
+
+    def test_non_finite_start_is_not_reported_converged(self):
+        def broken(params):
+            return float("nan")
+
+        space = ParameterSpace(a=(-2.0, 4.0))
+        result = GradientDescent().minimize(
+            Objective(broken, space, gradient="fd"))
+        assert not result.converged
+        assert "not finite" in result.message
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            GradientDescent(backtrack=1.5)
+        with pytest.raises(OptimizationError):
+            GradientDescent(initial_step=-1.0)
+
+    def test_payloads_for_content_addressing(self):
+        assert NelderMead().payload()["solver"] == "nelder-mead"
+        assert GradientDescent().payload()["solver"] == "gradient-descent"

@@ -1,0 +1,100 @@
+"""Surrogate strategy: verified acceptance, re-anchoring, automatic fallback."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import OptimizationError
+from repro.optim import (NelderMead, Objective, ParameterSpace,
+                         SurrogateStrategy)
+
+SPACE = ParameterSpace(a=(-2.0, 2.0), b=(-2.0, 2.0))
+
+
+def full_model(params):
+    return (params["a"] - 1.0) ** 2 + (params["b"] + 0.5) ** 2 + 2.0
+
+
+def good_surrogate(params):
+    """Slightly biased but faithful: same optimum location, small offset."""
+    return (params["a"] - 1.0) ** 2 + (params["b"] + 0.5) ** 2 + 2.05
+
+
+def lying_surrogate(params):
+    """Confidently wrong: its optimum is far from the full model's."""
+    return (params["a"] + 1.5) ** 2 + (params["b"] - 1.5) ** 2 + 0.1
+
+
+def _solver():
+    return NelderMead(max_iterations=200, xtol=1e-8, ftol=1e-12)
+
+
+class TestAgreementPath:
+    def test_accepts_verified_surrogate_optimum(self):
+        full = Objective(full_model, SPACE)
+        surrogate = Objective(good_surrogate, SPACE)
+        result = SurrogateStrategy(solver=_solver()).minimize(full, surrogate)
+        assert result.converged and not result.fallback_used
+        assert result.params["a"] == pytest.approx(1.0, abs=1e-3)
+        assert result.params["b"] == pytest.approx(-0.5, abs=1e-3)
+        assert result.fun == pytest.approx(2.0, abs=1e-6)
+
+    def test_spends_few_full_evaluations(self):
+        full = Objective(full_model, SPACE)
+        surrogate = Objective(good_surrogate, SPACE)
+        result = SurrogateStrategy(solver=_solver()).minimize(full, surrogate)
+        assert result.full_evaluations <= 5
+        assert result.surrogate_evaluations > 5 * result.full_evaluations
+
+    def test_fun_tol_short_circuits(self):
+        full = Objective(full_model, SPACE)
+        surrogate = Objective(good_surrogate, SPACE)
+        result = SurrogateStrategy(solver=_solver(),
+                                   fun_tol=2.5).minimize(full, surrogate)
+        assert result.converged
+        assert result.fun <= 2.5
+        assert "fun_tol" in result.message
+
+    def test_returned_fun_is_always_full_model(self):
+        full = Objective(full_model, SPACE)
+        surrogate = Objective(good_surrogate, SPACE)
+        result = SurrogateStrategy(solver=_solver()).minimize(full, surrogate)
+        check = Objective(full_model, SPACE)
+        assert result.fun == pytest.approx(check.value(result.x))
+
+
+class TestFallbackPath:
+    def test_lying_surrogate_triggers_fallback(self):
+        full = Objective(full_model, SPACE)
+        surrogate = Objective(lying_surrogate, SPACE)
+        result = SurrogateStrategy(solver=_solver(), agree_rtol=1e-3,
+                                   max_rejections=2).minimize(full, surrogate)
+        assert result.fallback_used
+        # The fallback full-model solve still finds the true optimum.
+        assert result.params["a"] == pytest.approx(1.0, abs=1e-3)
+        assert result.params["b"] == pytest.approx(-0.5, abs=1e-3)
+        assert result.fun == pytest.approx(2.0, abs=1e-6)
+
+    def test_history_tracks_full_model_values(self):
+        full = Objective(full_model, SPACE)
+        surrogate = Objective(good_surrogate, SPACE)
+        result = SurrogateStrategy(solver=_solver()).minimize(full, surrogate)
+        assert result.history
+        assert min(result.history) == pytest.approx(result.fun, abs=1e-9)
+
+
+class TestValidation:
+    def test_mismatched_spaces_rejected(self):
+        other = ParameterSpace(c=(0.0, 1.0))
+        with pytest.raises(OptimizationError):
+            SurrogateStrategy().minimize(Objective(full_model, SPACE),
+                                         Objective(lambda p: 0.0, other))
+
+    def test_parameter_validation(self):
+        with pytest.raises(OptimizationError):
+            SurrogateStrategy(max_outer=0)
+        with pytest.raises(OptimizationError):
+            SurrogateStrategy(agree_rtol=0.0)
+        with pytest.raises(OptimizationError):
+            SurrogateStrategy(max_rejections=0)

@@ -1,0 +1,99 @@
+"""Parameter transforms: bounds, scales, encode/decode, dual chain rule."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ad import Dual
+from repro.errors import OptimizationError
+from repro.optim import Parameter, ParameterSpace
+
+
+class TestParameter:
+    def test_linear_decode_encode_roundtrip(self):
+        p = Parameter("a", 2.0, 10.0)
+        assert p.decode(0.0) == 2.0
+        assert p.decode(1.0) == 10.0
+        assert p.decode(0.5) == 6.0
+        assert p.encode(6.0) == pytest.approx(0.5)
+
+    def test_log_decode_encode_roundtrip(self):
+        p = Parameter("gap", 1e-6, 1e-2, scale="log")
+        assert p.decode(0.0) == pytest.approx(1e-6)
+        assert p.decode(1.0) == pytest.approx(1e-2)
+        assert p.decode(0.5) == pytest.approx(1e-4)
+        assert p.encode(1e-4) == pytest.approx(0.5)
+
+    def test_encode_clips_out_of_bounds(self):
+        p = Parameter("a", 0.0, 1.0)
+        assert p.encode(-3.0) == 0.0
+        assert p.encode(7.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(OptimizationError):
+            Parameter("a", 1.0, 1.0)
+        with pytest.raises(OptimizationError):
+            Parameter("a", 0.0, 1.0, scale="sqrt")
+        with pytest.raises(OptimizationError):
+            Parameter("a", -1.0, 1.0, scale="log")
+        with pytest.raises(OptimizationError):
+            Parameter("a", 0.0, np.inf)
+
+    def test_log_encode_rejects_non_positive(self):
+        with pytest.raises(OptimizationError):
+            Parameter("a", 1.0, 2.0, scale="log").encode(0.0)
+
+
+class TestParameterSpace:
+    def test_keyword_shorthand(self):
+        space = ParameterSpace(a=(0.0, 2.0), gap=(1e-6, 1e-3, "log"))
+        assert space.names == ("a", "gap")
+        assert space.parameters[1].scale == "log"
+
+    def test_decode_encode(self):
+        space = ParameterSpace(a=(0.0, 2.0), b=(1.0, 100.0, "log"))
+        z = np.array([0.25, 0.5])
+        params = space.decode(z)
+        assert params["a"] == pytest.approx(0.5)
+        assert params["b"] == pytest.approx(10.0)
+        np.testing.assert_allclose(space.encode(params), z)
+
+    def test_decode_dual_chain_rule(self):
+        space = ParameterSpace(a=(0.0, 4.0), b=(1.0, 100.0, "log"))
+        duals = space.decode_dual(np.array([0.5, 0.5]))
+        assert isinstance(duals["a"], Dual)
+        # d a / d z0 = upper - lower = 4; d b / d z1 = b * ln(upper/lower).
+        assert duals["a"].deriv[0] == pytest.approx(4.0)
+        assert duals["a"].deriv[1] == 0.0
+        assert duals["b"].deriv[1] == pytest.approx(10.0 * np.log(100.0))
+
+    def test_clip_and_center(self):
+        space = ParameterSpace(a=(0.0, 1.0), b=(0.0, 1.0))
+        np.testing.assert_allclose(space.clip([-1.0, 2.0]), [0.0, 1.0])
+        np.testing.assert_allclose(space.center(), [0.5, 0.5])
+
+    def test_random_is_seeded(self):
+        space = ParameterSpace(a=(0.0, 1.0), b=(0.0, 1.0))
+        one = space.random(np.random.default_rng(7), 5)
+        two = space.random(np.random.default_rng(7), 5)
+        np.testing.assert_array_equal(one, two)
+        assert one.shape == (5, 2)
+        assert one.min() >= 0.0 and one.max() <= 1.0
+
+    def test_duplicate_and_empty_rejected(self):
+        with pytest.raises(OptimizationError):
+            ParameterSpace([Parameter("a", 0.0, 1.0), Parameter("a", 0.0, 2.0)])
+        with pytest.raises(OptimizationError):
+            ParameterSpace()
+
+    def test_shape_check(self):
+        space = ParameterSpace(a=(0.0, 1.0))
+        with pytest.raises(OptimizationError):
+            space.decode(np.zeros(3))
+
+    def test_payload_is_canonical(self):
+        space = ParameterSpace(a=(0.0, 1.0), b=(1.0, 2.0, "log"))
+        payload = space.payload()
+        assert payload["parameters"][1] == {
+            "name": "b", "lower": 1.0, "upper": 2.0, "scale": "log"}

@@ -1,0 +1,106 @@
+"""Macromodel calibration: fit lumped parameters back from extracted data."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.campaign import ResultCache
+from repro.errors import ExtractionError
+from repro.optim import GradientDescent, MultiStart, NelderMead, ParameterSpace
+from repro.pxt import ParameterExtractor, fit_macromodel_parameters
+from repro.pxt.calibrate import MacromodelResidual
+from repro.transducers import TransverseElectrostaticTransducer
+
+AREA = 4e-8
+GAP = 2e-6
+
+SPACE = ParameterSpace(area=(1e-9, 1e-6, "log"), gap=(5e-7, 1e-5, "log"))
+
+DISPLACEMENTS = [-4e-7, -2e-7, 0.0, 2e-7, 4e-7]
+
+
+def predict_capacitance(params, displacement):
+    """The lumped C(x) macromodel being calibrated (dual-friendly)."""
+    transducer = TransverseElectrostaticTransducer(
+        area=params["area"], gap=params["gap"])
+    return transducer.capacitance(displacement)
+
+
+def _analytic_targets():
+    reference = TransverseElectrostaticTransducer(area=AREA, gap=GAP)
+    return [float(reference.capacitance(x)) for x in DISPLACEMENTS]
+
+
+class TestAnalyticRoundTrip:
+    def test_recovers_generating_parameters(self):
+        fit = fit_macromodel_parameters(
+            predict_capacitance, SPACE, DISPLACEMENTS, _analytic_targets())
+        assert fit.params["area"] == pytest.approx(AREA, rel=1e-3)
+        assert fit.params["gap"] == pytest.approx(GAP, rel=1e-3)
+        assert fit.rms_error < 1e-5
+
+    def test_gradient_solver_uses_ad_through_the_transducer(self):
+        fit = fit_macromodel_parameters(
+            predict_capacitance, SPACE, DISPLACEMENTS, _analytic_targets(),
+            solver=GradientDescent(max_iterations=400), gradient="ad")
+        assert fit.params["area"] == pytest.approx(AREA, rel=1e-2)
+        assert fit.params["gap"] == pytest.approx(GAP, rel=1e-2)
+
+    def test_multistart_solver_is_accepted(self):
+        fit = fit_macromodel_parameters(
+            predict_capacitance, SPACE, DISPLACEMENTS, _analytic_targets(),
+            solver=MultiStart(solver=NelderMead(max_iterations=200), starts=3,
+                              seed=4))
+        assert fit.params["area"] == pytest.approx(AREA, rel=1e-2)
+
+    def test_predictions_reproduce_targets(self):
+        targets = _analytic_targets()
+        fit = fit_macromodel_parameters(
+            predict_capacitance, SPACE, DISPLACEMENTS, targets)
+        np.testing.assert_allclose(fit.predictions(), targets, rtol=1e-4)
+
+
+class TestFEExtractionCalibration:
+    def test_fits_effective_parameters_from_fe_sweep(self):
+        # The forward PXT flow extracts C(x) from FE solves; calibration
+        # recovers lumped parameters reproducing that sweep closely.
+        extractor = ParameterExtractor(area=AREA, gap=GAP, nx=12, ny=8)
+        model = extractor.capacitance_model(DISPLACEMENTS)
+        targets = [float(model(x)) for x in DISPLACEMENTS]
+        fit = fit_macromodel_parameters(
+            predict_capacitance, SPACE, DISPLACEMENTS, targets)
+        # FE discretization shifts the effective parameters slightly; the
+        # fit must still reproduce the sweep to well under a percent.
+        assert fit.rms_error < 1e-3
+        assert fit.params["area"] == pytest.approx(AREA, rel=0.05)
+        assert fit.params["gap"] == pytest.approx(GAP, rel=0.05)
+
+
+class TestPlumbing:
+    def test_cache_spares_repeat_evaluations(self):
+        cache = ResultCache()
+        targets = _analytic_targets()
+        fit_macromodel_parameters(predict_capacitance, SPACE, DISPLACEMENTS,
+                                  targets, cache=cache)
+        stores_after_first = cache.stores
+        fit_macromodel_parameters(predict_capacitance, SPACE, DISPLACEMENTS,
+                                  targets, cache=cache)
+        assert cache.hits > 0
+        assert cache.stores == stores_after_first  # nothing re-evaluated anew
+
+    def test_residual_payload_covers_the_data(self):
+        one = MacromodelResidual(predict_capacitance, [0.0], [1.0])
+        two = MacromodelResidual(predict_capacitance, [0.0], [2.0])
+        assert one.cache_payload() != two.cache_payload()
+
+    def test_validation(self):
+        with pytest.raises(ExtractionError):
+            MacromodelResidual(predict_capacitance, [], [])
+        with pytest.raises(ExtractionError):
+            MacromodelResidual(predict_capacitance, [0.0], [1.0, 2.0])
+        with pytest.raises(ExtractionError):
+            MacromodelResidual(predict_capacitance, [0.0], [0.0])
+        with pytest.raises(ExtractionError):
+            MacromodelResidual(predict_capacitance, [0.0], [1.0],
+                               weights=[1.0, 2.0])

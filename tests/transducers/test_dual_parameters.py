@@ -1,0 +1,65 @@
+"""Dual-seeded transducer geometry: design sensitivities via the chain rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ad import seed_dict, value_of
+from repro.errors import TransducerError
+from repro.transducers import (LateralElectrostaticTransducer,
+                               TransverseElectrostaticTransducer)
+
+
+class TestTransverseDualGeometry:
+    def test_capacitance_gradient_matches_closed_form(self):
+        params = seed_dict({"area": 1e-8, "gap": 2e-6})
+        transducer = TransverseElectrostaticTransducer(
+            area=params["area"], gap=params["gap"])
+        capacitance = transducer.capacitance(0.0)
+        eps0 = transducer.epsilon_0
+        # C = eps A / d: dC/dA = eps/d, dC/dd = -eps A / d^2.
+        assert value_of(capacitance) == pytest.approx(eps0 * 1e-8 / 2e-6)
+        assert capacitance.deriv[0] == pytest.approx(eps0 / 2e-6)
+        assert capacitance.deriv[1] == pytest.approx(-eps0 * 1e-8 / 4e-12)
+
+    def test_pull_in_voltage_carries_sensitivities(self):
+        params = seed_dict({"gap": 2e-6})
+        transducer = TransverseElectrostaticTransducer(
+            area=1e-8, gap=params["gap"], gap_orientation="closing")
+        v_pi = transducer.pull_in_voltage(2.0)
+        reference = TransverseElectrostaticTransducer(
+            area=1e-8, gap=2e-6, gap_orientation="closing").pull_in_voltage(2.0)
+        assert value_of(v_pi) == pytest.approx(reference)
+        # V_pi ~ d^(3/2): dV/dd = 1.5 V / d.
+        assert v_pi.deriv[0] == pytest.approx(1.5 * reference / 2e-6, rel=1e-9)
+
+    def test_parameters_strip_the_derivative(self):
+        params = seed_dict({"area": 1e-8, "gap": 2e-6})
+        transducer = TransverseElectrostaticTransducer(
+            area=params["area"], gap=params["gap"])
+        table = transducer.parameters()
+        assert table["A"] == 1e-8 and isinstance(table["A"], float)
+        assert table["d"] == 2e-6 and isinstance(table["d"], float)
+
+    def test_validation_still_rejects_bad_duals(self):
+        params = seed_dict({"gap": -1e-6})
+        with pytest.raises(TransducerError):
+            TransverseElectrostaticTransducer(area=1e-8, gap=params["gap"])
+
+    def test_plain_floats_unchanged(self):
+        transducer = TransverseElectrostaticTransducer(area=1e-8, gap=2e-6)
+        assert isinstance(transducer.area, float)
+        assert isinstance(transducer.gap, float)
+
+
+class TestLateralDualGeometry:
+    def test_force_gradient_matches_closed_form(self):
+        params = seed_dict({"depth": 1e-5, "gap": 2e-6})
+        transducer = LateralElectrostaticTransducer(
+            depth=params["depth"], length=1e-4, gap=params["gap"])
+        force = transducer.force(10.0, 0.0)
+        eps0 = transducer.epsilon_0
+        # F = -eps h v^2 / (2 d).
+        assert value_of(force) == pytest.approx(-eps0 * 1e-5 * 100.0 / 4e-6)
+        assert force.deriv[0] == pytest.approx(-eps0 * 100.0 / 4e-6)
+        assert force.deriv[1] == pytest.approx(eps0 * 1e-5 * 100.0 / 8e-12)
