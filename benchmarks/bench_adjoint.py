@@ -1,0 +1,208 @@
+"""Adjoint-sensitivity benchmark: pin the full-solve saving vs central FD.
+
+Two gradient tasks over the figure-3-style electrostatic transducer stack:
+
+* **operating point** -- gradient of the op-point mechanical output with
+  respect to 7 device/geometry parameters.  The adjoint path performs
+  exactly ONE forward Newton solve plus one transposed back-substitution;
+  central differences re-solve the operating point ``2 * 7 = 14`` times.
+* **transient** -- gradient of the final-time spring force with respect to
+  8 parameters.  The discrete adjoint replays ONE stored transient (no new
+  Newton solves, factorizations mostly cache hits); central differences
+  re-integrate the transient ``2 * 8 = 16`` times.
+
+Both gradients must agree with their FD reference (the benchmark fails on a
+correctness regression, not just a performance one), and the full-solve
+saving must stay **>= 3x** -- enforced with explicit raises so the CI smoke
+job gates on it.  Wall-clock is reported but not gated.
+
+Run standalone (``python benchmarks/bench_adjoint.py``); ``--smoke`` is
+accepted for CI symmetry and runs the identical deterministic workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.circuit import Circuit, OperatingPointAnalysis, SimulationOptions, TransientAnalysis
+from repro.circuit.analysis.sensitivity import resolve_parameters
+from repro.circuit.devices.mechanical import Damper, Mass, Spring
+from repro.circuit.devices.nonlinear import Diode
+from repro.circuit.devices.passive import Resistor
+from repro.circuit.devices.sources import VoltageSource
+from repro.transducers import TransverseElectrostaticTransducer
+
+OPTIONS = SimulationOptions(reltol=1e-9, abstol=1e-15, vntol=1e-12)
+
+#: Pinned floor on the full-nonlinear-solve saving of the adjoint path.
+MIN_SOLVE_SAVING = 3.0
+
+OP_PARAMS = ("V1.dc", "R1.resistance", "D1.saturation_current",
+             "XT.A", "XT.d", "XT.er", "B1.damping")
+OP_OUTPUT = "v(nm)"
+
+TRAN_PARAMS = ("V1.dc", "R1.resistance", "XT.A", "XT.d", "XT.er",
+               "K1.stiffness", "M1.mass", "B1.damping")
+TRAN_OUTPUT = "i(K1)"
+T_STOP, T_STEP = 1.5e-5, 3e-7
+
+
+def build_op_circuit() -> Circuit:
+    circuit = Circuit()
+    n1 = circuit.electrical_node("n1")
+    n2 = circuit.electrical_node("n2")
+    ground = circuit.ground
+    circuit.add(VoltageSource("V1", n1, ground, 5.0))
+    circuit.add(Resistor("R1", n1, n2, 1e3))
+    circuit.add(Diode("D1", n2, ground, 1e-12))
+    circuit.mechanical_node("nm")
+    TransverseElectrostaticTransducer(
+        area=1e-8, gap=2e-6, gap_orientation="closing").add_to_circuit(
+        circuit, "XT", "n2", "0", "nm", "0", closed_form=True)
+    circuit.add(Damper("B1", circuit.mechanical_node("nm"), ground, 1e-4))
+    return circuit
+
+
+def build_tran_circuit() -> Circuit:
+    circuit = Circuit()
+    n1 = circuit.electrical_node("n1")
+    n2 = circuit.electrical_node("n2")
+    ground = circuit.ground
+    circuit.add(VoltageSource("V1", n1, ground, 8.0))
+    circuit.add(Resistor("R1", n1, n2, 1e4))
+    nm = circuit.mechanical_node("nm")
+    TransverseElectrostaticTransducer(
+        area=4e-8, gap=2e-6, gap_orientation="closing").add_to_circuit(
+        circuit, "XT", "n2", "0", "nm", "0", closed_form=True)
+    circuit.add(Mass("M1", nm, ground, 1e-9))
+    circuit.add(Spring("K1", nm, ground, 5.0))
+    circuit.add(Damper("B1", nm, ground, 2e-5))
+    return circuit
+
+
+def _fd_gradient(build, params, run_output, rel_step):
+    """Central-difference reference; returns (gradient, full_solves)."""
+    refs = resolve_parameters(build(), params)
+    gradient = np.zeros(len(refs))
+    solves = 0
+
+    def at(k: int, sign: float) -> float:
+        nonlocal solves
+        circuit = build()
+        refs_k = resolve_parameters(circuit, params)
+        ref = refs_k[k]
+        ref.device.set_parameter(
+            ref.parameter, ref.value + sign * rel_step * abs(ref.value))
+        solves += 1
+        return run_output(circuit)
+
+    for k, ref in enumerate(refs):
+        step = rel_step * abs(ref.value)
+        gradient[k] = (at(k, +1.0) - at(k, -1.0)) / (2.0 * step)
+    return gradient, solves
+
+
+def bench_operating_point() -> dict[str, float]:
+    start = time.perf_counter()
+    analysis = OperatingPointAnalysis(build_op_circuit(), OPTIONS)
+    result = analysis.sensitivities(OP_PARAMS, [OP_OUTPUT], method="adjoint")
+    adjoint_time = time.perf_counter() - start
+    adjoint_solves = result.stats["newton_solves"]
+    assert result.stats["adjoint_solves"] == 1
+
+    def run_output(circuit) -> float:
+        return OperatingPointAnalysis(circuit, OPTIONS).run()[OP_OUTPUT]
+
+    start = time.perf_counter()
+    fd_gradient, fd_solves = _fd_gradient(build_op_circuit, OP_PARAMS,
+                                          run_output, 1e-5)
+    fd_time = time.perf_counter() - start
+    error = float(np.max(np.abs(result.matrix[0] - fd_gradient)
+                         / np.maximum(np.abs(fd_gradient), 1e-30)))
+    return {"adjoint_solves": adjoint_solves, "fd_solves": fd_solves,
+            "saving": fd_solves / max(adjoint_solves, 1),
+            "max_rel_error": error, "adjoint_time_s": adjoint_time,
+            "fd_time_s": fd_time}
+
+
+def bench_transient() -> dict[str, float]:
+    start = time.perf_counter()
+    analysis = TransientAnalysis(build_tran_circuit(), t_stop=T_STOP,
+                                 t_step=T_STEP, options=OPTIONS)
+    result = analysis.sensitivities(TRAN_PARAMS, [TRAN_OUTPUT],
+                                    method="adjoint")
+    adjoint_time = time.perf_counter() - start
+    adjoint_solves = result.stats["transient_solves"]
+    factor_hits = result.stats["factor_cache_hits"]
+    factorizations = result.stats["factorizations"]
+
+    def run_output(circuit) -> float:
+        return TransientAnalysis(circuit, t_stop=T_STOP, t_step=T_STEP,
+                                 options=OPTIONS).run().final(TRAN_OUTPUT)
+
+    start = time.perf_counter()
+    fd_gradient, fd_solves = _fd_gradient(build_tran_circuit, TRAN_PARAMS,
+                                          run_output, 1e-6)
+    fd_time = time.perf_counter() - start
+    scale = float(np.max(np.abs(fd_gradient)))
+    error = float(np.max(np.abs(result.matrix[0] - fd_gradient))
+                  / scale)
+    return {"adjoint_solves": adjoint_solves, "fd_solves": fd_solves,
+            "saving": fd_solves / max(adjoint_solves, 1),
+            "max_rel_error": error, "factor_cache_hits": factor_hits,
+            "factorizations": factorizations,
+            "adjoint_time_s": adjoint_time, "fd_time_s": fd_time}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI smoke mode (identical deterministic workload)")
+    parser.parse_args(argv)
+
+    print("=== bench_adjoint: adjoint gradients vs central finite differences ===")
+    op_stats = bench_operating_point()
+    print(f"operating point ({len(OP_PARAMS)} params): adjoint "
+          f"{op_stats['adjoint_solves']:.0f} Newton solve(s) in "
+          f"{op_stats['adjoint_time_s']:.3f} s vs FD "
+          f"{op_stats['fd_solves']:.0f} solves in {op_stats['fd_time_s']:.3f} s "
+          f"-> {op_stats['saving']:.1f}x fewer solves, "
+          f"max rel error {op_stats['max_rel_error']:.2e}")
+    tran_stats = bench_transient()
+    print(f"transient ({len(TRAN_PARAMS)} params): adjoint "
+          f"{tran_stats['adjoint_solves']:.0f} integration(s) in "
+          f"{tran_stats['adjoint_time_s']:.3f} s "
+          f"({tran_stats['factorizations']:.0f} factorizations / "
+          f"{tran_stats['factor_cache_hits']:.0f} cache hits) vs FD "
+          f"{tran_stats['fd_solves']:.0f} integrations in "
+          f"{tran_stats['fd_time_s']:.3f} s -> {tran_stats['saving']:.1f}x "
+          f"fewer solves, max rel error {tran_stats['max_rel_error']:.2e}")
+
+    if op_stats["max_rel_error"] > 1e-5:
+        raise AssertionError(
+            f"op adjoint gradient drifted from central FD: max rel error "
+            f"{op_stats['max_rel_error']:.2e} (> 1e-5)")
+    if tran_stats["max_rel_error"] > 1e-4:
+        raise AssertionError(
+            f"transient adjoint gradient drifted from central FD: max rel "
+            f"error {tran_stats['max_rel_error']:.2e} (> 1e-4)")
+    for label, stats in (("op", op_stats), ("transient", tran_stats)):
+        if stats["saving"] < MIN_SOLVE_SAVING:
+            raise AssertionError(
+                f"{label} adjoint solve saving regressed: "
+                f"{stats['saving']:.1f}x (floor {MIN_SOLVE_SAVING:.0f}x)")
+    if tran_stats["factor_cache_hits"] <= tran_stats["factorizations"]:
+        raise AssertionError(
+            "transient adjoint replay stopped reusing factorizations "
+            f"({tran_stats['factorizations']:.0f} factorizations vs "
+            f"{tran_stats['factor_cache_hits']:.0f} cache hits)")
+    print("floors satisfied.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

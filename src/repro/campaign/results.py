@@ -67,11 +67,22 @@ class CampaignResult:
         The per-point rows in spec order.
     param_names:
         Column order of the swept parameters (defaults to first-row order).
+    solver_stats:
+        Aggregated :mod:`repro.linalg.metrics` counter deltas of the work
+        actually dispatched for this campaign (factorizations,
+        factorization-cache hits/misses/evictions, sparsity-pattern
+        rebuilds/reuses, transposed solves) -- summed over serial execution
+        and every pool worker chunk.  Empty for derived results
+        (``filter``/``group_by``), whose work already appears in the
+        parent's counters.
     """
 
     def __init__(self, rows: Iterable[CampaignRow],
-                 param_names: Iterable[str] | None = None) -> None:
+                 param_names: Iterable[str] | None = None,
+                 solver_stats: Mapping[str, int] | None = None) -> None:
         self.rows = list(rows)
+        self.solver_stats: dict[str, int] = \
+            {str(k): int(v) for k, v in (solver_stats or {}).items()}
         if param_names is not None:
             self.param_names = tuple(param_names)
         elif self.rows:
@@ -235,12 +246,34 @@ class CampaignResult:
             "max": float(np.max(values)),
         }
 
+    def solver_summary(self) -> dict[str, float]:
+        """Cache-efficacy digest of the dispatched solver work.
+
+        Hit *rates* are derived from the aggregated counters; a campaign
+        whose workers never touched a cache reports zero rates rather than
+        NaN.
+        """
+        stats = dict(self.solver_stats)
+        hits = stats.get("factorization_cache_hits", 0)
+        misses = stats.get("factorization_cache_misses", 0)
+        reuses = stats.get("structure_reuses", 0)
+        rebuilds = stats.get("structure_rebuilds", 0)
+        stats["factorization_cache_hit_rate"] = \
+            hits / (hits + misses) if hits + misses else 0.0
+        stats["structure_reuse_rate"] = \
+            reuses / (reuses + rebuilds) if reuses + rebuilds else 0.0
+        return stats
+
     def to_rows(self) -> list[dict]:
         """Plain-dict rows (params + outputs + error) for serialization."""
         return [{**row.params, **row.outputs, "error": row.error}
                 for row in self.rows]
 
     def __repr__(self) -> str:
+        solver = ""
+        if self.solver_stats.get("factorizations"):
+            solver = f", {self.solver_stats['factorizations']} factorizations"
         return (f"CampaignResult({len(self.rows)} points, "
                 f"{len(self.param_names)} params, {len(self.output_names)} outputs, "
-                f"{self.num_failures} failures, {self.num_cached} cached)")
+                f"{self.num_failures} failures, {self.num_cached} cached"
+                f"{solver})")

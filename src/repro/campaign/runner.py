@@ -39,6 +39,7 @@ from ..circuit.analysis.op import OperatingPointAnalysis
 from ..circuit.analysis.options import SimulationOptions
 from ..circuit.analysis.transient import TransientAnalysis
 from ..errors import CampaignError
+from ..linalg import metrics as linalg_metrics
 from .cache import ResultCache, canonicalize, scenario_key
 from .results import CampaignResult, CampaignRow
 from .spec import CampaignSpec
@@ -97,10 +98,20 @@ def _evaluate_one(evaluator, index: int, point: Mapping[str, object]
         return index, {}, f"{type(exc).__name__}: {exc}"
 
 
-def _evaluate_chunk(task: tuple) -> list[tuple[int, dict, str | None]]:
-    """Worker entry point: evaluate one chunk of (index, point) pairs."""
+def _evaluate_chunk(task: tuple) -> tuple[list[tuple[int, dict, str | None]],
+                                          dict[str, int]]:
+    """Worker entry point: evaluate one chunk of (index, point) pairs.
+
+    Besides the per-point results the chunk ships the *delta* of the
+    worker's process-wide :mod:`repro.linalg.metrics` counters back to the
+    parent, so factorization/pattern-cache efficacy inside pool workers
+    becomes visible on the aggregated :class:`CampaignResult`.
+    """
     evaluator, items = task
-    return [_evaluate_one(evaluator, index, point) for index, point in items]
+    before = linalg_metrics.snapshot()
+    results = [_evaluate_one(evaluator, index, point)
+               for index, point in items]
+    return results, linalg_metrics.counter_delta(before)
 
 
 class CampaignRunner:
@@ -160,23 +171,28 @@ class CampaignRunner:
                     continue
             pending.append((index, point))
 
-        for index, outputs, error in self._dispatch(evaluator, pending):
+        dispatched, solver_stats = self._dispatch(evaluator, pending)
+        for index, outputs, error in dispatched:
             point = points[index]
             rows[index] = CampaignRow(index, point, outputs, error=error)
             if self.cache is not None and error is None:
                 self.cache.put(keys[index], outputs)
 
         return CampaignResult([row for row in rows if row is not None],
-                              param_names=spec.names)
+                              param_names=spec.names,
+                              solver_stats=solver_stats)
 
     # ------------------------------------------------------------- dispatch
     def _dispatch(self, evaluator, pending: Sequence[tuple[int, dict]]
-                  ) -> list[tuple[int, dict, str | None]]:
+                  ) -> tuple[list[tuple[int, dict, str | None]],
+                             dict[str, int]]:
+        solver_stats = {name: 0 for name in linalg_metrics.COUNTER_NAMES}
         if not pending:
-            return []
+            return [], solver_stats
         if self.backend == "serial":
-            return [_evaluate_one(evaluator, index, point)
-                    for index, point in pending]
+            results, delta = _evaluate_chunk((evaluator, list(pending)))
+            linalg_metrics.merge_counters(solver_stats, delta)
+            return results, solver_stats
         processes = self.processes or os.cpu_count() or 1
         processes = min(processes, len(pending))
         chunk = self.chunk_size or max(1, -(-len(pending) // (4 * processes)))
@@ -184,7 +200,10 @@ class CampaignRunner:
                   for i in range(0, len(pending), chunk)]
         with multiprocessing.Pool(processes) as pool:
             completed = pool.map(_evaluate_chunk, chunks)
-        return [item for batch in completed for item in batch]
+        results = [item for batch, _ in completed for item in batch]
+        for _, delta in completed:
+            linalg_metrics.merge_counters(solver_stats, delta)
+        return results, solver_stats
 
 
 # --------------------------------------------------------------------------- #

@@ -52,6 +52,7 @@ from .analysis import (
     OperatingPointAnalysis,
     DCSweepAnalysis,
     ACAnalysis,
+    CircuitSensitivityEvaluator,
     TransientAnalysis,
 )
 from .analysis.ac import frequency_grid
@@ -103,6 +104,7 @@ __all__ = [
     "OperatingPointAnalysis",
     "DCSweepAnalysis",
     "ACAnalysis",
+    "CircuitSensitivityEvaluator",
     "TransientAnalysis",
     "frequency_grid",
     "small_signal_matrices",

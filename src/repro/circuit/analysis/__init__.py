@@ -12,6 +12,13 @@ they can perform: static-dc, harmonic-ac, transient-transient"):
   solves around the operating point,
 * :class:`~repro.circuit.analysis.transient.TransientAnalysis` -- adaptive
   backward-Euler / trapezoidal time stepping with per-step Newton.
+
+Every analysis also exposes exact parameter sensitivities through its
+``sensitivities(params, outputs)`` method -- adjoint (one transposed solve
+per output) or direct (one solve per parameter) on the already-factored
+system, never finite differences of full solves; see
+:mod:`repro.circuit.analysis.sensitivity` and
+:mod:`repro.circuit.analysis.adjoint`.
 """
 
 from .options import SimulationOptions
@@ -19,6 +26,7 @@ from .results import OperatingPoint, DCSweepResult, ACResult, TransientResult
 from .op import OperatingPointAnalysis, newton_solve
 from .dcsweep import DCSweepAnalysis
 from .ac import ACAnalysis
+from .sensitivity import CircuitSensitivityEvaluator
 from .transient import TransientAnalysis
 
 __all__ = [
@@ -31,5 +39,6 @@ __all__ = [
     "newton_solve",
     "DCSweepAnalysis",
     "ACAnalysis",
+    "CircuitSensitivityEvaluator",
     "TransientAnalysis",
 ]

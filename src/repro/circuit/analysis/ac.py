@@ -107,6 +107,17 @@ class ACAnalysis:
                 for i, label in enumerate(labels)}
         return ACResult(self.frequencies, data)
 
+    def sensitivities(self, params, outputs, method: str = "auto",
+                      operating_point: OperatingPoint | None = None):
+        """Exact-solve sensitivities of the output phasors over the sweep.
+
+        See :func:`repro.circuit.analysis.sensitivity.ac_sensitivities`.
+        """
+        from .sensitivity import ac_sensitivities
+
+        return ac_sensitivities(self, params, outputs, method=method,
+                                operating_point=operating_point)
+
     # ------------------------------------------------------------------ sweeps
     def _solve_point(self, matrix: np.ndarray, rhs: np.ndarray,
                      solver: FactorizedSolver, frequency: float) -> np.ndarray:

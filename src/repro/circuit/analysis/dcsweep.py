@@ -60,33 +60,44 @@ class DCSweepAnalysis:
                 f"{source_name!r} is not an independent source; cannot sweep it")
         self._source = device
 
+    def _sweep_solutions(self, system: MNASystem, workspace: NewtonWorkspace):
+        """Yield ``(index, x_or_None)`` per sweep value: the single source of
+        truth for the continuation policy (warm starts, failure handling,
+        waveform restore) shared by :meth:`run` and the sensitivity sweep."""
+        original_waveform = self._source.waveform
+        x = np.zeros(system.size)
+        try:
+            for index, value in enumerate(self.values):
+                self._source.waveform = DC(float(value))
+                try:
+                    x, _ = newton_solve(system, x, "dc", 0.0, None,
+                                        self.options, 1.0,
+                                        workspace=workspace)
+                    yield index, x
+                except (ConvergenceError, SingularMatrixError):
+                    if not self.continue_on_failure:
+                        raise
+                    x = np.zeros(system.size)
+                    yield index, None
+        finally:
+            self._source.waveform = original_waveform
+
     def run(self) -> DCSweepResult:
         """Execute the sweep and return per-signal arrays over the sweep values."""
         system = MNASystem(self.circuit)
         options = self.options
-        original_waveform = self._source.waveform
-        x = np.zeros(system.size)
         rows: list[dict[str, float]] = []
         # One workspace for the whole sweep: a linear circuit's Jacobian is
         # independent of the swept source value, so every point after the
         # first reuses the same factorization.
         workspace = NewtonWorkspace(options)
-        try:
-            for value in self.values:
-                self._source.waveform = DC(float(value))
-                try:
-                    x, _ = newton_solve(system, x, "dc", 0.0, None, options, 1.0,
-                                        workspace=workspace)
-                    ctx = system.assemble(x, "dc", 0.0, None, options, 1.0,
-                                          want_jacobian=False)
-                    rows.append(collect_outputs(system, ctx))
-                except (ConvergenceError, SingularMatrixError):
-                    if not self.continue_on_failure:
-                        raise
-                    rows.append({})
-                    x = np.zeros(system.size)
-        finally:
-            self._source.waveform = original_waveform
+        for _, x in self._sweep_solutions(system, workspace):
+            if x is None:
+                rows.append({})
+                continue
+            ctx = system.assemble(x, "dc", 0.0, None, options, 1.0,
+                                  want_jacobian=False)
+            rows.append(collect_outputs(system, ctx))
         keys: set[str] = set()
         for row in rows:
             keys.update(row)
@@ -95,3 +106,12 @@ class DCSweepAnalysis:
             for key in sorted(keys)
         }
         return DCSweepResult(self.source_name, self.values, data)
+
+    def sensitivities(self, params, outputs, method: str = "auto"):
+        """Per-point exact output sensitivities over the sweep values.
+
+        See :func:`repro.circuit.analysis.sensitivity.dcsweep_sensitivities`.
+        """
+        from .sensitivity import dcsweep_sensitivities
+
+        return dcsweep_sensitivities(self, params, outputs, method=method)

@@ -321,10 +321,16 @@ class OperatingPointAnalysis:
         self.options = options or SimulationOptions()
         self.system = MNASystem(circuit)
 
-    def run(self, initial_guess: np.ndarray | None = None) -> OperatingPoint:
-        """Solve the operating point, falling back to source stepping if needed."""
+    def run(self, initial_guess: np.ndarray | None = None,
+            workspace: NewtonWorkspace | None = None) -> OperatingPoint:
+        """Solve the operating point, falling back to source stepping if needed.
+
+        ``workspace`` optionally shares the Newton linear-stage state with
+        the caller -- the sensitivity path passes its own workspace so the
+        converged factorization is reused instead of re-factored.
+        """
         options = self.options
-        workspace = NewtonWorkspace(options)
+        workspace = workspace or NewtonWorkspace(options)
         x0 = np.zeros(self.system.size) if initial_guess is None else \
             np.array(initial_guess, dtype=float, copy=True)
         try:
@@ -337,6 +343,23 @@ class OperatingPointAnalysis:
                                    want_jacobian=False)
         data = collect_outputs(self.system, ctx)
         return OperatingPoint(data, solution, self.system.unknown_labels(), iterations)
+
+    def sensitivities(self, params, outputs, method: str = "auto",
+                      operating_point: OperatingPoint | None = None):
+        """Exact output/parameter sensitivities at the operating point.
+
+        One forward Newton solve (skipped when ``operating_point`` is
+        given), then one transposed back-substitution per output (adjoint)
+        or one forward back-substitution per parameter (direct) on the
+        already-factored Jacobian -- see
+        :func:`repro.circuit.analysis.sensitivity
+        .operating_point_sensitivities`.
+        """
+        from .sensitivity import operating_point_sensitivities
+
+        return operating_point_sensitivities(
+            self, params, outputs, method=method,
+            operating_point=operating_point)
 
     def _source_stepping(self, x0: np.ndarray,
                          workspace: NewtonWorkspace | None = None

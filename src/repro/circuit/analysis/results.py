@@ -149,7 +149,8 @@ class TransientResult(_SignalMapping):
     """Result of a transient analysis: sampled waveforms over time."""
 
     def __init__(self, time: np.ndarray, data: dict[str, np.ndarray],
-                 statistics: dict[str, float] | None = None) -> None:
+                 statistics: dict[str, float] | None = None,
+                 trajectory: np.ndarray | None = None) -> None:
         arrays = {key: np.asarray(val, dtype=float) for key, val in data.items()}
         super().__init__(arrays)
         self.time = np.asarray(time, dtype=float)
@@ -159,6 +160,12 @@ class TransientResult(_SignalMapping):
                     f"signal {key!r} has {val.size} samples for {self.time.size} time points")
         #: Solver statistics: accepted/rejected steps, Newton iterations, wall time.
         self.statistics = dict(statistics or {})
+        #: Raw unknown-vector trajectory ``(num_points, system_size)`` at the
+        #: accepted time points; populated when the analysis was run with
+        #: ``record_trajectory=True`` (the discrete-adjoint sensitivity sweep
+        #: replays it).  ``None`` otherwise.
+        self.trajectory = None if trajectory is None \
+            else np.asarray(trajectory, dtype=float)
 
     # ----------------------------------------------------------------- access
     def signal(self, name: str) -> np.ndarray:

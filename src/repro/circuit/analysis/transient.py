@@ -65,7 +65,8 @@ class TransientAnalysis:
 
     def __init__(self, circuit: Circuit, t_stop: float, t_step: float | None = None,
                  t_start: float = 0.0, max_step: float | None = None,
-                 use_ic: bool = False, options: SimulationOptions | None = None) -> None:
+                 use_ic: bool = False, options: SimulationOptions | None = None,
+                 record_trajectory: bool = False) -> None:
         if t_stop <= t_start:
             raise AnalysisError("t_stop must be greater than t_start")
         self.circuit = circuit
@@ -79,6 +80,10 @@ class TransientAnalysis:
             raise AnalysisError("max_step must be positive")
         self.use_ic = bool(use_ic)
         self.options = options or SimulationOptions()
+        #: Keep the raw unknown vectors of every accepted point on the result
+        #: (``TransientResult.trajectory``) so the sensitivity sweep can
+        #: replay the exact step sequence.
+        self.record_trajectory = bool(record_trajectory)
 
     # ------------------------------------------------------------------ helpers
     def _breakpoints(self) -> list[float]:
@@ -130,6 +135,8 @@ class TransientAnalysis:
         rows: list[dict[str, float]] = [first_row]
         history_x: list[np.ndarray] = [x.copy()]
         history_t: list[float] = [self.t_start]
+        trajectory: list[np.ndarray] | None = \
+            [x.copy()] if self.record_trajectory else None
 
         breakpoints = self._breakpoints()
         bp_index = 0
@@ -211,6 +218,8 @@ class TransientAnalysis:
             times.append(t_new)
             history_x.append(x_new.copy())
             history_t.append(t_new)
+            if trajectory is not None:
+                trajectory.append(x_new.copy())
             if len(history_x) > 3:
                 history_x.pop(0)
                 history_t.pop(0)
@@ -240,4 +249,20 @@ class TransientAnalysis:
         stats["wall_time_s"] = _time.perf_counter() - wall_start
         stats["points"] = len(times)
         stats.update(workspace.statistics())
-        return TransientResult(np.asarray(times), data, statistics=stats)
+        return TransientResult(
+            np.asarray(times), data, statistics=stats,
+            trajectory=None if trajectory is None else np.asarray(trajectory))
+
+    def sensitivities(self, params, outputs, method: str = "adjoint",
+                      result: TransientResult | None = None):
+        """Exact final-time output sensitivities (discrete adjoint).
+
+        See :func:`repro.circuit.analysis.adjoint.transient_sensitivities`;
+        ``params`` are ``"device.param"`` strings, ``outputs`` canonical
+        unknown signal names.  Pass a ``result`` from a
+        ``record_trajectory=True`` run to avoid re-integrating.
+        """
+        from .adjoint import transient_sensitivities
+
+        return transient_sensitivities(self, params, outputs, method=method,
+                                       result=result)

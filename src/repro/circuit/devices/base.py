@@ -22,6 +22,7 @@ and from multiple analyses without interference.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Mapping
 
 from ...errors import DeviceError
 from ..mna import ACStampContext, StampContext
@@ -33,10 +34,40 @@ __all__ = ["Device", "TwoTerminalDevice"]
 class Device(ABC):
     """Abstract netlist device."""
 
+    #: Tunable-parameter protocol: maps public parameter name -> instance
+    #: attribute.  Subclasses list the parameters whose residual dependence
+    #: they can express through plain arithmetic -- the sensitivity layer
+    #: temporarily replaces these attributes with AD duals to obtain the
+    #: exact ``d residual / d parameter`` during a seeded assembly.
+    _TUNABLE: Mapping[str, str] = {}
+
     def __init__(self, name: str) -> None:
         if not name or not isinstance(name, str):
             raise DeviceError(f"device name must be a non-empty string, got {name!r}")
         self.name = name
+
+    # -- tunable parameters ------------------------------------------------------
+    def parameter_names(self) -> tuple[str, ...]:
+        """Parameters this device exposes to the sensitivity layer."""
+        return tuple(self._TUNABLE)
+
+    def get_parameter(self, name: str):
+        """Current value of a tunable parameter."""
+        attr = self._TUNABLE.get(name)
+        if attr is None:
+            raise DeviceError(
+                f"device {self.name!r} has no tunable parameter {name!r} "
+                f"(available: {sorted(self._TUNABLE) or 'none'})")
+        return getattr(self, attr)
+
+    def set_parameter(self, name: str, value) -> None:
+        """Set a tunable parameter; ``value`` may be an AD dual (seeding)."""
+        attr = self._TUNABLE.get(name)
+        if attr is None:
+            raise DeviceError(
+                f"device {self.name!r} has no tunable parameter {name!r} "
+                f"(available: {sorted(self._TUNABLE) or 'none'})")
+        setattr(self, attr, value)
 
     # -- topology ----------------------------------------------------------------
     @abstractmethod

@@ -222,7 +222,9 @@ class BehavioralDevice(Device):
                  behavior: Callable[[BehaviorContext], None],
                  params: Mapping[str, float] | None = None,
                  state_initials: Mapping[str, float] | None = None,
-                 extra_unknowns: Sequence[str] = ()) -> None:
+                 extra_unknowns: Sequence[str] = (),
+                 parameter_bindings: Mapping[str, tuple[object, str]] | None = None
+                 ) -> None:
         super().__init__(name)
         if not ports:
             raise DeviceError(f"behavioral device {name!r} needs at least one port")
@@ -235,6 +237,49 @@ class BehavioralDevice(Device):
         self.params = dict(params or {})
         self.state_initials = dict(state_initials or {})
         self.extra_unknowns = tuple(extra_unknowns)
+        #: Parameters the behaviour reads from an *owner object's attribute*
+        #: instead of (or in addition to) ``self.params`` -- e.g. a
+        #: transducer closure capturing its geometry.  ``set_parameter``
+        #: writes both places so the sensitivity layer can seed either kind.
+        self.parameter_bindings = dict(parameter_bindings or {})
+        #: False when the behaviour cannot propagate AD-dual *parameter*
+        #: values exactly (e.g. the energy-method transducer path, whose
+        #: internal gradient/Hessian machinery seeds its own dual space and
+        #: would silently contaminate or drop foreign seeds).  The
+        #: sensitivity layer refuses to dual-seed such devices.
+        self.dual_parameter_safe = True
+
+    # ------------------------------------------------------ tunable parameters
+    def parameter_names(self) -> tuple[str, ...]:
+        names = dict.fromkeys(self.params)
+        names.update(dict.fromkeys(self.parameter_bindings))
+        return tuple(names)
+
+    def get_parameter(self, name: str):
+        binding = self.parameter_bindings.get(name)
+        if binding is not None:
+            owner, attribute = binding
+            return getattr(owner, attribute)
+        if name in self.params:
+            return self.params[name]
+        raise DeviceError(
+            f"device {self.name!r} has no tunable parameter {name!r} "
+            f"(available: {sorted(self.parameter_names()) or 'none'})")
+
+    def set_parameter(self, name: str, value) -> None:
+        known = False
+        binding = self.parameter_bindings.get(name)
+        if binding is not None:
+            owner, attribute = binding
+            setattr(owner, attribute, value)
+            known = True
+        if name in self.params:
+            self.params[name] = value
+            known = True
+        if not known:
+            raise DeviceError(
+                f"device {self.name!r} has no tunable parameter {name!r} "
+                f"(available: {sorted(self.parameter_names()) or 'none'})")
 
     # ------------------------------------------------------------------ topology
     def port(self, name: str) -> Port:
@@ -298,9 +343,16 @@ class BehavioralDevice(Device):
     def stamp(self, ctx: StampContext) -> None:
         mode = "tran" if ctx.is_transient else "op"
         bctx, deps = self._run(mode, ctx, None, with_jacobian=ctx.want_jacobian)
+        keep_duals = ctx.keep_residual_duals
         for port_name, value in bctx.contributions.items():
             port = self._ports[port_name]
             ip, in_ = ctx.node_index(port.p), ctx.node_index(port.n)
+            if keep_duals:
+                # Sensitivity assembly: the context splits value/derivative
+                # parts itself (the dual here carries parameter/state seeds,
+                # not MNA-unknown seeds).
+                ctx.add_through(ip, in_, value)
+                continue
             plain = value.value if isinstance(value, Dual) else float(value)
             ctx.add_through(ip, in_, plain)
             if isinstance(value, Dual):
@@ -310,6 +362,9 @@ class BehavioralDevice(Device):
                         ctx.add_through_jac(ip, in_, idx, dval)
         for unknown_name, value in bctx.equations.items():
             row = ctx.aux_index(self, unknown_name)
+            if keep_duals:
+                ctx.add_res(row, value)
+                continue
             plain = value.value if isinstance(value, Dual) else float(value)
             ctx.add_res(row, plain)
             if isinstance(value, Dual):

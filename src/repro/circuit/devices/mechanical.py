@@ -39,6 +39,8 @@ class Mass(Capacitor):
     ``mass`` connected to ground.
     """
 
+    _TUNABLE = {"mass": "mass"}
+
     def __init__(self, name: str, node: Node, reference: Node, mass: float) -> None:
         if mass <= 0.0:
             raise DeviceError(f"mass {name!r}: mass must be positive")
@@ -47,6 +49,10 @@ class Mass(Capacitor):
                 f"mass {name!r}: a point mass must reference the inertial frame (ground)")
         super().__init__(name, node, reference, mass)
         self.mass = float(mass)
+
+    def set_parameter(self, name: str, value) -> None:
+        super().set_parameter(name, value)
+        self.capacitance = value  # the FI-analogy stamp reads the capacitance
 
     def record(self, ctx: StampContext) -> dict[str, float]:
         velocity = self.branch_across(ctx)
@@ -69,11 +75,17 @@ class Spring(Inductor):
     inductor with ``L = 1/k``.
     """
 
+    _TUNABLE = {"stiffness": "stiffness"}
+
     def __init__(self, name: str, p: Node, n: Node, stiffness: float) -> None:
         if stiffness <= 0.0:
             raise DeviceError(f"spring {name!r}: stiffness must be positive")
         super().__init__(name, p, n, 1.0 / stiffness)
         self.stiffness = float(stiffness)
+
+    def set_parameter(self, name: str, value) -> None:
+        super().set_parameter(name, value)
+        self.inductance = 1.0 / value  # the FI-analogy stamp reads L = 1/k
 
     def record(self, ctx: StampContext) -> dict[str, float]:
         force = ctx.aux_value(self, "i")
@@ -89,11 +101,17 @@ class Spring(Inductor):
 class Damper(Resistor):
     """Viscous damper ``f = alpha * (v(p) - v(n))`` (FI analogy: R = 1/alpha)."""
 
+    _TUNABLE = {"damping": "damping"}
+
     def __init__(self, name: str, p: Node, n: Node, damping: float) -> None:
         if damping <= 0.0:
             raise DeviceError(f"damper {name!r}: damping coefficient must be positive")
         super().__init__(name, p, n, 1.0 / damping)
         self.damping = float(damping)
+
+    def set_parameter(self, name: str, value) -> None:
+        super().set_parameter(name, value)
+        self.resistance = 1.0 / value  # the FI-analogy stamp reads R = 1/alpha
 
     def record(self, ctx: StampContext) -> dict[str, float]:
         return {f"f({self.name})": self.damping * self.branch_across(ctx)}

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 
+from ...ad import exp as _ad_exp, value_of
 from ...constants import THERMAL_VOLTAGE
 from ...errors import DeviceError
 from ..mna import ACStampContext, StampContext
@@ -26,6 +27,10 @@ _EXPLOSION_LIMIT = 80.0
 class Diode(TwoTerminalDevice):
     """Ideal exponential junction diode ``i = Is * (exp(v/(n*Vt)) - 1)``."""
 
+    _TUNABLE = {"saturation_current": "saturation_current",
+                "emission_coefficient": "emission_coefficient",
+                "vt": "vt"}
+
     def __init__(self, name: str, p: Node, n: Node, saturation_current: float = 1e-14,
                  emission_coefficient: float = 1.0, temperature_voltage: float = THERMAL_VOLTAGE) -> None:
         super().__init__(name, p, n)
@@ -37,17 +42,20 @@ class Diode(TwoTerminalDevice):
         self.emission_coefficient = float(emission_coefficient)
         self.vt = float(temperature_voltage)
 
-    def _current_and_conductance(self, v: float) -> tuple[float, float]:
+    def _current_and_conductance(self, v) -> tuple[float, float]:
+        # Written on dual-aware arithmetic so seeded sensitivity assemblies
+        # (v or the device parameters carrying AD duals) stay exact; plain
+        # floats take the identical math.exp path inside ad.exp.
         nvt = self.emission_coefficient * self.vt
         arg = v / nvt
-        if arg > _EXPLOSION_LIMIT:
+        if value_of(arg) > _EXPLOSION_LIMIT:
             # Linear continuation beyond the explosion limit keeps the Newton
             # update finite while preserving C1 continuity.
             exp_lim = math.exp(_EXPLOSION_LIMIT)
             current = self.saturation_current * (exp_lim * (1.0 + arg - _EXPLOSION_LIMIT) - 1.0)
             conductance = self.saturation_current * exp_lim / nvt
         else:
-            exp_term = math.exp(arg)
+            exp_term = _ad_exp(arg)
             current = self.saturation_current * (exp_term - 1.0)
             conductance = self.saturation_current * exp_term / nvt
         return current, conductance

@@ -20,6 +20,8 @@ __all__ = ["Resistor", "Capacitor", "Inductor"]
 class Resistor(TwoTerminalDevice):
     """Linear resistor ``i = (v(p) - v(n)) / R``."""
 
+    _TUNABLE = {"resistance": "resistance"}
+
     def __init__(self, name: str, p: Node, n: Node, resistance: float) -> None:
         super().__init__(name, p, n)
         if resistance <= 0.0:
@@ -63,6 +65,8 @@ class Capacitor(TwoTerminalDevice):
     initial voltage used when a transient analysis is started with
     ``use_ic=True`` (skip-OP start).
     """
+
+    _TUNABLE = {"capacitance": "capacitance"}
 
     def __init__(self, name: str, p: Node, n: Node, capacitance: float,
                  ic: float | None = None) -> None:
@@ -114,6 +118,8 @@ class Inductor(TwoTerminalDevice):
     positive flowing from ``p`` through the inductor to ``n``.  At DC the
     inductor is a short circuit.
     """
+
+    _TUNABLE = {"inductance": "inductance"}
 
     def __init__(self, name: str, p: Node, n: Node, inductance: float,
                  ic: float | None = None) -> None:

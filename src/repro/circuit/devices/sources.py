@@ -15,15 +15,45 @@ from __future__ import annotations
 
 import math
 
+from ...errors import DeviceError
 from ..mna import ACStampContext, StampContext
 from ..netlist import Node
-from ..waveforms import Waveform, ensure_waveform
+from ..waveforms import DC, Waveform, ensure_waveform
 from .base import TwoTerminalDevice
 
 __all__ = ["VoltageSource", "CurrentSource"]
 
 
-class VoltageSource(TwoTerminalDevice):
+class _DCLevelParameter:
+    """Shared ``"dc"`` tunable-parameter implementation for sources.
+
+    Only meaningful while the source carries a :class:`DC` waveform -- the
+    level then becomes a design/sensitivity parameter (e.g. the bias voltage
+    of an electrostatic transducer).  Time-shaped waveforms expose no
+    tunable parameters.
+    """
+
+    def parameter_names(self) -> tuple[str, ...]:
+        return ("dc",) if isinstance(self.waveform, DC) else ()
+
+    def get_parameter(self, name: str):
+        if name != "dc" or not isinstance(self.waveform, DC):
+            raise DeviceError(
+                f"source {self.name!r} has no tunable parameter {name!r} "
+                f"(only DC-waveform sources expose 'dc')")
+        return self.waveform.level
+
+    def set_parameter(self, name: str, value) -> None:
+        if name != "dc" or not isinstance(self.waveform, DC):
+            raise DeviceError(
+                f"source {self.name!r} has no tunable parameter {name!r} "
+                f"(only DC-waveform sources expose 'dc')")
+        # DC is a frozen dataclass with no coercion, so an AD dual survives
+        # and flows through ``waveform.value(t)`` into the stamp.
+        self.waveform = DC(value)
+
+
+class VoltageSource(_DCLevelParameter, TwoTerminalDevice):
     """Ideal independent voltage source; branch current is an aux unknown.
 
     The branch current is positive when flowing from ``p`` through the source
@@ -80,7 +110,7 @@ class VoltageSource(TwoTerminalDevice):
         return f"V={self.waveform.value(0.0):g} ({type(self.waveform).__name__})"
 
 
-class CurrentSource(TwoTerminalDevice):
+class CurrentSource(_DCLevelParameter, TwoTerminalDevice):
     """Ideal independent current source; current flows from ``p`` to ``n``."""
 
     def __init__(self, name: str, p: Node, n: Node, waveform: Waveform | float = 0.0,

@@ -86,12 +86,22 @@ class Integrator:
         #: values, but the pending states are still registered so that the
         #: first real step has a consistent history.
         self.priming = False
+        #: When True, :meth:`differentiate` / :meth:`integrate` additionally
+        #: keep the *unstripped* pending expressions (possibly AD duals) so
+        #: the sensitivity layer can read the exact dependence of every
+        #: dynamic state on the seeded unknowns/parameters.  Off by default:
+        #: the production analyses never pay for it.
+        self.capture_raw = False
         self._values: dict[Hashable, float] = {}
         self._derivs: dict[Hashable, float] = {}
         self._integrals: dict[Hashable, float] = {}
         self._pending_values: dict[Hashable, float] = {}
         self._pending_derivs: dict[Hashable, float] = {}
         self._pending_integrals: dict[Hashable, float] = {}
+        self._raw_values: dict[Hashable, object] = {}
+        self._raw_derivs: dict[Hashable, object] = {}
+        self._raw_integrals: dict[Hashable, object] = {}
+        self._raw_integrands: dict[Hashable, object] = {}
 
     # ------------------------------------------------------------------ setup
     def set_step(self, h: float) -> None:
@@ -150,6 +160,9 @@ class Integrator:
             derivative = 0.0 * value
             self._pending_values[key] = _plain(value)
             self._pending_derivs[key] = 0.0
+            if self.capture_raw:
+                self._raw_values[key] = value
+                self._raw_derivs[key] = derivative
             return derivative
         c0 = self.coefficient()
         old_value = self._values.get(key, _plain(value))
@@ -160,6 +173,9 @@ class Integrator:
             derivative = (value - old_value) * c0 - old_deriv
         self._pending_values[key] = _plain(value)
         self._pending_derivs[key] = _plain(derivative)
+        if self.capture_raw:
+            self._raw_values[key] = value
+            self._raw_derivs[key] = derivative
         return derivative
 
     def integrate(self, key: Hashable, value, initial: float = 0.0):
@@ -168,7 +184,10 @@ class Integrator:
         if self.priming:
             integral = 0.0 * value + old_integral
             self._pending_values[("integ", key)] = _plain(value)
-            self._pending_integrals[key] = old_integral
+            self._pending_integrals[key] = _plain(integral)
+            if self.capture_raw:
+                self._raw_integrands[key] = value
+                self._raw_integrals[key] = integral
             return integral
         old_value = self._values.get(("integ", key), _plain(value))
         if self.method == self.BACKWARD_EULER:
@@ -177,6 +196,9 @@ class Integrator:
             integral = old_integral + 0.5 * self.h * (value + old_value)
         self._pending_values[("integ", key)] = _plain(value)
         self._pending_integrals[key] = _plain(integral)
+        if self.capture_raw:
+            self._raw_integrands[key] = value
+            self._raw_integrals[key] = integral
         return integral
 
     def commit(self) -> None:
@@ -187,16 +209,85 @@ class Integrator:
         self._pending_values = {}
         self._pending_derivs = {}
         self._pending_integrals = {}
+        self.clear_raw()
 
     def discard(self) -> None:
         """Drop pending states after a rejected step."""
         self._pending_values = {}
         self._pending_derivs = {}
         self._pending_integrals = {}
+        self.clear_raw()
 
     def state_snapshot(self) -> dict[Hashable, float]:
         """Committed integral states (used to seed AC/record contexts)."""
         return dict(self._integrals)
+
+    # ------------------------------------------------------- sensitivity hooks
+    #: Slot kinds of the dynamic-state vector seen by the sensitivity layer:
+    #: ``value``/``deriv`` per ``ddt`` key and ``integral``/``integrand`` per
+    #: ``integ`` key -- together they are exactly the committed history the
+    #: next residual assembly reads.
+    STATE_KINDS = ("value", "deriv", "integral", "integrand")
+
+    def clear_raw(self) -> None:
+        """Drop the captured raw pending expressions (one assembly's worth)."""
+        self._raw_values = {}
+        self._raw_derivs = {}
+        self._raw_integrals = {}
+        self._raw_integrands = {}
+
+    def state_slots(self) -> list[tuple[str, Hashable]]:
+        """``(kind, key)`` identity of every captured dynamic-state slot.
+
+        Valid after a ``capture_raw`` assembly; the order is the (stable)
+        device stamping order, so repeated assemblies of one circuit
+        enumerate identical slots.
+        """
+        slots: list[tuple[str, Hashable]] = []
+        for key in self._raw_values:
+            slots.append(("value", key))
+            slots.append(("deriv", key))
+        for key in self._raw_integrals:
+            slots.append(("integral", key))
+            slots.append(("integrand", key))
+        return slots
+
+    def raw_pending(self, kind: str, key: Hashable):
+        """The captured (unstripped) pending expression of one state slot."""
+        store = {"value": self._raw_values, "deriv": self._raw_derivs,
+                 "integral": self._raw_integrals,
+                 "integrand": self._raw_integrands}[kind]
+        return store[key]
+
+    def committed_state(self, kind: str, key: Hashable):
+        """Read one committed state entry (the counterpart of
+        :meth:`override_state`); raises ``KeyError`` for unknown slots."""
+        if kind == "value":
+            return self._values[key]
+        if kind == "deriv":
+            return self._derivs[key]
+        if kind == "integral":
+            return self._integrals[key]
+        if kind == "integrand":
+            return self._values[("integ", key)]
+        raise AnalysisError(f"unknown integrator state kind {kind!r}")
+
+    def override_state(self, kind: str, key: Hashable, value) -> None:
+        """Replace one *committed* state entry (sensitivity seeding only).
+
+        ``value`` may be an AD dual; the next assembly then propagates the
+        dependence of the residual on this piece of integrator history.
+        """
+        if kind == "value":
+            self._values[key] = value
+        elif kind == "deriv":
+            self._derivs[key] = value
+        elif kind == "integral":
+            self._integrals[key] = value
+        elif kind == "integrand":
+            self._values[("integ", key)] = value
+        else:
+            raise AnalysisError(f"unknown integrator state kind {kind!r}")
 
 
 def _plain(value) -> float:
@@ -292,9 +383,15 @@ class MNASystem:
         ctx = StampContext(self, x, analysis=analysis, time=time,
                            integrator=integrator, options=options,
                            source_scale=source_scale, want_jacobian=want_jacobian)
+        return self.run_stamps(ctx)
+
+    def run_stamps(self, ctx: "StampContext") -> "StampContext":
+        """Drive every device stamp over an existing (possibly specialised)
+        context -- the sensitivity layer assembles through its dual-seeded
+        :class:`StampContext` subclasses this way."""
         for device in self.circuit:
             device.stamp(ctx)
-        ctx.apply_gmin(options.gmin)
+        ctx.apply_gmin(ctx.options.gmin)
         return ctx
 
     def assemble_ac(self, op_values: np.ndarray, omega: float,
@@ -311,6 +408,11 @@ class MNASystem:
 
 class StampContext:
     """Mutable assembly workspace handed to every device's :meth:`stamp`."""
+
+    #: When True (sensitivity assemblies), devices must hand residual
+    #: expressions to :meth:`add_res`/:meth:`add_through` *without* stripping
+    #: AD duals -- the context separates value and derivative parts itself.
+    keep_residual_duals = False
 
     def __init__(self, system: MNASystem, x: np.ndarray, analysis: str, time: float,
                  integrator: Integrator | None, options: "SimulationOptions",

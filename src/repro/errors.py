@@ -108,3 +108,8 @@ class CampaignError(ReproError):
 
 class OptimizationError(ReproError):
     """A design optimization / calibration problem is malformed or failed."""
+
+
+class SensitivityError(AnalysisError):
+    """An exact-sensitivity (adjoint/direct) computation is malformed or the
+    model cannot propagate the required parameter derivatives."""

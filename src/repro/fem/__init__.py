@@ -15,7 +15,10 @@ capability those extractions need, implemented from scratch on numpy/scipy:
 * :mod:`repro.fem.structural` -- Euler-Bernoulli beam / spring-mass models
   for mechanical stiffness and modal extraction,
 * :mod:`repro.fem.harmonic` -- harmonic (frequency-response) analysis used by
-  PXT's data-flow model generation.
+  PXT's data-flow model generation,
+* :mod:`repro.fem.sensitivity` -- exact adjoint/direct output sensitivities
+  of static and harmonic FE solves (assembly-level matrix derivatives +
+  factorization-free transposed solves).
 """
 
 from .mesh import RectangularMesh
@@ -23,6 +26,8 @@ from .electrostatics import ElectrostaticSolution, ParallelPlateProblem
 from .structural import CantileverBeam, SpringMassChain
 from .harmonic import (HarmonicResponse, harmonic_response,
                        interpolate_peak_frequency)
+from .sensitivity import (harmonic_sensitivities, matrix_derivatives,
+                          static_sensitivities)
 from .solver import solve_generalized_eig, solve_sparse
 
 __all__ = [
@@ -33,7 +38,10 @@ __all__ = [
     "SpringMassChain",
     "HarmonicResponse",
     "harmonic_response",
+    "harmonic_sensitivities",
     "interpolate_peak_frequency",
+    "matrix_derivatives",
     "solve_sparse",
     "solve_generalized_eig",
+    "static_sensitivities",
 ]

@@ -1,0 +1,208 @@
+"""Exact-solve sensitivities of FE static and harmonic analyses.
+
+The FE layer assembles parameterized matrices with vectorized numpy kernels
+(no scalar arithmetic for dual numbers to ride), so the *assembly*
+derivatives are formed by matrix-level central differences of the caller's
+assembly function -- two cheap re-assemblies per parameter, **no solves of
+any kind**.  Every linear solve stays exact and factorization-free beyond
+the forward solve: the implicit-function theorem is applied through
+:func:`repro.linalg.solve_sensitivities` on the forward factorization
+(adjoint: one transposed back-substitution per output DOF; direct: one
+forward back-substitution per parameter).
+
+Both entry points implement the cross-layer sensitivity protocol
+(:class:`~repro.linalg.SensitivityResult` /
+:class:`~repro.linalg.SpectralSensitivities`), mirroring the circuit
+analyses' ``sensitivities()`` methods.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import FEMError, LinAlgError
+from ..linalg import (FactorizedSolver, SensitivityResult,
+                      SpectralSensitivities, solve_sensitivities)
+
+__all__ = ["matrix_derivatives", "static_sensitivities",
+           "harmonic_sensitivities"]
+
+#: Relative parameter step of the matrix-level central differences.
+_ASSEMBLY_STEP = 1e-6
+
+
+def _as_tuple(assembled) -> tuple:
+    return assembled if isinstance(assembled, tuple) else (assembled,)
+
+
+def _dense(matrix) -> np.ndarray:
+    """Densify a (possibly sparse) matrix for the dense harmonic solver."""
+    if sp.issparse(matrix):
+        return matrix.toarray()
+    return np.asarray(matrix, dtype=float)
+
+
+def matrix_derivatives(assemble: Callable[[dict], object],
+                       params: Mapping[str, float],
+                       rel_step: float = _ASSEMBLY_STEP) -> list[tuple]:
+    """Central-difference derivatives of an assembly function's matrices.
+
+    ``assemble(params_dict)`` returns a matrix/vector or a tuple of them;
+    the result is one tuple of elementwise derivatives per parameter, in
+    ``params`` iteration order.  Sparse matrices stay sparse.  This is an
+    *assembly-level* differentiation -- it never solves anything, so its
+    cost is two re-assemblies per parameter.
+    """
+    if rel_step <= 0.0:
+        raise FEMError("rel_step must be positive")
+    base = {name: float(value) for name, value in params.items()}
+    derivatives: list[tuple] = []
+    for name in base:
+        value = base[name]
+        h = rel_step * (abs(value) if value != 0.0 else 1.0)
+        up = dict(base)
+        up[name] = value + h
+        down = dict(base)
+        down[name] = value - h
+        plus = _as_tuple(assemble(up))
+        minus = _as_tuple(assemble(down))
+        if len(plus) != len(minus):
+            raise FEMError("assemble returned tuples of different lengths")
+        derivatives.append(tuple(
+            (p - m) / (2.0 * h) for p, m in zip(plus, minus)))
+    return derivatives
+
+
+def _dof_selectors(n: int, output_dofs: Sequence[int] | None
+                   ) -> tuple[list[int], np.ndarray]:
+    if output_dofs is None:
+        dofs = list(range(n))
+    else:
+        dofs = [int(np.arange(n)[dof]) for dof in output_dofs]
+    selectors = np.zeros((len(dofs), n))
+    selectors[np.arange(len(dofs)), dofs] = 1.0
+    return dofs, selectors
+
+
+def static_sensitivities(assemble: Callable[[dict], tuple],
+                         params: Mapping[str, float],
+                         output_dofs: Sequence[int] | None = None,
+                         method: str = "auto",
+                         backend: str = "auto",
+                         rel_step: float = _ASSEMBLY_STEP
+                         ) -> SensitivityResult:
+    """Sensitivities of a static FE solve ``K(p) u = f(p)``.
+
+    ``assemble(params) -> (K, f)`` with ``K`` dense or sparse.  One
+    factorization and one forward solve total; adjoint outputs cost one
+    transposed back-substitution each, on the same factorization.  Output
+    names are ``u[<dof>]``.
+    """
+    base = {name: float(value) for name, value in params.items()}
+    assembled = _as_tuple(assemble(base))
+    if len(assembled) != 2:
+        raise FEMError("static assemble(params) must return (K, f)")
+    stiffness, force = assembled
+    n = stiffness.shape[0]
+    force = np.asarray(force, dtype=float)
+    if stiffness.shape != (n, n) or force.shape != (n,):
+        raise FEMError(
+            f"inconsistent static system: K {stiffness.shape}, f {force.shape}")
+    stats = {"field_solves": 1, "adjoint_solves": 0, "direct_solves": 0}
+    solver = FactorizedSolver(backend)
+    try:
+        factorization = solver.factorize(stiffness)
+        solution = factorization.solve(force)
+    except LinAlgError as exc:
+        raise FEMError(f"static FE solve failed: {exc}") from exc
+    dofs, selectors = _dof_selectors(n, output_dofs)
+    dres = np.zeros((n, len(base)))
+    for k, (d_stiffness, d_force) in enumerate(
+            matrix_derivatives(assemble, base, rel_step=rel_step)):
+        dres[:, k] = d_stiffness @ solution - np.asarray(d_force, dtype=float)
+    matrix = solve_sensitivities(factorization, selectors, dres,
+                                 method=method, stats=stats)
+    stats["factorizations"] = solver.factorizations
+    resolved = "adjoint" if stats["adjoint_solves"] else "direct"
+    return SensitivityResult(
+        outputs=tuple(f"u[{dof}]" for dof in dofs),
+        params=tuple(base), values=solution[dofs], matrix=matrix,
+        method=resolved, stats=stats)
+
+
+def harmonic_sensitivities(assemble: Callable[[dict], tuple],
+                           params: Mapping[str, float],
+                           frequencies: Iterable[float],
+                           drive_dof: int = -1,
+                           output_dofs: Sequence[int] | None = None,
+                           force_amplitude: float = 1.0,
+                           method: str = "auto",
+                           rel_step: float = _ASSEMBLY_STEP
+                           ) -> SpectralSensitivities:
+    """Sensitivities of the harmonic response ``(K + jwC - w^2 M) u = F``.
+
+    ``assemble(params) -> (M, C, K)`` (the
+    :func:`~repro.fem.harmonic.harmonic_response` matrix convention).  Per
+    frequency: one factorization + one forward solve, then one transposed
+    back-substitution per output DOF (adjoint) or one forward
+    back-substitution per parameter (direct) -- the parameter derivative of
+    the dynamic stiffness comes from assembly-level central differences of
+    ``(M, C, K)``, formed once and reused across the whole grid.  Output
+    names are ``u[<dof>]``.
+    """
+    base = {name: float(value) for name, value in params.items()}
+    assembled = _as_tuple(assemble(base))
+    if len(assembled) != 3:
+        raise FEMError("harmonic assemble(params) must return (M, C, K)")
+    # Sparse assemblies densify here: the harmonic path factors the dense
+    # dynamic-stiffness matrix per frequency anyway.
+    mass, damping, stiffness = (_dense(matrix) for matrix in assembled)
+    n = mass.shape[0]
+    for name, matrix in (("mass", mass), ("damping", damping),
+                         ("stiffness", stiffness)):
+        if matrix.shape != (n, n):
+            raise FEMError(f"{name} matrix must be {n}x{n}, got {matrix.shape}")
+    frequencies = np.asarray(list(frequencies), dtype=float)
+    if frequencies.size == 0:
+        raise FEMError("harmonic sensitivities need at least one frequency")
+    drive = int(np.arange(n)[drive_dof])
+    dofs, selectors = _dof_selectors(n, output_dofs)
+    derivatives = [tuple(_dense(matrix) for matrix in triple)
+                   for triple in matrix_derivatives(assemble, base,
+                                                    rel_step=rel_step)]
+    force = np.zeros(n, dtype=complex)
+    force[drive] = force_amplitude
+    stats = {"field_solves": 0, "adjoint_solves": 0, "direct_solves": 0}
+    solver = FactorizedSolver("dense")
+    values = np.zeros((frequencies.size, len(dofs)), dtype=complex)
+    matrix = np.zeros((frequencies.size, len(dofs), len(base)), dtype=complex)
+    resolved = method
+    for f, frequency in enumerate(frequencies):
+        omega = 2.0 * np.pi * float(frequency)
+        dynamic = stiffness + 1j * omega * damping - omega * omega * mass
+        try:
+            factorization = solver.factorize(dynamic)
+            solution = factorization.solve(force)
+        except LinAlgError as exc:
+            raise FEMError(
+                f"harmonic solve failed at f={frequency:g} Hz: {exc}") from exc
+        stats["field_solves"] += 1
+        values[f] = solution[dofs]
+        dres = np.zeros((n, len(base)), dtype=complex)
+        for k, (d_mass, d_damping, d_stiffness) in enumerate(derivatives):
+            d_dynamic = d_stiffness + 1j * omega * d_damping \
+                - omega * omega * d_mass
+            dres[:, k] = d_dynamic @ solution
+        point_stats: dict = {}
+        matrix[f] = solve_sensitivities(factorization, selectors, dres,
+                                        method=method, stats=point_stats)
+        stats["adjoint_solves"] += point_stats.get("adjoint_solves", 0)
+        stats["direct_solves"] += point_stats.get("direct_solves", 0)
+        resolved = "adjoint" if point_stats.get("adjoint_solves") else "direct"
+    stats["factorizations"] = solver.factorizations
+    return SpectralSensitivities(
+        frequencies, tuple(f"u[{dof}]" for dof in dofs), tuple(base),
+        values, matrix, resolved, stats)

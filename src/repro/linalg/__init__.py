@@ -21,15 +21,23 @@ semantics exposed on :class:`~repro.circuit.analysis.options.SimulationOptions`.
 
 from __future__ import annotations
 
+from . import metrics
 from .cache import FactorizationCache, matrix_fingerprint
+from .sensitivity import (SENSITIVITY_METHODS, SensitivityResult,
+                          SpectralSensitivities, solve_sensitivities)
 from .solvers import BACKENDS, Factorization, FactorizedSolver
 from .structure import StructureCache
 
 __all__ = [
     "BACKENDS",
+    "SENSITIVITY_METHODS",
     "Factorization",
     "FactorizedSolver",
     "FactorizationCache",
+    "SensitivityResult",
+    "SpectralSensitivities",
     "StructureCache",
     "matrix_fingerprint",
+    "metrics",
+    "solve_sensitivities",
 ]

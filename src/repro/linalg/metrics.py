@@ -1,0 +1,65 @@
+"""Process-wide aggregate counters of the linalg caching layers.
+
+Every :class:`~repro.linalg.solvers.FactorizedSolver`,
+:class:`~repro.linalg.cache.FactorizationCache` and
+:class:`~repro.linalg.structure.StructureCache` instance reports its events
+here in addition to its own per-instance counters.  The aggregate view is
+what crosses process boundaries: campaign pool workers snapshot the counters
+around each chunk and ship the *delta* back with the results, so a
+:class:`~repro.campaign.results.CampaignResult` can report how effective the
+factorization/pattern caches were across the whole fan-out -- even though
+the cache instances themselves live and die inside the workers.
+
+The counters are plain module-level integers (no locks): each process
+mutates only its own copy, and the deltas are merged by the campaign runner
+in the parent.
+"""
+
+from __future__ import annotations
+
+__all__ = ["COUNTER_NAMES", "record", "snapshot", "counter_delta",
+           "merge_counters", "reset"]
+
+#: Every aggregate counter, in reporting order.
+COUNTER_NAMES = (
+    "factorizations",
+    "factorization_cache_hits",
+    "factorization_cache_misses",
+    "factorization_cache_evictions",
+    "structure_rebuilds",
+    "structure_reuses",
+    "transpose_solves",
+)
+
+_counters: dict[str, int] = {name: 0 for name in COUNTER_NAMES}
+
+
+def record(name: str, amount: int = 1) -> None:
+    """Bump one aggregate counter (unknown names raise ``KeyError``)."""
+    _counters[name] += amount
+
+
+def snapshot() -> dict[str, int]:
+    """A copy of the current counter values."""
+    return dict(_counters)
+
+
+def counter_delta(before: dict[str, int],
+                  after: dict[str, int] | None = None) -> dict[str, int]:
+    """Per-counter difference ``after - before`` (``after`` defaults to now)."""
+    if after is None:
+        after = snapshot()
+    return {name: after.get(name, 0) - before.get(name, 0)
+            for name in COUNTER_NAMES}
+
+
+def merge_counters(total: dict[str, int], delta: dict[str, int]) -> None:
+    """Accumulate one delta into a running total, in place."""
+    for name in COUNTER_NAMES:
+        total[name] = total.get(name, 0) + int(delta.get(name, 0))
+
+
+def reset() -> None:
+    """Zero every aggregate counter (test isolation helper)."""
+    for name in COUNTER_NAMES:
+        _counters[name] = 0

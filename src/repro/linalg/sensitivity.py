@@ -1,0 +1,249 @@
+"""Implicit-function sensitivity solves shared by every analysis layer.
+
+For a converged implicit solve ``F(x, p) = 0`` with Jacobian ``J = dF/dx``
+and a linear output ``y_m = g_m . x``, the implicit-function theorem gives
+
+.. math::
+
+    \\frac{dy_m}{dp_k} = - g_m^T J^{-1} \\frac{\\partial F}{\\partial p_k}.
+
+Two evaluation orders exist, and both reuse the *forward* factorization of
+``J`` (no new factorization is ever paid):
+
+* **adjoint** -- one *transposed* back-substitution per output
+  (``lambda_m = J^{-T} g_m``, then ``dy_m/dp = -lambda_m^T dF/dp``):
+  the right choice when outputs are few and parameters many,
+* **direct** -- one forward back-substitution per parameter
+  (``s_k = -J^{-1} dF/dp_k``, then ``dy/dp_k = G s_k``): the right choice
+  when parameters are few and outputs many.
+
+``"auto"`` picks whichever needs fewer back-substitutions.  The circuit,
+FEM and ROM sensitivity entry points all funnel through
+:func:`solve_sensitivities`; the :class:`SensitivityResult` container they
+return is the cross-layer protocol the optimization layer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import LinAlgError
+from .solvers import Factorization
+
+__all__ = ["SENSITIVITY_METHODS", "SensitivityResult",
+           "SpectralSensitivities", "solve_sensitivities"]
+
+SENSITIVITY_METHODS = ("auto", "adjoint", "direct")
+
+
+def solve_sensitivities(factorization: Factorization, selectors: np.ndarray,
+                        dres_dp: np.ndarray, method: str = "auto",
+                        stats: dict | None = None) -> np.ndarray:
+    """``(M, P)`` output sensitivities of a factored implicit solve.
+
+    Parameters
+    ----------
+    factorization:
+        The (forward) factorization of the Jacobian ``dF/dx`` at the
+        converged solution.
+    selectors:
+        ``(M, n)`` output rows ``g_m`` (for plain unknown outputs these are
+        unit vectors).
+    dres_dp:
+        ``(n, P)`` residual parameter derivatives ``dF/dp`` at the solution.
+    method:
+        ``"adjoint"``, ``"direct"`` or ``"auto"`` (fewest back-substitutions).
+    stats:
+        Optional dict whose ``"adjoint_solves"`` / ``"direct_solves"``
+        counters are bumped by the number of transposed / forward
+        back-substitutions performed.
+    """
+    if method not in SENSITIVITY_METHODS:
+        raise LinAlgError(
+            f"unknown sensitivity method {method!r} "
+            f"(use one of {SENSITIVITY_METHODS})")
+    selectors = np.atleast_2d(np.asarray(selectors))
+    dres_dp = np.asarray(dres_dp)
+    if dres_dp.ndim != 2:
+        raise LinAlgError("dres_dp must be a (n, P) matrix")
+    n = factorization.shape[0]
+    if selectors.shape[1] != n or dres_dp.shape[0] != n:
+        raise LinAlgError(
+            f"selectors {selectors.shape} / dres_dp {dres_dp.shape} do not "
+            f"match the factored system size {n}")
+    num_outputs = selectors.shape[0]
+    num_params = dres_dp.shape[1]
+    if method == "auto":
+        method = "adjoint" if num_outputs <= num_params else "direct"
+    complex_result = np.iscomplexobj(dres_dp) or np.iscomplexobj(selectors)
+    dtype = complex if complex_result else float
+    out = np.zeros((num_outputs, num_params), dtype=dtype)
+    if method == "adjoint":
+        for m in range(num_outputs):
+            adjoint = factorization.solve_transposed(selectors[m])
+            out[m] = -(adjoint @ dres_dp)
+        if stats is not None:
+            stats["adjoint_solves"] = stats.get("adjoint_solves", 0) + num_outputs
+    else:
+        solution = factorization.solve(-dres_dp)
+        out[:] = selectors @ solution
+        if stats is not None:
+            stats["direct_solves"] = stats.get("direct_solves", 0) + num_params
+    return out
+
+
+@dataclass
+class SensitivityResult:
+    """Exact output/parameter sensitivities of one implicit solve.
+
+    This is the cross-layer sensitivity protocol: circuit operating points,
+    FE solves and ROM outputs all return one, and
+    :class:`repro.optim.objective.Objective` consumes the same shape through
+    the evaluator-side ``evaluate_with_gradient`` protocol.
+
+    Attributes
+    ----------
+    outputs:
+        Output names, in row order of :attr:`matrix`.
+    params:
+        Parameter names, in column order of :attr:`matrix`.
+    values:
+        ``(M,)`` output values at the solution.
+    matrix:
+        ``(M, P)`` derivatives ``d output_m / d param_k``.
+    method:
+        ``"adjoint"`` or ``"direct"`` -- what actually ran.
+    stats:
+        Solve instrumentation (``newton_solves``, ``adjoint_solves``,
+        ``direct_solves``, ``factorizations``, ...).
+    """
+
+    outputs: tuple[str, ...]
+    params: tuple[str, ...]
+    values: np.ndarray
+    matrix: np.ndarray
+    method: str = "adjoint"
+    stats: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.outputs = tuple(self.outputs)
+        self.params = tuple(self.params)
+        self.values = np.asarray(self.values)
+        self.matrix = np.atleast_2d(np.asarray(self.matrix))
+        if self.matrix.shape != (len(self.outputs), len(self.params)):
+            raise LinAlgError(
+                f"sensitivity matrix has shape {self.matrix.shape}, expected "
+                f"({len(self.outputs)}, {len(self.params)})")
+
+    # ------------------------------------------------------------------ access
+    def _output_index(self, output: str) -> int:
+        try:
+            return self.outputs.index(output)
+        except ValueError:
+            known = ", ".join(self.outputs)
+            raise KeyError(
+                f"unknown output {output!r}; available: {known}") from None
+
+    def value(self, output: str):
+        """Output value at the solution."""
+        return self.values[self._output_index(output)]
+
+    def gradient(self, output: str) -> dict[str, float]:
+        """``{param: d output / d param}`` for one output."""
+        row = self.matrix[self._output_index(output)]
+        return {name: row[k] for k, name in enumerate(self.params)}
+
+    def derivative(self, output: str, param: str):
+        """One entry ``d output / d param``."""
+        row = self.matrix[self._output_index(output)]
+        try:
+            return row[self.params.index(param)]
+        except ValueError:
+            known = ", ".join(self.params)
+            raise KeyError(
+                f"unknown parameter {param!r}; available: {known}") from None
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        """``{output: {param: derivative}}`` for every output."""
+        return {name: self.gradient(name) for name in self.outputs}
+
+    def values_dict(self) -> Mapping[str, float]:
+        """``{output: value}`` at the solution."""
+        return {name: self.values[m] for m, name in enumerate(self.outputs)}
+
+    def __repr__(self) -> str:
+        return (f"SensitivityResult({len(self.outputs)} outputs x "
+                f"{len(self.params)} params, method={self.method!r})")
+
+
+class SpectralSensitivities:
+    """Per-frequency complex sensitivities of a spectral (harmonic/AC) solve.
+
+    ``matrix[f]`` is the complex ``(M, P)`` derivative of the output phasors
+    at frequency index ``f``; :meth:`magnitude_matrix` converts to
+    derivatives of ``|y|`` -- the quantity resonance/level specifications
+    differentiate.  Shared by the circuit AC sweep, the FE harmonic solver
+    and the ROM harmonic outputs.
+    """
+
+    def __init__(self, frequencies: np.ndarray, outputs, params,
+                 values: np.ndarray, matrix: np.ndarray, method: str,
+                 stats: dict) -> None:
+        self.frequencies = np.asarray(frequencies, dtype=float)
+        self.outputs = tuple(outputs)
+        self.params = tuple(params)
+        #: ``(F, M)`` complex output phasors.
+        self.values = np.asarray(values, dtype=complex)
+        #: ``(F, M, P)`` complex phasor derivatives.
+        self.matrix = np.asarray(matrix, dtype=complex)
+        self.method = method
+        self.stats = dict(stats)
+        expected = (self.frequencies.size, len(self.outputs),
+                    len(self.params))
+        if self.matrix.shape != expected:
+            raise LinAlgError(
+                f"spectral sensitivity matrix has shape {self.matrix.shape}, "
+                f"expected {expected}")
+
+    def at(self, index: int) -> SensitivityResult:
+        """The (complex) :class:`SensitivityResult` of one frequency point."""
+        return SensitivityResult(self.outputs, self.params,
+                                 self.values[index], self.matrix[index],
+                                 method=self.method, stats=self.stats)
+
+    def derivative(self, output: str, param: str) -> np.ndarray:
+        """Complex ``d y / d param`` trace of one output over frequency."""
+        m = self.outputs.index(output)
+        k = self.params.index(param)
+        return self.matrix[:, m, k]
+
+    def magnitude(self, output: str) -> np.ndarray:
+        """``|y|`` of one output over frequency."""
+        return np.abs(self.values[:, self.outputs.index(output)])
+
+    def magnitude_matrix(self) -> np.ndarray:
+        """``(F, M, P)`` derivatives of the output *magnitudes*.
+
+        ``d|y|/dp = Re(conj(y) * dy/dp) / |y|`` (zero-magnitude points
+        produce zero derivative rather than NaN).
+        """
+        magnitude = np.abs(self.values)
+        safe = np.where(magnitude == 0.0, 1.0, magnitude)
+        return np.real(np.conj(self.values)[:, :, None] * self.matrix) \
+            / safe[:, :, None]
+
+    def magnitude_derivative(self, output: str, param: str) -> np.ndarray:
+        """``d|y|/dp`` trace of one output over frequency."""
+        m = self.outputs.index(output)
+        k = self.params.index(param)
+        phasor = self.values[:, m]
+        magnitude = np.abs(phasor)
+        safe = np.where(magnitude == 0.0, 1.0, magnitude)
+        return np.real(np.conj(phasor) * self.matrix[:, m, k]) / safe
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}({self.frequencies.size} frequencies, "
+                f"{len(self.outputs)} outputs x {len(self.params)} params)")

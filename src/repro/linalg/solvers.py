@@ -38,6 +38,7 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from ..errors import LinAlgError
+from . import metrics
 
 __all__ = ["Factorization", "FactorizedSolver", "BACKENDS"]
 
@@ -56,9 +57,23 @@ class Factorization:
 
     def __init__(self, shape: tuple[int, int]) -> None:
         self.shape = shape
+        #: Number of transposed back-substitutions performed (adjoint-solve
+        #: instrumentation: the sensitivity layer counts these).
+        self.transpose_solves = 0
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         """Back-substitute one right-hand side (or a column block)."""
+        raise NotImplementedError
+
+    def solve_transposed(self, rhs: np.ndarray) -> np.ndarray:
+        """Back-substitute against ``A^T`` using the *same* factorization.
+
+        This is the primitive behind adjoint sensitivities: the transposed
+        system reuses the forward LU (LAPACK ``trans`` flag, SuperLU
+        ``trans='T'``), so an adjoint solve never pays a second
+        factorization.  The plain (non-conjugated) transpose is used for
+        complex matrices -- the form the implicit-function theorem needs.
+        """
         raise NotImplementedError
 
     def _check_rhs(self, rhs: np.ndarray) -> np.ndarray:
@@ -94,6 +109,22 @@ class _DenseLU(Factorization):
         rhs = self._check_rhs(rhs)
         return la.lu_solve((self._lu, self._piv), rhs, check_finite=False)
 
+    def solve_transposed(self, rhs: np.ndarray) -> np.ndarray:
+        rhs = self._check_rhs(rhs)
+        self.transpose_solves += 1
+        metrics.record("transpose_solves")
+        if np.iscomplexobj(rhs) and not np.iscomplexobj(self._lu):
+            # Real factorization, complex right-hand side: two real passes.
+            return la.lu_solve((self._lu, self._piv),
+                               np.ascontiguousarray(rhs.real),
+                               trans=1, check_finite=False) \
+                + 1j * la.lu_solve((self._lu, self._piv),
+                                   np.ascontiguousarray(rhs.imag),
+                                   trans=1, check_finite=False)
+        # trans=1 is the plain transpose (no conjugation) for complex LUs.
+        return la.lu_solve((self._lu, self._piv), rhs, trans=1,
+                           check_finite=False)
+
 
 class _SparseLU(Factorization):
     """SuperLU factorization of a sparse (real or complex) matrix."""
@@ -126,6 +157,23 @@ class _SparseLU(Factorization):
                 "(singular system; missing boundary conditions?)")
         return solution
 
+    def solve_transposed(self, rhs: np.ndarray) -> np.ndarray:
+        rhs = self._check_rhs(rhs)
+        self.transpose_solves += 1
+        metrics.record("transpose_solves")
+        if self._complex:
+            solution = self._lu.solve(np.asarray(rhs, dtype=complex), trans="T")
+        elif np.iscomplexobj(rhs):
+            solution = self._lu.solve(np.ascontiguousarray(rhs.real), trans="T") \
+                + 1j * self._lu.solve(np.ascontiguousarray(rhs.imag), trans="T")
+        else:
+            solution = self._lu.solve(np.asarray(rhs, dtype=float), trans="T")
+        if not np.all(np.isfinite(solution)):
+            raise LinAlgError(
+                "sparse transposed solve produced non-finite values "
+                "(singular system; missing boundary conditions?)")
+        return solution
+
 
 class _JacobiCG(Factorization):
     """Jacobi-preconditioned conjugate gradients with optional direct fallback.
@@ -150,6 +198,7 @@ class _JacobiCG(Factorization):
         self._rtol = float(rtol)
         self._fallback_allowed = bool(fallback)
         self._direct: _SparseLU | None = None
+        self._symmetric: bool | None = None
         #: Number of right-hand sides answered by the direct fallback.
         self.fallback_solves = 0
         self._preconditioner = None
@@ -186,6 +235,37 @@ class _JacobiCG(Factorization):
             self._direct = _SparseLU(self._matrix)
         self.fallback_solves += 1
         return self._direct.solve(rhs)
+
+    def _is_symmetric(self) -> bool:
+        if self._symmetric is None:
+            difference = (self._matrix - self._matrix.T).tocoo()
+            if difference.nnz == 0:
+                self._symmetric = True
+            else:
+                scale = float(np.abs(self._matrix.data).max()) \
+                    if self._matrix.nnz else 1.0
+                self._symmetric = bool(
+                    np.abs(difference.data).max() <= 1e-14 * max(scale, 1e-300))
+        return self._symmetric
+
+    def solve_transposed(self, rhs: np.ndarray) -> np.ndarray:
+        rhs = self._check_rhs(rhs)
+        self.transpose_solves += 1
+        metrics.record("transpose_solves")
+        if self._direct is None:
+            if self._is_symmetric():
+                # A^T == A: the transposed solve IS the forward CG solve.
+                return self.solve(rhs)
+            # Non-symmetric matrix (e.g. an MNA Jacobian routed through the
+            # cg backend): CG never applied, and silently answering the
+            # forward system would corrupt adjoint gradients.
+            if not self._fallback_allowed:
+                raise LinAlgError(
+                    "cg transposed solve needs a symmetric matrix "
+                    "(A^T != A and the direct fallback is disabled)")
+            self._direct = _SparseLU(self._matrix)
+        self.fallback_solves += 1
+        return self._direct.solve_transposed(rhs)
 
 
 class FactorizedSolver:
@@ -228,6 +308,7 @@ class FactorizedSolver:
             raise LinAlgError(f"system matrix must be square, got {shape}")
         backend = self.resolve_backend(matrix)
         self.factorizations += 1
+        metrics.record("factorizations")
         if backend == "dense":
             dense = matrix.toarray() if sp.issparse(matrix) else np.asarray(matrix)
             return _DenseLU(dense)

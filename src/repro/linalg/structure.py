@@ -23,6 +23,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..errors import LinAlgError
+from . import metrics
 
 __all__ = ["StructureCache"]
 
@@ -72,6 +73,7 @@ class StructureCache:
             self._rebuild(rows, cols, n)
         else:
             self.reuses += 1
+            metrics.record("structure_reuses")
         data = np.bincount(self._mapping, weights=values,
                            minlength=self._nnz) if values.size else \
             np.zeros(self._nnz)
@@ -113,6 +115,7 @@ class StructureCache:
         ).astype(np.int32, copy=False)
         self.generation += 1
         self.rebuilds += 1
+        metrics.record("structure_rebuilds")
 
     def __repr__(self) -> str:
         return (f"StructureCache(n={self._n}, nnz={self._nnz}, "

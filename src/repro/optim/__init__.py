@@ -10,6 +10,9 @@ makes it *search* one:
   with transforms, content-addressed memoization
   (:class:`~repro.campaign.cache.ResultCache`) and forward-AD gradients
   (dual seeding) with a finite-difference fallback,
+* :mod:`repro.optim.penalty` -- :class:`PenaltyObjective` /
+  :func:`minimize_with_penalty` fold general inequality constraints into
+  the objective by escalating quadratic penalties,
 * :mod:`repro.optim.solvers` -- derivative-free :class:`NelderMead` and
   projected :class:`GradientDescent` with backtracking line search,
 * :mod:`repro.optim.multistart` -- :class:`MultiStart` fans seeded local
@@ -35,6 +38,7 @@ Quickstart::
 
 from .objective import Objective
 from .multistart import MultiStart, MultiStartResult, StartEvaluator
+from .penalty import Constraint, PenaltyObjective, minimize_with_penalty
 from .solvers import GradientDescent, NelderMead, OptimResult
 from .surrogate import SurrogateResult, SurrogateStrategy
 from .transforms import Parameter, ParameterSpace
@@ -50,6 +54,9 @@ __all__ = [
     "MultiStart",
     "MultiStartResult",
     "StartEvaluator",
+    "Constraint",
+    "PenaltyObjective",
+    "minimize_with_penalty",
     "SurrogateStrategy",
     "SurrogateResult",
     "YieldOptimizer",

@@ -13,9 +13,20 @@ An :class:`Objective` binds
   evaluator identity (via :func:`repro.campaign.runner.evaluator_payload`),
   the fixed config, the parameter space and the decoded point, so restarted
   or multi-start optimizations never pay twice for the same design,
-* **gradients**: forward-AD by dual-seeding the decoded parameters through
-  the evaluator (exact, one pass), with a central finite-difference fallback
-  for evaluators that cannot propagate duals (e.g. a full Newton solve).
+* **gradients**, in three exactness tiers:
+
+  - ``"adjoint"`` -- the evaluator implements the sensitivity protocol
+    (``evaluate_with_gradient(params) -> (result, gradients)``, e.g.
+    :class:`repro.circuit.analysis.sensitivity.CircuitSensitivityEvaluator`
+    or anything built on :class:`repro.linalg.SensitivityResult`): exact
+    gradients *through implicit solves* at the cost of one forward solve
+    plus adjoint back-substitutions -- independent of the parameter count,
+  - ``"ad"`` -- forward-AD by dual-seeding the decoded parameters through
+    the evaluator (exact, one pass; requires dual-propagating evaluators),
+  - ``"fd"`` -- central finite differences (``2n`` extra evaluations).
+
+  ``"auto"`` (default) picks the best available: adjoint when the evaluator
+  exposes the protocol, else AD with automatic FD demotion.
 
 Counters (:attr:`evaluations`, :attr:`cache_hits`) report how many *real*
 model evaluations were spent -- the currency the surrogate benchmark pins.
@@ -30,12 +41,12 @@ import numpy as np
 from ..ad import Dual
 from ..campaign.cache import ResultCache, canonicalize, scenario_key
 from ..campaign.runner import evaluator_payload
-from ..errors import OptimizationError
+from ..errors import OptimizationError, SensitivityError
 from .transforms import ParameterSpace
 
 __all__ = ["Objective"]
 
-_GRADIENT_MODES = ("ad", "fd", "auto")
+_GRADIENT_MODES = ("adjoint", "ad", "fd", "auto")
 
 
 class Objective:
@@ -66,9 +77,11 @@ class Objective:
     cache:
         Optional :class:`ResultCache` for content-addressed memoization.
     gradient:
-        ``"ad"`` (dual seeding, raise if the evaluator cannot propagate),
-        ``"fd"`` (central differences), or ``"auto"`` (try AD once, fall
-        back to FD for this objective if the evaluator rejects duals).
+        ``"adjoint"`` (the evaluator must implement
+        ``evaluate_with_gradient``), ``"ad"`` (dual seeding, raise if the
+        evaluator cannot propagate), ``"fd"`` (central differences), or
+        ``"auto"`` (adjoint when the evaluator offers it, else AD with
+        automatic FD demotion if the evaluator rejects duals).
     fd_step:
         Relative finite-difference step in internal coordinates.
     """
@@ -88,6 +101,10 @@ class Objective:
                 "target must be non-zero (the miss is measured relative to it)")
         if fd_step <= 0.0:
             raise OptimizationError("fd_step must be positive")
+        if gradient == "adjoint" and not self._has_sensitivity_protocol(fn):
+            raise OptimizationError(
+                "gradient='adjoint' needs an evaluator implementing "
+                "evaluate_with_gradient(params) -> (result, gradients)")
         self.fn = fn
         self.space = space
         self.config = dict(config or {})
@@ -100,6 +117,15 @@ class Objective:
         self.evaluations = 0
         self.cache_hits = 0
         self.ad_failures = 0
+        #: Gradients served by the evaluator's adjoint/sensitivity protocol.
+        self.adjoint_gradients = 0
+        #: Adjoint attempts the model rejected (auto mode demotes to AD/FD).
+        self.adjoint_failures = 0
+        self._adjoint_demoted = False
+
+    @staticmethod
+    def _has_sensitivity_protocol(fn) -> bool:
+        return callable(getattr(fn, "evaluate_with_gradient", None))
 
     # ------------------------------------------------------------------ identity
     def cache_payload(self) -> dict:
@@ -119,7 +145,9 @@ class Objective:
 
     def statistics(self) -> dict[str, int]:
         return {"evaluations": self.evaluations, "cache_hits": self.cache_hits,
-                "ad_failures": self.ad_failures}
+                "ad_failures": self.ad_failures,
+                "adjoint_gradients": self.adjoint_gradients,
+                "adjoint_failures": self.adjoint_failures}
 
     # ------------------------------------------------------------------ raw calls
     def _call_raw(self, params: dict):
@@ -188,6 +216,27 @@ class Objective:
             if row is not None:
                 self.cache_hits += 1
                 return float(row["value"]), np.asarray(row["grad"], dtype=float)
+        if self.gradient == "adjoint" or (
+                self.gradient == "auto" and not self._adjoint_demoted
+                and self._has_sensitivity_protocol(self.fn)):
+            try:
+                value, grad = self._adjoint_gradient(z)
+            except SensitivityError as exc:
+                # The model cannot serve exact parameter sensitivities here
+                # (e.g. an energy-method transducer device).  In auto mode
+                # fall back to the plain-call gradient tiers; an explicit
+                # adjoint request stays a hard error.
+                if self.gradient == "adjoint":
+                    raise OptimizationError(
+                        f"adjoint gradient failed: {exc}") from exc
+                self.adjoint_failures += 1
+                self._adjoint_demoted = True
+                value, grad = self.value_and_gradient(z)
+            if key is not None and np.isfinite(value) \
+                    and np.all(np.isfinite(grad)):
+                self.cache.put(key, {"value": value,
+                                     "grad": [float(g) for g in grad]})
+            return value, grad
         if self.gradient in ("ad", "auto"):
             try:
                 value, grad = self._ad_gradient(z)
@@ -212,6 +261,62 @@ class Objective:
         if key is not None and np.isfinite(value) and np.all(np.isfinite(grad)):
             self.cache.put(key, {"value": value, "grad": [float(g) for g in grad]})
         return value, grad
+
+    def _adjoint_gradient(self, z) -> tuple[float, np.ndarray]:
+        """Exact gradient through the evaluator's sensitivity protocol.
+
+        ``evaluate_with_gradient`` returns the same shape the plain call
+        would (scalar or mapping selected by ``output``) plus matching
+        gradients ``{param: d}`` (scalar) / ``{output: {param: d}}``
+        (mapping).  The adjoint machinery behind the protocol makes this
+        cost one forward solve regardless of the parameter count; here only
+        the bound/log transform and goal shaping are chained on top.
+        """
+        params = self.space.decode(z)
+        result = self.fn.evaluate_with_gradient({**self.config, **params})
+        self.evaluations += 1
+        self.adjoint_gradients += 1
+        try:
+            values, gradients = result
+        except (TypeError, ValueError):
+            raise OptimizationError(
+                "evaluate_with_gradient must return (result, gradients), "
+                f"got {type(result).__name__}") from None
+        if isinstance(values, Mapping):
+            if self.output is None:
+                raise OptimizationError(
+                    "the evaluator returned a mapping; construct the "
+                    "Objective with output=<name> to select an entry")
+            try:
+                raw = values[self.output]
+                grad_map = gradients[self.output]
+            except KeyError:
+                known = ", ".join(sorted(map(str, values)))
+                raise OptimizationError(
+                    f"evaluator output {self.output!r} not found "
+                    f"(available: {known})") from None
+        else:
+            raw, grad_map = values, gradients
+        if not isinstance(grad_map, Mapping):
+            raise OptimizationError(
+                "evaluate_with_gradient gradients must map parameter names "
+                f"to derivatives, got {type(grad_map).__name__}")
+        missing = [name for name in self.space.names if name not in grad_map]
+        if missing:
+            raise OptimizationError(
+                f"evaluator gradient is missing parameter(s) {missing}; "
+                "report 0.0 for genuinely independent parameters")
+        # Chain rule through the bound/log transforms: decode_dual's
+        # derivative parts are exactly d p_i / d z_i.
+        duals = self.space.decode_dual(z)
+        deriv = np.array([
+            float(grad_map[name]) * float(duals[name].deriv[i])
+            for i, name in enumerate(self.space.names)])
+        shaped = self._shape(Dual(float(raw), deriv))
+        if isinstance(shaped, Dual):
+            return float(shaped.value), np.asarray(shaped.deriv,
+                                                   dtype=float).copy()
+        return float(shaped), deriv
 
     def _ad_gradient(self, z) -> tuple[float, np.ndarray]:
         duals = self.space.decode_dual(z)

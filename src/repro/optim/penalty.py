@@ -1,0 +1,256 @@
+"""Inequality constraints by quadratic (exterior) penalty escalation.
+
+The solvers in :mod:`repro.optim.solvers` handle box bounds only (by
+projection onto the unit cube).  General inequality constraints --
+"pull-in margin >= X while the area stays <= Y" -- are folded into the
+objective here with the classic quadratic exterior penalty:
+
+.. math::
+
+    \\Phi_w(z) = f(z) + w \\sum_c \\max(0, v_c(p(z)))^2
+
+where ``v_c`` is the (scaled) violation of constraint ``c``.  A finite
+weight ``w`` leaves a small residual violation; :func:`minimize_with_penalty`
+therefore escalates the weight geometrically (the augmented-quadratic
+sequential scheme) until the solution is feasible to tolerance, warm-starting
+every round from the previous optimum.
+
+:class:`PenaltyObjective` exposes the same protocol the local solvers
+consume (``space``/``value``/``value_and_gradient``), so it drops into
+:class:`~repro.optim.solvers.NelderMead`,
+:class:`~repro.optim.solvers.GradientDescent`,
+:class:`~repro.optim.multistart.MultiStart` and
+:class:`~repro.optim.surrogate.SurrogateStrategy` unchanged.  Constraint
+gradients chain through the bound/log transforms by dual seeding (exact for
+closed-form constraint functions), with a central-difference fallback for
+constraints that cannot propagate duals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..ad import Dual
+from ..errors import OptimizationError
+from .objective import Objective
+from .solvers import NelderMead, OptimResult
+
+__all__ = ["Constraint", "PenaltyObjective", "minimize_with_penalty"]
+
+
+@dataclass
+class Constraint:
+    """One inequality constraint on the physical parameters.
+
+    ``fn(params_dict)`` evaluates the constrained quantity; feasibility is
+    ``lower <= fn(p) <= upper`` (either bound may be omitted).  ``scale``
+    normalizes the violation (defaults to ``max(|bound|, 1)`` per side) so
+    constraints of different magnitudes see comparable penalty weights.
+    For AD-exact penalty gradients ``fn`` must propagate
+    :class:`~repro.ad.Dual` parameter values; otherwise the wrapper falls
+    back to central differences for that constraint.
+    """
+
+    fn: Callable[[dict], object]
+    lower: float | None = None
+    upper: float | None = None
+    scale: float | None = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not callable(self.fn):
+            raise OptimizationError("constraint fn must be callable")
+        if self.lower is None and self.upper is None:
+            raise OptimizationError(
+                f"constraint {self.name or self.fn!r} needs a lower and/or "
+                "upper bound")
+        if self.lower is not None and self.upper is not None \
+                and self.lower > self.upper:
+            raise OptimizationError(
+                f"constraint {self.name!r}: lower bound exceeds upper bound")
+        if self.scale is not None and self.scale <= 0.0:
+            raise OptimizationError("constraint scale must be positive")
+        if not self.name:
+            self.name = getattr(self.fn, "__name__", "constraint")
+
+    def _scale_for(self, bound: float) -> float:
+        return self.scale if self.scale is not None else max(abs(bound), 1.0)
+
+    def violation(self, params: Mapping[str, object]):
+        """Scaled violation (0 when feasible); dual-valued for dual params."""
+        value = self.fn(dict(params))
+        violation = 0.0
+        if self.lower is not None:
+            deficit = (self.lower - value) / self._scale_for(self.lower)
+            if float(getattr(deficit, "value", deficit)) > 0.0:
+                violation = violation + deficit
+        if self.upper is not None:
+            excess = (value - self.upper) / self._scale_for(self.upper)
+            if float(getattr(excess, "value", excess)) > 0.0:
+                violation = violation + excess
+        return violation
+
+
+class PenaltyObjective:
+    """A bounded objective plus quadratically penalized inequality constraints.
+
+    Parameters
+    ----------
+    objective:
+        The underlying :class:`~repro.optim.objective.Objective` (its
+        evaluation counters and caching keep working unchanged).
+    constraints:
+        The :class:`Constraint` list.
+    weight:
+        Penalty weight ``w`` (see :func:`minimize_with_penalty` for the
+        escalating sequence that drives violations to zero).
+    fd_step:
+        Internal-coordinate step of the constraint-gradient fallback.
+    """
+
+    def __init__(self, objective: Objective, constraints,
+                 weight: float = 1e3, fd_step: float = 1e-7) -> None:
+        if not isinstance(objective, Objective):
+            raise OptimizationError(
+                "PenaltyObjective wraps a repro.optim Objective")
+        self.objective = objective
+        self.constraints = list(constraints)
+        if not self.constraints:
+            raise OptimizationError("at least one constraint is required")
+        for constraint in self.constraints:
+            if not isinstance(constraint, Constraint):
+                raise OptimizationError(
+                    f"constraints must be Constraint instances, got "
+                    f"{type(constraint).__name__}")
+        if weight <= 0.0:
+            raise OptimizationError("penalty weight must be positive")
+        if fd_step <= 0.0:
+            raise OptimizationError("fd_step must be positive")
+        self.weight = float(weight)
+        self.fd_step = float(fd_step)
+
+    # ------------------------------------------------------------------ protocol
+    @property
+    def space(self):
+        return self.objective.space
+
+    @property
+    def evaluations(self) -> int:
+        return self.objective.evaluations
+
+    def constraint_violations(self, z) -> np.ndarray:
+        """Scaled violations of every constraint at internal coordinates."""
+        params = self.space.decode(self.space.clip(z))
+        return np.array([float(getattr(v, "value", v)) for v in
+                         (c.violation(params) for c in self.constraints)])
+
+    def max_violation(self, z) -> float:
+        """The worst scaled constraint violation (0 when feasible)."""
+        violations = self.constraint_violations(z)
+        return float(violations.max()) if violations.size else 0.0
+
+    def _penalty(self, params) -> float:
+        total = 0.0
+        for constraint in self.constraints:
+            violation = constraint.violation(params)
+            violation = float(getattr(violation, "value", violation))
+            total += violation * violation
+        return self.weight * total
+
+    def value(self, z) -> float:
+        z = self.space.clip(z)
+        return self.objective.value(z) + self._penalty(self.space.decode(z))
+
+    def __call__(self, z) -> float:
+        return self.value(z)
+
+    def value_and_gradient(self, z) -> tuple[float, np.ndarray]:
+        z = self.space.clip(z)
+        value, grad = self.objective.value_and_gradient(z)
+        penalty, penalty_grad = self._penalty_and_gradient(z)
+        return value + penalty, grad + penalty_grad
+
+    # ------------------------------------------------------------------ internals
+    def _penalty_and_gradient(self, z) -> tuple[float, np.ndarray]:
+        duals = self.space.decode_dual(z)
+        total = 0.0
+        grad = np.zeros(self.space.size)
+        for constraint in self.constraints:
+            try:
+                violation = constraint.violation(duals)
+            except (TypeError, ValueError):
+                violation = None  # constraint cannot carry duals
+            if isinstance(violation, Dual):
+                total += violation.value ** 2
+                grad += 2.0 * violation.value * np.real(violation.deriv)
+                continue
+            if violation is not None and float(violation) == 0.0:
+                continue  # inactive constraint: no penalty, no gradient
+            # Active constraint whose fn dropped the duals (or rejected
+            # them): central differences on the squared violation.
+            total_k, grad_k = self._fd_violation_sq(constraint, z)
+            total += total_k
+            grad += grad_k
+        return self.weight * total, self.weight * grad
+
+    def _fd_violation_sq(self, constraint: Constraint,
+                         z) -> tuple[float, np.ndarray]:
+        def squared(at) -> float:
+            params = self.space.decode(self.space.clip(at))
+            violation = constraint.violation(params)
+            violation = float(getattr(violation, "value", violation))
+            return violation * violation
+
+        base = squared(z)
+        grad = np.zeros(self.space.size)
+        for i in range(self.space.size):
+            forward = np.array(z, dtype=float)
+            backward = np.array(z, dtype=float)
+            forward[i] = min(forward[i] + self.fd_step, 1.0)
+            backward[i] = max(backward[i] - self.fd_step, 0.0)
+            span = forward[i] - backward[i]
+            if span > 0.0:
+                grad[i] = (squared(forward) - squared(backward)) / span
+        return base, grad
+
+    def __repr__(self) -> str:
+        names = ", ".join(c.name for c in self.constraints)
+        return (f"PenaltyObjective({self.objective!r} s.t. [{names}], "
+                f"weight={self.weight:g})")
+
+
+def minimize_with_penalty(objective: Objective, constraints, solver=None,
+                          x0=None, initial_weight: float = 10.0,
+                          growth: float = 10.0, max_rounds: int = 6,
+                          feasibility_tol: float = 1e-6
+                          ) -> tuple[OptimResult, PenaltyObjective]:
+    """Sequential quadratic-penalty minimization until feasible.
+
+    Solves a sequence of :class:`PenaltyObjective` problems with
+    geometrically increasing weight, warm-starting each round from the
+    previous optimum, and stops as soon as the worst scaled violation falls
+    below ``feasibility_tol``.  Returns the final round's
+    :class:`~repro.optim.solvers.OptimResult` plus the last penalty
+    objective (whose :meth:`~PenaltyObjective.max_violation` the caller can
+    re-check).
+    """
+    if growth <= 1.0:
+        raise OptimizationError("growth must exceed 1")
+    if max_rounds < 1:
+        raise OptimizationError("max_rounds must be at least 1")
+    solver = solver or NelderMead()
+    weight = float(initial_weight)
+    start = x0
+    result = None
+    penalized = None
+    for _ in range(max_rounds):
+        penalized = PenaltyObjective(objective, constraints, weight=weight)
+        result = solver.minimize(penalized, x0=start)
+        start = result.x
+        if penalized.max_violation(result.x) <= feasibility_tol:
+            break
+        weight *= growth
+    return result, penalized

@@ -193,8 +193,15 @@ class ParameterSpace:
         return {"parameters": [p.payload() for p in self.parameters]}
 
     def _checked(self, z) -> np.ndarray:
-        z = np.asarray(z, dtype=float)
+        try:
+            z = np.asarray(z, dtype=float)
+        except (TypeError, ValueError) as exc:
+            raise OptimizationError(
+                f"design vector for {self!r} must be numeric: {exc}") from exc
         if z.shape != (self.size,):
             raise OptimizationError(
-                f"internal vector must have shape ({self.size},), got {z.shape}")
+                f"design vector for {self!r} must have exactly one entry per "
+                f"parameter -- expected shape ({self.size},) for "
+                f"({', '.join(self.names)}), got shape {z.shape}; "
+                "decode/decode_dual never broadcast or truncate")
         return z

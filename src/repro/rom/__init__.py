@@ -35,6 +35,10 @@ from .modal import modal_rom
 from .krylov import krylov_rom, second_order_arnoldi
 from .convert import (BeamROMEvaluator, rom_device, rom_from_beam,
                       rom_from_chain, rom_from_matrices, rom_to_hdl)
+from .sensitivity import (dc_gain_sensitivities,
+                          harmonic_output_sensitivities,
+                          project_matrix_derivatives,
+                          rom_output_sensitivities)
 
 __all__ = [
     "ReducedModel",
@@ -48,4 +52,8 @@ __all__ = [
     "rom_device",
     "rom_to_hdl",
     "BeamROMEvaluator",
+    "dc_gain_sensitivities",
+    "harmonic_output_sensitivities",
+    "project_matrix_derivatives",
+    "rom_output_sensitivities",
 ]

@@ -221,14 +221,27 @@ class ConservativeTransducer(ABC):
             extra = ("i",)
         else:
             raise TransducerError(f"unknown drive kind {self.drive_kind!r}")
-        return BehavioralDevice(
+        device = BehavioralDevice(
             name,
             ports,
             behavior,
             params=self.parameters(),
             state_initials={"x": float(x0)},
             extra_unknowns=extra,
+            parameter_bindings={
+                generic: (self, attribute)
+                for generic, attribute in self.parameter_attributes().items()
+            },
         )
+        #: Back-reference for introspection (which transducer produced this
+        #: device); the parameter bindings above keep the device's tunable
+        #: parameters and the transducer attributes in lock-step.
+        device.transducer = self
+        #: The energy-method behaviour differentiates the co-energy with its
+        #: own dual/Hessian machinery and cannot carry foreign parameter
+        #: seeds; only the closed-form behaviour is exactly dual-seedable.
+        device.dual_parameter_safe = bool(closed_form)
+        return device
 
     def add_to_circuit(self, circuit: Circuit, name: str, elec_p: str, elec_n: str,
                        mech_p: str, mech_n: str, **kwargs) -> BehavioralDevice:
@@ -245,6 +258,20 @@ class ConservativeTransducer(ABC):
     @abstractmethod
     def parameters(self) -> dict[str, float]:
         """Constructor parameters (the HDL-A generics) as a dictionary."""
+
+    def parameter_attributes(self) -> dict[str, str]:
+        """Tunable generic name -> instance attribute mapping.
+
+        These are the parameters the sensitivity layer can seed with AD
+        duals on a built device (physical constants like ``e0``/``mu0`` are
+        deliberately excluded).  The behaviour closures read the attributes
+        directly, so a seeded attribute flows through the closed-form
+        evaluation by the chain rule -- which requires the device to be
+        built with ``closed_form=True`` (the energy-method path
+        finite-differences its Hessian on plain floats and cannot carry
+        foreign seeds).
+        """
+        return {}
 
     def __repr__(self) -> str:
         params = ", ".join(f"{k}={v:g}" for k, v in self.parameters().items())

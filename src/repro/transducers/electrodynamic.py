@@ -101,6 +101,9 @@ class ElectrodynamicTransducer(ConservativeTransducer):
             "mu0": self.mu_0,
         }
 
+    def parameter_attributes(self) -> dict[str, str]:
+        return {"N": "turns", "r": "radius", "B": "b_field"}
+
     # ------------------------------------------------------------ behaviour
     def _behavior_current_driven(self, closed_form: bool, x0: float):
         """Gyrator behaviour: overrides the energy-method default.

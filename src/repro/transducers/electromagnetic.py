@@ -88,3 +88,6 @@ class ElectromagneticTransducer(ConservativeTransducer):
             "d": self.gap,
             "mu0": self.mu_0,
         }
+
+    def parameter_attributes(self) -> dict[str, str]:
+        return {"A": "area", "N": "turns", "d": "gap"}

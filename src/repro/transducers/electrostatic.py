@@ -139,6 +139,9 @@ class TransverseElectrostaticTransducer(ConservativeTransducer):
             "e0": self.epsilon_0,
         }
 
+    def parameter_attributes(self) -> dict[str, str]:
+        return {"A": "area", "d": "gap", "er": "epsilon_r"}
+
 
 class LateralElectrostaticTransducer(ConservativeTransducer):
     """Parallel (sliding-plate / comb-like) electrostatic transducer (fig. 2b).
@@ -204,3 +207,6 @@ class LateralElectrostaticTransducer(ConservativeTransducer):
             "er": value_of(self.epsilon_r),
             "e0": self.epsilon_0,
         }
+
+    def parameter_attributes(self) -> dict[str, str]:
+        return {"h": "depth", "l": "length", "d": "gap", "er": "epsilon_r"}

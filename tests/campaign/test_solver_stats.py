@@ -1,0 +1,98 @@
+"""Aggregation of linalg cache counters into CampaignResult.solver_stats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.campaign import CampaignResult, CampaignRow, CampaignRunner, GridSweep
+from repro.campaign.runner import CircuitEvaluator
+from repro.circuit import Circuit
+from repro.circuit.devices.passive import Resistor
+from repro.circuit.devices.sources import VoltageSource
+from repro.linalg import FactorizationCache, metrics
+
+
+def build_divider(params: dict) -> Circuit:
+    circuit = Circuit()
+    n_in = circuit.electrical_node("in")
+    n_out = circuit.electrical_node("out")
+    circuit.add(VoltageSource("V1", n_in, circuit.ground, 5.0))
+    circuit.add(Resistor("R1", n_in, n_out, float(params["r_top"])))
+    circuit.add(Resistor("R2", n_out, circuit.ground, 1e3))
+    return circuit
+
+
+def cached_evaluator(point: dict) -> dict:
+    """Evaluator that exercises the FactorizationCache inside workers."""
+    cache = FactorizationCache(maxsize=4)
+    matrix = np.eye(3) * float(point["v"])
+    cache.factorize(matrix)
+    cache.factorize(matrix)  # second call is a guaranteed hit
+    solution = cache.solve(matrix, np.ones(3))
+    return {"x0": float(solution[0])}
+
+
+class TestMetricsModule:
+    def test_record_snapshot_delta(self):
+        before = metrics.snapshot()
+        metrics.record("factorizations", 3)
+        delta = metrics.counter_delta(before)
+        assert delta["factorizations"] == 3
+        assert delta["structure_reuses"] == 0
+
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(KeyError):
+            metrics.record("bogus")
+
+    def test_merge(self):
+        total = {name: 1 for name in metrics.COUNTER_NAMES}
+        metrics.merge_counters(total, {"factorizations": 4})
+        assert total["factorizations"] == 5
+
+
+class TestCampaignAggregation:
+    SPEC = GridSweep(v=[1.0, 2.0, 3.0, 4.0])
+
+    def test_serial_counts_cache_traffic(self):
+        result = CampaignRunner("serial").run(self.SPEC, cached_evaluator)
+        stats = result.solver_stats
+        # Per point: 2 hits (the repeat factorize + the cached solve),
+        # 1 miss, 1 real factorization.
+        assert stats["factorization_cache_hits"] == 2 * len(self.SPEC.points())
+        assert stats["factorization_cache_misses"] == len(self.SPEC.points())
+        assert stats["factorizations"] == len(self.SPEC.points())
+
+    def test_pool_matches_serial(self):
+        serial = CampaignRunner("serial").run(self.SPEC, cached_evaluator)
+        pool = CampaignRunner("pool", processes=2).run(self.SPEC,
+                                                       cached_evaluator)
+        assert pool.solver_stats == serial.solver_stats
+
+    def test_circuit_evaluator_factorizations_visible(self):
+        evaluator = CircuitEvaluator(build_divider, outputs=("v(out)",))
+        spec = GridSweep(r_top=[5e2, 1e3, 2e3])
+        result = CampaignRunner("serial").run(spec, evaluator)
+        assert result.solver_stats["factorizations"] >= 3
+
+    def test_solver_summary_rates(self):
+        result = CampaignRunner("serial").run(self.SPEC, cached_evaluator)
+        summary = result.solver_summary()
+        assert summary["factorization_cache_hit_rate"] == pytest.approx(2 / 3)
+        assert summary["structure_reuse_rate"] == 0.0
+
+    def test_repr_mentions_factorizations(self):
+        result = CampaignRunner("serial").run(self.SPEC, cached_evaluator)
+        assert "factorizations" in repr(result)
+
+    def test_derived_results_have_empty_stats(self):
+        result = CampaignRunner("serial").run(self.SPEC, cached_evaluator)
+        filtered = result.filter(lambda row: row["v"] > 2.0)
+        assert filtered.solver_stats == {}
+        summary = filtered.solver_summary()
+        assert summary["factorization_cache_hit_rate"] == 0.0
+
+    def test_manual_construction_defaults_empty(self):
+        row = CampaignRow(0, {"v": 1.0}, {"y": 2.0})
+        result = CampaignResult([row])
+        assert result.solver_stats == {}

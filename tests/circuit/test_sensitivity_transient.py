@@ -1,0 +1,226 @@
+"""Transient discrete-adjoint sensitivities vs tangent-linear vs central FD."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, SimulationOptions, TransientAnalysis
+from repro.circuit.analysis.sensitivity import resolve_parameters
+from repro.circuit.devices.mechanical import Damper, Mass, Spring
+from repro.circuit.devices.passive import Capacitor, Inductor, Resistor
+from repro.circuit.devices.sources import VoltageSource
+from repro.errors import SensitivityError
+from repro.transducers import TransverseElectrostaticTransducer
+
+OPTIONS = SimulationOptions(reltol=1e-8, abstol=1e-16, vntol=1e-12)
+
+
+# --------------------------------------------------------------------------- #
+# linear RLC: both integrator state kinds (ddt via C and aux-ddt via L)       #
+# --------------------------------------------------------------------------- #
+
+RLC_PARAMS = ("V1.dc", "R1.resistance", "C1.capacitance", "R2.resistance",
+              "L1.inductance")
+RLC_OUTPUTS = ("v(n2)", "i(L1)")
+
+
+def build_rlc() -> Circuit:
+    circuit = Circuit()
+    n1 = circuit.electrical_node("n1")
+    n2 = circuit.electrical_node("n2")
+    n3 = circuit.electrical_node("n3")
+    ground = circuit.ground
+    circuit.add(VoltageSource("V1", n1, ground, 2.0))
+    circuit.add(Resistor("R1", n1, n2, 1e3))
+    circuit.add(Capacitor("C1", n2, ground, 1e-6))
+    circuit.add(Resistor("R2", n2, n3, 2e3))
+    circuit.add(Inductor("L1", n3, ground, 0.1))
+    return circuit
+
+
+def rlc_analysis(circuit: Circuit) -> TransientAnalysis:
+    # Mid-settling horizon: the outputs still move, so no derivative is
+    # degenerate (comparisons stay meaningful).
+    return TransientAnalysis(circuit, t_stop=8e-4, t_step=1.6e-5,
+                             options=OPTIONS)
+
+
+def rlc_fd() -> np.ndarray:
+    def finals(offsets):
+        circuit = build_rlc()
+        refs = resolve_parameters(circuit, RLC_PARAMS)
+        for ref, offset in zip(refs, offsets):
+            ref.device.set_parameter(ref.parameter, ref.value + offset)
+        result = rlc_analysis(circuit).run()
+        return np.array([result.final(name) for name in RLC_OUTPUTS])
+
+    refs = resolve_parameters(build_rlc(), RLC_PARAMS)
+    matrix = np.zeros((len(RLC_OUTPUTS), len(RLC_PARAMS)))
+    for k, ref in enumerate(refs):
+        step = 1e-5 * abs(ref.value)
+        offsets = np.zeros(len(RLC_PARAMS))
+        offsets[k] = step
+        matrix[:, k] = (finals(offsets) - finals(-offsets)) / (2.0 * step)
+    return matrix
+
+
+class TestTransientLinear:
+    def test_adjoint_matches_central_fd(self):
+        analysis = rlc_analysis(build_rlc())
+        result = analysis.sensitivities(RLC_PARAMS, RLC_OUTPUTS,
+                                        method="adjoint")
+        reference = rlc_fd()
+        scale = np.abs(reference).max(axis=1, keepdims=True)
+        np.testing.assert_allclose(result.matrix / scale, reference / scale,
+                                   rtol=1e-5, atol=1e-7)
+        assert result.method == "adjoint"
+
+    def test_direct_agrees_with_adjoint(self):
+        analysis = rlc_analysis(build_rlc())
+        run = TransientAnalysis(build_rlc(), t_stop=8e-4, t_step=1.6e-5,
+                                options=OPTIONS, record_trajectory=True).run()
+        adjoint = analysis.sensitivities(RLC_PARAMS, RLC_OUTPUTS,
+                                         method="adjoint", result=run)
+        direct = analysis.sensitivities(RLC_PARAMS, RLC_OUTPUTS,
+                                        method="direct", result=run)
+        scale = np.abs(adjoint.matrix).max(axis=1, keepdims=True)
+        np.testing.assert_allclose(direct.matrix / scale,
+                                   adjoint.matrix / scale,
+                                   rtol=1e-8, atol=1e-9)
+        # Passing a recorded trajectory avoids the re-integration entirely.
+        assert adjoint.stats["transient_solves"] == 0
+
+    def test_replay_factorizations_are_mostly_cache_hits(self):
+        analysis = rlc_analysis(build_rlc())
+        result = analysis.sensitivities(RLC_PARAMS, ["v(n2)"])
+        stats = result.stats
+        assert stats["transient_solves"] == 1
+        # A linear circuit's Jacobian only changes with the step size: the
+        # replay factors a handful of matrices and rides them.
+        assert stats["factor_cache_hits"] > 5 * stats["factorizations"]
+
+    def test_values_are_final_signals(self):
+        analysis = TransientAnalysis(build_rlc(), t_stop=8e-4, t_step=1.6e-5,
+                                     options=OPTIONS, record_trajectory=True)
+        run = analysis.run()
+        result = analysis.sensitivities(RLC_PARAMS, RLC_OUTPUTS, result=run)
+        for m, name in enumerate(RLC_OUTPUTS):
+            assert result.values[m] == pytest.approx(run.final(name))
+
+    def test_trajectory_recording_flag(self):
+        with_flag = TransientAnalysis(build_rlc(), t_stop=4e-4,
+                                      t_step=1.6e-5, options=OPTIONS,
+                                      record_trajectory=True).run()
+        without = TransientAnalysis(build_rlc(), t_stop=4e-4, t_step=1.6e-5,
+                                    options=OPTIONS).run()
+        assert without.trajectory is None
+        assert with_flag.trajectory is not None
+        assert with_flag.trajectory.shape[0] == with_flag.time.size
+        np.testing.assert_allclose(with_flag.trajectory[:, 1],
+                                   with_flag["v(n2)"])
+
+
+# --------------------------------------------------------------------------- #
+# nonlinear transducer: integ states, behavioral coupling, DC-start chain     #
+# --------------------------------------------------------------------------- #
+
+XDCR_PARAMS = ("V1.dc", "R1.resistance", "XT.A", "XT.d", "XT.er",
+               "K1.stiffness", "M1.mass", "B1.damping")
+XDCR_OUTPUTS = ("i(K1)", "v(n2)")
+
+
+def build_transducer() -> Circuit:
+    circuit = Circuit()
+    n1 = circuit.electrical_node("n1")
+    n2 = circuit.electrical_node("n2")
+    ground = circuit.ground
+    circuit.add(VoltageSource("V1", n1, ground, 8.0))
+    circuit.add(Resistor("R1", n1, n2, 1e4))
+    nm = circuit.mechanical_node("nm")
+    transducer = TransverseElectrostaticTransducer(
+        area=4e-8, gap=2e-6, gap_orientation="closing")
+    transducer.add_to_circuit(circuit, "XT", "n2", "0", "nm", "0",
+                              closed_form=True)
+    circuit.add(Mass("M1", nm, ground, 1e-9))
+    circuit.add(Spring("K1", nm, ground, 5.0))
+    circuit.add(Damper("B1", nm, ground, 2e-5))
+    return circuit
+
+
+def transducer_analysis(circuit: Circuit) -> TransientAnalysis:
+    return TransientAnalysis(circuit, t_stop=1.5e-5, t_step=3e-7,
+                             options=OPTIONS)
+
+
+class TestTransientTransducer:
+    @pytest.fixture(scope="class")
+    def adjoint(self):
+        analysis = transducer_analysis(build_transducer())
+        return analysis.sensitivities(XDCR_PARAMS, XDCR_OUTPUTS,
+                                      method="adjoint")
+
+    @pytest.fixture(scope="class")
+    def fd_reference(self):
+        base_stats = transducer_analysis(build_transducer()).run().statistics
+
+        def finals(offsets):
+            circuit = build_transducer()
+            refs = resolve_parameters(circuit, XDCR_PARAMS)
+            for ref, offset in zip(refs, offsets):
+                ref.device.set_parameter(ref.parameter, ref.value + offset)
+            result = transducer_analysis(circuit).run()
+            # The discrete adjoint differentiates at the fixed accepted step
+            # sequence; the FD reference is only valid while perturbations
+            # leave that sequence unchanged.
+            assert result.statistics["accepted"] == base_stats["accepted"]
+            return np.array([result.final(name) for name in XDCR_OUTPUTS])
+
+        refs = resolve_parameters(build_transducer(), XDCR_PARAMS)
+        matrix = np.zeros((len(XDCR_OUTPUTS), len(XDCR_PARAMS)))
+        for k, ref in enumerate(refs):
+            step = 1e-6 * abs(ref.value)
+            offsets = np.zeros(len(XDCR_PARAMS))
+            offsets[k] = step
+            matrix[:, k] = (finals(offsets) - finals(-offsets)) / (2.0 * step)
+        return matrix
+
+    def test_adjoint_matches_central_fd(self, adjoint, fd_reference):
+        # Compare row-relative: entries whose true value is ~0 (e.g. the
+        # electrical node's dependence on mechanical parameters) sit at the
+        # solver noise floor in both methods.
+        scale = np.abs(fd_reference).max(axis=1, keepdims=True)
+        np.testing.assert_allclose(adjoint.matrix / scale,
+                                   fd_reference / scale,
+                                   rtol=1e-4, atol=1e-6)
+
+    def test_direct_agrees_with_adjoint(self, adjoint):
+        direct = transducer_analysis(build_transducer()).sensitivities(
+            XDCR_PARAMS, XDCR_OUTPUTS, method="direct")
+        scale = np.abs(adjoint.matrix).max(axis=1, keepdims=True)
+        np.testing.assert_allclose(direct.matrix / scale,
+                                   adjoint.matrix / scale,
+                                   rtol=1e-6, atol=1e-8)
+
+    def test_geometry_gradient_signs(self, adjoint):
+        # A larger plate area pulls harder -> larger (negative-displacement)
+        # spring force magnitude; a larger rest gap weakens the pull.
+        d_area = adjoint.derivative("i(K1)", "XT.A")
+        d_gap = adjoint.derivative("i(K1)", "XT.d")
+        assert d_area * d_gap < 0.0
+
+
+class TestTransientGuards:
+    def test_bad_method_rejected(self):
+        analysis = rlc_analysis(build_rlc())
+        with pytest.raises(SensitivityError, match="unknown transient"):
+            analysis.sensitivities(RLC_PARAMS, RLC_OUTPUTS, method="newton")
+
+    def test_use_ic_skips_dc_chain(self):
+        # With use_ic=True the start point is parameter-independent; the
+        # V1.dc gradient must then come from the stepping alone.
+        circuit = build_rlc()
+        analysis = TransientAnalysis(circuit, t_stop=4e-4, t_step=1.6e-5,
+                                     use_ic=True, options=OPTIONS)
+        result = analysis.sensitivities(["V1.dc"], ["v(n2)"])
+        assert np.isfinite(result.matrix).all()

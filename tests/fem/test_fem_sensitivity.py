@@ -1,0 +1,140 @@
+"""FE static/harmonic sensitivities vs central FD of full re-solves."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import FEMError
+from repro.fem import (CantileverBeam, harmonic_response,
+                       harmonic_sensitivities, matrix_derivatives,
+                       static_sensitivities)
+
+BASE = {"thickness": 2e-6, "length": 300e-6}
+
+
+def assemble_mck(params):
+    beam = CantileverBeam(length=params["length"], width=20e-6,
+                          thickness=params["thickness"],
+                          youngs_modulus=160e9, density=2330.0, elements=10)
+    stiffness, mass = beam.assemble()
+    return mass, 1e-9 * stiffness, stiffness
+
+
+def assemble_static(params):
+    _, _, stiffness = assemble_mck(params)
+    force = np.zeros(stiffness.shape[0])
+    force[-2] = 1e-6
+    return stiffness, force
+
+
+class TestMatrixDerivatives:
+    def test_dense_matches_manual_fd(self):
+        def build(params):
+            return np.array([[params["a"] ** 2, 0.0],
+                             [0.0, 3.0 * params["a"]]])
+
+        (derivative,), = matrix_derivatives(build, {"a": 2.0})
+        np.testing.assert_allclose(derivative, [[4.0, 0.0], [0.0, 3.0]],
+                                   rtol=1e-8)
+
+    def test_sparse_stays_sparse(self):
+        def build(params):
+            return sp.csr_matrix(np.array([[params["a"], 0.0], [0.0, 1.0]]))
+
+        (derivative,), = matrix_derivatives(build, {"a": 3.0})
+        assert sp.issparse(derivative)
+        np.testing.assert_allclose(derivative.toarray(),
+                                   [[1.0, 0.0], [0.0, 0.0]], atol=1e-9)
+
+    def test_bad_step_rejected(self):
+        with pytest.raises(FEMError, match="rel_step"):
+            matrix_derivatives(lambda p: np.eye(2), {"a": 1.0}, rel_step=0.0)
+
+
+class TestStaticSensitivities:
+    def test_tip_deflection_matches_fd(self):
+        result = static_sensitivities(assemble_static, BASE,
+                                      output_dofs=[-2])
+        assert result.stats["field_solves"] == 1
+        assert result.stats["factorizations"] == 1
+
+        def tip(params):
+            stiffness, force = assemble_static(params)
+            return np.linalg.solve(stiffness, force)[-2]
+
+        for k, name in enumerate(BASE):
+            step = 1e-5 * BASE[name]
+            up = dict(BASE)
+            up[name] += step
+            down = dict(BASE)
+            down[name] -= step
+            fd = (tip(up) - tip(down)) / (2.0 * step)
+            assert result.matrix[0, k] == pytest.approx(fd, rel=1e-4)
+
+    def test_adjoint_and_direct_agree(self):
+        adjoint = static_sensitivities(assemble_static, BASE,
+                                       output_dofs=[-2], method="adjoint")
+        direct = static_sensitivities(assemble_static, BASE,
+                                      output_dofs=[-2], method="direct")
+        np.testing.assert_allclose(adjoint.matrix, direct.matrix, rtol=1e-9)
+        assert adjoint.stats["adjoint_solves"] == 1
+        assert direct.stats["direct_solves"] == len(BASE)
+
+    def test_bad_assembler_rejected(self):
+        with pytest.raises(FEMError, match="must return"):
+            static_sensitivities(lambda p: np.eye(3), BASE)
+
+
+class TestHarmonicSensitivities:
+    FREQUENCIES = [1e4, 6e4]
+
+    def test_matches_fd_of_full_response(self):
+        result = harmonic_sensitivities(assemble_mck, BASE, self.FREQUENCIES,
+                                        drive_dof=-2, output_dofs=[-2])
+
+        def response(params, frequency):
+            mass, damping, stiffness = assemble_mck(params)
+            return harmonic_response(mass, damping, stiffness, [frequency],
+                                     drive_dof=-2).displacements[0, -2]
+
+        for f, frequency in enumerate(self.FREQUENCIES):
+            for k, name in enumerate(BASE):
+                step = 1e-5 * BASE[name]
+                up = dict(BASE)
+                up[name] += step
+                down = dict(BASE)
+                down[name] -= step
+                fd = (response(up, frequency) - response(down, frequency)) \
+                    / (2.0 * step)
+                assert result.matrix[f, 0, k] == pytest.approx(fd, rel=2e-4)
+
+    def test_values_match_forward_solve(self):
+        result = harmonic_sensitivities(assemble_mck, BASE, self.FREQUENCIES,
+                                        drive_dof=-2, output_dofs=[-2])
+        mass, damping, stiffness = assemble_mck(BASE)
+        reference = harmonic_response(mass, damping, stiffness,
+                                      self.FREQUENCIES, drive_dof=-2)
+        np.testing.assert_allclose(result.values[:, 0],
+                                   reference.displacements[:, -2], rtol=1e-9)
+
+    def test_solve_accounting(self):
+        result = harmonic_sensitivities(assemble_mck, BASE, self.FREQUENCIES,
+                                        drive_dof=-2, output_dofs=[-2])
+        assert result.stats["field_solves"] == len(self.FREQUENCIES)
+        # One output, two params -> adjoint (one transposed solve per freq).
+        assert result.stats["adjoint_solves"] == len(self.FREQUENCIES)
+        assert result.stats["factorizations"] == len(self.FREQUENCIES)
+
+    def test_sparse_assembly_supported(self):
+        def sparse_mck(params):
+            mass, damping, stiffness = assemble_mck(params)
+            return (sp.csr_matrix(mass), sp.csr_matrix(damping),
+                    sp.csr_matrix(stiffness))
+
+        dense = harmonic_sensitivities(assemble_mck, BASE, [2e4],
+                                       drive_dof=-2, output_dofs=[-2])
+        sparse = harmonic_sensitivities(sparse_mck, BASE, [2e4],
+                                        drive_dof=-2, output_dofs=[-2])
+        np.testing.assert_allclose(sparse.matrix, dense.matrix, rtol=1e-10)

@@ -1,0 +1,184 @@
+"""Objective gradient='adjoint': the evaluator sensitivity protocol.
+
+Includes the four-way cross-check the sensitivity layer is built around:
+adjoint (protocol evaluator over a circuit solve) vs direct vs forward-AD
+(closed form on duals) vs central finite differences -- all computing the
+same physical gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, CircuitSensitivityEvaluator, SimulationOptions
+from repro.circuit.devices.passive import Resistor
+from repro.circuit.devices.sources import VoltageSource
+from repro.errors import OptimizationError
+from repro.optim import GradientDescent, MultiStart, Objective, ParameterSpace
+
+OPTIONS = SimulationOptions(reltol=1e-9, abstol=1e-15, vntol=1e-12)
+
+
+def build_divider(config) -> Circuit:
+    circuit = Circuit()
+    n_in = circuit.electrical_node("in")
+    n_out = circuit.electrical_node("out")
+    circuit.add(VoltageSource("V1", n_in, circuit.ground, 5.0))
+    circuit.add(Resistor("R1", n_in, n_out, 2e3))
+    circuit.add(Resistor("R2", n_out, circuit.ground, 2e3))
+    return circuit
+
+
+SPACE = ParameterSpace(rtop=(5e2, 1e4, "log"), rbot=(5e2, 1e4, "log"))
+
+
+def divider_evaluator() -> CircuitSensitivityEvaluator:
+    return CircuitSensitivityEvaluator(
+        build_divider, {"rtop": "R1.resistance", "rbot": "R2.resistance"},
+        outputs=("v(out)",), options=OPTIONS)
+
+
+def closed_form(params):
+    """The same divider as a dual-propagating closed form (forward AD)."""
+    return 5.0 * params["rbot"] / (params["rtop"] + params["rbot"])
+
+
+class TestProtocolSelection:
+    def test_auto_selects_adjoint_for_protocol_evaluators(self):
+        objective = Objective(divider_evaluator(), SPACE, output="v(out)")
+        z = np.array([0.4, 0.7])
+        value, gradient = objective.value_and_gradient(z)
+        assert objective.adjoint_gradients == 1
+        assert objective.statistics()["adjoint_gradients"] == 1
+        assert np.isfinite(gradient).all()
+
+    def test_explicit_adjoint_requires_protocol(self):
+        with pytest.raises(OptimizationError, match="evaluate_with_gradient"):
+            Objective(closed_form, SPACE, gradient="adjoint")
+
+    def test_gradient_missing_parameter_is_an_error(self):
+        class Partial:
+            def __call__(self, params):
+                return params["rtop"]
+
+            def evaluate_with_gradient(self, params):
+                return params["rtop"], {"rtop": 1.0}  # rbot missing
+
+        objective = Objective(Partial(), SPACE, gradient="adjoint")
+        with pytest.raises(OptimizationError, match="missing parameter"):
+            objective.value_and_gradient(np.array([0.5, 0.5]))
+
+    def test_auto_demotes_when_the_model_rejects_adjoint(self):
+        from repro.errors import SensitivityError
+
+        class Rejecting:
+            """Protocol present, but the model cannot serve sensitivities."""
+
+            def __call__(self, params):
+                return params["rtop"] * 2.0
+
+            def evaluate_with_gradient(self, params):
+                raise SensitivityError("closed_form=True required")
+
+        objective = Objective(Rejecting(), SPACE, gradient="auto",
+                              fd_step=1e-7)
+        z = np.array([0.5, 0.5])
+        value, gradient = objective.value_and_gradient(z)
+        # Demoted to the plain-call tiers: gradient still exact-ish via FD.
+        reference = Objective(lambda p: p["rtop"] * 2.0, SPACE,
+                              gradient="fd", fd_step=1e-7)
+        _, expected = reference.value_and_gradient(z)
+        np.testing.assert_allclose(gradient, expected, rtol=1e-6)
+        assert objective.adjoint_failures == 1
+        # ... and stays demoted (no repeated failing protocol calls).
+        objective.value_and_gradient(z)
+        assert objective.adjoint_failures == 1
+
+    def test_explicit_adjoint_rejection_is_a_hard_error(self):
+        from repro.errors import SensitivityError
+
+        class Rejecting:
+            def __call__(self, params):
+                return 1.0
+
+            def evaluate_with_gradient(self, params):
+                raise SensitivityError("closed_form=True required")
+
+        objective = Objective(Rejecting(), SPACE, gradient="adjoint")
+        with pytest.raises(OptimizationError, match="adjoint gradient"):
+            objective.value_and_gradient(np.array([0.5, 0.5]))
+
+    def test_malformed_protocol_return_is_an_error(self):
+        class Broken:
+            def __call__(self, params):
+                return 1.0
+
+            def evaluate_with_gradient(self, params):
+                return 1.0  # not a (result, gradients) pair
+
+        objective = Objective(Broken(), SPACE, gradient="adjoint")
+        with pytest.raises(OptimizationError, match="must return"):
+            objective.value_and_gradient(np.array([0.5, 0.5]))
+
+
+class TestFourWayCrossCheck:
+    Z = np.array([0.35, 0.6])
+
+    def gradients(self):
+        adjoint = Objective(divider_evaluator(), SPACE, output="v(out)",
+                            gradient="adjoint")
+        forward_ad = Objective(closed_form, SPACE, gradient="ad")
+        central_fd = Objective(closed_form, SPACE, gradient="fd",
+                               fd_step=1e-7)
+        return adjoint, forward_ad, central_fd
+
+    def test_adjoint_vs_forward_ad_vs_fd(self):
+        adjoint, forward_ad, central_fd = self.gradients()
+        value_adj, grad_adj = adjoint.value_and_gradient(self.Z)
+        value_ad, grad_ad = forward_ad.value_and_gradient(self.Z)
+        value_fd, grad_fd = central_fd.value_and_gradient(self.Z)
+        # gmin shifts the circuit solution by ~1e-9 relative; everything
+        # else is exact.
+        assert value_adj == pytest.approx(value_ad, rel=1e-6)
+        np.testing.assert_allclose(grad_adj, grad_ad, rtol=1e-6)
+        np.testing.assert_allclose(grad_adj, grad_fd, rtol=1e-5)
+
+    def test_target_shaping_chains_through_adjoint(self):
+        objective = Objective(divider_evaluator(), SPACE, output="v(out)",
+                              target=2.0, gradient="adjoint")
+        reference = Objective(closed_form, SPACE, target=2.0, gradient="ad")
+        _, grad = objective.value_and_gradient(self.Z)
+        _, expected = reference.value_and_gradient(self.Z)
+        np.testing.assert_allclose(grad, expected, rtol=1e-5)
+
+    def test_maximize_shaping_chains_through_adjoint(self):
+        objective = Objective(divider_evaluator(), SPACE, output="v(out)",
+                              minimize=False, gradient="adjoint")
+        reference = Objective(closed_form, SPACE, minimize=False,
+                              gradient="ad")
+        _, grad = objective.value_and_gradient(self.Z)
+        _, expected = reference.value_and_gradient(self.Z)
+        np.testing.assert_allclose(grad, expected, rtol=1e-5)
+
+
+class TestSolverIntegration:
+    def test_gradient_descent_uses_adjoint_gradients(self):
+        # Hit v(out) = 1.0 V: R2/(R1+R2) = 0.2.
+        objective = Objective(divider_evaluator(), SPACE, output="v(out)",
+                              target=1.0)
+        result = GradientDescent(max_iterations=120).minimize(objective)
+        assert result.fun < 1e-8
+        ratio = result.params["rbot"] / (result.params["rtop"]
+                                         + result.params["rbot"])
+        assert ratio == pytest.approx(0.2, rel=2e-3)
+        assert objective.adjoint_gradients > 0
+        assert objective.ad_failures == 0
+
+    def test_multistart_needs_no_caller_changes(self):
+        objective = Objective(divider_evaluator(), SPACE, output="v(out)",
+                              target=1.0)
+        multi = MultiStart(solver=GradientDescent(max_iterations=60),
+                           starts=3, seed=7)
+        outcome = multi.minimize(objective)
+        assert outcome.best.fun < 1e-8

@@ -1,0 +1,141 @@
+"""Penalty / augmented-quadratic inequality constraints over the solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import OptimizationError
+from repro.optim import (Constraint, GradientDescent, NelderMead, Objective,
+                         ParameterSpace, PenaltyObjective,
+                         minimize_with_penalty)
+
+SPACE = ParameterSpace(a=(0.0, 5.0), b=(0.1, 10.0, "log"))
+
+
+def bowl(params):
+    """Unconstrained optimum at a=4, b as small as possible."""
+    return (params["a"] - 4.0) ** 2 + params["b"]
+
+
+def a_value(params):
+    return params["a"]
+
+
+def area(params):
+    return params["a"] * params["b"]
+
+
+class TestConstraint:
+    def test_violation_sides(self):
+        constraint = Constraint(a_value, lower=1.0, upper=3.0)
+        assert constraint.violation({"a": 2.0}) == 0.0
+        assert constraint.violation({"a": 0.5}) == pytest.approx(0.5)
+        # the upper side scales by max(|bound|, 1) = 3
+        assert constraint.violation({"a": 3.5}) == pytest.approx(0.5 / 3.0)
+
+    def test_scaling(self):
+        constraint = Constraint(a_value, upper=100.0)
+        # default scale = max(|bound|, 1) = 100
+        assert constraint.violation({"a": 150.0}) == pytest.approx(0.5)
+        scaled = Constraint(a_value, upper=100.0, scale=10.0)
+        assert scaled.violation({"a": 150.0}) == pytest.approx(5.0)
+
+    def test_needs_some_bound(self):
+        with pytest.raises(OptimizationError, match="bound"):
+            Constraint(a_value)
+
+    def test_bound_ordering(self):
+        with pytest.raises(OptimizationError, match="lower bound exceeds"):
+            Constraint(a_value, lower=2.0, upper=1.0)
+
+
+class TestPenaltyObjective:
+    def test_feasible_region_adds_no_penalty(self):
+        objective = Objective(bowl, SPACE)
+        penalized = PenaltyObjective(objective,
+                                     [Constraint(a_value, upper=4.5)],
+                                     weight=1e6)
+        z = SPACE.encode({"a": 2.0, "b": 1.0})
+        assert penalized.value(z) == pytest.approx(objective.value(z))
+        assert penalized.max_violation(z) == 0.0
+
+    def test_gradient_matches_numeric(self):
+        objective = Objective(bowl, SPACE)
+        penalized = PenaltyObjective(objective,
+                                     [Constraint(a_value, upper=1.5),
+                                      Constraint(area, upper=2.0)],
+                                     weight=25.0)
+        z = np.array([0.7, 0.5])  # both constraints active
+        _, gradient = penalized.value_and_gradient(z)
+        numeric = np.zeros_like(gradient)
+        for i in range(z.size):
+            up = z.copy()
+            down = z.copy()
+            up[i] += 1e-7
+            down[i] -= 1e-7
+            numeric[i] = (penalized.value(up) - penalized.value(down)) / 2e-7
+        np.testing.assert_allclose(gradient, numeric, rtol=1e-4)
+
+    def test_dual_dropping_constraint_falls_back_to_fd(self):
+        def lossy(params):
+            return float(params["a"])  # strips the dual
+
+        objective = Objective(bowl, SPACE)
+        penalized = PenaltyObjective(objective,
+                                     [Constraint(lossy, upper=1.5)],
+                                     weight=25.0)
+        z = np.array([0.7, 0.5])
+        _, gradient = penalized.value_and_gradient(z)
+        numeric = np.zeros_like(gradient)
+        for i in range(z.size):
+            up = z.copy()
+            down = z.copy()
+            up[i] += 1e-6
+            down[i] -= 1e-6
+            numeric[i] = (penalized.value(up) - penalized.value(down)) / 2e-6
+        np.testing.assert_allclose(gradient, numeric, rtol=1e-3)
+
+    def test_requires_constraints(self):
+        with pytest.raises(OptimizationError, match="at least one"):
+            PenaltyObjective(Objective(bowl, SPACE), [])
+
+
+class TestMinimizeWithPenalty:
+    def test_active_constraint_is_respected(self):
+        # min (a-4)^2 + b  s.t.  a <= 1.5: optimum sits on the constraint.
+        result, penalized = minimize_with_penalty(
+            Objective(bowl, SPACE), [Constraint(a_value, upper=1.5)],
+            solver=NelderMead(max_iterations=400, xtol=1e-9, ftol=1e-16),
+            feasibility_tol=1e-5)
+        assert result.params["a"] == pytest.approx(1.5, abs=5e-3)
+        assert result.params["b"] == pytest.approx(0.1, rel=1e-3)
+        assert penalized.max_violation(result.x) <= 1e-5
+
+    def test_inactive_constraint_recovers_unconstrained_optimum(self):
+        result, _ = minimize_with_penalty(
+            Objective(bowl, SPACE), [Constraint(a_value, upper=4.5)],
+            solver=NelderMead(max_iterations=400, xtol=1e-9, ftol=1e-16))
+        assert result.params["a"] == pytest.approx(4.0, abs=1e-3)
+
+    def test_gradient_descent_solver_works(self):
+        result, penalized = minimize_with_penalty(
+            Objective(bowl, SPACE), [Constraint(a_value, upper=1.5)],
+            solver=GradientDescent(max_iterations=200),
+            feasibility_tol=1e-4)
+        assert result.params["a"] == pytest.approx(1.5, abs=2e-2)
+        assert penalized.max_violation(result.x) <= 1e-4
+
+    def test_two_constraints_pullin_style(self):
+        # "margin >= X while area <= Y" shape: keep a >= 2 while a*b <= 1.
+        # Feasible optimum: a as close to 4 as area allows -> a*b = 1 with
+        # b at its lower bound 0.1 -> a = min(4, 1/0.1) ... a=4 gives
+        # area 0.4 <= 1, feasible; tighten to a*b <= 0.25 -> a = 2.5.
+        constraints = [Constraint(a_value, lower=2.0),
+                       Constraint(area, upper=0.25)]
+        result, penalized = minimize_with_penalty(
+            Objective(bowl, SPACE), constraints,
+            solver=NelderMead(max_iterations=600, xtol=1e-10, ftol=1e-18),
+            feasibility_tol=1e-4)
+        assert penalized.max_violation(result.x) <= 1e-4
+        assert result.params["a"] == pytest.approx(2.5, abs=2e-2)

@@ -1,0 +1,43 @@
+"""Design-vector validation of ParameterSpace.decode / decode_dual."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import OptimizationError
+from repro.optim import ParameterSpace
+
+SPACE = ParameterSpace(gap=(1e-6, 1e-4, "log"), area=(1e-9, 1e-6))
+
+
+class TestDesignVectorValidation:
+    @pytest.mark.parametrize("bad", [[0.5], [0.1, 0.2, 0.3], 0.5,
+                                     [[0.1, 0.2]]])
+    def test_wrong_shape_raises_with_parameter_names(self, bad):
+        with pytest.raises(OptimizationError) as excinfo:
+            SPACE.decode(bad)
+        message = str(excinfo.value)
+        assert "gap" in message and "area" in message
+        assert "(2,)" in message
+        assert "broadcast" in message
+
+    @pytest.mark.parametrize("bad", [[0.5], [0.1, 0.2, 0.3]])
+    def test_decode_dual_validates_too(self, bad):
+        with pytest.raises(OptimizationError, match="one entry per"):
+            SPACE.decode_dual(bad)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(OptimizationError, match="numeric"):
+            SPACE.decode(["a", "b"])
+
+    def test_valid_vector_still_decodes(self):
+        decoded = SPACE.decode(np.array([0.0, 1.0]))
+        assert decoded["gap"] == pytest.approx(1e-6)
+        assert decoded["area"] == pytest.approx(1e-6)
+
+    def test_encode_still_roundtrips(self):
+        z = SPACE.encode({"gap": 1e-5, "area": 5e-7})
+        decoded = SPACE.decode(z)
+        assert decoded["gap"] == pytest.approx(1e-5, rel=1e-12)
+        assert decoded["area"] == pytest.approx(5e-7, rel=1e-12)

@@ -1,0 +1,110 @@
+"""ROM output sensitivities through a frozen projection basis vs FD."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FEMError
+from repro.fem import CantileverBeam
+from repro.rom import (ReducedModel, dc_gain_sensitivities,
+                       project_matrix_derivatives, rom_from_matrices,
+                       rom_output_sensitivities)
+from repro.fem.sensitivity import matrix_derivatives
+
+BASE = {"thickness": 2e-6, "length": 300e-6}
+
+
+def assemble_mck(params):
+    beam = CantileverBeam(length=params["length"], width=20e-6,
+                          thickness=params["thickness"],
+                          youngs_modulus=160e9, density=2330.0, elements=10)
+    stiffness, mass = beam.assemble()
+    return mass, 1e-9 * stiffness, stiffness
+
+
+@pytest.fixture(scope="module")
+def rom():
+    mass, _, stiffness = assemble_mck(BASE)
+    return rom_from_matrices(mass, stiffness, order=6, method="modal",
+                             drive_dof=-2, output_dofs=[-2],
+                             rayleigh=(0.0, 1e-9))
+
+
+def frozen_basis_model(rom, params) -> ReducedModel:
+    """Re-project perturbed full matrices through the *same* basis."""
+    mass, damping, stiffness = assemble_mck(params)
+    basis = rom.basis
+    return ReducedModel(basis.T @ mass @ basis, basis.T @ damping @ basis,
+                        basis.T @ stiffness @ basis, rom.B, rom.L,
+                        basis=basis)
+
+
+class TestDCGain:
+    def test_matches_frozen_basis_fd(self, rom):
+        result = rom_output_sensitivities(rom, assemble_mck, BASE)
+
+        def gain(params):
+            return frozen_basis_model(rom, params).dc_gain()[0, 0]
+
+        for k, name in enumerate(BASE):
+            step = 1e-5 * BASE[name]
+            up = dict(BASE)
+            up[name] += step
+            down = dict(BASE)
+            down[name] -= step
+            fd = (gain(up) - gain(down)) / (2.0 * step)
+            assert result.matrix[0, k] == pytest.approx(fd, rel=2e-4)
+        assert result.value("y0") == pytest.approx(rom.dc_gain()[0, 0],
+                                                   rel=1e-12)
+
+    def test_adjoint_direct_agree(self, rom):
+        derivatives = project_matrix_derivatives(
+            rom, matrix_derivatives(assemble_mck, BASE))
+        adjoint = dc_gain_sensitivities(rom, derivatives, tuple(BASE),
+                                        method="adjoint")
+        direct = dc_gain_sensitivities(rom, derivatives, tuple(BASE),
+                                       method="direct")
+        np.testing.assert_allclose(adjoint.matrix, direct.matrix, rtol=1e-10)
+
+
+class TestHarmonicOutputs:
+    FREQUENCIES = [1e4, 5e4]
+
+    def test_matches_frozen_basis_fd(self, rom):
+        result = rom_output_sensitivities(rom, assemble_mck, BASE,
+                                          frequencies=self.FREQUENCIES)
+
+        def response(params, frequency):
+            return frozen_basis_model(rom, params).harmonic([frequency])[0, 0]
+
+        for f, frequency in enumerate(self.FREQUENCIES):
+            for k, name in enumerate(BASE):
+                step = 1e-5 * BASE[name]
+                up = dict(BASE)
+                up[name] += step
+                down = dict(BASE)
+                down[name] -= step
+                fd = (response(up, frequency) - response(down, frequency)) \
+                    / (2.0 * step)
+                assert result.matrix[f, 0, k] == pytest.approx(fd, rel=2e-4)
+
+    def test_values_match_rom_harmonic(self, rom):
+        result = rom_output_sensitivities(rom, assemble_mck, BASE,
+                                          frequencies=self.FREQUENCIES)
+        reference = rom.harmonic(self.FREQUENCIES)
+        np.testing.assert_allclose(result.values, reference, rtol=1e-10)
+
+
+class TestGuards:
+    def test_basis_less_model_rejected(self):
+        model = ReducedModel(np.eye(2), np.zeros((2, 2)), np.eye(2),
+                             np.ones(2), np.eye(2))
+        with pytest.raises(FEMError, match="no projection basis"):
+            project_matrix_derivatives(model, [(np.eye(2),) * 3])
+
+    def test_mismatched_params_rejected(self, rom):
+        derivatives = project_matrix_derivatives(
+            rom, matrix_derivatives(assemble_mck, BASE))
+        with pytest.raises(FEMError, match="align"):
+            dc_gain_sensitivities(rom, derivatives, ("only_one",))
