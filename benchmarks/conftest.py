@@ -7,9 +7,20 @@ reproduced rows are printed through :func:`report` so that running
 
 shows the regenerated tables next to the timing numbers, and
 ``EXPERIMENTS.md`` records the same values.
+
+Passing ``--trace-out DIR`` additionally wraps every benchmark test in a
+full-mode :func:`repro.telemetry.session` and writes one Chrome/Perfetto
+``trace_event`` JSON file per test into ``DIR`` (open in ``ui.perfetto.dev``
+to see where a benchmark spends its time).  Without the flag nothing is
+collected, so the timing numbers stay undisturbed.
 """
 
 from __future__ import annotations
+
+import os
+import re
+
+import pytest
 
 
 def report(title: str, lines) -> None:
@@ -18,3 +29,27 @@ def report(title: str, lines) -> None:
     print(f"==== {title} ====")
     for line in lines:
         print(f"  {line}")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--trace-out", default=None, metavar="DIR",
+        help="write a Perfetto trace_event JSON per benchmark test into DIR")
+
+
+@pytest.fixture(autouse=True)
+def perfetto_trace(request):
+    """Opt-in per-test Perfetto trace collection (``--trace-out DIR``)."""
+    directory = request.config.getoption("--trace-out", default=None)
+    if not directory:
+        yield
+        return
+    from repro import telemetry
+
+    with telemetry.session(mode="full") as sess:
+        yield
+    os.makedirs(directory, exist_ok=True)
+    name = re.sub(r"[^\w.=-]+", "_", request.node.name)
+    path = sess.report.write_chrome_trace(
+        os.path.join(directory, f"{name}.json"))
+    print(f"perfetto trace written: {path}")

@@ -90,6 +90,10 @@ class ResultCache:
         #: of rapid touches arbitrary.
         self._recency_clock = 0.0
         self.hits = 0
+        #: Subset of ``hits`` served by promoting an on-disk entry (a cold
+        #: start against a warm directory is all disk hits; later hits of
+        #: the same keys come from memory).
+        self.disk_hits = 0
         self.misses = 0
         self.stores = 0
         self.evictions = 0
@@ -128,6 +132,7 @@ class ResultCache:
             if isinstance(row, dict):
                 self._memory[key] = row  # promote for the rest of the run
                 self.hits += 1
+                self.disk_hits += 1
                 if self.max_disk_bytes is not None:
                     self._touch(path)  # refresh LRU recency for the pruner
                 return dict(row)
@@ -269,9 +274,9 @@ class ResultCache:
             except OSError:
                 pass
         self._disk_bytes = 0 if self.directory is not None else None
-        self.hits = self.misses = self.stores = self.evictions = 0
+        self.hits = self.disk_hits = self.misses = self.stores = self.evictions = 0
 
-    def stats(self) -> dict[str, int]:
+    def stats(self) -> dict[str, float]:
         """Cache size and counter snapshot.
 
         For a disk-backed cache, ``entries``/``bytes`` describe the
@@ -280,6 +285,10 @@ class ResultCache:
         ``bytes`` is 0.  ``memory_entries`` always reports the in-process
         layer, and ``hits``/``misses``/``stores`` are the counters since
         construction or :meth:`clear`.
+
+        ``hit_rate`` and ``disk_hit_rate`` are derived per-lookup rates
+        (``hits / (hits + misses)`` and ``disk_hits / (hits + misses)``);
+        both are 0.0 when the cache has seen no lookups.
         """
         disk_entries = 0
         disk_bytes = 0
@@ -289,8 +298,12 @@ class ResultCache:
             except OSError:
                 continue
             disk_entries += 1
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores,
+        lookups = self.hits + self.misses
+        return {"hits": self.hits, "disk_hits": self.disk_hits,
+                "misses": self.misses, "stores": self.stores,
                 "evictions": self.evictions,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+                "disk_hit_rate": self.disk_hits / lookups if lookups else 0.0,
                 "memory_entries": len(self._memory),
                 "entries": disk_entries if self.directory is not None
                 else len(self._memory),

@@ -75,14 +75,23 @@ class CampaignResult:
         and every pool worker chunk.  Empty for derived results
         (``filter``/``group_by``), whose work already appears in the
         parent's counters.
+    telemetry:
+        Merged telemetry profile of the dispatched work when the runner was
+        created with ``telemetry != "off"``: a dict with ``mode``,
+        ``span_totals`` (per-span-name count/total/self aggregates over
+        every worker), ``metrics`` (merged registry deltas) and ``wall_s``
+        (summed worker evaluation time).  ``None`` otherwise and for
+        derived results.
     """
 
     def __init__(self, rows: Iterable[CampaignRow],
                  param_names: Iterable[str] | None = None,
-                 solver_stats: Mapping[str, int] | None = None) -> None:
+                 solver_stats: Mapping[str, int] | None = None,
+                 telemetry: Mapping | None = None) -> None:
         self.rows = list(rows)
         self.solver_stats: dict[str, int] = \
             {str(k): int(v) for k, v in (solver_stats or {}).items()}
+        self.telemetry = dict(telemetry) if telemetry else None
         if param_names is not None:
             self.param_names = tuple(param_names)
         elif self.rows:
@@ -251,7 +260,10 @@ class CampaignResult:
 
         Hit *rates* are derived from the aggregated counters; a campaign
         whose workers never touched a cache reports zero rates rather than
-        NaN.
+        NaN.  When the campaign ran with telemetry enabled the digest grows
+        into a full profile: the merged ``span_totals`` / ``metrics`` /
+        ``wall_s`` of every worker appear under a ``telemetry`` key
+        (see :meth:`telemetry_report` for the renderable form).
         """
         stats = dict(self.solver_stats)
         hits = stats.get("factorization_cache_hits", 0)
@@ -262,7 +274,33 @@ class CampaignResult:
             hits / (hits + misses) if hits + misses else 0.0
         stats["structure_reuse_rate"] = \
             reuses / (reuses + rebuilds) if reuses + rebuilds else 0.0
+        if self.telemetry is not None:
+            stats["telemetry"] = {
+                "mode": self.telemetry.get("mode"),
+                "wall_s": self.telemetry.get("wall_s", 0.0),
+                "span_totals": {name: dict(entry) for name, entry in
+                                self.telemetry.get("span_totals", {}).items()},
+                "metrics": self.telemetry.get("metrics", {}),
+            }
         return stats
+
+    def telemetry_report(self):
+        """The merged campaign profile as a :class:`~repro.telemetry.TelemetryReport`.
+
+        Aggregate-only (no span trees -- workers never ship those), so the
+        Chrome-trace exporter has nothing to draw, but
+        ``profile_summary()`` and ``to_json()`` work.  ``None`` when the
+        campaign ran without telemetry.
+        """
+        if self.telemetry is None:
+            return None
+        from ..telemetry import TelemetryReport
+
+        return TelemetryReport(
+            self.telemetry.get("mode") or "summary", [],
+            self.telemetry.get("span_totals", {}),
+            self.telemetry.get("metrics", {}),
+            self.telemetry.get("wall_s", 0.0))
 
     def to_rows(self) -> list[dict]:
         """Plain-dict rows (params + outputs + error) for serialization."""

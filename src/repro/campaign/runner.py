@@ -33,6 +33,7 @@ import multiprocessing
 import os
 from typing import Callable, Mapping, Sequence
 
+from .. import telemetry
 from ..circuit.analysis.ac import ACAnalysis
 from ..circuit.analysis.dcsweep import DCSweepAnalysis
 from ..circuit.analysis.op import OperatingPointAnalysis
@@ -99,19 +100,29 @@ def _evaluate_one(evaluator, index: int, point: Mapping[str, object]
 
 
 def _evaluate_chunk(task: tuple) -> tuple[list[tuple[int, dict, str | None]],
-                                          dict[str, int]]:
+                                          dict[str, int], dict | None]:
     """Worker entry point: evaluate one chunk of (index, point) pairs.
 
     Besides the per-point results the chunk ships the *delta* of the
     worker's process-wide :mod:`repro.linalg.metrics` counters back to the
     parent, so factorization/pattern-cache efficacy inside pool workers
-    becomes visible on the aggregated :class:`CampaignResult`.
+    becomes visible on the aggregated :class:`CampaignResult`.  With a
+    telemetry mode requested, the chunk additionally runs inside an
+    aggregate-only :func:`repro.telemetry.session` (span trees folded into
+    per-name totals -- bounded memory for arbitrarily long campaigns) and
+    ships the session's picklable payload back the same way.
     """
-    evaluator, items = task
+    evaluator, items, telemetry_mode = task
     before = linalg_metrics.snapshot()
-    results = [_evaluate_one(evaluator, index, point)
-               for index, point in items]
-    return results, linalg_metrics.counter_delta(before)
+    if telemetry_mode == "off":
+        results = [_evaluate_one(evaluator, index, point)
+                   for index, point in items]
+        return results, linalg_metrics.counter_delta(before), None
+    with telemetry.session(mode=telemetry_mode, keep_spans=False) as sess:
+        results = [_evaluate_one(evaluator, index, point)
+                   for index, point in items]
+    return results, linalg_metrics.counter_delta(before), \
+        sess.report.aggregate_payload()
 
 
 class CampaignRunner:
@@ -130,13 +141,22 @@ class CampaignRunner:
         serialization overhead.
     cache:
         Optional :class:`ResultCache`; cached points are not dispatched.
+    telemetry:
+        ``"off"`` (default), ``"summary"`` or ``"full"``: run every chunk
+        inside an aggregate-only telemetry session and merge the shipped
+        span/metric payloads into ``CampaignResult.telemetry``, making
+        :meth:`CampaignResult.solver_summary` a full campaign profile.
+        (Chunks never keep span *trees* -- pool payloads stay bounded -- so
+        ``"full"`` here only controls detail-span collection inside the
+        workers.)
     """
 
     BACKENDS = ("serial", "pool")
 
     def __init__(self, backend: str = "serial", processes: int | None = None,
                  chunk_size: int | None = None,
-                 cache: ResultCache | None = None) -> None:
+                 cache: ResultCache | None = None,
+                 telemetry: str = "off") -> None:
         if backend not in self.BACKENDS:
             raise CampaignError(
                 f"unknown backend {backend!r} (use one of {self.BACKENDS})")
@@ -144,10 +164,15 @@ class CampaignRunner:
             raise CampaignError("processes must be at least 1")
         if chunk_size is not None and chunk_size < 1:
             raise CampaignError("chunk_size must be at least 1")
+        if telemetry not in ("off", "summary", "full"):
+            raise CampaignError(
+                f"unknown telemetry level {telemetry!r} "
+                "(use 'off', 'summary' or 'full')")
         self.backend = backend
         self.processes = processes
         self.chunk_size = chunk_size
         self.cache = cache
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------------ run
     def run(self, spec: CampaignSpec, evaluator) -> CampaignResult:
@@ -171,7 +196,7 @@ class CampaignRunner:
                     continue
             pending.append((index, point))
 
-        dispatched, solver_stats = self._dispatch(evaluator, pending)
+        dispatched, solver_stats, profile = self._dispatch(evaluator, pending)
         for index, outputs, error in dispatched:
             point = points[index]
             rows[index] = CampaignRow(index, point, outputs, error=error)
@@ -180,30 +205,50 @@ class CampaignRunner:
 
         return CampaignResult([row for row in rows if row is not None],
                               param_names=spec.names,
-                              solver_stats=solver_stats)
+                              solver_stats=solver_stats,
+                              telemetry=profile)
 
     # ------------------------------------------------------------- dispatch
     def _dispatch(self, evaluator, pending: Sequence[tuple[int, dict]]
                   ) -> tuple[list[tuple[int, dict, str | None]],
-                             dict[str, int]]:
+                             dict[str, int], dict | None]:
         solver_stats = {name: 0 for name in linalg_metrics.COUNTER_NAMES}
         if not pending:
-            return [], solver_stats
+            return [], solver_stats, None
         if self.backend == "serial":
-            results, delta = _evaluate_chunk((evaluator, list(pending)))
+            results, delta, payload = _evaluate_chunk(
+                (evaluator, list(pending), self.telemetry))
             linalg_metrics.merge_counters(solver_stats, delta)
-            return results, solver_stats
+            return results, solver_stats, self._merge_profiles([payload])
         processes = self.processes or os.cpu_count() or 1
         processes = min(processes, len(pending))
         chunk = self.chunk_size or max(1, -(-len(pending) // (4 * processes)))
-        chunks = [(evaluator, pending[i:i + chunk])
+        chunks = [(evaluator, pending[i:i + chunk], self.telemetry)
                   for i in range(0, len(pending), chunk)]
         with multiprocessing.Pool(processes) as pool:
             completed = pool.map(_evaluate_chunk, chunks)
-        results = [item for batch, _ in completed for item in batch]
-        for _, delta in completed:
+        results = [item for batch, _, _ in completed for item in batch]
+        for _, delta, _ in completed:
             linalg_metrics.merge_counters(solver_stats, delta)
-        return results, solver_stats
+        return results, solver_stats, \
+            self._merge_profiles([payload for _, _, payload in completed])
+
+    def _merge_profiles(self, payloads: Sequence[dict | None]) -> dict | None:
+        """Fold the chunks' telemetry payloads into one campaign profile."""
+        if self.telemetry == "off":
+            return None
+        profile = {"mode": self.telemetry, "span_totals": {}, "metrics": {},
+                   "wall_s": 0.0}
+        for payload in payloads:
+            if payload is None:
+                continue
+            telemetry.merge_span_totals(profile["span_totals"],
+                                        payload["span_totals"])
+            telemetry.registry.merge(profile["metrics"], payload["metrics"])
+            # Summed worker wall time: CPU-seconds of evaluation, not the
+            # campaign's elapsed time (chunks overlap under the pool).
+            profile["wall_s"] += payload["wall_s"]
+        return profile
 
 
 # --------------------------------------------------------------------------- #

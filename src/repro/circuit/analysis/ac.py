@@ -32,6 +32,7 @@ from typing import Iterable
 
 import numpy as np
 
+from ... import telemetry
 from ...errors import AnalysisError, LinAlgError, SingularMatrixError
 from ...linalg import FactorizedSolver
 from ..mna import MNASystem
@@ -81,11 +82,26 @@ class ACAnalysis:
         self.sweep_mode: str | None = None
 
     def run(self, operating_point: OperatingPoint | None = None) -> ACResult:
-        """Run the sweep; optionally reuse a precomputed operating point."""
+        """Run the sweep; optionally reuse a precomputed operating point.
+
+        With ``options.telemetry`` enabled the result carries a
+        :class:`~repro.telemetry.TelemetryReport` as ``result.telemetry``.
+        """
+        if self.options.telemetry == "off":
+            return self._run(operating_point)
+        with telemetry.session(mode=self.options.telemetry) as sess:
+            with telemetry.span("ac.run"):
+                result = self._run(operating_point)
+        result.telemetry = sess.report
+        return result
+
+    def _run(self, operating_point: OperatingPoint | None) -> ACResult:
         system = MNASystem(self.circuit)
         options = self.options
         if operating_point is None:
-            operating_point = OperatingPointAnalysis(self.circuit, options).run()
+            with telemetry.span("ac.op"):
+                operating_point = OperatingPointAnalysis(
+                    self.circuit, options.with_(telemetry="off")).run()
         op_values = operating_point.raw
         if op_values.shape != (system.size,):
             raise AnalysisError(
@@ -95,16 +111,22 @@ class ACAnalysis:
         # keeps that displacement in its small-signal capacitance.
         integrator_states = dict(operating_point.integrator_states)
         solutions = None
-        if options.jacobian_reuse != "off" and self.frequencies.size >= 4:
-            solutions = self._sweep_cached(system, op_values, integrator_states)
-        if solutions is None:
-            self.sweep_mode = "direct"
-            solutions = self._sweep_direct(system, op_values, integrator_states)
-        else:
-            self.sweep_mode = "cached"
-        labels = system.unknown_labels()
-        data = {canonical_signal_name(label): solutions[:, i]
-                for i, label in enumerate(labels)}
+        with telemetry.span("ac.sweep") as sweep_span:
+            if options.jacobian_reuse != "off" and self.frequencies.size >= 4:
+                solutions = self._sweep_cached(system, op_values,
+                                               integrator_states)
+            if solutions is None:
+                self.sweep_mode = "direct"
+                solutions = self._sweep_direct(system, op_values,
+                                               integrator_states)
+            else:
+                self.sweep_mode = "cached"
+            sweep_span.annotate(mode=self.sweep_mode,
+                                points=int(self.frequencies.size))
+        with telemetry.span("ac.collect"):
+            labels = system.unknown_labels()
+            data = {canonical_signal_name(label): solutions[:, i]
+                    for i, label in enumerate(labels)}
         return ACResult(self.frequencies, data)
 
     def sensitivities(self, params, outputs, method: str = "auto",
@@ -133,11 +155,12 @@ class ACAnalysis:
         solver = FactorizedSolver("dense")
         solutions = np.zeros((self.frequencies.size, system.size), dtype=complex)
         for k, frequency in enumerate(self.frequencies):
-            omega = 2.0 * np.pi * float(frequency)
-            ctx = system.assemble_ac(op_values, omega, integrator_states,
-                                     self.options)
-            solutions[k] = self._solve_point(ctx.matrix, ctx.rhs, solver,
-                                             float(frequency))
+            with telemetry.detail_span("ac.point", f=float(frequency)):
+                omega = 2.0 * np.pi * float(frequency)
+                ctx = system.assemble_ac(op_values, omega, integrator_states,
+                                         self.options)
+                solutions[k] = self._solve_point(ctx.matrix, ctx.rhs, solver,
+                                                 float(frequency))
         return solutions
 
     def _sweep_cached(self, system: MNASystem, op_values: np.ndarray,
@@ -206,9 +229,11 @@ class ACAnalysis:
         solver = FactorizedSolver("dense")
         solutions = np.zeros((self.frequencies.size, system.size), dtype=complex)
         for k, frequency in enumerate(self.frequencies):
-            omega = 2.0 * np.pi * float(frequency)
-            matrix = conductance + omega * susceptance
-            if has_integ:
-                matrix += inverse_map / omega
-            solutions[k] = self._solve_point(matrix, rhs, solver, float(frequency))
+            with telemetry.detail_span("ac.point", f=float(frequency)):
+                omega = 2.0 * np.pi * float(frequency)
+                matrix = conductance + omega * susceptance
+                if has_integ:
+                    matrix += inverse_map / omega
+                solutions[k] = self._solve_point(matrix, rhs, solver,
+                                                 float(frequency))
         return solutions

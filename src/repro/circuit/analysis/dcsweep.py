@@ -13,6 +13,7 @@ from typing import Iterable
 
 import numpy as np
 
+from ... import telemetry
 from ...errors import AnalysisError, ConvergenceError, SingularMatrixError
 from ..devices.sources import CurrentSource, VoltageSource
 from ..mna import MNASystem
@@ -70,9 +71,11 @@ class DCSweepAnalysis:
             for index, value in enumerate(self.values):
                 self._source.waveform = DC(float(value))
                 try:
-                    x, _ = newton_solve(system, x, "dc", 0.0, None,
-                                        self.options, 1.0,
-                                        workspace=workspace)
+                    with telemetry.detail_span("dcsweep.point",
+                                               value=float(value)):
+                        x, _ = newton_solve(system, x, "dc", 0.0, None,
+                                            self.options, 1.0,
+                                            workspace=workspace)
                     yield index, x
                 except (ConvergenceError, SingularMatrixError):
                     if not self.continue_on_failure:
@@ -83,7 +86,23 @@ class DCSweepAnalysis:
             self._source.waveform = original_waveform
 
     def run(self) -> DCSweepResult:
-        """Execute the sweep and return per-signal arrays over the sweep values."""
+        """Execute the sweep and return per-signal arrays over the sweep values.
+
+        With ``options.telemetry`` enabled the result carries a
+        :class:`~repro.telemetry.TelemetryReport` (including per-point Newton
+        residual traces) as ``result.telemetry``.
+        """
+        if self.options.telemetry == "off":
+            return self._run(None)
+        diagnostics = telemetry.ConvergenceDiagnostics()
+        with telemetry.session(mode=self.options.telemetry) as sess:
+            with telemetry.span("dcsweep.run"):
+                result = self._run(diagnostics)
+        sess.report.convergence = diagnostics
+        result.telemetry = sess.report
+        return result
+
+    def _run(self, diagnostics) -> DCSweepResult:
         system = MNASystem(self.circuit)
         options = self.options
         rows: list[dict[str, float]] = []
@@ -91,20 +110,23 @@ class DCSweepAnalysis:
         # independent of the swept source value, so every point after the
         # first reuses the same factorization.
         workspace = NewtonWorkspace(options)
-        for _, x in self._sweep_solutions(system, workspace):
-            if x is None:
-                rows.append({})
-                continue
-            ctx = system.assemble(x, "dc", 0.0, None, options, 1.0,
-                                  want_jacobian=False)
-            rows.append(collect_outputs(system, ctx))
-        keys: set[str] = set()
-        for row in rows:
-            keys.update(row)
-        data = {
-            key: np.array([row.get(key, np.nan) for row in rows], dtype=float)
-            for key in sorted(keys)
-        }
+        workspace.convergence = diagnostics
+        with telemetry.span("dcsweep.sweep"):
+            for _, x in self._sweep_solutions(system, workspace):
+                if x is None:
+                    rows.append({})
+                    continue
+                ctx = system.assemble(x, "dc", 0.0, None, options, 1.0,
+                                      want_jacobian=False)
+                rows.append(collect_outputs(system, ctx))
+        with telemetry.span("dcsweep.collect"):
+            keys: set[str] = set()
+            for row in rows:
+                keys.update(row)
+            data = {
+                key: np.array([row.get(key, np.nan) for row in rows], dtype=float)
+                for key in sorted(keys)
+            }
         return DCSweepResult(self.source_name, self.values, data)
 
     def sensitivities(self, params, outputs, method: str = "auto"):

@@ -33,12 +33,16 @@ sequence of levels, each level starting from the previous solution.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 import scipy.sparse as sp
 
+from ... import telemetry
 from ...errors import ConvergenceError, LinAlgError, SingularMatrixError
 from ...linalg import FactorizedSolver
+from ...telemetry import NewtonTrace
 from ..mna import Integrator, MNASystem, StampContext
 from ..netlist import Circuit
 from .options import SimulationOptions
@@ -81,6 +85,10 @@ class NewtonWorkspace:
         self.chord_iterations = 0
         self.stall_refactors = 0
         self.step_chord_reuses = 0
+        #: Optional :class:`~repro.telemetry.ConvergenceDiagnostics` sink;
+        #: analyses install one when ``options.telemetry`` asks for it and
+        #: :func:`newton_solve` then records a residual trace per solve.
+        self.convergence = None
 
     @staticmethod
     def _same_matrix(stored, matrix) -> bool:
@@ -181,6 +189,9 @@ def newton_solve(system: MNASystem, x0: np.ndarray, analysis: str, time: float,
     """
     ws = NewtonWorkspace(options) if workspace is None else workspace
     x = np.array(x0, dtype=float, copy=True)
+    timing = telemetry.enabled()
+    trace = NewtonTrace(context=analysis, time=time) \
+        if timing and ws.convergence is not None else None
     n_nodes = system.num_nodes
     base_tol = np.where(np.arange(system.size) < n_nodes,
                         options.vntol, options.abstol)
@@ -217,6 +228,9 @@ def newton_solve(system: MNASystem, x0: np.ndarray, analysis: str, time: float,
             raise ConvergenceError(
                 f"non-finite residual/Jacobian at iteration {iteration} (t={time:g})",
                 iterations=iteration)
+        if trace is not None:
+            trace.residuals.append(
+                float(np.max(np.abs(ctx.res))) if ctx.res.size else 0.0)
         if chord:
             residual_norm = float(np.max(np.abs(ctx.res))) if ctx.res.size else 0.0
             stalled = (previous_residual is not None
@@ -250,7 +264,11 @@ def newton_solve(system: MNASystem, x0: np.ndarray, analysis: str, time: float,
                 # Ride this factorization from the next iteration on.
                 chord = True
         try:
+            t0 = perf_counter() if timing else None
             dx = factorization.solve(-ctx.res)
+            if t0 is not None:
+                telemetry.registry.observe(f"newton.{analysis}.solve_s",
+                                           perf_counter() - t0)
         except LinAlgError as exc:
             raise SingularMatrixError(
                 f"MNA solve failed for {analysis} at t={time:g}: {exc}") from exc
@@ -268,8 +286,13 @@ def newton_solve(system: MNASystem, x0: np.ndarray, analysis: str, time: float,
             if require_confirm and not confirmed_once:
                 confirmed_once = True  # one more below-tolerance pass, please
                 continue
+            if trace is not None:
+                trace.converged = True
+                ws.convergence.add_newton(trace)
             return x, iteration
         confirmed_once = False
+    if trace is not None:
+        ws.convergence.add_newton(trace)
     raise ConvergenceError(
         f"Newton failed to converge in {options.max_newton_iterations} iterations "
         f"({analysis}, t={time:g})",
@@ -328,20 +351,42 @@ class OperatingPointAnalysis:
         ``workspace`` optionally shares the Newton linear-stage state with
         the caller -- the sensitivity path passes its own workspace so the
         converged factorization is reused instead of re-factored.
+
+        With ``options.telemetry`` enabled the returned operating point
+        carries a :class:`~repro.telemetry.TelemetryReport` (spans, metric
+        deltas, Newton residual traces) as ``result.telemetry``.
         """
         options = self.options
         workspace = workspace or NewtonWorkspace(options)
+        if options.telemetry == "off":
+            return self._solve(initial_guess, workspace)
+        if workspace.convergence is None:
+            workspace.convergence = telemetry.ConvergenceDiagnostics()
+        with telemetry.session(mode=options.telemetry) as sess:
+            result = self._solve(initial_guess, workspace)
+        sess.report.convergence = workspace.convergence
+        result.telemetry = sess.report
+        return result
+
+    def _solve(self, initial_guess: np.ndarray | None,
+               workspace: NewtonWorkspace) -> OperatingPoint:
+        options = self.options
         x0 = np.zeros(self.system.size) if initial_guess is None else \
             np.array(initial_guess, dtype=float, copy=True)
-        try:
-            solution, iterations = newton_solve(
-                self.system, x0, "op", 0.0, None, options, source_scale=1.0,
-                workspace=workspace)
-        except (ConvergenceError, SingularMatrixError):
-            solution, iterations = self._source_stepping(x0, workspace)
-        ctx = self.system.assemble(solution, "op", 0.0, None, options, 1.0,
-                                   want_jacobian=False)
-        data = collect_outputs(self.system, ctx)
+        with telemetry.span("op.run") as op_span:
+            try:
+                with telemetry.span("op.newton"):
+                    solution, iterations = newton_solve(
+                        self.system, x0, "op", 0.0, None, options,
+                        source_scale=1.0, workspace=workspace)
+            except (ConvergenceError, SingularMatrixError):
+                with telemetry.span("op.source_stepping"):
+                    solution, iterations = self._source_stepping(x0, workspace)
+            with telemetry.span("op.collect"):
+                ctx = self.system.assemble(solution, "op", 0.0, None, options,
+                                           1.0, want_jacobian=False)
+                data = collect_outputs(self.system, ctx)
+            op_span.set("newton_iters", iterations)
         return OperatingPoint(data, solution, self.system.unknown_labels(), iterations)
 
     def sensitivities(self, params, outputs, method: str = "auto",

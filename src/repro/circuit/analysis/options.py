@@ -84,6 +84,14 @@ class SimulationOptions:
         confirming pass, and the stall detector still refactors when the
         step change was too aggressive).  Disable to recover the historical
         refactor-on-every-step-change chord behaviour exactly.
+    telemetry:
+        Instrumentation level of the run (see :mod:`repro.telemetry`):
+        ``"off"`` (default) collects nothing beyond the always-on counters;
+        ``"summary"`` records phase spans, timing histograms and convergence
+        digests; ``"full"`` additionally keeps per-step/per-point detail
+        spans and residual trajectories.  When enabled the analysis attaches
+        a :class:`~repro.telemetry.TelemetryReport` to its result object as
+        ``result.telemetry``.
     """
 
     reltol: float = constants.RELTOL
@@ -103,6 +111,7 @@ class SimulationOptions:
     jacobian_reuse: str = "auto"
     refactor_threshold: float = 0.5
     step_chord_reuse: bool = True
+    telemetry: str = "off"
 
     def __post_init__(self) -> None:
         if self.reltol <= 0.0 or self.reltol >= 1.0:
@@ -134,6 +143,10 @@ class SimulationOptions:
                 "(use 'off', 'auto' or 'chord')")
         if not (0.0 < self.refactor_threshold < 1.0):
             raise AnalysisError("refactor_threshold must be in (0, 1)")
+        if self.telemetry not in ("off", "summary", "full"):
+            raise AnalysisError(
+                f"unknown telemetry level {self.telemetry!r} "
+                "(use 'off', 'summary' or 'full')")
 
     def use_sparse(self, size: int) -> bool:
         """Whether a system of ``size`` unknowns should assemble sparse."""

@@ -30,6 +30,10 @@ __all__ = ["OperatingPoint", "DCSweepResult", "ACResult", "TransientResult",
 class _SignalMapping(Mapping[str, object]):
     """Shared mapping behaviour (case-sensitive exact keys, helpful errors)."""
 
+    #: :class:`~repro.telemetry.TelemetryReport` of the producing run, set by
+    #: the analysis when ``SimulationOptions.telemetry`` is enabled.
+    telemetry = None
+
     def __init__(self, data: dict[str, object]) -> None:
         self._data = dict(data)
 

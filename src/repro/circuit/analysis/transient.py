@@ -26,7 +26,9 @@ from typing import Iterable
 
 import numpy as np
 
+from ... import telemetry
 from ...errors import AnalysisError, ConvergenceError, SingularMatrixError
+from ...telemetry import ConvergenceDiagnostics, StepRecord
 from ..mna import Integrator, MNASystem
 from ..netlist import Circuit
 from .op import (NewtonWorkspace, OperatingPointAnalysis, collect_outputs,
@@ -105,7 +107,25 @@ class TransientAnalysis:
 
     # ------------------------------------------------------------------ main run
     def run(self, operating_point: OperatingPoint | None = None) -> TransientResult:
-        """Integrate the circuit from ``t_start`` to ``t_stop``."""
+        """Integrate the circuit from ``t_start`` to ``t_stop``.
+
+        With ``options.telemetry`` enabled the result carries a
+        :class:`~repro.telemetry.TelemetryReport` as ``result.telemetry``:
+        phase spans (per-step spans in ``"full"`` mode), timing histograms,
+        Newton residual traces and the step-size/LTE/rejection history.
+        """
+        if self.options.telemetry == "off":
+            return self._run(operating_point, None)
+        diagnostics = ConvergenceDiagnostics()
+        with telemetry.session(mode=self.options.telemetry) as sess:
+            with telemetry.span("transient.run"):
+                result = self._run(operating_point, diagnostics)
+        sess.report.convergence = diagnostics
+        result.telemetry = sess.report
+        return result
+
+    def _run(self, operating_point: OperatingPoint | None,
+             diagnostics: ConvergenceDiagnostics | None) -> TransientResult:
         wall_start = _time.perf_counter()
         system = MNASystem(self.circuit)
         options = self.options
@@ -116,20 +136,24 @@ class TransientAnalysis:
         if self.use_ic:
             x = np.zeros(system.size)
         else:
-            if operating_point is None:
-                operating_point = OperatingPointAnalysis(self.circuit, options).run()
-            if operating_point.raw.shape != (system.size,):
-                raise AnalysisError("operating point does not match this circuit")
-            x = np.array(operating_point.raw, dtype=float, copy=True)
+            with telemetry.span("transient.op"):
+                if operating_point is None:
+                    operating_point = OperatingPointAnalysis(
+                        self.circuit, options.with_(telemetry="off")).run()
+                if operating_point.raw.shape != (system.size,):
+                    raise AnalysisError(
+                        "operating point does not match this circuit")
+                x = np.array(operating_point.raw, dtype=float, copy=True)
 
         # Prime the integrator: register the t0 value of every dynamic state.
-        integrator.priming = True
-        integrator.set_step(self.t_step)
-        ctx0 = system.assemble(x, "tran", self.t_start, integrator, options, 1.0,
-                               want_jacobian=False)
-        first_row = collect_outputs(system, ctx0)
-        integrator.commit()
-        integrator.priming = False
+        with telemetry.span("transient.prime"):
+            integrator.priming = True
+            integrator.set_step(self.t_step)
+            ctx0 = system.assemble(x, "tran", self.t_start, integrator, options,
+                                   1.0, want_jacobian=False)
+            first_row = collect_outputs(system, ctx0)
+            integrator.commit()
+            integrator.priming = False
 
         times: list[float] = [self.t_start]
         rows: list[dict[str, float]] = [first_row]
@@ -143,6 +167,7 @@ class TransientAnalysis:
         #: One workspace for the whole run: factorizations survive across
         #: time steps, so a linear circuit at a fixed step factors once.
         workspace = NewtonWorkspace(options)
+        workspace.convergence = diagnostics
         stats = {"accepted": 0, "rejected": 0, "newton_iterations": 0,
                  "newton_time_s": 0.0}
         t = self.t_start
@@ -152,100 +177,120 @@ class TransientAnalysis:
         while t < self.t_stop - 1e-15:
             if self.t_stop - t <= max(min_step, 1e-12 * self.t_stop):
                 break
-            while bp_index < len(breakpoints) and breakpoints[bp_index] <= t + 1e-15:
-                bp_index += 1
-            h = min(h, self.max_step, self.t_stop - t)
-            if bp_index < len(breakpoints):
-                distance = breakpoints[bp_index] - t
-                if distance > 1e-15:
-                    h = min(h, distance)
-            if h < min_step:
-                raise ConvergenceError(
-                    f"transient step underflow at t={t:g} (step {h:g} < {min_step:g})")
+            # Every step attempt (accepted or rejected) lives in one span so
+            # a trace accounts for the full integration loop.
+            with telemetry.span("transient.step") as step_span:
+                while bp_index < len(breakpoints) and breakpoints[bp_index] <= t + 1e-15:
+                    bp_index += 1
+                h = min(h, self.max_step, self.t_stop - t)
+                if bp_index < len(breakpoints):
+                    distance = breakpoints[bp_index] - t
+                    if distance > 1e-15:
+                        h = min(h, distance)
+                if h < min_step:
+                    raise ConvergenceError(
+                        f"transient step underflow at t={t:g} (step {h:g} < {min_step:g})")
 
-            t_new = t + h
-            integrator.set_step(h)
-            # Predictor: linear extrapolation of the last two accepted points.
-            if len(history_x) >= 2 and history_t[-1] > history_t[-2]:
-                slope = (history_x[-1] - history_x[-2]) / (history_t[-1] - history_t[-2])
-                x_guess = history_x[-1] + slope * h
-            else:
-                slope = None
-                x_guess = history_x[-1].copy()
+                t_new = t + h
+                integrator.set_step(h)
+                # Predictor: linear extrapolation of the last two accepted points.
+                if len(history_x) >= 2 and history_t[-1] > history_t[-2]:
+                    slope = (history_x[-1] - history_x[-2]) / (history_t[-1] - history_t[-2])
+                    x_guess = history_x[-1] + slope * h
+                else:
+                    slope = None
+                    x_guess = history_x[-1].copy()
 
-            newton_start = _time.perf_counter()
-            try:
-                x_new, iterations = newton_solve(
-                    system, x_guess, "tran", t_new, integrator, options, 1.0,
-                    workspace=workspace)
-            except (ConvergenceError, SingularMatrixError):
+                step_span.annotate(t=t_new, h=h)
+                newton_start = _time.perf_counter()
+                try:
+                    x_new, iterations = newton_solve(
+                        system, x_guess, "tran", t_new, integrator, options, 1.0,
+                        workspace=workspace)
+                except (ConvergenceError, SingularMatrixError):
+                    stats["newton_time_s"] += _time.perf_counter() - newton_start
+                    integrator.discard()
+                    stats["rejected"] += 1
+                    step_span.set("accepted", False)
+                    if diagnostics is not None:
+                        diagnostics.add_step(StepRecord(t_new, h, accepted=False))
+                    h *= 0.25
+                    continue
                 stats["newton_time_s"] += _time.perf_counter() - newton_start
-                integrator.discard()
-                stats["rejected"] += 1
-                h *= 0.25
-                continue
-            stats["newton_time_s"] += _time.perf_counter() - newton_start
 
-            stats["newton_iterations"] += iterations
-            # Local truncation error estimate: converged solution versus the
-            # polynomial predictor, scaled by the mixed tolerance.  Only the
-            # node across variables are controlled -- auxiliary branch
-            # currents are algebraic quantities whose derivative jumps at
-            # waveform corners and would otherwise force needless step cuts.
-            if slope is not None:
-                n_nodes = system.num_nodes
-                tol = self._tolerances(system, x_new)[:n_nodes]
-                if n_nodes > 0:
-                    error = np.abs(x_new[:n_nodes] - x_guess[:n_nodes])
-                    error_ratio = float(np.max(error / (options.trtol * tol)))
+                stats["newton_iterations"] += iterations
+                # Local truncation error estimate: converged solution versus the
+                # polynomial predictor, scaled by the mixed tolerance.  Only the
+                # node across variables are controlled -- auxiliary branch
+                # currents are algebraic quantities whose derivative jumps at
+                # waveform corners and would otherwise force needless step cuts.
+                if slope is not None:
+                    n_nodes = system.num_nodes
+                    tol = self._tolerances(system, x_new)[:n_nodes]
+                    if n_nodes > 0:
+                        error = np.abs(x_new[:n_nodes] - x_guess[:n_nodes])
+                        error_ratio = float(np.max(error / (options.trtol * tol)))
+                    else:
+                        error_ratio = 0.0
                 else:
                     error_ratio = 0.0
-            else:
-                error_ratio = 0.0
-            if error_ratio > 1.0 and h > 4.0 * min_step:
-                integrator.discard()
-                stats["rejected"] += 1
-                h = max(h * max(0.2, 0.9 / error_ratio ** 0.5), min_step)
-                continue
+                if error_ratio > 1.0 and h > 4.0 * min_step:
+                    integrator.discard()
+                    stats["rejected"] += 1
+                    step_span.annotate(accepted=False, error_ratio=error_ratio,
+                                       newton_iters=iterations)
+                    if diagnostics is not None:
+                        diagnostics.add_step(StepRecord(
+                            t_new, h, accepted=False, error_ratio=error_ratio,
+                            newton_iterations=iterations))
+                    h = max(h * max(0.2, 0.9 / error_ratio ** 0.5), min_step)
+                    continue
 
-            # Accept the step: refresh pending states at the converged point,
-            # record outputs and commit the integrator history.  The record
-            # pass never reads the Jacobian, so it assembles residual-only.
-            ctx = system.assemble(x_new, "tran", t_new, integrator, options, 1.0,
-                                  want_jacobian=False)
-            rows.append(collect_outputs(system, ctx))
-            integrator.commit()
-            times.append(t_new)
-            history_x.append(x_new.copy())
-            history_t.append(t_new)
-            if trajectory is not None:
-                trajectory.append(x_new.copy())
-            if len(history_x) > 3:
-                history_x.pop(0)
-                history_t.pop(0)
-            # A waveform corner invalidates the polynomial predictor history:
-            # restart the extrapolation from the breakpoint itself.
-            if bp_index < len(breakpoints) and abs(breakpoints[bp_index] - t_new) <= 1e-15:
-                history_x = [x_new.copy()]
-                history_t = [t_new]
-            stats["accepted"] += 1
-            t = t_new
-            x = x_new
+                # Accept the step: refresh pending states at the converged point,
+                # record outputs and commit the integrator history.  The record
+                # pass never reads the Jacobian, so it assembles residual-only.
+                ctx = system.assemble(x_new, "tran", t_new, integrator, options, 1.0,
+                                      want_jacobian=False)
+                rows.append(collect_outputs(system, ctx))
+                integrator.commit()
+                times.append(t_new)
+                history_x.append(x_new.copy())
+                history_t.append(t_new)
+                if trajectory is not None:
+                    trajectory.append(x_new.copy())
+                if len(history_x) > 3:
+                    history_x.pop(0)
+                    history_t.pop(0)
+                # A waveform corner invalidates the polynomial predictor history:
+                # restart the extrapolation from the breakpoint itself.
+                if bp_index < len(breakpoints) and abs(breakpoints[bp_index] - t_new) <= 1e-15:
+                    history_x = [x_new.copy()]
+                    history_t = [t_new]
+                stats["accepted"] += 1
+                step_span.annotate(accepted=True, error_ratio=error_ratio,
+                                   newton_iters=iterations)
+                if diagnostics is not None:
+                    diagnostics.add_step(StepRecord(
+                        t_new, h, accepted=True, error_ratio=error_ratio,
+                        newton_iterations=iterations))
+                t = t_new
+                x = x_new
 
-            if error_ratio < 0.1:
-                h = min(h * options.max_step_growth, self.max_step)
-            elif error_ratio > 0.5:
-                h = max(h * 0.8, min_step)
-            if len(times) > _MAX_POINTS:
-                raise AnalysisError(
-                    f"transient produced more than {_MAX_POINTS} points; "
-                    "increase t_step or loosen tolerances")
+                if error_ratio < 0.1:
+                    h = min(h * options.max_step_growth, self.max_step)
+                elif error_ratio > 0.5:
+                    h = max(h * 0.8, min_step)
+                if len(times) > _MAX_POINTS:
+                    raise AnalysisError(
+                        f"transient produced more than {_MAX_POINTS} points; "
+                        "increase t_step or loosen tolerances")
 
-        keys: set[str] = set()
-        for row in rows:
-            keys.update(row)
-        data = {key: np.array([row.get(key, np.nan) for row in rows], dtype=float)
-                for key in sorted(keys)}
+        with telemetry.span("transient.collect"):
+            keys: set[str] = set()
+            for row in rows:
+                keys.update(row)
+            data = {key: np.array([row.get(key, np.nan) for row in rows], dtype=float)
+                    for key in sorted(keys)}
         stats["wall_time_s"] = _time.perf_counter() - wall_start
         stats["points"] = len(times)
         stats.update(workspace.statistics())

@@ -33,10 +33,12 @@ derivative at DC, ``j*omega`` in AC handled by the separate AC context).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import TYPE_CHECKING, Hashable, Iterable
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import AnalysisError, NetlistError
 from ..linalg import StructureCache
 from .netlist import Circuit, Node
@@ -383,7 +385,17 @@ class MNASystem:
         ctx = StampContext(self, x, analysis=analysis, time=time,
                            integrator=integrator, options=options,
                            source_scale=source_scale, want_jacobian=want_jacobian)
-        return self.run_stamps(ctx)
+        if not telemetry.enabled():
+            return self.run_stamps(ctx)
+        # The full/residual split is the AD-overhead measurement: a full
+        # assembly propagates dual numbers through every behavioral device,
+        # a residual-only one evaluates on plain floats.
+        t0 = perf_counter()
+        ctx = self.run_stamps(ctx)
+        kind = "full" if want_jacobian else "residual"
+        telemetry.registry.observe(f"mna.assembly.{analysis}.{kind}_s",
+                                   perf_counter() - t0)
+        return ctx
 
     def run_stamps(self, ctx: "StampContext") -> "StampContext":
         """Drive every device stamp over an existing (possibly specialised)
@@ -398,11 +410,14 @@ class MNASystem:
                     integrator_states: dict | None,
                     options: "SimulationOptions") -> "ACStampContext":
         """Build the complex small-signal system at angular frequency ``omega``."""
+        t0 = perf_counter() if telemetry.enabled() else None
         ctx = ACStampContext(self, op_values, omega=omega,
                              integrator_states=integrator_states or {}, options=options)
         for device in self.circuit:
             device.stamp_ac(ctx)
         ctx.apply_gmin(options.gmin)
+        if t0 is not None:
+            telemetry.registry.observe("mna.assembly.ac_s", perf_counter() - t0)
         return ctx
 
 

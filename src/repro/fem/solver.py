@@ -16,6 +16,7 @@ import scipy.linalg as la
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from .. import telemetry
 from ..errors import FEMError, LinAlgError
 from ..linalg import FactorizedSolver
 
@@ -44,7 +45,8 @@ def solve_sparse(matrix: sp.spmatrix, rhs: np.ndarray, method: str = "direct",
     solver = FactorizedSolver("superlu" if method == "direct" else "cg",
                               rtol=rtol, cg_fallback=False)
     try:
-        return solver.solve(sp.csr_matrix(matrix), rhs)
+        with telemetry.span("fem.solve", method=method, size=int(matrix.shape[0])):
+            return solver.solve(sp.csr_matrix(matrix), rhs)
     except LinAlgError as exc:
         raise FEMError(f"sparse {method} solve failed: {exc}") from exc
 
@@ -84,43 +86,44 @@ def solve_generalized_eig(stiffness, mass, count: int, *,
         method = "sparse" if is_sparse and count < max(1, n // 4) else "dense"
     if method == "sparse" and count >= n:
         method = "dense"
-    if method == "dense":
-        k_dense = stiffness.toarray() if sp.issparse(stiffness) else np.asarray(
-            stiffness, dtype=float)
-        m_dense = mass.toarray() if sp.issparse(mass) else np.asarray(mass, dtype=float)
-        def _nearest_sigma():
-            # Full decomposition, then keep the modes nearest the shift
-            # (matching the sparse shift-invert selection), re-sorted
-            # ascending.
-            all_values, all_vectors = la.eigh(k_dense, m_dense)
-            nearest = np.argsort(np.abs(all_values - sigma))[:count]
-            nearest = nearest[np.argsort(all_values[nearest])]
-            return all_values[nearest], all_vectors[:, nearest]
+    with telemetry.span("fem.eig", method=method, count=int(count), size=int(n)):
+        if method == "dense":
+            k_dense = stiffness.toarray() if sp.issparse(stiffness) else np.asarray(
+                stiffness, dtype=float)
+            m_dense = mass.toarray() if sp.issparse(mass) else np.asarray(mass, dtype=float)
+            def _nearest_sigma():
+                # Full decomposition, then keep the modes nearest the shift
+                # (matching the sparse shift-invert selection), re-sorted
+                # ascending.
+                all_values, all_vectors = la.eigh(k_dense, m_dense)
+                nearest = np.argsort(np.abs(all_values - sigma))[:count]
+                nearest = nearest[np.argsort(all_values[nearest])]
+                return all_values[nearest], all_vectors[:, nearest]
 
-        try:
-            if sigma == 0.0:
-                values, vectors = la.eigh(k_dense, m_dense,
-                                          subset_by_index=[0, count - 1])
-                if values[0] < 0.0:
-                    # Indefinite K (buckling/prestress): "lowest" is not
-                    # "nearest zero", so redo with the uniform selection.
+            try:
+                if sigma == 0.0:
+                    values, vectors = la.eigh(k_dense, m_dense,
+                                              subset_by_index=[0, count - 1])
+                    if values[0] < 0.0:
+                        # Indefinite K (buckling/prestress): "lowest" is not
+                        # "nearest zero", so redo with the uniform selection.
+                        values, vectors = _nearest_sigma()
+                else:
                     values, vectors = _nearest_sigma()
-            else:
-                values, vectors = _nearest_sigma()
-        except la.LinAlgError as exc:
-            raise FEMError(f"generalized eigensolve failed: {exc}") from exc
-    else:
-        k_sparse = sp.csc_matrix(stiffness)
-        m_sparse = sp.csc_matrix(mass)
-        try:
-            values, vectors = spla.eigsh(k_sparse, k=count, M=m_sparse,
-                                         sigma=sigma, which="LM",
-                                         mode="normal")
-        except (spla.ArpackError, RuntimeError) as exc:
-            raise FEMError(f"sparse shift-invert eigensolve failed: {exc}") from exc
-        order = np.argsort(values)
-        values = values[order]
-        vectors = vectors[:, order]
+            except la.LinAlgError as exc:
+                raise FEMError(f"generalized eigensolve failed: {exc}") from exc
+        else:
+            k_sparse = sp.csc_matrix(stiffness)
+            m_sparse = sp.csc_matrix(mass)
+            try:
+                values, vectors = spla.eigsh(k_sparse, k=count, M=m_sparse,
+                                             sigma=sigma, which="LM",
+                                             mode="normal")
+            except (spla.ArpackError, RuntimeError) as exc:
+                raise FEMError(f"sparse shift-invert eigensolve failed: {exc}") from exc
+            order = np.argsort(values)
+            values = values[order]
+            vectors = vectors[:, order]
     # eigh/eigsh already M-orthonormalize; fix the sign for determinism.
     for j in range(vectors.shape[1]):
         pivot = int(np.argmax(np.abs(vectors[:, j])))

@@ -18,11 +18,13 @@ and "alternating between two step sizes", not a general matrix store.
 from __future__ import annotations
 
 import hashlib
+import time
 from collections import OrderedDict
 
 import numpy as np
 import scipy.sparse as sp
 
+from .. import telemetry
 from ..errors import LinAlgError
 from . import metrics
 from .solvers import Factorization, FactorizedSolver
@@ -82,7 +84,16 @@ class FactorizationCache:
         ``fingerprint`` may be passed when the caller has already computed
         it (e.g. to decide whether a refactor is due).
         """
-        key = matrix_fingerprint(matrix) if fingerprint is None else fingerprint
+        if fingerprint is None:
+            # Hashing cost is part of the cache's overhead story -- surface
+            # it in profiles so "cache on" vs "cache off" is explainable.
+            t0 = time.perf_counter() if telemetry.enabled() else None
+            key = matrix_fingerprint(matrix)
+            if t0 is not None:
+                telemetry.registry.observe("linalg.fingerprint_s",
+                                           time.perf_counter() - t0)
+        else:
+            key = fingerprint
         handle = self._entries.get(key)
         if handle is not None:
             self._entries.move_to_end(key)

@@ -1,21 +1,26 @@
-"""Process-wide aggregate counters of the linalg caching layers.
+"""Back-compat shim over :mod:`repro.telemetry.registry` for linalg counters.
 
 Every :class:`~repro.linalg.solvers.FactorizedSolver`,
 :class:`~repro.linalg.cache.FactorizationCache` and
 :class:`~repro.linalg.structure.StructureCache` instance reports its events
-here in addition to its own per-instance counters.  The aggregate view is
-what crosses process boundaries: campaign pool workers snapshot the counters
-around each chunk and ship the *delta* back with the results, so a
-:class:`~repro.campaign.results.CampaignResult` can report how effective the
-factorization/pattern caches were across the whole fan-out -- even though
-the cache instances themselves live and die inside the workers.
+here in addition to its own per-instance counters.  The counters now live in
+the general telemetry registry under a ``linalg.`` prefix; this module keeps
+the original seven-counter API (`record`/`snapshot`/`counter_delta`/
+`merge_counters`/`reset`) so existing callers and the campaign plumbing work
+unchanged, including the contract that unknown counter names raise
+``KeyError`` (the registry itself auto-creates counters).
 
-The counters are plain module-level integers (no locks): each process
-mutates only its own copy, and the deltas are merged by the campaign runner
-in the parent.
+The aggregate view is what crosses process boundaries: campaign pool
+workers snapshot the counters around each chunk and ship the *delta* back
+with the results, so a :class:`~repro.campaign.results.CampaignResult` can
+report how effective the factorization/pattern caches were across the whole
+fan-out -- even though the cache instances themselves live and die inside
+the workers.
 """
 
 from __future__ import annotations
+
+from repro.telemetry import registry
 
 __all__ = ["COUNTER_NAMES", "record", "snapshot", "counter_delta",
            "merge_counters", "reset"]
@@ -31,17 +36,23 @@ COUNTER_NAMES = (
     "transpose_solves",
 )
 
-_counters: dict[str, int] = {name: 0 for name in COUNTER_NAMES}
+#: Registry prefix the linalg counters live under.
+PREFIX = "linalg."
+
+_KNOWN = frozenset(COUNTER_NAMES)
 
 
 def record(name: str, amount: int = 1) -> None:
     """Bump one aggregate counter (unknown names raise ``KeyError``)."""
-    _counters[name] += amount
+    if name not in _KNOWN:
+        raise KeyError(name)
+    registry.inc(PREFIX + name, amount)
 
 
 def snapshot() -> dict[str, int]:
     """A copy of the current counter values."""
-    return dict(_counters)
+    return {name: int(registry.counter_value(PREFIX + name))
+            for name in COUNTER_NAMES}
 
 
 def counter_delta(before: dict[str, int],
@@ -61,5 +72,4 @@ def merge_counters(total: dict[str, int], delta: dict[str, int]) -> None:
 
 def reset() -> None:
     """Zero every aggregate counter (test isolation helper)."""
-    for name in COUNTER_NAMES:
-        _counters[name] = 0
+    registry.reset(names=[PREFIX + name for name in COUNTER_NAMES])

@@ -30,6 +30,7 @@ map them onto their layer's exception type.
 
 from __future__ import annotations
 
+import time
 import warnings
 
 import numpy as np
@@ -37,6 +38,7 @@ import scipy.linalg as la
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from .. import telemetry
 from ..errors import LinAlgError
 from . import metrics
 
@@ -309,12 +311,19 @@ class FactorizedSolver:
         backend = self.resolve_backend(matrix)
         self.factorizations += 1
         metrics.record("factorizations")
+        # Timing is only worth two perf_counter calls while someone collects.
+        t0 = time.perf_counter() if telemetry.enabled() else None
         if backend == "dense":
             dense = matrix.toarray() if sp.issparse(matrix) else np.asarray(matrix)
-            return _DenseLU(dense)
-        if backend == "superlu":
-            return _SparseLU(matrix)
-        return _JacobiCG(matrix, rtol=self.rtol, fallback=self.cg_fallback)
+            handle = _DenseLU(dense)
+        elif backend == "superlu":
+            handle = _SparseLU(matrix)
+        else:
+            handle = _JacobiCG(matrix, rtol=self.rtol, fallback=self.cg_fallback)
+        if t0 is not None:
+            telemetry.registry.observe(f"linalg.factorize.{backend}_s",
+                                       time.perf_counter() - t0)
+        return handle
 
     def solve(self, matrix, rhs: np.ndarray) -> np.ndarray:
         """One-shot ``matrix @ x = rhs`` (factor + back-substitute)."""

@@ -38,6 +38,7 @@ from typing import Callable, Mapping
 
 import numpy as np
 
+from .. import telemetry
 from ..ad import Dual
 from ..campaign.cache import ResultCache, canonicalize, scenario_key
 from ..campaign.runner import evaluator_payload
@@ -188,7 +189,8 @@ class Objective:
             if row is not None:
                 self.cache_hits += 1
                 return float(row["value"])
-        value = float(self._shape(self._call_raw(params)))
+        with telemetry.span("optim.evaluate"):
+            value = float(self._shape(self._call_raw(params)))
         self.evaluations += 1
         if key is not None and np.isfinite(value):
             self.cache.put(key, {"value": value})
@@ -273,7 +275,8 @@ class Objective:
         the bound/log transform and goal shaping are chained on top.
         """
         params = self.space.decode(z)
-        result = self.fn.evaluate_with_gradient({**self.config, **params})
+        with telemetry.span("optim.gradient", mode="adjoint"):
+            result = self.fn.evaluate_with_gradient({**self.config, **params})
         self.evaluations += 1
         self.adjoint_gradients += 1
         try:
@@ -320,7 +323,8 @@ class Objective:
 
     def _ad_gradient(self, z) -> tuple[float, np.ndarray]:
         duals = self.space.decode_dual(z)
-        result = self._shape(self._call_raw(duals))
+        with telemetry.span("optim.gradient", mode="ad"):
+            result = self._shape(self._call_raw(duals))
         self.evaluations += 1
         if isinstance(result, Dual):
             return float(result.value), np.asarray(result.deriv, dtype=float).copy()
@@ -330,18 +334,19 @@ class Objective:
         raise TypeError("the evaluator returned a plain number for dual inputs")
 
     def _fd_gradient(self, z) -> tuple[float, np.ndarray]:
-        value = self.value(z)
-        grad = np.zeros(self.space.size)
-        for i in range(self.space.size):
-            h = self.fd_step
-            forward = np.array(z, dtype=float)
-            backward = np.array(z, dtype=float)
-            forward[i] = min(z[i] + h, 1.0)
-            backward[i] = max(z[i] - h, 0.0)
-            span = forward[i] - backward[i]
-            if span <= 0.0:  # degenerate axis (lower == upper after clip)
-                continue
-            grad[i] = (self.value(forward) - self.value(backward)) / span
+        with telemetry.span("optim.gradient", mode="fd"):
+            value = self.value(z)
+            grad = np.zeros(self.space.size)
+            for i in range(self.space.size):
+                h = self.fd_step
+                forward = np.array(z, dtype=float)
+                backward = np.array(z, dtype=float)
+                forward[i] = min(z[i] + h, 1.0)
+                backward[i] = max(z[i] - h, 0.0)
+                span = forward[i] - backward[i]
+                if span <= 0.0:  # degenerate axis (lower == upper after clip)
+                    continue
+                grad[i] = (self.value(forward) - self.value(backward)) / span
         return value, grad
 
     def __repr__(self) -> str:

@@ -22,7 +22,9 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import OptimizationError
+from ..telemetry import IterateRecord
 
 if TYPE_CHECKING:  # pragma: no cover
     from .objective import Objective
@@ -38,6 +40,12 @@ class OptimResult:
     physical point.  ``evaluations`` counts objective *calls* made by the
     solver (cache hits included); the objective's own counters distinguish
     real model evaluations.
+
+    ``trace`` is the per-iteration iterate trajectory
+    (:class:`~repro.telemetry.IterateRecord` entries: best objective value
+    plus the decoded physical point), recorded only while a
+    :func:`repro.telemetry.session` is active -- empty otherwise, so the
+    plain path pays nothing.
     """
 
     x: np.ndarray
@@ -48,6 +56,7 @@ class OptimResult:
     converged: bool
     message: str
     history: tuple[float, ...] = field(default_factory=tuple)
+    trace: tuple = field(default_factory=tuple)
 
     def row(self, prefix: str = "") -> dict[str, float]:
         """Flatten to a campaign-style row of floats (for fan-out results)."""
@@ -100,10 +109,18 @@ class NelderMead:
 
     # ------------------------------------------------------------------ minimize
     def minimize(self, objective: "Objective", x0=None) -> OptimResult:
+        with telemetry.span("optim.minimize", solver=self.name) as ms:
+            result = self._minimize(objective, x0)
+            ms.set("iterations", result.iterations)
+        return result
+
+    def _minimize(self, objective: "Objective", x0) -> OptimResult:
         space = objective.space
         n = space.size
         x0 = space.center() if x0 is None else space.clip(x0)
         calls = 0
+        tracing = telemetry.enabled()
+        trace: list[IterateRecord] = []
 
         def f(z) -> float:
             nonlocal calls
@@ -131,6 +148,9 @@ class NelderMead:
             values = [values[i] for i in order]
             best, worst = values[0], values[-1]
             history.append(best)
+            if tracing:
+                trace.append(IterateRecord(iterations, float(best),
+                                           space.decode(simplex[0])))
             spread_x = max(float(np.max(np.abs(v - simplex[0])))
                            for v in simplex[1:])
             spread_f = worst - best if np.isfinite(worst) else np.inf
@@ -173,7 +193,8 @@ class NelderMead:
         return OptimResult(
             x=np.array(x_best, dtype=float), params=space.decode(x_best),
             fun=float(f_best), iterations=iterations, evaluations=calls,
-            converged=converged, message=message, history=tuple(history))
+            converged=converged, message=message, history=tuple(history),
+            trace=tuple(trace))
 
 
 class GradientDescent:
@@ -214,10 +235,18 @@ class GradientDescent:
 
     # ------------------------------------------------------------------ minimize
     def minimize(self, objective: "Objective", x0=None) -> OptimResult:
+        with telemetry.span("optim.minimize", solver=self.name) as ms:
+            result = self._minimize(objective, x0)
+            ms.set("iterations", result.iterations)
+        return result
+
+    def _minimize(self, objective: "Objective", x0) -> OptimResult:
         space = objective.space
         x = space.center() if x0 is None else space.clip(x0)
         calls = 0
         history: list[float] = []
+        tracing = telemetry.enabled()
+        trace: list[IterateRecord] = []
         converged = False
         message = "iteration limit reached"
         value, grad = objective.value_and_gradient(x)
@@ -232,6 +261,9 @@ class GradientDescent:
         iterations = 0
         for iterations in range(1, self.max_iterations + 1):
             history.append(float(value))
+            if tracing:
+                trace.append(IterateRecord(iterations, float(value),
+                                           space.decode(x)))
             # Projected gradient: the free-direction derivative at the bounds.
             projected = space.clip(x - grad) - x
             if float(np.max(np.abs(projected))) <= self.gtol:
@@ -271,4 +303,5 @@ class GradientDescent:
         return OptimResult(
             x=np.array(x, dtype=float), params=space.decode(x),
             fun=float(value), iterations=iterations, evaluations=calls,
-            converged=converged, message=message, history=tuple(history))
+            converged=converged, message=message, history=tuple(history),
+            trace=tuple(trace))

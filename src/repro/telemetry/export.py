@@ -1,0 +1,126 @@
+"""Exporters: structured JSON, Chrome/Perfetto traces, profile tables.
+
+Three ways out of a :class:`~repro.telemetry.TelemetryReport`:
+
+* :func:`report_to_json` / :func:`spans_to_json` -- plain dicts for
+  machine consumption (the structure mirrors the in-memory objects),
+* :func:`chrome_trace_events` / :func:`write_chrome_trace` -- the Chrome
+  ``trace_event`` JSON-array format, loadable in ``ui.perfetto.dev`` or
+  ``chrome://tracing`` for flame-graph viewing,
+* :func:`profile_summary` -- a fixed-width per-span-name table for humans.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+__all__ = ["spans_to_json", "report_to_json", "chrome_trace_events",
+           "write_chrome_trace", "profile_summary"]
+
+
+# ----------------------------------------------------------- structured JSON
+def spans_to_json(spans: Iterable) -> list[dict]:
+    """Nested dict form of span trees (durations in seconds)."""
+    out = []
+    for root in spans:
+        out.append({
+            "name": root.name,
+            "duration_s": root.duration_s,
+            "self_s": root.self_s,
+            "attrs": dict(root.attrs),
+            "children": spans_to_json(root.children),
+        })
+    return out
+
+
+def report_to_json(report) -> dict:
+    """JSON-serializable dict of one telemetry report."""
+    out = {
+        "mode": report.mode,
+        "wall_s": report.wall_s,
+        "span_totals": {name: dict(entry)
+                        for name, entry in report.span_totals.items()},
+        "metrics": report.metrics,
+        "spans": spans_to_json(report.spans),
+    }
+    if report.convergence is not None:
+        out["convergence"] = report.convergence.to_json()
+    return out
+
+
+# ------------------------------------------------------- Chrome trace_event
+def chrome_trace_events(spans: Iterable, pid: int = 1, tid: int = 1) -> list[dict]:
+    """Chrome ``trace_event`` list (complete ``"X"`` events, µs units).
+
+    Spans carry only durations, so event timestamps are reconstructed by
+    laying each root out after the previous one and packing children at
+    their parent's start -- the nesting (the part a flame graph shows) is
+    exact; only inter-span gaps are elided.
+    """
+    events = []
+    cursor = 0.0  # µs
+
+    def emit(node, start_us: float) -> None:
+        duration_us = node.duration_s * 1e6
+        event = {
+            "name": node.name,
+            "ph": "X",
+            "ts": round(start_us, 3),
+            "dur": round(duration_us, 3),
+            "pid": pid,
+            "tid": tid,
+            "cat": node.name.split(".", 1)[0] or "span",
+        }
+        if node.attrs:
+            event["args"] = {key: value for key, value in node.attrs.items()
+                             if isinstance(value, (int, float, str, bool))}
+        events.append(event)
+        child_cursor = start_us
+        for child in node.children:
+            emit(child, child_cursor)
+            child_cursor += child.duration_s * 1e6
+
+    for root in spans:
+        emit(root, cursor)
+        cursor += root.duration_s * 1e6
+
+    return events
+
+
+def write_chrome_trace(path, spans: Iterable, pid: int = 1, tid: int = 1) -> str:
+    """Write spans as a Perfetto-loadable ``trace_event`` JSON file."""
+    path = str(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"traceEvents": chrome_trace_events(spans, pid=pid, tid=tid),
+                   "displayTimeUnit": "ms"}, handle)
+    return path
+
+
+# ----------------------------------------------------------- profile summary
+def profile_summary(report, limit: int = 20) -> str:
+    """Fixed-width table of per-span-name totals, heaviest self-time first."""
+    rows = sorted(report.span_totals.items(),
+                  key=lambda item: item[1]["self_s"], reverse=True)[:limit]
+    wall = report.wall_s or sum(entry["self_s"]
+                                for _, entry in report.span_totals.items())
+    name_width = max([len(name) for name, _ in rows] + [len("span")])
+    header = (f"{'span':<{name_width}}  {'count':>7}  {'total':>10}  "
+              f"{'self':>10}  {'self %':>7}")
+    lines = [header, "-" * len(header)]
+    for name, entry in rows:
+        share = (entry["self_s"] / wall * 100.0) if wall else 0.0
+        lines.append(
+            f"{name:<{name_width}}  {entry['count']:>7d}  "
+            f"{_fmt_seconds(entry['total_s']):>10}  "
+            f"{_fmt_seconds(entry['self_s']):>10}  {share:>6.1f}%")
+    lines.append(f"wall time: {_fmt_seconds(wall)}")
+    return "\n".join(lines)
+
+
+def _fmt_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.3f} s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f} ms"
+    return f"{value * 1e6:.1f} us"

@@ -63,9 +63,10 @@ class TestResultCache:
         assert ResultCache(tmp_path).get(key) is None
         cache.put(key, {"x": 1.0})
         cache.clear()
-        assert cache.stats() == {"hits": 0, "misses": 0, "stores": 0,
-                                 "evictions": 0, "memory_entries": 0,
-                                 "entries": 0, "bytes": 0}
+        assert cache.stats() == {"hits": 0, "disk_hits": 0, "misses": 0,
+                                 "stores": 0, "evictions": 0,
+                                 "hit_rate": 0.0, "disk_hit_rate": 0.0,
+                                 "memory_entries": 0, "entries": 0, "bytes": 0}
         assert ResultCache(tmp_path).get(key) is None
 
     def test_stats_reports_disk_entries_and_bytes(self, tmp_path):
@@ -90,6 +91,24 @@ class TestResultCache:
         cache.put(scenario_key({"v": 9.0}), {"x": 1.0})
         stats = cache.stats()
         assert stats["entries"] == 1 and stats["bytes"] == 0
+
+    def test_stats_derived_hit_rates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = scenario_key({"v": 10.0})
+        assert cache.stats()["hit_rate"] == 0.0  # no traffic yet, not NaN
+        cache.put(key, {"x": 1.0})
+        cache.get(key)                       # memory hit
+        cache.get(scenario_key({"v": 11.0}))  # miss
+        fresh = ResultCache(tmp_path)
+        fresh.get(key)  # disk hit (promoted)
+        fresh.get(key)  # memory hit
+        stats = cache.stats()
+        assert stats["hit_rate"] == pytest.approx(0.5)
+        assert stats["disk_hits"] == 0 and stats["disk_hit_rate"] == 0.0
+        fresh_stats = fresh.stats()
+        assert fresh_stats["hit_rate"] == pytest.approx(1.0)
+        assert fresh_stats["disk_hits"] == 1
+        assert fresh_stats["disk_hit_rate"] == pytest.approx(0.5)
 
     def test_atomic_write_leaves_no_temp_files(self, tmp_path):
         import os

@@ -1,0 +1,60 @@
+"""Convergence diagnostics: record types, caps, summary digests."""
+
+from __future__ import annotations
+
+from repro.telemetry import (ConvergenceDiagnostics, IterateRecord,
+                             NewtonTrace, StepRecord)
+
+
+class TestRecords:
+    def test_newton_trace(self):
+        trace = NewtonTrace("transient", [1.0, 1e-3, 1e-10],
+                            converged=True, time=0.5)
+        assert trace.iterations == 3
+        payload = trace.to_json()
+        assert payload["context"] == "transient" and payload["time"] == 0.5
+
+    def test_step_and_iterate_records(self):
+        step = StepRecord(time=1e-3, dt=1e-4, accepted=False, error_ratio=3.0)
+        assert step.to_json()["accepted"] is False
+        iterate = IterateRecord(2, 0.5, {"gap": 1e-6})
+        assert iterate.to_json() == {"iteration": 2, "objective": 0.5,
+                                     "params": {"gap": 1e-6}}
+
+
+class TestDiagnostics:
+    def test_summary_digest(self):
+        diag = ConvergenceDiagnostics()
+        diag.add_newton(NewtonTrace("op", [1.0, 1e-9], converged=True))
+        diag.add_newton(NewtonTrace("op", [1.0] * 5, converged=False))
+        diag.add_step(StepRecord(0.0, 1e-4, accepted=True))
+        diag.add_step(StepRecord(1e-4, 2e-4, accepted=True))
+        diag.add_step(StepRecord(3e-4, 4e-4, accepted=False, error_ratio=2.0))
+        diag.add_iterate(IterateRecord(1, 1.0))
+        summary = diag.summary()
+        assert summary["newton_solves"] == 2
+        assert summary["newton_iterations"] == 7
+        assert summary["newton_max_iterations"] == 5
+        assert summary["newton_failures"] == 1
+        assert summary["steps"] == 3
+        assert summary["steps_rejected"] == 1
+        assert summary["step_rejection_rate"] == 1.0 / 3.0
+        assert summary["step_size_min"] == 1e-4
+        assert summary["step_size_max"] == 2e-4
+        assert summary["optimizer_iterates"] == 1
+
+    def test_cap_keeps_counting_but_stops_storing(self):
+        diag = ConvergenceDiagnostics(max_records=3)
+        for i in range(10):
+            diag.add_step(StepRecord(i * 1e-4, 1e-4, accepted=True))
+        assert len(diag.steps) == 3
+        assert diag.steps_total == 10
+        assert diag.summary()["steps"] == 10
+
+    def test_to_json_round_trip_shape(self):
+        import json
+
+        diag = ConvergenceDiagnostics()
+        diag.add_newton(NewtonTrace("dc", [1.0], converged=True))
+        payload = json.loads(json.dumps(diag.to_json()))
+        assert set(payload) == {"summary", "newton", "steps", "iterates"}

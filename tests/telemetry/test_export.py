@@ -1,0 +1,94 @@
+"""Exporters: Chrome trace_event files, structured JSON, profile tables."""
+
+from __future__ import annotations
+
+import json
+
+from repro import telemetry
+
+
+def _collect_tree():
+    with telemetry.session() as sess:
+        with telemetry.span("run", kind="test") as run:
+            with telemetry.span("run.phase_a"):
+                pass
+            with telemetry.span("run.phase_b"):
+                with telemetry.span("run.leaf", n=3):
+                    pass
+            run.set("steps", 2)
+    return sess.report
+
+
+class TestChromeTrace:
+    def test_events_are_complete_events_with_microsecond_units(self):
+        report = _collect_tree()
+        events = report.chrome_trace()
+        assert len(events) == 4
+        assert all(event["ph"] == "X" for event in events)
+        assert all(set(event) >= {"name", "ph", "ts", "dur", "pid", "tid", "cat"}
+                   for event in events)
+        by_name = {event["name"]: event for event in events}
+        assert by_name["run"]["cat"] == "run"
+        assert by_name["run"]["args"]["steps"] == 2
+        assert by_name["run.leaf"]["args"]["n"] == 3
+
+    def test_children_nest_within_parents(self):
+        report = _collect_tree()
+        by_name = {e["name"]: e for e in report.chrome_trace()}
+        parent = by_name["run"]
+        for child_name in ("run.phase_a", "run.phase_b"):
+            child = by_name[child_name]
+            assert child["ts"] >= parent["ts"]
+            assert child["ts"] + child["dur"] <= \
+                parent["ts"] + parent["dur"] + 1e-3  # rounding slack (µs)
+        leaf = by_name["run.leaf"]
+        phase_b = by_name["run.phase_b"]
+        assert leaf["ts"] >= phase_b["ts"]
+
+    def test_written_file_is_loadable_json(self, tmp_path):
+        report = _collect_tree()
+        path = report.write_chrome_trace(tmp_path / "trace.json")
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["displayTimeUnit"] == "ms"
+        assert isinstance(payload["traceEvents"], list)
+        assert all(event["ph"] == "X" for event in payload["traceEvents"])
+        # Every value must already be JSON-primitive (round trip is lossless).
+        assert payload["traceEvents"] == report.chrome_trace()
+
+
+class TestStructuredJson:
+    def test_report_to_json_round_trips_through_json(self):
+        report = _collect_tree()
+        payload = report.to_json()
+        restored = json.loads(json.dumps(payload))
+        assert restored["mode"] == "full"
+        assert restored["spans"][0]["name"] == "run"
+        names = {child["name"] for child in restored["spans"][0]["children"]}
+        assert names == {"run.phase_a", "run.phase_b"}
+        assert restored["span_totals"]["run"]["count"] == 1
+
+    def test_convergence_included_when_attached(self):
+        report = _collect_tree()
+        diag = telemetry.ConvergenceDiagnostics()
+        diag.add_newton(telemetry.NewtonTrace("op", [1.0, 1e-9], converged=True))
+        report.convergence = diag
+        payload = report.to_json()
+        assert payload["convergence"]["summary"]["newton_solves"] == 1
+        assert payload["convergence"]["newton"][0]["residuals"] == [1.0, 1e-9]
+
+
+class TestProfileSummary:
+    def test_table_lists_heaviest_spans(self):
+        report = _collect_tree()
+        table = report.profile_summary()
+        lines = table.splitlines()
+        assert lines[0].startswith("span")
+        assert any("run.leaf" in line for line in lines)
+        assert lines[-1].startswith("wall time:")
+
+    def test_limit_caps_rows(self):
+        report = _collect_tree()
+        short = report.profile_summary(limit=1)
+        # header + rule + 1 row + wall-time footer
+        assert len(short.splitlines()) == 4

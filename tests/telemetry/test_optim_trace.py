@@ -1,0 +1,48 @@
+"""Optimizer iterate traces and spans behind an active telemetry session."""
+
+from __future__ import annotations
+
+from repro import telemetry
+from repro.optim import GradientDescent, NelderMead, Objective
+from repro.optim.transforms import ParameterSpace
+
+
+def quadratic(params: dict) -> float:
+    return (params["a"] - 1.0) ** 2 + (params["b"] + 0.5) ** 2
+
+
+def _objective() -> Objective:
+    return Objective(quadratic, ParameterSpace(a=(0.0, 4.0), b=(-2.0, 2.0)))
+
+
+class TestIterateTrace:
+    def test_trace_empty_without_session(self):
+        result = NelderMead().minimize(_objective())
+        assert result.trace == ()
+
+    def test_nelder_mead_trace_records_best_per_iteration(self):
+        with telemetry.session(mode="summary"):
+            result = NelderMead(max_iterations=40).minimize(_objective())
+        assert len(result.trace) == result.iterations
+        assert result.trace[0].iteration == 1
+        assert set(result.trace[0].params) == {"a", "b"}
+        objectives = [record.objective for record in result.trace]
+        assert objectives == sorted(objectives, reverse=True)  # monotone best
+        assert result.trace[-1].objective == min(objectives)
+
+    def test_gradient_descent_trace_and_spans(self):
+        with telemetry.session(mode="summary") as sess:
+            result = GradientDescent(max_iterations=30).minimize(_objective())
+        assert len(result.trace) == result.iterations
+        totals = sess.report.span_totals
+        assert totals["optim.minimize"]["count"] == 1
+        assert totals["optim.gradient"]["count"] >= 1
+        assert totals["optim.evaluate"]["count"] >= 1
+
+    def test_trace_feeds_convergence_diagnostics(self):
+        with telemetry.session(mode="summary"):
+            result = NelderMead(max_iterations=20).minimize(_objective())
+        diag = telemetry.ConvergenceDiagnostics()
+        for record in result.trace:
+            diag.add_iterate(record)
+        assert diag.summary()["optimizer_iterates"] == len(result.trace)
