@@ -13,14 +13,27 @@ full-mode :func:`repro.telemetry.session` and writes one Chrome/Perfetto
 ``trace_event`` JSON file per test into ``DIR`` (open in ``ui.perfetto.dev``
 to see where a benchmark spends its time).  Without the flag nothing is
 collected, so the timing numbers stay undisturbed.
+
+Passing ``--bench-out FILE`` writes a machine-readable JSON ledger of the
+run: one entry per executed test (outcome + call duration) enriched with
+pytest-benchmark's min/mean/max statistics where a ``benchmark`` fixture
+ran.  CI archives the ledger next to the Perfetto traces, so timing history
+is diffable across commits without scraping terminal output.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 import re
+import sys
+import time
 
 import pytest
+
+#: Ledger schema tag; bump on incompatible change.
+_LEDGER_SCHEMA = "repro-bench-ledger/1"
 
 
 def report(title: str, lines) -> None:
@@ -35,6 +48,72 @@ def pytest_addoption(parser):
     parser.addoption(
         "--trace-out", default=None, metavar="DIR",
         help="write a Perfetto trace_event JSON per benchmark test into DIR")
+    parser.addoption(
+        "--bench-out", default=None, metavar="FILE",
+        help="write a machine-readable JSON ledger of benchmark results to FILE")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    rep = outcome.get_result()
+    if rep.when != "call" or not item.config.getoption("--bench-out"):
+        return
+    ledger = getattr(item.config, "_bench_ledger", None)
+    if ledger is None:
+        ledger = item.config._bench_ledger = []
+    ledger.append({"test": item.nodeid, "outcome": rep.outcome,
+                   "duration_s": rep.duration})
+
+
+def _benchmark_stats(config) -> dict:
+    """Per-test pytest-benchmark statistics, keyed by node id (best effort)."""
+    stats = {}
+    session = getattr(config, "_benchmarksession", None)
+    for bench in getattr(session, "benchmarks", []) or []:
+        raw = getattr(bench, "stats", None)
+        raw = getattr(raw, "stats", raw)  # Metadata wraps Stats on some versions
+        try:
+            digest = {"rounds": int(raw.rounds),
+                      "min_s": float(raw.min),
+                      "mean_s": float(raw.mean),
+                      "max_s": float(raw.max)}
+        except Exception:
+            continue
+        stats[bench.fullname] = digest
+    return stats
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--bench-out", default=None)
+    if not path:
+        return
+    stats = _benchmark_stats(session.config)
+    results = []
+    for entry in getattr(session.config, "_bench_ledger", []):
+        # pytest-benchmark's fullname may be relative to a different root
+        # than the node id; fall back to suffix matching on the test name.
+        bench = stats.get(entry["test"])
+        if bench is None:
+            test_name = entry["test"].rsplit("::", 1)[-1]
+            for fullname, digest in stats.items():
+                if fullname.rsplit("::", 1)[-1] == test_name:
+                    bench = digest
+                    break
+        results.append({**entry, "benchmark": bench})
+    payload = {
+        "schema": _LEDGER_SCHEMA,
+        "created_s": time.time(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "exit_status": int(exitstatus),
+        "results": results,
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    print(f"\nbenchmark ledger written: {path} ({len(results)} tests)")
 
 
 @pytest.fixture(autouse=True)

@@ -20,18 +20,29 @@ __all__ = ["CampaignRow", "CampaignResult"]
 
 
 class CampaignRow(Mapping[str, object]):
-    """One scenario point: parameters, outputs, and the failure state."""
+    """One scenario point: parameters, outputs, and the failure state.
 
-    __slots__ = ("index", "params", "outputs", "error", "from_cache")
+    ``forensics`` carries the flat
+    :meth:`~repro.telemetry.FailureReport.summary` dict of the solver
+    failure that killed the point (offending unknown, residual norm,
+    condition estimate, ...) when the evaluator ran with
+    ``options.forensics`` on -- ``None`` for successful rows and for
+    failures that produced no report.
+    """
+
+    __slots__ = ("index", "params", "outputs", "error", "from_cache",
+                 "forensics")
 
     def __init__(self, index: int, params: Mapping[str, object],
                  outputs: Mapping[str, object], error: str | None = None,
-                 from_cache: bool = False) -> None:
+                 from_cache: bool = False,
+                 forensics: Mapping[str, object] | None = None) -> None:
         self.index = int(index)
         self.params = dict(params)
         self.outputs = dict(outputs)
         self.error = error
         self.from_cache = bool(from_cache)
+        self.forensics = dict(forensics) if forensics else None
 
     @property
     def ok(self) -> bool:
@@ -136,6 +147,16 @@ class CampaignResult:
     def failures(self) -> list[CampaignRow]:
         """The failed rows (parameters intact, error message set)."""
         return [row for row in self.rows if not row.ok]
+
+    def forensic_summaries(self) -> list[dict]:
+        """Flat forensic digests of the failed rows that captured one.
+
+        Each entry is the row's :attr:`CampaignRow.forensics` dict plus the
+        row ``index`` -- empty unless the evaluator ran with
+        ``options.forensics`` enabled.
+        """
+        return [{"index": row.index, **row.forensics}
+                for row in self.rows if row.forensics]
 
     def error(self, index: int) -> str | None:
         """Error message of row ``index`` (None when it succeeded)."""

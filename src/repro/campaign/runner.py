@@ -31,6 +31,8 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import os
+import time
+import warnings
 from typing import Callable, Mapping, Sequence
 
 from .. import telemetry
@@ -85,8 +87,15 @@ def evaluator_payload(evaluator) -> dict:
 
 
 def _evaluate_one(evaluator, index: int, point: Mapping[str, object]
-                  ) -> tuple[int, dict, str | None]:
-    """Run one point, converting any failure into an error string."""
+                  ) -> tuple[int, dict, str | None, dict | None]:
+    """Run one point, converting any failure into an error string.
+
+    A failure that carries a :class:`~repro.telemetry.FailureReport` (the
+    solver raised with ``options.forensics`` on) additionally yields the
+    report's flat picklable :meth:`~repro.telemetry.FailureReport.summary`,
+    so campaign rows can say *which unknown* broke a point, not only that
+    it broke.
+    """
     try:
         outputs = evaluator(dict(point))
         if not isinstance(outputs, Mapping):
@@ -94,13 +103,21 @@ def _evaluate_one(evaluator, index: int, point: Mapping[str, object]
                 f"evaluator returned {type(outputs).__name__}, expected a "
                 "mapping of output name to float")
         row = {str(name): float(value) for name, value in outputs.items()}
-        return index, row, None
+        return index, row, None, None
     except Exception as exc:  # noqa: BLE001 -- per-point isolation is the point
-        return index, {}, f"{type(exc).__name__}: {exc}"
+        forensics = None
+        report = getattr(exc, "report", None)
+        if report is not None:
+            try:
+                forensics = report.summary()
+            except Exception:
+                forensics = None
+        return index, {}, f"{type(exc).__name__}: {exc}", forensics
 
 
-def _evaluate_chunk(task: tuple) -> tuple[list[tuple[int, dict, str | None]],
-                                          dict[str, int], dict | None]:
+def _evaluate_chunk(task: tuple, on_point=None
+                    ) -> tuple[list[tuple[int, dict, str | None, dict | None]],
+                               dict[str, int], dict | None, dict]:
     """Worker entry point: evaluate one chunk of (index, point) pairs.
 
     Besides the per-point results the chunk ships the *delta* of the
@@ -111,18 +128,35 @@ def _evaluate_chunk(task: tuple) -> tuple[list[tuple[int, dict, str | None]],
     aggregate-only :func:`repro.telemetry.session` (span trees folded into
     per-name totals -- bounded memory for arbitrarily long campaigns) and
     ships the session's picklable payload back the same way.
+
+    Every chunk also returns a worker *heartbeat* -- ``{"pid", "points",
+    "wall_s"}`` -- which the parent folds into its progress events, so a
+    watcher sees which worker delivered and how long the chunk took.
+    ``on_point`` (serial backend only; pools cannot pickle a callback) is
+    invoked with each finished point index for per-point progress.
     """
     evaluator, items, telemetry_mode = task
+    t0 = time.perf_counter()
     before = linalg_metrics.snapshot()
+
+    def run_items():
+        results = []
+        for index, point in items:
+            results.append(_evaluate_one(evaluator, index, point))
+            if on_point is not None:
+                on_point(index)
+        return results
+
     if telemetry_mode == "off":
-        results = [_evaluate_one(evaluator, index, point)
-                   for index, point in items]
-        return results, linalg_metrics.counter_delta(before), None
-    with telemetry.session(mode=telemetry_mode, keep_spans=False) as sess:
-        results = [_evaluate_one(evaluator, index, point)
-                   for index, point in items]
-    return results, linalg_metrics.counter_delta(before), \
-        sess.report.aggregate_payload()
+        results = run_items()
+        payload = None
+    else:
+        with telemetry.session(mode=telemetry_mode, keep_spans=False) as sess:
+            results = run_items()
+        payload = sess.report.aggregate_payload()
+    heartbeat = {"pid": os.getpid(), "points": len(items),
+                 "wall_s": time.perf_counter() - t0}
+    return results, linalg_metrics.counter_delta(before), payload, heartbeat
 
 
 class CampaignRunner:
@@ -149,6 +183,17 @@ class CampaignRunner:
         (Chunks never keep span *trees* -- pool payloads stay bounded -- so
         ``"full"`` here only controls detail-span collection inside the
         workers.)
+    stall_timeout:
+        Pool backend only: seconds the parent waits for *any* chunk to
+        complete before emitting a :class:`~repro.telemetry.StallWarning`
+        (a structured warning naming the silent interval and the progress
+        so far -- the run itself keeps waiting).  ``None`` (default) never
+        times out.
+    stall_abandon:
+        With ``stall_timeout`` set: instead of warning and waiting forever,
+        terminate the pool at the first stall and mark every undelivered
+        point as a failed row (``error`` starting with ``"StallError"``),
+        so a single hung worker cannot hang the whole campaign.
     """
 
     BACKENDS = ("serial", "pool")
@@ -156,7 +201,9 @@ class CampaignRunner:
     def __init__(self, backend: str = "serial", processes: int | None = None,
                  chunk_size: int | None = None,
                  cache: ResultCache | None = None,
-                 telemetry: str = "off") -> None:
+                 telemetry: str = "off",
+                 stall_timeout: float | None = None,
+                 stall_abandon: bool = False) -> None:
         if backend not in self.BACKENDS:
             raise CampaignError(
                 f"unknown backend {backend!r} (use one of {self.BACKENDS})")
@@ -168,11 +215,17 @@ class CampaignRunner:
             raise CampaignError(
                 f"unknown telemetry level {telemetry!r} "
                 "(use 'off', 'summary' or 'full')")
+        if stall_timeout is not None and stall_timeout <= 0.0:
+            raise CampaignError("stall_timeout must be positive")
+        if stall_abandon and stall_timeout is None:
+            raise CampaignError("stall_abandon requires a stall_timeout")
         self.backend = backend
         self.processes = processes
         self.chunk_size = chunk_size
         self.cache = cache
         self.telemetry = telemetry
+        self.stall_timeout = None if stall_timeout is None else float(stall_timeout)
+        self.stall_abandon = bool(stall_abandon)
 
     # ------------------------------------------------------------------ run
     def run(self, spec: CampaignSpec, evaluator) -> CampaignResult:
@@ -197,9 +250,10 @@ class CampaignRunner:
             pending.append((index, point))
 
         dispatched, solver_stats, profile = self._dispatch(evaluator, pending)
-        for index, outputs, error in dispatched:
+        for index, outputs, error, forensics in dispatched:
             point = points[index]
-            rows[index] = CampaignRow(index, point, outputs, error=error)
+            rows[index] = CampaignRow(index, point, outputs, error=error,
+                                      forensics=forensics)
             if self.cache is not None and error is None:
                 self.cache.put(keys[index], outputs)
 
@@ -210,28 +264,76 @@ class CampaignRunner:
 
     # ------------------------------------------------------------- dispatch
     def _dispatch(self, evaluator, pending: Sequence[tuple[int, dict]]
-                  ) -> tuple[list[tuple[int, dict, str | None]],
+                  ) -> tuple[list[tuple[int, dict, str | None, dict | None]],
                              dict[str, int], dict | None]:
         solver_stats = {name: 0 for name in linalg_metrics.COUNTER_NAMES}
         if not pending:
             return [], solver_stats, None
+        track = telemetry.progress.tracker("campaign", total=len(pending),
+                                           unit="points")
         if self.backend == "serial":
-            results, delta, payload = _evaluate_chunk(
-                (evaluator, list(pending), self.telemetry))
+            done = 0
+
+            def advance(_index: int) -> None:
+                nonlocal done
+                done += 1
+                track.update(done)
+
+            results, delta, payload, _ = _evaluate_chunk(
+                (evaluator, list(pending), self.telemetry), on_point=advance)
             linalg_metrics.merge_counters(solver_stats, delta)
+            track.finish(len(pending))
             return results, solver_stats, self._merge_profiles([payload])
         processes = self.processes or os.cpu_count() or 1
         processes = min(processes, len(pending))
         chunk = self.chunk_size or max(1, -(-len(pending) // (4 * processes)))
         chunks = [(evaluator, pending[i:i + chunk], self.telemetry)
                   for i in range(0, len(pending), chunk)]
+        completed = []
+        done_points = 0
+        stalled = False
         with multiprocessing.Pool(processes) as pool:
-            completed = pool.map(_evaluate_chunk, chunks)
-        results = [item for batch, _, _ in completed for item in batch]
-        for _, delta, _ in completed:
-            linalg_metrics.merge_counters(solver_stats, delta)
+            # Unordered completion + a bounded wait per delivery: the parent
+            # notices a silent pool instead of blocking in pool.map forever.
+            # Results carry their spec indices, so order needs no barrier.
+            iterator = pool.imap_unordered(_evaluate_chunk, chunks)
+            for _ in range(len(chunks)):
+                while True:
+                    try:
+                        batch = iterator.next(timeout=self.stall_timeout)
+                        break
+                    except multiprocessing.TimeoutError:
+                        telemetry.registry.inc("campaign.stalls")
+                        action = "abandoning undelivered points" \
+                            if self.stall_abandon else "still waiting"
+                        warnings.warn(
+                            f"campaign pool delivered nothing for "
+                            f"{self.stall_timeout:g}s ({done_points}/"
+                            f"{len(pending)} points done); {action}",
+                            telemetry.progress.StallWarning, stacklevel=3)
+                        if self.stall_abandon:
+                            stalled = True
+                            break
+                if stalled:
+                    pool.terminate()
+                    break
+                completed.append(batch)
+                _, delta, _, heartbeat = batch
+                linalg_metrics.merge_counters(solver_stats, delta)
+                done_points += heartbeat["points"]
+                track.update(done_points, **heartbeat)
+        results = [item for batch, _, _, _ in completed for item in batch]
+        if stalled:
+            delivered = {index for index, _, _, _ in results}
+            for index, _point in pending:
+                if index not in delivered:
+                    results.append((
+                        index, {},
+                        f"StallError: no result within {self.stall_timeout:g}s; "
+                        "worker abandoned", None))
+        track.finish(done_points, message="stalled" if stalled else "")
         return results, solver_stats, \
-            self._merge_profiles([payload for _, _, payload in completed])
+            self._merge_profiles([payload for _, _, payload, _ in completed])
 
     def _merge_profiles(self, payloads: Sequence[dict | None]) -> dict | None:
         """Fold the chunks' telemetry payloads into one campaign profile."""
@@ -374,6 +476,8 @@ def _coerced_overrides(overrides: Mapping[str, object]) -> dict:
                 f"unknown simulation option {OPTIONS_PREFIX}{name}")
         if isinstance(value, str):
             coerced[name] = value
+        elif "bool" in str(fields[name]):
+            coerced[name] = bool(value)
         elif "int" in str(fields[name]):
             coerced[name] = int(value)
         else:

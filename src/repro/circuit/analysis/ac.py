@@ -141,26 +141,39 @@ class ACAnalysis:
                                 operating_point=operating_point)
 
     # ------------------------------------------------------------------ sweeps
-    def _solve_point(self, matrix: np.ndarray, rhs: np.ndarray,
-                     solver: FactorizedSolver, frequency: float) -> np.ndarray:
+    def _solve_point(self, system: MNASystem, matrix: np.ndarray,
+                     rhs: np.ndarray, solver: FactorizedSolver,
+                     frequency: float) -> np.ndarray:
         try:
             return solver.solve(matrix, rhs)
         except LinAlgError as exc:
-            raise SingularMatrixError(
-                f"singular small-signal matrix at f={frequency:g} Hz: {exc}") from exc
+            message = f"singular small-signal matrix at f={frequency:g} Hz: {exc}"
+            report = None
+            if self.options.forensics:
+                report = telemetry.forensics.newton_failure(
+                    kind="singular", analysis="ac", message=message,
+                    error_type="SingularMatrixError",
+                    labels=system.unknown_labels(), matrix=matrix,
+                    options=self.options,
+                    context={"frequency_hz": frequency})
+            raise SingularMatrixError(message, report=report) from exc
 
     def _sweep_direct(self, system: MNASystem, op_values: np.ndarray,
                       integrator_states: dict) -> np.ndarray:
         """Reference path: stamp and solve every frequency independently."""
         solver = FactorizedSolver("dense")
         solutions = np.zeros((self.frequencies.size, system.size), dtype=complex)
+        track = telemetry.progress.tracker("ac", total=self.frequencies.size,
+                                           unit="points")
         for k, frequency in enumerate(self.frequencies):
             with telemetry.detail_span("ac.point", f=float(frequency)):
                 omega = 2.0 * np.pi * float(frequency)
                 ctx = system.assemble_ac(op_values, omega, integrator_states,
                                          self.options)
-                solutions[k] = self._solve_point(ctx.matrix, ctx.rhs, solver,
-                                                 float(frequency))
+                solutions[k] = self._solve_point(system, ctx.matrix, ctx.rhs,
+                                                 solver, float(frequency))
+            track.update(k + 1, message=f"f={frequency:g} Hz")
+        track.finish(self.frequencies.size)
         return solutions
 
     def _sweep_cached(self, system: MNASystem, op_values: np.ndarray,
@@ -228,12 +241,16 @@ class ACAnalysis:
 
         solver = FactorizedSolver("dense")
         solutions = np.zeros((self.frequencies.size, system.size), dtype=complex)
+        track = telemetry.progress.tracker("ac", total=self.frequencies.size,
+                                           unit="points")
         for k, frequency in enumerate(self.frequencies):
             with telemetry.detail_span("ac.point", f=float(frequency)):
                 omega = 2.0 * np.pi * float(frequency)
                 matrix = conductance + omega * susceptance
                 if has_integ:
                     matrix += inverse_map / omega
-                solutions[k] = self._solve_point(matrix, rhs, solver,
+                solutions[k] = self._solve_point(system, matrix, rhs, solver,
                                                  float(frequency))
+            track.update(k + 1, message=f"f={frequency:g} Hz")
+        track.finish(self.frequencies.size)
         return solutions

@@ -77,7 +77,10 @@ class DCSweepAnalysis:
                                             self.options, 1.0,
                                             workspace=workspace)
                     yield index, x
-                except (ConvergenceError, SingularMatrixError):
+                except (ConvergenceError, SingularMatrixError) as exc:
+                    if exc.report is not None:
+                        exc.report.analysis = "dc"
+                        exc.report.context["sweep_value"] = float(value)
                     if not self.continue_on_failure:
                         raise
                     x = np.zeros(system.size)
@@ -94,7 +97,8 @@ class DCSweepAnalysis:
         """
         if self.options.telemetry == "off":
             return self._run(None)
-        diagnostics = telemetry.ConvergenceDiagnostics()
+        diagnostics = telemetry.ConvergenceDiagnostics(
+            max_records=self.options.telemetry_max_records)
         with telemetry.session(mode=self.options.telemetry) as sess:
             with telemetry.span("dcsweep.run"):
                 result = self._run(diagnostics)
@@ -111,14 +115,19 @@ class DCSweepAnalysis:
         # first reuses the same factorization.
         workspace = NewtonWorkspace(options)
         workspace.convergence = diagnostics
+        track = telemetry.progress.tracker("dcsweep", total=self.values.size,
+                                           unit="points")
         with telemetry.span("dcsweep.sweep"):
-            for _, x in self._sweep_solutions(system, workspace):
+            for index, x in self._sweep_solutions(system, workspace):
                 if x is None:
                     rows.append({})
+                    track.update(index + 1, message="point failed")
                     continue
                 ctx = system.assemble(x, "dc", 0.0, None, options, 1.0,
                                       want_jacobian=False)
                 rows.append(collect_outputs(system, ctx))
+                track.update(index + 1)
+        track.finish(self.values.size)
         with telemetry.span("dcsweep.collect"):
             keys: set[str] = set()
             for row in rows:

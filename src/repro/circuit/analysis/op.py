@@ -89,6 +89,9 @@ class NewtonWorkspace:
         #: analyses install one when ``options.telemetry`` asks for it and
         #: :func:`newton_solve` then records a residual trace per solve.
         self.convergence = None
+        #: :class:`~repro.telemetry.ConditionRecord` per fresh factorization
+        #: when ``options.health_check`` is on (capped like diagnostics).
+        self.health: list = []
 
     @staticmethod
     def _same_matrix(stored, matrix) -> bool:
@@ -102,8 +105,10 @@ class NewtonWorkspace:
         """Factor (or fetch) the Jacobian of a fully assembled context."""
         matrix = ctx.jacobian()
         generation = system.structure_cache.generation if ctx.use_sparse else 0
+        fresh = False
         if self.options.jacobian_reuse == "off":
             factorization = self.solver.factorize(matrix)
+            fresh = True
         else:
             factorization = None
             for index, (stored_gen, stored, handle) in enumerate(self._recent):
@@ -119,6 +124,12 @@ class NewtonWorkspace:
                 factorization = self.solver.factorize(matrix)
                 self._recent.insert(0, (generation, matrix, factorization))
                 del self._recent[self._RECENT_LIMIT:]
+                fresh = True
+        if fresh and self.options.health_check:
+            record = telemetry.health.check_factorization(
+                factorization, limit=self.options.condition_limit)
+            if len(self.health) < self.options.telemetry_max_records:
+                self.health.append(record)
         self.factorization = factorization
         return factorization
 
@@ -192,6 +203,9 @@ def newton_solve(system: MNASystem, x0: np.ndarray, analysis: str, time: float,
     timing = telemetry.enabled()
     trace = NewtonTrace(context=analysis, time=time) \
         if timing and ws.convergence is not None else None
+    # Forensics track the residual-norm trajectory (one float/iteration) so
+    # a failure report can show how the solve died, not just that it died.
+    norms: list[float] | None = [] if options.forensics else None
     n_nodes = system.num_nodes
     base_tol = np.where(np.arange(system.size) < n_nodes,
                         options.vntol, options.abstol)
@@ -225,12 +239,20 @@ def newton_solve(system: MNASystem, x0: np.ndarray, analysis: str, time: float,
         ctx = system.assemble(x, analysis, time, integrator, options,
                               source_scale, want_jacobian=not chord)
         if not np.all(np.isfinite(ctx.res)) or not ctx.jacobian_is_finite():
+            message = (f"non-finite residual/Jacobian at iteration "
+                       f"{iteration} (t={time:g})")
             raise ConvergenceError(
-                f"non-finite residual/Jacobian at iteration {iteration} (t={time:g})",
-                iterations=iteration)
-        if trace is not None:
-            trace.residuals.append(
-                float(np.max(np.abs(ctx.res))) if ctx.res.size else 0.0)
+                message, iterations=iteration,
+                report=_newton_report(ws, system, options, analysis, time,
+                                      norms, message=message,
+                                      error_type="ConvergenceError",
+                                      iterations=iteration, vector=ctx.res))
+        if trace is not None or norms is not None:
+            res_norm = float(np.max(np.abs(ctx.res))) if ctx.res.size else 0.0
+            if trace is not None:
+                trace.residuals.append(res_norm)
+            if norms is not None:
+                norms.append(res_norm)
         if chord:
             residual_norm = float(np.max(np.abs(ctx.res))) if ctx.res.size else 0.0
             stalled = (previous_residual is not None
@@ -240,9 +262,15 @@ def newton_solve(system: MNASystem, x0: np.ndarray, analysis: str, time: float,
                 ctx = system.assemble(x, analysis, time, integrator, options,
                                       source_scale, want_jacobian=True)
                 if not ctx.jacobian_is_finite():
+                    message = (f"non-finite Jacobian at iteration {iteration} "
+                               f"(t={time:g})")
                     raise ConvergenceError(
-                        f"non-finite Jacobian at iteration {iteration} (t={time:g})",
-                        iterations=iteration)
+                        message, iterations=iteration,
+                        report=_newton_report(ws, system, options, analysis,
+                                              time, norms, message=message,
+                                              error_type="ConvergenceError",
+                                              iterations=iteration,
+                                              vector=ctx.res))
                 _factorize(ws, system, ctx, analysis, time)
                 ws.chord_tag = tag
                 ws.stall_refactors += 1
@@ -270,12 +298,23 @@ def newton_solve(system: MNASystem, x0: np.ndarray, analysis: str, time: float,
                 telemetry.registry.observe(f"newton.{analysis}.solve_s",
                                            perf_counter() - t0)
         except LinAlgError as exc:
+            message = f"MNA solve failed for {analysis} at t={time:g}: {exc}"
             raise SingularMatrixError(
-                f"MNA solve failed for {analysis} at t={time:g}: {exc}") from exc
+                message,
+                report=_newton_report(ws, system, options, analysis, time,
+                                      norms, kind="singular", message=message,
+                                      error_type="SingularMatrixError",
+                                      iterations=iteration,
+                                      vector=ctx.res)) from exc
         if not np.all(np.isfinite(dx)):
+            message = (f"non-finite Newton update at iteration {iteration} "
+                       f"(t={time:g})")
             raise ConvergenceError(
-                f"non-finite Newton update at iteration {iteration} (t={time:g})",
-                iterations=iteration)
+                message, iterations=iteration,
+                report=_newton_report(ws, system, options, analysis, time,
+                                      norms, message=message,
+                                      error_type="ConvergenceError",
+                                      iterations=iteration, vector=dx))
         x_new = x + options.newton_damping * dx
         tol = base_tol + options.reltol * np.maximum(np.abs(x), np.abs(x_new))
         if require_confirm:
@@ -293,11 +332,32 @@ def newton_solve(system: MNASystem, x0: np.ndarray, analysis: str, time: float,
         confirmed_once = False
     if trace is not None:
         ws.convergence.add_newton(trace)
+    message = (f"Newton failed to converge in {options.max_newton_iterations} "
+               f"iterations ({analysis}, t={time:g})")
     raise ConvergenceError(
-        f"Newton failed to converge in {options.max_newton_iterations} iterations "
-        f"({analysis}, t={time:g})",
+        message,
         iterations=options.max_newton_iterations,
-        residual=float(np.max(np.abs(ctx.res))))
+        residual=float(np.max(np.abs(ctx.res))),
+        report=_newton_report(ws, system, options, analysis, time, norms,
+                              message=message, error_type="ConvergenceError",
+                              iterations=options.max_newton_iterations,
+                              vector=ctx.res))
+
+
+def _newton_report(ws: NewtonWorkspace, system: MNASystem,
+                   options: SimulationOptions, analysis: str, time: float,
+                   norms, *, message: str, error_type: str,
+                   kind: str = "newton", iterations: int | None = None,
+                   vector=None, matrix=None):
+    """Build/record a FailureReport for a dying Newton solve (or None)."""
+    if not options.forensics:
+        return None
+    return telemetry.forensics.newton_failure(
+        kind=kind, analysis=analysis, message=message, error_type=error_type,
+        time=time, iterations=iterations, labels=system.unknown_labels(),
+        residual=vector, trajectory=norms or (),
+        factorization=ws.factorization, matrix=matrix, options=options,
+        context={"size": system.size})
 
 
 def _factorize(ws: NewtonWorkspace, system: MNASystem, ctx: StampContext,
@@ -305,9 +365,20 @@ def _factorize(ws: NewtonWorkspace, system: MNASystem, ctx: StampContext,
     try:
         return ws.factor(system, ctx)
     except LinAlgError as exc:
-        raise SingularMatrixError(
-            f"singular MNA matrix while solving {analysis} at t={time:g}: {exc}"
-        ) from exc
+        message = (f"singular MNA matrix while solving {analysis} "
+                   f"at t={time:g}: {exc}")
+        report = None
+        if ws.options.forensics:
+            # The structural diagnosis of the unfactorable matrix is the
+            # "which stamp broke the matrix" signal: empty columns name
+            # unconstrained unknowns (floating nodes), empty rows name
+            # equations that constrain nothing.
+            report = telemetry.forensics.newton_failure(
+                kind="singular", analysis=analysis, message=message,
+                error_type="SingularMatrixError", time=time,
+                labels=system.unknown_labels(), matrix=ctx.jacobian(),
+                options=ws.options, context={"size": system.size})
+        raise SingularMatrixError(message, report=report) from exc
 
 
 def collect_outputs(system: MNASystem, ctx: StampContext) -> dict[str, float]:
@@ -361,7 +432,8 @@ class OperatingPointAnalysis:
         if options.telemetry == "off":
             return self._solve(initial_guess, workspace)
         if workspace.convergence is None:
-            workspace.convergence = telemetry.ConvergenceDiagnostics()
+            workspace.convergence = telemetry.ConvergenceDiagnostics(
+                max_records=options.telemetry_max_records)
         with telemetry.session(mode=options.telemetry) as sess:
             result = self._solve(initial_guess, workspace)
         sess.report.convergence = workspace.convergence
@@ -414,14 +486,21 @@ class OperatingPointAnalysis:
         levels = np.linspace(0.0, 1.0, min(options.max_source_steps, 32) + 1)[1:]
         x = np.array(x0, dtype=float, copy=True)
         total_iterations = 0
-        for scale in levels:
+        track = telemetry.progress.tracker("op.source_stepping",
+                                           total=len(levels), unit="levels")
+        for index, scale in enumerate(levels):
             try:
                 x, iterations = newton_solve(
                     self.system, x, "op", 0.0, None, options,
                     source_scale=float(scale), workspace=workspace)
                 total_iterations += iterations
             except (ConvergenceError, SingularMatrixError) as exc:
+                # The inner failure's forensic report (when captured) rides
+                # along on the wrapping error.
                 raise ConvergenceError(
                     f"operating point failed even with source stepping at scale "
-                    f"{scale:.3f}: {exc}") from exc
+                    f"{scale:.3f}: {exc}",
+                    report=getattr(exc, "report", None)) from exc
+            track.update(index + 1, message=f"scale={scale:.3f}")
+        track.finish(len(levels))
         return x, max(total_iterations, 1)

@@ -92,6 +92,28 @@ class SimulationOptions:
         spans and residual trajectories.  When enabled the analysis attaches
         a :class:`~repro.telemetry.TelemetryReport` to its result object as
         ``result.telemetry``.
+    telemetry_max_records:
+        Storage cap per convergence-diagnostics category (Newton traces,
+        step records, optimizer iterates).  Storage stops at the cap, the
+        ``*_total`` counters keep counting -- see
+        :mod:`repro.telemetry.convergence` for the contract.
+    health_check:
+        Run a cheap 1-norm condition estimate (LAPACK ``gecon`` / a
+        deterministic Hager iteration, see
+        :mod:`repro.telemetry.health`) on every freshly factored Jacobian
+        and warn (``NumericalHealthWarning`` + ``health.near_singular``
+        counter) when it exceeds ``condition_limit``.  Off by default:
+        costs a few back-substitutions per factorization.
+    condition_limit:
+        Condition-estimate threshold of ``health_check``.
+    forensics:
+        Capture a structured :class:`~repro.telemetry.FailureReport`
+        (residual trajectory, offending unknown names, condition estimate,
+        last-good state) when a solve fails, attached to the raised
+        exception as ``exc.report`` and retained in
+        ``repro.telemetry.forensics.recent_failures()``.  Off by default;
+        the capture only runs on failure paths, but tracking the residual
+        trajectory costs one float per Newton iteration.
     """
 
     reltol: float = constants.RELTOL
@@ -112,6 +134,10 @@ class SimulationOptions:
     refactor_threshold: float = 0.5
     step_chord_reuse: bool = True
     telemetry: str = "off"
+    telemetry_max_records: int = 10000
+    health_check: bool = False
+    condition_limit: float = 1e12
+    forensics: bool = False
 
     def __post_init__(self) -> None:
         if self.reltol <= 0.0 or self.reltol >= 1.0:
@@ -147,6 +173,10 @@ class SimulationOptions:
             raise AnalysisError(
                 f"unknown telemetry level {self.telemetry!r} "
                 "(use 'off', 'summary' or 'full')")
+        if self.telemetry_max_records < 1:
+            raise AnalysisError("telemetry_max_records must be at least 1")
+        if self.condition_limit <= 1.0:
+            raise AnalysisError("condition_limit must exceed 1")
 
     def use_sparse(self, size: int) -> bool:
         """Whether a system of ``size`` unknowns should assemble sparse."""

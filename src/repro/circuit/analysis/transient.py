@@ -21,7 +21,9 @@ paper's figure 5 come out of the solver directly.
 
 from __future__ import annotations
 
+import dataclasses
 import time as _time
+from collections import deque
 from typing import Iterable
 
 import numpy as np
@@ -116,7 +118,8 @@ class TransientAnalysis:
         """
         if self.options.telemetry == "off":
             return self._run(operating_point, None)
-        diagnostics = ConvergenceDiagnostics()
+        diagnostics = ConvergenceDiagnostics(
+            max_records=self.options.telemetry_max_records)
         with telemetry.session(mode=self.options.telemetry) as sess:
             with telemetry.span("transient.run"):
                 result = self._run(operating_point, diagnostics)
@@ -173,6 +176,14 @@ class TransientAnalysis:
         t = self.t_start
         h = min(self.t_step, self.max_step)
         min_step = max(self.t_step * options.min_step_ratio, 1e-18)
+        track = telemetry.progress.tracker(
+            "transient", total=self.t_stop - self.t_start, unit="s")
+        # Forensics keep a short tail of step attempts plus the last Newton
+        # failure's report so a step-underflow post-mortem can show how the
+        # controller ground to a halt and where the last healthy state was.
+        recent_steps: deque | None = deque(maxlen=32) if options.forensics \
+            else None
+        last_newton_report = None
 
         while t < self.t_stop - 1e-15:
             if self.t_stop - t <= max(min_step, 1e-12 * self.t_stop):
@@ -188,8 +199,30 @@ class TransientAnalysis:
                     if distance > 1e-15:
                         h = min(h, distance)
                 if h < min_step:
-                    raise ConvergenceError(
-                        f"transient step underflow at t={t:g} (step {h:g} < {min_step:g})")
+                    message = (f"transient step underflow at t={t:g} "
+                               f"(step {h:g} < {min_step:g})")
+                    report = None
+                    if options.forensics:
+                        inner = last_newton_report
+                        report = telemetry.forensics.record(
+                            telemetry.forensics.FailureReport(
+                                kind="step_underflow", analysis="tran",
+                                message=message,
+                                error_type="ConvergenceError", time=t,
+                                residual_trajectory=list(
+                                    inner.residual_trajectory) if inner else [],
+                                offending=list(inner.offending)
+                                if inner else [],
+                                condition_estimate=inner.condition_estimate
+                                if inner else None,
+                                last_good=telemetry.forensics.state_snapshot(
+                                    system.unknown_labels(), history_x[-1],
+                                    history_t[-1]),
+                                step_history=list(recent_steps or ()),
+                                options=dataclasses.asdict(options),
+                                context={"size": system.size,
+                                         "min_step": min_step}))
+                    raise ConvergenceError(message, report=report)
 
                 t_new = t + h
                 integrator.set_step(h)
@@ -207,13 +240,19 @@ class TransientAnalysis:
                     x_new, iterations = newton_solve(
                         system, x_guess, "tran", t_new, integrator, options, 1.0,
                         workspace=workspace)
-                except (ConvergenceError, SingularMatrixError):
+                except (ConvergenceError, SingularMatrixError) as exc:
                     stats["newton_time_s"] += _time.perf_counter() - newton_start
                     integrator.discard()
                     stats["rejected"] += 1
                     step_span.set("accepted", False)
                     if diagnostics is not None:
                         diagnostics.add_step(StepRecord(t_new, h, accepted=False))
+                    if recent_steps is not None:
+                        recent_steps.append({"time": t_new, "dt": h,
+                                             "accepted": False,
+                                             "reason": type(exc).__name__})
+                        if getattr(exc, "report", None) is not None:
+                            last_newton_report = exc.report
                     h *= 0.25
                     continue
                 stats["newton_time_s"] += _time.perf_counter() - newton_start
@@ -243,6 +282,11 @@ class TransientAnalysis:
                         diagnostics.add_step(StepRecord(
                             t_new, h, accepted=False, error_ratio=error_ratio,
                             newton_iterations=iterations))
+                    if recent_steps is not None:
+                        recent_steps.append({"time": t_new, "dt": h,
+                                             "accepted": False,
+                                             "error_ratio": error_ratio,
+                                             "reason": "lte"})
                     h = max(h * max(0.2, 0.9 / error_ratio ** 0.5), min_step)
                     continue
 
@@ -273,8 +317,14 @@ class TransientAnalysis:
                     diagnostics.add_step(StepRecord(
                         t_new, h, accepted=True, error_ratio=error_ratio,
                         newton_iterations=iterations))
+                if recent_steps is not None:
+                    recent_steps.append({"time": t_new, "dt": h,
+                                         "accepted": True,
+                                         "error_ratio": error_ratio})
+                    last_newton_report = None  # solve recovered
                 t = t_new
                 x = x_new
+                track.update(t - self.t_start, dt=h)
 
                 if error_ratio < 0.1:
                     h = min(h * options.max_step_growth, self.max_step)
@@ -291,6 +341,7 @@ class TransientAnalysis:
                 keys.update(row)
             data = {key: np.array([row.get(key, np.nan) for row in rows], dtype=float)
                     for key in sorted(keys)}
+        track.finish(t - self.t_start)
         stats["wall_time_s"] = _time.perf_counter() - wall_start
         stats["points"] = len(times)
         stats.update(workspace.statistics())

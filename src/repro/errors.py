@@ -12,6 +12,10 @@ from __future__ import annotations
 class ReproError(Exception):
     """Base class of every exception raised by the repro package."""
 
+    #: Optional :class:`repro.telemetry.forensics.FailureReport` attached at
+    #: the raise site when forensics capture is enabled.  ``None`` otherwise.
+    report = None
+
 
 class UnitError(ReproError):
     """A quantity string or unit could not be parsed or converted."""
@@ -37,14 +41,19 @@ class ConvergenceError(AnalysisError):
     """Newton iteration or the transient integrator failed to converge."""
 
     def __init__(self, message: str, iterations: int | None = None,
-                 residual: float | None = None) -> None:
+                 residual: float | None = None, report=None) -> None:
         super().__init__(message)
         self.iterations = iterations
         self.residual = residual
+        self.report = report
 
 
 class SingularMatrixError(AnalysisError):
     """The MNA matrix is singular (floating node, shorted source loop, ...)."""
+
+    def __init__(self, message: str, report=None) -> None:
+        super().__init__(message)
+        self.report = report
 
 
 class HDLError(ReproError):

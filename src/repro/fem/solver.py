@@ -48,7 +48,16 @@ def solve_sparse(matrix: sp.spmatrix, rhs: np.ndarray, method: str = "direct",
         with telemetry.span("fem.solve", method=method, size=int(matrix.shape[0])):
             return solver.solve(sp.csr_matrix(matrix), rhs)
     except LinAlgError as exc:
-        raise FEMError(f"sparse {method} solve failed: {exc}") from exc
+        # The failure path always captures forensics (no knob: FE callers
+        # have no SimulationOptions, and the diagnosis only runs on failure).
+        message = f"sparse {method} solve failed: {exc}"
+        report = telemetry.forensics.newton_failure(
+            kind="fem", analysis=f"fem.{method}", message=message,
+            error_type="FEMError", matrix=matrix,
+            context={"size": int(matrix.shape[0]), "rtol": rtol})
+        error = FEMError(message)
+        error.report = report
+        raise error from exc
 
 
 def solve_generalized_eig(stiffness, mass, count: int, *,

@@ -50,6 +50,67 @@ BACKENDS = ("auto", "dense", "superlu", "cg")
 #: FE solver setting).
 _CG_MAXITER = 20000
 
+#: Iteration cap of the Hager/Higham 1-norm inverse estimator.  Convergence
+#: in 2-3 iterations is typical; the cap only bounds pathological cycling.
+_CONDEST_MAXITER = 5
+
+
+def _norm1(matrix) -> float:
+    """The matrix 1-norm (max absolute column sum), dense or sparse."""
+    if matrix.shape[0] == 0:
+        return 0.0
+    if sp.issparse(matrix):
+        return float(np.abs(matrix).sum(axis=0).max())
+    return float(np.abs(matrix).sum(axis=0).max())
+
+
+def _hager_inverse_norm1(solve, solve_transposed, n: int) -> float:
+    """Deterministic Hager/Higham estimate of ``||A^-1||_1``.
+
+    Needs only forward and transposed back-substitutions against an existing
+    factorization (no access to ``A^-1`` itself), which is what makes the
+    condition estimate cheap: O(a few solves), not O(n^3).  The deliberately
+    non-random final safeguard vector keeps repeated estimates bit-identical
+    run to run (scipy's ``onenormest`` is randomized and therefore unusable
+    for deterministic diagnostics).
+    """
+    if n == 0:
+        return 0.0
+    x = np.full(n, 1.0 / n)
+    estimate = 0.0
+    last_index = -1
+    for _ in range(_CONDEST_MAXITER):
+        y = np.asarray(solve(x))
+        if not np.all(np.isfinite(y)):
+            return float("inf")
+        estimate = float(np.abs(y).sum())
+        if np.iscomplexobj(y):
+            magnitude = np.abs(y)
+            unit = np.where(magnitude == 0.0, 1.0, magnitude)
+            xi = np.where(magnitude == 0.0, 1.0 + 0.0j, y / unit)
+        else:
+            xi = np.sign(y)
+            xi[xi == 0.0] = 1.0
+        z = np.asarray(solve_transposed(xi))
+        if not np.all(np.isfinite(z)):
+            return float("inf")
+        magnitude_z = np.abs(z)
+        index = int(np.argmax(magnitude_z))
+        if magnitude_z[index] <= abs(np.vdot(z, x)) or index == last_index:
+            break
+        x = np.zeros(n)
+        x[index] = 1.0
+        last_index = index
+    # Higham's alternating safeguard vector catches the unit-vector blind
+    # spots of the iteration above; keep the larger of the two bounds.
+    safeguard = np.empty(n)
+    for i in range(n):
+        safeguard[i] = (1.0 + i / (n - 1) if n > 1 else 1.0) * (-1.0) ** i
+    y = np.asarray(solve(safeguard))
+    if not np.all(np.isfinite(y)):
+        return float("inf")
+    return max(estimate, 2.0 * float(np.abs(y).sum()) / (3.0 * n))
+
 
 class Factorization:
     """Handle to a factored (or otherwise solvable) system matrix."""
@@ -62,10 +123,28 @@ class Factorization:
         #: Number of transposed back-substitutions performed (adjoint-solve
         #: instrumentation: the sensitivity layer counts these).
         self.transpose_solves = 0
+        self._condition: float | None = None
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         """Back-substitute one right-hand side (or a column block)."""
         raise NotImplementedError
+
+    def condition_estimate(self) -> float:
+        """Cheap 1-norm condition-number estimate of the factored matrix.
+
+        Dense LU uses LAPACK ``gecon`` on the stored factors; the sparse and
+        iterative backends run a deterministic Hager/Higham iteration on
+        forward/transposed back-substitutions.  Costs a handful of
+        back-substitutions, is cached on the handle, and never refactors.
+        Returns ``inf`` for a numerically singular matrix.
+        """
+        if self._condition is None:
+            self._condition = float(self._estimate_condition())
+        return self._condition
+
+    def _estimate_condition(self) -> float:
+        raise LinAlgError(
+            f"backend {self.backend!r} does not support condition estimation")
 
     def solve_transposed(self, rhs: np.ndarray) -> np.ndarray:
         """Back-substitute against ``A^T`` using the *same* factorization.
@@ -95,6 +174,10 @@ class _DenseLU(Factorization):
     def __init__(self, matrix: np.ndarray) -> None:
         matrix = np.asarray(matrix)
         super().__init__(matrix.shape)
+        # Reference only (no copy): needed lazily for the 1-norm in
+        # condition_estimate(); analysis workspaces already retain the
+        # assembled matrices, so this costs no extra memory.
+        self._matrix = matrix
         with warnings.catch_warnings():
             # An exactly singular U triggers a LinAlgWarning before we can
             # turn it into the LinAlgError below.
@@ -127,6 +210,16 @@ class _DenseLU(Factorization):
         return la.lu_solve((self._lu, self._piv), rhs, trans=1,
                            check_finite=False)
 
+    def _estimate_condition(self) -> float:
+        anorm = _norm1(self._matrix)
+        if anorm == 0.0:
+            return float("inf")
+        (gecon,) = la.get_lapack_funcs(("gecon",), (self._lu,))
+        rcond, info = gecon(self._lu, anorm)
+        if info < 0:
+            raise LinAlgError(f"gecon failed (illegal argument {-info})")
+        return float("inf") if rcond == 0.0 else 1.0 / float(rcond)
+
 
 class _SparseLU(Factorization):
     """SuperLU factorization of a sparse (real or complex) matrix."""
@@ -136,6 +229,7 @@ class _SparseLU(Factorization):
     def __init__(self, matrix) -> None:
         matrix = sp.csc_matrix(matrix)
         super().__init__(matrix.shape)
+        self._matrix = matrix
         self._complex = np.iscomplexobj(matrix)
         try:
             self._lu = spla.splu(matrix)
@@ -175,6 +269,22 @@ class _SparseLU(Factorization):
                 "sparse transposed solve produced non-finite values "
                 "(singular system; missing boundary conditions?)")
         return solution
+
+    def _estimate_condition(self) -> float:
+        anorm = _norm1(self._matrix)
+        if anorm == 0.0:
+            return float("inf")
+        # Raw SuperLU back-substitutions: do not route through
+        # solve_transposed(), whose counter feeds adjoint-solve accounting.
+        dtype = complex if self._complex else float
+
+        def forward(vec):
+            return self._lu.solve(np.asarray(vec, dtype=dtype))
+
+        def transposed(vec):
+            return self._lu.solve(np.asarray(vec, dtype=dtype), trans="T")
+
+        return anorm * _hager_inverse_norm1(forward, transposed, self.shape[0])
 
 
 class _JacobiCG(Factorization):
@@ -268,6 +378,22 @@ class _JacobiCG(Factorization):
             self._direct = _SparseLU(self._matrix)
         self.fallback_solves += 1
         return self._direct.solve_transposed(rhs)
+
+    def _estimate_condition(self) -> float:
+        anorm = _norm1(self._matrix)
+        if anorm == 0.0:
+            return float("inf")
+        if self._direct is None and not self._is_symmetric():
+            if not self._fallback_allowed:
+                raise LinAlgError(
+                    "cg condition estimate needs a symmetric matrix "
+                    "(A^T != A and the direct fallback is disabled)")
+            self._direct = _SparseLU(self._matrix)
+        if self._direct is not None:
+            return self._direct._estimate_condition()
+        # Symmetric system: the transposed solve IS the forward CG solve.
+        return anorm * _hager_inverse_norm1(self.solve, self.solve,
+                                            self.shape[0])
 
 
 class FactorizedSolver:

@@ -121,6 +121,9 @@ class NelderMead:
         calls = 0
         tracing = telemetry.enabled()
         trace: list[IterateRecord] = []
+        track = telemetry.progress.tracker("optim.nelder-mead",
+                                           total=self.max_iterations,
+                                           unit="iters")
 
         def f(z) -> float:
             nonlocal calls
@@ -151,6 +154,7 @@ class NelderMead:
             if tracing:
                 trace.append(IterateRecord(iterations, float(best),
                                            space.decode(simplex[0])))
+            track.update(iterations, best=float(best))
             spread_x = max(float(np.max(np.abs(v - simplex[0])))
                            for v in simplex[1:])
             spread_f = worst - best if np.isfinite(worst) else np.inf
@@ -190,6 +194,7 @@ class NelderMead:
         order = np.argsort(values, kind="stable")
         x_best = simplex[order[0]]
         f_best = values[order[0]]
+        track.finish(iterations, message=message)
         return OptimResult(
             x=np.array(x_best, dtype=float), params=space.decode(x_best),
             fun=float(f_best), iterations=iterations, evaluations=calls,
@@ -252,11 +257,22 @@ class GradientDescent:
         value, grad = objective.value_and_gradient(x)
         calls += 1
         if not np.isfinite(value) or not np.all(np.isfinite(grad)):
+            message = "objective/gradient not finite at the start point"
+            telemetry.forensics.newton_failure(
+                kind="optim", analysis=f"optim.{self.name}", message=message,
+                error_type="OptimizationError",
+                labels=[f"d/d{name}" for name in space.decode(x)],
+                residual=np.asarray(grad, dtype=float),
+                context={"start_value": float(value),
+                         "start_point": {name: float(v) for name, v
+                                         in space.decode(x).items()}})
             return OptimResult(
                 x=np.array(x, dtype=float), params=space.decode(x),
                 fun=float(value), iterations=0, evaluations=calls,
-                converged=False,
-                message="objective/gradient not finite at the start point")
+                converged=False, message=message)
+        track = telemetry.progress.tracker("optim.gradient-descent",
+                                           total=self.max_iterations,
+                                           unit="iters")
         step = self.initial_step
         iterations = 0
         for iterations in range(1, self.max_iterations + 1):
@@ -264,6 +280,7 @@ class GradientDescent:
             if tracing:
                 trace.append(IterateRecord(iterations, float(value),
                                            space.decode(x)))
+            track.update(iterations, value=float(value))
             # Projected gradient: the free-direction derivative at the bounds.
             projected = space.clip(x - grad) - x
             if float(np.max(np.abs(projected))) <= self.gtol:
@@ -300,6 +317,7 @@ class GradientDescent:
                 converged = True
                 message = "step/improvement within tolerance"
                 break
+        track.finish(iterations, message=message)
         return OptimResult(
             x=np.array(x, dtype=float), params=space.decode(x),
             fun=float(value), iterations=iterations, evaluations=calls,

@@ -28,21 +28,31 @@ Analyses do this internally when ``SimulationOptions(telemetry="full")`` is
 set and attach the report as ``result.telemetry``.
 """
 
-from . import registry
+from . import forensics, health, progress, registry
 from .context import (MODES, Span, TelemetryReport, TelemetrySession,
-                      aggregate_spans, current, detail_enabled, detail_span,
-                      enabled, merge_span_totals, session, span)
+                      aggregate_spans, current, current_path, detail_enabled,
+                      detail_span, enabled, merge_span_totals, session, span)
 from .convergence import (ConvergenceDiagnostics, IterateRecord, NewtonTrace,
                           StepRecord)
 from .export import (chrome_trace_events, profile_summary, report_to_json,
                      spans_to_json, write_chrome_trace)
+from .forensics import FailureReport, ReproductionBundle
+from .health import ConditionRecord, NumericalHealthWarning
+from .progress import (CallbackReporter, LoggingProgressReporter,
+                       ProgressEvent, ProgressReporter, ProgressTracker,
+                       StallWarning, reporting, tracker)
 
 __all__ = [
-    "registry",
+    "registry", "health", "forensics", "progress",
     "Span", "TelemetrySession", "TelemetryReport", "MODES",
     "span", "detail_span", "session", "enabled", "detail_enabled", "current",
-    "aggregate_spans", "merge_span_totals",
+    "current_path", "aggregate_spans", "merge_span_totals",
     "ConvergenceDiagnostics", "NewtonTrace", "StepRecord", "IterateRecord",
     "chrome_trace_events", "write_chrome_trace", "spans_to_json",
     "report_to_json", "profile_summary",
+    "ConditionRecord", "NumericalHealthWarning",
+    "FailureReport", "ReproductionBundle",
+    "ProgressEvent", "ProgressReporter", "CallbackReporter",
+    "LoggingProgressReporter", "ProgressTracker", "StallWarning",
+    "reporting", "tracker",
 ]

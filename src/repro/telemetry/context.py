@@ -30,7 +30,7 @@ from . import registry
 
 __all__ = ["Span", "TelemetrySession", "TelemetryReport", "span",
            "detail_span", "session", "enabled", "detail_enabled", "current",
-           "MODES", "aggregate_spans", "merge_span_totals"]
+           "current_path", "MODES", "aggregate_spans", "merge_span_totals"]
 
 #: Collection modes: ``"summary"`` keeps coarse spans and convergence
 #: digests; ``"full"`` additionally records fine-grained (per-iteration /
@@ -181,6 +181,18 @@ def current():
     return stack[-1] if stack else _NULL_SPAN
 
 
+def current_path(separator: str = "/") -> str:
+    """The open span stack as a path (``"tran.run/transient.step"``).
+
+    Empty string when no span is open -- the hook the logging bridge uses to
+    correlate log records with the span tree without holding references.
+    """
+    stack = _state.stack
+    if not stack:
+        return ""
+    return separator.join(node.name for node in stack)
+
+
 # -------------------------------------------------------------- span totals
 def aggregate_spans(spans, totals: dict | None = None) -> dict:
     """Per-name ``{count, total_s, self_s}`` totals over span trees.
@@ -256,11 +268,15 @@ class TelemetryReport:
 
         return report_to_json(self)
 
-    def profile_summary(self, limit: int = 20) -> str:
-        """Human-readable per-span-name profile table."""
+    def profile_summary(self, limit: int = 20, sort: str = "self") -> str:
+        """Human-readable per-span-name profile table.
+
+        ``sort`` is ``"self"`` (default), ``"total"`` or ``"count"``; a
+        table truncated by ``limit`` reports how many rows were omitted.
+        """
         from .export import profile_summary
 
-        return profile_summary(self, limit=limit)
+        return profile_summary(self, limit=limit, sort=sort)
 
     def aggregate_payload(self) -> dict:
         """Picklable cross-process payload: span totals + metric deltas."""

@@ -7,9 +7,14 @@ Three record types cover the stack's iterative machinery:
   accepted or rejected / Newton iterations),
 * :class:`IterateRecord` -- one optimizer iterate (objective + parameters).
 
-:class:`ConvergenceDiagnostics` collects them per analysis run with a hard
-cap per category so a million-step transient cannot balloon memory; when
-the cap trips, recording keeps counting (``*_total``) but stops storing.
+:class:`ConvergenceDiagnostics` collects them per analysis run with a cap
+per category so a million-step transient cannot balloon memory.  The
+storage contract: each category *stores* at most its cap of records (the
+earliest ones -- the list simply stops growing) while the matching
+``*_total`` counter keeps *counting* every record unconditionally, so
+``newton_total > len(newton)`` is how a consumer detects truncation.  The
+shared default cap comes from ``SimulationOptions.telemetry_max_records``
+(per-category overrides via the keyword-only constructor arguments).
 Analyses attach an instance to their result's telemetry report behind the
 ``SimulationOptions.telemetry`` knob.
 """
@@ -77,10 +82,25 @@ class IterateRecord:
 
 
 class ConvergenceDiagnostics:
-    """Capped collection of convergence records for one analysis run."""
+    """Capped collection of convergence records for one analysis run.
 
-    def __init__(self, max_records: int = 10000) -> None:
+    ``max_records`` is the shared storage cap; ``max_newton`` /
+    ``max_steps`` / ``max_iterates`` override it per category.  Counting
+    (``*_total``) is never capped -- see the module docstring for the
+    storage-vs-count contract.
+    """
+
+    def __init__(self, max_records: int = 10000, *,
+                 max_newton: int | None = None,
+                 max_steps: int | None = None,
+                 max_iterates: int | None = None) -> None:
         self.max_records = int(max_records)
+        self.max_newton = self.max_records if max_newton is None \
+            else int(max_newton)
+        self.max_steps = self.max_records if max_steps is None \
+            else int(max_steps)
+        self.max_iterates = self.max_records if max_iterates is None \
+            else int(max_iterates)
         self.newton: list[NewtonTrace] = []
         self.steps: list[StepRecord] = []
         self.iterates: list[IterateRecord] = []
@@ -91,17 +111,17 @@ class ConvergenceDiagnostics:
     # ------------------------------------------------------------- recording
     def add_newton(self, trace: NewtonTrace) -> None:
         self.newton_total += 1
-        if len(self.newton) < self.max_records:
+        if len(self.newton) < self.max_newton:
             self.newton.append(trace)
 
     def add_step(self, record: StepRecord) -> None:
         self.steps_total += 1
-        if len(self.steps) < self.max_records:
+        if len(self.steps) < self.max_steps:
             self.steps.append(record)
 
     def add_iterate(self, record: IterateRecord) -> None:
         self.iterates_total += 1
-        if len(self.iterates) < self.max_records:
+        if len(self.iterates) < self.max_iterates:
             self.iterates.append(record)
 
     # --------------------------------------------------------------- summary

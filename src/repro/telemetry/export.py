@@ -98,22 +98,44 @@ def write_chrome_trace(path, spans: Iterable, pid: int = 1, tid: int = 1) -> str
 
 
 # ----------------------------------------------------------- profile summary
-def profile_summary(report, limit: int = 20) -> str:
-    """Fixed-width table of per-span-name totals, heaviest self-time first."""
-    rows = sorted(report.span_totals.items(),
-                  key=lambda item: item[1]["self_s"], reverse=True)[:limit]
+#: Column each ``profile_summary(sort=...)`` key orders by (descending).
+_PROFILE_SORT_KEYS = {"self": "self_s", "total": "total_s", "count": "count"}
+
+
+def profile_summary(report, limit: int = 20, sort: str = "self") -> str:
+    """Fixed-width table of per-span-name totals.
+
+    ``sort`` orders the rows descending by ``"self"`` (exclusive time, the
+    default), ``"total"`` (inclusive time) or ``"count"``.  Only the top
+    ``limit`` rows are printed; a truncated table says how many rows were
+    omitted so a clipped profile can never be mistaken for a complete one.
+    The ``self %`` / ``total %`` columns are shares of the report's wall
+    time (inclusive shares exceed 100% summed -- parents contain children).
+    """
+    if sort not in _PROFILE_SORT_KEYS:
+        raise ValueError(f"unknown sort key {sort!r} "
+                         f"(use one of {tuple(_PROFILE_SORT_KEYS)})")
+    column = _PROFILE_SORT_KEYS[sort]
+    ordered = sorted(report.span_totals.items(),
+                     key=lambda item: item[1][column], reverse=True)
+    rows = ordered[:limit]
+    omitted = len(ordered) - len(rows)
     wall = report.wall_s or sum(entry["self_s"]
                                 for _, entry in report.span_totals.items())
     name_width = max([len(name) for name, _ in rows] + [len("span")])
     header = (f"{'span':<{name_width}}  {'count':>7}  {'total':>10}  "
-              f"{'self':>10}  {'self %':>7}")
+              f"{'total %':>7}  {'self':>10}  {'self %':>7}")
     lines = [header, "-" * len(header)]
     for name, entry in rows:
-        share = (entry["self_s"] / wall * 100.0) if wall else 0.0
+        self_share = (entry["self_s"] / wall * 100.0) if wall else 0.0
+        total_share = (entry["total_s"] / wall * 100.0) if wall else 0.0
         lines.append(
             f"{name:<{name_width}}  {entry['count']:>7d}  "
-            f"{_fmt_seconds(entry['total_s']):>10}  "
-            f"{_fmt_seconds(entry['self_s']):>10}  {share:>6.1f}%")
+            f"{_fmt_seconds(entry['total_s']):>10}  {total_share:>6.1f}%  "
+            f"{_fmt_seconds(entry['self_s']):>10}  {self_share:>6.1f}%")
+    if omitted:
+        lines.append(f"... {omitted} rows omitted (of {len(ordered)}; "
+                     f"raise limit= to see them)")
     lines.append(f"wall time: {_fmt_seconds(wall)}")
     return "\n".join(lines)
 

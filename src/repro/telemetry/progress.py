@@ -1,0 +1,277 @@
+"""Live progress reporting: ETA trackers, heartbeats, logging bridge.
+
+A long transient, a 10k-point campaign or an optimizer run should be
+watchable while it executes, not only explicable afterwards.  The pieces:
+
+- :class:`ProgressReporter` -- the callback protocol.  Implementations
+  receive :class:`ProgressEvent`\\ s (phase, completed/total, ETA, span
+  path).  :class:`CallbackReporter` adapts a plain function;
+  :class:`LoggingProgressReporter` bridges events onto a stdlib logger with
+  the current span path attached, so progress lands in ordinary logs.
+- :func:`reporting` -- a context manager installing a reporter on the
+  current thread.  Instrumented loops call :func:`tracker` which returns a
+  shared no-op when nothing is installed -- the same near-zero disabled
+  pattern the span layer uses, so the hot paths stay instrumented
+  unconditionally.
+- :class:`ProgressTracker` -- per-phase ETA bookkeeping with configurable
+  minimum intervals between emitted events (default 0: every update).
+
+The campaign runner additionally emits worker *heartbeats* (pid, wall time,
+points solved, shipped with each result chunk) and detects *stalled*
+workers queue-side; see ``repro.campaign.runner``.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from dataclasses import dataclass, field
+
+from .context import current_path
+
+__all__ = ["ProgressEvent", "ProgressReporter", "CallbackReporter",
+           "LoggingProgressReporter", "ProgressTracker", "StallWarning",
+           "reporting", "tracker", "active"]
+
+logger = logging.getLogger("repro.telemetry.progress")
+
+
+class StallWarning(UserWarning):
+    """A parallel worker exceeded its stall timeout without delivering results.
+
+    Emitted queue-side by the campaign runner (never from inside the stuck
+    worker): the driving process keeps running and the warning carries how
+    long the pool has been silent and how much work had completed.
+    """
+
+_perf_counter = time.perf_counter
+
+
+@dataclass
+class ProgressEvent:
+    """One progress observation."""
+
+    #: What is progressing: ``"transient"``, ``"dcsweep"``, ``"ac"``,
+    #: ``"campaign"``, ``"optim.nelder-mead"``, ...
+    phase: str
+    #: Work done so far, in ``unit``\\ s (simulated seconds, points, iters).
+    completed: float
+    #: Total work, when known in advance (None -> no fraction/ETA).
+    total: float | None
+    #: Unit of ``completed``/``total``.
+    unit: str = ""
+    #: Wall-clock seconds since the phase started.
+    elapsed_s: float = 0.0
+    #: Estimated remaining wall-clock seconds (None when unknowable).
+    eta_s: float | None = None
+    #: Whether this is the phase's final event.
+    done: bool = False
+    message: str = ""
+    #: Open span stack at emission time ("tran.run/transient.step").
+    span_path: str = ""
+    #: Free-form extras (worker heartbeats, current step size, ...).
+    data: dict = field(default_factory=dict)
+
+    @property
+    def fraction(self) -> float | None:
+        """Completed fraction in [0, 1], when the total is known."""
+        if self.total is None or self.total <= 0:
+            return None
+        return min(1.0, self.completed / self.total)
+
+    def __str__(self) -> str:
+        parts = [self.phase]
+        fraction = self.fraction
+        if fraction is not None:
+            parts.append(f"{100.0 * fraction:5.1f}%")
+        unit = f" {self.unit}" if self.unit else ""
+        if self.total is not None:
+            parts.append(f"({self.completed:g}/{self.total:g}{unit})")
+        else:
+            parts.append(f"({self.completed:g}{unit})")
+        if self.eta_s is not None:
+            parts.append(f"eta {self.eta_s:.1f}s")
+        if self.message:
+            parts.append(self.message)
+        return " ".join(parts)
+
+
+class ProgressReporter:
+    """Callback protocol: subclass and override :meth:`update`."""
+
+    def update(self, event: ProgressEvent) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Called when the installing :func:`reporting` scope exits."""
+
+
+class CallbackReporter(ProgressReporter):
+    """Adapt a plain ``event -> None`` callable to the protocol."""
+
+    def __init__(self, callback) -> None:
+        self._callback = callback
+
+    def update(self, event: ProgressEvent) -> None:
+        self._callback(event)
+
+
+class LoggingProgressReporter(ProgressReporter):
+    """Bridge progress events onto a stdlib logger, span-correlated.
+
+    Each event becomes one log record with the formatted event as message
+    and the open span path in ``record.span_path`` (usable from a
+    ``logging.Formatter`` via ``%(span_path)s``).
+    """
+
+    def __init__(self, target: logging.Logger | None = None,
+                 level: int = logging.INFO) -> None:
+        self._logger = target if target is not None else logger
+        self._level = level
+
+    def update(self, event: ProgressEvent) -> None:
+        self._logger.log(self._level, "%s", event,
+                         extra={"span_path": event.span_path})
+
+
+class _ThreadReporters(threading.local):
+    def __init__(self) -> None:
+        self.stack: list[tuple[ProgressReporter, float]] = []
+
+
+_reporters = _ThreadReporters()
+
+
+class _ReportingScope:
+    def __init__(self, reporter: ProgressReporter, min_interval_s: float) -> None:
+        self._entry = (reporter, float(min_interval_s))
+
+    def __enter__(self) -> ProgressReporter:
+        _reporters.stack.append(self._entry)
+        return self._entry[0]
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        stack = _reporters.stack
+        if self._entry in stack:
+            stack.remove(self._entry)
+        try:
+            self._entry[0].close()
+        except Exception:
+            logger.exception("progress reporter close() failed")
+        return False
+
+
+def reporting(reporter, min_interval_s: float = 0.0) -> _ReportingScope:
+    """Install a reporter on this thread for the duration of a ``with``.
+
+    ``reporter`` is a :class:`ProgressReporter` or a plain callable (wrapped
+    in :class:`CallbackReporter`).  ``min_interval_s`` throttles emission:
+    intermediate events closer together than the interval are dropped
+    (first and final events always fire).
+    """
+    if not isinstance(reporter, ProgressReporter):
+        reporter = CallbackReporter(reporter)
+    return _ReportingScope(reporter, min_interval_s)
+
+
+def active() -> bool:
+    """Whether a reporter is installed on this thread."""
+    return bool(_reporters.stack)
+
+
+class ProgressTracker:
+    """Per-phase progress/ETA bookkeeping feeding one reporter."""
+
+    def __init__(self, phase: str, total: float | None = None, unit: str = "",
+                 reporter: ProgressReporter | None = None,
+                 min_interval_s: float | None = None) -> None:
+        if reporter is None:
+            entry = _reporters.stack[-1]
+            reporter = entry[0]
+            if min_interval_s is None:
+                min_interval_s = entry[1]
+        self._reporter = reporter
+        self._min_interval = float(min_interval_s or 0.0)
+        self.phase = phase
+        self.total = None if total is None else float(total)
+        self.unit = unit
+        self._t0 = _perf_counter()
+        self._last_emit = -float("inf")
+        self._emitted = 0
+
+    def update(self, completed: float, message: str = "", force: bool = False,
+               **data) -> None:
+        """Report progress; throttled by the installed minimum interval."""
+        now = _perf_counter()
+        if not force and self._emitted \
+                and now - self._last_emit < self._min_interval:
+            return
+        elapsed = now - self._t0
+        eta = None
+        if self.total is not None and self.total > 0 and completed > 0:
+            remaining = max(0.0, self.total - completed)
+            eta = elapsed * remaining / completed
+        event = ProgressEvent(phase=self.phase, completed=float(completed),
+                              total=self.total, unit=self.unit,
+                              elapsed_s=elapsed, eta_s=eta,
+                              message=message, span_path=current_path(),
+                              data=data)
+        self._emit(event)
+
+    def finish(self, completed: float | None = None, message: str = "",
+               **data) -> None:
+        """Emit the phase's final event (never throttled)."""
+        if completed is None:
+            completed = self.total if self.total is not None else 0.0
+        elapsed = _perf_counter() - self._t0
+        event = ProgressEvent(phase=self.phase, completed=float(completed),
+                              total=self.total, unit=self.unit,
+                              elapsed_s=elapsed, eta_s=0.0 if self.total else None,
+                              done=True, message=message,
+                              span_path=current_path(), data=data)
+        self._emit(event)
+
+    def _emit(self, event: ProgressEvent) -> None:
+        self._last_emit = _perf_counter()
+        self._emitted += 1
+        try:
+            self._reporter.update(event)
+        except Exception:
+            # A broken observer must never kill the solve it watches.
+            logger.exception("progress reporter update() failed")
+
+
+class _NullTracker:
+    """Shared do-nothing tracker returned while no reporter is installed."""
+
+    __slots__ = ()
+    phase = ""
+    total = None
+    unit = ""
+
+    def update(self, completed: float, message: str = "", force: bool = False,
+               **data) -> None:
+        pass
+
+    def finish(self, completed: float | None = None, message: str = "",
+               **data) -> None:
+        pass
+
+
+_NULL_TRACKER = _NullTracker()
+
+
+def tracker(phase: str, total: float | None = None, unit: str = "",
+            reporter: ProgressReporter | None = None,
+            min_interval_s: float | None = None):
+    """A :class:`ProgressTracker` for ``phase``, or a shared no-op.
+
+    Returns the no-op when neither an explicit ``reporter`` nor an installed
+    :func:`reporting` scope is present -- one thread-local check, so
+    instrumented loops cost nothing while nobody watches.
+    """
+    if reporter is None and not _reporters.stack:
+        return _NULL_TRACKER
+    return ProgressTracker(phase, total=total, unit=unit, reporter=reporter,
+                           min_interval_s=min_interval_s)

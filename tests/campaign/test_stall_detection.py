@@ -1,0 +1,108 @@
+"""Pool-worker stall detection: a hung worker warns, never hangs the run.
+
+The evaluator functions are module-level so the pool backend can pickle
+them.  Timings are generous (hang = minutes, timeout = fractions of a
+second) so the tests stay deterministic on loaded CI machines while
+finishing quickly.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.campaign import CampaignRunner, GridSweep
+from repro.errors import CampaignError
+
+
+def sleepy_evaluator(point):
+    """Sleep for the point's delay, then return it (picklable)."""
+    time.sleep(point["delay"])
+    return {"y": point["delay"]}
+
+
+def hanging_evaluator(point):
+    """Hang essentially forever on the poisoned point (picklable)."""
+    if point["delay"] > 0.0:
+        time.sleep(600.0)
+    return {"y": point["delay"]}
+
+
+class TestValidation:
+    def test_stall_timeout_must_be_positive(self):
+        with pytest.raises(CampaignError):
+            CampaignRunner(backend="pool", stall_timeout=0.0)
+
+    def test_abandon_requires_timeout(self):
+        with pytest.raises(CampaignError):
+            CampaignRunner(backend="pool", stall_abandon=True)
+
+
+class TestStallDetection:
+    def test_slow_worker_warns_but_run_completes(self):
+        # One chunk takes ~1 s against a 0.2 s timeout: the parent must warn
+        # (at least once) and still deliver every row.
+        spec = GridSweep(delay=[0.0, 1.0, 0.0, 0.0])
+        runner = CampaignRunner(backend="pool", processes=2, chunk_size=1,
+                                stall_timeout=0.2)
+        with pytest.warns(telemetry.StallWarning, match="delivered nothing"):
+            result = runner.run(spec, sleepy_evaluator)
+        assert len(result) == 4 and result.num_failures == 0
+        np.testing.assert_allclose(result.column("y"), [0.0, 1.0, 0.0, 0.0])
+
+    def test_hung_worker_is_abandoned_not_waited_for(self):
+        # The poisoned point sleeps for minutes; with stall_abandon the
+        # campaign must terminate the pool, keep the delivered rows and mark
+        # the undelivered ones as stalled-error rows -- and do all of that
+        # quickly (the no-hang guarantee).
+        spec = GridSweep(delay=[0.0, 600.0, 0.0])
+        runner = CampaignRunner(backend="pool", processes=1, chunk_size=1,
+                                stall_timeout=0.5, stall_abandon=True)
+        t0 = time.perf_counter()
+        with pytest.warns(telemetry.StallWarning, match="abandoning"):
+            result = runner.run(spec, hanging_evaluator)
+        assert time.perf_counter() - t0 < 30.0
+        assert len(result) == 3
+        stalled = [row for row in result
+                   if row.error and row.error.startswith("StallError")]
+        assert stalled, "the hung point must come back as a StallError row"
+        # With a single worker, the first point completes before the hang.
+        assert result[0].ok and result[0]["y"] == pytest.approx(0.0)
+
+    def test_no_timeout_no_warning(self):
+        spec = GridSweep(delay=[0.0, 0.0])
+        runner = CampaignRunner(backend="pool", processes=2, chunk_size=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", telemetry.StallWarning)
+            result = runner.run(spec, sleepy_evaluator)
+        assert result.num_failures == 0
+
+
+class TestHeartbeats:
+    def test_pool_chunks_ship_heartbeats_into_progress_events(self):
+        spec = GridSweep(delay=[0.0, 0.0, 0.0, 0.0])
+        events = []
+        with telemetry.reporting(events.append):
+            CampaignRunner(backend="pool", processes=2,
+                           chunk_size=2).run(spec, sleepy_evaluator)
+        beats = [e for e in events if e.phase == "campaign" and "pid" in e.data]
+        assert len(beats) == 2  # one per delivered chunk
+        for event in beats:
+            assert event.data["points"] == 2
+            assert event.data["pid"] != 0
+            assert event.data["wall_s"] >= 0.0
+        final = events[-1]
+        assert final.done and final.completed == 4
+
+    def test_serial_backend_reports_per_point(self):
+        spec = GridSweep(delay=[0.0, 0.0, 0.0])
+        events = []
+        with telemetry.reporting(events.append):
+            CampaignRunner(backend="serial").run(spec, sleepy_evaluator)
+        campaign = [e for e in events if e.phase == "campaign"]
+        assert [e.completed for e in campaign] == [1.0, 2.0, 3.0, 3.0]
+        assert campaign[-1].done

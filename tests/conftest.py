@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.circuit import SimulationOptions
@@ -25,3 +27,30 @@ def paper_transducer() -> TransverseElectrostaticTransducer:
 def fast_options() -> SimulationOptions:
     """Slightly relaxed solver options for quick transient tests."""
     return SimulationOptions(reltol=1e-3, trtol=10.0)
+
+
+@pytest.fixture(autouse=True)
+def telemetry_smoke_mode(monkeypatch):
+    """``REPRO_TELEMETRY_SMOKE=1``: force full instrumentation everywhere.
+
+    CI's telemetry-smoke job re-runs a subset of the suite with every
+    :class:`SimulationOptions` instance coerced to ``telemetry="full"``,
+    ``health_check=True`` and ``forensics=True``, proving the instrumented
+    hot paths survive real workloads (sessions nest, so analyses opening
+    their own sessions inside an already-forced one are fine).  Without the
+    environment variable this fixture is a no-op; tests that assert
+    telemetry-off behaviour are excluded from the smoke job's subset.
+    """
+    if not os.environ.get("REPRO_TELEMETRY_SMOKE"):
+        yield
+        return
+    original = SimulationOptions.__post_init__
+
+    def forced(self):
+        self.telemetry = "full"
+        self.health_check = True
+        self.forensics = True
+        original(self)
+
+    monkeypatch.setattr(SimulationOptions, "__post_init__", forced)
+    yield

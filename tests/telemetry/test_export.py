@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro import telemetry
 
 
@@ -87,8 +89,29 @@ class TestProfileSummary:
         assert any("run.leaf" in line for line in lines)
         assert lines[-1].startswith("wall time:")
 
-    def test_limit_caps_rows(self):
+    def test_limit_caps_rows_and_reports_omissions(self):
         report = _collect_tree()
         short = report.profile_summary(limit=1)
-        # header + rule + 1 row + wall-time footer
-        assert len(short.splitlines()) == 4
+        lines = short.splitlines()
+        # header + rule + 1 row + omission footer + wall-time footer
+        assert len(lines) == 5
+        assert "3 rows omitted" in lines[-2]
+        # An untruncated table has no omission footer.
+        full = report.profile_summary(limit=100)
+        assert "omitted" not in full
+
+    def test_sort_keys_reorder_rows(self):
+        report = _collect_tree()
+        # Inflate one span's count so count-order differs from self-order.
+        report.span_totals["run.leaf"]["count"] = 99
+        by_count = report.profile_summary(sort="count").splitlines()
+        assert by_count[2].startswith("run.leaf")
+        by_total = report.profile_summary(sort="total").splitlines()
+        assert by_total[2].startswith("run ")
+        with pytest.raises(ValueError):
+            report.profile_summary(sort="bogus")
+
+    def test_percent_of_total_column_present(self):
+        report = _collect_tree()
+        header = report.profile_summary().splitlines()[0]
+        assert "total %" in header and "self %" in header

@@ -1,0 +1,190 @@
+"""Progress reporting: events, trackers, throttling and the logging bridge."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro import telemetry
+from repro.circuit import Circuit, SimulationOptions
+from repro.circuit.analysis.dcsweep import DCSweepAnalysis
+from repro.circuit.analysis.transient import TransientAnalysis
+from repro.telemetry import progress
+
+
+class TestProgressEvent:
+    def test_fraction_and_str(self):
+        event = progress.ProgressEvent(phase="campaign", completed=25.0,
+                                       total=100.0, unit="points", eta_s=3.0)
+        assert event.fraction == pytest.approx(0.25)
+        text = str(event)
+        assert "campaign" in text and "25.0%" in text
+        assert "(25/100 points)" in text and "eta 3.0s" in text
+
+    def test_unknown_total_has_no_fraction(self):
+        event = progress.ProgressEvent(phase="tran", completed=7.0, total=None)
+        assert event.fraction is None
+        assert "(7)" in str(event)
+
+    def test_fraction_clamps_to_one(self):
+        event = progress.ProgressEvent(phase="x", completed=12.0, total=10.0)
+        assert event.fraction == 1.0
+
+
+class TestReportingScope:
+    def test_plain_callable_is_adapted(self):
+        events = []
+        with progress.reporting(events.append):
+            progress.tracker("unit", total=2).update(1)
+        assert [e.completed for e in events] == [1.0]
+
+    def test_tracker_is_null_without_reporter(self):
+        assert progress.tracker("unit") is progress._NULL_TRACKER
+        assert not progress.active()
+        # The null tracker swallows updates without error.
+        progress.tracker("unit").update(1)
+        progress.tracker("unit").finish()
+
+    def test_scope_installs_and_removes(self):
+        with progress.reporting(lambda event: None):
+            assert progress.active()
+            assert isinstance(progress.tracker("unit"),
+                              progress.ProgressTracker)
+        assert not progress.active()
+
+    def test_nested_scopes_latest_wins(self):
+        outer, inner = [], []
+        with progress.reporting(outer.append):
+            with progress.reporting(inner.append):
+                progress.tracker("unit").update(1)
+            progress.tracker("unit").update(2)
+        assert [e.completed for e in inner] == [1.0]
+        assert [e.completed for e in outer] == [2.0]
+
+    def test_close_called_on_exit(self):
+        class Closing(progress.ProgressReporter):
+            closed = False
+
+            def update(self, event):
+                pass
+
+            def close(self):
+                self.closed = True
+
+        reporter = Closing()
+        with progress.reporting(reporter):
+            pass
+        assert reporter.closed
+
+    def test_failing_close_does_not_raise(self):
+        class Exploding(progress.ProgressReporter):
+            def update(self, event):
+                pass
+
+            def close(self):
+                raise RuntimeError("boom")
+
+        with progress.reporting(Exploding()):
+            pass  # the scope exit must swallow the close() failure
+
+
+class TestTracker:
+    def test_eta_shrinks_with_progress(self):
+        events = []
+        with progress.reporting(events.append):
+            track = progress.tracker("unit", total=4, unit="steps")
+            track.update(1)
+            track.update(3)
+        first, second = events
+        assert first.eta_s >= 0.0 and second.eta_s >= 0.0
+        assert first.total == 4.0 and first.unit == "steps"
+
+    def test_throttle_drops_intermediate_events(self):
+        events = []
+        with progress.reporting(events.append, min_interval_s=3600.0):
+            track = progress.tracker("unit", total=100)
+            for index in range(50):
+                track.update(index + 1)
+            track.finish(100, message="all done")
+        # First update always fires; the rest throttle; finish never does.
+        assert len(events) == 2
+        assert events[0].completed == 1.0
+        assert events[-1].done and events[-1].message == "all done"
+
+    def test_force_bypasses_the_throttle(self):
+        events = []
+        with progress.reporting(events.append, min_interval_s=3600.0):
+            track = progress.tracker("unit", total=10)
+            track.update(1)
+            track.update(2, force=True)
+        assert [e.completed for e in events] == [1.0, 2.0]
+
+    def test_broken_reporter_never_breaks_the_loop(self):
+        def explode(event):
+            raise RuntimeError("observer bug")
+
+        with progress.reporting(explode):
+            track = progress.tracker("unit", total=2)
+            track.update(1)
+            track.finish(2)
+
+    def test_data_kwargs_ride_on_the_event(self):
+        events = []
+        with progress.reporting(events.append):
+            progress.tracker("unit").update(1, step_size=1e-9)
+        assert events[0].data == {"step_size": 1e-9}
+
+    def test_finish_defaults_to_the_total(self):
+        events = []
+        with progress.reporting(events.append):
+            progress.tracker("unit", total=8).finish()
+        assert events[0].completed == 8.0 and events[0].eta_s == 0.0
+
+
+class TestLoggingBridge:
+    def test_events_become_span_tagged_records(self, caplog):
+        target = logging.getLogger("test.progress.bridge")
+        reporter = progress.LoggingProgressReporter(target, level=logging.INFO)
+        with caplog.at_level(logging.INFO, logger="test.progress.bridge"):
+            with progress.reporting(reporter):
+                with telemetry.session(mode="summary"):
+                    with telemetry.span("outer"):
+                        progress.tracker("unit", total=2).update(1)
+        assert len(caplog.records) == 1
+        record = caplog.records[0]
+        assert "unit" in record.getMessage() and "50.0%" in record.getMessage()
+        assert record.span_path == "outer"
+
+
+class TestAnalysisIntegration:
+    @staticmethod
+    def _rc() -> Circuit:
+        circuit = Circuit()
+        circuit.voltage_source("V1", "in", "0", 1.0)
+        circuit.resistor("R1", "in", "out", 1e3)
+        circuit.capacitor("C1", "out", "0", 1e-9)
+        return circuit
+
+    def test_transient_reports_simulated_time(self):
+        events = []
+        with telemetry.reporting(events.append):
+            TransientAnalysis(self._rc(), t_stop=1e-6, t_step=1e-7,
+                              options=SimulationOptions(reltol=1e-3)).run()
+        tran = [e for e in events if e.phase == "transient"]
+        assert tran, "transient must emit progress events"
+        assert tran[-1].done
+        assert tran[-1].completed == pytest.approx(1e-6, rel=0.2)
+
+    def test_dc_sweep_reports_points(self):
+        events = []
+        with telemetry.reporting(events.append):
+            DCSweepAnalysis(self._rc(), "V1", [0.0, 0.5, 1.0]).run()
+        sweep = [e for e in events if e.phase == "dcsweep"]
+        assert sweep and sweep[-1].done
+        assert sweep[-1].completed == 3.0 and sweep[-1].total == 3.0
+
+    def test_quiet_without_a_reporter(self):
+        # No reporter installed: analyses run exactly as before.
+        result = DCSweepAnalysis(self._rc(), "V1", [0.0, 1.0]).run()
+        assert len(result["v(out)"]) == 2
