@@ -14,6 +14,13 @@ the cold run, and the campaign-driven extraction reproduces the direct
 ``solve_point`` loop to 1e-9.  The pool-beats-serial assertion only applies
 on multi-core hosts -- on a single CPU a process pool cannot win, so there
 the numbers are reported without the assertion.
+
+A second benchmark pins the batched backend: a 256-point Monte-Carlo
+operating-point campaign over a nonlinear diode ladder must run **>= 5x
+more points/s** with ``backend="batch"`` (block-factorized lockstep Newton)
+than serially, at per-point parity within 1e-12.  Unlike the pool
+comparison this floor holds on a single CPU -- the win is vectorization,
+not parallelism -- so CI enforces it unconditionally.
 """
 
 from __future__ import annotations
@@ -24,11 +31,17 @@ import time
 import pytest
 
 from conftest import report
-from repro.campaign import CampaignRunner, ResultCache
+from repro.campaign import (CampaignRunner, CircuitEvaluator, MonteCarlo,
+                            Normal, ResultCache)
+from repro.circuit import Circuit
 from repro.pxt import ParameterExtractor
 from repro.system import PAPER_PARAMETERS
 
 GRID_POINTS = 64  # 8 x 8; the acceptance floor for the pool comparison
+
+BATCH_POINTS = 256          # Monte-Carlo samples for the batched comparison
+BATCH_SECTIONS = 12         # diode-ladder sections (49 MNA unknowns)
+BATCH_SPEEDUP_FLOOR = 5.0   # batch must deliver >= this many x serial
 
 
 def _extractor() -> ParameterExtractor:
@@ -117,3 +130,58 @@ def test_campaign_throughput(benchmark, tmp_path):
     assert warm_s * 10.0 <= cold_s, (
         f"warm cache ({warm_s:.4f} s) should be >= 10x faster than cold "
         f"({cold_s:.4f} s)")
+
+
+def _build_ladder(params: dict) -> Circuit:
+    """Nonlinear diode ladder; every device stamps batch-vectorized."""
+    circuit = Circuit("ladder")
+    circuit.voltage_source("VS", "n0", "0", params.get("vdd", 5.0))
+    for i in range(BATCH_SECTIONS):
+        resistance = params.get("rscale", 100.0) if i == 0 else 100.0
+        circuit.resistor(f"R{i}", f"n{i}", f"n{i + 1}", resistance)
+        circuit.diode(f"D{i}", f"n{i + 1}", "0")
+    return circuit
+
+
+def test_batched_backend_throughput(benchmark):
+    spec = MonteCarlo({"vdd": Normal(5.0, 0.5),
+                       "rscale": Normal(100.0, 10.0)},
+                      samples=BATCH_POINTS, seed=42)
+    serial_evaluator = CircuitEvaluator(_build_ladder)
+    batch_evaluator = CircuitEvaluator(
+        _build_ladder,
+        param_map={"vdd": "VS.dc", "rscale": "R0.resistance"})
+
+    batch_result = benchmark.pedantic(
+        lambda: CampaignRunner(backend="batch").run(spec, batch_evaluator),
+        rounds=1, iterations=1)
+    _, batch_s = _timed(
+        lambda: CampaignRunner(backend="batch").run(spec, batch_evaluator))
+    serial_result, serial_s = _timed(
+        lambda: CampaignRunner(backend="serial").run(spec, serial_evaluator))
+
+    # --- parity: every point within 1e-12, no failures in either path ------
+    worst = 0.0
+    for a, b in zip(serial_result, batch_result):
+        assert a.error is None and b.error is None
+        for name, value in a.outputs.items():
+            scale = max(1.0, abs(value))
+            worst = max(worst, abs(b.outputs[name] - value) / scale)
+    assert worst <= 1e-12, f"batched results drifted: {worst:.2e}"
+
+    speedup = serial_s / batch_s
+    report("Batched campaign throughput: 256-point Monte-Carlo op", [
+        f"circuit: {BATCH_SECTIONS}-section diode ladder, "
+        f"{BATCH_POINTS} Monte-Carlo samples (seed 42)",
+        f"serial backend : {serial_s:8.3f} s  "
+        f"({BATCH_POINTS / serial_s:7.1f} points/s)",
+        f"batch backend  : {batch_s:8.3f} s  "
+        f"({BATCH_POINTS / batch_s:7.1f} points/s)",
+        f"batch speedup over serial: {speedup:.1f}x "
+        f"(floor {BATCH_SPEEDUP_FLOOR:.0f}x)",
+        f"worst per-point relative difference: {worst:.2e} (<= 1e-12)",
+    ])
+    assert speedup >= BATCH_SPEEDUP_FLOOR, (
+        f"batched backend ({batch_s:.3f} s) should be >= "
+        f"{BATCH_SPEEDUP_FLOOR:.0f}x faster than serial ({serial_s:.3f} s); "
+        f"measured {speedup:.2f}x")

@@ -87,6 +87,14 @@ def pull_in_from_sweep(result, params: dict) -> dict:
             "force_at_pull_in": float(forces[last])}
 
 
+#: Batched execution maps campaign parameters straight onto device
+#: parameters, so all samples share one netlist and solve in lockstep
+#: block-factorized Newton steps.  The thickness -> stiffness closed form
+#: rides along as a transform.
+PARAM_MAP = {"gap": "XDCR.d",
+             "thickness": ("K1.stiffness", stiffness_from_thickness)}
+
+
 def analytic_pull_in(gap: float, thickness: float) -> float:
     """Closed-form ``sqrt(8 k d^3 / (27 eps0 A))`` for cross-checking."""
     transducer = TransverseElectrostaticTransducer(
@@ -149,6 +157,24 @@ def main() -> None:
           f"({len(result) / elapsed:.1f} samples/s)")
     print(f"cached rerun       : {rerun_elapsed * 1e3:.1f} ms "
           f"({cache.stats()['hits']} cache hits)")
+
+    # Same study again, batched: param_map lets the runner stack all
+    # samples into block-factorized solves instead of one netlist each.
+    batched_evaluator = CircuitEvaluator(
+        build_actuator, analysis="dc",
+        analysis_args={"source_name": "VS", "values": DRIVE_VOLTAGES.tolist(),
+                       "continue_on_failure": True},
+        reduce=pull_in_from_sweep, param_map=PARAM_MAP)
+    batch_start = time.perf_counter()
+    batch_result = CampaignRunner(backend="batch").run(spec, batched_evaluator)
+    batch_elapsed = time.perf_counter() - batch_start
+    worst = max(abs(a["pull_in_v"] - b["pull_in_v"])
+                for a, b in zip(result, batch_result)
+                if a.error is None and b.error is None)
+    print(f"batched rerun      : {batch_elapsed:.2f} s "
+          f"({len(batch_result) / batch_elapsed:.1f} samples/s, "
+          f"{elapsed / batch_elapsed:.1f}x the {processes}-worker pool; "
+          f"max |dV_pullin| = {worst:.2e} V)")
 
 
 if __name__ == "__main__":

@@ -13,7 +13,9 @@ Guarantees, regardless of backend:
   even though the pool completes chunks out of order,
 * **per-point error capture** -- an exception inside one point becomes that
   row's ``error`` string instead of aborting the campaign (a pull-in fold
-  in the middle of a Monte Carlo run must not kill the other 990 samples),
+  in the middle of a Monte Carlo run must not kill the other 990 samples);
+  under the batch backend a failing lane is retired from its vectorized
+  slice and re-run serially, so it produces the *same* error row,
 * **transparent caching** -- with a :class:`~repro.campaign.cache.ResultCache`
   attached, points whose content hash (evaluator identity + scenario point)
   is already stored are served without dispatching any work.
@@ -37,11 +39,14 @@ from typing import Callable, Mapping, Sequence
 
 from .. import telemetry
 from ..circuit.analysis.ac import ACAnalysis
+from ..circuit.analysis.batch import (ParameterColumns, batch_supported,
+                                      batched_dcsweeps,
+                                      batched_operating_points)
 from ..circuit.analysis.dcsweep import DCSweepAnalysis
 from ..circuit.analysis.op import OperatingPointAnalysis
 from ..circuit.analysis.options import SimulationOptions
 from ..circuit.analysis.transient import TransientAnalysis
-from ..errors import CampaignError
+from ..errors import CampaignError, DeviceError, NetlistError
 from ..linalg import metrics as linalg_metrics
 from .cache import ResultCache, canonicalize, scenario_key
 from .results import CampaignResult, CampaignRow
@@ -115,10 +120,64 @@ def _evaluate_one(evaluator, index: int, point: Mapping[str, object]
         return index, {}, f"{type(exc).__name__}: {exc}", forensics
 
 
+def _overrides_signature(point: Mapping[str, object]) -> str:
+    """Stable grouping key of a point's ``options.*`` overrides."""
+    _, overrides = split_point(point)
+    return repr(canonicalize(overrides))
+
+
+def _batch_slices(items: Sequence[tuple[int, dict]], batch_size: int
+                  ) -> list[list[tuple[int, dict]]]:
+    """Split (index, point) pairs into batchable slices.
+
+    Points inside one slice share their ``options.*`` overrides (a batch
+    runs under one :class:`SimulationOptions`) and there are at most
+    ``batch_size`` of them.
+    """
+    groups: dict[str, list[tuple[int, dict]]] = {}
+    for item in items:
+        groups.setdefault(_overrides_signature(item[1]), []).append(item)
+    return [group[start:start + batch_size]
+            for group in groups.values()
+            for start in range(0, len(group), batch_size)]
+
+
+def _evaluate_batch_items(evaluator, items: Sequence[tuple[int, dict]]
+                          ) -> list[tuple[int, dict, str | None, dict | None]]:
+    """Evaluate one same-overrides slice through the evaluator's batch path.
+
+    Lanes the batch could not finish (``None`` rows, or a whole-slice
+    ``None``) are re-dispatched through :func:`_evaluate_one`, so they keep
+    the exact serial semantics -- including error strings and forensics for
+    points that genuinely fail.
+    """
+    lanes = None
+    if len(items) > 1:
+        lanes = evaluator.evaluate_batch([point for _, point in items])
+    if lanes is None:
+        return [_evaluate_one(evaluator, index, point)
+                for index, point in items]
+    results = []
+    for (index, point), row in zip(items, lanes):
+        if row is None:
+            results.append(_evaluate_one(evaluator, index, point))
+        else:
+            results.append(
+                (index, {str(name): float(value)
+                         for name, value in row.items()}, None, None))
+    return results
+
+
 def _evaluate_chunk(task: tuple, on_point=None
                     ) -> tuple[list[tuple[int, dict, str | None, dict | None]],
                                dict[str, int], dict | None, dict]:
     """Worker entry point: evaluate one chunk of (index, point) pairs.
+
+    ``task`` is ``(evaluator, items, telemetry_mode)`` with an optional
+    fourth ``batch_size`` element: when present, the chunk is evaluated in
+    same-overrides slices of at most that many points through the
+    evaluator's ``evaluate_batch`` (one vectorized solve per slice) instead
+    of point by point.
 
     Besides the per-point results the chunk ships the *delta* of the
     worker's process-wide :mod:`repro.linalg.metrics` counters back to the
@@ -135,12 +194,20 @@ def _evaluate_chunk(task: tuple, on_point=None
     ``on_point`` (serial backend only; pools cannot pickle a callback) is
     invoked with each finished point index for per-point progress.
     """
-    evaluator, items, telemetry_mode = task
+    evaluator, items, telemetry_mode, *rest = task
+    batch_size = rest[0] if rest else None
     t0 = time.perf_counter()
     before = linalg_metrics.snapshot()
 
     def run_items():
         results = []
+        if batch_size is not None:
+            for slice_items in _batch_slices(items, batch_size):
+                results.extend(_evaluate_batch_items(evaluator, slice_items))
+                if on_point is not None:
+                    for index, _ in slice_items:
+                        on_point(index)
+            return results
         for index, point in items:
             results.append(_evaluate_one(evaluator, index, point))
             if on_point is not None:
@@ -165,14 +232,26 @@ class CampaignRunner:
     Parameters
     ----------
     backend:
-        ``"serial"`` (in-process loop) or ``"pool"`` (``multiprocessing``
-        process pool with chunked dispatch).
+        ``"serial"`` (in-process loop), ``"pool"`` (``multiprocessing``
+        process pool with chunked dispatch), ``"batch"`` (one vectorized
+        solve per slice of points through the evaluator's
+        ``evaluate_batch``; with ``processes > 1`` the slices are spread
+        over a pool, so each worker solves whole batches) or ``"auto"``
+        (batch when the evaluator supports it, otherwise pool on
+        multi-core hosts, otherwise serial).
     processes:
-        Worker count for the pool backend (default: ``os.cpu_count()``).
+        Worker count for the pool backend (default: ``os.cpu_count()``);
+        for the batch backend the default is 1 (in-process batches).
     chunk_size:
         Points per dispatched task; the default splits the pending work
         into about four chunks per worker to balance load against
         serialization overhead.
+    batch_size:
+        Batch/auto backends: maximum number of points stacked into one
+        vectorized solve (default 64).  Larger batches amortize more
+        Python overhead per solve but hold ``B`` dense Jacobians in
+        memory at once and make lockstep iteration waste grow when
+        convergence behaviour varies wildly across the batch.
     cache:
         Optional :class:`ResultCache`; cached points are not dispatched.
     telemetry:
@@ -196,10 +275,11 @@ class CampaignRunner:
         so a single hung worker cannot hang the whole campaign.
     """
 
-    BACKENDS = ("serial", "pool")
+    BACKENDS = ("serial", "pool", "batch", "auto")
 
     def __init__(self, backend: str = "serial", processes: int | None = None,
                  chunk_size: int | None = None,
+                 batch_size: int = 64,
                  cache: ResultCache | None = None,
                  telemetry: str = "off",
                  stall_timeout: float | None = None,
@@ -211,6 +291,8 @@ class CampaignRunner:
             raise CampaignError("processes must be at least 1")
         if chunk_size is not None and chunk_size < 1:
             raise CampaignError("chunk_size must be at least 1")
+        if batch_size < 1:
+            raise CampaignError("batch_size must be at least 1")
         if telemetry not in ("off", "summary", "full"):
             raise CampaignError(
                 f"unknown telemetry level {telemetry!r} "
@@ -222,6 +304,7 @@ class CampaignRunner:
         self.backend = backend
         self.processes = processes
         self.chunk_size = chunk_size
+        self.batch_size = int(batch_size)
         self.cache = cache
         self.telemetry = telemetry
         self.stall_timeout = None if stall_timeout is None else float(stall_timeout)
@@ -263,15 +346,40 @@ class CampaignRunner:
                               telemetry=profile)
 
     # ------------------------------------------------------------- dispatch
+    def _resolve_backend(self, evaluator, n_points: int) -> str:
+        """Pick the execution strategy: serial, pool, batch or batch+pool."""
+        if self.backend in ("serial", "pool"):
+            return self.backend
+        capable = callable(getattr(evaluator, "evaluate_batch", None))
+        probe = getattr(evaluator, "batch_capable", None)
+        if capable and callable(probe):
+            capable = bool(probe())
+        if self.backend == "batch":
+            if not capable:
+                raise CampaignError(
+                    "backend 'batch' needs a batch-capable evaluator "
+                    "(e.g. CircuitEvaluator(param_map=...) running an "
+                    "'op' or 'dc' analysis)")
+            processes = self.processes or 1
+            return "batch-pool" if processes > 1 \
+                and n_points > self.batch_size else "batch"
+        # auto: vectorize when possible, otherwise parallelize processes.
+        cpus = self.processes or os.cpu_count() or 1
+        if capable:
+            return "batch-pool" if cpus > 1 \
+                and n_points > 2 * self.batch_size else "batch"
+        return "pool" if cpus > 1 and n_points > 1 else "serial"
+
     def _dispatch(self, evaluator, pending: Sequence[tuple[int, dict]]
                   ) -> tuple[list[tuple[int, dict, str | None, dict | None]],
                              dict[str, int], dict | None]:
         solver_stats = {name: 0 for name in linalg_metrics.COUNTER_NAMES}
         if not pending:
             return [], solver_stats, None
+        backend = self._resolve_backend(evaluator, len(pending))
         track = telemetry.progress.tracker("campaign", total=len(pending),
                                            unit="points")
-        if self.backend == "serial":
+        if backend in ("serial", "batch"):
             done = 0
 
             def advance(_index: int) -> None:
@@ -279,16 +387,26 @@ class CampaignRunner:
                 done += 1
                 track.update(done)
 
+            batch_size = self.batch_size if backend == "batch" else None
             results, delta, payload, _ = _evaluate_chunk(
-                (evaluator, list(pending), self.telemetry), on_point=advance)
+                (evaluator, list(pending), self.telemetry, batch_size),
+                on_point=advance)
             linalg_metrics.merge_counters(solver_stats, delta)
             track.finish(len(pending))
             return results, solver_stats, self._merge_profiles([payload])
         processes = self.processes or os.cpu_count() or 1
         processes = min(processes, len(pending))
-        chunk = self.chunk_size or max(1, -(-len(pending) // (4 * processes)))
-        chunks = [(evaluator, pending[i:i + chunk], self.telemetry)
-                  for i in range(0, len(pending), chunk)]
+        if backend == "batch-pool":
+            # Compose vectorization with process parallelism: every pool
+            # task is one same-overrides batch slice, solved vectorized
+            # inside its worker.
+            chunks = [(evaluator, slice_items, self.telemetry, self.batch_size)
+                      for slice_items in _batch_slices(pending, self.batch_size)]
+            processes = min(processes, len(chunks))
+        else:
+            chunk = self.chunk_size or max(1, -(-len(pending) // (4 * processes)))
+            chunks = [(evaluator, pending[i:i + chunk], self.telemetry)
+                      for i in range(0, len(pending), chunk)]
         completed = []
         done_points = 0
         stalled = False
@@ -409,6 +527,19 @@ class CircuitEvaluator:
         Baseline simulation options; per-point ``options.*`` parameters are
         applied on top, so a campaign axis can flip e.g.
         ``options.linear_solver`` between dense and sparse.
+    param_map:
+        Optional mapping enabling the *batched* execution path for ``op``
+        and ``dc`` analyses: scenario parameter name -> ``"DEVICE.param"``
+        target (a tunable device parameter), or ``("DEVICE.param", fn)``
+        with a module-level transform applied to the scenario value first.
+        With every varying scenario parameter mapped this way, the circuit
+        is built once and a whole slice of points becomes one stacked
+        solve (see :mod:`repro.circuit.analysis.batch`); without it the
+        evaluator only runs point by point.  Mapped values are applied
+        through ``set_parameter`` (the sensitivity-seeding path), which
+        skips constructor validation -- feed it physically valid values,
+        as out-of-range ones (say a negative resistance) only surface as
+        the serial build error when the stacked solve happens to fail.
     """
 
     ANALYSES = ("op", "dc", "ac", "tran")
@@ -417,7 +548,8 @@ class CircuitEvaluator:
                  analysis_args: Mapping[str, object] | None = None,
                  outputs: Sequence[str] | None = None,
                  reduce: Callable | None = None,
-                 options: SimulationOptions | None = None) -> None:
+                 options: SimulationOptions | None = None,
+                 param_map: Mapping[str, object] | None = None) -> None:
         if analysis not in self.ANALYSES:
             raise CampaignError(
                 f"unknown analysis {analysis!r} (use one of {self.ANALYSES})")
@@ -431,6 +563,18 @@ class CircuitEvaluator:
         self.outputs = None if outputs is None else tuple(outputs)
         self.reduce = reduce
         self.options = options
+        self.param_map = None if param_map is None else dict(param_map)
+        for name, target in (self.param_map or {}).items():
+            if isinstance(target, (tuple, list)):
+                if len(target) != 2 or not callable(target[1]):
+                    raise CampaignError(
+                        f"param_map[{name!r}] must be 'DEVICE.param' or "
+                        "('DEVICE.param', transform)")
+                target = target[0]
+            if "." not in str(target):
+                raise CampaignError(
+                    f"param_map[{name!r}] target {target!r} must be of the "
+                    "form 'DEVICE.param'")
 
     def __call__(self, point: Mapping[str, object]) -> dict:
         params, overrides = split_point(point)
@@ -454,8 +598,103 @@ class CircuitEvaluator:
                                        **self.analysis_args).run()
         return dict(self.reduce(result, params))
 
+    # ------------------------------------------------------------- batching
+    def batch_capable(self) -> bool:
+        """Whether this evaluator can stack points into vectorized solves."""
+        return bool(self.param_map) and self.analysis in ("op", "dc")
+
+    def _parameter_columns(self, circuit, param_sets: Sequence[Mapping]
+                           ) -> "ParameterColumns | None":
+        assignments = []
+        for name, target in self.param_map.items():
+            if name not in param_sets[0]:
+                # The spec does not sweep this mapped parameter; the circuit
+                # built from the slice's params already carries its default.
+                continue
+            transform = None
+            if isinstance(target, (tuple, list)):
+                target, transform = target
+            device_name, _, device_param = str(target).partition(".")
+            values = [point_params[name] for point_params in param_sets]
+            if transform is not None:
+                values = [transform(value) for value in values]
+            assignments.append((device_name, device_param, values))
+        if not assignments:
+            return None
+        try:
+            return ParameterColumns(circuit, assignments)
+        except (DeviceError, NetlistError) as exc:
+            raise CampaignError(f"invalid param_map: {exc}") from exc
+
+    def evaluate_batch(self, points: Sequence[Mapping[str, object]]
+                       ) -> list[dict | None] | None:
+        """Evaluate a same-overrides slice of points as one stacked solve.
+
+        Returns one outputs dict per point, with ``None`` for lanes the
+        batch could not finish (non-convergence, or a per-lane reduction
+        error) -- the runner re-runs exactly those through the serial path,
+        reproducing the serial error rows.  Returns ``None`` outright when
+        this slice cannot be batched at all (unbatchable options, unmapped
+        varying parameters, ...); a misconfigured ``param_map`` raises
+        :class:`CampaignError` instead of silently degrading.
+        """
+        if not self.batch_capable():
+            return None
+        split = [split_point(dict(point)) for point in points]
+        params0, overrides0 = split[0]
+        if any(overrides != overrides0 for _, overrides in split[1:]):
+            return None
+        options = (self.options or SimulationOptions()).with_(
+            **_coerced_overrides(overrides0))
+        if not batch_supported(options):
+            return None
+        # Unmapped parameters may steer the netlist factory, so they must
+        # be constant across the slice (the circuit is built only once).
+        unmapped = set(params0) - set(self.param_map)
+        for params, _ in split:
+            if set(params) != set(params0):
+                return None
+            if any(params[name] != params0[name] for name in unmapped):
+                return None
+        circuit = self.build(dict(params0))
+        columns = self._parameter_columns(
+            circuit, [params for params, _ in split])
+        if columns is None:
+            return None
+        if self.analysis == "op":
+            lanes = batched_operating_points(circuit, options, columns)
+        else:
+            args = dict(self.analysis_args)
+            try:
+                source_name = args.pop("source_name")
+                values = args.pop("values")
+            except KeyError:
+                return None
+            continue_on_failure = bool(args.pop("continue_on_failure", False))
+            if args:
+                return None
+            lanes = batched_dcsweeps(circuit, str(source_name), values,
+                                     options, columns,
+                                     continue_on_failure=continue_on_failure)
+        rows: list[dict | None] = []
+        for lane, result in enumerate(lanes):
+            if result is None:
+                rows.append(None)
+                continue
+            params = split[lane][0]
+            try:
+                if self.reduce is not None:
+                    rows.append(dict(self.reduce(result, params)))
+                else:
+                    names = self.outputs if self.outputs is not None \
+                        else result.signals()
+                    rows.append({name: float(result[name]) for name in names})
+            except Exception:  # noqa: BLE001 -- serial rerun recreates the error
+                rows.append(None)
+        return rows
+
     def cache_payload(self) -> dict:
-        return {
+        payload = {
             "evaluator": _qualified_name(self),
             "build": _qualified_name(self.build),
             "analysis": self.analysis,
@@ -464,6 +703,12 @@ class CircuitEvaluator:
             "reduce": None if self.reduce is None else _qualified_name(self.reduce),
             "options": _options_payload(self.options),
         }
+        if self.param_map:
+            payload["param_map"] = {
+                name: [target[0], _qualified_name(target[1])]
+                if isinstance(target, (tuple, list)) else str(target)
+                for name, target in sorted(self.param_map.items())}
+        return payload
 
 
 def _coerced_overrides(overrides: Mapping[str, object]) -> dict:

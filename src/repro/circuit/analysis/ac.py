@@ -41,11 +41,54 @@ from .op import OperatingPointAnalysis
 from .options import SimulationOptions
 from .results import ACResult, OperatingPoint, canonical_signal_name
 
-__all__ = ["ACAnalysis", "frequency_grid"]
+__all__ = ["ACAnalysis", "frequency_grid", "gcs_decompose", "gcs_predict",
+           "probe_omegas"]
 
 #: Relative mismatch above which the G/C/S decomposition is rejected at the
 #: verification probe (generous against rounding, far below model errors).
 _VERIFY_RTOL = 1e-7
+
+
+def probe_omegas(f_lo: float, f_hi: float) -> tuple[float, float, float]:
+    """Pick extraction probes ``(omega_a, omega_b)`` plus verifier ``omega_c``.
+
+    Shared between the cached AC sweep and the cached AC-sensitivity
+    assembly: extract at the sweep edges when they are at least an octave
+    apart (frequency dependence outside the G/C/S model grows fastest
+    there) and verify in between; for a narrow band, spread synthetic
+    probes above the low edge instead.
+    """
+    omega_lo = 2.0 * np.pi * f_lo
+    omega_hi = 2.0 * np.pi * f_hi
+    if omega_hi >= 2.0 * omega_lo:
+        return omega_lo, omega_hi, float(np.sqrt(omega_lo * omega_hi))
+    return omega_lo, 2.0 * omega_lo, 3.0 * omega_lo
+
+
+def gcs_decompose(y_a: np.ndarray, y_b: np.ndarray, omega_a: float,
+                  omega_b: float) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split probes of ``Y = G + jwC + S/(jw)`` into ``(G, C, S)`` entrywise.
+
+    ``omega * Im(Y) = omega^2 * C - S`` is linear in ``omega^2``, so two
+    probes pin both terms.  Entries of ``S`` below the rounding floor of the
+    subtraction they came from are extraction noise, not physics; zeroing
+    them keeps pure G/C systems on the two-term matrix update.
+    """
+    im_a, im_b = np.imag(y_a), np.imag(y_b)
+    capacitance = (omega_b * im_b - omega_a * im_a) / \
+        (omega_b ** 2 - omega_a ** 2)
+    integ_map = omega_a ** 2 * capacitance - omega_a * im_a
+    conductance = np.real(y_a)
+    noise_floor = 1e-12 * np.maximum(np.abs(omega_a ** 2 * capacitance),
+                                     np.abs(omega_a * im_a))
+    integ_map[np.abs(integ_map) <= noise_floor] = 0.0
+    return conductance, capacitance, integ_map
+
+
+def gcs_predict(conductance: np.ndarray, capacitance: np.ndarray,
+                integ_map: np.ndarray, omega: float) -> np.ndarray:
+    """Reassemble ``Y(omega)`` from a :func:`gcs_decompose` split."""
+    return conductance + omega * (1j * capacitance) + (integ_map / 1j) / omega
 
 
 def frequency_grid(start: float, stop: float, points_per_decade: int = 20,
@@ -184,21 +227,8 @@ class ACAnalysis:
         decomposition (frequency dependence outside the model) so the caller
         falls back to the direct sweep.
         """
-        f_lo = float(np.min(self.frequencies))
-        f_hi = float(np.max(self.frequencies))
-        omega_lo = 2.0 * np.pi * f_lo
-        omega_hi = 2.0 * np.pi * f_hi
-        if omega_hi >= 2.0 * omega_lo:
-            # Extract at the sweep edges -- frequency dependence outside the
-            # model grows fastest there, so the edge probes give the
-            # real-part check its maximum lever -- and verify in between.
-            omega_a, omega_b = omega_lo, omega_hi
-            omega_c = float(np.sqrt(omega_lo * omega_hi))
-        else:
-            # Narrow band: spread synthetic probes instead (and the model
-            # cannot drift far across it anyway).
-            omega_a, omega_b = omega_lo, 2.0 * omega_lo
-            omega_c = 3.0 * omega_lo
+        omega_a, omega_b, omega_c = probe_omegas(
+            float(np.min(self.frequencies)), float(np.max(self.frequencies)))
 
         def probe(omega: float):
             ctx = system.assemble_ac(op_values, omega, integrator_states,
@@ -207,18 +237,8 @@ class ACAnalysis:
 
         y_a, rhs = probe(omega_a)
         y_b, rhs_b = probe(omega_b)
-        # Entrywise: omega * Im(Y) = omega^2 * C - S, linear in omega^2.
-        im_a, im_b = np.imag(y_a), np.imag(y_b)
-        capacitance = (omega_b * im_b - omega_a * im_a) / \
-            (omega_b ** 2 - omega_a ** 2)
-        integ_map = omega_a ** 2 * capacitance - omega_a * im_a
-        conductance = np.real(y_a)
-        # Entries of S below the rounding floor of the subtraction they came
-        # from are extraction noise, not physics; zeroing them keeps pure
-        # G/C circuits on the two-term matrix update.
-        noise_floor = 1e-12 * np.maximum(np.abs(omega_a ** 2 * capacitance),
-                                         np.abs(omega_a * im_a))
-        integ_map[np.abs(integ_map) <= noise_floor] = 0.0
+        conductance, capacitance, integ_map = gcs_decompose(
+            y_a, y_b, omega_a, omega_b)
         has_integ = bool(np.any(integ_map))
 
         # Verification: the decomposition must reproduce an independent
@@ -226,7 +246,7 @@ class ACAnalysis:
         y_c, rhs_c = probe(omega_c)
         susceptance = 1j * capacitance
         inverse_map = integ_map / 1j
-        predicted = conductance + omega_c * susceptance + inverse_map / omega_c
+        predicted = gcs_predict(conductance, capacitance, integ_map, omega_c)
         # Tolerances scale per row: an entry only matters relative to its own
         # equation, and a global |Y| scale would let small-magnitude rows
         # (high-impedance nodes) drift through verification unchecked.

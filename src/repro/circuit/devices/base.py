@@ -41,6 +41,13 @@ class Device(ABC):
     #: exact ``d residual / d parameter`` during a seeded assembly.
     _TUNABLE: Mapping[str, str] = {}
 
+    #: Whether :meth:`stamp` broadcasts over a batched lane axis: the device
+    #: must tolerate its tunable parameters and every context accessor
+    #: returning ``(B,)`` NumPy arrays instead of floats (no ``float()``
+    #: casts, no value-dependent branching, no AD duals).  Devices that stay
+    #: False are stamped per lane by the batched assembler.
+    batch_safe = False
+
     def __init__(self, name: str) -> None:
         if not name or not isinstance(name, str):
             raise DeviceError(f"device name must be a non-empty string, got {name!r}")

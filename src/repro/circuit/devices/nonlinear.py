@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from ...ad import exp as _ad_exp, value_of
 from ...constants import THERMAL_VOLTAGE
 from ...errors import DeviceError
@@ -30,6 +32,7 @@ class Diode(TwoTerminalDevice):
     _TUNABLE = {"saturation_current": "saturation_current",
                 "emission_coefficient": "emission_coefficient",
                 "vt": "vt"}
+    batch_safe = True
 
     def __init__(self, name: str, p: Node, n: Node, saturation_current: float = 1e-14,
                  emission_coefficient: float = 1.0, temperature_voltage: float = THERMAL_VOLTAGE) -> None:
@@ -48,6 +51,19 @@ class Diode(TwoTerminalDevice):
         # floats take the identical math.exp path inside ad.exp.
         nvt = self.emission_coefficient * self.vt
         arg = v / nvt
+        if isinstance(arg, np.ndarray):
+            # Batched lanes: the scalar limiting below vectorizes as a
+            # where() blend with the exponent clipped so no lane overflows.
+            exp_lim = math.exp(_EXPLOSION_LIMIT)
+            over = arg > _EXPLOSION_LIMIT
+            exp_term = np.exp(np.where(over, _EXPLOSION_LIMIT, arg))
+            current = self.saturation_current * np.where(
+                over, exp_lim * (1.0 + arg - _EXPLOSION_LIMIT) - 1.0,
+                exp_term - 1.0)
+            conductance = np.where(
+                over, self.saturation_current * exp_lim / nvt,
+                self.saturation_current * exp_term / nvt)
+            return current, conductance
         if value_of(arg) > _EXPLOSION_LIMIT:
             # Linear continuation beyond the explosion limit keeps the Newton
             # update finite while preserving C1 continuity.

@@ -21,6 +21,7 @@ class Resistor(TwoTerminalDevice):
     """Linear resistor ``i = (v(p) - v(n)) / R``."""
 
     _TUNABLE = {"resistance": "resistance"}
+    batch_safe = True
 
     def __init__(self, name: str, p: Node, n: Node, resistance: float) -> None:
         super().__init__(name, p, n)
@@ -67,6 +68,7 @@ class Capacitor(TwoTerminalDevice):
     """
 
     _TUNABLE = {"capacitance": "capacitance"}
+    batch_safe = True
 
     def __init__(self, name: str, p: Node, n: Node, capacitance: float,
                  ic: float | None = None) -> None:
@@ -120,6 +122,7 @@ class Inductor(TwoTerminalDevice):
     """
 
     _TUNABLE = {"inductance": "inductance"}
+    batch_safe = True
 
     def __init__(self, name: str, p: Node, n: Node, inductance: float,
                  ic: float | None = None) -> None:

@@ -61,6 +61,8 @@ class VoltageSource(_DCLevelParameter, TwoTerminalDevice):
     absorbing power).
     """
 
+    batch_safe = True
+
     def __init__(self, name: str, p: Node, n: Node, waveform: Waveform | float = 0.0,
                  ac: float = 0.0, ac_phase_deg: float = 0.0) -> None:
         super().__init__(name, p, n)
@@ -112,6 +114,8 @@ class VoltageSource(_DCLevelParameter, TwoTerminalDevice):
 
 class CurrentSource(_DCLevelParameter, TwoTerminalDevice):
     """Ideal independent current source; current flows from ``p`` to ``n``."""
+
+    batch_safe = True
 
     def __init__(self, name: str, p: Node, n: Node, waveform: Waveform | float = 0.0,
                  ac: float = 0.0, ac_phase_deg: float = 0.0) -> None:

@@ -47,8 +47,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from .analysis.options import SimulationOptions
     from .devices.base import Device
 
-__all__ = ["MNASystem", "Integrator", "StampContext", "ACStampContext",
-           "canonical_signal_name"]
+__all__ = ["MNASystem", "Integrator", "StampContext", "BatchStampContext",
+           "ACStampContext", "canonical_signal_name"]
 
 
 def canonical_signal_name(label: str) -> str:
@@ -597,6 +597,152 @@ class StampContext:
         if self.integrator is None:
             return default
         return self.integrator.previous_integral(key, default)
+
+
+class BatchStampContext(StampContext):
+    """Assembly workspace for B stacked DC/OP systems of one circuit.
+
+    ``x`` has shape ``(B, n)``; accessors return ``(B,)`` value lanes and the
+    residual/Jacobian accumulate as ``(B, n)`` / ``(B, n, n)`` (dense mode)
+    or as one shared triplet pattern with ``(B,)`` values per triplet (sparse
+    mode).  Batch-safe devices stamp *once* with their scalar arithmetic
+    broadcasting over the lane axis; devices that cannot broadcast (AD-dual
+    behavioral models) stamp per lane through :meth:`lane_context`, whose
+    genuine serial :class:`StampContext` writes straight into this batch's
+    arrays.
+
+    Restricted to DC-class analyses (``op``/``dc``): the lane axis replaces
+    the time axis, and no integrator state is threaded through.
+    """
+
+    def __init__(self, system: MNASystem, x: np.ndarray, analysis: str,
+                 options: "SimulationOptions", source_scale: float = 1.0,
+                 want_jacobian: bool = True, force_dense: bool = False) -> None:
+        if analysis not in ("op", "dc"):
+            raise AnalysisError(
+                f"batched assembly supports DC-class analyses only, got "
+                f"{analysis!r}")
+        self.system = system
+        self.x = np.asarray(x, dtype=float)
+        if self.x.ndim != 2 or self.x.shape[1] != system.size:
+            raise AnalysisError(
+                f"batched solution block has shape {self.x.shape}, expected "
+                f"(B, {system.size})")
+        self.batch = self.x.shape[0]
+        self.analysis = analysis
+        self.time = 0.0
+        self.integrator = None
+        self.options = options
+        self.source_scale = source_scale
+        self.want_jacobian = want_jacobian
+        n = system.size
+        self.res = np.zeros((self.batch, n))
+        self.use_sparse = options.use_sparse(n) and not force_dense
+        if self.use_sparse or not want_jacobian:
+            self.jac = None
+            self._jac_rows = []
+            self._jac_cols = []
+            self._jac_vals = []
+        else:
+            self.jac = np.zeros((self.batch, n, n))
+
+    # ------------------------------------------------------------------ access
+    def across(self, node: Node):
+        idx = self.system.index_of(node)
+        return 0.0 if idx < 0 else self.x[:, idx]
+
+    def aux_value(self, device: "Device | str", name: str):
+        return self.x[:, self.system.aux_index(device, name)]
+
+    def unknown_value(self, index: int):
+        return 0.0 if index < 0 else self.x[:, index]
+
+    # --------------------------------------------------------------- stamping
+    def add_res(self, row: int, value) -> None:
+        if row < 0:
+            return
+        self.res[:, row] += value
+
+    def add_jac(self, row: int, col: int, value) -> None:
+        if row < 0 or col < 0 or not self.want_jacobian:
+            return
+        if self.use_sparse:
+            self._jac_rows.append(row)
+            self._jac_cols.append(col)
+            self._jac_vals.append(value)
+        else:
+            self.jac[:, row, col] += value
+
+    def jacobian(self):
+        """``(B, n, n)`` dense stack, or a list of B CSR lanes in sparse mode."""
+        if not self.want_jacobian:
+            raise AnalysisError(
+                "this context was assembled residual-only (want_jacobian=False)")
+        if not self.use_sparse:
+            return self.jac
+        values = np.empty((len(self._jac_vals), self.batch))
+        for i, value in enumerate(self._jac_vals):
+            values[i] = value
+        return self.system.structure_cache.assemble_batch(
+            self._jac_rows, self._jac_cols, values, self.system.size)
+
+    def residual_finite_lanes(self) -> np.ndarray:
+        """``(B,)`` mask of lanes whose residual is entirely finite."""
+        return np.all(np.isfinite(self.res), axis=1)
+
+    def jacobian_finite_lanes(self) -> np.ndarray:
+        """``(B,)`` mask of lanes whose Jacobian is entirely finite."""
+        if not self.want_jacobian:
+            return np.ones(self.batch, dtype=bool)
+        if self.use_sparse:
+            finite = np.ones(self.batch, dtype=bool)
+            for value in self._jac_vals:
+                lanes = np.isfinite(value)
+                finite &= lanes if np.ndim(lanes) else bool(lanes)
+            return finite
+        return np.all(np.isfinite(self.jac), axis=(1, 2))
+
+    def apply_gmin(self, gmin: float) -> None:
+        if gmin <= 0.0:
+            return
+        n_nodes = self.system.num_nodes
+        if n_nodes == 0:
+            return
+        if self.want_jacobian:
+            if self.use_sparse:
+                diag = range(n_nodes)
+                self._jac_rows.extend(diag)
+                self._jac_cols.extend(diag)
+                self._jac_vals.extend([gmin] * n_nodes)
+            else:
+                idx = np.arange(n_nodes)
+                self.jac[:, idx, idx] += gmin
+        self.res[:, :n_nodes] += gmin * self.x[:, :n_nodes]
+
+    # ------------------------------------------------------------- lane access
+    def lane_context(self, lane: int) -> StampContext:
+        """A serial :class:`StampContext` over lane ``lane``.
+
+        Its residual (and, in dense mode, Jacobian) arrays are *views* into
+        this batch's arrays, so non-broadcastable devices stamp through their
+        unchanged serial code path and land in the right lane.  Only
+        available in dense mode -- per-lane triplet streams may diverge
+        (behavioral stamps skip exact-zero derivatives), which is exactly why
+        mixed circuits assemble dense.
+        """
+        if self.use_sparse:
+            raise AnalysisError(
+                "per-lane stamping requires dense batch assembly "
+                "(construct the batch context with force_dense=True)")
+        ctx = StampContext(self.system, self.x[lane], analysis=self.analysis,
+                           time=self.time, integrator=None,
+                           options=self.options, source_scale=self.source_scale,
+                           want_jacobian=self.want_jacobian)
+        ctx.res = self.res[lane]
+        if self.want_jacobian:
+            ctx.use_sparse = False
+            ctx.jac = self.jac[lane]
+        return ctx
 
 
 class ACStampContext:

@@ -25,7 +25,8 @@ import scipy.sparse as sp
 
 from ..errors import FEMError, LinAlgError
 from ..linalg import (FactorizedSolver, SensitivityResult,
-                      SpectralSensitivities, solve_sensitivities)
+                      SpectralSensitivities, solve_sensitivities,
+                      sweep_spectral_sensitivities)
 
 __all__ = ["matrix_derivatives", "static_sensitivities",
            "harmonic_sensitivities"]
@@ -177,31 +178,23 @@ def harmonic_sensitivities(assemble: Callable[[dict], tuple],
     force[drive] = force_amplitude
     stats = {"field_solves": 0, "adjoint_solves": 0, "direct_solves": 0}
     solver = FactorizedSolver("dense")
-    values = np.zeros((frequencies.size, len(dofs)), dtype=complex)
-    matrix = np.zeros((frequencies.size, len(dofs), len(base)), dtype=complex)
-    resolved = method
-    for f, frequency in enumerate(frequencies):
-        omega = 2.0 * np.pi * float(frequency)
-        dynamic = stiffness + 1j * omega * damping - omega * omega * mass
-        try:
-            factorization = solver.factorize(dynamic)
-            solution = factorization.solve(force)
-        except LinAlgError as exc:
-            raise FEMError(
-                f"harmonic solve failed at f={frequency:g} Hz: {exc}") from exc
-        stats["field_solves"] += 1
-        values[f] = solution[dofs]
+
+    def system_at(f: int, omega: float):
+        return stiffness + 1j * omega * damping - omega * omega * mass, force
+
+    def dres_at(f: int, omega: float, solution: np.ndarray) -> np.ndarray:
         dres = np.zeros((n, len(base)), dtype=complex)
         for k, (d_mass, d_damping, d_stiffness) in enumerate(derivatives):
             d_dynamic = d_stiffness + 1j * omega * d_damping \
                 - omega * omega * d_mass
             dres[:, k] = d_dynamic @ solution
-        point_stats: dict = {}
-        matrix[f] = solve_sensitivities(factorization, selectors, dres,
-                                        method=method, stats=point_stats)
-        stats["adjoint_solves"] += point_stats.get("adjoint_solves", 0)
-        stats["direct_solves"] += point_stats.get("direct_solves", 0)
-        resolved = "adjoint" if point_stats.get("adjoint_solves") else "direct"
+        return dres
+
+    values, matrix, resolved = sweep_spectral_sensitivities(
+        frequencies, selectors, system_at, dres_at, method=method,
+        solver=solver, stats=stats, solve_counter="field_solves",
+        solve_error=lambda frequency, exc: FEMError(
+            f"harmonic solve failed at f={frequency:g} Hz: {exc}"))
     stats["factorizations"] = solver.factorizations
     return SpectralSensitivities(
         frequencies, tuple(f"u[{dof}]" for dof in dofs), tuple(base),

@@ -22,22 +22,31 @@ semantics exposed on :class:`~repro.circuit.analysis.options.SimulationOptions`.
 from __future__ import annotations
 
 from . import metrics
+from .batch import (BATCH_BACKENDS, BatchedDenseLU, BatchedFactorization,
+                    BatchedSparseLU, batched_factorize)
 from .cache import FactorizationCache, matrix_fingerprint
 from .sensitivity import (SENSITIVITY_METHODS, SensitivityResult,
-                          SpectralSensitivities, solve_sensitivities)
+                          SpectralSensitivities, solve_sensitivities,
+                          sweep_spectral_sensitivities)
 from .solvers import BACKENDS, Factorization, FactorizedSolver
 from .structure import StructureCache
 
 __all__ = [
     "BACKENDS",
+    "BATCH_BACKENDS",
     "SENSITIVITY_METHODS",
+    "BatchedDenseLU",
+    "BatchedFactorization",
+    "BatchedSparseLU",
     "Factorization",
     "FactorizedSolver",
     "FactorizationCache",
     "SensitivityResult",
     "SpectralSensitivities",
     "StructureCache",
+    "batched_factorize",
     "matrix_fingerprint",
     "metrics",
     "solve_sensitivities",
+    "sweep_spectral_sensitivities",
 ]

@@ -26,15 +26,16 @@ return is the cross-layer protocol the optimization layer consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Callable, Mapping
 
 import numpy as np
 
 from ..errors import LinAlgError
-from .solvers import Factorization
+from .solvers import Factorization, FactorizedSolver
 
 __all__ = ["SENSITIVITY_METHODS", "SensitivityResult",
-           "SpectralSensitivities", "solve_sensitivities"]
+           "SpectralSensitivities", "solve_sensitivities",
+           "sweep_spectral_sensitivities"]
 
 SENSITIVITY_METHODS = ("auto", "adjoint", "direct")
 
@@ -93,6 +94,97 @@ def solve_sensitivities(factorization: Factorization, selectors: np.ndarray,
         if stats is not None:
             stats["direct_solves"] = stats.get("direct_solves", 0) + num_params
     return out
+
+
+def sweep_spectral_sensitivities(
+        frequencies: np.ndarray, selectors: np.ndarray,
+        system_at: Callable[[int, float], tuple[np.ndarray, np.ndarray]],
+        dres_at: Callable[[int, float, np.ndarray], np.ndarray],
+        method: str = "auto", solver: FactorizedSolver | None = None,
+        stats: dict | None = None, solve_counter: str | None = None,
+        solve_error: Callable[[float, Exception], Exception] | None = None,
+) -> tuple[np.ndarray, np.ndarray, str]:
+    """Run the per-frequency implicit-solve sensitivity sweep.
+
+    This is the skeleton shared by the circuit AC sweep, the FE harmonic
+    solver and the ROM harmonic outputs: at each frequency, assemble the
+    complex system ``Y(omega) x = b(omega)``, factor it once, solve the
+    forward excitation, evaluate the residual parameter derivatives at the
+    solution and push them through :func:`solve_sensitivities` on the same
+    factorization.
+
+    Parameters
+    ----------
+    frequencies:
+        ``(F,)`` sweep frequencies in Hz.
+    selectors:
+        ``(M, n)`` output rows ``g_m``.
+    system_at:
+        ``(index, omega) -> (matrix, rhs)`` assembling the complex system at
+        one frequency (``omega = 2*pi*frequencies[index]``).
+    dres_at:
+        ``(index, omega, solution) -> (n, P)`` residual parameter
+        derivatives ``dF/dp`` at the solved point.
+    method:
+        Sensitivity method forwarded to :func:`solve_sensitivities`.
+    solver:
+        Factorization backend; a dense :class:`FactorizedSolver` by default.
+        Callers that want factorization counts read ``solver.factorizations``
+        after the sweep.
+    stats:
+        Optional dict accumulating ``adjoint_solves`` / ``direct_solves``
+        (and ``solve_counter``, if given) across the sweep.
+    solve_counter:
+        Optional ``stats`` key bumped once per successful frequency solve
+        (e.g. the FE layer's ``"field_solves"``).
+    solve_error:
+        Optional ``(frequency, exc) -> Exception`` factory used to re-brand
+        a :class:`~repro.errors.LinAlgError` from the factor/solve step into
+        the caller's domain error.  Without it the original error propagates.
+
+    Returns
+    -------
+    ``(values, matrix, resolved)`` -- the ``(F, M)`` complex output phasors,
+    the ``(F, M, P)`` complex phasor derivatives and the method that
+    actually ran (``"adjoint"`` or ``"direct"``).
+    """
+    frequencies = np.asarray(frequencies, dtype=float)
+    if frequencies.size == 0:
+        raise LinAlgError("spectral sensitivity sweep needs at least one "
+                          "frequency")
+    selectors = np.atleast_2d(np.asarray(selectors))
+    if solver is None:
+        solver = FactorizedSolver("dense")
+    num_outputs = selectors.shape[0]
+    values = np.zeros((frequencies.size, num_outputs), dtype=complex)
+    matrix: np.ndarray | None = None
+    resolved = method
+    for f, frequency in enumerate(frequencies):
+        omega = 2.0 * np.pi * float(frequency)
+        try:
+            sys_matrix, rhs = system_at(f, omega)
+            factorization = solver.factorize(sys_matrix)
+            solution = factorization.solve(rhs)
+        except LinAlgError as exc:
+            if solve_error is not None:
+                raise solve_error(float(frequency), exc) from exc
+            raise
+        if stats is not None and solve_counter is not None:
+            stats[solve_counter] = stats.get(solve_counter, 0) + 1
+        values[f] = selectors @ solution
+        dres = np.asarray(dres_at(f, omega, solution))
+        if matrix is None:
+            matrix = np.zeros(
+                (frequencies.size, num_outputs, dres.shape[1]), dtype=complex)
+        point_stats: dict = {}
+        matrix[f] = solve_sensitivities(factorization, selectors, dres,
+                                        method=method, stats=point_stats)
+        if stats is not None:
+            for key in ("adjoint_solves", "direct_solves"):
+                stats[key] = stats.get(key, 0) + point_stats.get(key, 0)
+        resolved = "adjoint" if point_stats.get("adjoint_solves") else "direct"
+    assert matrix is not None
+    return values, matrix, resolved
 
 
 @dataclass

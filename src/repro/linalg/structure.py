@@ -80,6 +80,42 @@ class StructureCache:
         return sp.csr_matrix((data, self._indices, self._indptr),
                              shape=(n, n), copy=False)
 
+    def assemble_batch(self, rows, cols, values, n: int) -> list[sp.csr_matrix]:
+        """Per-lane CSR matrices of a ``(T, B)`` batched value array.
+
+        The pattern reduction (sort, deduplicate, slot mapping) runs once
+        for the whole batch; each of the B lanes then costs one
+        ``np.bincount`` value reduction -- the batched analogue of
+        :meth:`assemble` for campaign points that share a topology.  Lane b
+        of the result equals ``assemble(rows, cols, values[:, b], n)``
+        exactly (identical summation order).
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        values = np.asarray(values, dtype=float)
+        if rows.ndim != 1 or rows.shape != cols.shape:
+            raise LinAlgError("triplet arrays must be equal-length 1-D sequences")
+        if values.ndim != 2 or values.shape[0] != rows.size:
+            raise LinAlgError(
+                f"batched values must have shape ({rows.size}, B), got "
+                f"{values.shape}")
+        if rows.size and (rows.min() < 0 or cols.min() < 0
+                          or rows.max() >= n or cols.max() >= n):
+            raise LinAlgError(f"triplet coordinates out of range for size {n}")
+        if not self._matches(rows, cols, n):
+            self._rebuild(rows, cols, n)
+        else:
+            self.reuses += 1
+            metrics.record("structure_reuses")
+        lanes = []
+        for b in range(values.shape[1]):
+            data = np.bincount(self._mapping, weights=values[:, b],
+                               minlength=self._nnz) if rows.size else \
+                np.zeros(self._nnz)
+            lanes.append(sp.csr_matrix((data, self._indices, self._indptr),
+                                       shape=(n, n), copy=False))
+        return lanes
+
     # ---------------------------------------------------------------- helpers
     def _matches(self, rows: np.ndarray, cols: np.ndarray, n: int) -> bool:
         return (self._rows is not None and n == self._n

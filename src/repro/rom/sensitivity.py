@@ -33,7 +33,8 @@ import scipy.sparse as sp
 from ..errors import FEMError, LinAlgError
 from ..fem.sensitivity import matrix_derivatives
 from ..linalg import (FactorizedSolver, SensitivityResult,
-                      SpectralSensitivities, solve_sensitivities)
+                      SpectralSensitivities, solve_sensitivities,
+                      sweep_spectral_sensitivities)
 from .statespace import ReducedModel
 
 __all__ = ["project_matrix_derivatives", "dc_gain_sensitivities",
@@ -116,21 +117,11 @@ def harmonic_output_sensitivities(rom: ReducedModel, reduced_derivatives,
     stats = {"adjoint_solves": 0, "direct_solves": 0}
     force = rom.B[:, input_index].astype(complex)
     num_outputs = rom.num_outputs
-    values = np.zeros((frequencies.size, num_outputs), dtype=complex)
-    matrix = np.zeros((frequencies.size, num_outputs, len(params)),
-                      dtype=complex)
-    resolved = method
-    for f, frequency in enumerate(frequencies):
-        omega = 2.0 * np.pi * float(frequency)
-        dynamic = rom.K + 1j * omega * rom.C - omega * omega * rom.M
-        try:
-            factorization = solver.factorize(dynamic)
-            state = factorization.solve(force)
-        except LinAlgError as exc:
-            raise FEMError(
-                f"reduced harmonic solve failed at f={frequency:g} Hz: "
-                f"{exc}") from exc
-        values[f] = rom.L @ state
+
+    def system_at(f: int, omega: float):
+        return rom.K + 1j * omega * rom.C - omega * omega * rom.M, force
+
+    def dres_at(f: int, omega: float, state: np.ndarray) -> np.ndarray:
         dres = np.zeros((rom.order, len(params)), dtype=complex)
         for k, (d_mass, d_damping, d_stiffness) in enumerate(
                 reduced_derivatives):
@@ -138,12 +129,13 @@ def harmonic_output_sensitivities(rom: ReducedModel, reduced_derivatives,
                 + 1j * omega * np.asarray(d_damping, dtype=float) \
                 - omega * omega * np.asarray(d_mass, dtype=float)
             dres[:, k] = d_dynamic @ state
-        point_stats: dict = {}
-        matrix[f] = solve_sensitivities(factorization, rom.L, dres,
-                                        method=method, stats=point_stats)
-        stats["adjoint_solves"] += point_stats.get("adjoint_solves", 0)
-        stats["direct_solves"] += point_stats.get("direct_solves", 0)
-        resolved = "adjoint" if point_stats.get("adjoint_solves") else "direct"
+        return dres
+
+    values, matrix, resolved = sweep_spectral_sensitivities(
+        frequencies, rom.L, system_at, dres_at, method=method,
+        solver=solver, stats=stats,
+        solve_error=lambda frequency, exc: FEMError(
+            f"reduced harmonic solve failed at f={frequency:g} Hz: {exc}"))
     stats["factorizations"] = solver.factorizations
     return SpectralSensitivities(
         frequencies, tuple(f"y{row}" for row in range(num_outputs)), params,

@@ -111,3 +111,31 @@ class TestACSensitivities:
         # the sign of d|y|/dk flips across it (classic detuning behaviour).
         trace = adjoint.magnitude_derivative("v(nm)", "K1.stiffness")
         assert trace[0] * trace[-1] < 0.0
+
+
+class TestCachedAssembly:
+    """The once-per-parameter dG/dC/dS decomposition of the dres sweep."""
+
+    GRID = np.logspace(3.0, 6.0, 13)
+
+    def test_cached_engages_and_matches_direct(self):
+        circuit = build_circuit()
+        cached = ACAnalysis(circuit, self.GRID, OPTIONS).sensitivities(
+            PARAMS, OUTPUTS)
+        direct = ACAnalysis(
+            circuit, self.GRID,
+            OPTIONS.with_(jacobian_reuse="off")).sensitivities(
+                PARAMS, OUTPUTS)
+        assert cached.stats["assembly_mode"] == "cached"
+        assert direct.stats["assembly_mode"] == "direct"
+        scale = np.max(np.abs(direct.matrix))
+        assert np.max(np.abs(cached.matrix - direct.matrix)) <= 1e-9 * scale
+        np.testing.assert_allclose(cached.values, direct.values,
+                                   rtol=1e-12, atol=0.0)
+
+    def test_short_sweeps_stay_direct(self):
+        circuit = build_circuit()
+        result = ACAnalysis(circuit, FREQUENCIES, OPTIONS).sensitivities(
+            PARAMS, OUTPUTS)
+        # Fewer than four frequencies: the probe overhead cannot pay off.
+        assert result.stats["assembly_mode"] == "direct"

@@ -1,0 +1,149 @@
+"""Tests for the batched factorization layer and batched CSR assembly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import LinAlgError
+from repro.linalg import (BATCH_BACKENDS, BatchedDenseLU, BatchedSparseLU,
+                          FactorizedSolver, StructureCache, batched_factorize)
+
+
+def _stack(batch: int = 5, n: int = 8, seed: int = 11):
+    rng = np.random.default_rng(seed)
+    matrices = rng.standard_normal((batch, n, n)) + n * np.eye(n)
+    rhs = rng.standard_normal((batch, n))
+    return matrices, rhs
+
+
+class TestBatchedDenseLU:
+    def test_matches_serial_dense_solver(self):
+        matrices, rhs = _stack()
+        handle = BatchedDenseLU(matrices)
+        assert not handle.failed.any()
+        solutions = handle.solve(rhs)
+        solver = FactorizedSolver("dense")
+        for b in range(matrices.shape[0]):
+            reference = solver.solve(matrices[b], rhs[b])
+            np.testing.assert_allclose(solutions[b], reference,
+                                       rtol=1e-12, atol=1e-12)
+
+    def test_singular_lane_masks_nan_others_survive(self):
+        matrices, rhs = _stack()
+        matrices[2] = 0.0
+        handle = BatchedDenseLU(matrices)
+        assert list(handle.failed) == [False, False, True, False, False]
+        solutions = handle.solve(rhs)
+        assert np.isnan(solutions[2]).all()
+        for b in (0, 1, 3, 4):
+            np.testing.assert_allclose(matrices[b] @ solutions[b], rhs[b],
+                                       atol=1e-9)
+
+    def test_nonfinite_lane_flagged(self):
+        matrices, _ = _stack()
+        matrices[0, 3, 3] = np.nan
+        handle = BatchedDenseLU(matrices)
+        assert handle.failed[0]
+        assert not handle.failed[1:].any()
+
+    def test_solve_transposed(self):
+        matrices, rhs = _stack()
+        handle = BatchedDenseLU(matrices)
+        solutions = handle.solve_transposed(rhs)
+        for b in range(matrices.shape[0]):
+            np.testing.assert_allclose(matrices[b].T @ solutions[b], rhs[b],
+                                       atol=1e-9)
+
+    def test_shape_validation(self):
+        with pytest.raises(LinAlgError):
+            BatchedDenseLU(np.zeros((4, 3)))
+        handle = BatchedDenseLU(_stack()[0])
+        with pytest.raises(LinAlgError):
+            handle.solve(np.zeros((2, 8)))
+
+
+class TestBatchedSparseLU:
+    def test_matches_dense_solutions(self):
+        matrices, rhs = _stack()
+        lanes = [sp.csr_matrix(m) for m in matrices]
+        handle = BatchedSparseLU(lanes)
+        assert not handle.failed.any()
+        dense = BatchedDenseLU(matrices).solve(rhs)
+        np.testing.assert_allclose(handle.solve(rhs), dense,
+                                   rtol=1e-10, atol=1e-10)
+
+    def test_solve_transposed(self):
+        matrices, rhs = _stack()
+        handle = BatchedSparseLU([sp.csr_matrix(m) for m in matrices])
+        solutions = handle.solve_transposed(rhs)
+        for b in range(matrices.shape[0]):
+            np.testing.assert_allclose(matrices[b].T @ solutions[b], rhs[b],
+                                       atol=1e-9)
+
+    def test_singular_lane_masks_nan(self):
+        matrices, rhs = _stack()
+        matrices[1] = 0.0
+        # Keep the pattern identical across lanes: explicit zeros.
+        lanes = [sp.csr_matrix(m) for m in matrices]
+        handle = BatchedSparseLU(lanes)
+        assert handle.failed[1]
+        solutions = handle.solve(rhs)
+        assert np.isnan(solutions[1]).all()
+        np.testing.assert_allclose(matrices[0] @ solutions[0], rhs[0],
+                                   atol=1e-9)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(LinAlgError):
+            BatchedSparseLU([])
+
+
+class TestBatchedFactorize:
+    def test_auto_follows_representation(self):
+        matrices, _ = _stack()
+        assert batched_factorize(matrices).backend == "dense"
+        lanes = [sp.csr_matrix(m) for m in matrices]
+        assert batched_factorize(lanes).backend == "superlu"
+
+    def test_explicit_backend_converts_input(self):
+        matrices, rhs = _stack()
+        lanes = [sp.csr_matrix(m) for m in matrices]
+        as_dense = batched_factorize(lanes, "dense")
+        as_sparse = batched_factorize(matrices, "superlu")
+        np.testing.assert_allclose(as_dense.solve(rhs), as_sparse.solve(rhs),
+                                   rtol=1e-10, atol=1e-10)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(LinAlgError):
+            batched_factorize(_stack()[0], "qr")
+        assert "auto" in BATCH_BACKENDS
+
+
+class TestStructureCacheBatch:
+    def test_lanes_match_serial_assembly_exactly(self):
+        rng = np.random.default_rng(3)
+        rows = np.array([0, 0, 1, 2, 2, 1, 0])
+        cols = np.array([0, 1, 1, 2, 0, 2, 0])
+        values = rng.standard_normal((rows.size, 4))
+        cache = StructureCache()
+        lanes = cache.assemble_batch(rows, cols, values, 3)
+        assert len(lanes) == 4
+        for b, lane in enumerate(lanes):
+            reference = cache.assemble(rows, cols, values[:, b], 3)
+            assert np.array_equal(lane.toarray(), reference.toarray())
+
+    def test_pattern_reduction_shared(self):
+        rows = np.array([0, 1, 1])
+        cols = np.array([0, 0, 1])
+        cache = StructureCache()
+        cache.assemble_batch(rows, cols, np.ones((3, 2)), 2)
+        cache.assemble_batch(rows, cols, np.full((3, 2), 2.0), 2)
+        assert cache.reuses >= 1
+
+    def test_shape_validation(self):
+        cache = StructureCache()
+        with pytest.raises(LinAlgError):
+            cache.assemble_batch([0], [0], np.ones(1), 1)  # not (T, B)
+        with pytest.raises(LinAlgError):
+            cache.assemble_batch([0, 1], [0, 0], np.ones((3, 2)), 2)

@@ -9,7 +9,7 @@ import scipy.sparse as sp
 from repro.errors import LinAlgError
 from repro.linalg import (FactorizedSolver, SensitivityResult,
                           SpectralSensitivities, metrics,
-                          solve_sensitivities)
+                          solve_sensitivities, sweep_spectral_sensitivities)
 
 
 def _well_conditioned(n: int, seed: int = 0) -> np.ndarray:
@@ -187,3 +187,70 @@ class TestSpectralSensitivities:
             SpectralSensitivities(np.array([1.0]), ("y",), ("p",),
                                   np.zeros((1, 1)), np.zeros((2, 1, 1)),
                                   "adjoint", {})
+
+
+class TestSweepSpectralSensitivities:
+    """The shared per-frequency sweep skeleton (circuit AC / FEM / ROM)."""
+
+    def setup_method(self):
+        rng = np.random.default_rng(9)
+        self.n = 5
+        self.G = _well_conditioned(self.n, seed=9)
+        self.C = rng.standard_normal((self.n, self.n)) * 1e-3
+        self.rhs = rng.standard_normal(self.n)
+        self.dG = rng.standard_normal((2, self.n, self.n))
+        self.selectors = np.eye(self.n)[[0, 2]]
+        self.frequencies = np.array([10.0, 100.0, 1000.0])
+
+    def _system_at(self, f, omega):
+        return self.G + 1j * omega * self.C, self.rhs.astype(complex)
+
+    def _dres_at(self, f, omega, solution):
+        dres = np.zeros((self.n, 2), dtype=complex)
+        for k in range(2):
+            dres[:, k] = self.dG[k] @ solution
+        return dres
+
+    def test_matches_manual_per_frequency_solves(self):
+        stats: dict = {}
+        values, matrix, resolved = sweep_spectral_sensitivities(
+            self.frequencies, self.selectors, self._system_at, self._dres_at,
+            method="adjoint", stats=stats)
+        assert resolved == "adjoint"
+        assert stats["adjoint_solves"] == 2 * self.frequencies.size
+        for f, frequency in enumerate(self.frequencies):
+            omega = 2.0 * np.pi * frequency
+            system = self.G + 1j * omega * self.C
+            solution = np.linalg.solve(system, self.rhs)
+            np.testing.assert_allclose(values[f], self.selectors @ solution,
+                                       atol=1e-10)
+            dres = np.stack([self.dG[k] @ solution for k in range(2)], axis=1)
+            reference = -self.selectors @ np.linalg.solve(system, dres)
+            np.testing.assert_allclose(matrix[f], reference, atol=1e-10)
+
+    def test_solve_counter_bumped_per_frequency(self):
+        stats: dict = {}
+        sweep_spectral_sensitivities(
+            self.frequencies, self.selectors, self._system_at, self._dres_at,
+            stats=stats, solve_counter="field_solves")
+        assert stats["field_solves"] == self.frequencies.size
+
+    def test_solve_error_rebrands_failures(self):
+        def singular_at(f, omega):
+            return np.zeros((self.n, self.n), dtype=complex), \
+                self.rhs.astype(complex)
+
+        with pytest.raises(RuntimeError, match="f=10"):
+            sweep_spectral_sensitivities(
+                self.frequencies, self.selectors, singular_at, self._dres_at,
+                solve_error=lambda frequency, exc: RuntimeError(
+                    f"bad solve at f={frequency:g} Hz"))
+        # Without a factory the original LinAlgError propagates.
+        with pytest.raises(LinAlgError):
+            sweep_spectral_sensitivities(
+                self.frequencies, self.selectors, singular_at, self._dres_at)
+
+    def test_empty_frequencies_rejected(self):
+        with pytest.raises(LinAlgError, match="at least one"):
+            sweep_spectral_sensitivities(
+                np.array([]), self.selectors, self._system_at, self._dres_at)
