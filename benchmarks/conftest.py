@@ -17,8 +17,15 @@ collected, so the timing numbers stay undisturbed.
 Passing ``--bench-out FILE`` writes a machine-readable JSON ledger of the
 run: one entry per executed test (outcome + call duration) enriched with
 pytest-benchmark's min/mean/max statistics where a ``benchmark`` fixture
-ran.  CI archives the ledger next to the Perfetto traces, so timing history
-is diffable across commits without scraping terminal output.
+ran, stamped with a provenance block (git SHA, UTC timestamp, hostname,
+Python/NumPy/SciPy versions) so every BENCH_N.json artifact is
+self-describing.  CI archives the ledger next to the Perfetto traces, so
+timing history is diffable across commits without scraping terminal output.
+
+Passing ``--ledger DIR`` additionally appends one
+:class:`repro.telemetry.ledger.RunRecord` for the whole benchmark session
+into the persistent run ledger at ``DIR`` -- the durable form the
+``python -m repro.telemetry.ledger`` CLI diffs and regression-gates.
 """
 
 from __future__ import annotations
@@ -32,8 +39,10 @@ import time
 
 import pytest
 
-#: Ledger schema tag; bump on incompatible change.
-_LEDGER_SCHEMA = "repro-bench-ledger/1"
+#: Ledger schema tag; bump on incompatible change.  Version 2 added the
+#: self-describing ``provenance`` block (version-1 files remain ingestable
+#: by ``repro.telemetry.ledger``, which captures provenance on their behalf).
+_LEDGER_SCHEMA = "repro-bench-ledger/2"
 
 
 def report(title: str, lines) -> None:
@@ -51,13 +60,18 @@ def pytest_addoption(parser):
     parser.addoption(
         "--bench-out", default=None, metavar="FILE",
         help="write a machine-readable JSON ledger of benchmark results to FILE")
+    parser.addoption(
+        "--ledger", default=None, metavar="DIR",
+        help="append a RunRecord for this benchmark session to the "
+             "persistent run ledger at DIR")
 
 
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_makereport(item, call):
     outcome = yield
     rep = outcome.get_result()
-    if rep.when != "call" or not item.config.getoption("--bench-out"):
+    if rep.when != "call" or not (item.config.getoption("--bench-out")
+                                  or item.config.getoption("--ledger")):
         return
     ledger = getattr(item.config, "_bench_ledger", None)
     if ledger is None:
@@ -86,8 +100,11 @@ def _benchmark_stats(config) -> dict:
 
 def pytest_sessionfinish(session, exitstatus):
     path = session.config.getoption("--bench-out", default=None)
-    if not path:
+    ledger_dir = session.config.getoption("--ledger", default=None)
+    if not path and not ledger_dir:
         return
+    from repro.telemetry import ledger as run_ledger
+
     stats = _benchmark_stats(session.config)
     results = []
     for entry in getattr(session.config, "_bench_ledger", []):
@@ -106,14 +123,20 @@ def pytest_sessionfinish(session, exitstatus):
         "created_s": time.time(),
         "python": sys.version.split()[0],
         "platform": platform.platform(),
+        "provenance": run_ledger.capture_provenance(),
         "exit_status": int(exitstatus),
         "results": results,
     }
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
-    print(f"\nbenchmark ledger written: {path} ({len(results)} tests)")
+    if path:
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nbenchmark ledger written: {path} ({len(results)} tests)")
+    if ledger_dir:
+        record = run_ledger.RunRecord.from_bench_ledger(payload)
+        record_id = run_ledger.RunLedger(ledger_dir).append(record)
+        print(f"\nrun record {record_id} appended to {ledger_dir}")
 
 
 @pytest.fixture(autouse=True)

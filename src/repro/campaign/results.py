@@ -103,6 +103,9 @@ class CampaignResult:
         self.solver_stats: dict[str, int] = \
             {str(k): int(v) for k, v in (solver_stats or {}).items()}
         self.telemetry = dict(telemetry) if telemetry else None
+        #: ID of the RunRecord appended for this run, when the runner had a
+        #: ledger attached (set post-construction by the runner).
+        self.run_record_id: str | None = None
         if param_names is not None:
             self.param_names = tuple(param_names)
         elif self.rows:

@@ -273,6 +273,18 @@ class CampaignRunner:
         terminate the pool at the first stall and mark every undelivered
         point as a failed row (``error`` starting with ``"StallError"``),
         so a single hung worker cannot hang the whole campaign.
+    ledger:
+        Optional :class:`~repro.telemetry.ledger.RunLedger` (or a directory
+        path, wrapped in one): every :meth:`run` appends a
+        :class:`~repro.telemetry.ledger.RunRecord` of the campaign's merged
+        telemetry profile -- span totals, metric deltas, summed worker wall
+        time -- fingerprinted by evaluator identity and spec shape, so runs
+        of the same campaign diff across commits.  Recording needs a
+        profile: a runner constructed with ``telemetry="off"`` is upgraded
+        to ``"summary"``.  The appended record's ID lands on the result as
+        ``CampaignResult.run_record_id``; because workers ship
+        deterministic aggregates, serial and pool executions of one
+        campaign produce records whose counter/span-count diff is zero.
     """
 
     BACKENDS = ("serial", "pool", "batch", "auto")
@@ -283,7 +295,8 @@ class CampaignRunner:
                  cache: ResultCache | None = None,
                  telemetry: str = "off",
                  stall_timeout: float | None = None,
-                 stall_abandon: bool = False) -> None:
+                 stall_abandon: bool = False,
+                 ledger=None) -> None:
         if backend not in self.BACKENDS:
             raise CampaignError(
                 f"unknown backend {backend!r} (use one of {self.BACKENDS})")
@@ -301,12 +314,20 @@ class CampaignRunner:
             raise CampaignError("stall_timeout must be positive")
         if stall_abandon and stall_timeout is None:
             raise CampaignError("stall_abandon requires a stall_timeout")
+        if ledger is not None and not hasattr(ledger, "append"):
+            from ..telemetry.ledger import RunLedger
+            ledger = RunLedger(ledger)
+        if ledger is not None and telemetry == "off":
+            # A record without a profile is empty; summary mode is the
+            # cheapest level that still ships span totals and counters.
+            telemetry = "summary"
         self.backend = backend
         self.processes = processes
         self.chunk_size = chunk_size
         self.batch_size = int(batch_size)
         self.cache = cache
         self.telemetry = telemetry
+        self.ledger = ledger
         self.stall_timeout = None if stall_timeout is None else float(stall_timeout)
         self.stall_abandon = bool(stall_abandon)
 
@@ -340,10 +361,26 @@ class CampaignRunner:
             if self.cache is not None and error is None:
                 self.cache.put(keys[index], outputs)
 
-        return CampaignResult([row for row in rows if row is not None],
-                              param_names=spec.names,
-                              solver_stats=solver_stats,
-                              telemetry=profile)
+        result = CampaignResult([row for row in rows if row is not None],
+                                param_names=spec.names,
+                                solver_stats=solver_stats,
+                                telemetry=profile)
+        if self.ledger is not None and profile is not None:
+            result.run_record_id = self._record_run(spec, evaluator, points,
+                                                    profile)
+        return result
+
+    def _record_run(self, spec: CampaignSpec, evaluator,
+                    points: Sequence[Mapping[str, object]],
+                    profile: Mapping) -> str:
+        """Append this campaign's profile to the attached run ledger."""
+        from ..telemetry.ledger import RunRecord
+        fingerprint = scenario_key(evaluator_payload(evaluator),
+                                   {"params": list(spec.names),
+                                    "points": len(points)})
+        record = RunRecord.from_report(profile, label="campaign",
+                                       options_fingerprint=fingerprint)
+        return self.ledger.append(record)
 
     # ------------------------------------------------------------- dispatch
     def _resolve_backend(self, evaluator, n_points: int) -> str:

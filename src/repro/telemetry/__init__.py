@@ -28,7 +28,7 @@ Analyses do this internally when ``SimulationOptions(telemetry="full")`` is
 set and attach the report as ``result.telemetry``.
 """
 
-from . import forensics, health, progress, registry
+from . import forensics, health, ledger, progress, registry
 from .context import (MODES, Span, TelemetryReport, TelemetrySession,
                       aggregate_spans, current, current_path, detail_enabled,
                       detail_span, enabled, merge_span_totals, session, span)
@@ -43,7 +43,7 @@ from .progress import (CallbackReporter, LoggingProgressReporter,
                        StallWarning, reporting, tracker)
 
 __all__ = [
-    "registry", "health", "forensics", "progress",
+    "registry", "health", "forensics", "progress", "ledger",
     "Span", "TelemetrySession", "TelemetryReport", "MODES",
     "span", "detail_span", "session", "enabled", "detail_enabled", "current",
     "current_path", "aggregate_spans", "merge_span_totals",

@@ -111,6 +111,12 @@ def profile_summary(report, limit: int = 20, sort: str = "self") -> str:
     omitted so a clipped profile can never be mistaken for a complete one.
     The ``self %`` / ``total %`` columns are shares of the report's wall
     time (inclusive shares exceed 100% summed -- parents contain children).
+
+    Histogram metrics collected by the report (e.g. the batched-execution
+    ``batch.size`` / ``batch.solve_s`` digests riding campaign telemetry
+    payloads) are appended as their own count/mean/min/max section, so a
+    campaign profile shows its batching behaviour without digging into the
+    raw ``metrics`` dict.
     """
     if sort not in _PROFILE_SORT_KEYS:
         raise ValueError(f"unknown sort key {sort!r} "
@@ -136,8 +142,34 @@ def profile_summary(report, limit: int = 20, sort: str = "self") -> str:
     if omitted:
         lines.append(f"... {omitted} rows omitted (of {len(ordered)}; "
                      f"raise limit= to see them)")
+    histograms = (getattr(report, "metrics", None) or {}).get("histograms", {})
+    if histograms:
+        lines.extend(_histogram_lines(histograms))
     lines.append(f"wall time: {_fmt_seconds(wall)}")
     return "\n".join(lines)
+
+
+def _histogram_lines(histograms: dict) -> list[str]:
+    """The histogram-digest section appended to a profile table."""
+    name_width = max([len(name) for name in histograms] + [len("histogram")])
+    header = (f"{'histogram':<{name_width}}  {'count':>7}  {'mean':>10}  "
+              f"{'min':>10}  {'max':>10}")
+    lines = ["", header, "-" * len(header)]
+
+    def fmt(name: str, value: float) -> str:
+        # Durations carry the _s suffix by convention; everything else
+        # (batch sizes, iteration counts) prints as a plain number.
+        return _fmt_seconds(value) if name.endswith("_s") else f"{value:g}"
+
+    for name in sorted(histograms):
+        digest = histograms[name]
+        count = digest.get("count", 0)
+        mean = digest.get("sum", 0.0) / count if count else 0.0
+        lines.append(
+            f"{name:<{name_width}}  {int(count):>7d}  {fmt(name, mean):>10}  "
+            f"{fmt(name, digest.get('min', 0.0)):>10}  "
+            f"{fmt(name, digest.get('max', 0.0)):>10}")
+    return lines
 
 
 def _fmt_seconds(value: float) -> str:

@@ -75,9 +75,15 @@ class ProgressEvent:
 
     @property
     def fraction(self) -> float | None:
-        """Completed fraction in [0, 1], when the total is known."""
-        if self.total is None or self.total <= 0:
+        """Completed fraction in [0, 1], when the total is known.
+
+        A zero/degenerate total never divides: the phase has no work, so
+        its final event reports 1.0 and intermediate ones report nothing.
+        """
+        if self.total is None:
             return None
+        if self.total <= 0:
+            return 1.0 if self.done else None
         return min(1.0, self.completed / self.total)
 
     def __str__(self) -> str:
@@ -199,10 +205,20 @@ class ProgressTracker:
         self._t0 = _perf_counter()
         self._last_emit = -float("inf")
         self._emitted = 0
+        self._closed = False
+        if self.total is not None and self.total <= 0:
+            # Degenerate phase (an empty sweep, a zero-length transient):
+            # there is no work to watch and no rate to extrapolate an ETA
+            # from, so complete immediately -- one done event, and every
+            # later update()/finish() from the instrumented loop is a no-op
+            # instead of a divide-by-zero or a post-completion event.
+            self.finish(0.0)
 
     def update(self, completed: float, message: str = "", force: bool = False,
                **data) -> None:
         """Report progress; throttled by the installed minimum interval."""
+        if self._closed:
+            return
         now = _perf_counter()
         if not force and self._emitted \
                 and now - self._last_emit < self._min_interval:
@@ -221,13 +237,17 @@ class ProgressTracker:
 
     def finish(self, completed: float | None = None, message: str = "",
                **data) -> None:
-        """Emit the phase's final event (never throttled)."""
+        """Emit the phase's final event (never throttled, at most once)."""
+        if self._closed:
+            return
+        self._closed = True
         if completed is None:
             completed = self.total if self.total is not None else 0.0
         elapsed = _perf_counter() - self._t0
         event = ProgressEvent(phase=self.phase, completed=float(completed),
                               total=self.total, unit=self.unit,
-                              elapsed_s=elapsed, eta_s=0.0 if self.total else None,
+                              elapsed_s=elapsed,
+                              eta_s=0.0 if self.total is not None else None,
                               done=True, message=message,
                               span_path=current_path(), data=data)
         self._emit(event)

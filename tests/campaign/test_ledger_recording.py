@@ -1,0 +1,87 @@
+"""CampaignRunner ``ledger=``: auto-recording campaign profiles.
+
+Rides the PR 6 determinism contract: the merged telemetry a campaign
+records is identical between serial and pool execution for every
+counter-family metric, so two records of the same campaign diff to zero
+everywhere except wall-clock timings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.campaign import CampaignRunner, GridSweep
+from repro.campaign.runner import CircuitEvaluator
+from repro.circuit import Circuit
+from repro.circuit.devices.passive import Resistor
+from repro.circuit.devices.sources import VoltageSource
+from repro.telemetry.ledger import RunLedger, diff
+
+
+def build_divider(params: dict) -> Circuit:
+    circuit = Circuit()
+    n_in = circuit.electrical_node("in")
+    n_out = circuit.electrical_node("out")
+    circuit.add(VoltageSource("V1", n_in, circuit.ground, 5.0))
+    circuit.add(Resistor("R1", n_in, n_out, float(params["r_top"])))
+    circuit.add(Resistor("R2", n_out, circuit.ground, 1e3))
+    return circuit
+
+
+def _evaluator() -> CircuitEvaluator:
+    return CircuitEvaluator(build_divider, analysis="op", outputs=["v(out)"])
+
+
+SPEC = GridSweep({"r_top": np.linspace(500.0, 2000.0, 8)})
+
+
+class TestCampaignRecording:
+    def test_run_appends_record_and_sets_id(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        result = CampaignRunner(telemetry="summary",
+                                ledger=ledger).run(SPEC, _evaluator())
+        assert result.run_record_id is not None
+        record = ledger.load(result.run_record_id)
+        assert record.label == "campaign"
+        assert record.span_totals["op.run"]["count"] == len(SPEC)
+        assert record.options_fingerprint
+
+    def test_directory_path_is_wrapped_and_telemetry_upgraded(self, tmp_path):
+        runner = CampaignRunner(ledger=str(tmp_path))
+        assert isinstance(runner.ledger, RunLedger)
+        # A record without a profile would be empty: "off" upgrades.
+        assert runner.telemetry == "summary"
+        result = runner.run(SPEC, _evaluator())
+        assert result.telemetry is not None
+        assert len(runner.ledger) == 1
+
+    def test_no_ledger_means_no_record(self):
+        result = CampaignRunner(telemetry="summary").run(SPEC, _evaluator())
+        assert result.run_record_id is None
+
+    def test_same_campaign_shares_options_fingerprint(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        a = CampaignRunner(ledger=ledger).run(SPEC, _evaluator())
+        b = CampaignRunner(ledger=ledger).run(SPEC, _evaluator())
+        rec_a, rec_b = ledger.load(a.run_record_id), ledger.load(b.run_record_id)
+        assert rec_a.options_fingerprint == rec_b.options_fingerprint
+        other_spec = GridSweep({"r_top": np.linspace(500.0, 2000.0, 4)})
+        c = CampaignRunner(ledger=ledger).run(other_spec, _evaluator())
+        assert ledger.load(c.run_record_id).options_fingerprint != \
+            rec_a.options_fingerprint
+
+    def test_serial_and_pool_records_diff_to_zero(self, tmp_path):
+        """The acceptance contract: only wall-clock timings may differ."""
+        ledger = RunLedger(tmp_path)
+        serial = CampaignRunner(backend="serial", telemetry="summary",
+                                ledger=ledger).run(SPEC, _evaluator())
+        pool = CampaignRunner(backend="pool", processes=2, chunk_size=2,
+                              telemetry="summary",
+                              ledger=ledger).run(SPEC, _evaluator())
+        delta_view = diff(ledger.load(serial.run_record_id),
+                          ledger.load(pool.run_record_id))
+        assert delta_view.structurally_identical
+        assert not delta_view.changed("counter")
+        # And gauges: last-written state is deterministic per point too.
+        for delta in delta_view.changed():
+            assert delta.family == "time"

@@ -115,3 +115,45 @@ class TestProfileSummary:
         report = _collect_tree()
         header = report.profile_summary().splitlines()[0]
         assert "total %" in header and "self %" in header
+
+
+class TestProfileHistograms:
+    def _report_with_histograms(self):
+        report = _collect_tree()
+        report.metrics = {
+            "counters": {}, "gauges": {},
+            "histograms": {
+                "batch.size": {"count": 4, "sum": 64.0, "min": 8.0,
+                               "max": 32.0},
+                "batch.solve_s": {"count": 4, "sum": 0.08, "min": 0.01,
+                                  "max": 0.03},
+            },
+        }
+        return report
+
+    def test_histogram_section_appended(self):
+        table = self._report_with_histograms().profile_summary()
+        assert "histogram" in table
+        assert "batch.size" in table and "batch.solve_s" in table
+        # The wall-time footer stays the very last line.
+        assert table.splitlines()[-1].startswith("wall time:")
+
+    def test_digest_mean_and_units(self):
+        table = self._report_with_histograms().profile_summary()
+        size_line = next(line for line in table.splitlines()
+                         if line.startswith("batch.size"))
+        assert "16" in size_line  # mean = 64/4, plain number
+        solve_line = next(line for line in table.splitlines()
+                          if line.startswith("batch.solve_s"))
+        assert "ms" in solve_line  # _s names format as durations
+
+    def test_no_histograms_no_section(self):
+        table = _collect_tree().profile_summary()
+        assert "histogram" not in table
+
+    def test_zero_count_digest_never_divides(self):
+        report = self._report_with_histograms()
+        report.metrics["histograms"]["empty_s"] = \
+            {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0}
+        table = report.profile_summary()
+        assert "empty_s" in table

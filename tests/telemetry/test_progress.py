@@ -142,6 +142,51 @@ class TestTracker:
         assert events[0].completed == 8.0 and events[0].eta_s == 0.0
 
 
+class TestDegenerateTotals:
+    def test_zero_total_completes_immediately(self):
+        events = []
+        with progress.reporting(events.append):
+            track = progress.tracker("sweep", total=0, unit="points")
+            # The instrumented loop never runs; later calls are no-ops.
+            track.update(0)
+            track.finish()
+        assert len(events) == 1
+        event = events[0]
+        assert event.done and event.total == 0.0
+        assert event.eta_s == 0.0
+        assert event.fraction == 1.0
+
+    def test_negative_total_is_degenerate_too(self):
+        events = []
+        with progress.reporting(events.append):
+            progress.tracker("sweep", total=-3)
+        assert len(events) == 1 and events[0].done
+
+    def test_zero_total_fraction_never_divides(self):
+        intermediate = progress.ProgressEvent(phase="x", completed=0.0,
+                                              total=0.0)
+        assert intermediate.fraction is None
+        final = progress.ProgressEvent(phase="x", completed=0.0, total=0.0,
+                                       done=True)
+        assert final.fraction == 1.0
+        str(intermediate), str(final)  # formatting never divides either
+
+    def test_finish_is_at_most_once(self):
+        events = []
+        with progress.reporting(events.append):
+            track = progress.tracker("unit", total=4)
+            track.finish(4)
+            track.finish(4)
+            track.update(5)
+        assert len(events) == 1 and events[0].done
+
+    def test_explicit_zero_total_finish_reports_zero_eta(self):
+        events = []
+        with progress.reporting(events.append):
+            progress.tracker("unit", total=0.0)
+        assert events[0].eta_s == 0.0
+
+
 class TestLoggingBridge:
     def test_events_become_span_tagged_records(self, caplog):
         target = logging.getLogger("test.progress.bridge")
