@@ -27,6 +27,10 @@ def _unary(x: Any, fn, dfn) -> Any:
     if isinstance(x, Dual):
         value = fn(x.value)
         return Dual(value, dfn(x.value, value) * x.deriv)
+    hook = getattr(x, "_repro_unary_", None)
+    if hook is not None:
+        # A compile-time tracer (repro.hdl.compile.trace) records the call.
+        return hook(fn.__name__, fn)
     return fn(float(x))
 
 
@@ -92,19 +96,26 @@ def acos(x: Any) -> Any:
 
 def absolute(x: Any) -> Any:
     """Absolute value (sub-gradient ``sign(x)`` at the origin is taken as 0)."""
-    if isinstance(x, Dual):
+    if isinstance(x, Dual) or getattr(x, "_repro_tracer_", False):
         return abs(x)
     return abs(float(x))
 
 
 def sign(x: Any) -> float:
     """Sign of the value part (+1, 0 or -1); the derivative is dropped."""
+    hook = getattr(x, "_repro_unary_", None)
+    if hook is not None:
+        return hook("sign", lambda v: float(np.sign(v)))
     value = x.value if isinstance(x, Dual) else float(x)
     return float(np.sign(value))
 
 
 def minimum(a: Any, b: Any) -> Any:
     """Minimum by value; the derivative of the active branch is propagated."""
+    hook = (getattr(a, "_repro_minmax_", None)
+            or getattr(b, "_repro_minmax_", None))
+    if hook is not None:
+        return hook(a, b, "<=")
     av = a.value if isinstance(a, Dual) else float(a)
     bv = b.value if isinstance(b, Dual) else float(b)
     return a if av <= bv else b
@@ -112,6 +123,10 @@ def minimum(a: Any, b: Any) -> Any:
 
 def maximum(a: Any, b: Any) -> Any:
     """Maximum by value; the derivative of the active branch is propagated."""
+    hook = (getattr(a, "_repro_minmax_", None)
+            or getattr(b, "_repro_minmax_", None))
+    if hook is not None:
+        return hook(a, b, ">=")
     av = a.value if isinstance(a, Dual) else float(a)
     bv = b.value if isinstance(b, Dual) else float(b)
     return a if av >= bv else b
@@ -119,6 +134,9 @@ def maximum(a: Any, b: Any) -> Any:
 
 def where(condition: Any, a: Any, b: Any) -> Any:
     """Select ``a`` when ``condition`` is truthy, ``b`` otherwise."""
+    hook = getattr(condition, "_repro_where_", None)
+    if hook is not None:
+        return hook(a, b)
     return a if bool(condition) else b
 
 

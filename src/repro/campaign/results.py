@@ -298,6 +298,11 @@ class CampaignResult:
             hits / (hits + misses) if hits + misses else 0.0
         stats["structure_reuse_rate"] = \
             reuses / (reuses + rebuilds) if reuses + rebuilds else 0.0
+        compiles = stats.get("hdl_compiles", 0)
+        kernel_hits = stats.get("hdl_compile_cache_hits", 0)
+        stats["hdl_compile_cache_hit_rate"] = \
+            kernel_hits / (kernel_hits + compiles) \
+            if kernel_hits + compiles else 0.0
         if self.telemetry is not None:
             stats["telemetry"] = {
                 "mode": self.telemetry.get("mode"),

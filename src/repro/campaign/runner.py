@@ -168,6 +168,23 @@ def _evaluate_batch_items(evaluator, items: Sequence[tuple[int, dict]]
     return results
 
 
+#: Behavioral-compiler registry counters shipped alongside the linalg cache
+#: counters in every chunk's solver-stats delta (``solver_stats`` key ->
+#: :mod:`repro.telemetry.registry` counter name).  They ride the same
+#: always-on delta/merge path, so kernel-cache efficacy inside pool workers
+#: is visible on the aggregated :class:`~repro.campaign.results
+#: .CampaignResult` even with telemetry off.
+_HDL_COUNTERS = (("hdl_compiles", "hdl.compile.count"),
+                 ("hdl_compile_cache_hits", "hdl.compile.cache_hits"))
+
+
+def _merge_solver_stats(total: dict[str, int], delta: dict[str, int]) -> None:
+    """Fold one chunk's counter delta (linalg + hdl) into the running total."""
+    linalg_metrics.merge_counters(total, delta)
+    for key, _ in _HDL_COUNTERS:
+        total[key] = total.get(key, 0) + int(delta.get(key, 0))
+
+
 def _evaluate_chunk(task: tuple, on_point=None
                     ) -> tuple[list[tuple[int, dict, str | None, dict | None]],
                                dict[str, int], dict | None, dict]:
@@ -198,6 +215,8 @@ def _evaluate_chunk(task: tuple, on_point=None
     batch_size = rest[0] if rest else None
     t0 = time.perf_counter()
     before = linalg_metrics.snapshot()
+    hdl_before = {key: telemetry.registry.counter_value(name)
+                  for key, name in _HDL_COUNTERS}
 
     def run_items():
         results = []
@@ -223,7 +242,11 @@ def _evaluate_chunk(task: tuple, on_point=None
         payload = sess.report.aggregate_payload()
     heartbeat = {"pid": os.getpid(), "points": len(items),
                  "wall_s": time.perf_counter() - t0}
-    return results, linalg_metrics.counter_delta(before), payload, heartbeat
+    stats_delta = linalg_metrics.counter_delta(before)
+    stats_delta.update(
+        {key: int(telemetry.registry.counter_value(name) - hdl_before[key])
+         for key, name in _HDL_COUNTERS})
+    return results, stats_delta, payload, heartbeat
 
 
 class CampaignRunner:
@@ -411,6 +434,7 @@ class CampaignRunner:
                   ) -> tuple[list[tuple[int, dict, str | None, dict | None]],
                              dict[str, int], dict | None]:
         solver_stats = {name: 0 for name in linalg_metrics.COUNTER_NAMES}
+        solver_stats.update({key: 0 for key, _ in _HDL_COUNTERS})
         if not pending:
             return [], solver_stats, None
         backend = self._resolve_backend(evaluator, len(pending))
@@ -428,7 +452,7 @@ class CampaignRunner:
             results, delta, payload, _ = _evaluate_chunk(
                 (evaluator, list(pending), self.telemetry, batch_size),
                 on_point=advance)
-            linalg_metrics.merge_counters(solver_stats, delta)
+            _merge_solver_stats(solver_stats, delta)
             track.finish(len(pending))
             return results, solver_stats, self._merge_profiles([payload])
         processes = self.processes or os.cpu_count() or 1
@@ -474,7 +498,7 @@ class CampaignRunner:
                     break
                 completed.append(batch)
                 _, delta, _, heartbeat = batch
-                linalg_metrics.merge_counters(solver_stats, delta)
+                _merge_solver_stats(solver_stats, delta)
                 done_points += heartbeat["points"]
                 track.update(done_points, **heartbeat)
         results = [item for batch, _, _, _ in completed for item in batch]

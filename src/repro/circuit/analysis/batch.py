@@ -118,13 +118,13 @@ class ParameterColumns:
 def batch_supported(options: SimulationOptions) -> bool:
     """Whether the batched drivers can honor these options.
 
-    Chord-mode Newton holds factorizations across solves with residual-only
-    assemblies (a serial-iteration contract the lockstep batch cannot
-    replicate) and the CG backend has no batched counterpart; both fall back
-    to the serial path.
+    All ``jacobian_reuse`` policies are supported -- ``"chord"`` holds the
+    batched factorization across iterations (and solves) with residual-only
+    assemblies, mirroring the serial chord-Newton contract lane-wise.  Only
+    the CG backend has no batched counterpart and falls back to the serial
+    path.
     """
-    return options.jacobian_reuse != "chord" \
-        and options.solver_backend() != "cg"
+    return options.solver_backend() != "cg"
 
 
 def assemble_batch(system: MNASystem, x: np.ndarray, analysis: str,
@@ -183,6 +183,11 @@ class BatchWorkspace:
         self.matrix = None
         self.factorization = None
         self.factor_reuses = 0
+        #: ``(analysis, source_scale, generation)`` the held factorization
+        #: belongs to; chord reuse across solves is only valid within it.
+        self.chord_tag: tuple | None = None
+        self.chord_iterations = 0
+        self.stall_refactors = 0
 
 
 def batched_newton(system: MNASystem, x0: np.ndarray, analysis: str,
@@ -200,8 +205,7 @@ def batched_newton(system: MNASystem, x0: np.ndarray, analysis: str,
     """
     if not batch_supported(options):
         raise AnalysisError(
-            "batched Newton supports jacobian_reuse off/auto with the "
-            "dense/superlu backends only")
+            "batched Newton supports the dense/superlu backends only")
     ws = workspace if workspace is not None else BatchWorkspace()
     x = np.array(x0, dtype=float, copy=True)
     batch = x.shape[0]
@@ -217,29 +221,71 @@ def batched_newton(system: MNASystem, x0: np.ndarray, analysis: str,
     converged = np.zeros(batch, dtype=bool)
     iterations = np.zeros(batch, dtype=int)
     damping = options.newton_damping
+    # Chord mode mirrors the serial contract: ride the held factorization
+    # with residual-only assemblies, refactor when any active lane's
+    # residual stops contracting (``refactor_threshold``) or the solve
+    # grinds past ``chord_limit``, and give the rest of the solve plain
+    # full Newton in the latter case.
+    tag = (analysis, source_scale, system.structure_cache.generation)
+    chord_allowed = options.jacobian_reuse == "chord"
+    chord = (chord_allowed
+             and ws.factorization is not None and ws.chord_tag == tag)
+    chord_limit = max(3, options.max_newton_iterations // 2)
+    previous_residual = None
     for iteration in range(1, options.max_newton_iterations + 1):
         ctx = assemble_batch(system, x, analysis, options, columns,
-                             source_scale, want_jacobian=True)
-        healthy = ctx.residual_finite_lanes() & ctx.jacobian_finite_lanes()
+                             source_scale, want_jacobian=not chord)
+        healthy = ctx.residual_finite_lanes()
+        if not chord:
+            healthy &= ctx.jacobian_finite_lanes()
         alive &= healthy | converged
         if not (alive & ~converged).any():
             break
+        if chord:
+            active = alive & ~converged
+            res_norm = np.max(np.abs(ctx.res), axis=1)
+            stalled = (previous_residual is not None
+                       and bool(np.any(res_norm[active] >
+                                       options.refactor_threshold
+                                       * previous_residual[active])))
+            if stalled or iteration >= chord_limit:
+                ctx = assemble_batch(system, x, analysis, options, columns,
+                                     source_scale, want_jacobian=True)
+                alive &= (ctx.residual_finite_lanes()
+                          & ctx.jacobian_finite_lanes()) | converged
+                if not (alive & ~converged).any():
+                    break
+                ws.stall_refactors += 1
+                previous_residual = None
+                chord = False
+                if iteration >= chord_limit:
+                    chord_allowed = False
+            else:
+                ws.chord_iterations += 1
+                previous_residual = res_norm
         t0 = perf_counter() if timing else None
-        matrix = ctx.jacobian()
-        if options.jacobian_reuse != "off" \
-                and _same_batch_matrix(ws.matrix, matrix):
+        if chord:
             factorization = ws.factorization
-            ws.factor_reuses += 1
         else:
-            try:
-                factorization = batched_factorize(matrix, backend)
-            except LinAlgError:
-                # A batch-level factorization failure (not a per-lane one)
-                # retires every unfinished lane to the serial path.
-                alive &= converged
-                break
-            ws.matrix = matrix
-            ws.factorization = factorization
+            matrix = ctx.jacobian()
+            if options.jacobian_reuse != "off" \
+                    and _same_batch_matrix(ws.matrix, matrix):
+                factorization = ws.factorization
+                ws.factor_reuses += 1
+            else:
+                try:
+                    factorization = batched_factorize(matrix, backend)
+                except LinAlgError:
+                    # A batch-level factorization failure (not a per-lane
+                    # one) retires every unfinished lane to the serial path.
+                    alive &= converged
+                    break
+                ws.matrix = matrix
+                ws.factorization = factorization
+            ws.chord_tag = tag
+            if chord_allowed:
+                # Ride this factorization from the next iteration on.
+                chord = True
         alive &= ~factorization.failed | converged
         dx = factorization.solve(-ctx.res)
         if t0 is not None:

@@ -84,6 +84,13 @@ class SimulationOptions:
         confirming pass, and the stall detector still refactors when the
         step change was too aggressive).  Disable to recover the historical
         refactor-on-every-step-change chord behaviour exactly.
+    behavioral_compile:
+        Compile behavioral models to generated kernels
+        (:mod:`repro.hdl.compile`) instead of re-interpreting their
+        expressions through the AD layer on every stamp.  Results are
+        bit-identical; the interpreter remains the verified fallback for
+        anything the tracer cannot follow.  Set False (or export
+        ``REPRO_BEHAVIORAL_INTERP=1``) to force the interpreter everywhere.
     telemetry:
         Instrumentation level of the run (see :mod:`repro.telemetry`):
         ``"off"`` (default) collects nothing beyond the always-on counters;
@@ -133,6 +140,7 @@ class SimulationOptions:
     jacobian_reuse: str = "auto"
     refactor_threshold: float = 0.5
     step_chord_reuse: bool = True
+    behavioral_compile: bool = True
     telemetry: str = "off"
     telemetry_max_records: int = 10000
     health_check: bool = False

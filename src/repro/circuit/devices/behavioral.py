@@ -48,6 +48,21 @@ from .base import Device
 
 __all__ = ["Port", "BehaviorContext", "BehavioralDevice"]
 
+_compile_runtime_module = None
+
+
+def _compile_runtime():
+    """The compiled-kernel runtime (:mod:`repro.hdl.compile.runtime`).
+
+    Imported lazily at first stamp: the compile package imports this module
+    for :class:`BehaviorContext`, so a top-level import would be circular.
+    """
+    global _compile_runtime_module
+    if _compile_runtime_module is None:
+        from ...hdl.compile import runtime
+        _compile_runtime_module = runtime
+    return _compile_runtime_module
+
 
 @dataclass(frozen=True)
 class Port:
@@ -339,8 +354,28 @@ class BehavioralDevice(Device):
         self.behavior(ctx)
         return ctx, deps
 
+    # --------------------------------------------------------------- batching
+    @property
+    def batch_safe(self) -> bool:
+        """Whether one vectorized stamp covers a whole batch of lanes.
+
+        True once the behaviour has compiled to a single guard-free
+        operating-point kernel (:mod:`repro.hdl.compile`); reading this
+        property triggers that compile attempt.  Guarded or untraceable
+        behaviours stay on the per-lane path, where the batched assembler's
+        ``lane_context`` still reaches the compiled *scalar* kernels.
+        """
+        return _compile_runtime().batch_ready(self)
+
+    def batch_safe_for(self, options) -> bool:
+        """:attr:`batch_safe` under a specific options object (honors
+        ``behavioral_compile=False``)."""
+        return _compile_runtime().batch_ready(self, options)
+
     # ------------------------------------------------------------------ stamping
     def stamp(self, ctx: StampContext) -> None:
+        if _compile_runtime().try_stamp(self, ctx):
+            return
         mode = "tran" if ctx.is_transient else "op"
         bctx, deps = self._run(mode, ctx, None, with_jacobian=ctx.want_jacobian)
         keep_duals = ctx.keep_residual_duals
@@ -401,6 +436,9 @@ class BehavioralDevice(Device):
 
     # ------------------------------------------------------------------ outputs
     def record(self, ctx: StampContext) -> dict[str, float]:
+        compiled = _compile_runtime().try_record(self, ctx)
+        if compiled is not None:
+            return compiled
         mode = "tran" if ctx.is_transient else "op"
         # Records read value parts only; the float-mode evaluation produces
         # exactly those values without paying for any sensitivity.

@@ -30,6 +30,7 @@ The elaborated device is a regular
 analysis (DC, AC, transient) works on HDL models without special cases.
 """
 
+from . import compile  # noqa: A004 - submodule, shadows the builtin on purpose
 from .lexer import tokenize
 from .ast_nodes import (
     EntityDecl,
@@ -50,6 +51,7 @@ from .codegen import (
 from .stdlib import BUILTIN_FUNCTIONS
 
 __all__ = [
+    "compile",
     "tokenize",
     "parse",
     "analyze",

@@ -1,0 +1,109 @@
+"""IR optimization passes.
+
+Constant folding happens during construction (:meth:`IRBuilder.binary`
+folds ``Const op Const`` with the exact float arithmetic the interpreter
+would perform) and common-subexpression elimination falls out of the
+builder's hash-consing.  This module adds an algebraic simplification pass
+restricted to rewrites that are **IEEE-754 exact, including zero signs and
+non-finite values** -- the compiled kernels must stay bit-identical to the
+interpreter:
+
+====================  =======================================================
+``x * 1.0`` → ``x``   exact (likewise ``1.0 * x``)
+``x / 1.0`` → ``x``   exact
+``x ** 1.0`` → ``x``  exact (C99 F.9.4.4: ``pow(x, 1) == x``)
+``x - 0.0`` → ``x``   exact (``-0.0 - 0.0 == -0.0``)
+``+x`` → ``x``        exact (unary plus is the identity on floats)
+``-(-x)`` → ``x``     exact (negation flips only the sign bit)
+====================  =======================================================
+
+Deliberately **not** applied: ``x + 0.0`` / ``0.0 + x`` → ``x`` (wrong for
+``x == -0.0``: the sum is ``+0.0``), ``0.0 - x`` → ``-x`` (same zero-sign
+hazard) and ``x * 0.0`` → ``0.0`` (wrong sign for negative ``x`` and wrong
+value for non-finite ``x``).
+"""
+
+from __future__ import annotations
+
+from . import ir
+
+__all__ = ["simplify", "simplify_variant"]
+
+
+def _is_const(node: ir.Node, value: float) -> bool:
+    # hex() comparison distinguishes -0.0 from +0.0, unlike ==.
+    return isinstance(node, ir.Const) and node.value.hex() == float(value).hex()
+
+
+def _rebuild(builder: ir.IRBuilder, node: ir.Node,
+             memo: dict[int, ir.Node]) -> ir.Node:
+    done = memo.get(id(node))
+    if done is not None:
+        return done
+    result = _rewrite(builder, node, memo)
+    memo[id(node)] = result
+    return result
+
+
+def _rewrite(builder: ir.IRBuilder, node: ir.Node,
+             memo: dict[int, ir.Node]) -> ir.Node:
+    if isinstance(node, (ir.Const, ir.Input)):
+        return node
+    if isinstance(node, ir.Unary):
+        x = _rebuild(builder, node.x, memo)
+        if node.op == "pos":
+            return x
+        if isinstance(x, ir.Unary) and x.op == "neg":
+            return x.x
+        if isinstance(x, ir.Const):
+            return builder.const(-x.value)
+        return builder.unary("neg", x)
+    if isinstance(node, ir.Binary):
+        a = _rebuild(builder, node.a, memo)
+        b = _rebuild(builder, node.b, memo)
+        if node.op == "*" and (_is_const(b, 1.0) or _is_const(a, 1.0)):
+            return a if _is_const(b, 1.0) else b
+        if node.op in ("/", "**") and _is_const(b, 1.0):
+            return a
+        if node.op == "-" and _is_const(b, 0.0):
+            return a
+        return builder.binary(node.op, a, b)
+    if isinstance(node, ir.Call):
+        return builder.call(node.fn,
+                            *(_rebuild(builder, x, memo) for x in node.args))
+    if isinstance(node, ir.Compare):
+        return builder.compare(node.op, _rebuild(builder, node.a, memo),
+                               _rebuild(builder, node.b, memo))
+    if isinstance(node, ir.Select):
+        return builder.select(_rebuild(builder, node.cond, memo),
+                              _rebuild(builder, node.a, memo),
+                              _rebuild(builder, node.b, memo))
+    if isinstance(node, ir.Ddt):
+        return builder.ddt(_rebuild(builder, node.x, memo), node.state)
+    assert isinstance(node, ir.Integ)
+    return builder.integ(_rebuild(builder, node.x, memo), node.state,
+                         node.initial)
+
+
+def simplify(builder: ir.IRBuilder, node: ir.Node) -> ir.Node:
+    """Simplified (possibly identical) node, interned in ``builder``."""
+    return _rebuild(builder, node, {})
+
+
+def simplify_variant(variant):
+    """A new :class:`TracedVariant` with every root simplified."""
+    from .trace import TracedVariant
+
+    builder = variant.builder
+    memo: dict[int, ir.Node] = {}
+    return TracedVariant(
+        variant.mode, builder,
+        [(_rebuild(builder, compare, memo), outcome)
+         for compare, outcome in variant.guards],
+        [(name, _rebuild(builder, node, memo))
+         for name, node in variant.contributions],
+        [(name, _rebuild(builder, node, memo))
+         for name, node in variant.equations],
+        [(name, _rebuild(builder, node, memo))
+         for name, node in variant.records],
+        variant.param_defaults)

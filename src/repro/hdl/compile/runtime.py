@@ -1,0 +1,843 @@
+"""Runtime integration of compiled behavioral kernels into MNA stamping.
+
+This module owns the per-device compile state (traced variants, permanent
+fallbacks) and the stamp-time protocol:
+
+1. ``try_stamp``/``try_record`` run the device's compiled kernels for the
+   current analysis mode.  A guard mismatch tries the next variant; when
+   every variant misses, the model is re-traced against the live context
+   (bounded by :data:`MAX_VARIANTS`) and *this* call is stamped by the
+   interpreter -- the trace already wrote the identical pending dynamic
+   state, so the interpreter's writes are idempotent.
+2. Kernels differentiate with respect to their *across/unknown leaves*
+   (circuit-independent, so compiled kernels are shared process-wide); the
+   wrapper maps each MNA dependency index to ``leaf * (+/-1)`` at stamp
+   time.  Negation is exact in IEEE arithmetic, so compiled Jacobian stamps
+   are bitwise what the AD-dual interpreter produces.  When two leaves land
+   on one index (ports sharing a non-ground node), the scalar path falls
+   back to the interpreter -- the interpreter's in-dual summation order is
+   not reconstructable from per-leaf derivatives.
+3. The batched path (``try_stamp_batch``) evaluates the lane-vectorized
+   kernel once over ``(B,)`` lanes.  It is only offered for devices whose
+   single operating-point variant traced without guards
+   (:func:`batch_ready`), which is what lets behavioral devices skip the
+   per-lane fallback in campaign batches.
+
+Hot-path layout: each compiled :class:`~.codegen.KernelSet` is wrapped in a
+per-device :class:`_BoundVariant` holding a pre-resolved input-gather plan
+(port objects, parameter sources) and, lazily per MNA system, the stamp
+geometry (node/aux indices and the dependency -> leaf sign map), so a stamp
+is a plan walk plus one generated-kernel call.
+
+Escape hatches: ``SimulationOptions(behavioral_compile=False)`` and the
+``REPRO_BEHAVIORAL_INTERP`` environment variable (checked once per assembly
+context, so tests can flip it between runs) both force the interpreter.
+"""
+
+from __future__ import annotations
+
+import math
+import numbers
+import os
+import re
+from time import perf_counter
+
+import numpy as np
+
+from ... import telemetry
+from ...ad import Dual
+from ...circuit.mna import BatchStampContext, Integrator, StampContext
+from . import codegen, passes
+from .trace import trace_behavior
+
+__all__ = ["MAX_VARIANTS", "CompileState", "compilation_enabled",
+           "state_for", "try_stamp", "try_record", "batch_ready",
+           "try_stamp_batch"]
+
+#: Re-trace budget per (device, mode): after this many traced variants the
+#: mode permanently falls back to the interpreter.
+MAX_VARIANTS = 8
+
+
+def _interp_forced() -> bool:
+    return bool(os.environ.get("REPRO_BEHAVIORAL_INTERP"))
+
+
+def compilation_enabled(options) -> bool:
+    """Whether kernels may replace the interpreter under these options."""
+    if _interp_forced():
+        return False
+    return bool(getattr(options, "behavioral_compile", True))
+
+
+def _ctx_enabled(ctx) -> bool:
+    """Per-context memo of :func:`compilation_enabled` (contexts are
+    per-assembly, so the environment stays responsive between runs while the
+    ``os.environ`` lookup leaves the per-stamp path)."""
+    on = getattr(ctx, "_hdl_compile_on", None)
+    if on is None:
+        on = ctx._hdl_compile_on = compilation_enabled(ctx.options)
+    return on
+
+
+class CompileState:
+    """Per-device compile bookkeeping (variants per mode, fallbacks)."""
+
+    __slots__ = ("variants", "disabled", "trace_count", "probed", "hot")
+
+    def __init__(self) -> None:
+        self.variants: dict[str, list[_BoundVariant]] = {}
+        self.disabled: set[str] = set()
+        self.trace_count: dict[str, int] = {}
+        self.probed = False
+        #: ``(mode, want_jacobian) -> (system, fused)``: the fused function
+        #: that last stamped successfully, tried first on the next call.
+        self.hot: dict[tuple[str, bool], tuple] = {}
+
+
+def state_for(device) -> CompileState:
+    state = getattr(device, "_compile_state", None)
+    if state is None:
+        state = device._compile_state = CompileState()
+    return state
+
+
+class _ParamFallback(Exception):
+    """A kernel parameter is not a plain number right now (e.g. AD-seeded)."""
+
+
+class _BoundVariant:
+    """A process-shared KernelSet bound to one device.
+
+    ``plan`` pre-resolves every kernel input to its source -- ``("a", p, n)``
+    port across, ``("u", name)`` extra unknown, ``("b", owner, attr)``
+    parameter binding, ``("d", name)`` params-dict entry, ``("c", value)``
+    default constant, ``("t",)`` analysis time -- so gathering is a tag
+    dispatch with no per-stamp dict lookups.  ``geometry`` caches the MNA
+    index map per system (lazily; systems are long-lived across a run).
+    """
+
+    __slots__ = ("kernels", "keys", "plan", "geometry")
+
+    def __init__(self, device, kernels: codegen.KernelSet) -> None:
+        self.kernels = kernels
+        self.keys = tuple((device.name, suffix)
+                          for suffix in kernels.state_suffixes)
+        plan = []
+        for kind, name in kernels.inputs:
+            if kind == "across":
+                port = device.port(name)
+                plan.append(("a", port.p, port.n))
+            elif kind == "unknown":
+                plan.append(("u", name, None))
+            elif kind == "param":
+                binding = device.parameter_bindings.get(name)
+                if binding is not None:
+                    plan.append(("b", binding[0], binding[1]))
+                elif name in device.params:
+                    plan.append(("d", name, None))
+                else:
+                    plan.append(("c", kernels.param_defaults[name], None))
+            else:  # time
+                plan.append(("t", None, None))
+        self.plan = tuple(plan)
+        self.geometry: _Geometry | None = None
+
+
+class _Geometry:
+    """Per-(bound variant, MNA system) stamp indices.
+
+    ``dep_map`` is the collision-free scalar fast path: one
+    ``(dependency index, leaf position, negate)`` triple per dependency that
+    a leaf feeds, in the interpreter's dependency order.  ``entries`` keeps
+    the full index -> [(leaf, sign)] map for the batched path, which sums
+    colliding leaves explicitly.  ``plan`` is the bound gather plan with
+    across/unknown sources resolved to solution-vector indices (-1 =
+    ground), so scalar input gathering indexes ``ctx.x`` directly.
+    """
+
+    __slots__ = ("system", "deps", "entries", "collide", "dep_map",
+                 "contribs", "eqs", "plan", "tran", "fused_jac",
+                 "fused_value", "fused_record")
+
+    def __init__(self, device, bound: _BoundVariant, ctx) -> None:
+        kernels = bound.kernels
+        self.system = ctx.system
+        self.tran = bool(ctx.is_transient)
+        plan = []
+        for tag, a, b in bound.plan:
+            if tag == "a":
+                plan.append(("a", ctx.node_index(a), ctx.node_index(b)))
+            elif tag == "u":
+                plan.append(("u", ctx.aux_index(device, a), None))
+            else:
+                plan.append((tag, a, b))
+        self.plan = tuple(plan)
+        self.deps = device._dependency_indices(ctx.node_index, ctx.aux_index)
+        entries: dict[int, list[tuple[int, float]]] = {}
+        for pos, (kind, name) in enumerate(kernels.diff_inputs):
+            if kind == "across":
+                port = device.port(name)
+                for node, sign in ((port.p, 1.0), (port.n, -1.0)):
+                    idx = ctx.node_index(node)
+                    if idx >= 0:
+                        entries.setdefault(idx, []).append((pos, sign))
+            else:
+                idx = ctx.aux_index(device, name)
+                entries.setdefault(idx, []).append((pos, 1.0))
+        self.entries = entries
+        self.collide = any(len(pairs) > 1 for pairs in entries.values())
+        self.dep_map = tuple(
+            (idx, entries[idx][0][0], entries[idx][0][1] < 0.0)
+            for idx in self.deps if idx in entries)
+        self.contribs = tuple(
+            (ctx.node_index(device.port(name).p),
+             ctx.node_index(device.port(name).n))
+            for name in kernels.contrib_ports)
+        self.eqs = tuple(ctx.aux_index(device, name)
+                         for name in kernels.eq_names)
+        self.fused_jac = _build_fused(device, bound, self, "jac")
+        self.fused_value = _build_fused(device, bound, self, "value")
+        self.fused_record = _build_fused(device, bound, self, "record")
+
+
+def _emit_gather(bound: _BoundVariant, geo: _Geometry, namespace, emit) -> bool:
+    """Emit the index-resolved input gather; False if not fusable."""
+    if any(tag in ("a", "u") for tag, _, _ in geo.plan):
+        emit("    x = ctx.x")
+    for pos, (tag, a, b) in enumerate(geo.plan):
+        if tag == "a":
+            ea = "0.0" if a < 0 else f"float(x[{a}])"
+            eb = "0.0" if b < 0 else f"float(x[{b}])"
+            emit(f"    i{pos} = {ea} - {eb}")
+        elif tag == "u":
+            emit(f"    i{pos} = float(x[{a}])")
+        elif tag == "b":
+            if not isinstance(b, str) or not b.isidentifier():
+                return False
+            owner = f"_o{pos}"
+            namespace[owner] = a
+            emit(f"    i{pos} = {owner}.{b}")
+            emit(f"    if type(i{pos}) is not float: return False")
+        elif tag == "d":
+            emit(f"    i{pos} = device.params[{a!r}]")
+            emit(f"    if type(i{pos}) is not float: return False")
+        elif tag == "c":
+            emit(f"    i{pos} = {float(a)!r}")
+        else:  # time
+            emit(f"    i{pos} = ctx.time")
+    return True
+
+
+_DDT_RE = re.compile(r"^(\w+) = ctx\.ddt\(_keys\[(\d+)\], ([^,()\s]+)\)$")
+_INTEG_RE = re.compile(
+    r"^(\w+) = ctx\.integ\(_keys\[(\d+)\], ([^,()\s]+), ([^,()\s]+)\)$")
+
+
+def _splice_kernel(bound: _BoundVariant, geo: _Geometry, namespace, emit,
+                   preamble, body) -> bool:
+    """Splice the kernel preamble+body, inlining the integrator machinery.
+
+    ``ctx.ddt``/``ctx.integ`` calls are replaced with the exact arithmetic
+    and pending-state writes of ``Integrator.differentiate``/``integrate``
+    (both methods, non-priming), with state keys pre-bound as constants.
+    Priming, a missing integrator or an unset step defer to the generic
+    path (``return False``), whose context calls behave -- and raise --
+    exactly like the interpreter's.  Returns False when a state call has an
+    unexpected shape, making the variant unfusable.
+    """
+    ddt_lines = [line for line in body if "ctx.ddt(" in line]
+    integ_lines = [line for line in body if "ctx.integ(" in line]
+    if not ddt_lines and not integ_lines:
+        for line in preamble:
+            emit("    " + line)
+        for line in body:
+            emit("    " + line)
+        return True
+    if any(_DDT_RE.match(line) is None for line in ddt_lines):
+        return False
+    if any(_INTEG_RE.match(line) is None for line in integ_lines):
+        return False
+    tran = geo.tran
+    if tran:
+        namespace["_BE"] = Integrator.BACKWARD_EULER
+        emit("    itg = ctx.integrator")
+        emit("    if itg is None or itg.priming or itg.h <= 0.0:"
+             " return False")
+        emit("    _h = itg.h")
+        emit("    _be = itg.method == _BE")
+        emit("    _vals = itg._values")
+        emit("    _pv = itg._pending_values")
+        if ddt_lines:
+            emit("    _c0v = 1.0 / _h if _be else 2.0 / _h")
+            emit("    _drvs = itg._derivs")
+            emit("    _pd = itg._pending_derivs")
+        if integ_lines:
+            emit("    _ints = itg._integrals")
+            emit("    _pi = itg._pending_integrals")
+    else:
+        # The op-mode variants also serve AC assemblies, where the state
+        # calls are not the DC no-ops inlined below.
+        emit("    if not ctx.is_dc: return False")
+    keys = bound.keys
+    for line in preamble:
+        if line == "_c0 = ctx.ddt_coefficient()":
+            emit("    _c0 = _c0v" if tran else "    _c0 = 0.0")
+        elif line == "_ci = ctx.integ_coefficient()":
+            emit("    _ci = _h if _be else 0.5 * _h" if tran
+                 else "    _ci = 0.0")
+        else:
+            emit("    " + line)
+    for line in body:
+        m = _DDT_RE.match(line)
+        if m is not None:
+            t, k, x = m.group(1), int(m.group(2)), m.group(3)
+            if not tran:
+                emit(f"    {t} = 0.0 * {x}")
+                continue
+            sk = f"_sk{k}"
+            namespace[sk] = keys[k]
+            emit(f"    {t} = ({x} - _vals.get({sk}, {x})) * _c0v")
+            emit(f"    if not _be: {t} -= _drvs.get({sk}, 0.0)")
+            emit(f"    _pv[{sk}] = {x}")
+            emit(f"    _pd[{sk}] = {t}")
+            continue
+        m = _INTEG_RE.match(line)
+        if m is not None:
+            t, k, x, init = (m.group(1), int(m.group(2)), m.group(3),
+                             m.group(4))
+            if not tran:
+                emit(f"    {t} = 0.0 * {x} + {init}")
+                continue
+            sk, isk = f"_sk{k}", f"_isk{k}"
+            namespace[sk] = keys[k]
+            namespace[isk] = ("integ", keys[k])
+            emit("    if _be:")
+            emit(f"        {t} = _ints.get({sk}, {init}) + _h * {x}")
+            emit("    else:")
+            emit(f"        {t} = _ints.get({sk}, {init})"
+                 f" + 0.5 * _h * ({x} + _vals.get({isk}, {x}))")
+            emit(f"    _pv[{isk}] = {x}")
+            emit(f"    _pi[{sk}] = {t}")
+            continue
+        emit("    " + line)
+    return True
+
+
+def _build_fused(device, bound: _BoundVariant, geo: _Geometry, task: str):
+    """Generate one fused function of a (variant, system) pair.
+
+    ``task`` is ``"jac"`` (full stamp), ``"value"`` (residual-only stamp) or
+    ``"record"`` (output collection).  The generated source splices the
+    kernel body between an index-resolved input gather and direct dense
+    residual/Jacobian accumulation -- all constants (solution indices,
+    stamp rows, leaf signs) baked in -- so the steady-state stamp is a
+    single generated function call.  Accumulation order, the ``!= 0.0``
+    derivative filter and the exact ``+= value`` / ``-= value`` forms
+    replicate ``StampContext.add_*`` element by element, keeping results
+    bitwise identical.  Returns None when the variant cannot be fused
+    (colliding leaves, exotic parameter bindings).
+
+    Contract of the generated function: truthy result (``True`` / the
+    record dict) = done, ``None`` = a guard failed, ``False`` = the generic
+    path must take over (non-float parameter, sparse Jacobian assembly).
+    """
+    if task == "jac" and geo.collide:
+        return None
+    kernels = bound.kernels
+    preamble, body, value_names, extras, rows = (
+        kernels.parts["jac" if task == "jac" else "value"])
+    namespace = {"math": math, "np": np, "_keys": bound.keys}
+    lines = [f"def fused(ctx, device):"]
+    emit = lines.append
+    if task == "jac":
+        # Sparse assemblies accumulate COO triplets; the generic path
+        # handles them through ctx.add_jac.
+        emit("    if ctx.use_sparse: return False")
+    if not _emit_gather(bound, geo, namespace, emit):
+        return None
+    if not _splice_kernel(bound, geo, namespace, emit, preamble, body):
+        return None
+    if task == "record":
+        items = []
+        for port_name, v in zip(kernels.contrib_ports, value_names):
+            items.append(f"{f'i({device.name}.{port_name})'!r}: float({v})")
+        for rec_name, r in zip(kernels.record_names, extras):
+            items.append(
+                f"{f'{rec_name}({device.name})'!r}: float(np.real({r}))")
+        emit(f"    return {{{', '.join(items)}}}")
+        source = "\n".join(lines) + "\n"
+        exec(compile(source, "<behavioral-fused-record>", "exec"), namespace)
+        return namespace["fused"]
+    emit("    res = ctx.res")
+    if task == "jac":
+        emit("    jac = ctx.jac")
+
+    def emit_res(idx: int, v: str, negate: bool) -> None:
+        if idx >= 0:
+            emit(f"    res[{idx}] {'-=' if negate else '+='} {v}")
+
+    def emit_jac(target: str, pos: int, neg: bool, row) -> None:
+        # dval = (+/-) row[pos]; the generic path filters `dval != 0.0`,
+        # which is sign-independent, and `a += -d` == `a -= d` in IEEE.
+        d = row[pos]
+        if d == "0.0":
+            return
+        stmt = f"jac[{target}] {'-=' if neg else '+='} {d}"
+        if d == "1.0":
+            emit(f"    {stmt}")
+        else:
+            emit(f"    if {d} != 0.0: {stmt}")
+
+    out_pos = 0
+    for ip, in_ in geo.contribs:
+        v = value_names[out_pos]
+        emit_res(ip, v, False)
+        emit_res(in_, v, True)
+        if task == "jac":
+            for idx, pos, neg in geo.dep_map:
+                if ip >= 0:
+                    emit_jac(f"{ip}, {idx}", pos, neg, rows[out_pos])
+                if in_ >= 0:
+                    emit_jac(f"{in_}, {idx}", pos, not neg, rows[out_pos])
+        out_pos += 1
+    for row_index in geo.eqs:
+        emit_res(row_index, value_names[out_pos], False)
+        if task == "jac":
+            for idx, pos, neg in geo.dep_map:
+                emit_jac(f"{row_index}, {idx}", pos, neg, rows[out_pos])
+        out_pos += 1
+    emit("    return True")
+    source = "\n".join(lines) + "\n"
+    exec(compile(source, "<behavioral-fused-stamp>", "exec"), namespace)
+    return namespace["fused"]
+
+
+def _geometry(device, bound: _BoundVariant, ctx) -> _Geometry:
+    geo = bound.geometry
+    if geo is None or geo.system is not ctx.system:
+        geo = bound.geometry = _Geometry(device, bound, ctx)
+    return geo
+
+
+def _check_param(value) -> float:
+    if isinstance(value, (bool, Dual)) or not isinstance(value, numbers.Real):
+        raise _ParamFallback()
+    return float(value)
+
+
+def _gather(device, geo: _Geometry, ctx) -> list:
+    """Kernel inputs in layout order (scalar contexts; index-resolved plan)."""
+    x = ctx.x
+    values = []
+    for tag, a, b in geo.plan:
+        if tag == "a":
+            va = 0.0 if a < 0 else float(x[a])
+            vb = 0.0 if b < 0 else float(x[b])
+            values.append(va - vb)
+        elif tag == "b":
+            v = getattr(a, b)
+            values.append(v if type(v) is float else _check_param(v))
+        elif tag == "u":
+            values.append(float(x[a]))
+        elif tag == "d":
+            v = device.params[a]
+            values.append(v if type(v) is float else _check_param(v))
+        elif tag == "c":
+            values.append(a)
+        else:  # time
+            values.append(ctx.time)
+    return values
+
+
+def _gather_nodes(device, bound: _BoundVariant, ctx) -> list:
+    """Node-based gather for batch contexts (``across`` returns lane arrays)."""
+    values = []
+    for tag, a, b in bound.plan:
+        if tag == "a":
+            values.append(ctx.across(a) - ctx.across(b))
+        elif tag == "b":
+            v = getattr(a, b)
+            values.append(v if type(v) is float else _check_param(v))
+        elif tag == "u":
+            values.append(ctx.aux_value(device, a))
+        elif tag == "d":
+            v = device.params[a]
+            values.append(v if type(v) is float else _check_param(v))
+        elif tag == "c":
+            values.append(a)
+        else:  # time
+            values.append(ctx.time)
+    return values
+
+
+def _dep_value(entries, idx: int, dlist):
+    """Derivative w.r.t. unknown ``idx`` from the per-leaf derivatives."""
+    pairs = entries.get(idx)
+    if not pairs:
+        return 0.0
+    total = None
+    for pos, sign in pairs:
+        term = dlist[pos] if sign > 0 else -dlist[pos]
+        total = term if total is None else total + term
+    return total
+
+
+def _retrace(device, state: CompileState, mode: str, stamp_ctx) -> None:
+    """Trace a fresh variant (or permanently disable the mode)."""
+    count = state.trace_count.get(mode, 0)
+    if count >= MAX_VARIANTS:
+        state.disabled.add(mode)
+        return
+    state.trace_count[mode] = count + 1
+    try:
+        variant = passes.simplify_variant(
+            trace_behavior(device, mode, stamp_ctx))
+        kernels = codegen.compile_variant(variant)
+    except Exception:
+        # Untraceable (float() concretization, foreign duals, exceptions on
+        # traced values): the interpreter owns this mode from now on.
+        state.disabled.add(mode)
+        return
+    if set(device.extra_unknowns) - set(kernels.eq_names):
+        # Declared unknowns without equations: leave the mode to the
+        # interpreter, which raises the properly-worded DeviceError.
+        state.disabled.add(mode)
+        return
+    state.variants.setdefault(mode, []).append(_BoundVariant(device, kernels))
+
+
+def _run_kernel(kernel, ctx, keys, inputs):
+    t0 = perf_counter()
+    try:
+        return kernel(ctx, keys, *inputs)
+    finally:
+        telemetry.registry.observe("hdl.kernel.eval_s", perf_counter() - t0)
+
+
+def _scalar_eligible(device, ctx) -> bool:
+    if type(ctx) is not StampContext:
+        # Batch and sensitivity-seeded subclasses have their own contracts.
+        return False
+    if ctx.keep_residual_duals or not _ctx_enabled(ctx):
+        return False
+    integrator = ctx.integrator
+    if integrator is not None and integrator.capture_raw:
+        # Raw-state capture must store the AD duals themselves.
+        return False
+    return True
+
+
+def _select_output(state: CompileState, device, mode: str, ctx,
+                   want_jacobian: bool):
+    """Run the first variant whose guards hold; None means interpreter."""
+    bounds = state.variants.get(mode)
+    if bounds is None:
+        _retrace(device, state, mode, ctx)
+        return None
+    timed = telemetry.enabled()
+    for bound in bounds:
+        geo = bound.geometry
+        if geo is None or geo.system is not ctx.system:
+            geo = bound.geometry = _Geometry(device, bound, ctx)
+        try:
+            inputs = _gather(device, geo, ctx)
+        except _ParamFallback:
+            return None
+        kernels = bound.kernels
+        kernel = kernels.scalar if want_jacobian else kernels.value
+        try:
+            if timed:
+                out = _run_kernel(kernel, ctx, bound.keys, inputs)
+            else:
+                out = kernel(ctx, bound.keys, *inputs)
+        except (ZeroDivisionError, OverflowError, ValueError):
+            # The interpreter performs the same arithmetic; let it raise the
+            # properly-worded error (or survive, for dual-order edge cases).
+            return None
+        if out is not None:
+            return bound, geo, out
+    _retrace(device, state, mode, ctx)
+    return None
+
+
+def try_stamp(device, ctx) -> bool:
+    """Compiled replacement for ``BehavioralDevice.stamp``; False = fallback."""
+    if type(ctx) is not StampContext:
+        if isinstance(ctx, BatchStampContext):
+            return try_stamp_batch(device, ctx)
+        return False
+    if ctx.keep_residual_duals or not _ctx_enabled(ctx):
+        return False
+    integrator = ctx.integrator
+    if integrator is not None and integrator.capture_raw:
+        return False
+    state = state_for(device)
+    mode = "tran" if ctx.is_transient else "op"
+    if mode in state.disabled:
+        return False
+    want_jacobian = ctx.want_jacobian
+    bounds = state.variants.get(mode)
+    if bounds is None:
+        _retrace(device, state, mode, ctx)
+        return False
+    if not telemetry.enabled():
+        # Steady-state fast path: one fused generated function per variant,
+        # with the last successful one memoized and tried first.
+        hot_key = (mode, want_jacobian)
+        hot = state.hot.get(hot_key)
+        if hot is not None and hot[0] is ctx.system:
+            try:
+                out = hot[1](ctx, device)
+            except (ZeroDivisionError, OverflowError, ValueError):
+                return False
+            if out is True:
+                return True
+        use_generic = False
+        for bound in bounds:
+            geo = bound.geometry
+            if geo is None or geo.system is not ctx.system:
+                geo = bound.geometry = _Geometry(device, bound, ctx)
+            fused = geo.fused_jac if want_jacobian else geo.fused_value
+            if fused is None:
+                use_generic = True
+                break
+            try:
+                out = fused(ctx, device)
+            except (ZeroDivisionError, OverflowError, ValueError):
+                # The interpreter performs the same arithmetic; let it raise
+                # the properly-worded error (or survive the edge case).
+                return False
+            if out is True:
+                state.hot[hot_key] = (ctx.system, fused)
+                return True
+            if out is False:
+                # Parameter is not a plain float: the generic path decides
+                # between widening (ints) and interpreter fallback (duals).
+                use_generic = True
+                break
+        if not use_generic:
+            # Every fused variant's guards missed.
+            _retrace(device, state, mode, ctx)
+            return False
+    picked = _select_output(state, device, mode, ctx, want_jacobian)
+    if picked is None:
+        return False
+    bound, geo, (values, extras) = picked
+    if want_jacobian and geo.collide:
+        # Leaves collide on one unknown: only the interpreter's in-dual
+        # summation reproduces those derivatives bitwise.
+        return False
+    out_pos = 0
+    for ip, in_ in geo.contribs:
+        ctx.add_through(ip, in_, values[out_pos])
+        if want_jacobian:
+            dlist = extras[out_pos]
+            for idx, pos, neg in geo.dep_map:
+                dval = -dlist[pos] if neg else dlist[pos]
+                if dval != 0.0:
+                    ctx.add_through_jac(ip, in_, idx, dval)
+        out_pos += 1
+    for row in geo.eqs:
+        ctx.add_res(row, values[out_pos])
+        if want_jacobian:
+            dlist = extras[out_pos]
+            for idx, pos, neg in geo.dep_map:
+                dval = -dlist[pos] if neg else dlist[pos]
+                if dval != 0.0:
+                    ctx.add_jac(row, idx, dval)
+        out_pos += 1
+    return True
+
+
+def try_record(device, ctx):
+    """Compiled ``BehavioralDevice.record``; None means use the interpreter."""
+    if not _scalar_eligible(device, ctx):
+        return None
+    state = state_for(device)
+    mode = "tran" if ctx.is_transient else "op"
+    if mode in state.disabled:
+        return None
+    bounds = state.variants.get(mode)
+    if bounds and not telemetry.enabled():
+        # Steady-state fast path: fused value kernel + baked output names.
+        for bound in bounds:
+            geo = bound.geometry
+            if geo is None or geo.system is not ctx.system:
+                geo = bound.geometry = _Geometry(device, bound, ctx)
+            fused = geo.fused_record
+            if fused is None:
+                break
+            try:
+                out = fused(ctx, device)
+            except (ZeroDivisionError, OverflowError, ValueError):
+                return None
+            if out is None:
+                continue
+            if out is False:
+                break
+            return out
+        else:
+            _retrace(device, state, mode, ctx)
+            return None
+    picked = _select_output(state, device, mode, ctx, want_jacobian=False)
+    if picked is None:
+        return None
+    bound, _geo, (values, records) = picked
+    kernels = bound.kernels
+    outputs: dict[str, float] = {}
+    for port_name, value in zip(kernels.contrib_ports, values):
+        outputs[f"i({device.name}.{port_name})"] = float(value)
+    for rec_name, value in zip(kernels.record_names, records):
+        outputs[f"{rec_name}({device.name})"] = float(np.real(value))
+    return outputs
+
+
+# --------------------------------------------------------------------------- #
+# batched (lane-vectorized) path                                              #
+# --------------------------------------------------------------------------- #
+
+def _batch_bound(device, state: CompileState):
+    """The single guard-free op variant, or None if the device is not
+    batch-vectorizable."""
+    if "op" in state.disabled:
+        return None
+    variants = state.variants.get("op")
+    if variants is None and not state.probed:
+        # Origin probe: trace the op-mode behaviour at the all-zero point so
+        # batch eligibility is known before any solve runs.
+        state.probed = True
+        _retrace(device, state, "op", None)
+        variants = state.variants.get("op")
+    if not variants or len(variants) != 1:
+        return None
+    bound = variants[0]
+    if bound.kernels.guarded or bound.kernels.vector() is None:
+        return None
+    return bound
+
+
+def batch_ready(device, options=None) -> bool:
+    """Whether the device can stamp a whole ``BatchStampContext`` at once."""
+    if _interp_forced():
+        return False
+    if options is not None and not compilation_enabled(options):
+        return False
+    return _batch_bound(device, state_for(device)) is not None
+
+
+def try_stamp_batch(device, ctx: BatchStampContext) -> bool:
+    """Stamp every lane of a batch context with one vector-kernel call."""
+    if not _ctx_enabled(ctx):
+        return False
+    bound = _batch_bound(device, state_for(device))
+    if bound is None:
+        return False
+    kernels = bound.kernels
+    try:
+        inputs = _gather_nodes(device, bound, ctx)
+    except _ParamFallback:
+        # Swept (B,) parameter columns: re-fetch allowing arrays.
+        inputs = []
+        for tag, a, b in bound.plan:
+            if tag in ("b", "d"):
+                value = getattr(a, b) if tag == "b" else device.params[a]
+                if isinstance(value, np.ndarray):
+                    inputs.append(np.asarray(value, dtype=float))
+                elif isinstance(value, (bool, Dual)) \
+                        or not isinstance(value, numbers.Real):
+                    return False
+                else:
+                    inputs.append(float(value))
+            elif tag == "a":
+                inputs.append(ctx.across(a) - ctx.across(b))
+            elif tag == "u":
+                inputs.append(ctx.aux_value(device, a))
+            elif tag == "c":
+                inputs.append(a)
+            else:
+                inputs.append(ctx.time)
+    values, derivs = _run_kernel(kernels.vector(), ctx, bound.keys, inputs)
+    geo = _geometry(device, bound, ctx)
+    # Stamp in the serial (output, dependency) order so same-cell Jacobian
+    # accumulations sum in the same sequence as the scalar path.  Per-lane
+    # zero derivatives are added as zeros rather than skipped -- dense batch
+    # accumulation tolerates that (the scalar path's ``!= 0.0`` skip only
+    # avoids no-op adds).
+    out_pos = 0
+    for ip, in_ in geo.contribs:
+        ctx.add_through(ip, in_, values[out_pos])
+        if ctx.want_jacobian:
+            dlist = derivs[out_pos]
+            for idx in geo.deps:
+                dval = _dep_value(geo.entries, idx, dlist)
+                if dval is not None and np.ndim(dval) == 0 and dval == 0.0:
+                    continue
+                ctx.add_through_jac(ip, in_, idx, dval)
+        out_pos += 1
+    for row in geo.eqs:
+        ctx.add_res(row, values[out_pos])
+        if ctx.want_jacobian:
+            dlist = derivs[out_pos]
+            for idx in geo.deps:
+                dval = _dep_value(geo.entries, idx, dlist)
+                if dval is not None and np.ndim(dval) == 0 and dval == 0.0:
+                    continue
+                ctx.add_jac(row, idx, dval)
+        out_pos += 1
+    return True
+
+
+# --------------------------------------------------------------------------- #
+# dF/dp                                                                       #
+# --------------------------------------------------------------------------- #
+
+def parameter_gradients(device, ctx, parameter_names=None):
+    """Compiled ``dF/dp``: instantaneous partials of the device's residual
+    outputs with respect to its parameters, at the context's state.
+
+    Returns ``{output_name: {param: value}}`` with contribution outputs named
+    by port and equation outputs by unknown, or ``None`` when the device has
+    no applicable compiled variant (guards missed, mode disabled, compile
+    off).  Matches the dual-seeding contract of the sensitivity layer: state
+    operators contribute ``coefficient * dp`` through the active
+    discretization and baked initial values are parameter-independent.
+    """
+    if not _scalar_eligible(device, ctx):
+        return None
+    state = state_for(device)
+    mode = "tran" if ctx.is_transient else "op"
+    if mode in state.disabled:
+        return None
+    bounds = state.variants.get(mode)
+    if bounds is None:
+        _retrace(device, state, mode, ctx)
+        bounds = state.variants.get(mode)
+        if bounds is None:
+            return None
+    for bound in bounds:
+        try:
+            inputs = _gather_nodes(device, bound, ctx)
+        except _ParamFallback:
+            return None
+        kernels = bound.kernels
+        names = parameter_names
+        if names is None:
+            names = kernels.param_inputs
+        try:
+            out = _run_kernel(kernels.dfdp(), ctx, bound.keys, inputs)
+        except (ZeroDivisionError, OverflowError, ValueError):
+            return None
+        if out is None:
+            continue
+        values, derivs = out
+        output_names = kernels.contrib_ports + kernels.eq_names
+        result: dict[str, dict[str, float]] = {}
+        for out_pos, output in enumerate(output_names):
+            row = {}
+            for k, param in enumerate(kernels.param_inputs):
+                if param in names:
+                    row[param] = derivs[out_pos][k]
+            result[output] = row
+        return result
+    return None

@@ -142,11 +142,30 @@ def profile_summary(report, limit: int = 20, sort: str = "self") -> str:
     if omitted:
         lines.append(f"... {omitted} rows omitted (of {len(ordered)}; "
                      f"raise limit= to see them)")
-    histograms = (getattr(report, "metrics", None) or {}).get("histograms", {})
+    metrics = getattr(report, "metrics", None) or {}
+    histograms = metrics.get("histograms", {})
     if histograms:
         lines.extend(_histogram_lines(histograms))
+    counters = metrics.get("counters", {})
+    if counters:
+        lines.extend(_counter_lines(counters))
     lines.append(f"wall time: {_fmt_seconds(wall)}")
     return "\n".join(lines)
+
+
+def _counter_lines(counters: dict) -> list[str]:
+    """The counter section appended to a profile table.
+
+    Counters are always-on registry metrics (``linalg.factorizations``,
+    ``hdl.compile.count``/``hdl.compile.cache_hits``, ...), so the caching
+    behaviour of a run reads straight off its profile.
+    """
+    name_width = max([len(name) for name in counters] + [len("counter")])
+    lines = ["", f"{'counter':<{name_width}}  {'value':>10}",
+             "-" * (name_width + 12)]
+    for name in sorted(counters):
+        lines.append(f"{name:<{name_width}}  {counters[name]:>10g}")
+    return lines
 
 
 def _histogram_lines(histograms: dict) -> list[str]:

@@ -57,7 +57,7 @@ class ElectromagneticTransducer(ConservativeTransducer):
     def inductance(self, displacement=0.0):
         """Input inductance ``L(x) = mu0 A N^2 / (2 (d + x))`` (Table 2, row c)."""
         gap = self.gap + displacement
-        if float(getattr(gap, "value", gap)) <= 0.0:
+        if gap <= 0.0:
             raise TransducerError("armature is in contact: effective gap is not positive")
         return self.mu_0 * self.area * self.turns ** 2 / (2.0 * gap)
 

@@ -79,7 +79,7 @@ class TransverseElectrostaticTransducer(ConservativeTransducer):
     def capacitance(self, displacement=0.0):
         """Input capacitance ``C(x)`` (Table 2, row a)."""
         gap = self._effective_gap(displacement)
-        if float(getattr(gap, "value", gap)) <= 0.0:
+        if gap <= 0.0:
             raise TransducerError("plates are in contact: effective gap is not positive")
         return self.epsilon_0 * self.epsilon_r * self.area / gap
 
@@ -175,7 +175,7 @@ class LateralElectrostaticTransducer(ConservativeTransducer):
     def capacitance(self, displacement=0.0):
         """Input capacitance ``C(x) = eps0 epsr h (l - x) / d`` (Table 2, row b)."""
         overlap = self.length - displacement
-        if float(getattr(overlap, "value", overlap)) <= 0.0:
+        if overlap <= 0.0:
             raise TransducerError("plates have fully disengaged: overlap is not positive")
         return self.epsilon_0 * self.epsilon_r * self.depth * overlap / self.gap
 

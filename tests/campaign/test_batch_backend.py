@@ -172,9 +172,10 @@ class TestBackendResolution:
             CampaignRunner(backend="batch", batch_size=0)
 
     def test_auto_falls_back_serial_for_unbatchable_options(self):
-        # chord-mode Newton has no batched counterpart: the evaluator
-        # reports itself non-capable and auto stays serial/pool.
-        options = SimulationOptions(jacobian_reuse="chord")
+        # The CG backend has no batched counterpart: the evaluator reports
+        # itself non-capable and auto stays serial/pool.  (Chord-mode
+        # Newton, once in the same boat, is batchable now.)
+        options = SimulationOptions(linear_solver="cg")
         evaluator = CircuitEvaluator(
             build_ladder, param_map=PARAM_MAP, options=options)
         spec = GridSweep(vdd=[3.0, 4.0, 5.0, 6.0])

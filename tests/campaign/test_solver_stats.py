@@ -23,6 +23,27 @@ def build_divider(params: dict) -> Circuit:
     return circuit
 
 
+def build_behavioral(params: dict) -> Circuit:
+    """Divider with a behavioral conductance: exercises the HDL compiler."""
+    from repro.circuit.devices.behavioral import BehavioralDevice, Port
+    from repro.natures import ELECTRICAL
+
+    circuit = Circuit()
+    n_in = circuit.electrical_node("in")
+    n_out = circuit.electrical_node("out")
+    circuit.add(VoltageSource("V1", n_in, circuit.ground,
+                              float(params["v"])))
+    circuit.add(Resistor("R1", n_in, n_out, 1e3))
+
+    def behavior(ctx):
+        ctx.contribute("p", ctx.param("g") * ctx.across("p"))
+
+    circuit.add(BehavioralDevice(
+        "G1", [Port("p", n_out, circuit.ground, ELECTRICAL)], behavior,
+        params={"g": 1e-3}))
+    return circuit
+
+
 def cached_evaluator(point: dict) -> dict:
     """Evaluator that exercises the FactorizationCache inside workers."""
     cache = FactorizationCache(maxsize=4)
@@ -96,3 +117,27 @@ class TestCampaignAggregation:
         row = CampaignRow(0, {"v": 1.0}, {"y": 2.0})
         result = CampaignResult([row])
         assert result.solver_stats == {}
+
+
+class TestHdlCompileCounters:
+    SPEC = GridSweep(v=[1.0, 2.0, 3.0])
+
+    def test_behavioral_campaign_counts_kernel_cache(self):
+        evaluator = CircuitEvaluator(build_behavioral, outputs=("v(out)",))
+        result = CampaignRunner("serial").run(self.SPEC, evaluator)
+        stats = result.solver_stats
+        # One kernel-cache event per point (the fingerprint-keyed cache is
+        # process-wide, so the compile itself may predate this campaign --
+        # only the compile+hit total is deterministic here).
+        events = stats["hdl_compiles"] + stats["hdl_compile_cache_hits"]
+        assert events >= len(self.SPEC.points())
+        assert stats["hdl_compile_cache_hits"] >= 2
+        summary = result.solver_summary()
+        assert summary["hdl_compile_cache_hit_rate"] > 0.0
+
+    def test_non_behavioral_campaign_reports_zero_rate(self):
+        result = CampaignRunner("serial").run(self.SPEC, cached_evaluator)
+        stats = result.solver_stats
+        assert stats["hdl_compiles"] == 0
+        assert stats["hdl_compile_cache_hits"] == 0
+        assert result.solver_summary()["hdl_compile_cache_hit_rate"] == 0.0

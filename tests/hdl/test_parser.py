@@ -182,3 +182,43 @@ class TestExpressions:
         bad = MINIMAL.replace(":= 1000.0", ":= rval + 1.0")
         with pytest.raises(HDLParseError):
             parse(bad)
+
+
+class TestDiagnostics:
+    """Parse errors carry line/column and the offending source text."""
+
+    def test_error_points_at_offending_token(self):
+        bad = MINIMAL.replace("PIN (p, n : electrical);",
+                              "PIN (p, n : electrical)")
+        with pytest.raises(HDLParseError) as excinfo:
+            parse(bad)
+        # The parser trips on the END keyword (the pin clause on the line
+        # above never closed); position and text both ride along on the
+        # exception.
+        assert excinfo.value.line == 5
+        assert excinfo.value.column >= 1
+        assert "';'" in str(excinfo.value)
+        assert f"line {excinfo.value.line}" in str(excinfo.value)
+
+    def test_literal_default_error_carries_position(self):
+        bad = MINIMAL.replace(":= 1000.0", ":= rval + 1.0")
+        with pytest.raises(HDLParseError) as excinfo:
+            parse(bad)
+        assert "'rval'" in str(excinfo.value)
+        assert excinfo.value.line == 3
+        assert excinfo.value.column > 1
+
+    def test_variable_default_error_carries_position(self):
+        bad = MINIMAL.replace(
+            "ARCHITECTURE a OF r IS",
+            "ARCHITECTURE a OF r IS\n  VARIABLE x : analog := foo;")
+        with pytest.raises(HDLParseError) as excinfo:
+            parse(bad)
+        assert "'foo'" in str(excinfo.value)
+        assert excinfo.value.line == 7
+
+    def test_eof_rendered_as_end_of_input(self):
+        with pytest.raises(HDLParseError) as excinfo:
+            parse("ENTITY r IS")
+        assert "end of input" in str(excinfo.value)
+        assert "''" not in str(excinfo.value)

@@ -157,3 +157,30 @@ class TestProfileHistograms:
             {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0}
         table = report.profile_summary()
         assert "empty_s" in table
+
+
+class TestProfileCounters:
+    def _report_with_counters(self):
+        report = _collect_tree()
+        report.metrics = {
+            "counters": {"hdl.compile.count": 2.0,
+                         "hdl.compile.cache_hits": 14.0,
+                         "linalg.factorizations": 5.0},
+            "gauges": {}, "histograms": {},
+        }
+        return report
+
+    def test_counter_section_appended(self):
+        table = self._report_with_counters().profile_summary()
+        assert "counter" in table
+        assert "hdl.compile.count" in table
+        assert "hdl.compile.cache_hits" in table
+        # Values print as plain numbers; the footer stays last.
+        hits = next(line for line in table.splitlines()
+                    if line.startswith("hdl.compile.cache_hits"))
+        assert hits.split()[-1] == "14"
+        assert table.splitlines()[-1].startswith("wall time:")
+
+    def test_no_counters_no_section(self):
+        table = _collect_tree().profile_summary()
+        assert "counter" not in table
